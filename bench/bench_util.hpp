@@ -1,0 +1,36 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/timing_model.hpp"
+#include "phy/uplink_tx.hpp"
+
+namespace rtopex::bench {
+
+/// Prints a header banner naming the paper artifact being regenerated.
+void print_banner(const std::string& figure, const std::string& description);
+
+/// Prints one row of space-separated cells (first column left-aligned).
+void print_row(const std::vector<std::string>& cells);
+
+std::string fmt(double v, int precision = 2);
+
+/// Measures the real PHY chain's wall-clock uplink processing time.
+/// Each measurement runs TX -> AWGN channel -> full RX on this host and
+/// records (N, K, D, L, time_us) — the inputs to the Eq. (1) fit.
+struct PhyMeasurementConfig {
+  std::vector<unsigned> mcs_values;
+  std::vector<double> snr_values_db = {30.0};
+  std::vector<unsigned> antenna_counts = {2};
+  unsigned repetitions = 3;
+  phy::Bandwidth bandwidth = phy::Bandwidth::kMHz10;
+  unsigned max_iterations = 4;
+  std::uint64_t seed = 1;
+};
+
+std::vector<model::TimingMeasurement> measure_phy_chain(
+    const PhyMeasurementConfig& config);
+
+}  // namespace rtopex::bench

@@ -1,0 +1,42 @@
+// Fig. 7 — One-way IQ transport latency vs number of antennas/radios for
+// 5 MHz and 10 MHz bandwidth (WARP radios on 1 GbE aggregated into the
+// GPP's 10 GbE port). Serialization dominates; at 10 MHz the latency
+// crosses ~0.9 ms near 8 antennas — the paper's supportable maximum.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "transport/transport.hpp"
+
+using namespace rtopex;
+
+int main() {
+  bench::print_banner("Figure 7", "one-way transport latency vs antennas");
+
+  const transport::IqTransportModel model;
+  Rng rng(1);
+  bench::print_row({"antennas", "5MHz_mean", "5MHz_max", "10MHz_mean",
+                    "10MHz_max"});
+  for (unsigned n = 1; n <= 16; ++n) {
+    std::vector<std::string> row = {std::to_string(n)};
+    for (const auto bw : {phy::Bandwidth::kMHz5, phy::Bandwidth::kMHz10}) {
+      RunningStats s;
+      for (int i = 0; i < 5000; ++i)
+        s.add(to_us(model.sample_one_way(bw, n, rng)));
+      row.push_back(bench::fmt(s.mean(), 0));
+      row.push_back(bench::fmt(s.max(), 0));
+    }
+    bench::print_row(row);
+  }
+
+  // The paper's conclusion from this figure.
+  for (unsigned n = 1; n <= 16; ++n) {
+    if (to_us(model.one_way_nominal(phy::Bandwidth::kMHz10, n)) > 1000.0) {
+      std::printf("\nat 10 MHz, latency exceeds 1 ms beyond %u antennas "
+                  "(paper: at most 8 antennas supportable)\n", n - 1);
+      break;
+    }
+  }
+  return 0;
+}

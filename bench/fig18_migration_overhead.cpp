@@ -1,0 +1,94 @@
+// Fig. 18 — Comparison of processing times of local and migrated tasks.
+// The paper measures a fixed ~18-20 us migration overhead for both FFT and
+// decode subtasks (fetching per-basestation state from shared memory).
+//
+// Two reproductions:
+//  1. A direct micro-measurement of this repo's migration mechanism
+//     (mailbox claim/fill/take + state-table round trip) on this host.
+//  2. The real-thread runtime's per-stage timings with migration enabled,
+//     local vs migrated (meaningful on multicore hosts; on a single-core
+//     host the hosting thread timeshares, inflating the numbers).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/thread_utils.hpp"
+#include "runtime/cpu_state_table.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/node_runtime.hpp"
+
+using namespace rtopex;
+
+int main() {
+  bench::print_banner("Figure 18", "local vs migrated task processing time");
+
+  // --- 1. handoff-mechanism micro-benchmark ---
+  {
+    runtime::Mailbox box;
+    runtime::CpuStateTable table(8);
+    std::atomic<std::size_t> next{0}, completed{0};
+    RunningStats s;
+    for (int i = 0; i < 20000; ++i) {
+      const std::int64_t t0 = monotonic_ns();
+      table.set(3, runtime::CoreActivity::kIdle, 1000000);
+      const auto snap = table.get(3);
+      (void)snap;
+      box.try_claim();
+      runtime::MigratedChunk chunk;
+      chunk.first = 0;
+      chunk.count = 1;
+      chunk.next_index = &next;
+      chunk.completed = &completed;
+      box.fill(std::move(chunk));
+      runtime::MigratedChunk taken;
+      box.try_take(taken);
+      box.release();
+      const std::int64_t t1 = monotonic_ns();
+      s.add(static_cast<double>(t1 - t0) / 1000.0);
+    }
+    std::printf("\nmailbox + state-table handoff round trip: "
+                "mean %.2f us, max %.1f us\n", s.mean(), s.max());
+    std::printf("(the paper's ~20 us overhead is dominated by the shared-"
+                "memory state fetch,\n which the virtual-time model charges "
+                "as delta = 20 us per migrated chunk)\n");
+  }
+
+  // --- 2. real-thread runtime, local vs migrated stage timings ---
+  runtime::RuntimeConfig cfg;
+  cfg.mode = runtime::RuntimeMode::kRtOpex;
+  cfg.num_basestations = 2;
+  cfg.cores_per_bs = 2;
+  cfg.subframes_per_bs = 30;
+  cfg.subframe_period = milliseconds(60);
+  cfg.deadline_budget = milliseconds(120);
+  cfg.mcs_cycle = {27, 4};
+  cfg.phy.bandwidth = phy::Bandwidth::kMHz10;
+  cfg.seed = 18;
+  runtime::NodeRuntime rt(cfg);
+  const auto report = rt.run();
+
+  RunningStats fft_local, fft_mig, dec_local, dec_mig;
+  for (const auto& r : report.records) {
+    if (r.mcs != 27) continue;
+    (r.timing.fft_migrated > 0 ? fft_mig : fft_local)
+        .add(to_us(r.timing.fft));
+    (r.timing.decode_migrated > 0 ? dec_mig : dec_local)
+        .add(to_us(r.timing.decode));
+  }
+  std::printf("\nreal-thread runtime, MCS 27 stage times on this host:\n");
+  bench::print_row({"task", "runs", "mean_us"});
+  bench::print_row({"fft (all local)", std::to_string(fft_local.count()),
+                    bench::fmt(fft_local.mean(), 0)});
+  bench::print_row({"fft (migrated)", std::to_string(fft_mig.count()),
+                    bench::fmt(fft_mig.mean(), 0)});
+  bench::print_row({"decode (all local)", std::to_string(dec_local.count()),
+                    bench::fmt(dec_local.mean(), 0)});
+  bench::print_row({"decode (migrated)", std::to_string(dec_mig.count()),
+                    bench::fmt(dec_mig.mean(), 0)});
+  std::printf("migrated subtasks: %zu, recoveries: %zu\n", report.migrations,
+              report.recoveries);
+  std::printf("(single-core hosts timeshare the hosting thread, so migrated "
+              "numbers are only\n meaningful on multicore hardware; paper: "
+              "FFT 108 -> 126 us, decode +~20 us)\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Google-benchmark micro-benchmarks of the PHY kernels: the compute blocks
+// whose costs the Eq. (1) model abstracts.
+#include <benchmark/benchmark.h>
+
+#include "channel/channel.hpp"
+#include "common/rng.hpp"
+#include "phy/crc.hpp"
+#include "phy/fft.hpp"
+#include "phy/modulation.hpp"
+#include "phy/qpp_interleaver.hpp"
+#include "phy/rate_match.hpp"
+#include "phy/scrambler.hpp"
+#include "phy/turbo.hpp"
+#include "phy/uplink_rx.hpp"
+#include "phy/uplink_tx.hpp"
+
+namespace rtopex::phy {
+namespace {
+
+BitVector random_bits(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  BitVector bits(n);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next() & 1);
+  return bits;
+}
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const FftPlan plan(n);
+  Rng rng(1);
+  IqVector data(n);
+  for (auto& x : data)
+    x = {static_cast<float>(rng.normal()), static_cast<float>(rng.normal())};
+  for (auto _ : state) {
+    plan.forward(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_Crc24a(benchmark::State& state) {
+  const BitVector bits = random_bits(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) benchmark::DoNotOptimize(crc24a(bits));
+}
+BENCHMARK(BM_Crc24a)->Arg(6144);
+
+void BM_TurboEncode(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const QppInterleaver qpp(k);
+  const TurboEncoder enc(qpp);
+  const BitVector bits = random_bits(k, 3);
+  for (auto _ : state) benchmark::DoNotOptimize(enc.encode(bits));
+}
+BENCHMARK(BM_TurboEncode)->Arg(1024)->Arg(6144);
+
+void BM_TurboDecode(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto iters = static_cast<unsigned>(state.range(1));
+  const QppInterleaver qpp(k);
+  const TurboEncoder enc(qpp);
+  const TurboDecoder dec(qpp, iters);
+  const BitVector bits = random_bits(k, 4);
+  const auto cw = enc.encode(bits);
+  LlrVector sys(k + 4), p1(k + 4), p2(k + 4);
+  for (std::size_t i = 0; i < k + 4; ++i) {
+    sys[i] = cw.systematic[i] ? -4.0f : 4.0f;
+    p1[i] = cw.parity1[i] ? -4.0f : 4.0f;
+    p2[i] = cw.parity2[i] ? -4.0f : 4.0f;
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(dec.decode(sys, p1, p2));
+}
+BENCHMARK(BM_TurboDecode)->Args({6144, 1})->Args({6144, 4});
+
+void BM_Demodulate(benchmark::State& state) {
+  const auto order = static_cast<unsigned>(state.range(0));
+  const BitVector bits = random_bits(600 * order, 5);
+  const IqVector symbols = modulate(bits, order);
+  const std::vector<float> nv(symbols.size(), 0.01f);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(demodulate(symbols, nv, order));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(symbols.size()));
+}
+BENCHMARK(BM_Demodulate)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_RateMatch(benchmark::State& state) {
+  const std::size_t k = 6144;
+  const QppInterleaver qpp(k);
+  const TurboEncoder enc(qpp);
+  const RateMatcher rm(k);
+  const auto cw = enc.encode(random_bits(k, 6));
+  for (auto _ : state) benchmark::DoNotOptimize(rm.match(cw, 7200));
+}
+BENCHMARK(BM_RateMatch);
+
+void BM_Scrambler(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(scrambling_sequence(0x1234, 43200));
+}
+BENCHMARK(BM_Scrambler);
+
+void BM_FullUplinkChain(benchmark::State& state) {
+  const auto mcs = static_cast<unsigned>(state.range(0));
+  UplinkConfig cfg;
+  cfg.num_antennas = 2;
+  const UplinkTransmitter tx(cfg);
+  const UplinkRxProcessor rx(cfg);
+  const TxSubframe sf = tx.transmit(mcs, 1, 42);
+  channel::ChannelConfig ch;
+  ch.snr_db = 30.0;
+  ch.num_rx_antennas = 2;
+  const auto samples = channel::pass_through_channel(sf.samples, ch, 43);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(rx.process(samples, mcs, sf.subframe_index));
+}
+BENCHMARK(BM_FullUplinkChain)->Arg(0)->Arg(13)->Arg(27)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rtopex::phy
+
+BENCHMARK_MAIN();

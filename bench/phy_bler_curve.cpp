@@ -1,0 +1,51 @@
+// PHY substrate validation: block-error rate of the real uplink chain vs
+// SNR, per MCS band. Not a paper figure, but the evidence that the decode
+// substrate behind every experiment behaves like a real LTE receiver:
+// waterfall BLER curves whose thresholds shift right with MCS, with the
+// mean turbo iteration count rising as the margin shrinks.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "channel/channel.hpp"
+#include "phy/uplink_rx.hpp"
+#include "common/rng.hpp"
+
+using namespace rtopex;
+
+int main() {
+  bench::print_banner("PHY validation", "BLER and iterations vs SNR");
+
+  constexpr int kBlocks = 12;
+  phy::UplinkConfig cfg;
+  cfg.bandwidth = phy::Bandwidth::kMHz5;  // keep the sweep quick
+  cfg.num_antennas = 2;
+  const phy::UplinkTransmitter tx(cfg);
+  const phy::UplinkRxProcessor rx(cfg);
+  Rng rng(99);
+
+  bench::print_row({"mcs", "snr_db", "bler", "mean_L"});
+  for (const unsigned mcs : {5u, 16u, 27u}) {
+    for (double snr = -2.0; snr <= 26.01; snr += 4.0) {
+      int errors = 0;
+      double iters = 0.0;
+      for (int b = 0; b < kBlocks; ++b) {
+        const auto sf = tx.transmit(mcs, b, rng.next());
+        channel::ChannelConfig ch;
+        ch.snr_db = snr;
+        ch.num_rx_antennas = cfg.num_antennas;
+        const auto samples =
+            channel::pass_through_channel(sf.samples, ch, rng.next());
+        const auto res = rx.process(samples, mcs, sf.subframe_index);
+        if (!res.crc_ok || res.payload != sf.payload) ++errors;
+        iters += res.mean_iterations;
+      }
+      bench::print_row({std::to_string(mcs), bench::fmt(snr, 0),
+                        bench::fmt(static_cast<double>(errors) / kBlocks),
+                        bench::fmt(iters / kBlocks)});
+    }
+  }
+  std::printf("\nexpected: BLER waterfalls from 1.0 to 0.0 with the threshold\n"
+              "shifting right as MCS grows; mean L rises near the threshold\n"
+              "(the paper's Fig. 3(b) mechanism).\n");
+  return 0;
+}

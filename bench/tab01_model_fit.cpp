@@ -1,0 +1,53 @@
+// Table 1 — Eq. (1) model parameter estimates.
+//
+// Measures this repo's real PHY chain (TX -> AWGN -> RX wall-clock) across
+// MCS, SNR and antenna counts, fits T = w0 + w1*N + w2*K + w3*D*L by OLS
+// and reports the estimates next to the paper's GPP numbers. Absolute
+// magnitudes differ from the paper (different host, no hand-tuned SIMD);
+// the reproduction targets are the model *form* and the fit quality r^2.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+
+using namespace rtopex;
+
+int main() {
+  bench::print_banner("Table 1", "Eq. (1) fit on this host's PHY chain");
+
+  bench::PhyMeasurementConfig cfg;
+  for (unsigned mcs = 0; mcs <= phy::kMaxMcs; mcs += 2)
+    cfg.mcs_values.push_back(mcs);
+  cfg.mcs_values.push_back(27);
+  cfg.snr_values_db = {8.0, 12.0, 16.0, 20.0, 30.0};
+  cfg.antenna_counts = {1, 2};
+  cfg.repetitions = 3;
+
+  const auto data = bench::measure_phy_chain(cfg);
+  std::printf("measurements: %zu (MCS x SNR x antennas x reps)\n",
+              data.size());
+
+  const model::TimingModel fit = model::fit_timing_model(data);
+  const model::TimingModel paper = model::paper_gpp_model();
+
+  bench::print_row({"", "w0_us", "w1_us", "w2_us", "w3_us", "r2"});
+  bench::print_row({"paper (Xeon E5-2660)", bench::fmt(paper.w0_us, 1),
+                    bench::fmt(paper.w1_us, 1), bench::fmt(paper.w2_us, 1),
+                    bench::fmt(paper.w3_us, 1),
+                    bench::fmt(paper.r_squared, 3)});
+  bench::print_row({"this host (fit)", bench::fmt(fit.w0_us, 1),
+                    bench::fmt(fit.w1_us, 1), bench::fmt(fit.w2_us, 1),
+                    bench::fmt(fit.w3_us, 1), bench::fmt(fit.r_squared, 3)});
+
+  // Paper §2.1 anchors, re-derived from this host's fit.
+  std::printf("\nper-antenna cost:        %.1f us (paper: 169.1)\n",
+              fit.w1_us);
+  std::printf("per-iteration at MCS 27: %.1f us (paper: ~345)\n",
+              fit.w3_us * 3.775);
+  std::printf("\nnote: absolute magnitudes are host-specific (no SIMD "
+              "hand-tuning here); the\nreproduction targets are the "
+              "positive per-antenna/order/iteration slopes and the\nfit "
+              "quality. The intercept is sensitive to the K<->D collinearity "
+              "of the MCS grid.\n");
+  return 0;
+}

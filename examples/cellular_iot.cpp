@@ -1,0 +1,52 @@
+// Mixed-standard deployment (paper §5 D): two busy 10 MHz macro cells share
+// the node with two lightly loaded 5 MHz cellular-IoT cells. Under
+// partitioned scheduling the IoT cells' cores idle most of the time while
+// the macro cells drop their heavy subframes next door; RT-OPEX turns the
+// IoT cores into migration capacity — "for a heterogeneous set of
+// basestations and standards, RT-OPEX can easily leverage idle cycles".
+//
+//   $ ./cellular_iot
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace rtopex;
+
+  core::ExperimentConfig config;
+  config.workload.num_basestations = 4;
+  config.workload.subframes_per_bs = 20000;
+  config.rtt_half = microseconds(550);
+  // BS0/1: busy 10 MHz macro cells. BS2/3: 5 MHz IoT cells (narrowband,
+  // light duty cycle — the preset's lighter operating points).
+  config.workload.per_bs_bandwidth = {
+      phy::Bandwidth::kMHz10, phy::Bandwidth::kMHz10, phy::Bandwidth::kMHz5,
+      phy::Bandwidth::kMHz5};
+
+  const auto workload = core::make_workload(config);
+  std::printf("2x 10 MHz macro + 2x 5 MHz IoT cells, RTT/2 = 550 us\n\n");
+
+  std::printf("%-14s %10s   per-BS miss rates (macro, macro, iot, iot)\n",
+              "scheduler", "overall");
+  for (const auto kind : {core::SchedulerKind::kPartitioned,
+                          core::SchedulerKind::kRtOpex}) {
+    config.scheduler = kind;
+    const auto r = core::run_scheduler(config, workload);
+    std::printf("%-14s %10.2e   ", r.scheduler_name.c_str(),
+                r.metrics.miss_rate());
+    for (const auto& bs : r.metrics.per_bs)
+      std::printf("%.2e  ", bs.subframes == 0
+                                ? 0.0
+                                : static_cast<double>(bs.misses) /
+                                      static_cast<double>(bs.subframes));
+    if (kind == core::SchedulerKind::kRtOpex)
+      std::printf("  [decode migration: %.0f%%]",
+                  100.0 * r.metrics.decode_migration_fraction());
+    std::printf("\n");
+  }
+
+  std::printf("\nthe IoT cells finish their narrowband subframes quickly and\n"
+              "sit idle; RT-OPEX schedules the macro cells' turbo code blocks\n"
+              "into exactly those gaps.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Heterogeneous deployment (paper §5 D): basestations at different
+// fronthaul distances share one compute node. Every subframe's deadline is
+// still radio-time + 2 ms, so distant basestations simply have less
+// processing slack — and RT-OPEX leverages the near cells' idle cycles to
+// rescue the far cells, with no prior knowledge of the deployment.
+//
+//   $ ./heterogeneous_cran
+#include <cstdio>
+
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace rtopex;
+
+  core::ExperimentConfig config;
+  config.workload.num_basestations = 4;
+  config.workload.subframes_per_bs = 20000;
+  config.rtt_half = microseconds(400);  // budget for the *near* cells
+  // Equal traffic everywhere so that distance, not load, drives the
+  // difference between cells.
+  config.workload.mean_load_override = 0.5;
+  // Fronthaul spread: BS0/1 near (+0), BS2 at +150 us, BS3 at +300 us
+  // (~60 km more fiber) — BS3's effective budget is 1.3 ms.
+  config.workload.per_bs_extra_delay = {0, 0, microseconds(150),
+                                        microseconds(300)};
+
+  const auto workload = core::make_workload(config);
+  std::printf("4 basestations, fronthaul one-way delays: 400/400/550/700 us\n"
+              "deadline is radio-time + 2 ms for everyone, so the far cells\n"
+              "have up to 600 us less processing slack.\n\n");
+
+  std::printf("%-22s %10s   per-BS miss rates\n", "scheduler", "overall");
+  const auto report = [&](const char* name, const core::ExperimentResult& r) {
+    std::printf("%-22s %10.2e   ", name, r.metrics.miss_rate());
+    for (const auto& bs : r.metrics.per_bs)
+      std::printf("%.2e  ", bs.subframes == 0
+                                ? 0.0
+                                : static_cast<double>(bs.misses) /
+                                      static_cast<double>(bs.subframes));
+    std::printf("\n");
+  };
+
+  config.scheduler = core::SchedulerKind::kPartitioned;
+  report("partitioned", core::run_scheduler(config, workload));
+
+  config.scheduler = core::SchedulerKind::kGlobal;
+  // EDF and FIFO coincide here: subframes of one tick share a deadline, so
+  // ordering by deadline degenerates to arrival order (cf. paper §3.1.2).
+  report("global (8 cores)", core::run_scheduler(config, workload));
+
+  config.scheduler = core::SchedulerKind::kRtOpex;
+  report("rt-opex", core::run_scheduler(config, workload));
+
+  std::printf("\nunder partitioned scheduling the far cells (right columns)\n"
+              "miss far more than the near ones; RT-OPEX migrates their\n"
+              "decode work into the near cells' gaps — the paper's\n"
+              "resource-pooling-at-millisecond-granularity argument.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Live demo of the real-thread runtime: pinned worker threads decode real
+// subframes (full turbo/FFT chain) delivered by a periodic transport ticker,
+// with RT-OPEX mailbox migration between cores.
+//
+//   $ ./live_runtime [partitioned|global|rtopex]
+//
+// The subframe period is stretched (25 ms) so that the demo runs correctly
+// on any host, including single-core machines; on a multicore machine with
+// CAP_SYS_NICE you can tighten it toward the real 1 ms.
+#include <cstdio>
+#include <cstring>
+
+#include "runtime/node_runtime.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtopex;
+
+  runtime::RuntimeConfig cfg;
+  cfg.mode = runtime::RuntimeMode::kRtOpex;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "partitioned") == 0)
+      cfg.mode = runtime::RuntimeMode::kPartitioned;
+    else if (std::strcmp(argv[1], "global") == 0)
+      cfg.mode = runtime::RuntimeMode::kGlobal;
+    else if (std::strcmp(argv[1], "rtopex") != 0) {
+      std::fprintf(stderr, "usage: %s [partitioned|global|rtopex]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  cfg.num_basestations = 2;
+  cfg.cores_per_bs = 2;
+  cfg.global_cores = 4;
+  cfg.subframes_per_bs = 12;
+  cfg.subframe_period = milliseconds(25);
+  cfg.deadline_budget = milliseconds(50);
+  cfg.mcs_cycle = {27, 10, 20};
+  cfg.pin_threads = true;       // best effort
+  cfg.phy.bandwidth = phy::Bandwidth::kMHz10;
+
+  const char* mode_name = cfg.mode == runtime::RuntimeMode::kPartitioned
+                              ? "partitioned"
+                              : cfg.mode == runtime::RuntimeMode::kGlobal
+                                    ? "global"
+                                    : "rt-opex";
+  std::printf("mode: %s | 2 basestations x 12 subframes | period 25 ms\n\n",
+              mode_name);
+
+  runtime::NodeRuntime rt(cfg);
+  const auto report = rt.run();
+
+  std::printf("%-4s %-4s %-4s %9s %9s %9s %6s %5s %5s\n", "bs", "idx", "mcs",
+              "fft_us", "demod_us", "dec_us", "iters", "mig", "crc");
+  for (const auto& r : report.records) {
+    std::printf("%-4u %-4u %-4u %9.0f %9.0f %9.0f %6u %5u %5s\n", r.bs,
+                r.index, r.mcs, to_us(r.timing.fft), to_us(r.timing.demod),
+                to_us(r.timing.decode), r.iterations,
+                r.timing.fft_migrated + r.timing.decode_migrated,
+                r.crc_ok ? "ok" : "FAIL");
+  }
+  std::printf("\ndecoded %zu/%zu subframes | migrated subtasks: %zu | "
+              "recoveries: %zu\n",
+              report.records.size() - report.crc_failures,
+              report.records.size(), report.migrations, report.recoveries);
+  return report.crc_failures == 0 ? 0 : 2;
+}

@@ -1,0 +1,139 @@
+// ASCII renderings of the paper's schedule examples:
+//   Fig. 9  — a partitioned schedule on two cores (with a deadline miss),
+//   Fig. 10 — a global schedule of two basestations on two cores,
+//   Fig. 11 — RT-OPEX migrating decode subtasks into another core's gap.
+//
+// The workloads are hand-built with the calibrated task-cost model so the
+// schedules are easy to read: light subframes (MCS 10) interleaved with
+// heavy ones (MCS 21, four turbo iterations) whose worst case exceeds the
+// processing budget — partitioned scheduling must drop those, RT-OPEX
+// admits them by migrating decode subtasks into the other core's gap.
+#include <cstdio>
+#include <vector>
+
+#include "model/task_cost_model.hpp"
+#include "sched/global.hpp"
+#include "sched/partitioned.hpp"
+#include "sched/rt_opex.hpp"
+#include "sim/workload.hpp"
+
+using namespace rtopex;
+
+namespace {
+
+constexpr int kColsPerMs = 12;  // timeline resolution
+constexpr Duration kRttHalf = microseconds(500);
+
+sim::SubframeWork make_subframe(const model::TaskCostModel& cost, unsigned bs,
+                                std::uint32_t index, unsigned mcs,
+                                unsigned iterations) {
+  sim::SubframeWork w;
+  w.bs = bs;
+  w.index = index;
+  w.radio_time = static_cast<TimePoint>(index) * kSubframePeriod;
+  w.arrival = w.radio_time + kRttHalf;
+  w.deadline = w.radio_time + kEndToEndBudget;
+  w.mcs = mcs;
+  w.iterations = iterations;
+  w.costs = cost.costs(mcs, iterations, 0);
+  w.wcet = cost.costs(mcs, 4, 0);
+  w.decode_optimistic = cost.costs(mcs, 1, 0).decode;
+  return w;
+}
+
+std::vector<sim::SubframeWork> mixed_workload(
+    const model::TaskCostModel& cost, unsigned num_bs) {
+  // Heavy (MCS 21, L = 4) subframes at indices 1 and 5, light elsewhere.
+  std::vector<sim::SubframeWork> work;
+  for (std::uint32_t j = 0; j < 8; ++j) {
+    for (unsigned bs = 0; bs < num_bs; ++bs) {
+      const bool heavy = j == 1 || j == 5;
+      work.push_back(make_subframe(cost, bs, j, heavy ? 21 : 10,
+                                   heavy ? 4 : 1));
+    }
+  }
+  return work;
+}
+
+void render(const char* title, const sim::SchedulerMetrics& metrics,
+            unsigned num_cores, TimePoint horizon) {
+  std::printf("\n%s\n", title);
+  const auto cols = static_cast<std::size_t>(to_ms(horizon) * kColsPerMs);
+  std::vector<std::string> rows(num_cores, std::string(cols, '.'));
+  for (const auto& e : metrics.timeline) {
+    if (e.core >= num_cores) continue;
+    const auto c0 = static_cast<std::size_t>(to_ms(e.start) * kColsPerMs);
+    const auto c1 = static_cast<std::size_t>(to_ms(e.end) * kColsPerMs);
+    const char glyph = e.missed ? 'X' : static_cast<char>('A' + e.bs);
+    for (std::size_t c = c0; c <= c1 && c < cols; ++c)
+      rows[e.core][c] = glyph;
+  }
+  std::printf("         ");
+  for (std::size_t ms = 0; ms * kColsPerMs < cols; ++ms)
+    std::printf("%-*zu", kColsPerMs, ms);
+  std::printf("ms\n");
+  for (unsigned c = 0; c < num_cores; ++c)
+    std::printf("core %-2u  %s\n", c, rows[c].c_str());
+  std::printf("legend: A/B = basestation processing, X = deadline-missed "
+              "subframe, . = idle\n");
+}
+
+}  // namespace
+
+int main() {
+  const model::TaskCostModel cost(model::paper_gpp_model(), 2, 50);
+  const TimePoint horizon = milliseconds(8);
+
+  // --- Fig. 9: partitioned, one basestation on two cores ---
+  {
+    const auto work = mixed_workload(cost, 1);
+    sched::PartitionedConfig pc;
+    pc.rtt_half = kRttHalf;
+    pc.record_timeline = true;
+    sched::PartitionedScheduler sched(1, pc);
+    const auto m = sched.run(work);
+    render("Fig. 9 style — partitioned schedule, BS A on 2 cores "
+           "(subframe j -> core j mod 2)",
+           m, sched.num_cores(), horizon);
+    std::printf("misses: %zu/%zu — the heavy subframes (t = 1, 5 ms) exceed "
+                "the budget and are dropped,\neven though the other core "
+                "sits idle right next to them.\n",
+                m.deadline_misses, m.total_subframes);
+  }
+
+  // --- Fig. 10: global, two basestations on two cores ---
+  {
+    const auto work = mixed_workload(cost, 2);
+    sched::GlobalConfig gc;
+    gc.num_cores = 2;
+    gc.record_timeline = true;
+    sched::GlobalScheduler sched(2, gc);
+    const auto m = sched.run(work);
+    render("Fig. 10 style — global schedule, BSs A+B sharing 2 cores "
+           "(queueing delays late subframes)",
+           m, 2, horizon);
+    std::printf("misses: %zu/%zu — with both basestations on a shared queue, "
+                "heavy subframes queue behind\neach other and push later "
+                "arrivals past their deadlines.\n",
+                m.deadline_misses, m.total_subframes);
+  }
+
+  // --- Fig. 11: RT-OPEX, one basestation on two cores ---
+  {
+    const auto work = mixed_workload(cost, 1);
+    sched::RtOpexConfig rc;
+    rc.rtt_half = kRttHalf;
+    rc.record_timeline = true;
+    sched::RtOpexScheduler sched(1, rc);
+    const auto m = sched.run(work);
+    render("Fig. 11 style — RT-OPEX on the same workload as Fig. 9 "
+           "(decode subtasks migrate into the idle core's gap)",
+           m, sched.num_cores(), horizon);
+    std::printf("misses: %zu/%zu, subtasks migrated: %zu — the heavy decodes "
+                "are split across both cores\nat runtime, so the same "
+                "hardware now meets every deadline.\n",
+                m.deadline_misses, m.total_subframes,
+                m.fft_subtasks_migrated + m.decode_subtasks_migrated);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "channel/channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rtopex::channel {
+
+Channel::Channel(const ChannelConfig& config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  if (config_.num_rx_antennas == 0 || config_.num_taps == 0)
+    throw std::invalid_argument("Channel: antennas and taps must be > 0");
+}
+
+std::vector<phy::IqVector> Channel::apply(
+    std::span<const phy::Complex> tx_samples) {
+  const unsigned n_ant = config_.num_rx_antennas;
+  const unsigned n_taps = config_.num_taps;
+  std::vector<phy::IqVector> rx(n_ant, phy::IqVector(tx_samples.size()));
+
+  for (unsigned a = 0; a < n_ant; ++a) {
+    // Draw taps: unit total power, exponentially decaying profile.
+    std::vector<phy::Complex> taps(n_taps);
+    if (config_.rayleigh_fading) {
+      double power_sum = 0.0;
+      std::vector<double> profile(n_taps);
+      for (unsigned t = 0; t < n_taps; ++t) {
+        profile[t] = std::exp(-static_cast<double>(t));
+        power_sum += profile[t];
+      }
+      for (unsigned t = 0; t < n_taps; ++t) {
+        const double sigma = std::sqrt(profile[t] / power_sum / 2.0);
+        taps[t] = {static_cast<float>(rng_.normal(0.0, sigma)),
+                   static_cast<float>(rng_.normal(0.0, sigma))};
+      }
+    } else {
+      taps[0] = {1.0f, 0.0f};
+      for (unsigned t = 1; t < n_taps; ++t) taps[t] = {0.0f, 0.0f};
+    }
+
+    // Linear convolution (truncated to the input length; the cyclic prefix
+    // absorbs the transient).
+    phy::IqVector& out = rx[a];
+    double signal_power = 0.0;
+    for (std::size_t i = 0; i < tx_samples.size(); ++i) {
+      phy::Complex acc{0.0f, 0.0f};
+      for (unsigned t = 0; t < n_taps && t <= i; ++t)
+        acc += taps[t] * tx_samples[i - t];
+      out[i] = acc;
+      signal_power += acc.real() * acc.real() + acc.imag() * acc.imag();
+    }
+    signal_power /= static_cast<double>(tx_samples.size());
+
+    // AWGN at the requested SNR.
+    const double snr_lin = std::pow(10.0, config_.snr_db / 10.0);
+    const double noise_var = signal_power / snr_lin;
+    const double sigma = std::sqrt(noise_var / 2.0);
+    for (auto& x : out) {
+      x += phy::Complex{static_cast<float>(rng_.normal(0.0, sigma)),
+                        static_cast<float>(rng_.normal(0.0, sigma))};
+    }
+  }
+  return rx;
+}
+
+std::vector<phy::IqVector> pass_through_channel(const phy::IqVector& tx_samples,
+                                                const ChannelConfig& config,
+                                                std::uint64_t seed) {
+  Channel ch(config, seed);
+  return ch.apply(tx_samples);
+}
+
+}  // namespace rtopex::channel

@@ -1,0 +1,96 @@
+#include "common/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rtopex {
+
+struct CsvWriter::Impl {
+  std::ofstream out;
+};
+
+CsvWriter::CsvWriter(const std::string& path) : impl_(new Impl) {
+  impl_->out.open(path, std::ios::trunc);
+  if (!impl_->out) {
+    delete impl_;
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+void CsvWriter::write_header(const std::vector<std::string>& columns) {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) impl_->out << ',';
+    impl_->out << columns[i];
+  }
+  impl_->out << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  impl_->out.precision(12);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) impl_->out << ',';
+    impl_->out << values[i];
+  }
+  impl_->out << '\n';
+}
+
+namespace {
+
+bool parse_double(const std::string& cell, double& out) {
+  const char* begin = cell.data();
+  const char* end = begin + cell.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+}  // namespace
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path);
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto cells = split_line(line);
+    std::vector<double> row;
+    row.reserve(cells.size());
+    bool numeric = true;
+    for (const auto& c : cells) {
+      double v = 0.0;
+      if (!parse_double(c, v)) {
+        numeric = false;
+        break;
+      }
+      row.push_back(v);
+    }
+    if (!numeric) {
+      if (!first)
+        throw std::runtime_error("read_csv: non-numeric cell mid-file in " +
+                                 path);
+      table.header = cells;
+    } else {
+      if (!table.rows.empty() && row.size() != table.rows.front().size())
+        throw std::runtime_error("read_csv: ragged rows in " + path);
+      table.rows.push_back(std::move(row));
+    }
+    first = false;
+  }
+  return table;
+}
+
+}  // namespace rtopex

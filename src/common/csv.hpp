@@ -1,0 +1,39 @@
+// Minimal CSV writing/reading for traces and experiment results.
+// Numeric-only cells; no quoting or embedded separators, by design — every
+// file this library produces or consumes is a plain numeric table with an
+// optional header row.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rtopex {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws std::runtime_error on
+  /// failure.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_header(const std::vector<std::string>& columns);
+  void write_row(const std::vector<double>& values);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+struct CsvTable {
+  std::vector<std::string> header;        ///< empty if the file had no header.
+  std::vector<std::vector<double>> rows;  ///< all-numeric cells.
+};
+
+/// Reads a numeric CSV. A first row containing any non-numeric cell is
+/// treated as the header. Throws std::runtime_error on I/O or parse errors.
+CsvTable read_csv(const std::string& path);
+
+}  // namespace rtopex

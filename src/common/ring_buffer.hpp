@@ -1,0 +1,128 @@
+// Fixed-capacity ring buffers.
+//
+// The paper's global scheduler (§3.1.2) holds incoming subframes in "a
+// fixed-size ring-buffer" shared across basestations. SpscRingBuffer is the
+// lock-free single-producer/single-consumer variant used on the hot transport
+// -> processing path of the real-thread runtime; MpmcRingBuffer is the
+// mutex-guarded variant used by the global scheduler's shared queue.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace rtopex {
+
+/// Lock-free SPSC ring. Capacity is rounded up to a power of two; one slot is
+/// sacrificed to distinguish full from empty.
+template <typename T>
+class SpscRingBuffer {
+ public:
+  explicit SpscRingBuffer(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity + 1) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRingBuffer(const SpscRingBuffer&) = delete;
+  SpscRingBuffer& operator=(const SpscRingBuffer&) = delete;
+
+  bool try_push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) return false;  // full
+    slots_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) return std::nullopt;
+    T value = std::move(slots_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return value;
+  }
+
+  bool empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return mask_; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::size_t> head_{0};
+  std::atomic<std::size_t> tail_{0};
+};
+
+/// Mutex-guarded MPMC ring with blocking pop, used for the global scheduler's
+/// shared subframe queue. push() on a full ring drops the oldest element and
+/// returns false (the C-RAN queue must never block the transport thread).
+template <typename T>
+class MpmcRingBuffer {
+ public:
+  explicit MpmcRingBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns false when an old element was evicted to make room.
+  bool push(T value) {
+    bool clean = true;
+    {
+      std::lock_guard lock(mu_);
+      if (items_.size() == capacity_) {
+        items_.erase(items_.begin());
+        clean = false;
+      }
+      items_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+    return clean;
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.erase(items_.begin());
+    return value;
+  }
+
+  /// Blocks until an element is available or close() is called.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.erase(items_.begin());
+    return value;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace rtopex

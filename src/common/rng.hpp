@@ -1,0 +1,70 @@
+// Deterministic, seedable random number generation.
+//
+// The whole reproduction must be bit-reproducible given a seed, so every
+// stochastic component draws from an explicitly passed Rng rather than any
+// global or hardware source.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rtopex {
+
+/// xoshiro256** by Blackman & Vigna, seeded via SplitMix64.
+/// Satisfies std::uniform_random_bit_generator, so it can also drive the
+/// <random> distributions when convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n); requires n > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Standard normal via Box–Muller (caches the second deviate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Log-normal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Pareto with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// A decorrelated child generator (for per-entity streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace rtopex

@@ -1,0 +1,170 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rtopex {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double quantile(std::span<const double> samples, double q) {
+  if (samples.empty()) throw std::invalid_argument("quantile of empty sample");
+  std::vector<double> copy(samples.begin(), samples.end());
+  std::sort(copy.begin(), copy.end());
+  return EmpiricalCdf(std::move(copy)).quantile(q);
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  if (sorted_.empty())
+    throw std::invalid_argument("EmpiricalCdf needs at least one sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::operator()(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0)
+    throw std::invalid_argument("Histogram needs hi > lo and bins > 0");
+}
+
+void Histogram::add(double x) {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / w));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + w * static_cast<double>(bin);
+}
+
+double Histogram::bin_high(std::size_t bin) const {
+  return bin_low(bin + 1);
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+OlsFit ols_fit(const std::vector<std::vector<double>>& rows,
+               std::span<const double> y) {
+  if (rows.empty() || rows.size() != y.size())
+    throw std::invalid_argument("ols_fit: size mismatch");
+  const std::size_t p = rows.front().size();
+  if (p == 0 || rows.size() < p)
+    throw std::invalid_argument("ols_fit: need at least as many rows as columns");
+  for (const auto& r : rows)
+    if (r.size() != p) throw std::invalid_argument("ols_fit: ragged rows");
+
+  // Normal equations: (X'X) beta = X'y.
+  std::vector<std::vector<double>> xtx(p, std::vector<double>(p, 0.0));
+  std::vector<double> xty(p, 0.0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t a = 0; a < p; ++a) {
+      xty[a] += rows[i][a] * y[i];
+      for (std::size_t b = a; b < p; ++b) xtx[a][b] += rows[i][a] * rows[i][b];
+    }
+  }
+  for (std::size_t a = 0; a < p; ++a)
+    for (std::size_t b = 0; b < a; ++b) xtx[a][b] = xtx[b][a];
+
+  // Gaussian elimination with partial pivoting.
+  std::vector<double> beta = xty;
+  for (std::size_t col = 0; col < p; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < p; ++r)
+      if (std::abs(xtx[r][col]) > std::abs(xtx[pivot][col])) pivot = r;
+    if (std::abs(xtx[pivot][col]) < 1e-12)
+      throw std::runtime_error("ols_fit: singular design matrix");
+    std::swap(xtx[col], xtx[pivot]);
+    std::swap(beta[col], beta[pivot]);
+    for (std::size_t r = col + 1; r < p; ++r) {
+      const double f = xtx[r][col] / xtx[col][col];
+      for (std::size_t c = col; c < p; ++c) xtx[r][c] -= f * xtx[col][c];
+      beta[r] -= f * beta[col];
+    }
+  }
+  for (std::size_t col = p; col-- > 0;) {
+    for (std::size_t c = col + 1; c < p; ++c)
+      beta[col] -= xtx[col][c] * beta[c];
+    beta[col] /= xtx[col][col];
+  }
+
+  OlsFit fit;
+  fit.coefficients = beta;
+  fit.residuals.resize(rows.size());
+  double y_mean = 0.0;
+  for (const double v : y) y_mean += v;
+  y_mean /= static_cast<double>(y.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    double pred = 0.0;
+    for (std::size_t a = 0; a < p; ++a) pred += rows[i][a] * beta[a];
+    fit.residuals[i] = y[i] - pred;
+    ss_res += fit.residuals[i] * fit.residuals[i];
+    ss_tot += (y[i] - y_mean) * (y[i] - y_mean);
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace rtopex

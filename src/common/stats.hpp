@@ -1,0 +1,93 @@
+// Streaming and batch statistics used throughout the evaluation harness:
+// running moments, percentiles, histograms, empirical CDFs and ordinary
+// least squares (for the paper's Eq. (1) model fit, Table 1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rtopex {
+
+/// Numerically stable running mean/variance (Welford) with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample set with linear interpolation; q in [0, 1].
+/// Sorts a copy; for repeated queries build an EmpiricalCdf instead.
+double quantile(std::span<const double> samples, double q);
+
+/// Empirical CDF over a fixed sample set; O(log n) evaluation.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// P(X <= x).
+  double operator()(double x) const;
+  /// Inverse CDF with linear interpolation; q in [0, 1].
+  double quantile(double q) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples are clamped into
+/// the first/last bin so that total mass is preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const;
+  /// Fraction of mass in the given bin (0 if empty histogram).
+  double fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Result of an ordinary-least-squares fit y ~ X * beta.
+struct OlsFit {
+  std::vector<double> coefficients;  ///< beta, one per regressor column.
+  double r_squared = 0.0;            ///< coefficient of determination.
+  std::vector<double> residuals;     ///< y - X*beta, one per observation.
+};
+
+/// Ordinary least squares via normal equations with partial-pivot Gaussian
+/// elimination. `rows` holds one regressor vector per observation (include a
+/// leading 1.0 for an intercept). Requires rows.size() >= columns and all
+/// rows the same length. Throws std::invalid_argument on malformed input and
+/// std::runtime_error on a singular system.
+OlsFit ols_fit(const std::vector<std::vector<double>>& rows,
+               std::span<const double> y);
+
+}  // namespace rtopex

@@ -1,0 +1,39 @@
+// Virtual-time primitives shared by the simulator, schedulers and models.
+//
+// All simulated durations and instants are integer nanoseconds. Integer time
+// keeps the discrete-event simulator exactly reproducible across platforms
+// (no floating-point drift in event ordering).
+#pragma once
+
+#include <cstdint>
+
+namespace rtopex {
+
+/// A point in virtual time, in nanoseconds since simulation start.
+using TimePoint = std::int64_t;
+
+/// A span of virtual time, in nanoseconds. May be negative in intermediate
+/// arithmetic (e.g. slack computations) — callers clamp where needed.
+using Duration = std::int64_t;
+
+constexpr Duration nanoseconds(std::int64_t n) { return n; }
+constexpr Duration microseconds(std::int64_t us) { return us * 1000; }
+constexpr Duration milliseconds(std::int64_t ms) { return ms * 1'000'000; }
+
+/// Fractional microseconds, rounded to the nearest nanosecond.
+constexpr Duration microseconds_f(double us) {
+  return static_cast<Duration>(us * 1000.0 + (us >= 0 ? 0.5 : -0.5));
+}
+
+constexpr double to_us(Duration d) { return static_cast<double>(d) / 1000.0; }
+constexpr double to_ms(Duration d) { return static_cast<double>(d) / 1'000'000.0; }
+
+/// LTE transmission-time interval: one subframe every 1 ms.
+inline constexpr Duration kSubframePeriod = milliseconds(1);
+
+/// Uplink HARQ timing: ACK/NACK must be encoded in the downlink subframe sent
+/// 3 ms after reception; TX processing claims the last 1 ms, so reception has
+/// a 2 ms end-to-end budget (paper Eq. 2).
+inline constexpr Duration kEndToEndBudget = milliseconds(2);
+
+}  // namespace rtopex

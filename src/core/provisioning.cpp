@@ -1,0 +1,53 @@
+#include "core/provisioning.hpp"
+
+#include <stdexcept>
+
+namespace rtopex::core {
+namespace {
+
+double miss_rate_at(const ProvisioningQuery& query, Duration rtt_half,
+                    double mean_load) {
+  ExperimentConfig cfg = query.base;
+  cfg.rtt_half = rtt_half;
+  if (mean_load > 0.0) cfg.workload.mean_load_override = mean_load;
+  return run_experiment(cfg).metrics.miss_rate();
+}
+
+}  // namespace
+
+Duration max_supported_rtt_half(const ProvisioningQuery& query, Duration lo,
+                                Duration hi, Duration resolution) {
+  if (lo > hi || resolution <= 0)
+    throw std::invalid_argument("max_supported_rtt_half: bad search range");
+  if (miss_rate_at(query, lo, -1.0) > query.max_miss_rate) return lo - 1;
+  if (miss_rate_at(query, hi, -1.0) <= query.max_miss_rate) return hi;
+  // Invariant: lo passes, hi fails.
+  while (hi - lo > resolution) {
+    const Duration mid = lo + (hi - lo) / 2;
+    if (miss_rate_at(query, mid, -1.0) <= query.max_miss_rate)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+double max_supported_load(const ProvisioningQuery& query, double lo, double hi,
+                          double resolution) {
+  if (!(lo > 0.0) || lo > hi || hi > 1.0 || resolution <= 0.0)
+    throw std::invalid_argument("max_supported_load: bad search range");
+  if (miss_rate_at(query, query.base.rtt_half, lo) > query.max_miss_rate)
+    return 0.0;
+  if (miss_rate_at(query, query.base.rtt_half, hi) <= query.max_miss_rate)
+    return hi;
+  while (hi - lo > resolution) {
+    const double mid = (lo + hi) / 2.0;
+    if (miss_rate_at(query, query.base.rtt_half, mid) <= query.max_miss_rate)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace rtopex::core

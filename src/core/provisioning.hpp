@@ -1,0 +1,38 @@
+// Capacity-planning helpers — the paper's stated operator use case (§4.1):
+// "the tool can be used to profile the system performance … which can, in
+// turn, help operators design and provision compute resources for C-RAN".
+//
+// Both searches exploit monotonicity of the miss rate (non-decreasing in
+// the transport budget consumed and in the offered load) and bisect with
+// the virtual-time simulator as the oracle.
+#pragma once
+
+#include "core/experiment.hpp"
+
+namespace rtopex::core {
+
+struct ProvisioningQuery {
+  /// Scheduler choice, workload shape and models. The searched quantity
+  /// (rtt_half or mean load) is overridden per probe.
+  ExperimentConfig base;
+  /// The acceptability ceiling (paper: 1e-2 is "typical of real-time
+  /// systems").
+  double max_miss_rate = 1e-2;
+};
+
+/// Largest one-way transport budget (RTT/2) under which the configured
+/// scheduler still meets the miss ceiling, searched over [lo, hi] to the
+/// given resolution. Returns lo - 1 (i.e. a value below `lo`) when even
+/// `lo` fails.
+Duration max_supported_rtt_half(const ProvisioningQuery& query,
+                                Duration lo = microseconds(100),
+                                Duration hi = microseconds(900),
+                                Duration resolution = microseconds(25));
+
+/// Largest mean offered load (normalized, in (0, 1]) the scheduler
+/// sustains at the miss ceiling with the query's rtt_half. Returns 0 when
+/// even the lightest probed load fails.
+double max_supported_load(const ProvisioningQuery& query, double lo = 0.05,
+                          double hi = 1.0, double resolution = 0.01);
+
+}  // namespace rtopex::core

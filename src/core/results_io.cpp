@@ -1,0 +1,56 @@
+#include "core/results_io.hpp"
+
+#include <stdexcept>
+
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+
+namespace rtopex::core {
+namespace {
+
+double scheduler_id(const std::string& name) {
+  if (name == "partitioned") return 0.0;
+  if (name == "global") return 1.0;
+  if (name == "rt-opex") return 2.0;
+  return -1.0;
+}
+
+}  // namespace
+
+void write_sweep_csv(const std::string& path,
+                     const std::vector<SweepPoint>& points) {
+  CsvWriter writer(path);
+  writer.write_header({"x", "scheduler", "cores", "total", "misses",
+                       "miss_rate", "dropped", "terminated", "fft_migration",
+                       "decode_migration", "recoveries"});
+  for (const auto& p : points) {
+    const auto& m = p.result.metrics;
+    writer.write_row({p.x, scheduler_id(p.result.scheduler_name),
+                      static_cast<double>(p.result.num_cores),
+                      static_cast<double>(m.total_subframes),
+                      static_cast<double>(m.deadline_misses), m.miss_rate(),
+                      static_cast<double>(m.dropped),
+                      static_cast<double>(m.terminated),
+                      m.fft_migration_fraction(),
+                      m.decode_migration_fraction(),
+                      static_cast<double>(m.recoveries)});
+  }
+}
+
+void write_distribution_csv(const std::string& path,
+                            const std::vector<double>& samples,
+                            unsigned num_quantiles) {
+  if (samples.empty())
+    throw std::invalid_argument("write_distribution_csv: no samples");
+  if (num_quantiles < 2)
+    throw std::invalid_argument("write_distribution_csv: need >= 2 quantiles");
+  const EmpiricalCdf cdf(samples);
+  CsvWriter writer(path);
+  writer.write_header({"quantile", "value"});
+  for (unsigned i = 0; i <= num_quantiles; ++i) {
+    const double q = static_cast<double>(i) / num_quantiles;
+    writer.write_row({q, cdf.quantile(q)});
+  }
+}
+
+}  // namespace rtopex::core

@@ -1,0 +1,32 @@
+// CSV export of experiment results, so sweeps can be plotted or diffed
+// outside the binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace rtopex::core {
+
+/// One row of a sweep: free-form x value plus a result.
+struct SweepPoint {
+  double x = 0.0;              ///< e.g. RTT/2 in us, offered load in Mbps.
+  ExperimentResult result;
+};
+
+/// Writes a sweep as CSV:
+/// x, scheduler-id, cores, total, misses, miss_rate, dropped, terminated,
+/// fft_migration_fraction, decode_migration_fraction, recoveries.
+/// The scheduler id is numeric (0 partitioned, 1 global, 2 rt-opex) to keep
+/// the file purely numeric for read_csv().
+void write_sweep_csv(const std::string& path,
+                     const std::vector<SweepPoint>& points);
+
+/// Writes a metrics sample distribution (e.g. gaps or processing times) as
+/// a two-column CSV of (quantile, value) rows.
+void write_distribution_csv(const std::string& path,
+                            const std::vector<double>& samples,
+                            unsigned num_quantiles = 100);
+
+}  // namespace rtopex::core

@@ -1,0 +1,105 @@
+#include "model/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace rtopex::model {
+namespace {
+
+struct Cell {
+  std::size_t n = 0;
+  std::size_t failures = 0;
+  std::size_t continued = 0;  ///< samples with L >= 2 among successes
+  std::size_t successes = 0;
+
+  double failure_rate() const {
+    return n ? static_cast<double>(failures) / static_cast<double>(n) : 0.0;
+  }
+};
+
+}  // namespace
+
+IterationModelParams calibrate_iteration_model(
+    const std::vector<IterationSample>& samples,
+    const IterationModelParams& defaults) {
+  if (samples.empty())
+    throw std::invalid_argument("calibrate_iteration_model: no samples");
+
+  // Aggregate per (mcs, snr) cell.
+  std::map<std::pair<unsigned, double>, Cell> cells;
+  for (const auto& s : samples) {
+    Cell& c = cells[{s.mcs, s.snr_db}];
+    ++c.n;
+    if (!s.decoded) {
+      ++c.failures;
+    } else {
+      ++c.successes;
+      if (s.iterations >= 2) ++c.continued;
+    }
+  }
+  if (cells.size() < 2)
+    throw std::invalid_argument(
+        "calibrate_iteration_model: need >= 2 (mcs, snr) cells");
+
+  IterationModelParams params = defaults;
+
+  // --- Thresholds: per MCS, the SNR where the failure rate crosses 0.5,
+  // linearly interpolated between the bracketing cells.
+  std::vector<std::vector<double>> threshold_rows;
+  std::vector<double> threshold_y;
+  std::map<unsigned, std::vector<std::pair<double, double>>> per_mcs;
+  for (const auto& [key, cell] : cells)
+    per_mcs[key.first].push_back({key.second, cell.failure_rate()});
+  for (auto& [mcs, curve] : per_mcs) {
+    std::sort(curve.begin(), curve.end());
+    for (std::size_t i = 0; i + 1 < curve.size(); ++i) {
+      const auto [snr_hi_fail, rate_hi] = curve[i];
+      const auto [snr_lo_fail, rate_lo] = curve[i + 1];
+      if (rate_hi >= 0.5 && rate_lo < 0.5) {
+        const double frac = (rate_hi - 0.5) / (rate_hi - rate_lo + 1e-12);
+        const double threshold =
+            snr_hi_fail + frac * (snr_lo_fail - snr_hi_fail);
+        threshold_rows.push_back({1.0, static_cast<double>(mcs)});
+        threshold_y.push_back(threshold);
+        break;
+      }
+    }
+  }
+  if (threshold_rows.size() >= 2) {
+    const OlsFit fit = ols_fit(threshold_rows, threshold_y);
+    params.threshold_base_db = fit.coefficients[0];
+    params.threshold_slope_db = fit.coefficients[1];
+  }
+
+  // --- Continuation probability: P(L >= 2 | success) in each cell is an
+  // unbiased estimate of q at that cell's margin; fit q = q_base -
+  // q_slope * margin over cells with enough successes.
+  std::vector<std::vector<double>> q_rows;
+  std::vector<double> q_y;
+  for (const auto& [key, cell] : cells) {
+    if (cell.successes < 10) continue;
+    const double margin =
+        key.second -
+        (params.threshold_base_db + params.threshold_slope_db * key.first);
+    if (margin <= 0.0) continue;  // near/below threshold q saturates
+    const double q_hat = static_cast<double>(cell.continued) /
+                         static_cast<double>(cell.successes);
+    // Exclude cells in the clamp plateaus — only the linear region of
+    // q(margin) identifies (q_base, q_slope).
+    if (q_hat < 0.08 || q_hat > 0.9) continue;
+    q_rows.push_back({1.0, margin});
+    q_y.push_back(q_hat);
+  }
+  if (q_rows.size() >= 2) {
+    const OlsFit fit = ols_fit(q_rows, q_y);
+    params.q_base = std::clamp(fit.coefficients[0], 0.05, 0.95);
+    params.q_slope = std::max(0.0, -fit.coefficients[1]);
+  }
+  return params;
+}
+
+}  // namespace rtopex::model

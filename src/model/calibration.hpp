@@ -1,0 +1,32 @@
+// Calibration of the stochastic iteration model against measurements of a
+// real decoder (this repo's PHY, or logged basestation data).
+//
+// Given samples of (mcs, snr, L, decoded), estimates:
+//  * the per-MCS decoding threshold (SNR at 50 % failure, interpolated),
+//    then threshold_base/threshold_slope by least squares, and
+//  * the truncated-geometric continuation probability q as a function of
+//    the SNR margin, then q_base/q_slope by least squares over the
+//    per-(mcs, snr) cells.
+#pragma once
+
+#include <vector>
+
+#include "model/iteration_model.hpp"
+
+namespace rtopex::model {
+
+struct IterationSample {
+  unsigned mcs = 0;
+  double snr_db = 0.0;
+  unsigned iterations = 1;
+  bool decoded = true;
+};
+
+/// Fits IterationModelParams from decoder observations. Keeps the defaults
+/// for any component the data cannot identify (e.g. no failures observed ->
+/// thresholds untouched). Requires at least two distinct (mcs, snr) cells.
+IterationModelParams calibrate_iteration_model(
+    const std::vector<IterationSample>& samples,
+    const IterationModelParams& defaults = {});
+
+}  // namespace rtopex::model

@@ -1,0 +1,37 @@
+#include "model/iteration_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtopex::model {
+
+double IterationModel::margin_db(unsigned mcs, double snr_db) const {
+  const double threshold =
+      params_.threshold_base_db + params_.threshold_slope_db * mcs;
+  return snr_db - threshold;
+}
+
+double IterationModel::failure_probability(unsigned mcs, double snr_db) const {
+  const double m = margin_db(mcs, snr_db);
+  return 1.0 / (1.0 + std::exp(m / params_.fail_scale_db));
+}
+
+IterationModel::Outcome IterationModel::sample(unsigned mcs, double snr_db,
+                                               unsigned max_iterations,
+                                               Rng& rng) const {
+  Outcome out;
+  if (rng.bernoulli(failure_probability(mcs, snr_db))) {
+    out.decoded = false;
+    out.iterations = max_iterations;
+    return out;
+  }
+  const double m = margin_db(mcs, snr_db);
+  const double q = std::clamp(params_.q_base - params_.q_slope * m,
+                              params_.q_min, params_.q_max);
+  unsigned l = 1;
+  while (l < max_iterations && rng.bernoulli(q)) ++l;
+  out.iterations = l;
+  return out;
+}
+
+}  // namespace rtopex::model

@@ -1,0 +1,57 @@
+// Stochastic model of the turbo decoder's iteration count L and decode
+// outcome as a function of the SNR margin above the MCS threshold.
+//
+// The paper (§2.1) observes that L is non-deterministic even at fixed SNR
+// and takes values in [1, Lm]. We model L as a truncated geometric whose
+// continuation probability q grows as the SNR margin shrinks, with decode
+// failure (NACK, L = Lm) probability following a logistic in the margin.
+// Defaults are sanity-checked against this repo's real PHY chain
+// (tests/model/test_iteration_model.cpp).
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace rtopex::model {
+
+struct IterationModelParams {
+  /// Decoding SNR threshold for MCS m: threshold_base + threshold_slope * m.
+  double threshold_base_db = -6.0;
+  double threshold_slope_db = 1.1;
+  /// Truncated-geometric continuation probability q(margin) =
+  /// clamp(q_base - q_slope * margin_db, q_min, q_max).
+  double q_base = 0.62;
+  double q_slope = 0.05;
+  double q_min = 0.05;
+  double q_max = 0.95;
+  /// Failure probability: logistic(-margin / fail_scale).
+  double fail_scale_db = 0.8;
+};
+
+class IterationModel {
+ public:
+  explicit IterationModel(const IterationModelParams& params = {})
+      : params_(params) {}
+
+  struct Outcome {
+    unsigned iterations = 1;  ///< L in [1, Lm].
+    bool decoded = true;      ///< CRC pass (ACK) vs fail (NACK).
+  };
+
+  /// SNR margin (dB) of the given MCS at the given SNR.
+  double margin_db(unsigned mcs, double snr_db) const;
+
+  /// Probability that decoding fails outright.
+  double failure_probability(unsigned mcs, double snr_db) const;
+
+  /// Samples (L, decoded). On failure, L == max_iterations (no early
+  /// termination is possible).
+  Outcome sample(unsigned mcs, double snr_db, unsigned max_iterations,
+                 Rng& rng) const;
+
+  const IterationModelParams& params() const { return params_; }
+
+ private:
+  IterationModelParams params_;
+};
+
+}  // namespace rtopex::model

@@ -1,0 +1,14 @@
+#include "model/platform_error.hpp"
+
+#include <cmath>
+
+namespace rtopex::model {
+
+Duration PlatformErrorModel::sample(Rng& rng) const {
+  double us = std::abs(rng.normal(0.0, params_.sigma_body_us));
+  if (rng.bernoulli(params_.spike_prob))
+    us += rng.uniform(params_.spike_lo_us, params_.spike_hi_us);
+  return microseconds_f(us);
+}
+
+}  // namespace rtopex::model

@@ -1,0 +1,64 @@
+#include "model/task_cost_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rtopex::model {
+
+TaskCostModel::TaskCostModel(const TimingModel& timing, unsigned num_antennas,
+                             unsigned num_prb, const TaskCostParams& params)
+    : timing_(timing),
+      antennas_(num_antennas),
+      num_prb_(num_prb),
+      params_(params) {
+  if (num_antennas == 0 || num_prb == 0)
+    throw std::invalid_argument("TaskCostModel: antennas/prb must be > 0");
+  if (params_.fft_share < 0.0 ||
+      params_.fft_share + params_.demod_antenna_share > 1.0 ||
+      params_.demapper_share < 0.0 || params_.demapper_share > 1.0 ||
+      params_.w0_fft_share + params_.w0_demod_share > 1.0)
+    throw std::invalid_argument("TaskCostModel: bad decomposition params");
+}
+
+SubframeCosts TaskCostModel::costs(unsigned mcs, unsigned iterations,
+                                   Duration platform_error) const {
+  const unsigned k = phy::modulation_order(mcs);
+  const double d = phy::subcarrier_load(mcs, num_prb_);
+  // Eq. (1)'s constants were fit at the paper's 10 MHz / 50 PRB
+  // configuration; the variable-cost terms scale with the amount of data
+  // (samples, REs, bits), i.e. linearly in the PRB count. This keeps the
+  // 50-PRB case bit-identical and makes narrowband cells proportionally
+  // cheaper (heterogeneous deployments, paper §5 D).
+  const double bw_scale = static_cast<double>(num_prb_) / 50.0;
+  const double w0 = timing_.w0_us;
+  const double antenna_term = timing_.w1_us * antennas_ * bw_scale;
+  const double demap_term = timing_.w2_us * k * bw_scale;
+  const double decode_term = timing_.w3_us * d * iterations * bw_scale;
+
+  SubframeCosts c;
+  c.fft = microseconds_f(params_.w0_fft_share * w0 +
+                         params_.fft_share * antenna_term);
+  c.demod = microseconds_f(params_.w0_demod_share * w0 +
+                           params_.demod_antenna_share * antenna_term +
+                           params_.demapper_share * demap_term);
+  const double w0_decode =
+      (1.0 - params_.w0_fft_share - params_.w0_demod_share) * w0;
+  const double decode_entry =
+      (1.0 - params_.fft_share - params_.demod_antenna_share) * antenna_term;
+  const double dematch = (1.0 - params_.demapper_share) * demap_term;
+  c.decode = microseconds_f(w0_decode + decode_entry + dematch + decode_term) +
+             platform_error;
+
+  c.fft_subtasks = phy::kSymbolsPerSubframe * antennas_;
+  c.fft_subtask = c.fft / c.fft_subtasks;
+  c.decode_subtasks = phy::num_code_blocks(mcs, num_prb_);
+  // The turbo iterations (w3*D*L) parallelize per code block; the entry,
+  // dematch and descramble work is the L-independent serial residue.
+  const Duration parallel_decode = microseconds_f(decode_term);
+  c.decode_subtask = parallel_decode / c.decode_subtasks;
+  // Guard: rounding must never make the serial residue negative.
+  if (c.decode_serial() < 0) c.decode_subtask = c.decode / c.decode_subtasks;
+  return c;
+}
+
+}  // namespace rtopex::model

@@ -1,0 +1,80 @@
+// Decomposition of the Eq. (1) total processing time into the three-stage
+// task structure (FFT -> demod -> decode) and their subtasks, used by the
+// virtual-time node simulator.
+//
+// Calibration anchors from the paper (all at N = 2, MCS 27):
+//  * Fig. 4(a)/Fig. 18: the FFT task is fully parallelizable (two cores
+//    halve it, <= 6 us residual) and takes ~108 us — so the FFT share of
+//    the w1*N antenna term is ~0.32.
+//  * Total at L = 2 is ~1356 us (Eq. 1 with Table 1), and Fig. 4(b) puts
+//    the decode task at ~980 us then, leaving ~270 us for demod. Hence the
+//    demod stage carries ~0.48 of w1*N (equalization + copies) and only a
+//    quarter of w2*K (the demapper); the rest of w2*K is the rate
+//    dematcher, which lives in the decode stage.
+//  * Fig. 4(b): two cores take decode 980 -> 670 us, i.e. a ~310 us serial
+//    decode residue (dematcher + descrambler, L-independent) with the
+//    turbo iterations (w3*D*L) fully parallel across code blocks.
+//  * Eq. (1): stage totals always sum to w0 + w1*N + w2*K + w3*D*L + E.
+#pragma once
+
+#include "common/time_types.hpp"
+#include "model/timing_model.hpp"
+#include "phy/lte_params.hpp"
+
+namespace rtopex::model {
+
+struct TaskCostParams {
+  /// Share of the antenna term (w1*N) spent in the FFT task.
+  double fft_share = 0.32;
+  /// Share of w1*N spent in demod (equalization, symbol copies); whatever
+  /// remains after fft_share + demod_antenna_share is decode-entry work
+  /// (buffer gathering), part of the serial decode residue.
+  double demod_antenna_share = 0.48;
+  /// Share of the modulation-order term (w2*K) spent in the demapper
+  /// (demod stage); the rest is the rate dematcher (decode stage, serial).
+  double demapper_share = 0.25;
+  /// Split of the fixed overhead w0 across (fft, demod, decode); the decode
+  /// share is the remainder.
+  double w0_fft_share = 0.15;
+  double w0_demod_share = 0.25;
+};
+
+/// Per-subframe stage costs in virtual time.
+struct SubframeCosts {
+  Duration fft = 0;
+  Duration demod = 0;
+  Duration decode = 0;  ///< includes the platform-error sample.
+
+  unsigned fft_subtasks = 0;     ///< 14 * N.
+  unsigned decode_subtasks = 0;  ///< code blocks C.
+  Duration fft_subtask = 0;      ///< per-subtask time (fft fully parallel).
+  Duration decode_subtask = 0;   ///< per-code-block decode time.
+
+  Duration total() const { return fft + demod + decode; }
+  /// Serial residue of the decode stage (dematch, descramble, jitter).
+  Duration decode_serial() const {
+    return decode - static_cast<Duration>(decode_subtasks) * decode_subtask;
+  }
+};
+
+class TaskCostModel {
+ public:
+  TaskCostModel(const TimingModel& timing, unsigned num_antennas,
+                unsigned num_prb, const TaskCostParams& params = {});
+
+  /// Costs for one subframe at the given MCS with the sampled iteration
+  /// count and platform-error (jitter) draw.
+  SubframeCosts costs(unsigned mcs, unsigned iterations,
+                      Duration platform_error) const;
+
+  unsigned num_antennas() const { return antennas_; }
+  const TimingModel& timing() const { return timing_; }
+
+ private:
+  TimingModel timing_;
+  unsigned antennas_;
+  unsigned num_prb_;
+  TaskCostParams params_;
+};
+
+}  // namespace rtopex::model

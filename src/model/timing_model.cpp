@@ -1,0 +1,59 @@
+#include "model/timing_model.hpp"
+
+#include <stdexcept>
+
+namespace rtopex::model {
+
+Duration TimingModel::predict(unsigned antennas, unsigned modulation_order,
+                              double subcarrier_load, double iterations) const {
+  const double us = w0_us + w1_us * antennas + w2_us * modulation_order +
+                    w3_us * subcarrier_load * iterations;
+  return microseconds_f(us);
+}
+
+Duration TimingModel::wcet(unsigned antennas, unsigned modulation_order,
+                           double subcarrier_load,
+                           unsigned max_iterations) const {
+  return predict(antennas, modulation_order, subcarrier_load,
+                 static_cast<double>(max_iterations));
+}
+
+TimingModel paper_gpp_model() { return TimingModel{}; }
+
+TimingModel fit_timing_model(const std::vector<TimingMeasurement>& data) {
+  if (data.size() < 4)
+    throw std::invalid_argument("fit_timing_model: need >= 4 observations");
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  rows.reserve(data.size());
+  y.reserve(data.size());
+  for (const auto& m : data) {
+    rows.push_back({1.0, static_cast<double>(m.antennas),
+                    static_cast<double>(m.modulation_order),
+                    m.subcarrier_load * m.iterations});
+    y.push_back(m.time_us);
+  }
+  const OlsFit fit = ols_fit(rows, y);
+  TimingModel model;
+  model.w0_us = fit.coefficients[0];
+  model.w1_us = fit.coefficients[1];
+  model.w2_us = fit.coefficients[2];
+  model.w3_us = fit.coefficients[3];
+  model.r_squared = fit.r_squared;
+  return model;
+}
+
+std::vector<double> model_residuals(const TimingModel& model,
+                                    const std::vector<TimingMeasurement>& data) {
+  std::vector<double> res;
+  res.reserve(data.size());
+  for (const auto& m : data) {
+    const double pred =
+        to_us(model.predict(m.antennas, m.modulation_order, m.subcarrier_load,
+                            m.iterations));
+    res.push_back(m.time_us - pred);
+  }
+  return res;
+}
+
+}  // namespace rtopex::model

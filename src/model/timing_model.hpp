@@ -1,0 +1,57 @@
+// The paper's Eq. (1) processing-time model and its fit (Table 1):
+//
+//   T_rxproc = w0 + w1*N + w2*K + w3*D*L + E
+//
+// N antennas, K modulation order, D subcarrier load (bits/RE), L turbo
+// iterations, E platform error. Constants are platform-specific; the paper's
+// GPP estimates (w0=31.4, w1=169.1, w2=49.7, w3=93.0 us, r^2=0.992) are
+// provided as a preset so the simulator reproduces paper-scale numbers, and
+// fit_timing_model() re-estimates them from measurements of this repo's own
+// PHY chain (bench/tab01_model_fit).
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/time_types.hpp"
+
+namespace rtopex::model {
+
+struct TimingModel {
+  double w0_us = 31.4;   ///< constant overhead.
+  double w1_us = 169.1;  ///< per antenna.
+  double w2_us = 49.7;   ///< per modulation-order unit.
+  double w3_us = 93.0;   ///< per (bit/RE * iteration).
+  double r_squared = 0.992;
+
+  /// Predicted processing time (no platform error term).
+  Duration predict(unsigned antennas, unsigned modulation_order,
+                   double subcarrier_load, double iterations) const;
+
+  /// WCET bound: L substituted by Lm (paper §2.1).
+  Duration wcet(unsigned antennas, unsigned modulation_order,
+                double subcarrier_load, unsigned max_iterations) const;
+};
+
+/// The paper's Table 1 GPP estimates.
+TimingModel paper_gpp_model();
+
+/// One observation for the regression.
+struct TimingMeasurement {
+  unsigned antennas = 0;
+  unsigned modulation_order = 0;
+  double subcarrier_load = 0.0;
+  double iterations = 0.0;
+  double time_us = 0.0;
+};
+
+/// Ordinary least squares over Eq. (1)'s regressors. Requires >= 4
+/// observations with non-degenerate variation.
+TimingModel fit_timing_model(const std::vector<TimingMeasurement>& data);
+
+/// Residuals of a model against measurements (us), for Fig. 3(d)-style
+/// error-distribution analysis.
+std::vector<double> model_residuals(const TimingModel& model,
+                                    const std::vector<TimingMeasurement>& data);
+
+}  // namespace rtopex::model

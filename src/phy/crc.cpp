@@ -1,0 +1,63 @@
+#include "phy/crc.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace rtopex::phy {
+namespace {
+
+// Coefficients from x^24 down to x^0.
+constexpr std::array<std::uint8_t, 25> kPoly24A = {
+    1, 1, 0, 0, 0, 0, 1, 1, 0, 0, 1, 0, 0, 1, 1, 0, 0, 1, 1, 1, 1, 1, 0, 1, 1};
+constexpr std::array<std::uint8_t, 25> kPoly24B = {
+    1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 1, 1};
+
+}  // namespace
+
+std::uint32_t crc_bits(std::span<const std::uint8_t> bits,
+                       std::span<const std::uint8_t> poly) {
+  if (poly.size() < 2 || poly.front() != 1)
+    throw std::invalid_argument("crc_bits: malformed polynomial");
+  const std::size_t len = poly.size() - 1;
+  std::vector<std::uint8_t> reg(len, 0);
+  for (std::size_t i = 0; i < bits.size() + len; ++i) {
+    const std::uint8_t in = i < bits.size() ? (bits[i] & 1) : 0;
+    const std::uint8_t feedback = static_cast<std::uint8_t>(reg[0] ^ in);
+    for (std::size_t j = 0; j + 1 < len; ++j)
+      reg[j] = static_cast<std::uint8_t>(reg[j + 1] ^ (feedback & poly[j + 1]));
+    reg[len - 1] = static_cast<std::uint8_t>(feedback & poly[len]);
+  }
+  std::uint32_t crc = 0;
+  for (std::size_t j = 0; j < len; ++j) crc = (crc << 1) | reg[j];
+  return crc;
+}
+
+std::uint32_t crc24a(std::span<const std::uint8_t> bits) {
+  return crc_bits(bits, kPoly24A);
+}
+
+std::uint32_t crc24b(std::span<const std::uint8_t> bits) {
+  return crc_bits(bits, kPoly24B);
+}
+
+void attach_crc24(BitVector& bits, CrcKind kind) {
+  const std::uint32_t crc =
+      kind == CrcKind::kA ? crc24a(bits) : crc24b(bits);
+  for (int b = 23; b >= 0; --b)
+    bits.push_back(static_cast<std::uint8_t>((crc >> b) & 1));
+}
+
+bool check_crc24(std::span<const std::uint8_t> bits_with_crc, CrcKind kind) {
+  if (bits_with_crc.size() < 24) return false;
+  const auto payload = bits_with_crc.first(bits_with_crc.size() - 24);
+  const std::uint32_t crc =
+      kind == CrcKind::kA ? crc24a(payload) : crc24b(payload);
+  for (int b = 0; b < 24; ++b) {
+    const std::uint8_t expected =
+        static_cast<std::uint8_t>((crc >> (23 - b)) & 1);
+    if (bits_with_crc[bits_with_crc.size() - 24 + b] != expected) return false;
+  }
+  return true;
+}
+
+}  // namespace rtopex::phy

@@ -1,0 +1,35 @@
+// LTE CRC generators (36.212 §5.1.1): gCRC24A protects the transport block,
+// gCRC24B protects each code block after segmentation.
+//
+// The data path carries bits as std::vector<std::uint8_t> with one bit per
+// element (values 0/1); CRCs operate directly on that representation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rtopex::phy {
+
+using BitVector = std::vector<std::uint8_t>;
+
+/// Generic bitwise CRC over a bit sequence. `poly` lists the generator
+/// polynomial coefficients from x^len down to x^0 (so poly.size() == len+1
+/// and poly.front() == 1).
+std::uint32_t crc_bits(std::span<const std::uint8_t> bits,
+                       std::span<const std::uint8_t> poly);
+
+/// CRC-24A: x^24+x^23+x^18+x^17+x^14+x^11+x^10+x^7+x^6+x^5+x^4+x^3+x+1.
+std::uint32_t crc24a(std::span<const std::uint8_t> bits);
+
+/// CRC-24B: x^24+x^23+x^6+x^5+x+1.
+std::uint32_t crc24b(std::span<const std::uint8_t> bits);
+
+/// Appends the 24 CRC bits (MSB first) of the given kind to `bits`.
+enum class CrcKind { kA, kB };
+void attach_crc24(BitVector& bits, CrcKind kind);
+
+/// True when the trailing 24 bits are a valid CRC over the preceding bits.
+bool check_crc24(std::span<const std::uint8_t> bits_with_crc, CrcKind kind);
+
+}  // namespace rtopex::phy

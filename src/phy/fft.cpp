@@ -1,0 +1,77 @@
+#include "phy/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rtopex::phy {
+
+FftPlan::FftPlan(std::size_t size) : size_(size) {
+  if (size < 2 || (size & (size - 1)) != 0)
+    throw std::invalid_argument("FftPlan: size must be a power of two >= 2");
+  twiddles_.resize(size / 2);
+  for (std::size_t k = 0; k < size / 2; ++k) {
+    const double angle = -2.0 * M_PI * static_cast<double>(k) /
+                         static_cast<double>(size);
+    twiddles_[k] = {static_cast<float>(std::cos(angle)),
+                    static_cast<float>(std::sin(angle))};
+  }
+  reversal_.resize(size);
+  unsigned bits = 0;
+  while ((1u << bits) < size) ++bits;
+  for (std::size_t i = 0; i < size; ++i) {
+    std::uint32_t r = 0;
+    for (unsigned b = 0; b < bits; ++b)
+      if (i & (1u << b)) r |= 1u << (bits - 1 - b);
+    reversal_[i] = r;
+  }
+}
+
+void FftPlan::transform(std::span<Complex> data, bool invert) const {
+  if (data.size() != size_)
+    throw std::invalid_argument("FftPlan: buffer size mismatch");
+  for (std::size_t i = 0; i < size_; ++i) {
+    const std::size_t j = reversal_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= size_; len <<= 1) {
+    const std::size_t stride = size_ / len;
+    for (std::size_t start = 0; start < size_; start += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        Complex w = twiddles_[k * stride];
+        if (invert) w = std::conj(w);
+        const Complex u = data[start + k];
+        const Complex v = data[start + k + len / 2] * w;
+        data[start + k] = u + v;
+        data[start + k + len / 2] = u - v;
+      }
+    }
+  }
+  if (invert) {
+    const float inv = 1.0f / static_cast<float>(size_);
+    for (auto& x : data) x *= inv;
+  }
+}
+
+void FftPlan::forward(std::span<Complex> data) const { transform(data, false); }
+
+void FftPlan::inverse(std::span<Complex> data) const { transform(data, true); }
+
+IqVector reference_dft(std::span<const Complex> data, bool invert) {
+  const std::size_t n = data.size();
+  IqVector out(n);
+  const double sign = invert ? 2.0 : -2.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = sign * M_PI * static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      acc += std::complex<double>(data[t]) *
+             std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    if (invert) acc /= static_cast<double>(n);
+    out[k] = {static_cast<float>(acc.real()), static_cast<float>(acc.imag())};
+  }
+  return out;
+}
+
+}  // namespace rtopex::phy

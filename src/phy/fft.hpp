@@ -1,0 +1,40 @@
+// Power-of-two radix-2 FFT with precomputed twiddles.
+//
+// The OFDM (de)modulation runs one transform per OFDM symbol per antenna —
+// the "FFT task" of the paper, parallelizable across its 14 * N subtasks
+// (§2.2). A plan is immutable after construction and safe to share across
+// threads executing transforms on distinct buffers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "phy/modulation.hpp"
+
+namespace rtopex::phy {
+
+class FftPlan {
+ public:
+  /// `size` must be a power of two >= 2.
+  explicit FftPlan(std::size_t size);
+
+  std::size_t size() const { return size_; }
+
+  /// In-place forward DFT (no normalization).
+  void forward(std::span<Complex> data) const;
+
+  /// In-place inverse DFT, normalized by 1/N (so inverse(forward(x)) == x).
+  void inverse(std::span<Complex> data) const;
+
+ private:
+  void transform(std::span<Complex> data, bool invert) const;
+
+  std::size_t size_;
+  std::vector<Complex> twiddles_;       // e^{-2πik/N}, k < N/2
+  std::vector<std::uint32_t> reversal_;  // bit-reversal permutation
+};
+
+/// O(N^2) reference DFT for testing.
+IqVector reference_dft(std::span<const Complex> data, bool invert);
+
+}  // namespace rtopex::phy

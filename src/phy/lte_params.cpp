@@ -1,0 +1,72 @@
+#include "phy/lte_params.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace rtopex::phy {
+namespace {
+
+// Spectral efficiency per MCS in bits per resource element (subcarrier load D
+// at 100% PRB utilization). Monotone, spanning the 0.16–3.7 range the paper
+// reports for MCS 0–27 at 10 MHz; the modulation split (QPSK/16QAM/64QAM)
+// follows the LTE uplink convention.
+constexpr std::array<double, kMaxMcs + 1> kEfficiency = {
+    // MCS 0..10: QPSK
+    0.16, 0.21, 0.26, 0.33, 0.41, 0.50, 0.60, 0.72, 0.84, 0.95, 1.06,
+    // MCS 11..20: 16QAM
+    1.18, 1.33, 1.48, 1.66, 1.85, 2.04, 2.19, 2.33, 2.46, 2.59,
+    // MCS 21..27: 64QAM
+    2.76, 2.94, 3.12, 3.28, 3.45, 3.60, 3.775};
+
+}  // namespace
+
+BandwidthConfig bandwidth_config(Bandwidth bw) {
+  switch (bw) {
+    case Bandwidth::kMHz5:
+      return {25, 512, 36, 7.68e6};
+    case Bandwidth::kMHz10:
+      return {50, 1024, 72, 15.36e6};
+    case Bandwidth::kMHz20:
+      return {100, 2048, 144, 30.72e6};
+  }
+  throw std::invalid_argument("unknown bandwidth");
+}
+
+unsigned modulation_order(unsigned mcs) {
+  if (mcs > kMaxMcs) throw std::out_of_range("mcs > 27");
+  if (mcs <= 10) return 2;
+  if (mcs <= 20) return 4;
+  return 6;
+}
+
+unsigned resource_elements(unsigned num_prb) {
+  return num_prb * kSubcarriersPerPrb * kSymbolsPerSubframe;
+}
+
+unsigned data_resource_elements(unsigned num_prb) {
+  return num_prb * kSubcarriersPerPrb * (kSymbolsPerSubframe - 2);
+}
+
+unsigned transport_block_size(unsigned mcs, unsigned num_prb) {
+  if (mcs > kMaxMcs) throw std::out_of_range("mcs > 27");
+  if (num_prb == 0) throw std::invalid_argument("num_prb == 0");
+  const double bits = kEfficiency[mcs] * resource_elements(num_prb);
+  // Byte-align and keep at least one byte of payload beyond the CRC.
+  auto tbs = static_cast<unsigned>(bits / 8.0) * 8;
+  if (tbs < 40) tbs = 40;
+  return tbs;
+}
+
+double subcarrier_load(unsigned mcs, unsigned num_prb) {
+  return static_cast<double>(transport_block_size(mcs, num_prb)) /
+         static_cast<double>(resource_elements(num_prb));
+}
+
+unsigned num_code_blocks(unsigned mcs, unsigned num_prb) {
+  const unsigned b = transport_block_size(mcs, num_prb) + kCrcLength;
+  if (b <= kMaxCodeBlockSize) return 1;
+  const unsigned payload = kMaxCodeBlockSize - kCrcLength;
+  return (b + payload - 1) / payload;
+}
+
+}  // namespace rtopex::phy

@@ -1,0 +1,67 @@
+// LTE-like system parameters for the uplink processing chain.
+//
+// The reproduction does not aim at 3GPP bit-exactness (see DESIGN.md §2);
+// it preserves the quantities the RT-OPEX scheduler and the paper's Eq. (1)
+// model depend on: transport-block size as a function of MCS and PRB count,
+// modulation order K, subcarrier load D (bits per resource element), number
+// of code blocks, and the OFDM grid geometry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rtopex::phy {
+
+/// Subcarriers per physical resource block.
+inline constexpr unsigned kSubcarriersPerPrb = 12;
+/// OFDM symbols per 1 ms subframe (normal cyclic prefix).
+inline constexpr unsigned kSymbolsPerSubframe = 14;
+/// Indices of the PUSCH demodulation reference symbols within a subframe
+/// (one per slot, as in LTE PUSCH).
+inline constexpr unsigned kDmrsSymbol0 = 3;
+inline constexpr unsigned kDmrsSymbol1 = 10;
+/// Maximum turbo code block size (bits), as in 36.212.
+inline constexpr unsigned kMaxCodeBlockSize = 6144;
+/// CRC length attached to the transport block and to each code block.
+inline constexpr unsigned kCrcLength = 24;
+/// Highest MCS index supported (0..27, as evaluated in the paper).
+inline constexpr unsigned kMaxMcs = 27;
+
+/// Channel bandwidth configurations used in the paper (§2.3, §4.2).
+enum class Bandwidth : std::uint8_t {
+  kMHz5,   ///< 25 PRBs, 512-point FFT, 7.68 Msps
+  kMHz10,  ///< 50 PRBs, 1024-point FFT, 15.36 Msps
+  kMHz20,  ///< 100 PRBs, 2048-point FFT, 30.72 Msps
+};
+
+struct BandwidthConfig {
+  unsigned num_prb;        ///< physical resource blocks.
+  unsigned fft_size;       ///< OFDM (I)FFT length.
+  unsigned cp_samples;     ///< cyclic prefix length per symbol (simplified: constant).
+  double sample_rate_hz;   ///< baseband sampling rate.
+};
+
+BandwidthConfig bandwidth_config(Bandwidth bw);
+
+/// Modulation order K (bits per constellation symbol): 2, 4 or 6.
+unsigned modulation_order(unsigned mcs);
+
+/// Transport block size in bits for the given MCS and PRB allocation.
+/// Calibrated so the subcarrier load D spans ~0.16–3.7 bits/RE at 50 PRBs
+/// (paper §2.1), i.e. nominal PHY throughput 1.3–31.7 Mbps at 10 MHz.
+unsigned transport_block_size(unsigned mcs, unsigned num_prb);
+
+/// Total resource elements in a subframe over `num_prb` PRBs (including
+/// DMRS REs, matching the paper's definition: 8400 for 50 PRBs).
+unsigned resource_elements(unsigned num_prb);
+
+/// Data-carrying REs (total minus the two DMRS symbols).
+unsigned data_resource_elements(unsigned num_prb);
+
+/// Subcarrier load D = transport block bits / total REs (paper §2.1).
+double subcarrier_load(unsigned mcs, unsigned num_prb);
+
+/// Number of turbo code blocks the transport block is segmented into.
+unsigned num_code_blocks(unsigned mcs, unsigned num_prb);
+
+}  // namespace rtopex::phy

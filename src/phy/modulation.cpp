@@ -1,0 +1,176 @@
+#include "phy/modulation.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace rtopex::phy {
+namespace {
+
+// 36.211-style per-axis amplitude from the Gray-coded bits.
+// QPSK:  b0 -> I, b1 -> Q, amplitude 1/sqrt(2).
+// 16QAM: (b0,b2) -> I, (b1,b3) -> Q, amplitudes {1,3}/sqrt(10).
+// 64QAM: (b0,b2,b4) -> I, (b1,b3,b5) -> Q, amplitudes {1,3,5,7}/sqrt(42).
+
+float axis16(int sign_bit, int mag_bit) {
+  const float mag = mag_bit ? 3.0f : 1.0f;
+  return (sign_bit ? -mag : mag) / std::sqrt(10.0f);
+}
+
+float axis64(int sign_bit, int mag_bit1, int mag_bit2) {
+  // Gray mapping of (b2,b4) per 36.211: 00->3, 01->1, 10->5, 11->7.
+  static constexpr std::array<float, 4> kMag = {3.0f, 1.0f, 5.0f, 7.0f};
+  const float mag = kMag[(mag_bit1 << 1) | mag_bit2];
+  return (sign_bit ? -mag : mag) / std::sqrt(42.0f);
+}
+
+Complex map_point(unsigned order, unsigned packed) {
+  switch (order) {
+    case 2: {
+      const int b0 = (packed >> 1) & 1;
+      const int b1 = packed & 1;
+      const float a = 1.0f / std::sqrt(2.0f);
+      return {b0 ? -a : a, b1 ? -a : a};
+    }
+    case 4: {
+      const int b0 = (packed >> 3) & 1;
+      const int b1 = (packed >> 2) & 1;
+      const int b2 = (packed >> 1) & 1;
+      const int b3 = packed & 1;
+      return {axis16(b0, b2), axis16(b1, b3)};
+    }
+    case 6: {
+      const int b0 = (packed >> 5) & 1;
+      const int b1 = (packed >> 4) & 1;
+      const int b2 = (packed >> 3) & 1;
+      const int b3 = (packed >> 2) & 1;
+      const int b4 = (packed >> 1) & 1;
+      const int b5 = packed & 1;
+      return {axis64(b0, b2, b4), axis64(b1, b3, b5)};
+    }
+    default:
+      throw std::invalid_argument("modulation order must be 2, 4 or 6");
+  }
+}
+
+const IqVector& table(unsigned order) {
+  static const IqVector qpsk = [] {
+    IqVector t(4);
+    for (unsigned p = 0; p < 4; ++p) t[p] = map_point(2, p);
+    return t;
+  }();
+  static const IqVector qam16 = [] {
+    IqVector t(16);
+    for (unsigned p = 0; p < 16; ++p) t[p] = map_point(4, p);
+    return t;
+  }();
+  static const IqVector qam64 = [] {
+    IqVector t(64);
+    for (unsigned p = 0; p < 64; ++p) t[p] = map_point(6, p);
+    return t;
+  }();
+  switch (order) {
+    case 2: return qpsk;
+    case 4: return qam16;
+    case 6: return qam64;
+    default:
+      throw std::invalid_argument("modulation order must be 2, 4 or 6");
+  }
+}
+
+}  // namespace
+
+std::span<const Complex> constellation(unsigned order) { return table(order); }
+
+IqVector modulate(std::span<const std::uint8_t> bits, unsigned order) {
+  if (bits.size() % order != 0)
+    throw std::invalid_argument("modulate: bits not a multiple of order");
+  const IqVector& t = table(order);
+  IqVector out(bits.size() / order);
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    unsigned packed = 0;
+    for (unsigned b = 0; b < order; ++b)
+      packed = (packed << 1) | (bits[s * order + b] & 1);
+    out[s] = t[packed];
+  }
+  return out;
+}
+
+namespace {
+
+// The constellations are products of two independent Gray-coded axes, so
+// max-log demapping decomposes exactly per axis: even-positioned bits
+// (b0, b2, b4) depend only on I, odd ones only on Q. This keeps the
+// demapper cost ~linear in the modulation order (2^(K/2) axis levels
+// instead of 2^K grid points), as optimized receivers do.
+struct AxisTable {
+  unsigned bits_per_axis;
+  // One amplitude per axis level; level index packs the axis bits
+  // (sign bit first, then magnitude bits).
+  std::array<float, 8> amplitude;
+};
+
+const AxisTable& axis_table(unsigned order) {
+  static const AxisTable qpsk = [] {
+    AxisTable t{1, {}};
+    const float a = 1.0f / std::sqrt(2.0f);
+    t.amplitude = {a, -a};
+    return t;
+  }();
+  static const AxisTable qam16 = [] {
+    AxisTable t{2, {}};
+    for (unsigned lvl = 0; lvl < 4; ++lvl)
+      t.amplitude[lvl] = axis16((lvl >> 1) & 1, lvl & 1);
+    return t;
+  }();
+  static const AxisTable qam64 = [] {
+    AxisTable t{3, {}};
+    for (unsigned lvl = 0; lvl < 8; ++lvl)
+      t.amplitude[lvl] = axis64((lvl >> 2) & 1, (lvl >> 1) & 1, lvl & 1);
+    return t;
+  }();
+  switch (order) {
+    case 2: return qpsk;
+    case 4: return qam16;
+    case 6: return qam64;
+    default:
+      throw std::invalid_argument("modulation order must be 2, 4 or 6");
+  }
+}
+
+}  // namespace
+
+LlrVector demodulate(std::span<const Complex> symbols,
+                     std::span<const float> noise_var, unsigned order) {
+  if (symbols.size() != noise_var.size())
+    throw std::invalid_argument("demodulate: size mismatch");
+  const AxisTable& t = axis_table(order);
+  const unsigned levels = 1u << t.bits_per_axis;
+
+  LlrVector llrs(symbols.size() * order);
+  std::array<float, 6> best;  // [axis_bit * 2 + value], bits_per_axis <= 3
+  for (std::size_t s = 0; s < symbols.size(); ++s) {
+    const float inv_var = 1.0f / std::max(noise_var[s], 1e-9f);
+    for (unsigned axis = 0; axis < 2; ++axis) {
+      const float y = axis == 0 ? symbols[s].real() : symbols[s].imag();
+      best.fill(1e30f);
+      for (unsigned lvl = 0; lvl < levels; ++lvl) {
+        const float d = y - t.amplitude[lvl];
+        const float dist = d * d;
+        for (unsigned b = 0; b < t.bits_per_axis; ++b) {
+          const unsigned value = (lvl >> (t.bits_per_axis - 1 - b)) & 1;
+          float& slot = best[b * 2 + value];
+          slot = std::min(slot, dist);
+        }
+      }
+      // Axis bit b maps to symbol bit position 2*b + axis (I: 0,2,4;
+      // Q: 1,3,5).
+      for (unsigned b = 0; b < t.bits_per_axis; ++b)
+        llrs[s * order + 2 * b + axis] =
+            (best[b * 2 + 1] - best[b * 2 + 0]) * inv_var;
+    }
+  }
+  return llrs;
+}
+
+}  // namespace rtopex::phy

@@ -1,0 +1,34 @@
+// Gray-coded QPSK/16QAM/64QAM mapping and max-log LLR demapping
+// (36.211 §7.1 constellations).
+//
+// LLR convention matches the turbo decoder: llr = log P(0) - log P(1),
+// so a confidently-zero bit has a large positive LLR.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "phy/crc.hpp"
+#include "phy/turbo.hpp"
+
+namespace rtopex::phy {
+
+using Complex = std::complex<float>;
+using IqVector = std::vector<Complex>;
+
+/// Maps bits to constellation symbols. `order` is bits per symbol: 2, 4, 6.
+/// bits.size() must be a multiple of `order`. Average symbol energy is 1.
+IqVector modulate(std::span<const std::uint8_t> bits, unsigned order);
+
+/// Max-log LLR demapping of equalized symbols with per-symbol effective
+/// noise variance. `noise_var` must have one entry per symbol (post-
+/// equalization). Produces order * symbols.size() LLRs.
+LlrVector demodulate(std::span<const Complex> symbols,
+                     std::span<const float> noise_var, unsigned order);
+
+/// The constellation for a modulation order (2^order points, Gray mapped:
+/// point index == packed bits, MSB = first bit).
+std::span<const Complex> constellation(unsigned order);
+
+}  // namespace rtopex::phy

@@ -1,0 +1,84 @@
+#include "phy/ofdm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rtopex::phy {
+namespace {
+
+bool is_prime(std::size_t n) {
+  if (n < 2) return false;
+  for (std::size_t d = 2; d * d <= n; ++d)
+    if (n % d == 0) return false;
+  return true;
+}
+
+std::size_t largest_prime_not_above(std::size_t n) {
+  for (std::size_t p = n; p >= 2; --p)
+    if (is_prime(p)) return p;
+  throw std::invalid_argument("no prime <= n");
+}
+
+}  // namespace
+
+std::size_t subcarrier_bin(std::size_t k, std::size_t nsc,
+                           std::size_t fft_size) {
+  if (k >= nsc || nsc >= fft_size)
+    throw std::invalid_argument("subcarrier_bin: out of range");
+  const std::size_t half = nsc / 2;
+  // Lower half maps to negative frequencies, upper half to bins 1..half.
+  if (k < half) return fft_size - half + k;
+  return k - half + 1;
+}
+
+IqVector zadoff_chu(unsigned root, std::size_t length) {
+  const std::size_t nzc = largest_prime_not_above(length);
+  IqVector seq(length);
+  for (std::size_t n = 0; n < length; ++n) {
+    const std::size_t m = n % nzc;
+    const double phase = -M_PI * static_cast<double>(root) *
+                         static_cast<double>(m) * static_cast<double>(m + 1) /
+                         static_cast<double>(nzc);
+    seq[n] = {static_cast<float>(std::cos(phase)),
+              static_cast<float>(std::sin(phase))};
+  }
+  return seq;
+}
+
+IqVector dmrs_sequence(std::size_t nsc, unsigned cell_id) {
+  // Root depends on the cell identity so that different basestations use
+  // different (low-cross-correlation) reference signals.
+  const unsigned root = 25 + (cell_id % 5);
+  return zadoff_chu(root, nsc);
+}
+
+IqVector ofdm_modulate(const FftPlan& plan, std::span<const Complex> subcarriers,
+                       std::size_t cp_samples) {
+  const std::size_t n = plan.size();
+  IqVector freq(n, Complex{0.0f, 0.0f});
+  for (std::size_t k = 0; k < subcarriers.size(); ++k)
+    freq[subcarrier_bin(k, subcarriers.size(), n)] = subcarriers[k];
+  plan.inverse(freq);
+  IqVector out;
+  out.reserve(cp_samples + n);
+  out.insert(out.end(), freq.end() - static_cast<std::ptrdiff_t>(cp_samples),
+             freq.end());
+  out.insert(out.end(), freq.begin(), freq.end());
+  return out;
+}
+
+IqVector ofdm_demodulate(const FftPlan& plan, std::span<const Complex> samples,
+                         std::size_t cp_samples, std::size_t nsc) {
+  const std::size_t n = plan.size();
+  if (samples.size() != cp_samples + n)
+    throw std::invalid_argument("ofdm_demodulate: bad sample count");
+  IqVector freq(samples.begin() + static_cast<std::ptrdiff_t>(cp_samples),
+                samples.end());
+  plan.forward(freq);
+  IqVector out(nsc);
+  for (std::size_t k = 0; k < nsc; ++k)
+    out[k] = freq[subcarrier_bin(k, nsc, n)];
+  return out;
+}
+
+}  // namespace rtopex::phy

@@ -1,0 +1,36 @@
+// OFDM symbol (de)modulation and reference signals.
+//
+// Subcarrier mapping is DC-centred: the nsc occupied subcarriers straddle
+// bin 0, which stays empty (as in LTE downlink numerology; close enough to
+// SC-FDMA for the compute-load purposes of this reproduction, see DESIGN.md).
+// Each symbol carries a cyclic prefix so that short multipath channels stay
+// free of inter-symbol interference.
+#pragma once
+
+#include <cstddef>
+
+#include "phy/fft.hpp"
+
+namespace rtopex::phy {
+
+/// FFT bin index for occupied subcarrier k in [0, nsc).
+std::size_t subcarrier_bin(std::size_t k, std::size_t nsc,
+                           std::size_t fft_size);
+
+/// Zadoff–Chu sequence of the given root, cyclically extended from the
+/// largest prime <= length (constant amplitude, used for DMRS).
+IqVector zadoff_chu(unsigned root, std::size_t length);
+
+/// The demodulation reference sequence for a cell (nsc entries).
+IqVector dmrs_sequence(std::size_t nsc, unsigned cell_id);
+
+/// Frequency-domain symbol (nsc subcarriers) -> time-domain samples
+/// (cp + fft_size), via IFFT and cyclic-prefix insertion.
+IqVector ofdm_modulate(const FftPlan& plan, std::span<const Complex> subcarriers,
+                       std::size_t cp_samples);
+
+/// Time-domain samples (cp + fft_size) -> nsc occupied subcarriers.
+IqVector ofdm_demodulate(const FftPlan& plan, std::span<const Complex> samples,
+                         std::size_t cp_samples, std::size_t nsc);
+
+}  // namespace rtopex::phy

@@ -1,0 +1,100 @@
+#include "phy/qpp_interleaver.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace rtopex::phy {
+namespace {
+
+bool is_bijection(std::size_t k, std::size_t f1, std::size_t f2,
+                  std::vector<std::size_t>& out) {
+  out.assign(k, 0);
+  std::vector<char> seen(k, 0);
+  // Incremental evaluation avoids overflow: pi(i+1) - pi(i) =
+  // f1 + f2*(2i+1) mod K.
+  std::size_t pi = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (seen[pi]) return false;
+    seen[pi] = 1;
+    out[i] = pi;
+    pi = (pi + f1 + (f2 * ((2 * i + 1) % k)) % k) % k;
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+// Product of the distinct prime factors of k. A QPP with f2 a multiple of
+// rad(k) (times 2 when 4 | k) and gcd(f1, k) == 1 is a known-sufficient
+// bijection structure; we still verify explicitly.
+std::size_t radical(std::size_t k) {
+  std::size_t rad = 1;
+  std::size_t n = k;
+  for (std::size_t p = 2; p * p <= n; ++p) {
+    if (n % p == 0) {
+      rad *= p;
+      while (n % p == 0) n /= p;
+    }
+  }
+  if (n > 1) rad *= n;
+  return rad;
+}
+
+}  // namespace
+
+QppInterleaver::QppInterleaver(std::size_t k) {
+  if (k < 8) throw std::invalid_argument("QppInterleaver: K too small");
+  std::size_t base = radical(k);
+  if (k % 4 == 0 && base % 4 != 0) base *= 2;
+  for (std::size_t f2 = base; f2 < k; f2 += base) {
+    for (std::size_t f1 = 3; f1 < k; f1 += 2) {
+      if (std::gcd(f1, k) != 1) continue;
+      if (is_bijection(k, f1, f2, forward_)) {
+        f1_ = f1;
+        f2_ = f2;
+        inverse_.assign(k, 0);
+        for (std::size_t i = 0; i < k; ++i) inverse_[forward_[i]] = i;
+        return;
+      }
+      break;  // with a structurally valid f2, the first coprime f1 suffices;
+              // otherwise move to the next f2 multiple.
+    }
+  }
+  throw std::invalid_argument("QppInterleaver: no valid parameters found");
+}
+
+QppInterleaver::QppInterleaver(std::size_t k, std::size_t f1, std::size_t f2) {
+  if (k < 8) throw std::invalid_argument("QppInterleaver: K too small");
+  build(k, f1, f2);
+}
+
+void QppInterleaver::build(std::size_t k, std::size_t f1, std::size_t f2) {
+  if (!is_bijection(k, f1, f2, forward_))
+    throw std::invalid_argument("QppInterleaver: (f1,f2) not a bijection");
+  f1_ = f1;
+  f2_ = f2;
+  inverse_.assign(k, 0);
+  for (std::size_t i = 0; i < k; ++i) inverse_[forward_[i]] = i;
+}
+
+const std::vector<std::size_t>& QppInterleaver::valid_block_sizes() {
+  static const std::vector<std::size_t> sizes = [] {
+    std::vector<std::size_t> s;
+    for (std::size_t k = 40; k <= 512; k += 8) s.push_back(k);
+    for (std::size_t k = 528; k <= 1024; k += 16) s.push_back(k);
+    for (std::size_t k = 1056; k <= 2048; k += 32) s.push_back(k);
+    for (std::size_t k = 2112; k <= 6144; k += 64) s.push_back(k);
+    return s;
+  }();
+  return sizes;
+}
+
+std::size_t QppInterleaver::ceil_block_size(std::size_t k) {
+  for (const std::size_t s : valid_block_sizes())
+    if (s >= k) return s;
+  throw std::invalid_argument("ceil_block_size: k exceeds 6144");
+}
+
+}  // namespace rtopex::phy

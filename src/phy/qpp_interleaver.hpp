@@ -1,0 +1,64 @@
+// Quadratic permutation polynomial (QPP) interleaver for the turbo code:
+// pi(i) = (f1*i + f2*i^2) mod K.
+//
+// 3GPP 36.212 fixes (f1, f2) per block size K in a 188-row table. We instead
+// search the smallest valid (f1, f2) per K and verify bijectivity explicitly
+// (see DESIGN.md §2 — bit-exact 3GPP interop is not a goal; contention-free
+// parallel decodability and bijectivity are what matter). A handful of known
+// 3GPP pairs are used in tests as sanity anchors.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rtopex::phy {
+
+class QppInterleaver {
+ public:
+  /// Builds the interleaver for block size K, searching valid parameters.
+  /// Throws std::invalid_argument if K < 8 or no parameters are found.
+  explicit QppInterleaver(std::size_t k);
+
+  /// Builds with explicit parameters; throws if (f1, f2) is not a bijection
+  /// over [0, K).
+  QppInterleaver(std::size_t k, std::size_t f1, std::size_t f2);
+
+  std::size_t size() const { return forward_.size(); }
+  std::size_t f1() const { return f1_; }
+  std::size_t f2() const { return f2_; }
+
+  /// Interleaved index of position i.
+  std::size_t map(std::size_t i) const { return forward_[i]; }
+  /// Original index of interleaved position j.
+  std::size_t inverse(std::size_t j) const { return inverse_[j]; }
+
+  /// Interleave / deinterleave whole sequences.
+  template <typename T>
+  std::vector<T> interleave(const std::vector<T>& in) const {
+    std::vector<T> out(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[forward_[i]];
+    return out;
+  }
+  template <typename T>
+  std::vector<T> deinterleave(const std::vector<T>& in) const {
+    std::vector<T> out(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) out[forward_[i]] = in[i];
+    return out;
+  }
+
+  /// The K grid used by code-block segmentation: 40..6144 with LTE-style
+  /// granularity (8 up to 512, 16 to 1024, 32 to 2048, 64 to 6144).
+  static const std::vector<std::size_t>& valid_block_sizes();
+  /// Smallest grid size >= k (throws if k > 6144).
+  static std::size_t ceil_block_size(std::size_t k);
+
+ private:
+  void build(std::size_t k, std::size_t f1, std::size_t f2);
+
+  std::size_t f1_ = 0;
+  std::size_t f2_ = 0;
+  std::vector<std::size_t> forward_;
+  std::vector<std::size_t> inverse_;
+};
+
+}  // namespace rtopex::phy

@@ -1,0 +1,104 @@
+#include "phy/rate_match.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace rtopex::phy {
+namespace {
+
+// 36.212 Table 5.1.4-1 inter-column permutation.
+constexpr std::array<unsigned, 32> kColumnPerm = {
+    0, 16, 8, 24, 4, 20, 12, 28, 2, 18, 10, 26, 6, 22, 14, 30,
+    1, 17, 9, 25, 5, 21, 13, 29, 3, 19, 11, 27, 7, 23, 15, 31};
+
+}  // namespace
+
+RateMatcher::RateMatcher(std::size_t block_size) {
+  kd_ = block_size + 4;
+  rows_ = (kd_ + 31) / 32;
+  const std::size_t kpi = rows_ * 32;
+  const std::size_t nd = kpi - kd_;  // dummies, padded at the front
+
+  // Sub-block interleaver output order for one stream: read the (rows x 32)
+  // row-major matrix [dummy*nd, d_0..d_{kd-1}] column-wise in permuted
+  // column order. interleaved[j] = original stream index or -1 (dummy).
+  std::vector<std::int32_t> perm(kpi);
+  std::size_t j = 0;
+  for (const unsigned col : kColumnPerm) {
+    for (std::size_t row = 0; row < rows_; ++row) {
+      const std::size_t flat = row * 32 + col;
+      perm[j++] = flat < nd ? -1 : static_cast<std::int32_t>(flat - nd);
+    }
+  }
+
+  // Circular buffer: v0 then v1/v2 interlaced.
+  cb_map_.resize(3 * kpi);
+  for (std::size_t i = 0; i < kpi; ++i) {
+    cb_map_[i] = perm[i] < 0 ? -1 : perm[i];  // stream 0
+    cb_map_[kpi + 2 * i] =
+        perm[i] < 0 ? -1 : static_cast<std::int32_t>(kd_) + perm[i];
+    cb_map_[kpi + 2 * i + 1] =
+        perm[i] < 0 ? -1 : 2 * static_cast<std::int32_t>(kd_) + perm[i];
+  }
+}
+
+std::size_t RateMatcher::start_index(unsigned rv) const {
+  // 36.212-style: k0 = R * (24 * rv + 2), wrapped.
+  return (rows_ * (24 * static_cast<std::size_t>(rv) + 2)) % cb_map_.size();
+}
+
+BitVector RateMatcher::match(const TurboCodeword& cw, std::size_t e,
+                             unsigned redundancy_version) const {
+  if (cw.systematic.size() != kd_)
+    throw std::invalid_argument("RateMatcher: codeword size mismatch");
+  if (e == 0) throw std::invalid_argument("RateMatcher: e == 0");
+
+  auto stream_bit = [&](std::int32_t idx) -> std::uint8_t {
+    const auto stream = idx / static_cast<std::int32_t>(kd_);
+    const auto off = static_cast<std::size_t>(idx % static_cast<std::int32_t>(kd_));
+    switch (stream) {
+      case 0: return cw.systematic[off];
+      case 1: return cw.parity1[off];
+      default: return cw.parity2[off];
+    }
+  };
+
+  BitVector out;
+  out.reserve(e);
+  std::size_t pos = start_index(redundancy_version);
+  while (out.size() < e) {
+    const std::int32_t idx = cb_map_[pos];
+    if (idx >= 0) out.push_back(stream_bit(idx));
+    pos = (pos + 1) % cb_map_.size();
+  }
+  return out;
+}
+
+RateMatcher::Dematched RateMatcher::dematch(std::span<const float> llrs,
+                                            unsigned redundancy_version) const {
+  Dematched out;
+  out.systematic.assign(kd_, 0.0f);
+  out.parity1.assign(kd_, 0.0f);
+  out.parity2.assign(kd_, 0.0f);
+
+  auto stream_llr = [&](std::int32_t idx) -> float& {
+    const auto stream = idx / static_cast<std::int32_t>(kd_);
+    const auto off = static_cast<std::size_t>(idx % static_cast<std::int32_t>(kd_));
+    switch (stream) {
+      case 0: return out.systematic[off];
+      case 1: return out.parity1[off];
+      default: return out.parity2[off];
+    }
+  };
+
+  std::size_t pos = start_index(redundancy_version);
+  std::size_t consumed = 0;
+  while (consumed < llrs.size()) {
+    const std::int32_t idx = cb_map_[pos];
+    if (idx >= 0) stream_llr(idx) += llrs[consumed++];
+    pos = (pos + 1) % cb_map_.size();
+  }
+  return out;
+}
+
+}  // namespace rtopex::phy

@@ -1,0 +1,56 @@
+// Circular-buffer rate matching (36.212 §5.1.4 style).
+//
+// Each turbo stream is passed through a 32-column sub-block interleaver,
+// the three interleaved streams are packed into a circular buffer
+// (systematic first, then parity1/parity2 interlaced), and E bits are read
+// out starting at a redundancy-version-dependent offset. The receiver-side
+// dematcher inverts the mapping, soft-combining repeated bits and leaving
+// zero LLRs at punctured positions.
+//
+// Simplification vs. 3GPP (documented in DESIGN.md): the same column
+// permutation is used for all three streams (3GPP offsets the second parity
+// stream by one) — irrelevant to coding performance at the fidelity level
+// the scheduler study needs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "phy/turbo.hpp"
+
+namespace rtopex::phy {
+
+class RateMatcher {
+ public:
+  /// `block_size` is the turbo block size K; streams have K + 4 entries.
+  explicit RateMatcher(std::size_t block_size);
+
+  std::size_t block_size() const { return kd_ - 4; }
+  /// Circular buffer length (3 * Kpi, including dummy padding).
+  std::size_t buffer_size() const { return cb_map_.size(); }
+
+  /// Selects `e` coded bits for transmission.
+  BitVector match(const TurboCodeword& cw, std::size_t e,
+                  unsigned redundancy_version = 0) const;
+
+  struct Dematched {
+    LlrVector systematic;  ///< K + 4
+    LlrVector parity1;     ///< K + 4
+    LlrVector parity2;     ///< K + 4
+  };
+
+  /// Scatters `e` received LLRs back onto the three streams.
+  Dematched dematch(std::span<const float> llrs,
+                    unsigned redundancy_version = 0) const;
+
+ private:
+  std::size_t start_index(unsigned rv) const;
+
+  std::size_t kd_ = 0;    ///< stream length K + 4.
+  std::size_t rows_ = 0;  ///< sub-block interleaver rows.
+  /// Circular-buffer position -> (stream * kd_ + index), or -1 for a dummy.
+  std::vector<std::int32_t> cb_map_;
+};
+
+}  // namespace rtopex::phy

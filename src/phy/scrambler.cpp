@@ -1,0 +1,42 @@
+#include "phy/scrambler.hpp"
+
+namespace rtopex::phy {
+namespace {
+
+constexpr std::size_t kNc = 1600;
+
+}  // namespace
+
+BitVector scrambling_sequence(std::uint32_t c_init, std::size_t length) {
+  const std::size_t total = kNc + length;
+  BitVector x1(total + 31), x2(total + 31);
+  x1[0] = 1;  // fixed init: x1 = 100...0
+  for (int i = 0; i < 31; ++i) x2[i] = (c_init >> i) & 1;
+  for (std::size_t n = 0; n + 31 < total + 31; ++n) {
+    x1[n + 31] = x1[n + 3] ^ x1[n];
+    x2[n + 31] = x2[n + 3] ^ x2[n + 2] ^ x2[n + 1] ^ x2[n];
+  }
+  BitVector c(length);
+  for (std::size_t n = 0; n < length; ++n)
+    c[n] = x1[n + kNc] ^ x2[n + kNc];
+  return c;
+}
+
+std::uint32_t scrambling_init(std::uint16_t rnti, std::uint32_t subframe_index,
+                              std::uint16_t cell_id) {
+  return (static_cast<std::uint32_t>(rnti) << 14) ^
+         ((subframe_index % 10) << 9) ^ cell_id;
+}
+
+void scramble_bits(std::span<std::uint8_t> bits, std::uint32_t c_init) {
+  const BitVector c = scrambling_sequence(c_init, bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] ^= c[i];
+}
+
+void descramble_llrs(std::span<float> llrs, std::uint32_t c_init) {
+  const BitVector c = scrambling_sequence(c_init, llrs.size());
+  for (std::size_t i = 0; i < llrs.size(); ++i)
+    if (c[i]) llrs[i] = -llrs[i];
+}
+
+}  // namespace rtopex::phy

@@ -1,0 +1,30 @@
+// Gold-sequence scrambling (36.211 §7.2 style).
+//
+// c(n) = x1(n + Nc) XOR x2(n + Nc) with Nc = 1600, x1 seeded with a fixed
+// pattern and x2 with c_init (derived from cell/user identity). Scrambling
+// whitens the coded bits; the receiver flips LLR signs instead of bits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "phy/crc.hpp"
+#include "phy/turbo.hpp"
+
+namespace rtopex::phy {
+
+/// Generates `length` scrambling bits for the given initializer.
+BitVector scrambling_sequence(std::uint32_t c_init, std::size_t length);
+
+/// c_init as in 36.211: f(RNTI, subframe, cell id).
+std::uint32_t scrambling_init(std::uint16_t rnti, std::uint32_t subframe_index,
+                              std::uint16_t cell_id);
+
+/// XORs `bits` with the sequence in place.
+void scramble_bits(std::span<std::uint8_t> bits, std::uint32_t c_init);
+
+/// Flips the sign of `llrs[i]` where the sequence bit is 1 (descrambling on
+/// the soft path: a scrambled 1 inverts the bit, hence the LLR).
+void descramble_llrs(std::span<float> llrs, std::uint32_t c_init);
+
+}  // namespace rtopex::phy

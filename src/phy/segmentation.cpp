@@ -1,0 +1,74 @@
+#include "phy/segmentation.hpp"
+
+#include <stdexcept>
+
+#include "phy/lte_params.hpp"
+#include "phy/qpp_interleaver.hpp"
+
+namespace rtopex::phy {
+
+Segmentation segment_transport_block(const BitVector& tb_with_crc) {
+  const std::size_t b = tb_with_crc.size();
+  if (b == 0) throw std::invalid_argument("segment: empty transport block");
+
+  Segmentation seg;
+  seg.payload_bits = b;
+
+  std::size_t c = 1;
+  std::size_t b_prime = b;
+  if (b > kMaxCodeBlockSize) {
+    const std::size_t payload = kMaxCodeBlockSize - kCrcLength;
+    c = (b + payload - 1) / payload;
+    b_prime = b + c * kCrcLength;
+  }
+  const std::size_t k = QppInterleaver::ceil_block_size((b_prime + c - 1) / c);
+  seg.block_size = k;
+  seg.filler_bits = c * k - b_prime;
+
+  // Fill blocks: filler (zeros) first, then payload split sequentially,
+  // then per-block CRC24B when C > 1.
+  std::size_t pos = 0;
+  for (std::size_t blk = 0; blk < c; ++blk) {
+    BitVector block;
+    block.reserve(k);
+    if (blk == 0) block.assign(seg.filler_bits, 0);
+    const std::size_t data_len =
+        k - block.size() - (c > 1 ? kCrcLength : 0);
+    for (std::size_t i = 0; i < data_len; ++i) block.push_back(tb_with_crc[pos++]);
+    if (c > 1) attach_crc24(block, CrcKind::kB);
+    if (block.size() != k)
+      throw std::logic_error("segment: block size mismatch");
+    seg.blocks.push_back(std::move(block));
+  }
+  if (pos != b) throw std::logic_error("segment: leftover payload");
+  return seg;
+}
+
+Desegmentation desegment_transport_block(const std::vector<BitVector>& blocks,
+                                         std::size_t payload_bits,
+                                         std::size_t filler_bits) {
+  if (blocks.empty())
+    throw std::invalid_argument("desegment: no blocks");
+  const std::size_t c = blocks.size();
+
+  Desegmentation out;
+  out.crc_ok.resize(c, true);
+  out.tb_with_crc.reserve(payload_bits);
+  for (std::size_t blk = 0; blk < c; ++blk) {
+    const BitVector& block = blocks[blk];
+    std::size_t begin = blk == 0 ? filler_bits : 0;
+    std::size_t end = block.size();
+    if (c > 1) {
+      out.crc_ok[blk] = check_crc24(block, CrcKind::kB);
+      out.all_ok = out.all_ok && out.crc_ok[blk];
+      end -= kCrcLength;
+    }
+    out.tb_with_crc.insert(out.tb_with_crc.end(), block.begin() + begin,
+                           block.begin() + end);
+  }
+  if (out.tb_with_crc.size() != payload_bits)
+    throw std::invalid_argument("desegment: size mismatch with payload_bits");
+  return out;
+}
+
+}  // namespace rtopex::phy

@@ -1,0 +1,43 @@
+// Code-block segmentation (36.212 §5.1.2 style).
+//
+// A transport block (with its CRC24A already attached) is split into C code
+// blocks, each at most 6144 bits. When C > 1 every code block gets its own
+// CRC24B, which is what lets the decode task be parallelized per code block
+// (paper §2.2) — each block's decoder can early-terminate on its own CRC.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "phy/crc.hpp"
+
+namespace rtopex::phy {
+
+struct Segmentation {
+  std::vector<BitVector> blocks;  ///< each of grid size K (filler included).
+  std::size_t block_size = 0;     ///< common K for all blocks.
+  std::size_t filler_bits = 0;    ///< zero filler prepended to block 0.
+  std::size_t payload_bits = 0;   ///< original input length B.
+
+  std::size_t num_blocks() const { return blocks.size(); }
+};
+
+/// Segments `tb_with_crc` (the transport block including CRC24A).
+/// For C > 1, each block ends with a CRC24B over its contents.
+Segmentation segment_transport_block(const BitVector& tb_with_crc);
+
+/// Reassembles the transport block from decoded code blocks: verifies each
+/// CRC24B (when C > 1), strips filler and per-block CRCs.
+/// `crc_ok` reports the per-block CRC results (all true when C == 1 — the
+/// transport-block CRC24A is the caller's to check).
+struct Desegmentation {
+  BitVector tb_with_crc;
+  std::vector<bool> crc_ok;
+  bool all_ok = true;
+};
+
+Desegmentation desegment_transport_block(const std::vector<BitVector>& blocks,
+                                         std::size_t payload_bits,
+                                         std::size_t filler_bits);
+
+}  // namespace rtopex::phy

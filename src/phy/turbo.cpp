@@ -1,0 +1,264 @@
+#include "phy/turbo.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+namespace rtopex::phy {
+namespace {
+
+constexpr int kNumStates = 8;
+constexpr float kNegInf = -1e30f;
+
+// RSC state: (s0, s1, s2) = last three feedback values, s0 most recent,
+// packed as s0 | s1<<1 | s2<<2.
+//
+// Feedback  a_t = u_t ^ s1 ^ s2          (g0 = 1 + D^2 + D^3)
+// Parity    z_t = a_t ^ s0 ^ s2          (g1 = 1 + D + D^3)
+// Next      (a_t, s0, s1)
+
+struct Transition {
+  std::uint8_t next;    // next state
+  std::uint8_t parity;  // z for this (state, input)
+};
+
+struct Trellis {
+  // [state][input] -> transition
+  std::array<std::array<Transition, 2>, kNumStates> step{};
+  // Termination input per state (drives the feedback to zero).
+  std::array<std::uint8_t, kNumStates> term_input{};
+
+  Trellis() {
+    for (int s = 0; s < kNumStates; ++s) {
+      const int s0 = s & 1;
+      const int s1 = (s >> 1) & 1;
+      const int s2 = (s >> 2) & 1;
+      for (int u = 0; u < 2; ++u) {
+        const int a = u ^ s1 ^ s2;
+        const int z = a ^ s0 ^ s2;
+        const int next = a | (s0 << 1) | (s1 << 2);
+        step[s][u] = {static_cast<std::uint8_t>(next),
+                      static_cast<std::uint8_t>(z)};
+      }
+      term_input[s] = static_cast<std::uint8_t>(s1 ^ s2);
+    }
+  }
+};
+
+const Trellis& trellis() {
+  static const Trellis t;
+  return t;
+}
+
+// One RSC encoder pass. Returns parity bits; appends the 3 termination
+// (input, parity) pairs to tail_sys/tail_par and leaves the register at 0.
+BitVector rsc_encode(std::span<const std::uint8_t> bits, BitVector& tail_sys,
+                     BitVector& tail_par) {
+  const Trellis& t = trellis();
+  BitVector parity(bits.size());
+  int state = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const auto& tr = t.step[state][bits[i] & 1];
+    parity[i] = tr.parity;
+    state = tr.next;
+  }
+  for (int i = 0; i < 3; ++i) {
+    const std::uint8_t u = t.term_input[state];
+    const auto& tr = t.step[state][u];
+    tail_sys.push_back(u);
+    tail_par.push_back(tr.parity);
+    state = tr.next;
+  }
+  return parity;
+}
+
+// Max-log-MAP (BCJR) over one constituent code.
+//
+// Inputs are in the "metric" domain: llr(bit) = log P(0) - log P(1); a
+// hypothesized bit b contributes 0.5 * sign(b) * llr with sign(0) = +1,
+// sign(1) = -1. `sys_in` already contains channel-plus-apriori information
+// for the K data positions and channel tail information for the last 3.
+// Returns the a-posteriori LLR for the K data bits (not the tails).
+//
+// The trellis starts in state 0 and, thanks to termination, ends in state 0
+// after K + 3 steps.
+LlrVector siso_decode(std::span<const float> sys_in,
+                      std::span<const float> par_in, std::size_t k) {
+  const Trellis& t = trellis();
+  const std::size_t steps = k + 3;
+  if (sys_in.size() != steps || par_in.size() != steps)
+    throw std::invalid_argument("siso_decode: bad input length");
+
+  // Branch metric for (state s, input u) at step i.
+  auto gamma = [&](std::size_t i, int s, int u) {
+    const float bu = u == 0 ? 0.5f : -0.5f;
+    const int z = t.step[s][u].parity;
+    const float bz = z == 0 ? 0.5f : -0.5f;
+    return bu * sys_in[i] + bz * par_in[i];
+  };
+
+  // The forward/backward metric arrays are large (8 floats per trellis
+  // step); decoding is a hot path run concurrently from many cores, so the
+  // scratch is recycled per thread instead of reallocated per call.
+  thread_local std::vector<std::array<float, kNumStates>> alpha;
+  thread_local std::vector<std::array<float, kNumStates>> beta_all;
+  if (alpha.size() < steps + 1) {
+    alpha.resize(steps + 1);
+    beta_all.resize(steps + 1);
+  }
+  alpha[0].fill(kNegInf);
+  alpha[0][0] = 0.0f;
+  for (std::size_t i = 0; i < steps; ++i) {
+    alpha[i + 1].fill(kNegInf);
+    for (int s = 0; s < kNumStates; ++s) {
+      if (alpha[i][s] <= kNegInf) continue;
+      for (int u = 0; u < 2; ++u) {
+        const int ns = t.step[s][u].next;
+        const float m = alpha[i][s] + gamma(i, s, u);
+        alpha[i + 1][ns] = std::max(alpha[i + 1][ns], m);
+      }
+    }
+  }
+
+  std::array<float, kNumStates> beta;
+  beta.fill(kNegInf);
+  beta[0] = 0.0f;  // terminated trellis
+  beta_all[steps] = beta;
+  for (std::size_t i = steps; i-- > 0;) {
+    std::array<float, kNumStates> prev;
+    prev.fill(kNegInf);
+    for (int s = 0; s < kNumStates; ++s) {
+      for (int u = 0; u < 2; ++u) {
+        const int ns = t.step[s][u].next;
+        if (beta_all[i + 1][ns] <= kNegInf) continue;
+        const float m = beta_all[i + 1][ns] + gamma(i, s, u);
+        prev[s] = std::max(prev[s], m);
+      }
+    }
+    beta_all[i] = prev;
+  }
+
+  LlrVector out(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    float m0 = kNegInf;
+    float m1 = kNegInf;
+    for (int s = 0; s < kNumStates; ++s) {
+      if (alpha[i][s] <= kNegInf) continue;
+      for (int u = 0; u < 2; ++u) {
+        const int ns = t.step[s][u].next;
+        const float m = alpha[i][s] + gamma(i, s, u) + beta_all[i + 1][ns];
+        if (u == 0)
+          m0 = std::max(m0, m);
+        else
+          m1 = std::max(m1, m);
+      }
+    }
+    out[i] = m0 - m1;
+  }
+  return out;
+}
+
+}  // namespace
+
+TurboCodeword TurboEncoder::encode(std::span<const std::uint8_t> bits) const {
+  const std::size_t k = interleaver_.size();
+  if (bits.size() != k)
+    throw std::invalid_argument("TurboEncoder: input size != K");
+
+  BitVector input(bits.begin(), bits.end());
+  BitVector tail_sys1, tail_par1, tail_sys2, tail_par2;
+  BitVector parity1 = rsc_encode(input, tail_sys1, tail_par1);
+
+  BitVector interleaved(k);
+  for (std::size_t i = 0; i < k; ++i) interleaved[i] = input[interleaver_.map(i)];
+  BitVector parity2 = rsc_encode(interleaved, tail_sys2, tail_par2);
+
+  // Tail packing (4 extra entries per stream, 12 tail bits total):
+  //   systematic: x_K  x_K+1  x_K+2  x'_K
+  //   parity1:    z_K  z_K+1  z_K+2  z'_K
+  //   parity2:    x'_K+1  x'_K+2  z'_K+1  z'_K+2
+  TurboCodeword cw;
+  cw.systematic = std::move(input);
+  cw.systematic.insert(cw.systematic.end(),
+                       {tail_sys1[0], tail_sys1[1], tail_sys1[2], tail_sys2[0]});
+  cw.parity1 = std::move(parity1);
+  cw.parity1.insert(cw.parity1.end(),
+                    {tail_par1[0], tail_par1[1], tail_par1[2], tail_par2[0]});
+  cw.parity2 = std::move(parity2);
+  cw.parity2.insert(cw.parity2.end(),
+                    {tail_sys2[1], tail_sys2[2], tail_par2[1], tail_par2[2]});
+  return cw;
+}
+
+TurboDecodeResult TurboDecoder::decode(
+    std::span<const float> systematic, std::span<const float> parity1,
+    std::span<const float> parity2,
+    const std::function<bool(std::span<const std::uint8_t>)>& crc_check)
+    const {
+  const std::size_t k = interleaver_.size();
+  if (systematic.size() != k + 4 || parity1.size() != k + 4 ||
+      parity2.size() != k + 4)
+    throw std::invalid_argument("TurboDecoder: bad stream length");
+
+  // Unpack tails (see encoder packing).
+  // Decoder 1 operates on [sys(K), x_K..x_K+2] and [par1(K), z_K..z_K+2].
+  LlrVector sys1(k + 3), par1(k + 3);
+  for (std::size_t i = 0; i < k; ++i) {
+    sys1[i] = systematic[i];
+    par1[i] = parity1[i];
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    sys1[k + i] = systematic[k + i];
+    par1[k + i] = parity1[k + i];
+  }
+  // Decoder 2 operates on interleaved systematic plus its own tails:
+  // x'_K = systematic[k+3], x'_K+1/2 = parity2[k], parity2[k+1];
+  // z'_K = parity1[k+3], z'_K+1/2 = parity2[k+2], parity2[k+3].
+  LlrVector sys2(k + 3), par2(k + 3);
+  for (std::size_t i = 0; i < k; ++i) par2[i] = parity2[i];
+  sys2[k] = systematic[k + 3];
+  sys2[k + 1] = parity2[k];
+  sys2[k + 2] = parity2[k + 1];
+  par2[k] = parity1[k + 3];
+  par2[k + 1] = parity2[k + 2];
+  par2[k + 2] = parity2[k + 3];
+
+  LlrVector extrinsic2(k, 0.0f);  // from decoder 2, deinterleaved
+  TurboDecodeResult result;
+  result.bits.assign(k, 0);
+
+  for (unsigned iter = 1; iter <= max_iterations_; ++iter) {
+    // --- SISO 1 ---
+    for (std::size_t i = 0; i < k; ++i)
+      sys1[i] = systematic[i] + extrinsic2[i];
+    const LlrVector app1 = siso_decode(sys1, par1, k);
+    LlrVector extrinsic1(k);
+    for (std::size_t i = 0; i < k; ++i)
+      extrinsic1[i] = app1[i] - sys1[i];
+
+    // --- SISO 2 (interleaved domain) ---
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t src = interleaver_.map(i);
+      sys2[i] = systematic[src] + extrinsic1[src];
+    }
+    const LlrVector app2 = siso_decode(sys2, par2, k);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t src = interleaver_.map(i);
+      extrinsic2[src] = app2[i] - sys2[i];
+    }
+
+    // Hard decision from decoder 2's a-posteriori, deinterleaved.
+    for (std::size_t i = 0; i < k; ++i)
+      result.bits[interleaver_.map(i)] = app2[i] < 0.0f ? 1 : 0;
+    result.iterations = iter;
+
+    if (crc_check && crc_check(result.bits)) {
+      result.early_terminated = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace rtopex::phy

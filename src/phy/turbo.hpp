@@ -1,0 +1,81 @@
+// LTE-style rate-1/3 turbo codec.
+//
+// Two 8-state recursive systematic convolutional (RSC) constituent encoders
+// with generators g0 = 1 + D^2 + D^3 (feedback) and g1 = 1 + D + D^3
+// (parity), coupled by a QPP interleaver, with explicit trellis termination
+// (12 tail bits). The decoder is an iterative max-log-MAP (BCJR) with
+// optional early termination via a caller-supplied CRC check — the source of
+// the non-deterministic iteration count L in the paper's Eq. (1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "phy/crc.hpp"
+#include "phy/qpp_interleaver.hpp"
+
+namespace rtopex::phy {
+
+using LlrVector = std::vector<float>;
+
+/// Encoded streams for one code block of size K. Each stream has K + 4
+/// entries; the last four of each carry the 12 termination (tail) bits
+/// (see turbo.cpp for the packing).
+struct TurboCodeword {
+  BitVector systematic;  ///< K + 4
+  BitVector parity1;     ///< K + 4
+  BitVector parity2;     ///< K + 4
+
+  std::size_t block_size() const { return systematic.size() - 4; }
+};
+
+class TurboEncoder {
+ public:
+  explicit TurboEncoder(const QppInterleaver& interleaver)
+      : interleaver_(interleaver) {}
+
+  /// Encodes exactly interleaver.size() bits.
+  TurboCodeword encode(std::span<const std::uint8_t> bits) const;
+
+ private:
+  const QppInterleaver& interleaver_;
+};
+
+struct TurboDecodeResult {
+  BitVector bits;           ///< K hard decisions.
+  unsigned iterations = 0;  ///< full (SISO1+SISO2) iterations executed.
+  bool early_terminated = false;  ///< CRC passed before max_iterations.
+};
+
+class TurboDecoder {
+ public:
+  /// `max_iterations` is the paper's Lm (default 4, as in §2.1).
+  explicit TurboDecoder(const QppInterleaver& interleaver,
+                        unsigned max_iterations = 4)
+      : interleaver_(interleaver), max_iterations_(max_iterations) {}
+
+  /// Decodes from channel LLRs (positive LLR == bit 0 more likely... see
+  /// convention note below). Each LLR vector must be K + 4 long, matching
+  /// TurboCodeword streams; punctured positions carry 0.
+  ///
+  /// LLR convention: llr = log(P(bit=0)/P(bit=1)) — the demapper and the
+  /// decoder agree on this throughout the PHY.
+  ///
+  /// `crc_check` (may be empty) is invoked on the K hard-decision bits after
+  /// every iteration; returning true stops decoding early.
+  TurboDecodeResult decode(
+      std::span<const float> systematic, std::span<const float> parity1,
+      std::span<const float> parity2,
+      const std::function<bool(std::span<const std::uint8_t>)>& crc_check = {})
+      const;
+
+  unsigned max_iterations() const { return max_iterations_; }
+
+ private:
+  const QppInterleaver& interleaver_;
+  unsigned max_iterations_;
+};
+
+}  // namespace rtopex::phy

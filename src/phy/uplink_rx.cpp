@@ -1,0 +1,277 @@
+#include "phy/uplink_rx.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "phy/ofdm.hpp"
+#include "phy/qpp_interleaver.hpp"
+#include "phy/rate_match.hpp"
+#include "phy/scrambler.hpp"
+
+namespace rtopex::phy {
+namespace {
+
+/// Indices of the 12 data symbols (all except the two DMRS positions).
+std::array<unsigned, 12> data_symbol_indices() {
+  std::array<unsigned, 12> idx{};
+  unsigned j = 0;
+  for (unsigned s = 0; s < kSymbolsPerSubframe; ++s)
+    if (s != kDmrsSymbol0 && s != kDmrsSymbol1) idx[j++] = s;
+  return idx;
+}
+
+}  // namespace
+
+/// Per-MCS decode context: segmentation layout plus the codec objects for
+/// that block size, built once at processor construction.
+struct McsContext {
+  CodeBlockLayout layout;
+  std::shared_ptr<QppInterleaver> interleaver;
+  std::shared_ptr<TurboDecoder> decoder;
+  std::shared_ptr<RateMatcher> matcher;
+  std::vector<std::size_t> e_offsets;  ///< start of each block's LLR span.
+};
+
+struct UplinkRxProcessor::Impl {
+  FftPlan fft;
+  IqVector dmrs;
+  std::array<unsigned, 12> data_symbols = data_symbol_indices();
+  std::vector<McsContext> per_mcs;  ///< indexed by MCS.
+
+  explicit Impl(const UplinkConfig& config)
+      : fft(config.bw_config().fft_size),
+        dmrs(dmrs_sequence(config.num_subcarriers(), config.cell_id)) {}
+};
+
+UplinkRxProcessor::UplinkRxProcessor(const UplinkConfig& config)
+    : config_(config), impl_(std::make_unique<Impl>(config)) {
+  // Build per-MCS contexts, sharing codecs across MCS with equal block size.
+  impl_->per_mcs.resize(kMaxMcs + 1);
+  std::vector<std::pair<std::size_t, std::size_t>> built;  // (K, mcs index)
+  for (unsigned mcs = 0; mcs <= kMaxMcs; ++mcs) {
+    McsContext& ctx = impl_->per_mcs[mcs];
+    ctx.layout = code_block_layout(config_, mcs);
+    const std::size_t k = ctx.layout.block_size;
+    const auto it = std::find_if(built.begin(), built.end(),
+                                 [&](const auto& p) { return p.first == k; });
+    if (it != built.end()) {
+      const McsContext& src = impl_->per_mcs[it->second];
+      ctx.interleaver = src.interleaver;
+      ctx.decoder = src.decoder;
+      ctx.matcher = src.matcher;
+    } else {
+      ctx.interleaver = std::make_shared<QppInterleaver>(k);
+      ctx.decoder = std::make_shared<TurboDecoder>(*ctx.interleaver,
+                                                   config_.max_iterations);
+      ctx.matcher = std::make_shared<RateMatcher>(k);
+      built.emplace_back(k, mcs);
+    }
+    ctx.e_offsets.resize(ctx.layout.e_bits.size());
+    std::size_t off = 0;
+    for (std::size_t b = 0; b < ctx.layout.e_bits.size(); ++b) {
+      ctx.e_offsets[b] = off;
+      off += ctx.layout.e_bits[b];
+    }
+  }
+}
+
+UplinkRxProcessor::~UplinkRxProcessor() = default;
+
+UplinkRxProcessor::Job UplinkRxProcessor::make_job() const {
+  Job job;
+  const auto bw = config_.bw_config();
+  const unsigned nsc = config_.num_subcarriers();
+  const unsigned n = config_.num_antennas;
+  job.antenna_samples.assign(
+      n, IqVector(kSymbolsPerSubframe * (bw.cp_samples + bw.fft_size)));
+  job.grid.assign(static_cast<std::size_t>(n) * kSymbolsPerSubframe,
+                  IqVector(nsc));
+  job.channel_est.assign(n, IqVector(nsc));
+  job.equalized.resize(static_cast<std::size_t>(nsc) * 12);
+  job.post_eq_noise.resize(job.equalized.size());
+  // Worst-case LLR buffer: 64QAM over all data REs.
+  job.llrs.resize(job.equalized.size() * 6);
+  return job;
+}
+
+void UplinkRxProcessor::begin(Job& job,
+                              std::span<const IqVector> antenna_samples,
+                              unsigned mcs,
+                              std::uint32_t subframe_index) const {
+  if (mcs > kMaxMcs) throw std::out_of_range("begin: mcs > 27");
+  if (antenna_samples.size() != config_.num_antennas)
+    throw std::invalid_argument("begin: antenna count mismatch");
+  const auto bw = config_.bw_config();
+  const std::size_t expected =
+      kSymbolsPerSubframe * (bw.cp_samples + bw.fft_size);
+  job.mcs = mcs;
+  job.subframe_index = subframe_index;
+  for (unsigned a = 0; a < config_.num_antennas; ++a) {
+    if (antenna_samples[a].size() != expected)
+      throw std::invalid_argument("begin: sample count mismatch");
+    job.antenna_samples[a] = antenna_samples[a];
+  }
+  const unsigned qm = modulation_order(mcs);
+  job.llrs.assign(job.equalized.size() * qm, 0.0f);
+  job.cb_results.assign(impl_->per_mcs[mcs].layout.e_bits.size(), {});
+}
+
+std::size_t UplinkRxProcessor::fft_subtask_count() const {
+  return static_cast<std::size_t>(config_.num_antennas) * kSymbolsPerSubframe;
+}
+
+void UplinkRxProcessor::run_fft_subtask(Job& job, std::size_t index) const {
+  const auto bw = config_.bw_config();
+  const unsigned nsc = config_.num_subcarriers();
+  const std::size_t antenna = index / kSymbolsPerSubframe;
+  const std::size_t symbol = index % kSymbolsPerSubframe;
+  if (antenna >= config_.num_antennas)
+    throw std::out_of_range("run_fft_subtask: bad index");
+  const std::size_t sym_len = bw.cp_samples + bw.fft_size;
+  const std::span<const Complex> samples(
+      job.antenna_samples[antenna].data() + symbol * sym_len, sym_len);
+  job.grid[antenna * kSymbolsPerSubframe + symbol] =
+      ofdm_demodulate(impl_->fft, samples, bw.cp_samples, nsc);
+}
+
+void UplinkRxProcessor::demod_prepare(Job& job) const {
+  const unsigned nsc = config_.num_subcarriers();
+  const unsigned n = config_.num_antennas;
+  // LS channel estimate per antenna, averaged over the two DMRS symbols;
+  // the half-difference of the two estimates gives the noise power.
+  double noise_acc = 0.0;
+  std::size_t noise_cnt = 0;
+  for (unsigned a = 0; a < n; ++a) {
+    const IqVector& y0 = job.grid[a * kSymbolsPerSubframe + kDmrsSymbol0];
+    const IqVector& y1 = job.grid[a * kSymbolsPerSubframe + kDmrsSymbol1];
+    IqVector& h = job.channel_est[a];
+    for (unsigned k = 0; k < nsc; ++k) {
+      // DMRS has unit magnitude, so dividing is multiplying by conj.
+      const Complex p = std::conj(impl_->dmrs[k]);
+      const Complex h0 = y0[k] * p;
+      const Complex h1 = y1[k] * p;
+      h[k] = 0.5f * (h0 + h1);
+      const Complex d = h0 - h1;
+      noise_acc += 0.5 * (d.real() * d.real() + d.imag() * d.imag());
+      ++noise_cnt;
+    }
+  }
+  job.noise_var =
+      static_cast<float>(noise_acc / static_cast<double>(noise_cnt));
+  job.noise_var = std::max(job.noise_var, 1e-12f);
+}
+
+void UplinkRxProcessor::run_demod_subtask(Job& job, std::size_t index) const {
+  if (index >= demod_subtask_count())
+    throw std::out_of_range("run_demod_subtask: bad index");
+  const unsigned nsc = config_.num_subcarriers();
+  const unsigned n = config_.num_antennas;
+  const unsigned symbol = impl_->data_symbols[index];
+  const unsigned qm = modulation_order(job.mcs);
+
+  // MRC across antennas per subcarrier.
+  const std::size_t out_base = index * nsc;
+  for (unsigned k = 0; k < nsc; ++k) {
+    Complex num{0.0f, 0.0f};
+    float denom = 0.0f;
+    for (unsigned a = 0; a < n; ++a) {
+      const Complex h = job.channel_est[a][k];
+      const Complex y = job.grid[a * kSymbolsPerSubframe + symbol][k];
+      num += std::conj(h) * y;
+      denom += h.real() * h.real() + h.imag() * h.imag();
+    }
+    denom = std::max(denom, 1e-12f);
+    job.equalized[out_base + k] = num / denom;
+    job.post_eq_noise[out_base + k] = job.noise_var / denom;
+  }
+
+  // Demap this symbol's REs into the right LLR slice.
+  const std::span<const Complex> eq(job.equalized.data() + out_base, nsc);
+  const std::span<const float> nv(job.post_eq_noise.data() + out_base, nsc);
+  const LlrVector llr = demodulate(eq, nv, qm);
+  std::copy(llr.begin(), llr.end(),
+            job.llrs.begin() + static_cast<std::ptrdiff_t>(out_base) * qm);
+}
+
+void UplinkRxProcessor::decode_prepare(Job& job) const {
+  descramble_llrs(job.llrs, scrambling_init(config_.rnti, job.subframe_index,
+                                            config_.cell_id));
+}
+
+std::size_t UplinkRxProcessor::decode_subtask_count(const Job& job) const {
+  return impl_->per_mcs[job.mcs].layout.e_bits.size();
+}
+
+void UplinkRxProcessor::run_decode_subtask(Job& job, std::size_t index) const {
+  const McsContext& ctx = impl_->per_mcs[job.mcs];
+  if (index >= ctx.layout.e_bits.size())
+    throw std::out_of_range("run_decode_subtask: bad index");
+  const std::size_t c = ctx.layout.e_bits.size();
+
+  const std::span<const float> cb_llrs(job.llrs.data() + ctx.e_offsets[index],
+                                       ctx.layout.e_bits[index]);
+  const RateMatcher::Dematched streams = ctx.matcher->dematch(cb_llrs);
+
+  // Early-termination CRC: per-block CRC24B when segmented, else the
+  // transport block's CRC24A (which then covers filler-free payload).
+  const auto crc_check = [&](std::span<const std::uint8_t> bits) {
+    if (c > 1) return check_crc24(bits, CrcKind::kB);
+    // Single block: strip filler before checking CRC24A.
+    const auto payload = bits.subspan(ctx.layout.filler_bits);
+    return check_crc24(payload, CrcKind::kA);
+  };
+
+  const TurboDecodeResult res = ctx.decoder->decode(
+      streams.systematic, streams.parity1, streams.parity2, crc_check);
+  auto& out = job.cb_results[index];
+  out.bits = res.bits;
+  out.iterations = res.iterations;
+  out.crc_ok = res.early_terminated || crc_check(res.bits);
+}
+
+UplinkRxResult UplinkRxProcessor::finalize(Job& job) const {
+  const McsContext& ctx = impl_->per_mcs[job.mcs];
+  std::vector<BitVector> blocks;
+  blocks.reserve(job.cb_results.size());
+  UplinkRxResult result;
+  unsigned iter_max = 0;
+  double iter_sum = 0.0;
+  for (const auto& cb : job.cb_results) {
+    blocks.push_back(cb.bits);
+    result.cb_crc_ok.push_back(cb.crc_ok);
+    iter_max = std::max(iter_max, cb.iterations);
+    iter_sum += cb.iterations;
+  }
+  result.iterations = iter_max;
+  result.mean_iterations =
+      iter_sum / static_cast<double>(job.cb_results.size());
+
+  const Desegmentation de = desegment_transport_block(
+      blocks, ctx.layout.payload_bits, ctx.layout.filler_bits);
+  result.crc_ok = check_crc24(de.tb_with_crc, CrcKind::kA);
+  if (result.crc_ok) {
+    result.payload.assign(de.tb_with_crc.begin(),
+                          de.tb_with_crc.end() - kCrcLength);
+  }
+  return result;
+}
+
+UplinkRxResult UplinkRxProcessor::process(
+    std::span<const IqVector> antenna_samples, unsigned mcs,
+    std::uint32_t subframe_index) const {
+  Job job = make_job();
+  begin(job, antenna_samples, mcs, subframe_index);
+  for (std::size_t i = 0; i < fft_subtask_count(); ++i)
+    run_fft_subtask(job, i);
+  demod_prepare(job);
+  for (std::size_t i = 0; i < demod_subtask_count(); ++i)
+    run_demod_subtask(job, i);
+  decode_prepare(job);
+  for (std::size_t i = 0; i < decode_subtask_count(job); ++i)
+    run_decode_subtask(job, i);
+  return finalize(job);
+}
+
+}  // namespace rtopex::phy

@@ -1,0 +1,104 @@
+// Uplink receiver with the paper's task/subtask decomposition (§2.2):
+//
+//   taskFFT    — one subtask per (antenna, OFDM symbol): CP strip + FFT +
+//                subcarrier extraction. 14 * N subtasks.
+//   taskDemod  — serial prepare (DMRS channel estimation + noise estimate),
+//                then one subtask per data symbol: MRC equalization across
+//                antennas + max-log LLR demapping. 12 subtasks.
+//   taskDecode — serial prepare (descrambling), then one subtask per code
+//                block: rate dematching + iterative turbo decode with CRC
+//                early termination. C subtasks (6 at MCS 27 / 10 MHz).
+//   finalize   — desegmentation + transport-block CRC: ACK or NACK.
+//
+// Subtasks within a stage write disjoint state in the Job, so a scheduler
+// (or RT-OPEX migration) may execute them concurrently on different cores;
+// stages must still run in order (precedence constraint, paper Fig. 5).
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "phy/uplink_tx.hpp"
+
+namespace rtopex::phy {
+
+struct UplinkRxResult {
+  bool crc_ok = false;           ///< transport-block CRC24A (ACK vs NACK).
+  unsigned iterations = 0;       ///< max turbo iterations over code blocks (L).
+  double mean_iterations = 0.0;  ///< average over code blocks.
+  std::vector<bool> cb_crc_ok;   ///< per-code-block CRC.
+  BitVector payload;             ///< decoded transport block (no CRC).
+};
+
+/// All intermediate state for one subframe decode. Reusable across
+/// subframes. Distinct subtasks of one stage touch disjoint members and may
+/// run concurrently; everything else is single-threaded.
+struct UplinkRxJob {
+  unsigned mcs = 0;
+  std::uint32_t subframe_index = 0;
+
+  std::vector<IqVector> antenna_samples;  ///< N streams of time samples.
+  std::vector<IqVector> grid;             ///< [antenna*14 + symbol] -> nsc REs.
+  std::vector<IqVector> channel_est;      ///< per antenna, nsc gains.
+  float noise_var = 0.0f;                 ///< per-RE noise power estimate.
+  IqVector equalized;                     ///< 12 * nsc data REs.
+  std::vector<float> post_eq_noise;       ///< per data RE.
+  LlrVector llrs;                         ///< G soft bits, descrambled in-place.
+
+  struct CodeBlockResult {
+    BitVector bits;
+    unsigned iterations = 0;
+    bool crc_ok = false;
+  };
+  std::vector<CodeBlockResult> cb_results;
+};
+
+class UplinkRxProcessor {
+ public:
+  explicit UplinkRxProcessor(const UplinkConfig& config);
+  ~UplinkRxProcessor();
+
+  UplinkRxProcessor(const UplinkRxProcessor&) = delete;
+  UplinkRxProcessor& operator=(const UplinkRxProcessor&) = delete;
+
+  using Job = UplinkRxJob;
+
+  /// Creates a job sized for the worst-case MCS.
+  Job make_job() const;
+
+  /// Binds a received subframe to the job and resets per-subframe state.
+  /// `antenna_samples` must hold config.num_antennas streams of
+  /// 14 * (cp + fft) samples each; the job keeps a copy.
+  void begin(Job& job, std::span<const IqVector> antenna_samples, unsigned mcs,
+             std::uint32_t subframe_index) const;
+
+  // --- Stage A: FFT ---
+  std::size_t fft_subtask_count() const;
+  void run_fft_subtask(Job& job, std::size_t index) const;
+
+  // --- Stage B: demod ---
+  void demod_prepare(Job& job) const;
+  std::size_t demod_subtask_count() const { return kSymbolsPerSubframe - 2; }
+  void run_demod_subtask(Job& job, std::size_t index) const;
+
+  // --- Stage C: decode ---
+  void decode_prepare(Job& job) const;
+  std::size_t decode_subtask_count(const Job& job) const;
+  void run_decode_subtask(Job& job, std::size_t index) const;
+
+  // --- Finalize ---
+  UplinkRxResult finalize(Job& job) const;
+
+  /// Convenience: the full chain, serially, on a fresh job.
+  UplinkRxResult process(std::span<const IqVector> antenna_samples,
+                         unsigned mcs, std::uint32_t subframe_index) const;
+
+  const UplinkConfig& config() const { return config_; }
+
+ private:
+  UplinkConfig config_;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rtopex::phy

@@ -1,0 +1,114 @@
+#include "phy/uplink_tx.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "phy/ofdm.hpp"
+#include "phy/qpp_interleaver.hpp"
+#include "phy/rate_match.hpp"
+#include "phy/scrambler.hpp"
+
+namespace rtopex::phy {
+
+CodeBlockLayout code_block_layout(const UplinkConfig& config, unsigned mcs) {
+  const unsigned nprb = config.num_prb();
+  const unsigned qm = modulation_order(mcs);
+  const std::size_t g =
+      static_cast<std::size_t>(data_resource_elements(nprb)) * qm;
+
+  // Segmentation geometry (without building the bits): replicate
+  // segment_transport_block's arithmetic.
+  const std::size_t b = transport_block_size(mcs, nprb) + kCrcLength;
+  std::size_t c = 1;
+  std::size_t b_prime = b;
+  if (b > kMaxCodeBlockSize) {
+    const std::size_t payload = kMaxCodeBlockSize - kCrcLength;
+    c = (b + payload - 1) / payload;
+    b_prime = b + c * kCrcLength;
+  }
+
+  CodeBlockLayout layout;
+  layout.payload_bits = b;
+  layout.block_size = QppInterleaver::ceil_block_size((b_prime + c - 1) / c);
+  layout.filler_bits = c * layout.block_size - b_prime;
+
+  // Split G into per-block shares, each a multiple of Qm.
+  const std::size_t base = (g / c) / qm * qm;
+  std::size_t leftover = g - base * c;
+  layout.e_bits.assign(c, base);
+  for (std::size_t i = 0; i < c && leftover >= qm; ++i) {
+    layout.e_bits[i] += qm;
+    leftover -= qm;
+  }
+  // Any sub-Qm remainder goes to the first block so that sum(e) == G.
+  layout.e_bits[0] += leftover;
+  return layout;
+}
+
+UplinkTransmitter::UplinkTransmitter(const UplinkConfig& config)
+    : config_(config),
+      fft_(config.bw_config().fft_size),
+      dmrs_(dmrs_sequence(config.num_subcarriers(), config.cell_id)) {}
+
+TxSubframe UplinkTransmitter::transmit(unsigned mcs,
+                                       std::uint32_t subframe_index,
+                                       std::uint64_t payload_seed) const {
+  const auto bw = config_.bw_config();
+  const unsigned nsc = config_.num_subcarriers();
+  const unsigned qm = modulation_order(mcs);
+
+  TxSubframe tx;
+  tx.mcs = mcs;
+  tx.subframe_index = subframe_index;
+
+  // Random payload.
+  Rng rng(payload_seed);
+  tx.payload.resize(transport_block_size(mcs, bw.num_prb));
+  for (auto& bit : tx.payload)
+    bit = static_cast<std::uint8_t>(rng.next() & 1);
+
+  // Transport block CRC + segmentation.
+  BitVector tb = tx.payload;
+  attach_crc24(tb, CrcKind::kA);
+  const Segmentation seg = segment_transport_block(tb);
+
+  // Per-block turbo encoding + rate matching, concatenated.
+  const CodeBlockLayout layout = code_block_layout(config_, mcs);
+  if (layout.e_bits.size() != seg.num_blocks())
+    throw std::logic_error("transmit: layout/segmentation mismatch");
+  const QppInterleaver interleaver(seg.block_size);
+  const TurboEncoder encoder(interleaver);
+  const RateMatcher matcher(seg.block_size);
+
+  BitVector codeword;
+  for (std::size_t blk = 0; blk < seg.num_blocks(); ++blk) {
+    const TurboCodeword cw = encoder.encode(seg.blocks[blk]);
+    const BitVector matched = matcher.match(cw, layout.e_bits[blk]);
+    codeword.insert(codeword.end(), matched.begin(), matched.end());
+  }
+
+  // Scramble + modulate.
+  scramble_bits(codeword,
+                scrambling_init(config_.rnti, subframe_index, config_.cell_id));
+  const IqVector symbols = modulate(codeword, qm);
+  if (symbols.size() != data_resource_elements(bw.num_prb))
+    throw std::logic_error("transmit: RE count mismatch");
+
+  // Grid mapping + OFDM: 14 symbols, DMRS at kDmrsSymbol0/1.
+  tx.samples.reserve(kSymbolsPerSubframe * (bw.cp_samples + bw.fft_size));
+  std::size_t data_pos = 0;
+  for (unsigned sym = 0; sym < kSymbolsPerSubframe; ++sym) {
+    std::span<const Complex> content;
+    if (sym == kDmrsSymbol0 || sym == kDmrsSymbol1) {
+      content = dmrs_;
+    } else {
+      content = std::span<const Complex>(symbols).subspan(data_pos, nsc);
+      data_pos += nsc;
+    }
+    const IqVector time = ofdm_modulate(fft_, content, bw.cp_samples);
+    tx.samples.insert(tx.samples.end(), time.begin(), time.end());
+  }
+  return tx;
+}
+
+}  // namespace rtopex::phy

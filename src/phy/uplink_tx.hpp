@@ -1,0 +1,68 @@
+// Uplink transmitter: builds a decodable subframe for one user occupying all
+// allocated PRBs (the paper's conservative single-user, 100%-PRB scenario,
+// §4.2). Output is one time-domain sample stream; the channel model fans it
+// out to N receive antennas.
+#pragma once
+
+#include <cstdint>
+
+#include "phy/fft.hpp"
+#include "phy/lte_params.hpp"
+#include "phy/modulation.hpp"
+#include "phy/segmentation.hpp"
+#include "phy/turbo.hpp"
+
+namespace rtopex::phy {
+
+/// Static configuration of one basestation's uplink.
+struct UplinkConfig {
+  Bandwidth bandwidth = Bandwidth::kMHz10;
+  unsigned num_antennas = 2;      ///< receive antennas N.
+  unsigned max_iterations = 4;    ///< turbo decoder Lm (paper: 4).
+  std::uint16_t rnti = 0x003D;    ///< user identity (scrambling).
+  std::uint16_t cell_id = 0;      ///< cell identity (scrambling + DMRS).
+
+  BandwidthConfig bw_config() const { return bandwidth_config(bandwidth); }
+  unsigned num_prb() const { return bw_config().num_prb; }
+  unsigned num_subcarriers() const { return num_prb() * kSubcarriersPerPrb; }
+};
+
+/// Everything the receiver needs to verify a decoded subframe in tests, plus
+/// the transmitted samples.
+struct TxSubframe {
+  BitVector payload;        ///< transport block bits (before CRC24A).
+  IqVector samples;         ///< 14 * (cp + fft) time-domain samples.
+  unsigned mcs = 0;
+  std::uint32_t subframe_index = 0;
+};
+
+/// Per-code-block rate-matching geometry shared by TX and RX.
+struct CodeBlockLayout {
+  std::size_t block_size = 0;          ///< turbo K.
+  std::size_t filler_bits = 0;
+  std::size_t payload_bits = 0;        ///< TB bits incl. CRC24A.
+  std::vector<std::size_t> e_bits;     ///< coded bits per block (sums to G).
+};
+
+/// Computes the layout for (mcs, config): segmentation sizes and the split
+/// of the G = data_REs * Qm coded bits across code blocks (multiples of Qm).
+CodeBlockLayout code_block_layout(const UplinkConfig& config, unsigned mcs);
+
+class UplinkTransmitter {
+ public:
+  explicit UplinkTransmitter(const UplinkConfig& config);
+
+  /// Encodes random payload bits (drawn from `payload_seed`) at the given
+  /// MCS into a transmitted subframe.
+  TxSubframe transmit(unsigned mcs, std::uint32_t subframe_index,
+                      std::uint64_t payload_seed) const;
+
+  const UplinkConfig& config() const { return config_; }
+
+ private:
+  UplinkConfig config_;
+  FftPlan fft_;
+  IqVector dmrs_;
+};
+
+}  // namespace rtopex::phy

@@ -1,0 +1,29 @@
+// Global reference clock for the real-thread runtime — the paper's "common
+// watchdog timer that maintains a global reference time that allows
+// detecting deadline-misses across the cores" (§4.1).
+#pragma once
+
+#include <cstdint>
+
+#include "common/thread_utils.hpp"
+#include "common/time_types.hpp"
+
+namespace rtopex::runtime {
+
+/// Monotonic clock with a fixed epoch; all runtime timestamps are
+/// nanoseconds since start(). Thread-safe.
+class GlobalClock {
+ public:
+  GlobalClock() : epoch_ns_(monotonic_ns()) {}
+
+  /// Nanoseconds since construction.
+  TimePoint now() const { return monotonic_ns() - epoch_ns_; }
+
+  /// Busy-waits until the given runtime instant (sub-microsecond accurate).
+  void spin_until(TimePoint t) const { spin_until_ns(t + epoch_ns_); }
+
+ private:
+  std::int64_t epoch_ns_;
+};
+
+}  // namespace rtopex::runtime

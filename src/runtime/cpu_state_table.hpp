@@ -1,0 +1,63 @@
+// Shared CPU-state table (paper §4.1): one slot per core, updated by its
+// processing thread and polled by others when planning migrations. Lock-free
+// (a single atomic per core packs the state and the busy/idle horizon).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/time_types.hpp"
+
+namespace rtopex::runtime {
+
+enum class CoreActivity : std::uint8_t {
+  kIdle = 0,    ///< waiting state: available for migrated subtasks.
+  kActive = 1,  ///< processing its own subframe.
+  kHosting = 2, ///< executing a migrated subtask.
+};
+
+class CpuStateTable {
+ public:
+  explicit CpuStateTable(std::size_t num_cores) : slots_(num_cores) {}
+
+  struct Snapshot {
+    CoreActivity activity = CoreActivity::kActive;
+    /// When idle: the predicted preemption instant (next own subframe).
+    TimePoint horizon = 0;
+  };
+
+  void set(std::size_t core, CoreActivity activity, TimePoint horizon) {
+    slots_[core].packed.store(pack(activity, horizon),
+                              std::memory_order_release);
+  }
+
+  Snapshot get(std::size_t core) const {
+    return unpack(slots_[core].packed.load(std::memory_order_acquire));
+  }
+
+  std::size_t size() const { return slots_.size(); }
+
+ private:
+  static std::uint64_t pack(CoreActivity a, TimePoint horizon) {
+    // Horizon in microseconds, 56 bits; activity in the top byte.
+    const auto us =
+        static_cast<std::uint64_t>(std::max<TimePoint>(0, horizon / 1000)) &
+        0x00ff'ffff'ffff'ffffULL;
+    return us | (static_cast<std::uint64_t>(a) << 56);
+  }
+  static Snapshot unpack(std::uint64_t v) {
+    Snapshot s;
+    s.activity = static_cast<CoreActivity>(v >> 56);
+    s.horizon =
+        static_cast<TimePoint>(v & 0x00ff'ffff'ffff'ffffULL) * 1000;
+    return s;
+  }
+
+  struct alignas(64) Slot {  // avoid false sharing between cores
+    std::atomic<std::uint64_t> packed{0};
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace rtopex::runtime

@@ -1,0 +1,94 @@
+// Migration mailbox: the mechanism by which an active processing thread
+// hands a subtask chunk to an idle core and later consumes its result flag
+// (paper Fig. 12: result ready / result not ready).
+//
+// One mailbox per core. The owner polls in its waiting state; a remote
+// thread claims the mailbox with a CAS, fills in the chunk, and the owner
+// executes it. The result_ready flag is the only synchronization the
+// migrating side reads — it never blocks on the remote.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace rtopex::runtime {
+
+/// A chunk of subtasks migrated to one core. Subtask indices in
+/// [first, first + count) are claimed one at a time through `next_index`
+/// (shared with the migrating thread's recovery loop), so no subtask is
+/// ever executed twice.
+struct MigratedChunk {
+  /// Runs subtask `index` of the stage this chunk belongs to.
+  std::function<void(std::size_t)> run_subtask;
+  std::size_t first = 0;
+  std::size_t count = 0;
+  /// Claim counter (starts at `first`); fetch_add to claim the next index.
+  std::atomic<std::size_t>* next_index = nullptr;
+  /// Incremented after each completed subtask (the "result ready" flags).
+  std::atomic<std::size_t>* completed = nullptr;
+  /// Keeps the counters alive while either side still references them.
+  std::shared_ptr<void> keepalive;
+};
+
+class Mailbox {
+ public:
+  enum class State : int { kEmpty = 0, kClaimed = 1, kFilled = 2, kRunning = 3 };
+
+  /// Remote side: try to claim the mailbox (owner must be idle-polling).
+  bool try_claim() {
+    int expected = static_cast<int>(State::kEmpty);
+    return state_.compare_exchange_strong(expected,
+                                          static_cast<int>(State::kClaimed),
+                                          std::memory_order_acq_rel);
+  }
+
+  /// Remote side: publish the chunk after a successful claim.
+  void fill(MigratedChunk chunk) {
+    chunk_ = std::move(chunk);
+    state_.store(static_cast<int>(State::kFilled), std::memory_order_release);
+  }
+
+  /// Owner side: take a filled chunk if present.
+  bool try_take(MigratedChunk& out) {
+    int expected = static_cast<int>(State::kFilled);
+    if (!state_.compare_exchange_strong(expected,
+                                        static_cast<int>(State::kRunning),
+                                        std::memory_order_acq_rel))
+      return false;
+    out = std::move(chunk_);
+    return true;
+  }
+
+  /// Owner side: mark the chunk finished (or abandoned at preemption).
+  void release() {
+    chunk_ = MigratedChunk{};
+    state_.store(static_cast<int>(State::kEmpty), std::memory_order_release);
+  }
+
+  /// Remote side: withdraw a chunk the owner never started (the migrating
+  /// thread is about to reuse the buffers the chunk writes into). Returns
+  /// false when the owner already took it (it will then run the claim loop,
+  /// which finds nothing left to claim).
+  bool try_revoke() {
+    int expected = static_cast<int>(State::kFilled);
+    if (!state_.compare_exchange_strong(expected,
+                                        static_cast<int>(State::kClaimed),
+                                        std::memory_order_acq_rel))
+      return false;
+    chunk_ = MigratedChunk{};
+    state_.store(static_cast<int>(State::kEmpty), std::memory_order_release);
+    return true;
+  }
+
+  State state() const {
+    return static_cast<State>(state_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::atomic<int> state_{static_cast<int>(State::kEmpty)};
+  MigratedChunk chunk_;
+};
+
+}  // namespace rtopex::runtime

@@ -1,0 +1,493 @@
+#include "runtime/node_runtime.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "channel/channel.hpp"
+#include "common/rng.hpp"
+#include "model/task_cost_model.hpp"
+#include "phy/uplink_tx.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/cpu_state_table.hpp"
+#include "runtime/mailbox.hpp"
+#include "sched/migration.hpp"
+
+namespace rtopex::runtime {
+namespace {
+
+/// Pre-generated received subframe (one per (bs, mcs) pair).
+struct RxVariant {
+  unsigned mcs = 0;
+  std::uint32_t tx_subframe_index = 0;  ///< scrambling seed used at TX.
+  std::vector<phy::IqVector> antenna_samples;
+};
+
+struct Job {
+  const RxVariant* variant = nullptr;
+  unsigned bs = 0;
+  std::uint32_t index = 0;
+  TimePoint radio_time = 0;
+  TimePoint arrival = 0;
+  TimePoint deadline = 0;
+};
+
+/// Per-worker state: private job queue (partitioned/RT-OPEX) plus the
+/// migration mailbox.
+struct WorkerState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Job> queue;
+  std::atomic<int> pending{0};
+  Mailbox mailbox;
+  std::vector<SubframeRecord> records;
+  /// Nominal arrival of this worker's next own subframe (RT-OPEX horizon).
+  std::atomic<TimePoint> next_own_arrival{0};
+};
+
+}  // namespace
+
+struct NodeRuntime::Impl {
+  RuntimeConfig config;
+  GlobalClock clock;
+  CpuStateTable table;
+  std::vector<std::unique_ptr<WorkerState>> workers;
+  std::unique_ptr<phy::UplinkRxProcessor> rx;
+  std::vector<std::vector<RxVariant>> variants;  // [bs][distinct mcs]
+  std::atomic<bool> running{true};
+
+  // Shared queue for global mode.
+  std::mutex global_mu;
+  std::condition_variable global_cv;
+  std::deque<Job> global_queue;
+  std::atomic<int> global_pending{0};
+
+  // Planning-model subtask/stage time estimates (EWMA-updated at runtime).
+  std::atomic<std::int64_t> fft_subtask_est_ns{50'000};
+  std::atomic<std::int64_t> decode_subtask_est_ns{500'000};
+  std::atomic<std::int64_t> demod_est_ns{500'000};
+  Duration migration_cost = microseconds(20);
+
+  std::atomic<std::size_t> migrations{0};
+  std::atomic<std::size_t> recoveries{0};
+
+  explicit Impl(const RuntimeConfig& cfg)
+      : config(cfg), table(worker_count(cfg)) {
+    for (unsigned i = 0; i < worker_count(cfg); ++i)
+      workers.push_back(std::make_unique<WorkerState>());
+    rx = std::make_unique<phy::UplinkRxProcessor>(cfg.phy);
+    build_variants();
+  }
+
+  static unsigned worker_count(const RuntimeConfig& cfg) {
+    return cfg.mode == RuntimeMode::kGlobal
+               ? cfg.global_cores
+               : cfg.num_basestations * cfg.cores_per_bs;
+  }
+
+  void build_variants() {
+    phy::UplinkTransmitter tx(config.phy);
+    Rng rng(config.seed);
+    variants.resize(config.num_basestations);
+    std::vector<unsigned> distinct = config.mcs_cycle;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    for (unsigned bs = 0; bs < config.num_basestations; ++bs) {
+      for (const unsigned mcs : distinct) {
+        const std::uint32_t tx_index = bs;  // distinct scrambling per BS
+        const phy::TxSubframe sf = tx.transmit(mcs, tx_index, rng.next());
+        channel::ChannelConfig ch;
+        ch.snr_db = config.snr_db;
+        ch.num_rx_antennas = config.phy.num_antennas;
+        RxVariant v;
+        v.mcs = mcs;
+        v.tx_subframe_index = tx_index;
+        v.antenna_samples =
+            channel::pass_through_channel(sf.samples, ch, rng.next());
+        variants[bs].push_back(std::move(v));
+      }
+    }
+  }
+
+  const RxVariant& variant_for(unsigned bs, unsigned mcs) const {
+    for (const auto& v : variants[bs])
+      if (v.mcs == mcs) return v;
+    throw std::logic_error("no RX variant for this MCS");
+  }
+
+  unsigned partitioned_worker(unsigned bs, std::uint32_t index) const {
+    return bs * config.cores_per_bs + index % config.cores_per_bs;
+  }
+
+  // ---- worker side ----------------------------------------------------
+
+  void update_estimate(std::atomic<std::int64_t>& est, Duration sample) {
+    // EWMA with alpha = 1/4.
+    const std::int64_t old = est.load(std::memory_order_relaxed);
+    est.store(old + (sample - old) / 4, std::memory_order_relaxed);
+  }
+
+  /// Runs a parallelizable stage with migration; returns subtask counts.
+  void run_stage_migrating(unsigned self_id, phy::UplinkRxJob& job,
+                           std::size_t subtasks,
+                           Duration tp_estimate, bool is_fft,
+                           StageTiming& timing) {
+    auto run_subtask = [&](std::size_t i) {
+      if (is_fft)
+        rx->run_fft_subtask(job, i);
+      else
+        rx->run_decode_subtask(job, i);
+    };
+
+    // Plan from the CPU-state table snapshots.
+    const TimePoint now = clock.now();
+    std::vector<sched::MigrationCandidate> cands;
+    for (unsigned k = 0; k < table.size(); ++k) {
+      if (k == self_id) continue;
+      const auto snap = table.get(k);
+      if (snap.activity != CoreActivity::kIdle) continue;
+      const Duration window = snap.horizon - now;
+      if (window > 0) cands.push_back({k, window});
+    }
+    std::sort(cands.begin(), cands.end(),
+              [](const auto& a, const auto& b) {
+                if (a.free_window != b.free_window)
+                  return a.free_window > b.free_window;
+                return a.core < b.core;
+              });
+    const sched::MigrationPlan plan = sched::plan_migration(
+        static_cast<unsigned>(subtasks), std::max<Duration>(tp_estimate, 1),
+        migration_cost, cands);
+
+    // Publish chunks: claim target mailboxes; a failed claim (the core just
+    // went active) simply keeps those subtasks local.
+    struct LiveChunk {
+      std::atomic<std::size_t> next{0};
+      std::atomic<std::size_t> completed{0};
+      std::size_t first = 0;
+      std::size_t count = 0;
+      unsigned core = 0;
+    };
+    std::vector<std::shared_ptr<LiveChunk>> live;
+    std::size_t assigned_from_tail = 0;
+    for (const auto& chunk : plan.chunks) {
+      Mailbox& box = workers[chunk.core]->mailbox;
+      if (!box.try_claim()) continue;
+      auto lc = std::make_shared<LiveChunk>();
+      lc->count = chunk.count;
+      lc->core = chunk.core;
+      assigned_from_tail += chunk.count;
+      lc->first = subtasks - assigned_from_tail;
+      lc->next.store(lc->first);
+      MigratedChunk mc;
+      mc.run_subtask = run_subtask;
+      mc.first = lc->first;
+      mc.count = lc->count;
+      mc.next_index = &lc->next;
+      mc.completed = &lc->completed;
+      mc.keepalive = lc;
+      box.fill(std::move(mc));
+      migrations.fetch_add(chunk.count, std::memory_order_relaxed);
+      if (is_fft)
+        timing.fft_migrated += chunk.count;
+      else
+        timing.decode_migrated += chunk.count;
+      live.push_back(std::move(lc));
+    }
+    const std::size_t local_end = subtasks - assigned_from_tail;
+
+    // Local subtasks: range [0, local_end).
+    for (std::size_t i = 0; i < local_end; ++i) run_subtask(i);
+
+    // Check result flags; recover unfinished migrated subtasks by claiming
+    // from the same counters (no duplicate execution possible).
+    for (const auto& lc : live) {
+      for (;;) {
+        const std::size_t i =
+            lc->next.fetch_add(1, std::memory_order_acq_rel);
+        if (i >= lc->first + lc->count) break;
+        run_subtask(i);
+        lc->completed.fetch_add(1, std::memory_order_acq_rel);
+        recoveries.fetch_add(1, std::memory_order_relaxed);
+        timing.recovered += 1;
+      }
+    }
+    // Withdraw chunks the host never started, then wait out any host that
+    // is mid-subtask (bounded by one subtask) — the stage's buffers must
+    // not be written after this function returns.
+    for (const auto& lc : live) {
+      workers[lc->core]->mailbox.try_revoke();
+      while (lc->completed.load(std::memory_order_acquire) <
+             std::min(lc->next.load(std::memory_order_acquire),
+                      lc->first + lc->count) -
+                 lc->first) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  SubframeRecord process_job(unsigned self_id, phy::UplinkRxJob& job,
+                             const Job& j, bool migrate) {
+    SubframeRecord rec;
+    rec.bs = j.bs;
+    rec.index = j.index;
+    rec.mcs = j.variant->mcs;
+    rec.radio_time = j.radio_time;
+    rec.arrival = j.arrival;
+    rec.start = clock.now();
+    table.set(self_id, CoreActivity::kActive, 0);
+
+    rx->begin(job, j.variant->antenna_samples, j.variant->mcs,
+              j.variant->tx_subframe_index);
+
+    // Slack check (paper §4.1): drop the subframe when the estimated
+    // execution time exceeds the time left before its deadline.
+    const std::size_t fft_n = rx->fft_subtask_count();
+    const std::size_t dec_n_est = phy::num_code_blocks(
+        j.variant->mcs, config.phy.num_prb());
+    if (config.enforce_deadlines) {
+      const Duration estimate =
+          fft_subtask_est_ns.load() * static_cast<Duration>(fft_n) +
+          demod_est_ns.load() +
+          decode_subtask_est_ns.load() * static_cast<Duration>(dec_n_est);
+      if (clock.now() + estimate > j.deadline) {
+        rec.completion = clock.now();
+        rec.deadline_missed = true;
+        rec.dropped = true;
+        return rec;
+      }
+    }
+
+    // --- FFT ---
+    TimePoint t0 = clock.now();
+    if (migrate) {
+      run_stage_migrating(self_id, job, fft_n, fft_subtask_est_ns.load(),
+                          /*is_fft=*/true, rec.timing);
+    } else {
+      for (std::size_t i = 0; i < fft_n; ++i) rx->run_fft_subtask(job, i);
+    }
+    TimePoint t1 = clock.now();
+    rec.timing.fft = t1 - t0;
+    update_estimate(fft_subtask_est_ns,
+                    rec.timing.fft / static_cast<Duration>(fft_n));
+
+    // --- Demod ---
+    rx->demod_prepare(job);
+    for (std::size_t i = 0; i < rx->demod_subtask_count(); ++i)
+      rx->run_demod_subtask(job, i);
+    TimePoint t2 = clock.now();
+    rec.timing.demod = t2 - t1;
+    update_estimate(demod_est_ns, rec.timing.demod);
+
+    // --- Decode ---
+    rx->decode_prepare(job);
+    const std::size_t dec_n = rx->decode_subtask_count(job);
+    if (migrate && dec_n > 1) {
+      run_stage_migrating(self_id, job, dec_n, decode_subtask_est_ns.load(),
+                          /*is_fft=*/false, rec.timing);
+    } else {
+      for (std::size_t i = 0; i < dec_n; ++i) rx->run_decode_subtask(job, i);
+    }
+    const phy::UplinkRxResult result = rx->finalize(job);
+    TimePoint t3 = clock.now();
+    rec.timing.decode = t3 - t2;
+    update_estimate(decode_subtask_est_ns,
+                    rec.timing.decode / static_cast<Duration>(dec_n));
+
+    rec.completion = t3;
+    rec.crc_ok = result.crc_ok;
+    rec.iterations = result.iterations;
+    rec.deadline_missed = rec.completion > j.deadline;
+    return rec;
+  }
+
+  // Worker body for partitioned/global modes: block on the queue.
+  void blocking_worker(unsigned id) {
+    if (config.pin_threads) pin_current_thread(id % hardware_core_count());
+    if (config.try_fifo_priority) set_current_thread_fifo(50);
+    set_current_thread_name("rtopex-w" + std::to_string(id));
+    const bool global = config.mode == RuntimeMode::kGlobal;
+    WorkerState& self = *workers[id];
+    phy::UplinkRxJob job = rx->make_job();
+    auto& mu = global ? global_mu : self.mu;
+    auto& cv = global ? global_cv : self.cv;
+    auto& queue = global ? global_queue : self.queue;
+    for (;;) {
+      Job j;
+      {
+        std::unique_lock lock(mu);
+        cv.wait(lock, [&] { return !queue.empty() || !running.load(); });
+        if (queue.empty()) return;
+        j = queue.front();
+        queue.pop_front();
+      }
+      self.records.push_back(process_job(id, job, j, /*migrate=*/false));
+    }
+  }
+
+  // Worker body for RT-OPEX: poll own queue and the migration mailbox.
+  void rtopex_worker(unsigned id) {
+    if (config.pin_threads) pin_current_thread(id % hardware_core_count());
+    if (config.try_fifo_priority) set_current_thread_fifo(50);
+    set_current_thread_name("rtopex-w" + std::to_string(id));
+    WorkerState& self = *workers[id];
+    phy::UplinkRxJob job = rx->make_job();
+    for (;;) {
+      if (self.pending.load(std::memory_order_acquire) > 0) {
+        Job j;
+        {
+          std::lock_guard lock(self.mu);
+          j = self.queue.front();
+          self.queue.pop_front();
+        }
+        self.pending.fetch_sub(1, std::memory_order_acq_rel);
+        self.records.push_back(process_job(id, job, j, /*migrate=*/true));
+        continue;
+      }
+      if (!running.load(std::memory_order_acquire)) return;
+
+      // Waiting state: publish idleness with the predicted horizon, then
+      // serve at most one migrated chunk.
+      table.set(id, CoreActivity::kIdle,
+                self.next_own_arrival.load(std::memory_order_acquire));
+      MigratedChunk chunk;
+      if (self.mailbox.try_take(chunk)) {
+        table.set(id, CoreActivity::kHosting, 0);
+        for (;;) {
+          // Preemption check between subtasks.
+          if (self.pending.load(std::memory_order_acquire) > 0) break;
+          const std::size_t i =
+              chunk.next_index->fetch_add(1, std::memory_order_acq_rel);
+          if (i >= chunk.first + chunk.count) break;
+          chunk.run_subtask(i);
+          chunk.completed->fetch_add(1, std::memory_order_acq_rel);
+        }
+        self.mailbox.release();
+        continue;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  // ---- transport side ---------------------------------------------------
+
+  void push_job(const Job& j) {
+    if (config.mode == RuntimeMode::kGlobal) {
+      {
+        std::lock_guard lock(global_mu);
+        global_queue.push_back(j);
+      }
+      global_cv.notify_one();
+      return;
+    }
+    WorkerState& w = *workers[partitioned_worker(j.bs, j.index)];
+    {
+      std::lock_guard lock(w.mu);
+      w.queue.push_back(j);
+      // Predict this worker's following own arrival (one stride later).
+      w.next_own_arrival.store(
+          j.arrival + static_cast<Duration>(config.cores_per_bs) *
+                          config.subframe_period,
+          std::memory_order_release);
+    }
+    w.pending.fetch_add(1, std::memory_order_acq_rel);
+    w.cv.notify_one();
+  }
+};
+
+NodeRuntime::NodeRuntime(const RuntimeConfig& config) {
+  if (config.num_basestations == 0 || config.subframes_per_bs == 0 ||
+      config.mcs_cycle.empty())
+    throw std::invalid_argument("NodeRuntime: empty configuration");
+  for (const unsigned mcs : config.mcs_cycle)
+    if (mcs > phy::kMaxMcs)
+      throw std::invalid_argument("NodeRuntime: mcs_cycle entry > 27");
+  impl_ = std::make_unique<Impl>(config);
+}
+
+NodeRuntime::~NodeRuntime() = default;
+
+RuntimeReport NodeRuntime::run() {
+  Impl& im = *impl_;
+  const RuntimeConfig& cfg = im.config;
+
+  std::vector<std::thread> threads;
+  const unsigned n_workers = Impl::worker_count(cfg);
+  threads.reserve(n_workers);
+  for (unsigned i = 0; i < n_workers; ++i) {
+    if (cfg.mode == RuntimeMode::kRtOpex)
+      threads.emplace_back([&im, i] { im.rtopex_worker(i); });
+    else
+      threads.emplace_back([&im, i] { im.blocking_worker(i); });
+  }
+
+  // Transport ticker: one tick per subframe period, all basestations.
+  for (std::uint32_t j = 0; j < cfg.subframes_per_bs; ++j) {
+    const TimePoint radio_time =
+        static_cast<TimePoint>(j) * cfg.subframe_period;
+    const TimePoint arrival = radio_time + cfg.rtt_half;
+    // Coarse sleep then a short spin to the arrival instant.
+    const TimePoint pre = arrival - microseconds(200);
+    while (im.clock.now() < pre)
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    im.clock.spin_until(arrival);
+    for (unsigned bs = 0; bs < cfg.num_basestations; ++bs) {
+      Job job;
+      const unsigned mcs =
+          cfg.mcs_cycle[(j + bs) % cfg.mcs_cycle.size()];
+      job.variant = &im.variant_for(bs, mcs);
+      job.bs = bs;
+      job.index = j;
+      job.radio_time = radio_time;
+      job.arrival = arrival;
+      job.deadline = radio_time + cfg.deadline_budget;
+      im.push_job(job);
+    }
+  }
+
+  // Drain: wait until all queues empty, then stop the workers.
+  auto queues_empty = [&im, &cfg] {
+    if (cfg.mode == RuntimeMode::kGlobal) {
+      std::lock_guard lock(im.global_mu);
+      return im.global_queue.empty();
+    }
+    for (const auto& w : im.workers) {
+      std::lock_guard lock(w->mu);
+      if (!w->queue.empty()) return false;
+    }
+    return true;
+  };
+  while (!queues_empty())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  im.running.store(false);
+  im.global_cv.notify_all();
+  for (const auto& w : im.workers) w->cv.notify_all();
+  for (auto& t : threads) t.join();
+
+  RuntimeReport report;
+  for (const auto& w : im.workers)
+    report.records.insert(report.records.end(), w->records.begin(),
+                          w->records.end());
+  std::sort(report.records.begin(), report.records.end(),
+            [](const SubframeRecord& a, const SubframeRecord& b) {
+              if (a.radio_time != b.radio_time) return a.radio_time < b.radio_time;
+              return a.bs < b.bs;
+            });
+  for (const auto& r : report.records) {
+    if (r.deadline_missed) ++report.deadline_misses;
+    if (r.dropped) ++report.dropped;
+    if (!r.dropped && !r.crc_ok) ++report.crc_failures;
+  }
+  report.migrations = im.migrations.load();
+  report.recoveries = im.recoveries.load();
+  return report;
+}
+
+}  // namespace rtopex::runtime

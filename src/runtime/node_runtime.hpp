@@ -1,0 +1,106 @@
+// Real-thread C-RAN compute node: pinned 1:1 worker threads, a 1 ms
+// transport ticker, semaphore handshakes, the shared CPU-state table and the
+// migration mailboxes — the paper's implementation layer (§4.1), driving the
+// real PHY chain from src/phy.
+//
+// Scope note (DESIGN.md §2): this runtime demonstrates and tests the
+// *mechanisms* (partitioned/global dispatch, subtask migration with result
+// flags and recovery) with real decoding work. Multicore wall-clock numbers
+// are only meaningful on a multicore host; the virtual-time simulator in
+// src/sim is the substrate used to regenerate the paper's figures.
+//
+// One deliberate divergence from the paper's state machine: a hosting core
+// finishes the migrated subtask it is executing before it switches to a
+// newly arrived subframe of its own (preemption happens between subtasks,
+// not within one). Subtask claiming is per-index via a shared atomic, so
+// local recovery and the remote host never execute the same subtask twice.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/time_types.hpp"
+#include "phy/uplink_rx.hpp"
+
+namespace rtopex::runtime {
+
+enum class RuntimeMode { kPartitioned, kGlobal, kRtOpex };
+
+struct RuntimeConfig {
+  RuntimeMode mode = RuntimeMode::kRtOpex;
+  unsigned num_basestations = 2;
+  unsigned cores_per_bs = 2;     ///< partitioned/rt-opex cores per BS.
+  unsigned global_cores = 4;     ///< worker count in global mode.
+  std::size_t subframes_per_bs = 20;
+
+  /// Real-time pacing. On slow or single-core hosts, scale the period up so
+  /// that processing fits; the deadline budget scales alongside.
+  Duration subframe_period = milliseconds(1);
+  Duration deadline_budget = milliseconds(2);
+  Duration rtt_half = microseconds(500);  ///< emulated transport delay.
+
+  double snr_db = 30.0;
+  /// MCS sequence cycled across ticks (per basestation, offset by BS id).
+  std::vector<unsigned> mcs_cycle = {4, 16, 27};
+
+  phy::UplinkConfig phy;          ///< antennas, bandwidth, Lm.
+  /// Slack-check dropping (paper §4.1): before each task, compare the
+  /// EWMA-estimated execution time with the remaining slack and drop the
+  /// subframe when it cannot fit. Disabled configs only record misses.
+  bool enforce_deadlines = true;
+  bool pin_threads = false;       ///< attempt CPU affinity (best effort).
+  bool try_fifo_priority = false; ///< attempt SCHED_FIFO (best effort).
+  std::uint64_t seed = 1;
+};
+
+struct StageTiming {
+  Duration fft = 0;
+  Duration demod = 0;
+  Duration decode = 0;
+  unsigned fft_migrated = 0;     ///< subtasks executed on remote cores.
+  unsigned decode_migrated = 0;
+  unsigned recovered = 0;        ///< subtasks recovered locally.
+};
+
+struct SubframeRecord {
+  unsigned bs = 0;
+  std::uint32_t index = 0;
+  unsigned mcs = 0;
+  TimePoint radio_time = 0;
+  TimePoint arrival = 0;     ///< when the job became available to a worker.
+  TimePoint start = 0;       ///< when a worker began processing.
+  TimePoint completion = 0;
+  bool crc_ok = false;
+  unsigned iterations = 0;
+  bool deadline_missed = false;
+  bool dropped = false;  ///< rejected by a slack check; never decoded.
+  StageTiming timing;
+};
+
+struct RuntimeReport {
+  std::vector<SubframeRecord> records;
+  std::size_t deadline_misses = 0;
+  std::size_t dropped = 0;       ///< slack-check rejections (subset of misses).
+  std::size_t crc_failures = 0;  ///< decode failures among processed subframes.
+  std::size_t migrations = 0;  ///< migrated subtasks (fft + decode).
+  std::size_t recoveries = 0;
+};
+
+class NodeRuntime {
+ public:
+  explicit NodeRuntime(const RuntimeConfig& config);
+  ~NodeRuntime();
+
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  /// Runs the configured workload to completion and returns the report.
+  RuntimeReport run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rtopex::runtime

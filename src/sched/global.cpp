@@ -1,0 +1,106 @@
+#include "sched/global.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "sched/serial_exec.hpp"
+
+namespace rtopex::sched {
+GlobalScheduler::GlobalScheduler(unsigned num_basestations,
+                                 const GlobalConfig& cfg)
+    : num_basestations_(num_basestations), config_(cfg) {
+  if (num_basestations == 0 || cfg.num_cores == 0)
+    throw std::invalid_argument("GlobalScheduler: empty configuration");
+}
+
+sim::SchedulerMetrics GlobalScheduler::run(
+    std::span<const sim::SubframeWork> work) {
+  sim::SchedulerMetrics metrics;
+  metrics.per_bs.resize(num_basestations_);
+
+  // Pending queue keyed by the dispatch order (EDF: deadline; FIFO:
+  // arrival), with the insertion sequence as tie-break.
+  const bool edf = config_.order == DispatchOrder::kEdf;
+  using Key = std::pair<TimePoint, std::size_t>;
+  auto key_of = [&](const sim::SubframeWork& w, std::size_t seq) {
+    return Key{edf ? w.deadline : w.arrival, seq};
+  };
+  std::set<std::pair<Key, const sim::SubframeWork*>> pending;
+
+  std::vector<TimePoint> free_at(config_.num_cores, 0);
+  std::vector<int> last_bs(config_.num_cores, -1);
+  std::vector<bool> used(config_.num_cores, false);
+  Rng pick_rng(config_.selection_seed);
+
+  // Earliest-free core; among cores idle at the dispatch instant the choice
+  // is uniform at random (no basestation affinity — see GlobalConfig).
+  auto choose_core = [&](TimePoint head_arrival) {
+    TimePoint earliest = free_at[0];
+    for (const TimePoint f : free_at) earliest = std::min(earliest, f);
+    const TimePoint t0 = std::max(earliest, head_arrival);
+    std::vector<unsigned> idle;
+    for (unsigned c = 0; c < config_.num_cores; ++c)
+      if (free_at[c] <= t0) idle.push_back(c);
+    if (idle.empty()) {
+      // No core idle at t0 (t0 == earliest == unique min): take the argmin.
+      unsigned best = 0;
+      for (unsigned c = 1; c < config_.num_cores; ++c)
+        if (free_at[c] < free_at[best]) best = c;
+      return best;
+    }
+    return idle[pick_rng.uniform_int(idle.size())];
+  };
+
+  std::size_t next = 0;
+  std::size_t seq = 0;
+  while (next < work.size() || !pending.empty()) {
+    if (pending.empty()) {
+      pending.insert({key_of(work[next], seq++), &work[next]});
+      ++next;
+    }
+    // The earliest-free core serves the queue head; any subframe arriving
+    // before that service instant joins the EDF choice first.
+    const TimePoint head_arrival = pending.begin()->second->arrival;
+    const unsigned core_id = choose_core(head_arrival);
+    const TimePoint t0 = std::max(free_at[core_id], head_arrival);
+    while (next < work.size() && work[next].arrival <= t0) {
+      pending.insert({key_of(work[next], seq++), &work[next]});
+      ++next;
+    }
+    const sim::SubframeWork& w = *pending.begin()->second;
+    pending.erase(pending.begin());
+
+    if (w.bs >= num_basestations_)
+      throw std::invalid_argument("run: basestation id out of range");
+
+    const TimePoint start =
+        std::max(free_at[core_id], w.arrival) + config_.dispatch_latency;
+    if (used[core_id] && start > free_at[core_id])
+      metrics.gap_us.push_back(to_us(start - free_at[core_id]));
+    const Duration penalty =
+        last_bs[core_id] == static_cast<int>(w.bs) ? 0 : config_.switch_penalty;
+
+    const SerialOutcome o = execute_serial(w, start, penalty, config_.admission);
+    last_bs[core_id] = static_cast<int>(w.bs);
+    used[core_id] = true;
+    free_at[core_id] = o.end;
+    if (config_.record_timeline)
+      metrics.timeline.push_back({w.bs, w.index, core_id, start, o.end, o.miss});
+
+    ++metrics.total_subframes;
+    ++metrics.per_bs[w.bs].subframes;
+    if (o.miss) {
+      ++metrics.deadline_misses;
+      ++metrics.per_bs[w.bs].misses;
+      if (o.dropped) ++metrics.dropped;
+      if (o.terminated) ++metrics.terminated;
+    } else {
+      metrics.processing_time_us.push_back(to_us(o.end - w.arrival));
+      if (!w.decodable) ++metrics.decode_failures;
+    }
+  }
+  return metrics;
+}
+
+}  // namespace rtopex::sched

@@ -1,0 +1,61 @@
+#include "sched/partitioned.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "sched/serial_exec.hpp"
+
+namespace rtopex::sched {
+
+PartitionedScheduler::PartitionedScheduler(unsigned num_basestations,
+                                           const PartitionedConfig& cfg)
+    : num_basestations_(num_basestations), config_(cfg) {
+  if (num_basestations == 0)
+    throw std::invalid_argument("PartitionedScheduler: no basestations");
+  if (cfg.rtt_half < 0 || cfg.rtt_half >= kEndToEndBudget)
+    throw std::invalid_argument("PartitionedScheduler: invalid rtt_half");
+}
+
+unsigned PartitionedScheduler::core_of(unsigned bs,
+                                       std::uint32_t subframe_index) const {
+  const unsigned c = config_.cores_per_bs();
+  return bs * c + subframe_index % c;
+}
+
+sim::SchedulerMetrics PartitionedScheduler::run(
+    std::span<const sim::SubframeWork> work) {
+  sim::SchedulerMetrics metrics;
+  metrics.per_bs.resize(num_basestations_);
+  std::vector<TimePoint> free_at(num_cores(), 0);
+  std::vector<bool> used(num_cores(), false);
+
+  for (const auto& w : work) {
+    if (w.bs >= num_basestations_)
+      throw std::invalid_argument("run: basestation id out of range");
+    const unsigned core = core_of(w.bs, w.index);
+    const TimePoint start = std::max(w.arrival, free_at[core]);
+    if (used[core] && start > free_at[core])
+      metrics.gap_us.push_back(to_us(start - free_at[core]));
+
+    const SerialOutcome o = execute_serial(w, start, 0, config_.admission);
+    free_at[core] = o.end;
+    used[core] = true;
+    if (config_.record_timeline)
+      metrics.timeline.push_back({w.bs, w.index, core, start, o.end, o.miss});
+
+    ++metrics.total_subframes;
+    ++metrics.per_bs[w.bs].subframes;
+    if (o.miss) {
+      ++metrics.deadline_misses;
+      ++metrics.per_bs[w.bs].misses;
+      if (o.dropped) ++metrics.dropped;
+      if (o.terminated) ++metrics.terminated;
+    } else {
+      metrics.processing_time_us.push_back(to_us(o.end - w.arrival));
+      if (!w.decodable) ++metrics.decode_failures;
+    }
+  }
+  return metrics;
+}
+
+}  // namespace rtopex::sched

@@ -1,0 +1,47 @@
+// Partitioned scheduler (paper §3.1.1): an offline schedule that maps
+// basestation i's subframe j to core i * ceil(Tmax) + (j mod ceil(Tmax)),
+// giving each subframe ceil(Tmax) milliseconds of exclusive core time.
+// Gaps left by early-finishing subframes are not reused.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace rtopex::sched {
+
+struct PartitionedConfig {
+  /// Budgeted one-way transport delay; Tmax = 2 ms - rtt_half (Eq. 3).
+  Duration rtt_half = microseconds(500);
+  /// Slack-check prediction for the decode task (paper: WCET).
+  AdmissionPolicy admission = AdmissionPolicy::kWcet;
+  /// Populate SchedulerMetrics::timeline (costs memory on big runs).
+  bool record_timeline = false;
+
+  /// Cores per basestation: ceil(Tmax in ms). For the paper's sweep
+  /// (RTT/2 in 0.4–0.7 ms) this is always 2.
+  unsigned cores_per_bs() const {
+    const Duration tmax = kEndToEndBudget - rtt_half;
+    return static_cast<unsigned>((tmax + kSubframePeriod - 1) /
+                                 kSubframePeriod);
+  }
+};
+
+class PartitionedScheduler final : public NodeScheduler {
+ public:
+  PartitionedScheduler(unsigned num_basestations, const PartitionedConfig& cfg);
+
+  sim::SchedulerMetrics run(std::span<const sim::SubframeWork> work) override;
+
+  unsigned num_cores() const override {
+    return num_basestations_ * config_.cores_per_bs();
+  }
+  const char* name() const override { return "partitioned"; }
+
+  /// The offline mapping: subframe j of basestation i -> core id.
+  unsigned core_of(unsigned bs, std::uint32_t subframe_index) const;
+
+ private:
+  unsigned num_basestations_;
+  PartitionedConfig config_;
+};
+
+}  // namespace rtopex::sched

@@ -1,0 +1,294 @@
+#include "sched/rt_opex.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "sched/migration.hpp"
+#include "sched/serial_exec.hpp"
+
+namespace rtopex::sched {
+namespace {
+
+constexpr TimePoint kNever = std::numeric_limits<TimePoint>::max();
+
+/// Per-core runtime state.
+struct CoreState {
+  TimePoint free_at = 0;        ///< own (partitioned) work completion.
+  TimePoint mig_busy_until = 0; ///< occupied by a migrated chunk until then.
+  std::size_t next_own = 0;     ///< index into `own` of the next subframe.
+  bool used = false;
+  /// This core's partitioned subframes in arrival order: (nominal arrival,
+  /// actual arrival).
+  std::vector<std::pair<TimePoint, TimePoint>> own;
+};
+
+/// Outcome of running one parallelizable stage with migration.
+struct StageOutcome {
+  TimePoint end = 0;
+  unsigned migrated = 0;    ///< subtasks placed on remote cores.
+  unsigned recovered = 0;   ///< subtasks recomputed locally.
+  bool lost_results = false;///< only without recovery: results missing.
+};
+
+}  // namespace
+
+RtOpexScheduler::RtOpexScheduler(unsigned num_basestations,
+                                 const RtOpexConfig& cfg)
+    : num_basestations_(num_basestations), config_(cfg) {
+  if (num_basestations == 0)
+    throw std::invalid_argument("RtOpexScheduler: no basestations");
+  if (cfg.rtt_half < 0 || cfg.rtt_half >= kEndToEndBudget)
+    throw std::invalid_argument("RtOpexScheduler: invalid rtt_half");
+}
+
+unsigned RtOpexScheduler::core_of(unsigned bs,
+                                  std::uint32_t subframe_index) const {
+  const unsigned c = config_.cores_per_bs();
+  return bs * c + subframe_index % c;
+}
+
+sim::SchedulerMetrics RtOpexScheduler::run(
+    std::span<const sim::SubframeWork> work) {
+  sim::SchedulerMetrics metrics;
+  metrics.per_bs.resize(num_basestations_);
+
+  std::vector<CoreState> cores(num_cores());
+  for (const auto& w : work) {
+    if (w.bs >= num_basestations_)
+      throw std::invalid_argument("run: basestation id out of range");
+    cores[core_of(w.bs, w.index)].own.emplace_back(
+        w.radio_time + config_.rtt_half, w.arrival);
+  }
+
+  // Predicted idle window of core k at time t: until the *nominal* arrival
+  // of its next own subframe. Actual preemption happens at the *actual*
+  // arrival.
+  auto predicted_preempt = [&](const CoreState& k, TimePoint t) {
+    for (std::size_t i = k.next_own; i < k.own.size(); ++i)
+      if (k.own[i].first > t) return k.own[i].first;
+    return kNever;
+  };
+  auto actual_preempt = [&](const CoreState& k) {
+    return k.next_own < k.own.size() ? k.own[k.next_own].second : kNever;
+  };
+
+  // Candidate idle cores for a migration decision taken at time `t`.
+  auto gather_candidates = [&](unsigned self, TimePoint t) {
+    std::vector<MigrationCandidate> cands;
+    for (unsigned k = 0; k < cores.size(); ++k) {
+      if (k == self) continue;
+      const CoreState& ck = cores[k];
+      if (ck.free_at > t || ck.mig_busy_until > t) continue;
+      // A core whose next own subframe has already arrived is (about to be)
+      // busy in its active state, not waiting — never a migration target.
+      if (actual_preempt(ck) <= t) continue;
+      const TimePoint preempt = predicted_preempt(ck, t);
+      if (preempt == kNever) {
+        cands.push_back({k, kEndToEndBudget});  // idle "forever": cap window
+        continue;
+      }
+      const Duration window = preempt - t;
+      if (window > 0) cands.push_back({k, window});
+    }
+    std::sort(cands.begin(), cands.end(),
+              [](const MigrationCandidate& a, const MigrationCandidate& b) {
+                if (a.free_window != b.free_window)
+                  return a.free_window > b.free_window;
+                return a.core < b.core;
+              });
+    return cands;
+  };
+
+  // Executes a previously planned parallelizable stage starting at `t` on
+  // core `self`, with actual per-subtask time `tp`. The plan may have been
+  // made slightly earlier (and with WCET subtask times); a planned target
+  // that is no longer available behaves like a failed mailbox claim — its
+  // subtasks simply stay local.
+  auto run_stage = [&](TimePoint t, const MigrationPlan& plan,
+                       unsigned subtasks, Duration tp) {
+    StageOutcome out;
+    if (tp <= 0 || subtasks == 0 || plan.chunks.empty()) {
+      out.end = t + static_cast<Duration>(subtasks) * tp;
+      return out;
+    }
+
+    // Execute migrated chunks on their remote cores; each chunk runs until
+    // it completes or its core is preempted by that core's next partitioned
+    // subframe (actual arrival).
+    struct RunningChunk {
+      unsigned count;
+      TimePoint abort_at;
+    };
+    std::vector<RunningChunk> running;
+    unsigned local_count = subtasks;
+    for (const auto& chunk : plan.chunks) {
+      CoreState& ck = cores[chunk.core];
+      const bool still_available = ck.free_at <= t &&
+                                   ck.mig_busy_until <= t &&
+                                   actual_preempt(ck) > t;
+      if (!still_available) continue;  // failed claim: stays local
+      const TimePoint abort_at = actual_preempt(ck);
+      const TimePoint natural_end =
+          t + config_.migration_cost + static_cast<Duration>(chunk.count) * tp;
+      ck.mig_busy_until = std::min(natural_end, abort_at);
+      running.push_back({chunk.count, abort_at});
+      out.migrated += chunk.count;
+      local_count -= chunk.count;
+    }
+    const TimePoint local_end =
+        t + static_cast<Duration>(local_count) * tp;
+
+    // Subtasks a chunk has completed by time tau (remote runs them in order
+    // after the delta state fetch, stopping at preemption).
+    auto done_by = [&](const RunningChunk& c, TimePoint tau) {
+      const Duration usable =
+          std::min(tau, c.abort_at) - t - config_.migration_cost;
+      return static_cast<unsigned>(
+          std::clamp<Duration>(usable > 0 ? usable / tp : 0, 0, c.count));
+    };
+    // Outstanding (not naturally completed) subtasks at time tau.
+    auto outstanding_at = [&](TimePoint tau) {
+      unsigned n = 0;
+      for (const auto& c : running) n += c.count - done_by(c, tau);
+      return n;
+    };
+
+    // When the local core finishes, it checks the result flags and recovers
+    // incomplete migrated subtasks one at a time; remotes keep completing
+    // meanwhile. The stage ends at the smallest R with
+    // outstanding(local_end + R * tp) <= R.
+    unsigned recovery = 0;
+    while (outstanding_at(local_end +
+                          static_cast<Duration>(recovery) * tp) > recovery)
+      ++recovery;
+
+    if (recovery > 0 && !config_.enable_recovery) {
+      out.lost_results = true;
+      out.end = local_end;
+      return out;
+    }
+    out.recovered = recovery;
+    out.end = local_end + static_cast<Duration>(recovery) * tp;
+    return out;
+  };
+
+  for (const auto& w : work) {
+    const unsigned self = core_of(w.bs, w.index);
+    CoreState& core = cores[self];
+    // This subframe must be the core's next own work item.
+    if (core.next_own >= core.own.size() ||
+        core.own[core.next_own].second != w.arrival)
+      throw std::logic_error("RtOpexScheduler: core work list out of sync");
+    ++core.next_own;
+
+    const TimePoint start = std::max(w.arrival, core.free_at);
+    if (core.used && start > core.free_at)
+      metrics.gap_us.push_back(to_us(start - core.free_at));
+    core.used = true;
+
+    ++metrics.total_subframes;
+    ++metrics.per_bs[w.bs].subframes;
+
+    bool miss = false;
+    bool dropped = false;
+    bool terminated = false;
+    TimePoint t = start;
+
+    // --- FFT stage (deterministic duration; exact slack check) ---
+    if (t + w.costs.fft > w.deadline) {
+      miss = dropped = true;
+    } else {
+      metrics.fft_subtasks_total += w.costs.fft_subtasks;
+      if (config_.migrate_fft) {
+        const MigrationPlan plan = plan_migration(
+            w.costs.fft_subtasks, std::max<Duration>(w.costs.fft_subtask, 1),
+            config_.migration_cost, gather_candidates(self, t),
+            config_.constraints);
+        const StageOutcome o =
+            run_stage(t, plan, w.costs.fft_subtasks, w.costs.fft_subtask);
+        metrics.fft_subtasks_migrated += o.migrated;
+        metrics.recoveries += o.recovered;
+        // Serial residue of the FFT stage (rounding of fft / subtasks).
+        const Duration residue =
+            w.costs.fft -
+            static_cast<Duration>(w.costs.fft_subtasks) * w.costs.fft_subtask;
+        t = o.end + residue;
+        if (o.lost_results) miss = true;
+      } else {
+        t += w.costs.fft;
+      }
+    }
+
+    // --- Demod stage (serial, deterministic) ---
+    if (!miss) {
+      if (t + w.costs.demod > w.deadline) {
+        miss = dropped = true;
+      } else {
+        t += w.costs.demod;
+      }
+    }
+
+    // --- Decode stage ---
+    // Plan the migration first (using the model's WCET subtask time and the
+    // predicted start of the parallelizable part), then run the slack check
+    // against the post-migration worst case: migration is what lets RT-OPEX
+    // admit high-MCS subframes that partitioned scheduling must drop.
+    if (!miss) {
+      MigrationPlan plan;  // empty unless decode migration is enabled
+      unsigned planned_local = w.wcet.decode_subtasks;
+      if (config_.migrate_decode && w.costs.decode_subtasks > 1) {
+        const TimePoint par_start_pred = t + w.wcet.decode_serial();
+        plan = plan_migration(
+            w.wcet.decode_subtasks,
+            std::max<Duration>(w.wcet.decode_subtask, 1),
+            config_.migration_cost, gather_candidates(self, par_start_pred),
+            config_.constraints);
+        planned_local = plan.local_subtasks;
+      }
+      const Duration admission_estimate =
+          config_.admission == AdmissionPolicy::kWcet
+              ? w.wcet.decode_serial() +
+                    static_cast<Duration>(planned_local) *
+                        w.wcet.decode_subtask
+              : w.decode_optimistic;
+      if (t + admission_estimate > w.deadline) {
+        miss = dropped = true;
+      } else {
+        metrics.decode_subtasks_total += w.costs.decode_subtasks;
+        if (config_.migrate_decode) {
+          t += w.costs.decode_serial();
+          const StageOutcome o = run_stage(
+              t, plan, w.costs.decode_subtasks, w.costs.decode_subtask);
+          metrics.decode_subtasks_migrated += o.migrated;
+          metrics.recoveries += o.recovered;
+          t = o.end;
+          if (o.lost_results) miss = true;
+        } else {
+          t += w.costs.decode;
+        }
+        if (!miss && t > w.deadline) {
+          miss = terminated = true;
+          t = w.deadline;
+        }
+      }
+    }
+
+    core.free_at = t;
+    if (config_.record_timeline)
+      metrics.timeline.push_back({w.bs, w.index, self, start, t, miss});
+    if (miss) {
+      ++metrics.deadline_misses;
+      ++metrics.per_bs[w.bs].misses;
+      if (dropped) ++metrics.dropped;
+      if (terminated) ++metrics.terminated;
+    } else {
+      metrics.processing_time_us.push_back(to_us(t - w.arrival));
+      if (!w.decodable) ++metrics.decode_failures;
+    }
+  }
+  return metrics;
+}
+
+}  // namespace rtopex::sched

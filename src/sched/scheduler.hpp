@@ -1,0 +1,52 @@
+// Node-scheduler interface: consumes an arrival-sorted workload, simulates
+// the compute node in virtual time, returns metrics.
+//
+// Common execution semantics shared by all policies (paper §3/§4.1):
+//  * A subframe is processed stage by stage (FFT -> demod -> decode).
+//  * Before each stage, a slack check against the task model runs; a
+//    subframe whose predicted execution cannot meet the deadline is dropped
+//    (deadline miss) and the remaining stages are skipped.
+//  * If actual execution crosses the deadline anyway (platform jitter), the
+//    task is terminated at the deadline (deadline miss), freeing the core.
+#pragma once
+
+#include <span>
+
+#include "sim/metrics.hpp"
+#include "sim/workload.hpp"
+
+namespace rtopex::sched {
+
+/// What the slack check predicts for the decode task, whose iteration count
+/// is unknowable at admission time.
+enum class AdmissionPolicy {
+  /// The paper's choice: predict with L = Lm (the WCET bound of §2.1).
+  /// Subframes whose worst case cannot fit are dropped up front — this is
+  /// what makes the partitioned scheduler miss 100% of high-MCS subframes
+  /// at tight budgets (Fig. 17).
+  kWcet,
+  /// Ablation: admit whenever even the best case (L = 1) could fit, and
+  /// terminate at the deadline when it does not.
+  kOptimistic,
+};
+
+class NodeScheduler {
+ public:
+  virtual ~NodeScheduler() = default;
+
+  /// `work` must be sorted by arrival time (WorkloadGenerator guarantees
+  /// this). Returns the collected metrics.
+  virtual sim::SchedulerMetrics run(std::span<const sim::SubframeWork> work) = 0;
+
+  /// Number of processing cores this scheduler occupies.
+  virtual unsigned num_cores() const = 0;
+
+  /// Human-readable policy name for reports.
+  virtual const char* name() const = 0;
+};
+
+/// The decode-time prediction the slack check uses under a policy.
+Duration decode_admission_estimate(const sim::SubframeWork& w,
+                                   AdmissionPolicy policy);
+
+}  // namespace rtopex::sched

@@ -1,0 +1,54 @@
+#include "sched/serial_exec.hpp"
+
+#include "sched/scheduler.hpp"
+
+namespace rtopex::sched {
+
+Duration decode_admission_estimate(const sim::SubframeWork& w,
+                                   AdmissionPolicy policy) {
+  return policy == AdmissionPolicy::kWcet ? w.wcet.decode
+                                          : w.decode_optimistic;
+}
+
+SerialOutcome execute_serial(const sim::SubframeWork& w, TimePoint start,
+                             Duration entry_penalty,
+                             AdmissionPolicy admission) {
+  SerialOutcome out;
+  TimePoint t = start;
+
+  // FFT (deterministic duration -> exact slack check).
+  const Duration fft = w.costs.fft + entry_penalty;
+  if (t + fft > w.deadline) {
+    out.end = t;
+    out.miss = out.dropped = true;
+    return out;
+  }
+  t += fft;
+
+  // Demod (deterministic).
+  if (t + w.costs.demod > w.deadline) {
+    out.end = t;
+    out.miss = out.dropped = true;
+    return out;
+  }
+  t += w.costs.demod;
+
+  // Decode: admission per policy (WCET by default), then actual execution
+  // with termination at the deadline.
+  if (t + decode_admission_estimate(w, admission) > w.deadline) {
+    out.end = t;
+    out.miss = out.dropped = true;
+    return out;
+  }
+  t += w.costs.decode;
+  if (t > w.deadline) {
+    out.end = w.deadline;
+    out.miss = out.terminated = true;
+    return out;
+  }
+  out.end = t;
+  out.completed = true;
+  return out;
+}
+
+}  // namespace rtopex::sched

@@ -1,0 +1,25 @@
+// Shared serial (non-migrating) execution of one subframe's stage chain,
+// used by the partitioned and global policies.
+#pragma once
+
+#include "sched/scheduler.hpp"
+#include "sim/workload.hpp"
+
+namespace rtopex::sched {
+
+struct SerialOutcome {
+  TimePoint end = 0;       ///< when the core becomes free.
+  bool miss = false;       ///< dropped or terminated (deadline miss).
+  bool dropped = false;    ///< rejected by a slack check (no decode ran).
+  bool terminated = false; ///< killed mid-execution at the deadline.
+  bool completed = false;  ///< all stages ran to completion in time.
+};
+
+/// Runs FFT -> demod -> decode serially from `start`. `entry_penalty` models
+/// extra per-dispatch cost (e.g. the global scheduler's cache-refill after a
+/// basestation switch); it is charged before the FFT stage.
+SerialOutcome execute_serial(const sim::SubframeWork& w, TimePoint start,
+                             Duration entry_penalty = 0,
+                             AdmissionPolicy admission = AdmissionPolicy::kWcet);
+
+}  // namespace rtopex::sched

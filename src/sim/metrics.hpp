@@ -1,0 +1,71 @@
+// Per-run metrics collected by the node schedulers: deadline misses, idle
+// gaps, migration counts and processing-time samples — everything needed to
+// regenerate the paper's Figs. 15–19.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time_types.hpp"
+
+namespace rtopex::sim {
+
+struct BsCounters {
+  std::size_t subframes = 0;
+  std::size_t misses = 0;  ///< dropped or terminated at the deadline.
+};
+
+struct SchedulerMetrics {
+  std::size_t total_subframes = 0;
+  std::size_t deadline_misses = 0;   ///< dropped + terminated.
+  std::size_t dropped = 0;           ///< rejected by the slack check.
+  std::size_t terminated = 0;        ///< killed mid-execution at the deadline.
+  std::size_t decode_failures = 0;   ///< completed in time but NACK (not a miss).
+  std::vector<BsCounters> per_bs;
+
+  // Idle gaps between consecutive executions on a core (us).
+  std::vector<double> gap_us;
+
+  // Migration accounting (RT-OPEX only).
+  std::size_t fft_subtasks_total = 0;
+  std::size_t fft_subtasks_migrated = 0;
+  std::size_t decode_subtasks_total = 0;
+  std::size_t decode_subtasks_migrated = 0;
+  std::size_t recoveries = 0;  ///< migrated subtasks re-executed locally.
+
+  // Processing time (arrival -> completion, us) of subframes that finished.
+  std::vector<double> processing_time_us;
+
+  /// Per-subframe execution record, only populated when the scheduler's
+  /// config sets record_timeline (used for Fig. 9/10/11-style renderings).
+  struct TimelineEntry {
+    unsigned bs = 0;
+    std::uint32_t index = 0;
+    unsigned core = 0;
+    TimePoint start = 0;
+    TimePoint end = 0;
+    bool missed = false;
+  };
+  std::vector<TimelineEntry> timeline;
+
+  double miss_rate() const {
+    return total_subframes == 0
+               ? 0.0
+               : static_cast<double>(deadline_misses) /
+                     static_cast<double>(total_subframes);
+  }
+  double fft_migration_fraction() const {
+    return fft_subtasks_total == 0
+               ? 0.0
+               : static_cast<double>(fft_subtasks_migrated) /
+                     static_cast<double>(fft_subtasks_total);
+  }
+  double decode_migration_fraction() const {
+    return decode_subtasks_total == 0
+               ? 0.0
+               : static_cast<double>(decode_subtasks_migrated) /
+                     static_cast<double>(decode_subtasks_total);
+  }
+};
+
+}  // namespace rtopex::sim

@@ -1,0 +1,91 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rtopex::sim {
+
+WorkloadGenerator::WorkloadGenerator(
+    const WorkloadConfig& config, const transport::TransportModel& transport,
+    const model::TimingModel& timing,
+    const model::IterationModelParams& iteration_params,
+    const model::PlatformErrorParams& error_params)
+    : config_(config),
+      transport_(transport),
+      timing_(timing),
+      iteration_model_(iteration_params),
+      error_model_(error_params) {
+  if (config.num_basestations == 0 || config.subframes_per_bs == 0)
+    throw std::invalid_argument("WorkloadGenerator: empty workload");
+  if (config.fixed_mcs > static_cast<int>(phy::kMaxMcs))
+    throw std::invalid_argument("WorkloadGenerator: fixed_mcs > 27");
+}
+
+std::vector<SubframeWork> WorkloadGenerator::generate() const {
+  Rng master(config_.seed);
+  const auto params = trace::metropolitan_preset(config_.num_basestations);
+
+  std::vector<trace::LoadTrace> file_traces;
+  if (!config_.trace_csv.empty() && config_.fixed_mcs < 0) {
+    file_traces = trace::read_traces_csv(config_.trace_csv);
+    if (file_traces.size() < config_.num_basestations)
+      throw std::invalid_argument(
+          "WorkloadGenerator: trace file has fewer basestations than "
+          "configured");
+  }
+
+  std::vector<SubframeWork> out;
+  out.reserve(config_.num_basestations * config_.subframes_per_bs);
+
+  for (unsigned bs = 0; bs < config_.num_basestations; ++bs) {
+    const phy::Bandwidth bw = bs < config_.per_bs_bandwidth.size()
+                                  ? config_.per_bs_bandwidth[bs]
+                                  : config_.bandwidth;
+    const model::TaskCostModel cost_model(
+        timing_, config_.num_antennas, phy::bandwidth_config(bw).num_prb);
+    Rng rng = master.split();
+    trace::LoadTrace trace;
+    if (config_.fixed_mcs < 0) {
+      if (!file_traces.empty()) {
+        trace = file_traces[bs];
+      } else {
+        trace::BasestationLoadParams p = params[bs];
+        if (config_.mean_load_override > 0.0)
+          p.mean = config_.mean_load_override;
+        trace = trace::generate_load_trace(p, config_.subframes_per_bs,
+                                           rng.next());
+      }
+    }
+    for (std::size_t j = 0; j < config_.subframes_per_bs; ++j) {
+      SubframeWork w;
+      w.bs = bs;
+      w.index = static_cast<std::uint32_t>(j);
+      w.radio_time = static_cast<TimePoint>(j) * kSubframePeriod;
+      const Duration extra = bs < config_.per_bs_extra_delay.size()
+                                 ? config_.per_bs_extra_delay[bs]
+                                 : 0;
+      w.arrival = w.radio_time + transport_.sample_delay(rng) + extra;
+      w.deadline = w.radio_time + kEndToEndBudget;
+      w.mcs = config_.fixed_mcs >= 0
+                  ? static_cast<unsigned>(config_.fixed_mcs)
+                  : trace::mcs_from_load(trace.load(j));
+      const auto outcome = iteration_model_.sample(
+          w.mcs, config_.snr_db, config_.max_iterations, rng);
+      w.iterations = outcome.iterations;
+      w.decodable = outcome.decoded;
+      w.costs =
+          cost_model.costs(w.mcs, w.iterations, error_model_.sample(rng));
+      w.wcet = cost_model.costs(w.mcs, config_.max_iterations, 0);
+      w.decode_optimistic = cost_model.costs(w.mcs, 1, 0).decode;
+      out.push_back(w);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SubframeWork& a, const SubframeWork& b) {
+                     if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                     return a.bs < b.bs;
+                   });
+  return out;
+}
+
+}  // namespace rtopex::sim

@@ -1,0 +1,94 @@
+// Virtual-time workload generation: turns load traces + channel conditions
+// into per-subframe processing jobs with sampled costs, arrivals and
+// deadlines — the input consumed by every node scheduler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time_types.hpp"
+#include "model/iteration_model.hpp"
+#include "model/platform_error.hpp"
+#include "model/task_cost_model.hpp"
+#include "trace/load_trace.hpp"
+#include "transport/transport.hpp"
+
+namespace rtopex::sim {
+
+/// One subframe's processing job as seen by the compute node.
+struct SubframeWork {
+  unsigned bs = 0;              ///< basestation index.
+  std::uint32_t index = 0;      ///< subframe index within the basestation.
+  TimePoint radio_time = 0;     ///< reception at the radio (j * 1 ms).
+  TimePoint arrival = 0;        ///< arrival at the node (radio + transport).
+  TimePoint deadline = 0;       ///< radio_time + 2 ms (paper Eq. 2).
+  unsigned mcs = 0;
+  unsigned iterations = 0;      ///< sampled turbo iterations L.
+  bool decodable = true;        ///< CRC outcome if fully processed.
+  model::SubframeCosts costs;   ///< actual stage/subtask durations.
+  /// Model-predicted worst-case costs (L = Lm, no jitter): what a scheduler
+  /// can know at admission time (the paper's WCET, §2.1/§3.1.1).
+  model::SubframeCosts wcet;
+  /// Best-case decode time (L = 1, no jitter) — the optimistic admission
+  /// ablation.
+  Duration decode_optimistic = 0;
+};
+
+struct WorkloadConfig {
+  unsigned num_basestations = 4;
+  std::size_t subframes_per_bs = 30000;
+  unsigned num_antennas = 2;
+  phy::Bandwidth bandwidth = phy::Bandwidth::kMHz10;
+  /// Optional per-basestation bandwidth override (heterogeneous standards,
+  /// paper §5 D — e.g. narrowband cellular-IoT cells beside macro cells).
+  /// Indexed by basestation; missing entries use `bandwidth`.
+  std::vector<phy::Bandwidth> per_bs_bandwidth;
+  unsigned max_iterations = 4;  ///< turbo Lm.
+  double snr_db = 30.0;         ///< fixed AWGN SNR (paper §4.2).
+  /// MCS source: < 0 -> trace-driven (metropolitan preset); >= 0 -> fixed
+  /// MCS for every subframe.
+  int fixed_mcs = -1;
+  /// When > 0 (and fixed_mcs < 0), every basestation's trace is generated
+  /// around this mean load instead of the preset's per-BS operating points —
+  /// the Fig. 17 offered-load sweep.
+  double mean_load_override = -1.0;
+  /// Optional per-basestation extra one-way transport delay (e.g. different
+  /// fronthaul distances in a heterogeneous deployment, paper §5 D). Indexed
+  /// by basestation; missing entries mean zero. Deadlines are unaffected
+  /// (still radio_time + 2 ms), so distant basestations have less slack —
+  /// the case where the global scheduler's EDF and FIFO orders diverge.
+  std::vector<Duration> per_bs_extra_delay;
+  /// Optional measured load traces (one per basestation, as written by
+  /// trace::write_traces_csv); when set they replace the synthetic traces
+  /// (cycled if shorter than subframes_per_bs). Takes precedence over
+  /// mean_load_override; ignored when fixed_mcs >= 0.
+  std::string trace_csv;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the full multi-basestation workload, sorted by arrival time.
+/// Basestations' subframes are phase-aligned (all arrive each 1 ms), as in
+/// the paper's testbed where radios are frame-synchronized.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadConfig& config,
+                    const transport::TransportModel& transport,
+                    const model::TimingModel& timing,
+                    const model::IterationModelParams& iteration_params = {},
+                    const model::PlatformErrorParams& error_params = {});
+
+  std::vector<SubframeWork> generate() const;
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  WorkloadConfig config_;
+  const transport::TransportModel& transport_;
+  model::TimingModel timing_;
+  model::IterationModel iteration_model_;
+  model::PlatformErrorModel error_model_;
+};
+
+}  // namespace rtopex::sim

@@ -1,0 +1,57 @@
+#include "transport/transport.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtopex::transport {
+
+CloudNetworkParams cloud_params_1gbe() {
+  CloudNetworkParams p;
+  p.body_mean_us = 152.0;
+  p.body_sigma = 0.13;
+  return p;
+}
+
+CloudNetworkParams cloud_params_10gbe() {
+  CloudNetworkParams p;
+  p.body_mean_us = 140.0;
+  p.body_sigma = 0.12;
+  return p;
+}
+
+Duration CloudNetworkModel::sample_one_way(Rng& rng) const {
+  // Lognormal body with the requested mean: mean = exp(mu + sigma^2/2).
+  const double mu = std::log(params_.body_mean_us) -
+                    params_.body_sigma * params_.body_sigma / 2.0;
+  double us = rng.lognormal(mu, params_.body_sigma);
+  if (rng.bernoulli(params_.tail_prob))
+    us += rng.pareto(params_.tail_scale_us, params_.tail_shape);
+  return microseconds_f(us);
+}
+
+std::size_t IqTransportModel::bytes_per_antenna(phy::Bandwidth bw) {
+  const auto cfg = phy::bandwidth_config(bw);
+  // One subframe is 1 ms of complex samples, 4 bytes each.
+  const auto samples = static_cast<std::size_t>(cfg.sample_rate_hz / 1000.0);
+  return samples * 4;
+}
+
+Duration IqTransportModel::one_way_nominal(phy::Bandwidth bw,
+                                           unsigned antennas) const {
+  const double bytes = static_cast<double>(bytes_per_antenna(bw));
+  // Radio link serialization (per radio, in parallel across radios) plus
+  // aggregated serialization into the GPP port.
+  const double radio_us = bytes * 8.0 / (radio_link_gbps * 1e3);
+  const double agg_us =
+      bytes * antennas * 8.0 / (aggregate_link_gbps * 1e3);
+  return packetization_overhead + microseconds_f(radio_us + agg_us);
+}
+
+Duration IqTransportModel::sample_one_way(phy::Bandwidth bw, unsigned antennas,
+                                          Rng& rng) const {
+  const Duration nominal = one_way_nominal(bw, antennas);
+  const Duration jitter = microseconds_f(std::abs(rng.normal(0.0, jitter_sigma_us)));
+  return nominal + jitter;
+}
+
+}  // namespace rtopex::transport

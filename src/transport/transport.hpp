@@ -1,0 +1,119 @@
+// Fronthaul + cloud-network transport latency models (paper §2.3).
+//
+// A subframe's IQ samples traverse (a) the optical fronthaul — fixed
+// propagation delay of ~5 us/km plus switching overhead, negligible jitter —
+// and (b) the cloud network — a long-tailed distribution whose mean is
+// ~0.15 ms with ~1 in 1e4 packets above 0.25 ms (Fig. 6). The packetized IQ
+// model reproduces Fig. 7's serialization-dominated latency growth with
+// antenna count and bandwidth.
+//
+// The paper's headline experiments replace the measured WARP transport with
+// a *fixed* RTT/2 in 0.4–0.7 ms (§4.2); FixedTransport covers that.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/time_types.hpp"
+#include "phy/lte_params.hpp"
+
+namespace rtopex::transport {
+
+/// Fixed fronthaul delay for a fiber run.
+struct FronthaulModel {
+  double fiber_km = 20.0;
+  Duration switching_overhead = microseconds(25);
+
+  /// Propagation in fiber is ~5 us/km.
+  Duration one_way() const {
+    return microseconds_f(fiber_km * 5.0) + switching_overhead;
+  }
+};
+
+/// Long-tailed one-way cloud-network latency (Fig. 6).
+struct CloudNetworkParams {
+  double body_mean_us = 145.0;   ///< lognormal body mean.
+  double body_sigma = 0.12;      ///< lognormal shape.
+  double tail_prob = 1e-4;       ///< P(extra pareto tail component).
+  double tail_scale_us = 120.0;  ///< pareto scale.
+  double tail_shape = 2.2;       ///< pareto shape.
+};
+
+/// Presets for the two measured networks; the paper finds them nearly
+/// identical in distribution (Fig. 6), 10GbE marginally tighter.
+CloudNetworkParams cloud_params_1gbe();
+CloudNetworkParams cloud_params_10gbe();
+
+class CloudNetworkModel {
+ public:
+  explicit CloudNetworkModel(const CloudNetworkParams& params = {})
+      : params_(params) {}
+
+  Duration sample_one_way(Rng& rng) const;
+
+  const CloudNetworkParams& params() const { return params_; }
+
+ private:
+  CloudNetworkParams params_;
+};
+
+/// Serialization-based IQ transport latency (Fig. 7): per-radio 1 GbE links
+/// aggregated through a switch into the GPP's 10 GbE port.
+struct IqTransportModel {
+  double radio_link_gbps = 1.0;
+  double aggregate_link_gbps = 10.0;
+  Duration packetization_overhead = microseconds(30);
+  double jitter_sigma_us = 12.0;
+
+  /// Bytes of IQ per antenna per subframe (16-bit I + 16-bit Q).
+  static std::size_t bytes_per_antenna(phy::Bandwidth bw);
+
+  /// Deterministic component of the one-way latency.
+  Duration one_way_nominal(phy::Bandwidth bw, unsigned antennas) const;
+
+  /// Nominal plus Gaussian jitter (clamped at the nominal value).
+  Duration sample_one_way(phy::Bandwidth bw, unsigned antennas,
+                          Rng& rng) const;
+};
+
+/// The transport abstraction the schedulers consume: per-subframe one-way
+/// delay from radio to compute node.
+class TransportModel {
+ public:
+  virtual ~TransportModel() = default;
+  /// One-way radio -> node delay for one subframe.
+  virtual Duration sample_delay(Rng& rng) const = 0;
+  /// The delay the schedulers should budget for (RTT/2 in Eq. (3)).
+  virtual Duration nominal_delay() const = 0;
+};
+
+/// Fixed RTT/2 as in the paper's §4.2 evaluation sweeps.
+class FixedTransport final : public TransportModel {
+ public:
+  explicit FixedTransport(Duration one_way) : one_way_(one_way) {}
+  Duration sample_delay(Rng&) const override { return one_way_; }
+  Duration nominal_delay() const override { return one_way_; }
+
+ private:
+  Duration one_way_;
+};
+
+/// Fronthaul + stochastic cloud network.
+class CompositeTransport final : public TransportModel {
+ public:
+  CompositeTransport(const FronthaulModel& fronthaul,
+                     const CloudNetworkParams& cloud)
+      : fronthaul_(fronthaul), cloud_(cloud) {}
+
+  Duration sample_delay(Rng& rng) const override {
+    return fronthaul_.one_way() + cloud_.sample_one_way(rng);
+  }
+  Duration nominal_delay() const override {
+    return fronthaul_.one_way() +
+           microseconds_f(cloud_.params().body_mean_us);
+  }
+
+ private:
+  FronthaulModel fronthaul_;
+  CloudNetworkModel cloud_;
+};
+
+}  // namespace rtopex::transport

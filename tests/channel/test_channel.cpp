@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/channel.hpp"
+#include "common/rng.hpp"
+
+namespace rtopex::channel {
+namespace {
+
+phy::IqVector tone(std::size_t n) {
+  phy::IqVector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ph = 2.0 * M_PI * 0.05 * static_cast<double>(i);
+    v[i] = {static_cast<float>(std::cos(ph)), static_cast<float>(std::sin(ph))};
+  }
+  return v;
+}
+
+double power(const phy::IqVector& v) {
+  double p = 0.0;
+  for (const auto& x : v) p += std::norm(x);
+  return p / static_cast<double>(v.size());
+}
+
+TEST(ChannelTest, ProducesOneStreamPerAntenna) {
+  Channel ch({20.0, 4, 1, false}, 1);
+  const auto rx = ch.apply(tone(1000));
+  EXPECT_EQ(rx.size(), 4u);
+  for (const auto& s : rx) EXPECT_EQ(s.size(), 1000u);
+}
+
+TEST(ChannelTest, SnrIsAccurate) {
+  // Unit-gain channel: noise power == signal power / SNR.
+  const auto tx = tone(50000);
+  for (const double snr_db : {0.0, 10.0, 20.0}) {
+    Channel ch({snr_db, 1, 1, false}, 2);
+    const auto rx = ch.apply(tx);
+    // Compute the noise as the difference from the clean signal.
+    double noise_power = 0.0;
+    for (std::size_t i = 0; i < tx.size(); ++i)
+      noise_power += std::norm(rx[0][i] - tx[i]);
+    noise_power /= static_cast<double>(tx.size());
+    const double measured_snr =
+        10.0 * std::log10(power(tx) / noise_power);
+    EXPECT_NEAR(measured_snr, snr_db, 0.3) << "snr_db=" << snr_db;
+  }
+}
+
+TEST(ChannelTest, AntennasReceiveIndependentNoise) {
+  Channel ch({10.0, 2, 1, false}, 3);
+  const auto tx = tone(1000);
+  const auto rx = ch.apply(tx);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < tx.size(); ++i)
+    diff += std::norm(rx[0][i] - rx[1][i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(ChannelTest, FadingPreservesAveragePower) {
+  // Rayleigh taps are normalized to unit average power; over many draws the
+  // received signal power matches the transmitted power.
+  const auto tx = tone(2000);
+  Channel ch({40.0, 1, 1, true}, 4);
+  double total = 0.0;
+  constexpr int kDraws = 200;
+  for (int i = 0; i < kDraws; ++i) total += power(ch.apply(tx)[0]);
+  EXPECT_NEAR(total / kDraws / power(tx), 1.0, 0.15);
+}
+
+TEST(ChannelTest, MultipathSpreadsEnergy) {
+  phy::IqVector impulse(100, phy::Complex{0, 0});
+  impulse[10] = {1.0f, 0.0f};
+  Channel ch({60.0, 1, 4, true}, 5);
+  const auto rx = ch.apply(impulse);
+  // Energy must appear at delays 10..13.
+  int taps_with_energy = 0;
+  for (std::size_t i = 10; i < 14; ++i)
+    if (std::abs(rx[0][i]) > 1e-3) ++taps_with_energy;
+  EXPECT_GE(taps_with_energy, 2);
+}
+
+TEST(ChannelTest, DeterministicForSameSeed) {
+  const auto tx = tone(500);
+  Channel a({15.0, 2, 2, true}, 42);
+  Channel b({15.0, 2, 2, true}, 42);
+  const auto ra = a.apply(tx);
+  const auto rb = b.apply(tx);
+  for (unsigned ant = 0; ant < 2; ++ant)
+    for (std::size_t i = 0; i < tx.size(); ++i)
+      EXPECT_EQ(ra[ant][i], rb[ant][i]);
+}
+
+TEST(ChannelTest, RejectsDegenerateConfig) {
+  EXPECT_THROW(Channel({10.0, 0, 1, false}, 1), std::invalid_argument);
+  EXPECT_THROW(Channel({10.0, 1, 0, false}, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtopex::channel

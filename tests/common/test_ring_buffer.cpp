@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/ring_buffer.hpp"
+
+namespace rtopex {
+namespace {
+
+TEST(SpscRingBufferTest, PushPopOrder) {
+  SpscRingBuffer<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  for (int i = 0; i < 4; ++i) {
+    const auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRingBufferTest, FullRejectsPush) {
+  SpscRingBuffer<int> ring(2);
+  std::size_t pushed = 0;
+  while (ring.try_push(static_cast<int>(pushed))) ++pushed;
+  EXPECT_GE(pushed, 2u);
+  EXPECT_FALSE(ring.try_push(99));
+  ring.try_pop();
+  EXPECT_TRUE(ring.try_push(99));
+}
+
+TEST(SpscRingBufferTest, ConcurrentProducerConsumer) {
+  SpscRingBuffer<int> ring(64);
+  constexpr int kCount = 100000;
+  std::thread producer([&] {
+    for (int i = 0; i < kCount;) {
+      if (ring.try_push(i)) ++i;
+    }
+  });
+  long long sum = 0;
+  int received = 0;
+  while (received < kCount) {
+    if (const auto v = ring.try_pop()) {
+      EXPECT_EQ(*v, received);
+      sum += *v;
+      ++received;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, static_cast<long long>(kCount) * (kCount - 1) / 2);
+}
+
+TEST(MpmcRingBufferTest, EvictsOldestWhenFull) {
+  MpmcRingBuffer<int> ring(3);
+  EXPECT_TRUE(ring.push(1));
+  EXPECT_TRUE(ring.push(2));
+  EXPECT_TRUE(ring.push(3));
+  EXPECT_FALSE(ring.push(4));  // evicts 1
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(*ring.try_pop(), 2);
+  EXPECT_EQ(*ring.try_pop(), 3);
+  EXPECT_EQ(*ring.try_pop(), 4);
+}
+
+TEST(MpmcRingBufferTest, BlockingPopWakesOnPush) {
+  MpmcRingBuffer<int> ring(8);
+  std::thread consumer([&] {
+    const auto v = ring.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 42);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ring.push(42);
+  consumer.join();
+}
+
+TEST(MpmcRingBufferTest, CloseReleasesBlockedPop) {
+  MpmcRingBuffer<int> ring(8);
+  std::thread consumer([&] {
+    const auto v = ring.pop();
+    EXPECT_FALSE(v.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ring.close();
+  consumer.join();
+}
+
+}  // namespace
+}  // namespace rtopex

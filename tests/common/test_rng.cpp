@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rtopex {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntUnbiasedAcrossRange) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.uniform_int(10)];
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, ParetoRespectsScale) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(23);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng(29);
+  const auto x0 = rng.next();
+  rng.next();
+  rng.reseed(29);
+  EXPECT_EQ(rng.next(), x0);
+}
+
+}  // namespace
+}  // namespace rtopex

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace rtopex {
+namespace {
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsCombined) {
+  Rng rng(5);
+  RunningStats a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(QuantileTest, InterpolatesLinearly) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(EmpiricalCdfTest, EvaluationAndInverse) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf(3.0), 0.6);
+  EXPECT_DOUBLE_EQ(cdf(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-1.0);   // clamps into bin 0
+  h.add(100.0);  // clamps into bin 9
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_low(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+}
+
+TEST(OlsFitTest, RecoversExactCoefficients) {
+  // y = 2 + 3a - 1.5b, exactly.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.uniform(0, 10), b = rng.uniform(0, 10);
+    rows.push_back({1.0, a, b});
+    y.push_back(2.0 + 3.0 * a - 1.5 * b);
+  }
+  const OlsFit fit = ols_fit(rows, y);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], 3.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[2], -1.5, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(OlsFitTest, NoisyFitHasHighR2AndResiduals) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const double a = rng.uniform(0, 10);
+    rows.push_back({1.0, a});
+    y.push_back(5.0 + 2.0 * a + rng.normal(0.0, 0.1));
+  }
+  const OlsFit fit = ols_fit(rows, y);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_EQ(fit.residuals.size(), 500u);
+  double resid_mean = 0.0;
+  for (const double r : fit.residuals) resid_mean += r;
+  EXPECT_NEAR(resid_mean / 500.0, 0.0, 0.02);
+}
+
+TEST(OlsFitTest, RejectsMalformedInput) {
+  EXPECT_THROW(ols_fit({}, {}), std::invalid_argument);
+  EXPECT_THROW(ols_fit({{1.0, 2.0}}, std::vector<double>{1.0}),
+               std::invalid_argument);  // fewer rows than columns
+  // Singular: duplicate column.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 10; ++i) {
+    rows.push_back({1.0, 1.0});
+    y.push_back(1.0);
+  }
+  EXPECT_THROW(ols_fit(rows, y), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rtopex

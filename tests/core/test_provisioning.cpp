@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "core/provisioning.hpp"
+
+namespace rtopex::core {
+namespace {
+
+ProvisioningQuery small_query(SchedulerKind kind) {
+  ProvisioningQuery q;
+  q.base.workload.num_basestations = 4;
+  q.base.workload.subframes_per_bs = 4000;
+  q.base.workload.seed = 3;
+  q.base.scheduler = kind;
+  q.max_miss_rate = 1e-2;
+  return q;
+}
+
+TEST(ProvisioningTest, RtOpexSustainsLargerTransportBudget) {
+  const Duration part = max_supported_rtt_half(
+      small_query(SchedulerKind::kPartitioned));
+  const Duration opex =
+      max_supported_rtt_half(small_query(SchedulerKind::kRtOpex));
+  // Both must be meaningful, and RT-OPEX strictly dominates.
+  EXPECT_GT(part, microseconds(100));
+  EXPECT_GT(opex, part);
+}
+
+TEST(ProvisioningTest, BoundaryIsConsistentWithDirectEvaluation) {
+  auto q = small_query(SchedulerKind::kPartitioned);
+  const Duration budget = max_supported_rtt_half(q);
+  // At the reported boundary the ceiling holds...
+  q.base.rtt_half = budget;
+  EXPECT_LE(run_experiment(q.base).metrics.miss_rate(), q.max_miss_rate);
+  // ...and well past it, it does not.
+  q.base.rtt_half = budget + microseconds(200);
+  EXPECT_GT(run_experiment(q.base).metrics.miss_rate(), q.max_miss_rate);
+}
+
+TEST(ProvisioningTest, LoadSearchOrdersSchedulers) {
+  auto part = small_query(SchedulerKind::kPartitioned);
+  auto opex = small_query(SchedulerKind::kRtOpex);
+  part.base.rtt_half = opex.base.rtt_half = microseconds(500);
+  const double l_part = max_supported_load(part);
+  const double l_opex = max_supported_load(opex);
+  EXPECT_GT(l_part, 0.1);
+  EXPECT_GT(l_opex, l_part);
+  EXPECT_LE(l_opex, 1.0);
+}
+
+TEST(ProvisioningTest, RejectsBadRanges) {
+  const auto q = small_query(SchedulerKind::kPartitioned);
+  EXPECT_THROW(
+      max_supported_rtt_half(q, microseconds(500), microseconds(100)),
+      std::invalid_argument);
+  EXPECT_THROW(max_supported_load(q, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(max_supported_load(q, 0.5, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtopex::core

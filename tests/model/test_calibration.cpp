@@ -1,0 +1,71 @@
+// The iteration-model calibrator must recover the parameters of a known
+// synthetic decoder, and produce sane parameters from the real PHY chain.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "model/calibration.hpp"
+
+namespace rtopex::model {
+namespace {
+
+std::vector<IterationSample> synthetic_samples(
+    const IterationModelParams& truth, std::uint64_t seed) {
+  const IterationModel gen(truth);
+  Rng rng(seed);
+  std::vector<IterationSample> samples;
+  for (unsigned mcs = 0; mcs <= 27; mcs += 3) {
+    for (double snr = -6.0; snr <= 30.0; snr += 2.0) {
+      for (int i = 0; i < 300; ++i) {
+        const auto out = gen.sample(mcs, snr, 4, rng);
+        samples.push_back({mcs, snr, out.iterations, out.decoded});
+      }
+    }
+  }
+  return samples;
+}
+
+TEST(CalibrationTest, RecoversSyntheticTruth) {
+  IterationModelParams truth;
+  truth.threshold_base_db = -4.0;
+  truth.threshold_slope_db = 1.0;
+  truth.q_base = 0.7;
+  truth.q_slope = 0.04;
+  const auto samples = synthetic_samples(truth, 1);
+  const auto fit = calibrate_iteration_model(samples);
+  EXPECT_NEAR(fit.threshold_base_db, truth.threshold_base_db, 1.0);
+  EXPECT_NEAR(fit.threshold_slope_db, truth.threshold_slope_db, 0.1);
+  EXPECT_NEAR(fit.q_base, truth.q_base, 0.08);
+  EXPECT_NEAR(fit.q_slope, truth.q_slope, 0.015);
+}
+
+TEST(CalibrationTest, CalibratedModelReproducesFailureCurve) {
+  IterationModelParams truth;  // defaults
+  const auto samples = synthetic_samples(truth, 2);
+  const auto fit = calibrate_iteration_model(samples);
+  const IterationModel a(truth), b(fit);
+  for (unsigned mcs = 0; mcs <= 27; mcs += 9)
+    for (double snr = 0.0; snr <= 30.0; snr += 10.0)
+      EXPECT_NEAR(a.failure_probability(mcs, snr),
+                  b.failure_probability(mcs, snr), 0.15)
+          << "mcs=" << mcs << " snr=" << snr;
+}
+
+TEST(CalibrationTest, KeepsDefaultsWhenUnidentifiable) {
+  // All successes at one margin: thresholds cannot be estimated.
+  std::vector<IterationSample> samples;
+  for (int i = 0; i < 100; ++i) samples.push_back({10, 30.0, 1, true});
+  for (int i = 0; i < 100; ++i) samples.push_back({10, 28.0, 1, true});
+  IterationModelParams defaults;
+  defaults.threshold_base_db = -9.0;
+  const auto fit = calibrate_iteration_model(samples, defaults);
+  EXPECT_EQ(fit.threshold_base_db, -9.0);
+}
+
+TEST(CalibrationTest, RejectsDegenerateInput) {
+  EXPECT_THROW(calibrate_iteration_model({}), std::invalid_argument);
+  EXPECT_THROW(calibrate_iteration_model({{10, 30.0, 1, true}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtopex::model

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "model/iteration_model.hpp"
+#include "model/platform_error.hpp"
+#include "model/task_cost_model.hpp"
+#include "model/timing_model.hpp"
+
+namespace rtopex::model {
+namespace {
+
+TEST(TimingModelTest, PaperConstantsPredictKnownAnchors) {
+  const TimingModel m = paper_gpp_model();
+  // Paper §2.1: "each additional antenna adds 169us while each Turbo
+  // iteration at MCS 27 adds 345us".
+  const Duration one_ant = m.predict(1, 6, 3.7, 2.0);
+  const Duration two_ant = m.predict(2, 6, 3.7, 2.0);
+  EXPECT_NEAR(to_us(two_ant - one_ant), 169.1, 0.5);
+  const Duration l2 = m.predict(2, 6, 3.7, 2.0);
+  const Duration l3 = m.predict(2, 6, 3.7, 3.0);
+  EXPECT_NEAR(to_us(l3 - l2), 344.1, 1.0);
+}
+
+TEST(TimingModelTest, WcetSubstitutesMaxIterations) {
+  const TimingModel m = paper_gpp_model();
+  EXPECT_EQ(m.wcet(2, 6, 3.7, 4), m.predict(2, 6, 3.7, 4.0));
+  EXPECT_GT(m.wcet(2, 6, 3.7, 4), m.predict(2, 6, 3.7, 1.0));
+}
+
+TEST(TimingModelTest, FitRecoversSyntheticTruth) {
+  const TimingModel truth = paper_gpp_model();
+  Rng rng(1);
+  std::vector<TimingMeasurement> data;
+  for (int i = 0; i < 2000; ++i) {
+    TimingMeasurement m;
+    m.antennas = 1 + rng.uniform_int(2);
+    m.modulation_order = 2 * (1 + rng.uniform_int(3));
+    m.subcarrier_load = rng.uniform(0.16, 3.7);
+    m.iterations = 1.0 + static_cast<double>(rng.uniform_int(4));
+    m.time_us = truth.w0_us + truth.w1_us * m.antennas +
+                truth.w2_us * m.modulation_order +
+                truth.w3_us * m.subcarrier_load * m.iterations +
+                rng.normal(0.0, 10.0);
+    data.push_back(m);
+  }
+  const TimingModel fit = fit_timing_model(data);
+  EXPECT_NEAR(fit.w0_us, truth.w0_us, 3.0);
+  EXPECT_NEAR(fit.w1_us, truth.w1_us, 2.0);
+  EXPECT_NEAR(fit.w2_us, truth.w2_us, 1.0);
+  EXPECT_NEAR(fit.w3_us, truth.w3_us, 1.0);
+  EXPECT_GT(fit.r_squared, 0.99);
+  const auto residuals = model_residuals(fit, data);
+  EXPECT_EQ(residuals.size(), data.size());
+  EXPECT_THROW(fit_timing_model({}), std::invalid_argument);
+}
+
+TEST(PlatformErrorTest, NonNegativeWithLongTail) {
+  PlatformErrorModel model;
+  Rng rng(2);
+  std::vector<double> samples;
+  for (int i = 0; i < 300000; ++i)
+    samples.push_back(to_us(model.sample(rng)));
+  for (const double s : samples) EXPECT_GE(s, 0.0);
+  // Fig. 3(d): 99.9% of errors below 0.15 ms, rare spikes up to ~0.7 ms.
+  EXPECT_LT(quantile(samples, 0.999), 150.0);
+  const double max = *std::max_element(samples.begin(), samples.end());
+  EXPECT_GT(max, 200.0);
+  EXPECT_LE(max, 1000.0);
+}
+
+TEST(IterationModelTest, MarginAndFailureMonotonicity) {
+  const IterationModel model;
+  // Higher MCS at fixed SNR -> smaller margin -> more failures.
+  EXPECT_GT(model.margin_db(0, 30.0), model.margin_db(27, 30.0));
+  EXPECT_LT(model.failure_probability(0, 30.0),
+            model.failure_probability(27, 10.0));
+  // Deep negative margin: nearly certain failure.
+  EXPECT_GT(model.failure_probability(27, 0.0), 0.99);
+}
+
+TEST(IterationModelTest, IterationsIncreaseAsSnrDrops) {
+  const IterationModel model;
+  Rng rng(3);
+  const auto mean_l = [&](double snr) {
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i)
+      sum += model.sample(16, snr, 4, rng).iterations;
+    return sum / 20000.0;
+  };
+  const double high = mean_l(30.0);
+  const double low = mean_l(14.0);
+  EXPECT_LT(high, low);
+  EXPECT_GE(high, 1.0);
+  EXPECT_LE(low, 4.0);
+}
+
+TEST(IterationModelTest, FailureForcesMaxIterations) {
+  const IterationModel model;
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const auto out = model.sample(27, -10.0, 4, rng);
+    EXPECT_FALSE(out.decoded);
+    EXPECT_EQ(out.iterations, 4u);
+  }
+}
+
+TEST(TaskCostModelTest, StagesSumToEquationOne) {
+  const TimingModel timing = paper_gpp_model();
+  const TaskCostModel model(timing, 2, 50);
+  for (unsigned mcs = 0; mcs <= 27; ++mcs) {
+    for (unsigned l = 1; l <= 4; ++l) {
+      const Duration jitter = microseconds(17);
+      const SubframeCosts c = model.costs(mcs, l, jitter);
+      const Duration expected =
+          timing.predict(2, phy::modulation_order(mcs),
+                         phy::subcarrier_load(mcs, 50), l) +
+          jitter;
+      EXPECT_NEAR(to_us(c.total()), to_us(expected), 1.0)
+          << "mcs=" << mcs << " L=" << l;
+    }
+  }
+}
+
+TEST(TaskCostModelTest, SubtaskStructureConsistent) {
+  const TaskCostModel model(paper_gpp_model(), 2, 50);
+  const SubframeCosts c = model.costs(27, 4, 0);
+  EXPECT_EQ(c.fft_subtasks, 28u);   // 14 symbols x 2 antennas
+  EXPECT_EQ(c.decode_subtasks, 6u); // 6 code blocks at MCS 27
+  EXPECT_GE(c.decode_serial(), 0);
+  EXPECT_LE(static_cast<Duration>(c.fft_subtasks) * c.fft_subtask, c.fft);
+  // Decode parallel part dominates at high L.
+  EXPECT_GT(static_cast<Duration>(c.decode_subtasks) * c.decode_subtask,
+            c.decode / 2);
+}
+
+TEST(TaskCostModelTest, PaperStageAnchors) {
+  // Fig. 4 / Fig. 18 anchors at N = 2, MCS 27: FFT ~108 us; decode at
+  // L = 2 ~980 us with a ~310 us serial residue.
+  const TaskCostModel model(paper_gpp_model(), 2, 50);
+  const SubframeCosts c = model.costs(27, 2, 0);
+  EXPECT_NEAR(to_us(c.fft), 108.0, 15.0);
+  EXPECT_NEAR(to_us(c.decode), 980.0, 60.0);
+  EXPECT_NEAR(to_us(c.decode_serial()), 310.0, 50.0);
+}
+
+TEST(TaskCostModelTest, IterationScalingIsolatedToDecode) {
+  const TaskCostModel model(paper_gpp_model(), 2, 50);
+  const SubframeCosts l1 = model.costs(20, 1, 0);
+  const SubframeCosts l4 = model.costs(20, 4, 0);
+  EXPECT_EQ(l1.fft, l4.fft);
+  EXPECT_EQ(l1.demod, l4.demod);
+  EXPECT_GT(l4.decode, l1.decode);
+  // The decode serial residue is L-independent.
+  EXPECT_NEAR(to_us(l1.decode_serial()), to_us(l4.decode_serial()), 2.0);
+}
+
+TEST(TaskCostModelTest, CostsScaleWithBandwidth) {
+  // Eq. (1) is calibrated at 50 PRB; narrowband cells cost proportionally
+  // less (same D, half the REs/bits at 25 PRB).
+  const TaskCostModel macro(paper_gpp_model(), 2, 50);
+  const TaskCostModel iot(paper_gpp_model(), 2, 25);
+  const SubframeCosts m = macro.costs(20, 2, 0);
+  const SubframeCosts i = iot.costs(20, 2, 0);
+  EXPECT_LT(i.total(), m.total());
+  // Variable part halves; the w0 constant does not.
+  const double w0 = paper_gpp_model().w0_us;
+  EXPECT_NEAR(to_us(i.total()) - w0, (to_us(m.total()) - w0) / 2.0,
+              (to_us(m.total()) - w0) * 0.02);
+  // Fewer code blocks at the smaller transport block.
+  EXPECT_LE(i.decode_subtasks, m.decode_subtasks);
+}
+
+TEST(TaskCostModelTest, RejectsBadParams) {
+  EXPECT_THROW(TaskCostModel(paper_gpp_model(), 0, 50), std::invalid_argument);
+  TaskCostParams bad;
+  bad.fft_share = 0.9;
+  bad.demod_antenna_share = 0.5;
+  EXPECT_THROW(TaskCostModel(paper_gpp_model(), 2, 50, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtopex::model

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "phy/crc.hpp"
+
+namespace rtopex::phy {
+namespace {
+
+BitVector random_bits(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  BitVector bits(n);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next() & 1);
+  return bits;
+}
+
+TEST(CrcTest, AttachAndCheckRoundTripA) {
+  BitVector bits = random_bits(100, 1);
+  attach_crc24(bits, CrcKind::kA);
+  EXPECT_EQ(bits.size(), 124u);
+  EXPECT_TRUE(check_crc24(bits, CrcKind::kA));
+}
+
+TEST(CrcTest, AttachAndCheckRoundTripB) {
+  BitVector bits = random_bits(357, 2);
+  attach_crc24(bits, CrcKind::kB);
+  EXPECT_TRUE(check_crc24(bits, CrcKind::kB));
+}
+
+TEST(CrcTest, DetectsEverySingleBitFlip) {
+  BitVector bits = random_bits(64, 3);
+  attach_crc24(bits, CrcKind::kA);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits[i] ^= 1;
+    EXPECT_FALSE(check_crc24(bits, CrcKind::kA)) << "undetected flip at " << i;
+    bits[i] ^= 1;
+  }
+}
+
+TEST(CrcTest, DetectsBurstErrorsUpTo24Bits) {
+  BitVector bits = random_bits(200, 4);
+  attach_crc24(bits, CrcKind::kB);
+  for (unsigned len = 2; len <= 24; ++len) {
+    BitVector corrupted = bits;
+    for (unsigned i = 0; i < len; ++i) corrupted[50 + i] ^= 1;
+    EXPECT_FALSE(check_crc24(corrupted, CrcKind::kB))
+        << "undetected burst of length " << len;
+  }
+}
+
+TEST(CrcTest, KindsDiffer) {
+  const BitVector bits = random_bits(80, 5);
+  EXPECT_NE(crc24a(bits), crc24b(bits));
+}
+
+TEST(CrcTest, ZeroMessageHasZeroCrc) {
+  // CRC of all-zero input is zero for these polynomials (no init/xorout).
+  const BitVector zeros(100, 0);
+  EXPECT_EQ(crc24a(zeros), 0u);
+  EXPECT_EQ(crc24b(zeros), 0u);
+}
+
+TEST(CrcTest, LinearityProperty) {
+  // CRC(a xor b) == CRC(a) xor CRC(b) for linear CRCs without init/xorout.
+  const BitVector a = random_bits(128, 6);
+  const BitVector b = random_bits(128, 7);
+  BitVector x(128);
+  for (std::size_t i = 0; i < 128; ++i)
+    x[i] = static_cast<std::uint8_t>(a[i] ^ b[i]);
+  EXPECT_EQ(crc24a(x), crc24a(a) ^ crc24a(b));
+}
+
+TEST(CrcTest, TooShortFailsCheck) {
+  const BitVector bits(10, 1);
+  EXPECT_FALSE(check_crc24(bits, CrcKind::kA));
+}
+
+TEST(CrcTest, MalformedPolynomialThrows) {
+  const BitVector bits(8, 1);
+  const std::vector<std::uint8_t> bad = {0, 1, 1};
+  EXPECT_THROW(crc_bits(bits, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtopex::phy

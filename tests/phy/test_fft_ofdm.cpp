@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "phy/fft.hpp"
+#include "phy/ofdm.hpp"
+
+namespace rtopex::phy {
+namespace {
+
+IqVector random_iq(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  IqVector v(n);
+  for (auto& x : v)
+    x = {static_cast<float>(rng.normal()), static_cast<float>(rng.normal())};
+  return v;
+}
+
+double max_error(const IqVector& a, const IqVector& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, static_cast<double>(std::abs(a[i] - b[i])));
+  return m;
+}
+
+class FftSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeTest, MatchesReferenceDft) {
+  const std::size_t n = GetParam();
+  const FftPlan plan(n);
+  IqVector data = random_iq(n, n);
+  const IqVector expected = reference_dft(data, false);
+  plan.forward(data);
+  EXPECT_LT(max_error(data, expected), 1e-2 * std::sqrt(n));
+}
+
+TEST_P(FftSizeTest, InverseIsExactInverse) {
+  const std::size_t n = GetParam();
+  const FftPlan plan(n);
+  const IqVector original = random_iq(n, n + 1);
+  IqVector data = original;
+  plan.forward(data);
+  plan.inverse(data);
+  EXPECT_LT(max_error(data, original), 1e-4 * std::sqrt(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizeTest,
+                         ::testing::Values(2u, 8u, 64u, 512u, 1024u, 2048u));
+
+TEST(FftTest, ParsevalHolds) {
+  const std::size_t n = 256;
+  const FftPlan plan(n);
+  IqVector data = random_iq(n, 5);
+  double time_energy = 0.0;
+  for (const auto& x : data) time_energy += std::norm(x);
+  plan.forward(data);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / n, time_energy, time_energy * 1e-4);
+}
+
+TEST(FftTest, ImpulseGivesFlatSpectrum) {
+  const FftPlan plan(64);
+  IqVector data(64, Complex{0, 0});
+  data[0] = {1.0f, 0.0f};
+  plan.forward(data);
+  for (const auto& x : data) EXPECT_NEAR(std::abs(x), 1.0, 1e-5);
+}
+
+TEST(FftTest, RejectsBadSizes) {
+  EXPECT_THROW(FftPlan(0), std::invalid_argument);
+  EXPECT_THROW(FftPlan(1), std::invalid_argument);
+  EXPECT_THROW(FftPlan(100), std::invalid_argument);
+  const FftPlan plan(8);
+  IqVector wrong(7);
+  EXPECT_THROW(plan.forward(wrong), std::invalid_argument);
+}
+
+TEST(OfdmTest, SubcarrierBinMappingIsDcCentred) {
+  // nsc = 4, fft = 16: subcarriers -2,-1,+1,+2 -> bins 14,15,1,2.
+  EXPECT_EQ(subcarrier_bin(0, 4, 16), 14u);
+  EXPECT_EQ(subcarrier_bin(1, 4, 16), 15u);
+  EXPECT_EQ(subcarrier_bin(2, 4, 16), 1u);
+  EXPECT_EQ(subcarrier_bin(3, 4, 16), 2u);
+  EXPECT_THROW(subcarrier_bin(4, 4, 16), std::invalid_argument);
+}
+
+TEST(OfdmTest, ModulateDemodulateRoundTrip) {
+  const FftPlan plan(256);
+  const std::size_t nsc = 120, cp = 18;
+  const IqVector subcarriers = random_iq(nsc, 9);
+  const IqVector time = ofdm_modulate(plan, subcarriers, cp);
+  EXPECT_EQ(time.size(), 256 + cp);
+  const IqVector back = ofdm_demodulate(plan, time, cp, nsc);
+  EXPECT_LT(max_error(back, subcarriers), 1e-3);
+}
+
+TEST(OfdmTest, CyclicPrefixIsEndOfSymbol) {
+  const FftPlan plan(64);
+  const IqVector subcarriers = random_iq(30, 10);
+  const IqVector time = ofdm_modulate(plan, subcarriers, 8);
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(std::abs(time[i] - time[64 + i]), 0.0, 1e-6);
+}
+
+TEST(OfdmTest, ZadoffChuHasConstantAmplitude) {
+  const IqVector zc = zadoff_chu(25, 600);
+  for (const auto& x : zc) EXPECT_NEAR(std::abs(x), 1.0, 1e-5);
+}
+
+TEST(OfdmTest, DifferentCellsGetDifferentDmrs) {
+  const IqVector a = dmrs_sequence(120, 0);
+  const IqVector b = dmrs_sequence(120, 1);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(OfdmTest, CircularDelayOnlyRotatesPhase) {
+  // A cyclic shift within the CP appears as a per-subcarrier phase ramp,
+  // with unchanged magnitude — the property channel estimation relies on.
+  const FftPlan plan(128);
+  const std::size_t nsc = 60, cp = 12;
+  const IqVector subcarriers = random_iq(nsc, 11);
+  IqVector time = ofdm_modulate(plan, subcarriers, cp);
+  // Delay by 3 samples (within the CP) by shifting the whole symbol.
+  IqVector delayed(time.size());
+  for (std::size_t i = 3; i < time.size(); ++i) delayed[i] = time[i - 3];
+  // Fill the first samples from the (cyclically equivalent) symbol tail.
+  for (std::size_t i = 0; i < 3; ++i)
+    delayed[i] = time[time.size() - 3 + i];
+  const IqVector received = ofdm_demodulate(plan, delayed, cp, nsc);
+  for (std::size_t k = 0; k < nsc; ++k)
+    EXPECT_NEAR(std::abs(received[k]), std::abs(subcarriers[k]), 1e-3);
+}
+
+}  // namespace
+}  // namespace rtopex::phy

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "phy/lte_params.hpp"
+
+namespace rtopex::phy {
+namespace {
+
+TEST(LteParamsTest, BandwidthConfigs) {
+  const auto b5 = bandwidth_config(Bandwidth::kMHz5);
+  EXPECT_EQ(b5.num_prb, 25u);
+  EXPECT_EQ(b5.fft_size, 512u);
+  const auto b10 = bandwidth_config(Bandwidth::kMHz10);
+  EXPECT_EQ(b10.num_prb, 50u);
+  EXPECT_EQ(b10.fft_size, 1024u);
+  EXPECT_DOUBLE_EQ(b10.sample_rate_hz, 15.36e6);
+  const auto b20 = bandwidth_config(Bandwidth::kMHz20);
+  EXPECT_EQ(b20.num_prb, 100u);
+  EXPECT_EQ(b20.fft_size, 2048u);
+}
+
+TEST(LteParamsTest, ResourceElementCountsMatchPaper) {
+  // Paper §2.1: "For 10MHz bandwidth, which has 8400 REs".
+  EXPECT_EQ(resource_elements(50), 8400u);
+  EXPECT_EQ(data_resource_elements(50), 7200u);  // minus 2 DMRS symbols
+}
+
+TEST(LteParamsTest, ModulationOrderBands) {
+  EXPECT_EQ(modulation_order(0), 2u);
+  EXPECT_EQ(modulation_order(10), 2u);
+  EXPECT_EQ(modulation_order(11), 4u);
+  EXPECT_EQ(modulation_order(20), 4u);
+  EXPECT_EQ(modulation_order(21), 6u);
+  EXPECT_EQ(modulation_order(27), 6u);
+  EXPECT_THROW(modulation_order(28), std::out_of_range);
+}
+
+TEST(LteParamsTest, SubcarrierLoadSpansPaperRange) {
+  // Paper §2.1: D varies from 0.16 to 3.7 bits/RE for MCS 0..27 at 50 PRB.
+  EXPECT_NEAR(subcarrier_load(0, 50), 0.16, 0.01);
+  EXPECT_NEAR(subcarrier_load(27, 50), 3.7, 0.09);
+}
+
+TEST(LteParamsTest, ThroughputRangeMatchesPaper) {
+  // Paper §4.2: nominal PHY throughput 1.3 to 31.7 Mbps at 10 MHz.
+  const double mbps0 = transport_block_size(0, 50) / 1000.0;
+  const double mbps27 = transport_block_size(27, 50) / 1000.0;
+  EXPECT_NEAR(mbps0, 1.3, 0.1);
+  EXPECT_NEAR(mbps27, 31.7, 0.6);
+}
+
+TEST(LteParamsTest, TransportBlockSizeMonotoneInMcs) {
+  for (unsigned mcs = 1; mcs <= kMaxMcs; ++mcs)
+    EXPECT_GT(transport_block_size(mcs, 50), transport_block_size(mcs - 1, 50))
+        << "mcs=" << mcs;
+}
+
+TEST(LteParamsTest, TransportBlockSizeScalesWithPrb) {
+  for (const unsigned mcs : {0u, 13u, 27u}) {
+    const double per_prb_50 = transport_block_size(mcs, 50) / 50.0;
+    const double per_prb_100 = transport_block_size(mcs, 100) / 100.0;
+    EXPECT_NEAR(per_prb_50, per_prb_100, per_prb_50 * 0.02);
+  }
+}
+
+TEST(LteParamsTest, TbsByteAlignedAndBounded) {
+  for (unsigned mcs = 0; mcs <= kMaxMcs; ++mcs) {
+    const unsigned tbs = transport_block_size(mcs, 50);
+    EXPECT_EQ(tbs % 8, 0u);
+    EXPECT_GE(tbs, 40u);
+  }
+  EXPECT_THROW(transport_block_size(0, 0), std::invalid_argument);
+  EXPECT_THROW(transport_block_size(28, 50), std::out_of_range);
+}
+
+TEST(LteParamsTest, CodeBlockCountMonotone) {
+  unsigned prev = 1;
+  for (unsigned mcs = 0; mcs <= kMaxMcs; ++mcs) {
+    const unsigned c = num_code_blocks(mcs, 50);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_EQ(num_code_blocks(0, 50), 1u);
+  EXPECT_EQ(num_code_blocks(27, 50), 6u);
+}
+
+}  // namespace
+}  // namespace rtopex::phy

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "phy/modulation.hpp"
+
+namespace rtopex::phy {
+namespace {
+
+BitVector random_bits(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  BitVector bits(n);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next() & 1);
+  return bits;
+}
+
+class ModulationOrderTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ModulationOrderTest, UnitAveragePower) {
+  const unsigned order = GetParam();
+  const auto points = constellation(order);
+  EXPECT_EQ(points.size(), 1u << order);
+  double power = 0.0;
+  for (const Complex& p : points) power += std::norm(p);
+  EXPECT_NEAR(power / static_cast<double>(points.size()), 1.0, 1e-6);
+}
+
+TEST_P(ModulationOrderTest, AllPointsDistinct) {
+  const unsigned order = GetParam();
+  const auto points = constellation(order);
+  for (std::size_t i = 0; i < points.size(); ++i)
+    for (std::size_t j = i + 1; j < points.size(); ++j)
+      EXPECT_GT(std::abs(points[i] - points[j]), 1e-3);
+}
+
+TEST_P(ModulationOrderTest, NoiselessDemapRecoversBits) {
+  const unsigned order = GetParam();
+  const BitVector bits = random_bits(order * 100, order);
+  const IqVector symbols = modulate(bits, order);
+  const std::vector<float> nv(symbols.size(), 0.01f);
+  const LlrVector llrs = demodulate(symbols, nv, order);
+  ASSERT_EQ(llrs.size(), bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    // Positive LLR -> bit 0, negative -> bit 1 (decoder convention).
+    EXPECT_EQ(llrs[i] < 0.0f, bits[i] == 1) << "bit " << i;
+  }
+}
+
+TEST_P(ModulationOrderTest, LlrMagnitudeScalesWithNoise) {
+  const unsigned order = GetParam();
+  const BitVector bits = random_bits(order * 10, 3);
+  const IqVector symbols = modulate(bits, order);
+  const std::vector<float> low_noise(symbols.size(), 0.01f);
+  const std::vector<float> high_noise(symbols.size(), 1.0f);
+  const LlrVector confident = demodulate(symbols, low_noise, order);
+  const LlrVector hesitant = demodulate(symbols, high_noise, order);
+  for (std::size_t i = 0; i < confident.size(); ++i)
+    EXPECT_GT(std::abs(confident[i]), std::abs(hesitant[i]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ModulationOrderTest,
+                         ::testing::Values(2u, 4u, 6u));
+
+TEST(ModulationTest, GrayMappingNeighborsDifferInOneBit) {
+  // For QPSK, adjacent constellation points along each axis differ in
+  // exactly one bit (Gray property).
+  const auto points = constellation(2);
+  // Indices: b0 controls I sign, b1 controls Q sign.
+  EXPECT_EQ(points[0].real(), points[1].real());   // 00 vs 01: same I
+  EXPECT_NE(points[0].imag(), points[1].imag());   // different Q
+}
+
+TEST(ModulationTest, RejectsBadArguments) {
+  EXPECT_THROW(modulate(BitVector(5, 0), 2), std::invalid_argument);
+  EXPECT_THROW(modulate(BitVector(6, 0), 3), std::invalid_argument);
+  const IqVector sym(4);
+  const std::vector<float> nv(3);
+  EXPECT_THROW(demodulate(sym, nv, 2), std::invalid_argument);
+}
+
+TEST(ModulationTest, DemapSurvivesModerateNoise) {
+  Rng rng(11);
+  const unsigned order = 4;
+  const BitVector bits = random_bits(order * 1000, 12);
+  IqVector symbols = modulate(bits, order);
+  const float noise_var = 0.02f;
+  const float sigma = std::sqrt(noise_var / 2.0f);
+  for (auto& s : symbols)
+    s += Complex{static_cast<float>(rng.normal(0.0, sigma)),
+                 static_cast<float>(rng.normal(0.0, sigma))};
+  const std::vector<float> nv(symbols.size(), noise_var);
+  const LlrVector llrs = demodulate(symbols, nv, order);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    if ((llrs[i] < 0.0f) != (bits[i] == 1)) ++errors;
+  EXPECT_LT(errors, bits.size() / 100);
+}
+
+}  // namespace
+}  // namespace rtopex::phy

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "phy/qpp_interleaver.hpp"
+
+namespace rtopex::phy {
+namespace {
+
+TEST(QppTest, KnownLteParametersAreValid) {
+  // 36.212 Table 5.1.3-3 anchors: (K, f1, f2).
+  EXPECT_NO_THROW((QppInterleaver{40, 3, 10}));
+  EXPECT_NO_THROW((QppInterleaver{64, 7, 16}));
+  EXPECT_NO_THROW((QppInterleaver{128, 15, 32}));
+  EXPECT_NO_THROW((QppInterleaver{1024, 31, 64}));
+  EXPECT_NO_THROW((QppInterleaver{6144, 263, 480}));
+}
+
+TEST(QppTest, RejectsNonBijectiveParameters) {
+  // f1 sharing a factor with K cannot be a bijection.
+  EXPECT_THROW((QppInterleaver{40, 5, 10}), std::invalid_argument);
+  EXPECT_THROW((QppInterleaver{4, 1, 2}), std::invalid_argument);
+}
+
+TEST(QppTest, InverseIsConsistent) {
+  const QppInterleaver qpp(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(qpp.inverse(qpp.map(i)), i);
+  }
+}
+
+TEST(QppTest, InterleaveDeinterleaveRoundTrip) {
+  const QppInterleaver qpp(104);
+  std::vector<int> data(104);
+  std::iota(data.begin(), data.end(), 0);
+  const auto scrambled = qpp.interleave(data);
+  EXPECT_NE(scrambled, data);
+  EXPECT_EQ(qpp.deinterleave(scrambled), data);
+}
+
+TEST(QppTest, BlockSizeGridProperties) {
+  const auto& sizes = QppInterleaver::valid_block_sizes();
+  EXPECT_EQ(sizes.front(), 40u);
+  EXPECT_EQ(sizes.back(), 6144u);
+  EXPECT_TRUE(std::is_sorted(sizes.begin(), sizes.end()));
+  EXPECT_EQ(QppInterleaver::ceil_block_size(40), 40u);
+  EXPECT_EQ(QppInterleaver::ceil_block_size(41), 48u);
+  EXPECT_EQ(QppInterleaver::ceil_block_size(6100), 6144u);
+  EXPECT_THROW(QppInterleaver::ceil_block_size(6145), std::invalid_argument);
+}
+
+// Property sweep: the search constructor must find a valid bijection for
+// every grid size (this is what code-block segmentation relies on).
+class QppGridTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QppGridTest, SearchFindsBijection) {
+  const std::size_t k = GetParam();
+  const QppInterleaver qpp(k);
+  EXPECT_EQ(qpp.size(), k);
+  std::set<std::size_t> seen;
+  for (std::size_t i = 0; i < k; ++i) seen.insert(qpp.map(i));
+  EXPECT_EQ(seen.size(), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGridSizes, QppGridTest,
+    ::testing::ValuesIn(QppInterleaver::valid_block_sizes()));
+
+}  // namespace
+}  // namespace rtopex::phy

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "phy/rate_match.hpp"
+
+namespace rtopex::phy {
+namespace {
+
+TurboCodeword random_codeword(std::size_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  TurboCodeword cw;
+  cw.systematic.resize(k + 4);
+  cw.parity1.resize(k + 4);
+  cw.parity2.resize(k + 4);
+  for (auto* s : {&cw.systematic, &cw.parity1, &cw.parity2})
+    for (auto& b : *s) b = static_cast<std::uint8_t>(rng.next() & 1);
+  return cw;
+}
+
+TEST(RateMatchTest, OutputLengthIsExactlyE) {
+  const RateMatcher rm(104);
+  const auto cw = random_codeword(104, 1);
+  for (const std::size_t e : {50u, 108u * 3u, 1000u})
+    EXPECT_EQ(rm.match(cw, e).size(), e);
+}
+
+TEST(RateMatchTest, MatchDematchInverseAtFullRate) {
+  const std::size_t k = 104;
+  const RateMatcher rm(k);
+  const auto cw = random_codeword(k, 2);
+  const std::size_t total = 3 * (k + 4);
+  const BitVector sent = rm.match(cw, total);
+  LlrVector llrs(total);
+  for (std::size_t i = 0; i < total; ++i) llrs[i] = sent[i] ? -4.0f : 4.0f;
+  const auto streams = rm.dematch(llrs);
+  // Every stream position must be reconstructed with the right sign.
+  for (std::size_t i = 0; i < k + 4; ++i) {
+    EXPECT_EQ(streams.systematic[i] < 0, cw.systematic[i] == 1) << i;
+    EXPECT_EQ(streams.parity1[i] < 0, cw.parity1[i] == 1) << i;
+    EXPECT_EQ(streams.parity2[i] < 0, cw.parity2[i] == 1) << i;
+  }
+}
+
+TEST(RateMatchTest, PuncturedPositionsHaveZeroLlr) {
+  const std::size_t k = 512;
+  const RateMatcher rm(k);
+  const auto cw = random_codeword(k, 3);
+  const std::size_t e = k;  // rate ~3: heavy puncturing
+  const BitVector sent = rm.match(cw, e);
+  LlrVector llrs(e, 1.0f);
+  const auto streams = rm.dematch(llrs);
+  std::size_t zeros = 0, nonzeros = 0;
+  for (const auto* s : {&streams.systematic, &streams.parity1, &streams.parity2})
+    for (const float v : *s) (v == 0.0f ? zeros : nonzeros)++;
+  EXPECT_EQ(nonzeros, e);
+  EXPECT_EQ(zeros, 3 * (k + 4) - e);
+}
+
+TEST(RateMatchTest, RepetitionSoftCombines) {
+  const std::size_t k = 40;
+  const RateMatcher rm(k);
+  const auto cw = random_codeword(k, 4);
+  const std::size_t buffer = 3 * (k + 4);
+  const std::size_t e = buffer * 2;  // every bit sent twice (wrap-around)
+  const BitVector sent = rm.match(cw, e);
+  LlrVector llrs(e);
+  for (std::size_t i = 0; i < e; ++i) llrs[i] = sent[i] ? -1.0f : 1.0f;
+  const auto streams = rm.dematch(llrs);
+  for (std::size_t i = 0; i < k + 4; ++i) {
+    EXPECT_FLOAT_EQ(std::abs(streams.systematic[i]), 2.0f);
+    EXPECT_FLOAT_EQ(std::abs(streams.parity1[i]), 2.0f);
+    EXPECT_FLOAT_EQ(std::abs(streams.parity2[i]), 2.0f);
+  }
+}
+
+TEST(RateMatchTest, SystematicBitsPreferredAtHighRate) {
+  // The circular buffer starts (nearly) at the systematic stream, so at
+  // high code rates most systematic bits survive puncturing.
+  const std::size_t k = 512;
+  const RateMatcher rm(k);
+  const auto cw = random_codeword(k, 5);
+  LlrVector llrs(k + 100, 1.0f);
+  const auto streams = rm.dematch(llrs);
+  std::size_t sys_filled = 0;
+  for (const float v : streams.systematic)
+    if (v != 0.0f) ++sys_filled;
+  EXPECT_GT(sys_filled, (k + 4) * 9 / 10);
+}
+
+TEST(RateMatchTest, RedundancyVersionsShiftTheWindow) {
+  const std::size_t k = 256;
+  const RateMatcher rm(k);
+  const auto cw = random_codeword(k, 6);
+  const BitVector rv0 = rm.match(cw, 200, 0);
+  const BitVector rv2 = rm.match(cw, 200, 2);
+  EXPECT_NE(rv0, rv2);
+}
+
+TEST(RateMatchTest, RejectsBadInput) {
+  const RateMatcher rm(104);
+  const auto cw = random_codeword(104, 7);
+  EXPECT_THROW(rm.match(cw, 0), std::invalid_argument);
+  const auto wrong = random_codeword(112, 8);
+  EXPECT_THROW(rm.match(wrong, 100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtopex::phy

@@ -1,0 +1,119 @@
+// Error-path and contract tests for the RX processor and TX builder.
+#include <gtest/gtest.h>
+
+#include "channel/channel.hpp"
+#include "phy/uplink_rx.hpp"
+#include "phy/uplink_tx.hpp"
+
+namespace rtopex::phy {
+namespace {
+
+TEST(UplinkTxTest, DeterministicForSameSeed) {
+  UplinkConfig cfg;
+  cfg.bandwidth = Bandwidth::kMHz5;
+  const UplinkTransmitter tx(cfg);
+  const TxSubframe a = tx.transmit(13, 2, 77);
+  const TxSubframe b = tx.transmit(13, 2, 77);
+  EXPECT_EQ(a.payload, b.payload);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i)
+    EXPECT_EQ(a.samples[i], b.samples[i]);
+  const TxSubframe c = tx.transmit(13, 2, 78);
+  EXPECT_NE(a.payload, c.payload);
+}
+
+TEST(UplinkTxTest, SampleCountMatchesGrid) {
+  for (const auto bw : {Bandwidth::kMHz5, Bandwidth::kMHz10}) {
+    UplinkConfig cfg;
+    cfg.bandwidth = bw;
+    const auto bc = cfg.bw_config();
+    const UplinkTransmitter tx(cfg);
+    const TxSubframe sf = tx.transmit(0, 0, 1);
+    EXPECT_EQ(sf.samples.size(),
+              kSymbolsPerSubframe * (bc.cp_samples + bc.fft_size));
+  }
+}
+
+TEST(UplinkRxTest, BeginValidatesInputs) {
+  UplinkConfig cfg;
+  cfg.bandwidth = Bandwidth::kMHz5;
+  cfg.num_antennas = 2;
+  const UplinkRxProcessor rx(cfg);
+  auto job = rx.make_job();
+
+  const auto bc = cfg.bw_config();
+  const std::size_t n = kSymbolsPerSubframe * (bc.cp_samples + bc.fft_size);
+  std::vector<IqVector> good(2, IqVector(n));
+  std::vector<IqVector> wrong_count(1, IqVector(n));
+  std::vector<IqVector> wrong_size(2, IqVector(n - 1));
+
+  EXPECT_NO_THROW(rx.begin(job, good, 5, 0));
+  EXPECT_THROW(rx.begin(job, wrong_count, 5, 0), std::invalid_argument);
+  EXPECT_THROW(rx.begin(job, wrong_size, 5, 0), std::invalid_argument);
+  EXPECT_THROW(rx.begin(job, good, 28, 0), std::out_of_range);
+}
+
+TEST(UplinkRxTest, SubtaskIndexBoundsChecked) {
+  UplinkConfig cfg;
+  cfg.bandwidth = Bandwidth::kMHz5;
+  const UplinkRxProcessor rx(cfg);
+  auto job = rx.make_job();
+  const auto bc = cfg.bw_config();
+  const std::size_t n = kSymbolsPerSubframe * (bc.cp_samples + bc.fft_size);
+  const std::vector<IqVector> samples(cfg.num_antennas, IqVector(n));
+  rx.begin(job, samples, 5, 0);
+  EXPECT_THROW(rx.run_fft_subtask(job, rx.fft_subtask_count()),
+               std::out_of_range);
+  EXPECT_THROW(rx.run_demod_subtask(job, rx.demod_subtask_count()),
+               std::out_of_range);
+  EXPECT_THROW(rx.run_decode_subtask(job, rx.decode_subtask_count(job)),
+               std::out_of_range);
+}
+
+TEST(UplinkRxTest, JobReuseAcrossSubframes) {
+  UplinkConfig cfg;
+  cfg.bandwidth = Bandwidth::kMHz5;
+  const UplinkTransmitter tx(cfg);
+  const UplinkRxProcessor rx(cfg);
+  auto job = rx.make_job();
+  channel::ChannelConfig ch;
+  ch.snr_db = 30.0;
+  ch.num_rx_antennas = cfg.num_antennas;
+  // Same job object decodes different MCS back to back.
+  for (const unsigned mcs : {2u, 25u, 9u}) {
+    const TxSubframe sf = tx.transmit(mcs, mcs, 100 + mcs);
+    const auto samples =
+        channel::pass_through_channel(sf.samples, ch, 200 + mcs);
+    rx.begin(job, samples, mcs, sf.subframe_index);
+    for (std::size_t i = 0; i < rx.fft_subtask_count(); ++i)
+      rx.run_fft_subtask(job, i);
+    rx.demod_prepare(job);
+    for (std::size_t i = 0; i < rx.demod_subtask_count(); ++i)
+      rx.run_demod_subtask(job, i);
+    rx.decode_prepare(job);
+    for (std::size_t i = 0; i < rx.decode_subtask_count(job); ++i)
+      rx.run_decode_subtask(job, i);
+    const auto result = rx.finalize(job);
+    EXPECT_TRUE(result.crc_ok) << "mcs=" << mcs;
+    EXPECT_EQ(result.payload, sf.payload) << "mcs=" << mcs;
+  }
+}
+
+TEST(UplinkRxTest, TwentyMhzChainDecodes) {
+  UplinkConfig cfg;
+  cfg.bandwidth = Bandwidth::kMHz20;
+  cfg.num_antennas = 1;  // keep the heavy config quick
+  const UplinkTransmitter tx(cfg);
+  const UplinkRxProcessor rx(cfg);
+  const TxSubframe sf = tx.transmit(12, 0, 3);
+  channel::ChannelConfig ch;
+  ch.snr_db = 30.0;
+  ch.num_rx_antennas = 1;
+  const auto samples = channel::pass_through_channel(sf.samples, ch, 4);
+  const auto result = rx.process(samples, 12, sf.subframe_index);
+  EXPECT_TRUE(result.crc_ok);
+  EXPECT_EQ(result.payload, sf.payload);
+}
+
+}  // namespace
+}  // namespace rtopex::phy

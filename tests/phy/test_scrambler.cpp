@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "phy/scrambler.hpp"
+
+namespace rtopex::phy {
+namespace {
+
+TEST(ScramblerTest, SequenceIsDeterministic) {
+  const BitVector a = scrambling_sequence(12345, 1000);
+  const BitVector b = scrambling_sequence(12345, 1000);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ScramblerTest, DifferentInitsDecorrelate) {
+  const BitVector a = scrambling_sequence(1, 10000);
+  const BitVector b = scrambling_sequence(2, 10000);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] == b[i]) ++agree;
+  EXPECT_NEAR(static_cast<double>(agree) / a.size(), 0.5, 0.03);
+}
+
+TEST(ScramblerTest, SequenceIsBalanced) {
+  const BitVector c = scrambling_sequence(777, 100000);
+  std::size_t ones = 0;
+  for (const auto b : c) ones += b;
+  EXPECT_NEAR(static_cast<double>(ones) / c.size(), 0.5, 0.01);
+}
+
+TEST(ScramblerTest, ScrambleIsInvolution) {
+  BitVector bits(500);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    bits[i] = static_cast<std::uint8_t>(i % 3 == 0);
+  const BitVector original = bits;
+  scramble_bits(bits, 42);
+  EXPECT_NE(bits, original);
+  scramble_bits(bits, 42);
+  EXPECT_EQ(bits, original);
+}
+
+TEST(ScramblerTest, LlrDescrambleMatchesBitScramble) {
+  BitVector bits(200, 0);
+  for (std::size_t i = 0; i < bits.size(); i += 2) bits[i] = 1;
+  BitVector scrambled = bits;
+  scramble_bits(scrambled, 99);
+  // Map scrambled bits to LLRs and descramble: signs must encode the
+  // original bits.
+  LlrVector llrs(scrambled.size());
+  for (std::size_t i = 0; i < llrs.size(); ++i)
+    llrs[i] = scrambled[i] ? -1.0f : 1.0f;
+  descramble_llrs(llrs, 99);
+  for (std::size_t i = 0; i < llrs.size(); ++i)
+    EXPECT_EQ(llrs[i] < 0.0f, bits[i] == 1) << i;
+}
+
+TEST(ScramblerTest, InitDependsOnAllIdentity) {
+  const auto base = scrambling_init(100, 3, 7);
+  EXPECT_NE(base, scrambling_init(101, 3, 7));
+  EXPECT_NE(base, scrambling_init(100, 4, 7));
+  EXPECT_NE(base, scrambling_init(100, 3, 8));
+  // Subframe index wraps mod 10 as in LTE.
+  EXPECT_EQ(base, scrambling_init(100, 13, 7));
+}
+
+}  // namespace
+}  // namespace rtopex::phy

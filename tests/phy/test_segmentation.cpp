@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "phy/lte_params.hpp"
+#include "phy/segmentation.hpp"
+#include "phy/uplink_tx.hpp"
+
+namespace rtopex::phy {
+namespace {
+
+BitVector random_tb(std::size_t payload, std::uint64_t seed) {
+  Rng rng(seed);
+  BitVector bits(payload);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next() & 1);
+  attach_crc24(bits, CrcKind::kA);
+  return bits;
+}
+
+TEST(SegmentationTest, SmallBlockSingleSegment) {
+  const BitVector tb = random_tb(1000, 1);
+  const Segmentation seg = segment_transport_block(tb);
+  EXPECT_EQ(seg.num_blocks(), 1u);
+  EXPECT_GE(seg.block_size, tb.size());
+  EXPECT_EQ(seg.blocks[0].size(), seg.block_size);
+  // Filler zeros precede the payload.
+  for (std::size_t i = 0; i < seg.filler_bits; ++i)
+    EXPECT_EQ(seg.blocks[0][i], 0);
+}
+
+TEST(SegmentationTest, LargeBlockSplitsWithPerBlockCrc) {
+  const BitVector tb = random_tb(20000, 2);
+  const Segmentation seg = segment_transport_block(tb);
+  EXPECT_GT(seg.num_blocks(), 1u);
+  EXPECT_LE(seg.block_size, kMaxCodeBlockSize);
+  for (const auto& block : seg.blocks) {
+    EXPECT_EQ(block.size(), seg.block_size);
+    EXPECT_TRUE(check_crc24(block, CrcKind::kB));
+  }
+}
+
+TEST(SegmentationTest, RoundTripRecoversTransportBlock) {
+  for (const std::size_t payload : {100u, 6000u, 6121u, 12000u, 30000u}) {
+    const BitVector tb = random_tb(payload, payload);
+    const Segmentation seg = segment_transport_block(tb);
+    const Desegmentation de = desegment_transport_block(
+        seg.blocks, seg.payload_bits, seg.filler_bits);
+    EXPECT_TRUE(de.all_ok);
+    EXPECT_EQ(de.tb_with_crc, tb) << "payload=" << payload;
+  }
+}
+
+TEST(SegmentationTest, CorruptedBlockDetected) {
+  const BitVector tb = random_tb(20000, 3);
+  Segmentation seg = segment_transport_block(tb);
+  seg.blocks[1][10] ^= 1;
+  const Desegmentation de =
+      desegment_transport_block(seg.blocks, seg.payload_bits, seg.filler_bits);
+  EXPECT_FALSE(de.all_ok);
+  EXPECT_TRUE(de.crc_ok[0]);
+  EXPECT_FALSE(de.crc_ok[1]);
+}
+
+TEST(SegmentationTest, Mcs27At50PrbYieldsSixBlocks) {
+  // The paper's anchor: "at MCS 27, LTE utilizes 6 code-blocks" (§2.2).
+  EXPECT_EQ(num_code_blocks(27, 50), 6u);
+}
+
+TEST(SegmentationTest, RejectsEmptyInput) {
+  EXPECT_THROW(segment_transport_block({}), std::invalid_argument);
+  EXPECT_THROW(desegment_transport_block({}, 0, 0), std::invalid_argument);
+}
+
+// Segmentation geometry must agree with code_block_layout for every MCS.
+class SegmentationLayoutTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SegmentationLayoutTest, LayoutMatchesActualSegmentation) {
+  const unsigned mcs = GetParam();
+  UplinkConfig cfg;  // 10 MHz, 50 PRB
+  const CodeBlockLayout layout = code_block_layout(cfg, mcs);
+  BitVector tb = random_tb(transport_block_size(mcs, cfg.num_prb()), mcs);
+  const Segmentation seg = segment_transport_block(tb);
+  EXPECT_EQ(seg.num_blocks(), layout.e_bits.size());
+  EXPECT_EQ(seg.block_size, layout.block_size);
+  EXPECT_EQ(seg.filler_bits, layout.filler_bits);
+  EXPECT_EQ(seg.payload_bits, layout.payload_bits);
+  // Coded bits split: sums to data REs * Qm, all multiples of Qm.
+  std::size_t total = 0;
+  for (const std::size_t e : layout.e_bits) total += e;
+  EXPECT_EQ(total, static_cast<std::size_t>(data_resource_elements(
+                       cfg.num_prb())) *
+                       modulation_order(mcs));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMcs, SegmentationLayoutTest,
+                         ::testing::Range(0u, kMaxMcs + 1));
+
+}  // namespace
+}  // namespace rtopex::phy

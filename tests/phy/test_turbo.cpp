@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "phy/crc.hpp"
+#include "phy/turbo.hpp"
+
+namespace rtopex::phy {
+namespace {
+
+BitVector random_bits(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  BitVector bits(n);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.next() & 1);
+  return bits;
+}
+
+/// Converts bits to "channel" LLRs at the given reliability (positive for 0).
+LlrVector to_llrs(const BitVector& bits, float magnitude) {
+  LlrVector llrs(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    llrs[i] = bits[i] ? -magnitude : magnitude;
+  return llrs;
+}
+
+/// Adds Gaussian noise to BPSK-modulated bits; returns channel LLRs.
+LlrVector noisy_llrs(const BitVector& bits, double snr_db, Rng& rng) {
+  const double sigma = std::sqrt(0.5 / std::pow(10.0, snr_db / 10.0));
+  LlrVector llrs(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const double x = bits[i] ? -1.0 : 1.0;
+    const double y = x + rng.normal(0.0, sigma);
+    llrs[i] = static_cast<float>(2.0 * y / (sigma * sigma));
+  }
+  return llrs;
+}
+
+TEST(TurboTest, EncoderOutputShape) {
+  const QppInterleaver qpp(40);
+  const TurboEncoder enc(qpp);
+  const auto cw = enc.encode(random_bits(40, 1));
+  EXPECT_EQ(cw.systematic.size(), 44u);
+  EXPECT_EQ(cw.parity1.size(), 44u);
+  EXPECT_EQ(cw.parity2.size(), 44u);
+  EXPECT_EQ(cw.block_size(), 40u);
+}
+
+TEST(TurboTest, EncoderSystematicPartMatchesInput) {
+  const QppInterleaver qpp(104);
+  const TurboEncoder enc(qpp);
+  const BitVector bits = random_bits(104, 2);
+  const auto cw = enc.encode(bits);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    EXPECT_EQ(cw.systematic[i], bits[i]);
+}
+
+TEST(TurboTest, EncoderRejectsWrongSize)
+{
+  const QppInterleaver qpp(40);
+  const TurboEncoder enc(qpp);
+  EXPECT_THROW(enc.encode(random_bits(39, 3)), std::invalid_argument);
+}
+
+TEST(TurboTest, NoiselessDecodeIsPerfectInOneIteration) {
+  const QppInterleaver qpp(128);
+  const TurboEncoder enc(qpp);
+  const TurboDecoder dec(qpp, 4);
+  const BitVector bits = random_bits(128, 4);
+  const auto cw = enc.encode(bits);
+  const auto result =
+      dec.decode(to_llrs(cw.systematic, 10.0f), to_llrs(cw.parity1, 10.0f),
+                 to_llrs(cw.parity2, 10.0f));
+  EXPECT_EQ(result.bits, bits);
+  EXPECT_EQ(result.iterations, 4u);  // no CRC callback -> runs to Lm
+}
+
+TEST(TurboTest, EarlyTerminationStopsAtFirstCrcPass) {
+  const QppInterleaver qpp(128);
+  const TurboEncoder enc(qpp);
+  const TurboDecoder dec(qpp, 4);
+  BitVector payload = random_bits(104, 5);
+  attach_crc24(payload, CrcKind::kB);
+  const auto cw = enc.encode(payload);
+  const auto result = dec.decode(
+      to_llrs(cw.systematic, 10.0f), to_llrs(cw.parity1, 10.0f),
+      to_llrs(cw.parity2, 10.0f),
+      [](std::span<const std::uint8_t> b) { return check_crc24(b, CrcKind::kB); });
+  EXPECT_TRUE(result.early_terminated);
+  EXPECT_EQ(result.iterations, 1u);
+  EXPECT_EQ(result.bits, payload);
+}
+
+TEST(TurboTest, DecodesThroughModerateNoise) {
+  const QppInterleaver qpp(512);
+  const TurboEncoder enc(qpp);
+  const TurboDecoder dec(qpp, 6);
+  Rng rng(6);
+  int successes = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const BitVector bits = random_bits(512, 100 + trial);
+    const auto cw = enc.encode(bits);
+    // Rate-1/3 turbo at ~1.5 dB Eb/N0 equivalent should mostly decode.
+    const double snr_db = -2.0;
+    const auto result = dec.decode(noisy_llrs(cw.systematic, snr_db, rng),
+                                   noisy_llrs(cw.parity1, snr_db, rng),
+                                   noisy_llrs(cw.parity2, snr_db, rng));
+    if (result.bits == bits) ++successes;
+  }
+  EXPECT_GE(successes, 4);
+}
+
+TEST(TurboTest, MoreNoiseNeedsMoreIterations) {
+  const QppInterleaver qpp(512);
+  const TurboEncoder enc(qpp);
+  const TurboDecoder dec(qpp, 8);
+  Rng rng(7);
+  const auto crc_free_count = [&](double snr_db, std::uint64_t seed) {
+    Rng local(seed);
+    BitVector payload = random_bits(488, seed);
+    attach_crc24(payload, CrcKind::kB);
+    const auto cw = enc.encode(payload);
+    const auto result = dec.decode(
+        noisy_llrs(cw.systematic, snr_db, local),
+        noisy_llrs(cw.parity1, snr_db, local),
+        noisy_llrs(cw.parity2, snr_db, local),
+        [](std::span<const std::uint8_t> b) {
+          return check_crc24(b, CrcKind::kB);
+        });
+    return result.iterations;
+  };
+  double clean = 0.0, noisy = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    clean += crc_free_count(6.0, 200 + i);
+    noisy += crc_free_count(-2.5, 200 + i);
+  }
+  EXPECT_LT(clean, noisy);
+}
+
+TEST(TurboTest, PuncturedPositionsToleratedAsZeroLlrs) {
+  const QppInterleaver qpp(256);
+  const TurboEncoder enc(qpp);
+  const TurboDecoder dec(qpp, 6);
+  const BitVector bits = random_bits(256, 8);
+  const auto cw = enc.encode(bits);
+  auto sys = to_llrs(cw.systematic, 8.0f);
+  auto p1 = to_llrs(cw.parity1, 8.0f);
+  auto p2 = to_llrs(cw.parity2, 8.0f);
+  // Puncture half of parity2 (as high-rate rate matching would).
+  for (std::size_t i = 0; i < p2.size(); i += 2) p2[i] = 0.0f;
+  const auto result = dec.decode(sys, p1, p2);
+  EXPECT_EQ(result.bits, bits);
+}
+
+TEST(TurboTest, RejectsWrongStreamLengths) {
+  const QppInterleaver qpp(40);
+  const TurboDecoder dec(qpp);
+  const LlrVector good(44, 1.0f), bad(43, 1.0f);
+  EXPECT_THROW(dec.decode(bad, good, good), std::invalid_argument);
+  EXPECT_THROW(dec.decode(good, bad, good), std::invalid_argument);
+  EXPECT_THROW(dec.decode(good, good, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtopex::phy

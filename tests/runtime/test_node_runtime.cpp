@@ -1,0 +1,120 @@
+// Functional tests of the real-thread runtime: every subframe decoded
+// correctly under all three modes, migration bookkeeping consistent, no
+// lost/duplicated subframes. Timing is intentionally not asserted — these
+// tests run on arbitrary (possibly single-core) hosts, so the subframe
+// period is stretched far beyond real time.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/node_runtime.hpp"
+
+namespace rtopex::runtime {
+namespace {
+
+RuntimeConfig small_config(RuntimeMode mode) {
+  RuntimeConfig cfg;
+  cfg.mode = mode;
+  cfg.num_basestations = 2;
+  cfg.cores_per_bs = 2;
+  cfg.global_cores = 4;
+  cfg.subframes_per_bs = 8;
+  // Generous pacing so even a loaded single-core CI host keeps up.
+  cfg.subframe_period = milliseconds(60);
+  cfg.deadline_budget = milliseconds(120);
+  cfg.rtt_half = microseconds(500);
+  cfg.mcs_cycle = {4, 16};
+  cfg.phy.num_antennas = 2;
+  cfg.phy.bandwidth = phy::Bandwidth::kMHz5;  // keep tests fast
+  cfg.seed = 7;
+  return cfg;
+}
+
+void check_complete(const RuntimeReport& report, const RuntimeConfig& cfg) {
+  EXPECT_EQ(report.records.size(),
+            static_cast<std::size_t>(cfg.num_basestations) *
+                cfg.subframes_per_bs);
+  std::set<std::pair<unsigned, std::uint32_t>> seen;
+  for (const auto& r : report.records) {
+    EXPECT_TRUE(seen.insert({r.bs, r.index}).second)
+        << "duplicate subframe bs=" << r.bs << " idx=" << r.index;
+    EXPECT_TRUE(r.crc_ok) << "decode failed bs=" << r.bs << " idx=" << r.index
+                          << " mcs=" << r.mcs;
+    EXPECT_GE(r.completion, r.start);
+    EXPECT_GE(r.start, r.arrival);
+  }
+  EXPECT_EQ(report.crc_failures, 0u);
+}
+
+TEST(NodeRuntimeTest, PartitionedDecodesEverything) {
+  const auto cfg = small_config(RuntimeMode::kPartitioned);
+  NodeRuntime runtime(cfg);
+  const auto report = runtime.run();
+  check_complete(report, cfg);
+  EXPECT_EQ(report.migrations, 0u);
+}
+
+TEST(NodeRuntimeTest, GlobalDecodesEverything) {
+  const auto cfg = small_config(RuntimeMode::kGlobal);
+  NodeRuntime runtime(cfg);
+  const auto report = runtime.run();
+  check_complete(report, cfg);
+}
+
+TEST(NodeRuntimeTest, RtOpexDecodesEverythingWithMigration) {
+  auto cfg = small_config(RuntimeMode::kRtOpex);
+  cfg.mcs_cycle = {27, 2};  // multi-code-block subframes: migratable decode
+  NodeRuntime runtime(cfg);
+  const auto report = runtime.run();
+  check_complete(report, cfg);
+  // Migration counters are never negative and recoveries never exceed
+  // migrations-planned + hosting progress; at this pacing idle windows are
+  // plentiful, so some migration is expected on multi-core hosts but not
+  // guaranteed on single-core ones — assert consistency only.
+  std::size_t migrated_in_records = 0;
+  for (const auto& r : report.records)
+    migrated_in_records += r.timing.fft_migrated + r.timing.decode_migrated;
+  EXPECT_EQ(report.migrations, migrated_in_records);
+}
+
+TEST(NodeRuntimeTest, SlackCheckDropsUnderImpossibleBudget) {
+  auto cfg = small_config(RuntimeMode::kPartitioned);
+  // A 1 ms end-to-end budget cannot fit this host's multi-millisecond
+  // decode; the slack check must drop (not hang or crash), and dropped
+  // subframes must not count as CRC failures.
+  cfg.deadline_budget = milliseconds(1);
+  NodeRuntime runtime(cfg);
+  const auto report = runtime.run();
+  EXPECT_EQ(report.records.size(),
+            static_cast<std::size_t>(cfg.num_basestations) *
+                cfg.subframes_per_bs);
+  EXPECT_GT(report.dropped, 0u);
+  EXPECT_EQ(report.deadline_misses, report.records.size());
+  EXPECT_EQ(report.crc_failures, 0u);
+  for (const auto& r : report.records)
+    if (r.dropped) EXPECT_TRUE(r.deadline_missed);
+}
+
+TEST(NodeRuntimeTest, EnforcementOffOnlyRecordsMisses) {
+  auto cfg = small_config(RuntimeMode::kPartitioned);
+  cfg.deadline_budget = milliseconds(1);
+  cfg.enforce_deadlines = false;
+  cfg.subframes_per_bs = 4;
+  NodeRuntime runtime(cfg);
+  const auto report = runtime.run();
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_GT(report.deadline_misses, 0u);
+  EXPECT_EQ(report.crc_failures, 0u);  // everything still decodes
+}
+
+TEST(NodeRuntimeTest, RejectsEmptyConfig) {
+  RuntimeConfig cfg = small_config(RuntimeMode::kPartitioned);
+  cfg.mcs_cycle.clear();
+  EXPECT_THROW(NodeRuntime{cfg}, std::invalid_argument);
+  cfg = small_config(RuntimeMode::kPartitioned);
+  cfg.mcs_cycle = {99};
+  EXPECT_THROW(NodeRuntime{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtopex::runtime

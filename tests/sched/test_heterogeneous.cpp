@@ -1,0 +1,114 @@
+// Heterogeneous transport (paper §5 D): per-basestation fronthaul delays
+// shrink the far cells' slack; RT-OPEX pools the near cells' idle cycles.
+#include <gtest/gtest.h>
+
+#include "model/timing_model.hpp"
+#include "sched/global.hpp"
+#include "sched/partitioned.hpp"
+#include "sched/rt_opex.hpp"
+#include "sim/workload.hpp"
+#include "transport/transport.hpp"
+
+namespace rtopex::sched {
+namespace {
+
+std::vector<sim::SubframeWork> heterogeneous_work() {
+  sim::WorkloadConfig cfg;
+  cfg.num_basestations = 4;
+  cfg.subframes_per_bs = 5000;
+  cfg.mean_load_override = 0.5;
+  cfg.per_bs_extra_delay = {0, 0, microseconds(150), microseconds(300)};
+  cfg.seed = 5;
+  const transport::FixedTransport transport(microseconds(400));
+  const sim::WorkloadGenerator gen(cfg, transport, model::paper_gpp_model());
+  return gen.generate();
+}
+
+TEST(HeterogeneousTest, ArrivalsShiftButDeadlinesDoNot) {
+  const auto work = heterogeneous_work();
+  for (const auto& w : work) {
+    const Duration extra = w.bs == 2   ? microseconds(150)
+                           : w.bs == 3 ? microseconds(300)
+                                       : 0;
+    EXPECT_EQ(w.arrival, w.radio_time + microseconds(400) + extra);
+    EXPECT_EQ(w.deadline, w.radio_time + milliseconds(2));
+  }
+}
+
+TEST(HeterogeneousTest, FarCellsMissMoreUnderPartitioned) {
+  const auto work = heterogeneous_work();
+  PartitionedScheduler sched(4, {microseconds(400)});
+  const auto m = sched.run(work);
+  const auto rate = [&](unsigned bs) {
+    return static_cast<double>(m.per_bs[bs].misses) /
+           static_cast<double>(m.per_bs[bs].subframes);
+  };
+  // Less slack -> strictly more misses for the farthest cell.
+  EXPECT_GT(rate(3), 5.0 * rate(0));
+  EXPECT_GT(rate(3), rate(2));
+}
+
+TEST(HeterogeneousTest, RtOpexRescuesFarCells) {
+  const auto work = heterogeneous_work();
+  PartitionedScheduler part(4, {microseconds(400)});
+  RtOpexConfig rc;
+  rc.rtt_half = microseconds(400);
+  RtOpexScheduler opex(4, rc);
+  const auto mp = part.run(work);
+  const auto mo = opex.run(work);
+  const auto far_rate = [](const sim::SchedulerMetrics& m) {
+    return static_cast<double>(m.per_bs[3].misses) /
+           static_cast<double>(m.per_bs[3].subframes);
+  };
+  EXPECT_GT(far_rate(mp), 0.05);
+  EXPECT_LT(far_rate(mo), far_rate(mp) / 10.0);
+}
+
+TEST(HeterogeneousTest, EdfEquivalentToFifoWithinOneSubframeSpread) {
+  // The paper claims EDF == FIFO under uniform delay (§3.1.2); in fact the
+  // equivalence extends to any spread below one subframe period, because a
+  // deadline inversion needs a far cell's tick-j subframe to arrive after a
+  // near cell's tick-(j+1) — i.e. an extra delay beyond 1 ms, which leaves
+  // no viable processing budget anyway (next test).
+  sim::WorkloadConfig cfg;
+  cfg.num_basestations = 4;
+  cfg.subframes_per_bs = 5000;
+  cfg.mean_load_override = 0.55;
+  cfg.per_bs_extra_delay = {0, microseconds(200), microseconds(500),
+                            microseconds(800)};
+  cfg.seed = 6;
+  const transport::FixedTransport transport(microseconds(300));
+  const sim::WorkloadGenerator gen(cfg, transport, model::paper_gpp_model());
+  const auto work = gen.generate();
+
+  GlobalConfig edf, fifo;
+  edf.num_cores = fifo.num_cores = 4;  // force queueing
+  edf.order = DispatchOrder::kEdf;
+  fifo.order = DispatchOrder::kFifo;
+  const auto me = GlobalScheduler(4, edf).run(work);
+  const auto mf = GlobalScheduler(4, fifo).run(work);
+  EXPECT_EQ(me.deadline_misses, mf.deadline_misses);
+  for (unsigned bs = 0; bs < 4; ++bs)
+    EXPECT_EQ(me.per_bs[bs].misses, mf.per_bs[bs].misses);
+}
+
+TEST(HeterogeneousTest, BeyondBudgetDelayLosesTheCellEntirely) {
+  // Extra delay beyond the processing budget (paper Eq. 3): the far cell
+  // cannot fit even its lightest subframes and misses everything, while the
+  // near cells are unaffected.
+  sim::WorkloadConfig cfg;
+  cfg.num_basestations = 2;
+  cfg.subframes_per_bs = 2000;
+  cfg.per_bs_extra_delay = {0, microseconds(1200)};
+  cfg.seed = 7;
+  const transport::FixedTransport transport(microseconds(300));
+  const sim::WorkloadGenerator gen(cfg, transport, model::paper_gpp_model());
+  const auto work = gen.generate();
+  PartitionedScheduler sched(2, {microseconds(300)});
+  const auto m = sched.run(work);
+  EXPECT_EQ(m.per_bs[1].misses, m.per_bs[1].subframes);
+  EXPECT_LT(m.per_bs[0].misses, m.per_bs[0].subframes / 10);
+}
+
+}  // namespace
+}  // namespace rtopex::sched

@@ -1,0 +1,116 @@
+// Unit and property tests of Algorithm 1 (the migration planner).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sched/migration.hpp"
+
+namespace rtopex::sched {
+namespace {
+
+TEST(MigrationPlanTest, NoCandidatesKeepsEverythingLocal) {
+  const auto plan = plan_migration(6, microseconds(100), microseconds(20), {});
+  EXPECT_TRUE(plan.chunks.empty());
+  EXPECT_EQ(plan.local_subtasks, 6u);
+}
+
+TEST(MigrationPlanTest, SingleSubtaskNeverMigrates) {
+  const std::vector<MigrationCandidate> cands = {{1, milliseconds(10)}};
+  const auto plan = plan_migration(1, microseconds(100), microseconds(20), cands);
+  EXPECT_TRUE(plan.chunks.empty());
+  EXPECT_EQ(plan.local_subtasks, 1u);
+}
+
+TEST(MigrationPlanTest, LargeWindowTakesHalf) {
+  // R3: at most floor(S/2) to one core.
+  const std::vector<MigrationCandidate> cands = {{1, milliseconds(100)}};
+  const auto plan = plan_migration(6, microseconds(100), microseconds(20), cands);
+  ASSERT_EQ(plan.chunks.size(), 1u);
+  EXPECT_EQ(plan.chunks[0].count, 3u);
+  EXPECT_EQ(plan.local_subtasks, 3u);
+}
+
+TEST(MigrationPlanTest, WindowLimitsChunkSize) {
+  // R1: lim_off = floor(f_ck / (t_p + delta)).
+  const std::vector<MigrationCandidate> cands = {{1, microseconds(250)}};
+  const auto plan = plan_migration(8, microseconds(100), microseconds(20), cands);
+  ASSERT_EQ(plan.chunks.size(), 1u);
+  EXPECT_EQ(plan.chunks[0].count, 2u);  // 250 / 120 = 2
+  EXPECT_EQ(plan.local_subtasks, 6u);
+}
+
+TEST(MigrationPlanTest, SecondCoreRespectsR2) {
+  // After a chunk of 3, S = 3 and max_off = 3, so R2 blocks further
+  // migration (S - max_off = 0).
+  const std::vector<MigrationCandidate> cands = {{1, milliseconds(100)},
+                                                 {2, milliseconds(100)}};
+  const auto plan = plan_migration(6, microseconds(100), microseconds(20), cands);
+  ASSERT_EQ(plan.chunks.size(), 1u);
+  EXPECT_EQ(plan.local_subtasks, 3u);
+}
+
+TEST(MigrationPlanTest, NarrowWindowsSpreadAcrossCores) {
+  // Windows of 1 subtask each: 2 cores get one each before R2/R3 bind.
+  const std::vector<MigrationCandidate> cands = {
+      {1, microseconds(130)}, {2, microseconds(130)}, {3, microseconds(130)}};
+  const auto plan = plan_migration(6, microseconds(100), microseconds(20), cands);
+  EXPECT_EQ(plan.migrated_total() + plan.local_subtasks, 6u);
+  for (const auto& c : plan.chunks) EXPECT_EQ(c.count, 1u);
+  EXPECT_GE(plan.chunks.size(), 2u);
+}
+
+TEST(MigrationPlanTest, ZeroWindowCoresSkipped) {
+  const std::vector<MigrationCandidate> cands = {{1, 0}, {2, microseconds(10)}};
+  const auto plan = plan_migration(4, microseconds(100), microseconds(20), cands);
+  EXPECT_TRUE(plan.chunks.empty());
+  EXPECT_EQ(plan.local_subtasks, 4u);
+}
+
+TEST(MigrationPlanTest, RejectsNonPositiveSubtaskTime) {
+  EXPECT_THROW(plan_migration(4, 0, microseconds(20), {}),
+               std::invalid_argument);
+}
+
+// Property sweep: R1-R3 must hold for arbitrary candidate sets.
+class MigrationPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MigrationPropertyTest, InvariantsHoldForRandomInputs) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const unsigned subtasks = 1 + static_cast<unsigned>(rng.uniform_int(30));
+    const Duration tp = microseconds(1 + rng.uniform_int(300));
+    const Duration delta = microseconds(rng.uniform_int(50));
+    std::vector<MigrationCandidate> cands;
+    const unsigned n_cands = static_cast<unsigned>(rng.uniform_int(8));
+    for (unsigned c = 0; c < n_cands; ++c)
+      cands.push_back(
+          {c, microseconds(static_cast<std::int64_t>(rng.uniform_int(3000)))});
+
+    const auto plan = plan_migration(subtasks, tp, delta, cands);
+
+    // Conservation: every subtask is either local or migrated exactly once.
+    EXPECT_EQ(plan.local_subtasks + plan.migrated_total(), subtasks);
+    unsigned max_off = 0;
+    for (const auto& chunk : plan.chunks) {
+      EXPECT_GT(chunk.count, 0u);
+      // R1: the chunk fits in the candidate's window.
+      const auto cand =
+          std::find_if(cands.begin(), cands.end(),
+                       [&](const auto& c) { return c.core == chunk.core; });
+      ASSERT_NE(cand, cands.end());
+      EXPECT_LE(static_cast<Duration>(chunk.count) * (tp + delta),
+                cand->free_window);
+      max_off = std::max(max_off, chunk.count);
+    }
+    // R2/R3 aggregate consequence: local keeps at least the largest chunk,
+    // and at least half... of what remained at each step; globally local
+    // never holds fewer subtasks than the largest migrated chunk.
+    EXPECT_GE(plan.local_subtasks, max_off);
+    if (subtasks >= 1) EXPECT_GE(plan.local_subtasks, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MigrationPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace rtopex::sched

@@ -1,0 +1,98 @@
+// Property sweeps of the RT-OPEX policy across seeds and budgets:
+// determinism, conservation, the never-worse guarantee and migration
+// bookkeeping.
+#include <gtest/gtest.h>
+
+#include "model/timing_model.hpp"
+#include "sched/partitioned.hpp"
+#include "sched/rt_opex.hpp"
+#include "sim/workload.hpp"
+#include "transport/transport.hpp"
+
+namespace rtopex::sched {
+namespace {
+
+struct Case {
+  std::uint64_t seed;
+  int rtt_us;
+  bool stochastic;
+};
+
+class RtOpexPropertyTest : public ::testing::TestWithParam<Case> {
+ protected:
+  std::vector<sim::SubframeWork> make_work() const {
+    const auto [seed, rtt_us, stochastic] = GetParam();
+    sim::WorkloadConfig cfg;
+    cfg.num_basestations = 4;
+    cfg.subframes_per_bs = 4000;
+    cfg.seed = seed;
+    if (stochastic) {
+      transport::FronthaulModel fh;
+      fh.fiber_km = (rtt_us - 165.0) / 5.0;
+      const transport::CompositeTransport transport(
+          fh, transport::cloud_params_10gbe());
+      return sim::WorkloadGenerator(cfg, transport, model::paper_gpp_model())
+          .generate();
+    }
+    const transport::FixedTransport transport(microseconds(rtt_us));
+    return sim::WorkloadGenerator(cfg, transport, model::paper_gpp_model())
+        .generate();
+  }
+};
+
+TEST_P(RtOpexPropertyTest, DeterministicAndConserving) {
+  const auto work = make_work();
+  RtOpexConfig rc;
+  rc.rtt_half = microseconds(GetParam().rtt_us);
+  RtOpexScheduler a(4, rc), b(4, rc);
+  const auto ma = a.run(work);
+  const auto mb = b.run(work);
+
+  // Determinism: identical metrics for identical inputs.
+  EXPECT_EQ(ma.deadline_misses, mb.deadline_misses);
+  EXPECT_EQ(ma.fft_subtasks_migrated, mb.fft_subtasks_migrated);
+  EXPECT_EQ(ma.decode_subtasks_migrated, mb.decode_subtasks_migrated);
+  EXPECT_EQ(ma.recoveries, mb.recoveries);
+
+  // Conservation: every subframe is accounted for exactly once.
+  EXPECT_EQ(ma.total_subframes, work.size());
+  EXPECT_EQ(ma.deadline_misses, ma.dropped + ma.terminated);
+  EXPECT_EQ(ma.processing_time_us.size() + ma.deadline_misses,
+            ma.total_subframes);
+  std::size_t per_bs = 0;
+  for (const auto& bs : ma.per_bs) per_bs += bs.subframes;
+  EXPECT_EQ(per_bs, work.size());
+
+  // Migration bookkeeping stays within bounds.
+  EXPECT_LE(ma.fft_subtasks_migrated, ma.fft_subtasks_total);
+  EXPECT_LE(ma.decode_subtasks_migrated, ma.decode_subtasks_total);
+  EXPECT_LE(ma.recoveries,
+            ma.fft_subtasks_migrated + ma.decode_subtasks_migrated);
+}
+
+TEST_P(RtOpexPropertyTest, NeverWorseThanPartitionedBaseline) {
+  const auto work = make_work();
+  PartitionedConfig pc;
+  pc.rtt_half = microseconds(GetParam().rtt_us);
+  RtOpexConfig rc;
+  rc.rtt_half = pc.rtt_half;
+  const auto mp = PartitionedScheduler(4, pc).run(work);
+  const auto mo = RtOpexScheduler(4, rc).run(work);
+  EXPECT_LE(mo.deadline_misses, mp.deadline_misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndBudgets, RtOpexPropertyTest,
+    ::testing::Values(Case{1, 400, false}, Case{2, 450, false},
+                      Case{3, 500, false}, Case{4, 550, false},
+                      Case{5, 600, false}, Case{6, 650, false},
+                      Case{7, 700, false}, Case{8, 500, true},
+                      Case{9, 600, true}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_rtt" +
+             std::to_string(info.param.rtt_us) +
+             (info.param.stochastic ? "_jitter" : "_fixed");
+    });
+
+}  // namespace
+}  // namespace rtopex::sched

@@ -1,0 +1,230 @@
+// Behavioural tests of the three node schedulers on the virtual-time
+// simulator, including the paper's key guarantees.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "model/timing_model.hpp"
+#include "sched/global.hpp"
+#include "sched/partitioned.hpp"
+#include "sched/rt_opex.hpp"
+#include "sim/workload.hpp"
+#include "transport/transport.hpp"
+
+namespace rtopex::sched {
+namespace {
+
+std::vector<sim::SubframeWork> make_work(std::size_t per_bs, Duration rtt_half,
+                                         std::uint64_t seed = 1,
+                                         int fixed_mcs = -1,
+                                         double snr_db = 30.0) {
+  sim::WorkloadConfig cfg;
+  cfg.num_basestations = 4;
+  cfg.subframes_per_bs = per_bs;
+  cfg.seed = seed;
+  cfg.fixed_mcs = fixed_mcs;
+  cfg.snr_db = snr_db;
+  const transport::FixedTransport transport(rtt_half);
+  const sim::WorkloadGenerator gen(cfg, transport, model::paper_gpp_model());
+  return gen.generate();
+}
+
+TEST(PartitionedTest, MappingFormulaMatchesPaper) {
+  PartitionedConfig cfg;
+  cfg.rtt_half = microseconds(500);
+  EXPECT_EQ(cfg.cores_per_bs(), 2u);  // ceil(1.5 ms)
+  PartitionedScheduler sched(4, cfg);
+  EXPECT_EQ(sched.num_cores(), 8u);
+  // core = bs * 2 + j mod 2 (paper §3.1.1).
+  EXPECT_EQ(sched.core_of(0, 0), 0u);
+  EXPECT_EQ(sched.core_of(0, 1), 1u);
+  EXPECT_EQ(sched.core_of(0, 2), 0u);
+  EXPECT_EQ(sched.core_of(3, 5), 7u);
+}
+
+TEST(PartitionedTest, AccountsEverySubframe) {
+  const auto work = make_work(3000, microseconds(500));
+  PartitionedScheduler sched(4, {microseconds(500)});
+  const auto m = sched.run(work);
+  EXPECT_EQ(m.total_subframes, work.size());
+  EXPECT_EQ(m.deadline_misses, m.dropped + m.terminated);
+  std::size_t per_bs_total = 0;
+  for (const auto& bs : m.per_bs) per_bs_total += bs.subframes;
+  EXPECT_EQ(per_bs_total, work.size());
+  // Completed + missed == total.
+  EXPECT_EQ(m.processing_time_us.size() + m.deadline_misses,
+            m.total_subframes);
+}
+
+TEST(PartitionedTest, LowLoadHasNoMisses) {
+  const auto work = make_work(2000, microseconds(400), 2, /*fixed_mcs=*/4);
+  PartitionedScheduler sched(4, {microseconds(400)});
+  EXPECT_EQ(sched.run(work).deadline_misses, 0u);
+}
+
+TEST(PartitionedTest, HighLoadAtTightBudgetMissesEverything) {
+  // Paper Fig. 17: at high fixed MCS the partitioned scheduler misses ~100%.
+  // MCS 27, L >= 2 exceeds 1.3 ms; with Lm = 4 most subframes do.
+  const auto work = make_work(2000, microseconds(700), 3, /*fixed_mcs=*/27,
+                              /*snr_db=*/24.0);
+  PartitionedScheduler sched(4, {microseconds(700)});
+  const auto m = sched.run(work);
+  EXPECT_GT(m.miss_rate(), 0.5);
+}
+
+TEST(PartitionedTest, GapsReflectProcessingVariation) {
+  const auto work = make_work(3000, microseconds(500));
+  PartitionedScheduler sched(4, {microseconds(500)});
+  const auto m = sched.run(work);
+  // Each core sees a new subframe every 2 ms and processes for 0.5-2 ms:
+  // gaps must exist and be below 2 ms.
+  EXPECT_GT(m.gap_us.size(), work.size() / 2);
+  for (const double g : m.gap_us) {
+    EXPECT_GT(g, 0.0);
+    EXPECT_LE(g, 2000.0);
+  }
+}
+
+TEST(GlobalTest, FewCoresCauseQueueingMisses) {
+  // Below the queueing knee (4 basestations need ~4 cores at this load),
+  // misses explode; above it they flatten (paper Fig. 19's shape).
+  const auto work = make_work(3000, microseconds(500), 4);
+  GlobalConfig small;
+  small.num_cores = 2;
+  GlobalConfig big;
+  big.num_cores = 8;
+  GlobalScheduler sched_small(4, small);
+  GlobalScheduler sched_big(4, big);
+  const double small_rate = sched_small.run(work).miss_rate();
+  const double big_rate = sched_big.run(work).miss_rate();
+  EXPECT_GT(small_rate, 5.0 * big_rate);
+}
+
+TEST(GlobalTest, InsensitiveBeyondEightCores) {
+  // Paper Fig. 15/19: doubling 8 -> 16 cores does not help.
+  const auto work = make_work(5000, microseconds(500), 5);
+  GlobalConfig c8, c16;
+  c8.num_cores = 8;
+  c16.num_cores = 16;
+  const double r8 = GlobalScheduler(4, c8).run(work).miss_rate();
+  const double r16 = GlobalScheduler(4, c16).run(work).miss_rate();
+  EXPECT_NEAR(r16, r8, r8 * 0.5 + 1e-4);
+}
+
+TEST(GlobalTest, SwitchPenaltyHurts) {
+  const auto work = make_work(4000, microseconds(600), 6);
+  GlobalConfig with, without;
+  with.switch_penalty = microseconds(80);
+  without.switch_penalty = 0;
+  const double rate_with = GlobalScheduler(4, with).run(work).miss_rate();
+  const double rate_without = GlobalScheduler(4, without).run(work).miss_rate();
+  EXPECT_GE(rate_with, rate_without);
+}
+
+TEST(GlobalTest, FifoAndEdfAgreeUnderUniformDelay) {
+  // Paper §3.1.2: EDF == FIFO when all basestations share one delay.
+  const auto work = make_work(3000, microseconds(500), 7);
+  GlobalConfig edf, fifo;
+  edf.order = DispatchOrder::kEdf;
+  fifo.order = DispatchOrder::kFifo;
+  const auto me = GlobalScheduler(4, edf).run(work);
+  const auto mf = GlobalScheduler(4, fifo).run(work);
+  EXPECT_EQ(me.deadline_misses, mf.deadline_misses);
+}
+
+TEST(RtOpexTest, NeverWorseThanPartitioned) {
+  // The paper's key guarantee (§3.2.1 B): RT-OPEX performance is equal to
+  // or strictly better than the no-migration baseline. Paired comparison
+  // across seeds and budgets.
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    for (const int rtt_us : {400, 550, 700}) {
+      const auto work = make_work(3000, microseconds(rtt_us), seed);
+      PartitionedScheduler part(4, {microseconds(rtt_us)});
+      RtOpexConfig rc;
+      rc.rtt_half = microseconds(rtt_us);
+      RtOpexScheduler opex(4, rc);
+      const auto mp = part.run(work);
+      const auto mo = opex.run(work);
+      EXPECT_LE(mo.deadline_misses, mp.deadline_misses)
+          << "seed=" << seed << " rtt=" << rtt_us;
+    }
+  }
+}
+
+TEST(RtOpexTest, OrderOfMagnitudeBetterOnPaperWorkload) {
+  // Fig. 15's headline: >= 10x lower miss rate at the paper's scale.
+  const auto work = make_work(30000, microseconds(500), 1);
+  PartitionedScheduler part(4, {microseconds(500)});
+  RtOpexConfig rc;
+  rc.rtt_half = microseconds(500);
+  RtOpexScheduler opex(4, rc);
+  const double p = part.run(work).miss_rate();
+  const double o = opex.run(work).miss_rate();
+  EXPECT_GT(p, 1e-3);
+  EXPECT_LT(o, p / 10.0);
+}
+
+TEST(RtOpexTest, MigratesBothStages) {
+  const auto work = make_work(3000, microseconds(500), 8);
+  RtOpexConfig rc;
+  rc.rtt_half = microseconds(500);
+  RtOpexScheduler opex(4, rc);
+  const auto m = opex.run(work);
+  EXPECT_GT(m.fft_subtasks_migrated, 0u);
+  EXPECT_GT(m.decode_subtasks_migrated, 0u);
+  EXPECT_LE(m.fft_subtasks_migrated, m.fft_subtasks_total);
+  EXPECT_LE(m.decode_subtasks_migrated, m.decode_subtasks_total);
+}
+
+TEST(RtOpexTest, MigrationTogglesWork) {
+  const auto work = make_work(3000, microseconds(500), 9);
+  RtOpexConfig none;
+  none.rtt_half = microseconds(500);
+  none.migrate_fft = false;
+  none.migrate_decode = false;
+  RtOpexScheduler opex(4, none);
+  const auto m = opex.run(work);
+  EXPECT_EQ(m.fft_subtasks_migrated, 0u);
+  EXPECT_EQ(m.decode_subtasks_migrated, 0u);
+  // Without migration it must equal partitioned exactly.
+  PartitionedScheduler part(4, {microseconds(500)});
+  const auto mp = part.run(work);
+  EXPECT_EQ(m.deadline_misses, mp.deadline_misses);
+  EXPECT_EQ(m.dropped, mp.dropped);
+}
+
+TEST(RtOpexTest, DisablingRecoveryCausesLosses) {
+  // Ablation: with stochastic transport, mispredicted windows preempt
+  // migrated subtasks; without recovery those subframes are lost.
+  sim::WorkloadConfig cfg;
+  cfg.num_basestations = 4;
+  cfg.subframes_per_bs = 10000;
+  cfg.seed = 10;
+  const transport::CompositeTransport transport(
+      transport::FronthaulModel{}, transport::cloud_params_10gbe());
+  const sim::WorkloadGenerator gen(cfg, transport, model::paper_gpp_model());
+  const auto work = gen.generate();
+
+  RtOpexConfig with, without;
+  with.rtt_half = without.rtt_half = microseconds(300);
+  without.enable_recovery = false;
+  const auto m_with = RtOpexScheduler(4, with).run(work);
+  const auto m_without = RtOpexScheduler(4, without).run(work);
+  EXPECT_GT(m_with.recoveries, 0u);
+  EXPECT_GE(m_without.deadline_misses, m_with.deadline_misses);
+}
+
+TEST(SchedulerValidationTest, RejectsBadConfigs) {
+  EXPECT_THROW(PartitionedScheduler(0, {microseconds(500)}),
+               std::invalid_argument);
+  EXPECT_THROW(PartitionedScheduler(4, {milliseconds(3)}),
+               std::invalid_argument);
+  GlobalConfig gc;
+  gc.num_cores = 0;
+  EXPECT_THROW(GlobalScheduler(4, gc), std::invalid_argument);
+  RtOpexConfig rc;
+  rc.rtt_half = -1;
+  EXPECT_THROW(RtOpexScheduler(4, rc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtopex::sched

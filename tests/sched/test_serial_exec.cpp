@@ -1,0 +1,102 @@
+// Direct unit tests of the shared stage-chain executor with hand-built
+// subframes: admission drops at each stage, deadline termination,
+// completion, and the two admission policies.
+#include <gtest/gtest.h>
+
+#include "model/task_cost_model.hpp"
+#include "sched/serial_exec.hpp"
+
+namespace rtopex::sched {
+namespace {
+
+sim::SubframeWork make_work(unsigned mcs, unsigned iterations,
+                            Duration platform_error = 0) {
+  const model::TaskCostModel cost(model::paper_gpp_model(), 2, 50);
+  sim::SubframeWork w;
+  w.bs = 0;
+  w.index = 0;
+  w.radio_time = 0;
+  w.arrival = microseconds(500);
+  w.deadline = milliseconds(2);
+  w.mcs = mcs;
+  w.iterations = iterations;
+  w.costs = cost.costs(mcs, iterations, platform_error);
+  w.wcet = cost.costs(mcs, 4, 0);
+  w.decode_optimistic = cost.costs(mcs, 1, 0).decode;
+  return w;
+}
+
+TEST(SerialExecTest, CompletesWithAmpleTime) {
+  const auto w = make_work(10, 1);
+  const auto o = execute_serial(w, w.arrival);
+  EXPECT_TRUE(o.completed);
+  EXPECT_FALSE(o.miss);
+  EXPECT_EQ(o.end, w.arrival + w.costs.total());
+}
+
+TEST(SerialExecTest, EntryPenaltyDelaysCompletion) {
+  const auto w = make_work(10, 1);
+  const auto base = execute_serial(w, w.arrival);
+  const auto delayed = execute_serial(w, w.arrival, microseconds(80));
+  EXPECT_EQ(delayed.end, base.end + microseconds(80));
+}
+
+TEST(SerialExecTest, DropsAtFftWhenHopeless) {
+  auto w = make_work(10, 1);
+  // Start beyond the deadline minus the FFT time.
+  const TimePoint late = w.deadline - w.costs.fft / 2;
+  const auto o = execute_serial(w, late);
+  EXPECT_TRUE(o.miss);
+  EXPECT_TRUE(o.dropped);
+  EXPECT_FALSE(o.terminated);
+  EXPECT_EQ(o.end, late);  // nothing executed
+}
+
+TEST(SerialExecTest, DropsAtDemodWhenOnlyFftFits) {
+  auto w = make_work(27, 1);
+  const TimePoint late =
+      w.deadline - w.costs.fft - w.costs.demod / 2;
+  const auto o = execute_serial(w, late);
+  EXPECT_TRUE(o.dropped);
+  EXPECT_EQ(o.end, late + w.costs.fft);  // FFT ran, then the check fired
+}
+
+TEST(SerialExecTest, WcetAdmissionDropsHighMcsEvenWhenActualFits) {
+  // The defining behaviour of the paper's partitioned scheduler: a subframe
+  // whose *worst case* cannot fit is dropped even if its actual iteration
+  // count would have fit (Fig. 17's 100%-miss cliff).
+  const auto w = make_work(27, 1);  // actual L = 1 would fit in 1.5 ms
+  const TimePoint start = w.arrival;  // budget 1.5 ms
+  ASSERT_LT(start + w.costs.total(), w.deadline);           // actual fits
+  ASSERT_GT(start + w.costs.fft + w.costs.demod + w.wcet.decode,
+            w.deadline);                                    // WCET does not
+  const auto wcet = execute_serial(w, start, 0, AdmissionPolicy::kWcet);
+  EXPECT_TRUE(wcet.dropped);
+  const auto opt = execute_serial(w, start, 0, AdmissionPolicy::kOptimistic);
+  EXPECT_TRUE(opt.completed);
+}
+
+TEST(SerialExecTest, OptimisticAdmissionTerminatesAtDeadline) {
+  // Optimistic admission lets a long decode start, then kills it at the
+  // deadline.
+  const auto w = make_work(27, 4);  // ~2.04 ms total, budget 1.5 ms
+  const auto o =
+      execute_serial(w, w.arrival, 0, AdmissionPolicy::kOptimistic);
+  EXPECT_TRUE(o.miss);
+  EXPECT_TRUE(o.terminated);
+  EXPECT_EQ(o.end, w.deadline);  // the core is freed exactly at the deadline
+}
+
+TEST(SerialExecTest, PlatformJitterCanTerminateAdmittedSubframe) {
+  // A subframe admitted under WCET (no-jitter bound) can still overrun via
+  // the platform-error term and be terminated.
+  auto w = make_work(14, 4, /*platform_error=*/microseconds(900));
+  ASSERT_LE(w.arrival + w.costs.fft + w.costs.demod + w.wcet.decode,
+            w.deadline);
+  ASSERT_GT(w.arrival + w.costs.total(), w.deadline);
+  const auto o = execute_serial(w, w.arrival, 0, AdmissionPolicy::kWcet);
+  EXPECT_TRUE(o.terminated);
+}
+
+}  // namespace
+}  // namespace rtopex::sched

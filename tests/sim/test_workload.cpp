@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "model/timing_model.hpp"
+#include "sim/workload.hpp"
+
+namespace rtopex::sim {
+namespace {
+
+WorkloadConfig small_config() {
+  WorkloadConfig cfg;
+  cfg.num_basestations = 4;
+  cfg.subframes_per_bs = 2000;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(WorkloadTest, GeneratesAllSubframesSortedByArrival) {
+  const transport::FixedTransport transport(microseconds(500));
+  const WorkloadGenerator gen(small_config(), transport,
+                              model::paper_gpp_model());
+  const auto work = gen.generate();
+  EXPECT_EQ(work.size(), 8000u);
+  std::set<std::pair<unsigned, std::uint32_t>> seen;
+  TimePoint prev = -1;
+  for (const auto& w : work) {
+    EXPECT_GE(w.arrival, prev);
+    prev = w.arrival;
+    EXPECT_TRUE(seen.insert({w.bs, w.index}).second);
+    EXPECT_EQ(w.arrival, w.radio_time + microseconds(500));
+    EXPECT_EQ(w.deadline, w.radio_time + milliseconds(2));
+    EXPECT_LE(w.mcs, 27u);
+    EXPECT_GE(w.iterations, 1u);
+    EXPECT_LE(w.iterations, 4u);
+    EXPECT_GT(w.costs.total(), 0);
+    EXPECT_GT(w.decode_optimistic, 0);
+    EXPECT_LE(w.decode_optimistic, w.costs.decode);
+  }
+}
+
+TEST(WorkloadTest, DeterministicForSameSeed) {
+  const transport::FixedTransport transport(microseconds(400));
+  const WorkloadGenerator gen(small_config(), transport,
+                              model::paper_gpp_model());
+  const auto a = gen.generate();
+  const auto b = gen.generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mcs, b[i].mcs);
+    EXPECT_EQ(a[i].iterations, b[i].iterations);
+    EXPECT_EQ(a[i].costs.total(), b[i].costs.total());
+  }
+}
+
+TEST(WorkloadTest, FixedMcsMode) {
+  auto cfg = small_config();
+  cfg.fixed_mcs = 20;
+  const transport::FixedTransport transport(microseconds(500));
+  const WorkloadGenerator gen(cfg, transport, model::paper_gpp_model());
+  for (const auto& w : gen.generate()) EXPECT_EQ(w.mcs, 20u);
+}
+
+TEST(WorkloadTest, TraceModeSpansMcsRange) {
+  const transport::FixedTransport transport(microseconds(500));
+  const WorkloadGenerator gen(small_config(), transport,
+                              model::paper_gpp_model());
+  std::set<unsigned> mcs_seen;
+  for (const auto& w : gen.generate()) mcs_seen.insert(w.mcs);
+  EXPECT_GT(mcs_seen.size(), 15u);  // the traces exercise most of the range
+}
+
+TEST(WorkloadTest, LowerSnrRaisesIterations) {
+  auto cfg = small_config();
+  const transport::FixedTransport transport(microseconds(500));
+  cfg.snr_db = 30.0;
+  double high_snr = 0.0, low_snr = 0.0;
+  {
+    const WorkloadGenerator gen(cfg, transport, model::paper_gpp_model());
+    for (const auto& w : gen.generate()) high_snr += w.iterations;
+  }
+  cfg.snr_db = 18.0;
+  {
+    const WorkloadGenerator gen(cfg, transport, model::paper_gpp_model());
+    for (const auto& w : gen.generate()) low_snr += w.iterations;
+  }
+  EXPECT_GT(low_snr, high_snr);
+}
+
+TEST(WorkloadTest, RejectsBadConfig) {
+  const transport::FixedTransport transport(microseconds(500));
+  WorkloadConfig cfg = small_config();
+  cfg.num_basestations = 0;
+  EXPECT_THROW(WorkloadGenerator(cfg, transport, model::paper_gpp_model()),
+               std::invalid_argument);
+  cfg = small_config();
+  cfg.fixed_mcs = 28;
+  EXPECT_THROW(WorkloadGenerator(cfg, transport, model::paper_gpp_model()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtopex::sim

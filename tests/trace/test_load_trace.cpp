@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "trace/load_trace.hpp"
+
+namespace rtopex::trace {
+namespace {
+
+TEST(LoadTraceTest, LoadsStayNormalized) {
+  const auto trace = generate_load_trace({}, 50000, 1);
+  for (const double l : trace.values()) {
+    EXPECT_GE(l, 0.0);
+    EXPECT_LE(l, 1.0);
+  }
+}
+
+TEST(LoadTraceTest, MeanTracksParameter) {
+  BasestationLoadParams p;
+  p.mean = 0.6;
+  p.burst_prob = 0.0;
+  const auto trace = generate_load_trace(p, 100000, 2);
+  RunningStats s;
+  for (const double l : trace.values()) s.add(l);
+  EXPECT_NEAR(s.mean(), 0.6, 0.03);
+}
+
+TEST(LoadTraceTest, AutocorrelationMatchesParameter) {
+  BasestationLoadParams p;
+  p.mean = 0.5;
+  p.stddev = 0.15;
+  p.correlation = 0.8;
+  p.burst_prob = 0.0;
+  const auto trace = generate_load_trace(p, 200000, 3);
+  const auto& x = trace.values();
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    num += (x[i] - mean) * (x[i + 1] - mean);
+    den += (x[i] - mean) * (x[i] - mean);
+  }
+  EXPECT_NEAR(num / den, 0.8, 0.05);
+}
+
+TEST(LoadTraceTest, BurstsRaiseHighQuantiles) {
+  BasestationLoadParams calm;
+  calm.mean = 0.3;
+  calm.burst_prob = 0.0;
+  BasestationLoadParams bursty = calm;
+  bursty.burst_prob = 0.2;
+  bursty.burst_mean = 0.5;
+  const auto a = generate_load_trace(calm, 50000, 4);
+  const auto b = generate_load_trace(bursty, 50000, 4);
+  EXPECT_GT(quantile(b.values(), 0.99), quantile(a.values(), 0.99) + 0.1);
+}
+
+TEST(LoadTraceTest, DeterministicPerSeed) {
+  const auto a = generate_load_trace({}, 1000, 5);
+  const auto b = generate_load_trace({}, 1000, 5);
+  EXPECT_EQ(a.values(), b.values());
+  const auto c = generate_load_trace({}, 1000, 6);
+  EXPECT_NE(a.values(), c.values());
+}
+
+TEST(LoadTraceTest, PresetBasestationsDiffer) {
+  const auto params = metropolitan_preset(4);
+  ASSERT_EQ(params.size(), 4u);
+  // Distinct medians, echoing the paper's Fig. 14 separated CDFs.
+  std::vector<double> medians;
+  for (std::size_t b = 0; b < 4; ++b) {
+    const auto t = generate_load_trace(params[b], 30000, 100 + b);
+    medians.push_back(quantile(t.values(), 0.5));
+  }
+  for (std::size_t i = 1; i < medians.size(); ++i)
+    EXPECT_LT(medians[i], medians[i - 1] - 0.03);
+  EXPECT_THROW(metropolitan_preset(9), std::invalid_argument);
+}
+
+TEST(LoadTraceTest, McsMappingCoversFullRange) {
+  EXPECT_EQ(mcs_from_load(0.0), 0u);
+  EXPECT_EQ(mcs_from_load(1.0), 27u);
+  EXPECT_EQ(mcs_from_load(0.5), 14u);
+  EXPECT_EQ(mcs_from_load(-1.0), 0u);  // clamped
+  EXPECT_EQ(mcs_from_load(2.0), 27u);  // clamped
+}
+
+TEST(LoadTraceTest, CsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/traces.csv";
+  const std::vector<LoadTrace> original = {
+      generate_load_trace({}, 200, 7),
+      generate_load_trace({}, 200, 8),
+  };
+  write_traces_csv(path, original);
+  const auto loaded = read_traces_csv(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  for (std::size_t b = 0; b < 2; ++b) {
+    ASSERT_EQ(loaded[b].size(), 200u);
+    for (std::size_t i = 0; i < 200; ++i)
+      EXPECT_NEAR(loaded[b].load(i), original[b].load(i), 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LoadTraceTest, TraceIndexWrapsAround) {
+  const auto t = generate_load_trace({}, 100, 9);
+  EXPECT_EQ(t.load(250), t.load(50));
+}
+
+TEST(LoadTraceTest, RejectsBadParameters) {
+  EXPECT_THROW(generate_load_trace({}, 0, 1), std::invalid_argument);
+  BasestationLoadParams p;
+  p.correlation = 1.0;
+  EXPECT_THROW(generate_load_trace(p, 10, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtopex::trace

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "transport/transport.hpp"
+
+namespace rtopex::transport {
+namespace {
+
+TEST(FronthaulTest, PropagationIsFiveMicrosecondsPerKm) {
+  FronthaulModel fh;
+  fh.fiber_km = 20.0;
+  fh.switching_overhead = microseconds(25);
+  EXPECT_EQ(fh.one_way(), microseconds(125));
+  // Paper §2.3: 20-40 km -> 0.1-0.2 ms one-way propagation.
+  fh.switching_overhead = 0;
+  fh.fiber_km = 40.0;
+  EXPECT_EQ(fh.one_way(), microseconds(200));
+}
+
+TEST(CloudNetworkTest, BodyMeanMatchesFigure6) {
+  // Fig. 6: mean one-way latency ~0.15 ms.
+  CloudNetworkModel model(cloud_params_10gbe());
+  Rng rng(1);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i)
+    s.add(to_us(model.sample_one_way(rng)));
+  EXPECT_NEAR(s.mean(), 140.0, 5.0);
+}
+
+TEST(CloudNetworkTest, LongTailAtTenToMinusFour) {
+  // Fig. 6: about 1 in 1e4 packets above 0.25 ms.
+  CloudNetworkModel model(cloud_params_1gbe());
+  Rng rng(2);
+  std::size_t above = 0;
+  constexpr int kN = 2000000;
+  for (int i = 0; i < kN; ++i)
+    if (model.sample_one_way(rng) > microseconds(250)) ++above;
+  const double frac = static_cast<double>(above) / kN;
+  EXPECT_GT(frac, 1e-5);
+  EXPECT_LT(frac, 1e-3);
+}
+
+TEST(IqTransportTest, BytesPerAntennaMatchSampleRates) {
+  // 1 ms of 4-byte IQ samples.
+  EXPECT_EQ(IqTransportModel::bytes_per_antenna(phy::Bandwidth::kMHz5),
+            7680u * 4u);
+  EXPECT_EQ(IqTransportModel::bytes_per_antenna(phy::Bandwidth::kMHz10),
+            15360u * 4u);
+}
+
+TEST(IqTransportTest, LatencyAnchorsFromFigure7) {
+  const IqTransportModel model;
+  // 10 MHz, 8 antennas: paper reports ~0.9 ms one-way (the most the GPP
+  // can support without queueing).
+  const double us_10mhz_8ant =
+      to_us(model.one_way_nominal(phy::Bandwidth::kMHz10, 8));
+  EXPECT_NEAR(us_10mhz_8ant, 900.0, 80.0);
+  // 5 MHz, 16 antennas: ~620 us max.
+  const double us_5mhz_16ant =
+      to_us(model.one_way_nominal(phy::Bandwidth::kMHz5, 16));
+  EXPECT_NEAR(us_5mhz_16ant, 620.0, 80.0);
+}
+
+TEST(IqTransportTest, LatencyMonotoneInAntennasAndBandwidth) {
+  const IqTransportModel model;
+  Duration prev = 0;
+  for (unsigned n = 1; n <= 16; ++n) {
+    const Duration d = model.one_way_nominal(phy::Bandwidth::kMHz10, n);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+  EXPECT_GT(model.one_way_nominal(phy::Bandwidth::kMHz10, 4),
+            model.one_way_nominal(phy::Bandwidth::kMHz5, 4));
+}
+
+TEST(IqTransportTest, JitterIsNonNegative) {
+  const IqTransportModel model;
+  Rng rng(3);
+  const Duration nominal = model.one_way_nominal(phy::Bandwidth::kMHz10, 2);
+  for (int i = 0; i < 10000; ++i)
+    EXPECT_GE(model.sample_one_way(phy::Bandwidth::kMHz10, 2, rng), nominal);
+}
+
+TEST(TransportModelTest, FixedTransportIsExact) {
+  FixedTransport t(microseconds(500));
+  Rng rng(4);
+  EXPECT_EQ(t.sample_delay(rng), microseconds(500));
+  EXPECT_EQ(t.nominal_delay(), microseconds(500));
+}
+
+TEST(TransportModelTest, CompositeCombinesFronthaulAndCloud) {
+  FronthaulModel fh;
+  fh.fiber_km = 20.0;
+  CompositeTransport t(fh, cloud_params_10gbe());
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(to_us(t.sample_delay(rng)));
+  EXPECT_NEAR(s.mean(), to_us(fh.one_way()) + 140.0, 8.0);
+  EXPECT_GT(s.min(), to_us(fh.one_way()));
+}
+
+}  // namespace
+}  // namespace rtopex::transport
