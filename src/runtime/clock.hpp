@@ -16,7 +16,14 @@ class GlobalClock {
  public:
   GlobalClock() : epoch_ns_(monotonic_ns()) {}
 
-  /// Nanoseconds since construction.
+  /// Restarts the epoch at the current instant. NodeRuntime::run() calls
+  /// this before launching workers so that construction-time work (variant
+  /// pre-generation is expensive, especially under sanitizers) does not eat
+  /// into the real-time schedule. Not synchronized: call only while no
+  /// other thread reads the clock.
+  void reset() { epoch_ns_ = monotonic_ns(); }
+
+  /// Nanoseconds since construction (or the last reset()).
   TimePoint now() const { return monotonic_ns() - epoch_ns_; }
 
   /// Busy-waits until the given runtime instant (sub-microsecond accurate).

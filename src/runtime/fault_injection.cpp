@@ -1,0 +1,13 @@
+#include "runtime/fault_injection.hpp"
+
+namespace rtopex::runtime::fault {
+
+namespace detail {
+std::atomic<const Hooks*> g_active{nullptr};
+}
+
+void install(const Hooks* hooks) {
+  detail::g_active.store(hooks, std::memory_order_release);
+}
+
+}  // namespace rtopex::runtime::fault

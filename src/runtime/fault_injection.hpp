@@ -1,0 +1,91 @@
+// Test-only fault-injection hooks for the real-thread runtime.
+//
+// The migration machinery's interesting branches — a failed mailbox claim,
+// a hosting core that never gets to a chunk, local recovery of preempted
+// subtasks, transport jitter breaking the horizon prediction — are all
+// timing-dependent and therefore unreachable deterministically from a unit
+// test. These hooks make them reachable: a test installs a `Hooks` set
+// before constructing a `NodeRuntime`, the runtime (and `Mailbox`) consult
+// the active set at each decision point, and the test removes it afterwards.
+//
+// Always compiled in; the disabled-state cost is one relaxed atomic load of
+// a null pointer per decision point, so production builds need no #ifdef.
+// Installation is NOT synchronized against running workers: install before
+// `NodeRuntime::run()` starts and reset only after it returned.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "common/time_types.hpp"
+
+namespace rtopex::runtime::fault {
+
+/// One hook per injectable decision point. Every member may be empty (the
+/// default), in which case the runtime behaves exactly as without the hook.
+/// Hooks run on worker/ticker threads — they must be thread-safe themselves.
+struct Hooks {
+  /// Mailbox::try_claim (remote side). Return false to force the claim to
+  /// fail — the planner then keeps that chunk's subtasks local. Sleeping
+  /// here instead models a slow claimer. `owner` is the mailbox's core id.
+  std::function<bool(std::size_t owner)> claim;
+
+  /// Mailbox::fill (remote side), called before the chunk is published —
+  /// a delay here widens the claimed-but-not-yet-filled window the owner
+  /// polls through.
+  std::function<void(std::size_t owner)> fill;
+
+  /// Hosting side, before the idle worker takes a filled chunk. Return
+  /// false to stall the host: the chunk stays filled, the migrating thread
+  /// recovers every subtask locally and revokes the chunk — the recovery
+  /// path, made deterministic.
+  std::function<bool(std::size_t owner)> host_take;
+
+  /// Hosting side, before each migrated subtask. Return false to stop
+  /// hosting between subtasks (a forced preemption): remaining indices are
+  /// recovered by the migrating thread.
+  std::function<bool(std::size_t owner)> host_subtask;
+
+  /// Migration planning: adjust the idle window the planner computed for
+  /// `core` from the CPU-state table (0 when the core is not idle). Tests
+  /// raise it to force migration regardless of real idleness, or zero it
+  /// to starve the planner.
+  std::function<void(unsigned self, unsigned core, Duration& window)>
+      plan_window;
+
+  /// Transport ticker: extra one-way delay for one subframe's arrival at
+  /// the node. Positive jitter breaks the workers' horizon predictions,
+  /// which is what preempts migrated subtasks in the wild.
+  std::function<Duration(unsigned bs, std::uint32_t index)> transport_jitter;
+};
+
+namespace detail {
+extern std::atomic<const Hooks*> g_active;
+}
+
+/// The active hook set, or nullptr (the common, uninstrumented case).
+inline const Hooks* active() {
+  return detail::g_active.load(std::memory_order_acquire);
+}
+
+/// Install `hooks` (caller keeps ownership) or pass nullptr to reset.
+void install(const Hooks* hooks);
+
+/// RAII installer for tests: holds the hook set by value, installs it on
+/// construction and removes it on destruction.
+class ScopedInjection {
+ public:
+  explicit ScopedInjection(Hooks hooks) : hooks_(std::move(hooks)) {
+    install(&hooks_);
+  }
+  ~ScopedInjection() { install(nullptr); }
+  ScopedInjection(const ScopedInjection&) = delete;
+  ScopedInjection& operator=(const ScopedInjection&) = delete;
+
+ private:
+  Hooks hooks_;
+};
+
+}  // namespace rtopex::runtime::fault

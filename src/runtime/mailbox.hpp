@@ -13,6 +13,8 @@
 #include <functional>
 #include <memory>
 
+#include "runtime/fault_injection.hpp"
+
 namespace rtopex::runtime {
 
 /// A chunk of subtasks migrated to one core. Subtask indices in
@@ -38,6 +40,9 @@ class Mailbox {
 
   /// Remote side: try to claim the mailbox (owner must be idle-polling).
   bool try_claim() {
+    if (const fault::Hooks* h = fault::active();
+        h && h->claim && !h->claim(owner_))
+      return false;
     int expected = static_cast<int>(State::kEmpty);
     return state_.compare_exchange_strong(expected,
                                           static_cast<int>(State::kClaimed),
@@ -46,6 +51,7 @@ class Mailbox {
 
   /// Remote side: publish the chunk after a successful claim.
   void fill(MigratedChunk chunk) {
+    if (const fault::Hooks* h = fault::active(); h && h->fill) h->fill(owner_);
     chunk_ = std::move(chunk);
     state_.store(static_cast<int>(State::kFilled), std::memory_order_release);
   }
@@ -86,9 +92,14 @@ class Mailbox {
     return static_cast<State>(state_.load(std::memory_order_acquire));
   }
 
+  /// Core id passed to fault-injection hooks (set once before any traffic).
+  void set_owner(std::size_t id) { owner_ = id; }
+  std::size_t owner() const { return owner_; }
+
  private:
   std::atomic<int> state_{static_cast<int>(State::kEmpty)};
   MigratedChunk chunk_;
+  std::size_t owner_ = 0;
 };
 
 }  // namespace rtopex::runtime

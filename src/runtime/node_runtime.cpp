@@ -13,6 +13,7 @@
 #include "phy/uplink_tx.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/cpu_state_table.hpp"
+#include "runtime/fault_injection.hpp"
 #include "runtime/mailbox.hpp"
 #include "sched/migration.hpp"
 
@@ -76,8 +77,10 @@ struct NodeRuntime::Impl {
 
   explicit Impl(const RuntimeConfig& cfg)
       : config(cfg), table(worker_count(cfg)) {
-    for (unsigned i = 0; i < worker_count(cfg); ++i)
+    for (unsigned i = 0; i < worker_count(cfg); ++i) {
       workers.push_back(std::make_unique<WorkerState>());
+      workers.back()->mailbox.set_owner(i);
+    }
     rx = std::make_unique<phy::UplinkRxProcessor>(cfg.phy);
     build_variants();
   }
@@ -149,8 +152,10 @@ struct NodeRuntime::Impl {
     for (unsigned k = 0; k < table.size(); ++k) {
       if (k == self_id) continue;
       const auto snap = table.get(k);
-      if (snap.activity != CoreActivity::kIdle) continue;
-      const Duration window = snap.horizon - now;
+      Duration window =
+          snap.activity == CoreActivity::kIdle ? snap.horizon - now : 0;
+      if (const fault::Hooks* h = fault::active(); h && h->plan_window)
+        h->plan_window(self_id, k, window);
       if (window > 0) cands.push_back({k, window});
     }
     std::sort(cands.begin(), cands.end(),
@@ -356,12 +361,20 @@ struct NodeRuntime::Impl {
       // serve at most one migrated chunk.
       table.set(id, CoreActivity::kIdle,
                 self.next_own_arrival.load(std::memory_order_acquire));
+      if (const fault::Hooks* h = fault::active();
+          h && h->host_take && !h->host_take(id)) {
+        std::this_thread::yield();
+        continue;
+      }
       MigratedChunk chunk;
       if (self.mailbox.try_take(chunk)) {
         table.set(id, CoreActivity::kHosting, 0);
         for (;;) {
           // Preemption check between subtasks.
           if (self.pending.load(std::memory_order_acquire) > 0) break;
+          if (const fault::Hooks* h = fault::active();
+              h && h->host_subtask && !h->host_subtask(id))
+            break;
           const std::size_t i =
               chunk.next_index->fetch_add(1, std::memory_order_acq_rel);
           if (i >= chunk.first + chunk.count) break;
@@ -405,6 +418,17 @@ NodeRuntime::NodeRuntime(const RuntimeConfig& config) {
   if (config.num_basestations == 0 || config.subframes_per_bs == 0 ||
       config.mcs_cycle.empty())
     throw std::invalid_argument("NodeRuntime: empty configuration");
+  // A zero worker count would leave pushed jobs queued forever (the drain
+  // loop in run() would hang); reject up front.
+  if (Impl::worker_count(config) == 0)
+    throw std::invalid_argument("NodeRuntime: zero worker cores");
+  if (config.subframe_period <= 0 || config.deadline_budget <= 0)
+    throw std::invalid_argument("NodeRuntime: non-positive period or budget");
+  // rtt_half at or beyond the deadline budget means every subframe is
+  // already dead on arrival — a configuration error, not a workload.
+  if (config.rtt_half < 0 || config.rtt_half >= config.deadline_budget)
+    throw std::invalid_argument(
+        "NodeRuntime: rtt_half must be in [0, deadline_budget)");
   for (const unsigned mcs : config.mcs_cycle)
     if (mcs > phy::kMaxMcs)
       throw std::invalid_argument("NodeRuntime: mcs_cycle entry > 27");
@@ -416,6 +440,11 @@ NodeRuntime::~NodeRuntime() = default;
 RuntimeReport NodeRuntime::run() {
   Impl& im = *impl_;
   const RuntimeConfig& cfg = im.config;
+
+  // Start the schedule now, not at construction: variant pre-generation in
+  // the Impl constructor can take long enough (notably under sanitizers)
+  // to push the first subframes past their deadlines otherwise.
+  im.clock.reset();
 
   std::vector<std::thread> threads;
   const unsigned n_workers = Impl::worker_count(cfg);
@@ -436,8 +465,19 @@ RuntimeReport NodeRuntime::run() {
     const TimePoint pre = arrival - microseconds(200);
     while (im.clock.now() < pre)
       std::this_thread::sleep_for(std::chrono::microseconds(100));
-    im.clock.spin_until(arrival);
+    // Per-basestation jittered arrivals (fault injection); without a hook
+    // every basestation arrives at the nominal instant in one batch.
+    std::vector<std::pair<TimePoint, unsigned>> deliveries;
+    deliveries.reserve(cfg.num_basestations);
     for (unsigned bs = 0; bs < cfg.num_basestations; ++bs) {
+      TimePoint at = arrival;
+      if (const fault::Hooks* h = fault::active(); h && h->transport_jitter)
+        at += std::max<Duration>(0, h->transport_jitter(bs, j));
+      deliveries.emplace_back(at, bs);
+    }
+    std::sort(deliveries.begin(), deliveries.end());
+    for (const auto& [at, bs] : deliveries) {
+      im.clock.spin_until(at);
       Job job;
       const unsigned mcs =
           cfg.mcs_cycle[(j + bs) % cfg.mcs_cycle.size()];
@@ -445,7 +485,7 @@ RuntimeReport NodeRuntime::run() {
       job.bs = bs;
       job.index = j;
       job.radio_time = radio_time;
-      job.arrival = arrival;
+      job.arrival = at;
       job.deadline = radio_time + cfg.deadline_budget;
       im.push_job(job);
     }

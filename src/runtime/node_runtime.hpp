@@ -27,6 +27,10 @@ namespace rtopex::runtime {
 
 enum class RuntimeMode { kPartitioned, kGlobal, kRtOpex };
 
+/// Validated by the NodeRuntime constructor: at least one basestation,
+/// subframe and worker core; a non-empty `mcs_cycle` of valid MCS indices;
+/// positive period and budget; and `rtt_half` in [0, deadline_budget) —
+/// anything else throws std::invalid_argument instead of hanging a worker.
 struct RuntimeConfig {
   RuntimeMode mode = RuntimeMode::kRtOpex;
   unsigned num_basestations = 2;

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "runtime/node_runtime.hpp"
+#include "support/sanitizer_pacing.hpp"
 
 namespace rtopex::runtime {
 namespace {
@@ -19,9 +20,10 @@ RuntimeConfig small_config(RuntimeMode mode) {
   cfg.cores_per_bs = 2;
   cfg.global_cores = 4;
   cfg.subframes_per_bs = 8;
-  // Generous pacing so even a loaded single-core CI host keeps up.
-  cfg.subframe_period = milliseconds(60);
-  cfg.deadline_budget = milliseconds(120);
+  // Generous pacing so even a loaded single-core CI host keeps up, scaled
+  // further when sanitizer instrumentation slows the PHY.
+  cfg.subframe_period = milliseconds(60) * test::pacing_scale();
+  cfg.deadline_budget = milliseconds(120) * test::pacing_scale();
   cfg.rtt_half = microseconds(500);
   cfg.mcs_cycle = {4, 16};
   cfg.phy.num_antennas = 2;
@@ -113,6 +115,49 @@ TEST(NodeRuntimeTest, RejectsEmptyConfig) {
   EXPECT_THROW(NodeRuntime{cfg}, std::invalid_argument);
   cfg = small_config(RuntimeMode::kPartitioned);
   cfg.mcs_cycle = {99};
+  EXPECT_THROW(NodeRuntime{cfg}, std::invalid_argument);
+}
+
+TEST(NodeRuntimeTest, RejectsZeroCores) {
+  // Zero workers would leave pushed jobs queued forever; the constructor
+  // must throw instead of letting run() hang on the drain loop.
+  auto cfg = small_config(RuntimeMode::kPartitioned);
+  cfg.cores_per_bs = 0;
+  EXPECT_THROW(NodeRuntime{cfg}, std::invalid_argument);
+  cfg = small_config(RuntimeMode::kRtOpex);
+  cfg.cores_per_bs = 0;
+  EXPECT_THROW(NodeRuntime{cfg}, std::invalid_argument);
+  cfg = small_config(RuntimeMode::kGlobal);
+  cfg.global_cores = 0;
+  EXPECT_THROW(NodeRuntime{cfg}, std::invalid_argument);
+  cfg = small_config(RuntimeMode::kPartitioned);
+  cfg.num_basestations = 0;
+  EXPECT_THROW(NodeRuntime{cfg}, std::invalid_argument);
+}
+
+TEST(NodeRuntimeTest, RejectsZeroSubframesAndBadPacing) {
+  auto cfg = small_config(RuntimeMode::kPartitioned);
+  cfg.subframes_per_bs = 0;
+  EXPECT_THROW(NodeRuntime{cfg}, std::invalid_argument);
+  cfg = small_config(RuntimeMode::kPartitioned);
+  cfg.subframe_period = 0;
+  EXPECT_THROW(NodeRuntime{cfg}, std::invalid_argument);
+  cfg = small_config(RuntimeMode::kPartitioned);
+  cfg.deadline_budget = -milliseconds(1);
+  EXPECT_THROW(NodeRuntime{cfg}, std::invalid_argument);
+}
+
+TEST(NodeRuntimeTest, RejectsRttConsumingWholeBudget) {
+  // Arrival at/after the deadline means every subframe is dead on arrival —
+  // a configuration error that must throw rather than spin a worker.
+  auto cfg = small_config(RuntimeMode::kPartitioned);
+  cfg.rtt_half = cfg.deadline_budget;
+  EXPECT_THROW(NodeRuntime{cfg}, std::invalid_argument);
+  cfg = small_config(RuntimeMode::kPartitioned);
+  cfg.rtt_half = cfg.deadline_budget + microseconds(1);
+  EXPECT_THROW(NodeRuntime{cfg}, std::invalid_argument);
+  cfg = small_config(RuntimeMode::kPartitioned);
+  cfg.rtt_half = -1;
   EXPECT_THROW(NodeRuntime{cfg}, std::invalid_argument);
 }
 

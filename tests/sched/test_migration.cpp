@@ -1,6 +1,8 @@
 // Unit and property tests of Algorithm 1 (the migration planner).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 #include "sched/migration.hpp"
 
@@ -111,6 +113,114 @@ TEST_P(MigrationPropertyTest, InvariantsHoldForRandomInputs) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MigrationPropertyTest,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// Replay-based property tests: re-run Algorithm 1's greedy loop step by
+// step over the planner's own chunk sequence and check the paper's exact
+// per-step formula  n_off = min(S - max_off, lim_off, floor(S / 2)).
+class MigrationReplayTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MigrationReplayTest, ChunksMatchAlgorithmOneStepByStep) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    const unsigned subtasks = 1 + static_cast<unsigned>(rng.uniform_int(40));
+    const Duration tp = microseconds(1 + rng.uniform_int(400));
+    const Duration delta = microseconds(rng.uniform_int(60));
+    std::vector<MigrationCandidate> cands;
+    const unsigned n_cands = static_cast<unsigned>(rng.uniform_int(10));
+    for (unsigned c = 0; c < n_cands; ++c)
+      cands.push_back(
+          {c, microseconds(static_cast<std::int64_t>(rng.uniform_int(5000)))});
+
+    const auto plan = plan_migration(subtasks, tp, delta, cands);
+
+    // Replay: walk the candidate list with the paper's formula and demand
+    // the planner produced exactly the same chunk at every step.
+    unsigned s = subtasks;
+    unsigned max_off = 0;
+    std::size_t chunk_idx = 0;
+    for (const auto& cand : cands) {
+      if (s <= 1) break;
+      const auto lim_off = static_cast<unsigned>(
+          std::max<Duration>(0, cand.free_window / (tp + delta)));
+      const unsigned n_off =
+          std::min({lim_off, s - max_off, s / 2});
+      if (n_off == 0) continue;
+      ASSERT_LT(chunk_idx, plan.chunks.size());
+      EXPECT_EQ(plan.chunks[chunk_idx].core, cand.core);
+      EXPECT_EQ(plan.chunks[chunk_idx].count, n_off);
+      // Per-step bounds, spelled out: never more than half of what
+      // remains, never more than the window fits, never exposing the
+      // local side to a straggler larger than what it keeps.
+      EXPECT_LE(n_off, s / 2);
+      EXPECT_LE(n_off, lim_off);
+      EXPECT_LE(n_off, s - max_off);
+      max_off = std::max(max_off, n_off);
+      s -= n_off;
+      ++chunk_idx;
+    }
+    EXPECT_EQ(chunk_idx, plan.chunks.size());
+    // Conservation: chunk counts sum to S - local_subtasks.
+    EXPECT_EQ(plan.migrated_total(), subtasks - plan.local_subtasks);
+    EXPECT_EQ(plan.local_subtasks, s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MigrationReplayTest,
+                         ::testing::Values(11u, 12u, 13u));
+
+TEST(MigrationPlanTest, EmptyCandidatesAlwaysAllLocal) {
+  // The empty-candidate input must yield an all-local plan for any S,
+  // including with the ablation constraints disabled.
+  for (unsigned s : {0u, 1u, 2u, 7u, 64u}) {
+    const auto plan =
+        plan_migration(s, microseconds(100), microseconds(20), {});
+    EXPECT_TRUE(plan.chunks.empty());
+    EXPECT_EQ(plan.local_subtasks, s);
+    MigrationConstraints loose;
+    loose.local_covers_largest_chunk = false;
+    loose.local_keeps_majority = false;
+    const auto plan2 =
+        plan_migration(s, microseconds(100), microseconds(20), {}, loose);
+    EXPECT_TRUE(plan2.chunks.empty());
+    EXPECT_EQ(plan2.local_subtasks, s);
+  }
+}
+
+TEST(MigrationPlanTest, LimOffIsExactlyFloorWindowOverPerSubtaskCost) {
+  // lim_off = floor(f_ck / (t_p + delta)): probe the boundary on both
+  // sides of a multiple of the per-subtask cost.
+  const Duration tp = microseconds(100);
+  const Duration delta = microseconds(25);
+  for (unsigned k : {1u, 2u, 3u}) {
+    const Duration per = tp + delta;
+    // Window one ns short of k subtasks -> k - 1 fit.
+    const std::vector<MigrationCandidate> below = {
+        {1, static_cast<Duration>(k) * per - 1}};
+    const auto plan_below = plan_migration(100, tp, delta, below);
+    ASSERT_LE(plan_below.chunks.size(), 1u);
+    const unsigned got_below =
+        plan_below.chunks.empty() ? 0 : plan_below.chunks[0].count;
+    EXPECT_EQ(got_below, k - 1);
+    // Window of exactly k subtasks -> k fit.
+    const std::vector<MigrationCandidate> at = {
+        {1, static_cast<Duration>(k) * per}};
+    const auto plan_at = plan_migration(100, tp, delta, at);
+    ASSERT_EQ(plan_at.chunks.size(), 1u);
+    EXPECT_EQ(plan_at.chunks[0].count, k);
+  }
+}
+
+TEST(MigrationPlanTest, NeverMigratesMoreThanHalfPerStep) {
+  // One enormous window: R3 alone must cap the chunk at floor(S/2).
+  for (unsigned s = 2; s <= 33; ++s) {
+    const std::vector<MigrationCandidate> cands = {{1, milliseconds(10'000)}};
+    const auto plan =
+        plan_migration(s, microseconds(50), microseconds(10), cands);
+    ASSERT_EQ(plan.chunks.size(), 1u);
+    EXPECT_EQ(plan.chunks[0].count, s / 2);
+    EXPECT_EQ(plan.local_subtasks, s - s / 2);
+  }
+}
 
 }  // namespace
 }  // namespace rtopex::sched

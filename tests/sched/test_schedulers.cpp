@@ -213,6 +213,67 @@ TEST(RtOpexTest, DisablingRecoveryCausesLosses) {
   EXPECT_GE(m_without.deadline_misses, m_with.deadline_misses);
 }
 
+// Metrics invariants that must hold for every scheduler on any workload:
+// the counters are different views of one partition of the subframe set.
+void check_metrics_invariants(sim::SchedulerMetrics m, std::size_t expected,
+                              const char* who) {
+  SCOPED_TRACE(who);
+  EXPECT_EQ(m.total_subframes, expected);
+  EXPECT_EQ(m.dropped + m.terminated, m.deadline_misses);
+  EXPECT_EQ(m.processing_time_us.size(),
+            m.total_subframes - m.deadline_misses);
+  std::size_t bs_subframes = 0, bs_misses = 0;
+  for (const auto& bs : m.per_bs) {
+    bs_subframes += bs.subframes;
+    bs_misses += bs.misses;
+  }
+  EXPECT_EQ(bs_subframes, m.total_subframes);
+  EXPECT_EQ(bs_misses, m.deadline_misses);
+  // Decode failures come only from subframes that finished processing.
+  EXPECT_LE(m.decode_failures, m.processing_time_us.size());
+  // Migration accounting never exceeds the offered subtasks.
+  EXPECT_LE(m.fft_subtasks_migrated, m.fft_subtasks_total);
+  EXPECT_LE(m.decode_subtasks_migrated, m.decode_subtasks_total);
+  EXPECT_LE(m.recoveries,
+            m.fft_subtasks_migrated + m.decode_subtasks_migrated);
+  for (const double g : m.gap_us) EXPECT_GT(g, 0.0);
+}
+
+TEST(MetricsInvariantTest, HoldForAllThreeSchedulers) {
+  // Mixed-load workload with real misses so the partition is non-trivial.
+  for (const std::uint64_t seed : {41u, 42u}) {
+    const auto work = make_work(3000, microseconds(600), seed);
+    PartitionedScheduler part(4, {microseconds(600)});
+    check_metrics_invariants(part.run(work), work.size(), "partitioned");
+
+    GlobalConfig gc;
+    gc.num_cores = 5;
+    GlobalScheduler glob(4, gc);
+    check_metrics_invariants(glob.run(work), work.size(), "global");
+
+    RtOpexConfig rc;
+    rc.rtt_half = microseconds(600);
+    RtOpexScheduler opex(4, rc);
+    check_metrics_invariants(opex.run(work), work.size(), "rt-opex");
+  }
+}
+
+TEST(MetricsInvariantTest, HoldUnderOverloadAndUnderload) {
+  // Underload: no misses; overload: mostly misses. The invariants are
+  // load-independent.
+  const auto light = make_work(1500, microseconds(400), 43, /*fixed_mcs=*/4);
+  const auto heavy = make_work(1500, microseconds(700), 44, /*fixed_mcs=*/27,
+                               /*snr_db=*/24.0);
+  for (const auto* work : {&light, &heavy}) {
+    PartitionedScheduler part(4, {microseconds(700)});
+    check_metrics_invariants(part.run(*work), work->size(), "partitioned");
+    RtOpexConfig rc;
+    rc.rtt_half = microseconds(700);
+    RtOpexScheduler opex(4, rc);
+    check_metrics_invariants(opex.run(*work), work->size(), "rt-opex");
+  }
+}
+
 TEST(SchedulerValidationTest, RejectsBadConfigs) {
   EXPECT_THROW(PartitionedScheduler(0, {microseconds(500)}),
                std::invalid_argument);
@@ -224,6 +285,36 @@ TEST(SchedulerValidationTest, RejectsBadConfigs) {
   RtOpexConfig rc;
   rc.rtt_half = -1;
   EXPECT_THROW(RtOpexScheduler(4, rc), std::invalid_argument);
+}
+
+TEST(SchedulerValidationTest, RtOpexRejectsRttConsumingWholeBudget) {
+  // rtt_half >= the 2 ms end-to-end budget leaves zero processing cores
+  // (cores_per_bs() would be 0) — must throw, not divide by zero or hang.
+  RtOpexConfig rc;
+  rc.rtt_half = kEndToEndBudget;
+  EXPECT_THROW(RtOpexScheduler(4, rc), std::invalid_argument);
+  rc.rtt_half = kEndToEndBudget + microseconds(1);
+  EXPECT_THROW(RtOpexScheduler(4, rc), std::invalid_argument);
+  // Just inside the budget is fine and yields at least one core.
+  rc.rtt_half = kEndToEndBudget - microseconds(1);
+  RtOpexScheduler sched(4, rc);
+  EXPECT_GE(sched.num_cores(), 4u);
+}
+
+TEST(SchedulerValidationTest, EmptyWorkloadDegradesGracefully) {
+  RtOpexConfig rc;
+  rc.rtt_half = microseconds(500);
+  RtOpexScheduler opex(4, rc);
+  const auto m = opex.run({});
+  EXPECT_EQ(m.total_subframes, 0u);
+  EXPECT_EQ(m.deadline_misses, 0u);
+  EXPECT_TRUE(m.processing_time_us.empty());
+  PartitionedScheduler part(4, {microseconds(500)});
+  EXPECT_EQ(part.run({}).total_subframes, 0u);
+  GlobalConfig gc;
+  gc.num_cores = 2;
+  GlobalScheduler glob(4, gc);
+  EXPECT_EQ(glob.run({}).total_subframes, 0u);
 }
 
 }  // namespace

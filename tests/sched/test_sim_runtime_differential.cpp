@@ -1,0 +1,227 @@
+// Differential suite: the virtual-time RtOpexScheduler and the real-thread
+// NodeRuntime implement the same paper mechanisms on two substrates. Their
+// wall-clock numbers differ by design (DESIGN.md §2), but their *structure*
+// must agree: every subframe terminates exactly once (completed, dropped or
+// terminated), subtask accounting balances (migrated = hosted + recovered;
+// recovered never exceeds migrated), and drops are always a subset of
+// deadline misses. Matched configurations are run through both and the
+// invariants checked on each side.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "model/timing_model.hpp"
+#include "runtime/fault_injection.hpp"
+#include "runtime/node_runtime.hpp"
+#include "sched/partitioned.hpp"
+#include "sched/rt_opex.hpp"
+#include "sim/workload.hpp"
+#include "transport/transport.hpp"
+
+namespace rtopex {
+namespace {
+
+constexpr unsigned kBasestations = 2;
+constexpr std::size_t kSubframesPerBs = 8;
+constexpr Duration kRttHalf = microseconds(500);
+
+std::vector<sim::SubframeWork> matched_sim_work(std::uint64_t seed,
+                                                int fixed_mcs = -1,
+                                                double snr_db = 30.0) {
+  sim::WorkloadConfig cfg;
+  cfg.num_basestations = kBasestations;
+  cfg.subframes_per_bs = kSubframesPerBs;
+  cfg.seed = seed;
+  cfg.fixed_mcs = fixed_mcs;
+  cfg.snr_db = snr_db;
+  const transport::FixedTransport transport(kRttHalf);
+  const sim::WorkloadGenerator gen(cfg, transport, model::paper_gpp_model());
+  return gen.generate();
+}
+
+runtime::RuntimeConfig matched_runtime_config() {
+  runtime::RuntimeConfig cfg;
+  cfg.mode = runtime::RuntimeMode::kRtOpex;
+  cfg.num_basestations = kBasestations;
+  cfg.cores_per_bs = 2;
+  cfg.subframes_per_bs = kSubframesPerBs;
+  cfg.rtt_half = kRttHalf;
+  // Real-time pacing scaled so a loaded CI host (or a sanitizer build)
+  // keeps up; the structural invariants are pacing-independent.
+  cfg.subframe_period = milliseconds(60);
+  cfg.deadline_budget = milliseconds(120);
+  cfg.mcs_cycle = {27, 16};
+  cfg.phy.num_antennas = 2;
+  cfg.phy.bandwidth = phy::Bandwidth::kMHz5;
+  cfg.enforce_deadlines = false;
+  cfg.seed = 21;
+  return cfg;
+}
+
+struct Structural {
+  std::size_t total = 0;
+  std::size_t completed = 0;
+  std::size_t dropped = 0;
+  std::size_t misses = 0;
+  std::size_t migrated = 0;
+  std::size_t recovered = 0;
+};
+
+/// Checks the simulator's metrics invariants and reduces them to the shared
+/// structural summary.
+Structural check_sim_side(const sim::SchedulerMetrics& m,
+                          std::size_t expected_total) {
+  EXPECT_EQ(m.total_subframes, expected_total);
+  // Exactly-once termination: completed + dropped + terminated == total.
+  EXPECT_EQ(m.deadline_misses, m.dropped + m.terminated);
+  EXPECT_EQ(m.processing_time_us.size(),
+            m.total_subframes - m.deadline_misses);
+  std::size_t per_bs_subframes = 0, per_bs_misses = 0;
+  for (const auto& bs : m.per_bs) {
+    per_bs_subframes += bs.subframes;
+    per_bs_misses += bs.misses;
+  }
+  EXPECT_EQ(per_bs_subframes, m.total_subframes);
+  EXPECT_EQ(per_bs_misses, m.deadline_misses);
+  // Subtask conservation.
+  EXPECT_LE(m.fft_subtasks_migrated, m.fft_subtasks_total);
+  EXPECT_LE(m.decode_subtasks_migrated, m.decode_subtasks_total);
+  EXPECT_LE(m.recoveries,
+            m.fft_subtasks_migrated + m.decode_subtasks_migrated);
+  return {m.total_subframes, m.total_subframes - m.deadline_misses,
+          m.dropped, m.deadline_misses,
+          m.fft_subtasks_migrated + m.decode_subtasks_migrated, m.recoveries};
+}
+
+/// Checks the runtime report's invariants and reduces them likewise.
+Structural check_runtime_side(const runtime::RuntimeReport& report,
+                              std::size_t expected_total) {
+  EXPECT_EQ(report.records.size(), expected_total);
+  std::set<std::pair<unsigned, std::uint32_t>> seen;
+  Structural s;
+  s.total = report.records.size();
+  for (const auto& r : report.records) {
+    EXPECT_TRUE(seen.insert({r.bs, r.index}).second)
+        << "subframe terminated twice: bs=" << r.bs << " idx=" << r.index;
+    if (r.dropped) {
+      // A dropped subframe was never decoded and always counts as a miss.
+      EXPECT_TRUE(r.deadline_missed);
+      EXPECT_FALSE(r.crc_ok);
+      ++s.dropped;
+    } else {
+      ++s.completed;
+    }
+    if (r.deadline_missed) ++s.misses;
+    EXPECT_LE(r.timing.recovered,
+              r.timing.fft_migrated + r.timing.decode_migrated);
+    s.migrated += r.timing.fft_migrated + r.timing.decode_migrated;
+    s.recovered += r.timing.recovered;
+  }
+  EXPECT_EQ(s.completed + s.dropped, s.total);
+  EXPECT_EQ(report.migrations, s.migrated);
+  EXPECT_EQ(report.recoveries, s.recovered);
+  EXPECT_EQ(report.dropped, s.dropped);
+  EXPECT_EQ(report.deadline_misses, s.misses);
+  return s;
+}
+
+void check_agreement(const Structural& sim_s, const Structural& rt_s) {
+  // Shared structural laws, independent of substrate (the per-side checks
+  // already verified that terminal dispositions partition the total):
+  for (const Structural* s : {&sim_s, &rt_s}) {
+    EXPECT_LE(s->dropped, s->misses);       // drops are a subset of misses
+    EXPECT_LE(s->recovered, s->migrated);   // recovery never invents work
+    EXPECT_LE(s->completed, s->total);
+  }
+  EXPECT_EQ(sim_s.total, rt_s.total);       // matched workloads, same size
+}
+
+TEST(SimRuntimeDifferentialTest, SimSideInvariantsHold) {
+  const auto work = matched_sim_work(17);
+  sched::RtOpexConfig rc;
+  rc.rtt_half = kRttHalf;
+  sched::RtOpexScheduler sched(kBasestations, rc);
+  check_sim_side(sched.run(work), work.size());
+}
+
+TEST(SimRuntimeDifferentialTest, RuntimeSideInvariantsHold) {
+  // Force migration through the planner hook so the subtask-conservation
+  // branch is exercised even on a single-core CI host.
+  runtime::fault::Hooks hooks;
+  hooks.plan_window = [](unsigned, unsigned, Duration& window) {
+    window = milliseconds(1000);
+  };
+  runtime::fault::ScopedInjection inject(std::move(hooks));
+
+  const auto cfg = matched_runtime_config();
+  runtime::NodeRuntime rt(cfg);
+  const auto s = check_runtime_side(
+      rt.run(), static_cast<std::size_t>(kBasestations) * kSubframesPerBs);
+  EXPECT_GT(s.migrated, 0u);
+}
+
+TEST(SimRuntimeDifferentialTest, StructuresAgreeOnMatchedConfig) {
+  const auto work = matched_sim_work(23);
+  sched::RtOpexConfig rc;
+  rc.rtt_half = kRttHalf;
+  sched::RtOpexScheduler sched(kBasestations, rc);
+  const Structural sim_s = check_sim_side(sched.run(work), work.size());
+
+  runtime::fault::Hooks hooks;
+  hooks.plan_window = [](unsigned, unsigned, Duration& window) {
+    window = milliseconds(1000);
+  };
+  runtime::fault::ScopedInjection inject(std::move(hooks));
+  const auto cfg = matched_runtime_config();
+  runtime::NodeRuntime rt(cfg);
+  const Structural rt_s = check_runtime_side(
+      rt.run(), static_cast<std::size_t>(kBasestations) * kSubframesPerBs);
+
+  check_agreement(sim_s, rt_s);
+}
+
+TEST(SimRuntimeDifferentialTest, StructuresAgreeUnderOverload) {
+  // Overloaded on both substrates: high MCS at a tight budget makes the
+  // slack check drop subframes. The termination and subset laws must hold
+  // on both sides even when most subframes miss.
+  const auto work = matched_sim_work(29, /*fixed_mcs=*/27, /*snr_db=*/24.0);
+  sched::RtOpexConfig rc;
+  rc.rtt_half = microseconds(700);
+  sched::RtOpexScheduler sched(kBasestations, rc);
+  const Structural sim_s = check_sim_side(sched.run(work), work.size());
+
+  auto cfg = matched_runtime_config();
+  cfg.enforce_deadlines = true;
+  cfg.deadline_budget = milliseconds(1);  // impossible on any host
+  cfg.rtt_half = microseconds(500);
+  runtime::NodeRuntime rt(cfg);
+  const Structural rt_s = check_runtime_side(
+      rt.run(), static_cast<std::size_t>(kBasestations) * kSubframesPerBs);
+  EXPECT_EQ(rt_s.dropped, rt_s.total);  // nothing fits a 1 ms budget here
+
+  check_agreement(sim_s, rt_s);
+}
+
+// The simulator's RT-OPEX must degrade to the partitioned baseline when
+// migration is disabled — the differential anchor for the migration
+// machinery itself (any structural divergence here is a planner bug, not a
+// timing artifact).
+TEST(SimRuntimeDifferentialTest, NoMigrationDegradesToPartitioned) {
+  const auto work = matched_sim_work(31);
+  sched::RtOpexConfig rc;
+  rc.rtt_half = kRttHalf;
+  rc.migrate_fft = false;
+  rc.migrate_decode = false;
+  sched::RtOpexScheduler opex(kBasestations, rc);
+  sched::PartitionedScheduler part(kBasestations, {kRttHalf});
+  const auto mo = opex.run(work);
+  const auto mp = part.run(work);
+  EXPECT_EQ(mo.deadline_misses, mp.deadline_misses);
+  EXPECT_EQ(mo.dropped, mp.dropped);
+  EXPECT_EQ(mo.terminated, mp.terminated);
+  EXPECT_EQ(mo.processing_time_us.size(), mp.processing_time_us.size());
+}
+
+}  // namespace
+}  // namespace rtopex

@@ -1,0 +1,29 @@
+// Shared test helper: scale real-time pacing when the build runs under a
+// sanitizer. The NodeRuntime tests stretch the 1 ms subframe period so a
+// loaded CI host keeps up; sanitizer instrumentation slows the PHY decode
+// by another 2-15x, so the stretch factor must grow with it or the slack
+// check starts (correctly) dropping subframes the tests expect to decode.
+#pragma once
+
+namespace rtopex::test {
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) && !defined(__SANITIZE_THREAD__)
+#define RTOPEX_TEST_TSAN 1
+#endif
+#if __has_feature(address_sanitizer) && !defined(__SANITIZE_ADDRESS__)
+#define RTOPEX_TEST_ASAN 1
+#endif
+#endif
+
+constexpr int pacing_scale() {
+#if defined(__SANITIZE_THREAD__) || defined(RTOPEX_TEST_TSAN)
+  return 8;   // TSan: ~5-15x slower PHY
+#elif defined(__SANITIZE_ADDRESS__) || defined(RTOPEX_TEST_ASAN)
+  return 4;   // ASan (+UBSan): ~2-4x slower
+#else
+  return 1;
+#endif
+}
+
+}  // namespace rtopex::test
