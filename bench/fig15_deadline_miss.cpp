@@ -8,20 +8,40 @@
 // Expected shape: partitioned rises sharply past 400 us; global tracks
 // partitioned from above and is insensitive to 8 -> 16 cores; RT-OPEX stays
 // ~zero below 500 us and >= 10x below both everywhere.
+//
+//   --faults [P]    enable fronthaul loss (prob P, default 0.01) + late
+//                   arrivals and graceful degradation: regenerates the miss
+//                   curves under the degraded-mode resilience layer.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bench_util.hpp"
 #include "core/experiment.hpp"
 
 using namespace rtopex;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Figure 15", "deadline-miss rate vs RTT/2 per scheduler");
 
   core::ExperimentConfig cfg;
   cfg.workload.num_basestations = 4;
   cfg.workload.subframes_per_bs = 30000;
   cfg.workload.seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0) {
+      auto& f = cfg.workload.fronthaul_faults;
+      f.loss_prob = i + 1 < argc ? std::atof(argv[++i]) : 0.01;
+      f.late_prob = f.loss_prob;
+      cfg.degrade.enabled = true;
+      std::printf("faults enabled: loss/late prob %.3f, degradation on\n",
+                  f.loss_prob);
+    } else {
+      std::fprintf(stderr, "usage: %s [--faults [P]]\n", argv[0]);
+      return 1;
+    }
+  }
 
   bench::print_row({"rtt/2_us", "partitioned", "global_8", "global_16",
                     "rt-opex", "gain_vs_part"});

@@ -5,6 +5,8 @@
 // 1e-2 miss-rate threshold it supports substantially more load than the
 // partitioned scheduler (paper: 31 vs 27 Mbps, ~15%).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bench_util.hpp"
 #include "core/experiment.hpp"
@@ -23,7 +25,7 @@ double supported_mbps(const std::vector<std::pair<double, double>>& curve,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Figure 17",
                       "deadline misses vs offered load (RTT/2 = 500 us)");
 
@@ -32,6 +34,22 @@ int main() {
   cfg.workload.subframes_per_bs = 10000;
   cfg.workload.seed = 1;
   cfg.rtt_half = microseconds(500);
+
+  // --faults [P]: fronthaul loss/late arrivals + graceful degradation —
+  // shifts the supported-load knee; lost subframes never count as misses.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0) {
+      auto& f = cfg.workload.fronthaul_faults;
+      f.loss_prob = i + 1 < argc ? std::atof(argv[++i]) : 0.01;
+      f.late_prob = f.loss_prob;
+      cfg.degrade.enabled = true;
+      std::printf("faults enabled: loss/late prob %.3f, degradation on\n",
+                  f.loss_prob);
+    } else {
+      std::fprintf(stderr, "usage: %s [--faults [P]]\n", argv[0]);
+      return 1;
+    }
+  }
 
   std::vector<std::pair<double, double>> part_curve, opex_curve;
 

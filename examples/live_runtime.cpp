@@ -2,14 +2,22 @@
 // subframes (full turbo/FFT chain) delivered by a periodic transport ticker,
 // with RT-OPEX mailbox migration between cores.
 //
-//   $ ./live_runtime [partitioned|global|rtopex]
+//   $ ./live_runtime [partitioned|global|rtopex] [options]
+//
+// Resilience options:
+//   --kill-core N        park worker N mid-run (watchdog fails it over)
+//   --at-ms T            kill at T ms into the run (default: half the run)
+//   --fronthaul-loss P   drop each subframe with probability P
 //
 // The subframe period is stretched (25 ms) so that the demo runs correctly
 // on any host, including single-core machines; on a multicore machine with
 // CAP_SYS_NICE you can tighten it toward the real 1 ms.
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
+#include "runtime/fault_injection.hpp"
 #include "runtime/node_runtime.hpp"
 
 int main(int argc, char** argv) {
@@ -17,13 +25,27 @@ int main(int argc, char** argv) {
 
   runtime::RuntimeConfig cfg;
   cfg.mode = runtime::RuntimeMode::kRtOpex;
-  if (argc > 1) {
-    if (std::strcmp(argv[1], "partitioned") == 0)
+  int kill_core = -1;
+  double kill_at_ms = -1.0;
+  double loss_prob = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "partitioned") == 0) {
       cfg.mode = runtime::RuntimeMode::kPartitioned;
-    else if (std::strcmp(argv[1], "global") == 0)
+    } else if (std::strcmp(argv[i], "global") == 0) {
       cfg.mode = runtime::RuntimeMode::kGlobal;
-    else if (std::strcmp(argv[1], "rtopex") != 0) {
-      std::fprintf(stderr, "usage: %s [partitioned|global|rtopex]\n", argv[0]);
+    } else if (std::strcmp(argv[i], "rtopex") == 0) {
+      cfg.mode = runtime::RuntimeMode::kRtOpex;
+    } else if (std::strcmp(argv[i], "--kill-core") == 0 && i + 1 < argc) {
+      kill_core = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--at-ms") == 0 && i + 1 < argc) {
+      kill_at_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--fronthaul-loss") == 0 && i + 1 < argc) {
+      loss_prob = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [partitioned|global|rtopex] [--kill-core N] "
+                   "[--at-ms T] [--fronthaul-loss P]\n",
+                   argv[0]);
       return 1;
     }
   }
@@ -37,14 +59,47 @@ int main(int argc, char** argv) {
   cfg.mcs_cycle = {27, 10, 20};
   cfg.pin_threads = true;       // best effort
   cfg.phy.bandwidth = phy::Bandwidth::kMHz10;
+  cfg.resilience.fronthaul_faults.loss_prob = loss_prob;
+  if (kill_core >= 0) {
+    cfg.resilience.enable_watchdog = true;
+    cfg.resilience.watchdog_timeout = cfg.subframe_period;
+  }
+
+  // Kill switch: an injected hook that parks the chosen worker once the
+  // run has passed --at-ms (default: halfway through the schedule).
+  if (kill_at_ms < 0.0)
+    kill_at_ms =
+        to_us(cfg.subframe_period) / 1000.0 * cfg.subframes_per_bs / 2.0;
+  static std::atomic<bool> armed{false};
+  const std::uint32_t kill_index = static_cast<std::uint32_t>(
+      kill_at_ms * 1000.0 / to_us(cfg.subframe_period));
+  runtime::fault::Hooks hooks;
+  hooks.transport_jitter = [kill_index](unsigned, std::uint32_t index) {
+    if (index >= kill_index) armed.store(true, std::memory_order_release);
+    return Duration{0};
+  };
+  hooks.kill_worker = [kill_core](std::size_t worker) {
+    return static_cast<int>(worker) == kill_core &&
+           armed.load(std::memory_order_acquire);
+  };
+  std::unique_ptr<runtime::fault::ScopedInjection> injection;
+  if (kill_core >= 0)
+    injection =
+        std::make_unique<runtime::fault::ScopedInjection>(std::move(hooks));
 
   const char* mode_name = cfg.mode == runtime::RuntimeMode::kPartitioned
                               ? "partitioned"
                               : cfg.mode == runtime::RuntimeMode::kGlobal
                                     ? "global"
                                     : "rt-opex";
-  std::printf("mode: %s | 2 basestations x 12 subframes | period 25 ms\n\n",
+  std::printf("mode: %s | 2 basestations x 12 subframes | period 25 ms\n",
               mode_name);
+  if (kill_core >= 0)
+    std::printf("killing worker %d at ~%.0f ms (watchdog enabled)\n",
+                kill_core, kill_at_ms);
+  if (loss_prob > 0.0)
+    std::printf("fronthaul loss probability: %.2f\n", loss_prob);
+  std::printf("\n");
 
   runtime::NodeRuntime rt(cfg);
   const auto report = rt.run();
@@ -52,15 +107,26 @@ int main(int argc, char** argv) {
   std::printf("%-4s %-4s %-4s %9s %9s %9s %6s %5s %5s\n", "bs", "idx", "mcs",
               "fft_us", "demod_us", "dec_us", "iters", "mig", "crc");
   for (const auto& r : report.records) {
+    const char* status = r.lost ? "lost"
+                         : r.late_arrival ? "late"
+                         : r.dropped ? "drop"
+                         : r.crc_ok ? "ok"
+                                    : "FAIL";
     std::printf("%-4u %-4u %-4u %9.0f %9.0f %9.0f %6u %5u %5s\n", r.bs,
                 r.index, r.mcs, to_us(r.timing.fft), to_us(r.timing.demod),
                 to_us(r.timing.decode), r.iterations,
-                r.timing.fft_migrated + r.timing.decode_migrated,
-                r.crc_ok ? "ok" : "FAIL");
+                r.timing.fft_migrated + r.timing.decode_migrated, status);
   }
+  const auto& res = report.resilience;
   std::printf("\ndecoded %zu/%zu subframes | migrated subtasks: %zu | "
               "recoveries: %zu\n",
-              report.records.size() - report.crc_failures,
+              report.records.size() - report.crc_failures -
+                  res.lost_subframes - res.late_arrivals - report.dropped,
               report.records.size(), report.migrations, report.recoveries);
+  if (kill_core >= 0 || loss_prob > 0.0)
+    std::printf("resilience: failovers %zu | repartitions %zu | requeued %zu "
+                "| lost %zu | late %zu | degraded %zu\n",
+                res.failovers, res.repartitions, res.requeued_jobs,
+                res.lost_subframes, res.late_arrivals, res.degraded);
   return report.crc_failures == 0 ? 0 : 2;
 }

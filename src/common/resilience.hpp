@@ -1,0 +1,49 @@
+// Shared degraded-mode vocabulary: the per-subframe quality level the
+// processing chain fell back to, and the resilience counters both substrates
+// (the real-thread runtime and the virtual-time simulator) report.
+//
+// Rationale (Rost et al., "Computationally Aware Sum-Rate Optimal Scheduling
+// for Centralized RANs"): trading decode effort for deadline compliance beats
+// dropping outright. The paper's slack check (§4.1) only knows how to drop;
+// the resilience layer first shrinks the turbo-iteration cap, and only drops
+// when even the minimal-quality estimate cannot fit.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace rtopex {
+
+/// Quality level a subframe was processed at. Levels above kNone shrink the
+/// turbo-iteration cap below the configured Lm; a capped decode may NACK
+/// where the full-quality decode would have converged — that is the traded
+/// cost, accounted separately from ordinary decode failures.
+enum class DegradeLevel : unsigned {
+  kNone = 0,                ///< full quality (cap == Lm).
+  kReducedIterations = 1,   ///< cap in (min_iterations, Lm).
+  kMinimalIterations = 2,   ///< cap == min_iterations.
+};
+
+inline constexpr std::size_t kNumDegradeLevels = 3;
+
+/// Failure-handling counters surfaced by both substrates. Subframe
+/// conservation under faults: processed + dropped + late + lost == offered,
+/// where `late` and `lost` are the two fronthaul-fault dispositions below
+/// and every other subframe is either processed or slack-check dropped.
+struct ResilienceMetrics {
+  std::size_t failovers = 0;     ///< cores declared dead by the watchdog.
+  std::size_t repartitions = 0;  ///< partition-table rebuilds after failures.
+  std::size_t requeued_jobs = 0; ///< jobs moved off a dead core's queue.
+  std::size_t lost_subframes = 0; ///< fronthaul loss: never arrived.
+  std::size_t late_arrivals = 0;  ///< arrived after the deadline had passed.
+  std::size_t degraded = 0;       ///< processed below full quality.
+  /// Degraded subframes whose capped decode failed (quality traded away);
+  /// not counted as ordinary decode/CRC failures.
+  std::size_t degraded_decode_failures = 0;
+  /// Completion-flag waits that exceeded the configured timeout.
+  std::size_t flag_timeouts = 0;
+  /// Subframes per DegradeLevel (index by static_cast<unsigned>(level)).
+  std::array<std::size_t, kNumDegradeLevels> degrade_histogram{};
+};
+
+}  // namespace rtopex

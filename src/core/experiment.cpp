@@ -42,17 +42,22 @@ ExperimentResult run_scheduler(const ExperimentConfig& config,
     case SchedulerKind::kPartitioned: {
       sched::PartitionedConfig pc;
       pc.rtt_half = config.rtt_half;
+      pc.degrade = config.degrade;
       scheduler = std::make_unique<sched::PartitionedScheduler>(
           config.workload.num_basestations, pc);
       break;
     }
-    case SchedulerKind::kGlobal:
+    case SchedulerKind::kGlobal: {
+      sched::GlobalConfig gc = config.global;
+      gc.degrade = config.degrade;
       scheduler = std::make_unique<sched::GlobalScheduler>(
-          config.workload.num_basestations, config.global);
+          config.workload.num_basestations, gc);
       break;
+    }
     case SchedulerKind::kRtOpex: {
       sched::RtOpexConfig rc = config.rtopex;
       rc.rtt_half = config.rtt_half;
+      rc.degrade = config.degrade;
       scheduler = std::make_unique<sched::RtOpexScheduler>(
           config.workload.num_basestations, rc);
       break;

@@ -33,6 +33,11 @@ struct ExperimentConfig {
   sched::GlobalConfig global;   ///< consulted for kGlobal.
   sched::RtOpexConfig rtopex;   ///< consulted for kRtOpex (rtt_half synced).
 
+  /// Graceful degradation, applied to whichever scheduler runs (fronthaul
+  /// faults live in `workload.fronthaul_faults` — they are a property of
+  /// the generated arrivals, not of the scheduler).
+  sched::DegradeConfig degrade;
+
   model::TimingModel timing = model::paper_gpp_model();
   model::IterationModelParams iteration;
   model::PlatformErrorParams platform_error;

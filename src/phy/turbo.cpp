@@ -194,8 +194,8 @@ TurboCodeword TurboEncoder::encode(std::span<const std::uint8_t> bits) const {
 TurboDecodeResult TurboDecoder::decode(
     std::span<const float> systematic, std::span<const float> parity1,
     std::span<const float> parity2,
-    const std::function<bool(std::span<const std::uint8_t>)>& crc_check)
-    const {
+    const std::function<bool(std::span<const std::uint8_t>)>& crc_check,
+    unsigned max_iterations_override) const {
   const std::size_t k = interleaver_.size();
   if (systematic.size() != k + 4 || parity1.size() != k + 4 ||
       parity2.size() != k + 4)
@@ -228,7 +228,10 @@ TurboDecodeResult TurboDecoder::decode(
   TurboDecodeResult result;
   result.bits.assign(k, 0);
 
-  for (unsigned iter = 1; iter <= max_iterations_; ++iter) {
+  const unsigned lm = max_iterations_override == 0
+                          ? max_iterations_
+                          : std::min(max_iterations_, max_iterations_override);
+  for (unsigned iter = 1; iter <= lm; ++iter) {
     // --- SISO 1 ---
     for (std::size_t i = 0; i < k; ++i)
       sys1[i] = systematic[i] + extrinsic2[i];

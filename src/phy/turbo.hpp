@@ -65,11 +65,16 @@ class TurboDecoder {
   ///
   /// `crc_check` (may be empty) is invoked on the K hard-decision bits after
   /// every iteration; returning true stops decoding early.
+  ///
+  /// `max_iterations_override`, when non-zero, caps the iteration count below
+  /// the configured Lm for this call only — the degraded-mode knob: a slack
+  /// check that cannot fit the full-quality decode shrinks the cap instead of
+  /// dropping the subframe.
   TurboDecodeResult decode(
       std::span<const float> systematic, std::span<const float> parity1,
       std::span<const float> parity2,
-      const std::function<bool(std::span<const std::uint8_t>)>& crc_check = {})
-      const;
+      const std::function<bool(std::span<const std::uint8_t>)>& crc_check = {},
+      unsigned max_iterations_override = 0) const;
 
   unsigned max_iterations() const { return max_iterations_; }
 

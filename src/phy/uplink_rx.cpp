@@ -108,6 +108,7 @@ void UplinkRxProcessor::begin(Job& job,
       kSymbolsPerSubframe * (bw.cp_samples + bw.fft_size);
   job.mcs = mcs;
   job.subframe_index = subframe_index;
+  job.iteration_cap = 0;
   for (unsigned a = 0; a < config_.num_antennas; ++a) {
     if (antenna_samples[a].size() != expected)
       throw std::invalid_argument("begin: sample count mismatch");
@@ -223,8 +224,9 @@ void UplinkRxProcessor::run_decode_subtask(Job& job, std::size_t index) const {
     return check_crc24(payload, CrcKind::kA);
   };
 
-  const TurboDecodeResult res = ctx.decoder->decode(
-      streams.systematic, streams.parity1, streams.parity2, crc_check);
+  const TurboDecodeResult res =
+      ctx.decoder->decode(streams.systematic, streams.parity1, streams.parity2,
+                          crc_check, job.iteration_cap);
   auto& out = job.cb_results[index];
   out.bits = res.bits;
   out.iterations = res.iterations;

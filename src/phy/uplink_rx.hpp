@@ -36,6 +36,9 @@ struct UplinkRxResult {
 struct UplinkRxJob {
   unsigned mcs = 0;
   std::uint32_t subframe_index = 0;
+  /// 0 = decode at the configured Lm; non-zero caps the turbo iterations
+  /// below Lm for this subframe only (degraded mode).
+  unsigned iteration_cap = 0;
 
   std::vector<IqVector> antenna_samples;  ///< N streams of time samples.
   std::vector<IqVector> grid;             ///< [antenna*14 + symbol] -> nsc REs.

@@ -59,6 +59,13 @@ struct Hooks {
   /// the node. Positive jitter breaks the workers' horizon predictions,
   /// which is what preempts migrated subtasks in the wild.
   std::function<Duration(unsigned bs, std::uint32_t index)> transport_jitter;
+
+  /// Worker kill switch, polled by each worker between jobs and between
+  /// hosted subtasks. Return true to park `worker` for the rest of the run:
+  /// it stops heartbeating and taking work (but never abandons a claimed
+  /// subtask mid-flight), which is what the watchdog detects as a dead
+  /// core. The deterministic trigger for failover tests.
+  std::function<bool(std::size_t worker)> kill_worker;
 };
 
 namespace detail {

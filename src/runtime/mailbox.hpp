@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 
@@ -30,6 +31,12 @@ struct MigratedChunk {
   std::atomic<std::size_t>* next_index = nullptr;
   /// Incremented after each completed subtask (the "result ready" flags).
   std::atomic<std::size_t>* completed = nullptr;
+  /// Per-subtask completion flags (`count` entries, indexed by
+  /// index - first), set after the matching subtask finished. Lets the
+  /// migrating thread identify which claimed subtasks a parked host never
+  /// finished, instead of inferring from the aggregate counter. May be null
+  /// (counter-only operation).
+  std::atomic<std::uint8_t>* done = nullptr;
   /// Keeps the counters alive while either side still references them.
   std::shared_ptr<void> keepalive;
 };

@@ -47,6 +47,18 @@ struct WorkerState {
   std::vector<SubframeRecord> records;
   /// Nominal arrival of this worker's next own subframe (RT-OPEX horizon).
   std::atomic<TimePoint> next_own_arrival{0};
+  /// Bumped once per worker-loop iteration and per hosted subtask; the
+  /// ticker-side watchdog reads it to distinguish a stalled core (queued
+  /// work, frozen heartbeat) from a busy or idle one.
+  std::atomic<std::uint64_t> heartbeat{0};
+  /// Set by the watchdog: excluded from migration planning and from the
+  /// partition table from then on.
+  std::atomic<bool> dead{false};
+  /// Set by the worker itself just before parking on a kill_worker hook.
+  /// A parked worker has returned from its loop and will never touch job
+  /// buffers again — unlike a watchdog-declared-dead worker, which may
+  /// merely be slow and still finish its subtask.
+  std::atomic<bool> parked{false};
 };
 
 }  // namespace
@@ -66,21 +78,54 @@ struct NodeRuntime::Impl {
   std::deque<Job> global_queue;
   std::atomic<int> global_pending{0};
 
-  // Planning-model subtask/stage time estimates (EWMA-updated at runtime).
-  std::atomic<std::int64_t> fft_subtask_est_ns{50'000};
-  std::atomic<std::int64_t> decode_subtask_est_ns{500'000};
-  std::atomic<std::int64_t> demod_est_ns{500'000};
+  // Planning-model subtask/stage time estimates (seeded from the config,
+  // EWMA-updated at runtime).
+  std::atomic<std::int64_t> fft_subtask_est_ns;
+  std::atomic<std::int64_t> decode_subtask_est_ns;
+  std::atomic<std::int64_t> demod_est_ns;
   Duration migration_cost = microseconds(20);
 
   std::atomic<std::size_t> migrations{0};
   std::atomic<std::size_t> recoveries{0};
+  std::atomic<std::size_t> flag_timeouts{0};
+
+  // ---- resilience state (ticker-thread only unless noted) ---------------
+  /// Partition table: slots[bs][residue] -> worker id. Read and written
+  /// only on the ticker thread (push_job and the watchdog both run there),
+  /// so repartitioning needs no synchronization against dispatch.
+  std::vector<std::vector<unsigned>> slots;
+  /// Fronthaul loss / late-delivery process (validated at construction).
+  transport::FronthaulFaultModel fault_model;
+  /// Watchdog bookkeeping per worker.
+  std::vector<std::uint64_t> last_heartbeat;
+  std::vector<TimePoint> last_progress;
+  std::size_t res_failovers = 0;
+  std::size_t res_repartitions = 0;
+  std::size_t res_requeued = 0;
+  /// Records for subframes that never reached the node (ticker-owned).
+  std::vector<SubframeRecord> lost_records;
 
   explicit Impl(const RuntimeConfig& cfg)
-      : config(cfg), table(worker_count(cfg)) {
+      : config(cfg),
+        table(worker_count(cfg)),
+        fft_subtask_est_ns(cfg.initial_fft_subtask_est),
+        decode_subtask_est_ns(cfg.initial_decode_subtask_est),
+        demod_est_ns(cfg.initial_demod_est),
+        fault_model(cfg.resilience.fronthaul_faults) {
     for (unsigned i = 0; i < worker_count(cfg); ++i) {
       workers.push_back(std::make_unique<WorkerState>());
       workers.back()->mailbox.set_owner(i);
     }
+    if (cfg.mode != RuntimeMode::kGlobal) {
+      slots.resize(cfg.num_basestations);
+      for (unsigned bs = 0; bs < cfg.num_basestations; ++bs) {
+        slots[bs].resize(cfg.cores_per_bs);
+        for (unsigned r = 0; r < cfg.cores_per_bs; ++r)
+          slots[bs][r] = bs * cfg.cores_per_bs + r;
+      }
+    }
+    last_heartbeat.assign(worker_count(cfg), 0);
+    last_progress.assign(worker_count(cfg), 0);
     rx = std::make_unique<phy::UplinkRxProcessor>(cfg.phy);
     build_variants();
   }
@@ -151,6 +196,7 @@ struct NodeRuntime::Impl {
     std::vector<sched::MigrationCandidate> cands;
     for (unsigned k = 0; k < table.size(); ++k) {
       if (k == self_id) continue;
+      if (workers[k]->dead.load(std::memory_order_acquire)) continue;
       const auto snap = table.get(k);
       Duration window =
           snap.activity == CoreActivity::kIdle ? snap.horizon - now : 0;
@@ -173,6 +219,7 @@ struct NodeRuntime::Impl {
     struct LiveChunk {
       std::atomic<std::size_t> next{0};
       std::atomic<std::size_t> completed{0};
+      std::unique_ptr<std::atomic<std::uint8_t>[]> done;
       std::size_t first = 0;
       std::size_t count = 0;
       unsigned core = 0;
@@ -185,6 +232,10 @@ struct NodeRuntime::Impl {
       auto lc = std::make_shared<LiveChunk>();
       lc->count = chunk.count;
       lc->core = chunk.core;
+      lc->done =
+          std::make_unique<std::atomic<std::uint8_t>[]>(chunk.count);
+      for (std::size_t i = 0; i < chunk.count; ++i)
+        lc->done[i].store(0, std::memory_order_relaxed);
       assigned_from_tail += chunk.count;
       lc->first = subtasks - assigned_from_tail;
       lc->next.store(lc->first);
@@ -194,6 +245,7 @@ struct NodeRuntime::Impl {
       mc.count = lc->count;
       mc.next_index = &lc->next;
       mc.completed = &lc->completed;
+      mc.done = lc->done.get();
       mc.keepalive = lc;
       box.fill(std::move(mc));
       migrations.fetch_add(chunk.count, std::memory_order_relaxed);
@@ -216,23 +268,63 @@ struct NodeRuntime::Impl {
             lc->next.fetch_add(1, std::memory_order_acq_rel);
         if (i >= lc->first + lc->count) break;
         run_subtask(i);
+        lc->done[i - lc->first].store(1, std::memory_order_release);
         lc->completed.fetch_add(1, std::memory_order_acq_rel);
         recoveries.fetch_add(1, std::memory_order_relaxed);
         timing.recovered += 1;
       }
     }
     // Withdraw chunks the host never started, then wait out any host that
-    // is mid-subtask (bounded by one subtask) — the stage's buffers must
-    // not be written after this function returns.
+    // is mid-subtask (normally bounded by one subtask) — the stage's
+    // buffers must not be written after this function returns. The wait
+    // backs off (pause -> yield -> sleep) and, when a completion-flag
+    // timeout is configured, gives up after it expires *if* the host has
+    // provably parked: a parked host returned from its loop and will never
+    // write again, so the unfinished claimed subtasks (identified by the
+    // per-subtask done flags) are re-executed locally. A slow-but-alive
+    // host is always waited out — correctness over latency.
+    const Duration flag_timeout = config.resilience.completion_flag_timeout;
     for (const auto& lc : live) {
       workers[lc->core]->mailbox.try_revoke();
-      while (lc->completed.load(std::memory_order_acquire) <
-             std::min(lc->next.load(std::memory_order_acquire),
-                      lc->first + lc->count) -
-                 lc->first) {
+      auto claimed = [&] {
+        return std::min(lc->next.load(std::memory_order_acquire),
+                        lc->first + lc->count) -
+               lc->first;
+      };
+      const TimePoint wait_start = clock.now();
+      bool timed_out = false;
+      unsigned spins = 0;
+      while (lc->completed.load(std::memory_order_acquire) < claimed()) {
+        if (flag_timeout > 0 && !timed_out &&
+            clock.now() - wait_start > flag_timeout) {
+          timed_out = true;
+          flag_timeouts.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (timed_out &&
+            workers[lc->core]->parked.load(std::memory_order_acquire)) {
+          for (std::size_t i = 0; i < claimed(); ++i) {
+            std::uint8_t expected = 0;
+            if (!lc->done[i].compare_exchange_strong(
+                    expected, 2, std::memory_order_acq_rel))
+              continue;
+            run_subtask(lc->first + i);
+            lc->completed.fetch_add(1, std::memory_order_acq_rel);
+            recoveries.fetch_add(1, std::memory_order_relaxed);
+            timing.recovered += 1;
+          }
+          break;
+        }
+        if (spins < 1024) {
+          ++spins;
 #if defined(__x86_64__) || defined(__i386__)
-        __builtin_ia32_pause();
+          __builtin_ia32_pause();
 #endif
+        } else if (spins < 4096) {
+          ++spins;
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
       }
     }
   }
@@ -245,27 +337,73 @@ struct NodeRuntime::Impl {
     rec.mcs = j.variant->mcs;
     rec.radio_time = j.radio_time;
     rec.arrival = j.arrival;
+    // The ticker may enqueue a very late delivery ahead of its modeled
+    // arrival so it never stalls its own schedule; emulate the IQ data not
+    // being there yet (no point waiting past the deadline — the subframe
+    // is a late arrival either way).
+    while (clock.now() < j.arrival && clock.now() <= j.deadline)
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
     rec.start = clock.now();
     table.set(self_id, CoreActivity::kActive, 0);
+
+    // A subframe that arrived after its deadline had already passed (a late
+    // fronthaul delivery) is classified and skipped regardless of
+    // enforce_deadlines — there is no decision to make, the deadline is
+    // gone, and decoding it would only stall the queue behind it.
+    if (j.arrival > j.deadline) {
+      rec.completion = clock.now();
+      rec.deadline_missed = true;
+      rec.late_arrival = true;
+      return rec;
+    }
 
     rx->begin(job, j.variant->antenna_samples, j.variant->mcs,
               j.variant->tx_subframe_index);
 
     // Slack check (paper §4.1): drop the subframe when the estimated
-    // execution time exceeds the time left before its deadline.
+    // execution time exceeds the time left before its deadline. With
+    // degradation enabled, first retry the estimate with the
+    // turbo-iteration cap shrunk below Lm — trading decode quality for
+    // deadline compliance — and only drop when even the minimal-quality
+    // estimate cannot fit.
     const std::size_t fft_n = rx->fft_subtask_count();
     const std::size_t dec_n_est = phy::num_code_blocks(
         j.variant->mcs, config.phy.num_prb());
     if (config.enforce_deadlines) {
-      const Duration estimate =
+      const Duration base =
           fft_subtask_est_ns.load() * static_cast<Duration>(fft_n) +
-          demod_est_ns.load() +
+          demod_est_ns.load();
+      const Duration decode_full =
           decode_subtask_est_ns.load() * static_cast<Duration>(dec_n_est);
-      if (clock.now() + estimate > j.deadline) {
-        rec.completion = clock.now();
-        rec.deadline_missed = true;
-        rec.dropped = true;
-        return rec;
+      if (clock.now() + base + decode_full > j.deadline) {
+        bool admitted = false;
+        const unsigned lm = config.phy.max_iterations;
+        if (config.resilience.enable_degradation && lm > 1) {
+          const unsigned lmin =
+              std::min(config.resilience.min_turbo_iterations, lm);
+          // Decode cost is ~linear in the iteration count (Eq. (1)); the
+          // EWMA estimate tracks full-quality (Lm) decodes, so a cap of L
+          // scales it by L / Lm.
+          for (unsigned cap = lm - 1; cap >= lmin; --cap) {
+            const Duration est =
+                base + decode_full * static_cast<Duration>(cap) /
+                           static_cast<Duration>(lm);
+            if (clock.now() + est <= j.deadline) {
+              job.iteration_cap = cap;
+              rec.degrade = cap <= lmin ? DegradeLevel::kMinimalIterations
+                                        : DegradeLevel::kReducedIterations;
+              admitted = true;
+              break;
+            }
+            if (cap == lmin) break;
+          }
+        }
+        if (!admitted) {
+          rec.completion = clock.now();
+          rec.deadline_missed = true;
+          rec.dropped = true;
+          return rec;
+        }
       }
     }
 
@@ -302,14 +440,35 @@ struct NodeRuntime::Impl {
     const phy::UplinkRxResult result = rx->finalize(job);
     TimePoint t3 = clock.now();
     rec.timing.decode = t3 - t2;
-    update_estimate(decode_subtask_est_ns,
-                    rec.timing.decode / static_cast<Duration>(dec_n));
+    // A capped decode is cheaper than a full-quality one; feeding it into
+    // the EWMA would bias the full-quality estimate downward and admit
+    // subframes that then miss.
+    if (job.iteration_cap == 0)
+      update_estimate(decode_subtask_est_ns,
+                      rec.timing.decode / static_cast<Duration>(dec_n));
 
     rec.completion = t3;
     rec.crc_ok = result.crc_ok;
     rec.iterations = result.iterations;
     rec.deadline_missed = rec.completion > j.deadline;
     return rec;
+  }
+
+  /// Kill switch (fault injection): a worker that reads true parks for the
+  /// rest of the run. It marks itself parked *before* it stops servicing
+  /// anything, never abandons a claimed subtask (the check sits between
+  /// jobs and between hosted subtasks), and keeps the thread joinable.
+  bool should_die(unsigned id) {
+    const fault::Hooks* h = fault::active();
+    return h && h->kill_worker && h->kill_worker(id);
+  }
+
+  void park(unsigned id) {
+    WorkerState& self = *workers[id];
+    self.parked.store(true, std::memory_order_release);
+    table.set(id, CoreActivity::kActive, 0);
+    while (running.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 
   // Worker body for partitioned/global modes: block on the queue.
@@ -324,15 +483,26 @@ struct NodeRuntime::Impl {
     auto& cv = global ? global_cv : self.cv;
     auto& queue = global ? global_queue : self.queue;
     for (;;) {
+      if (should_die(id)) return park(id);
       Job j;
       {
         std::unique_lock lock(mu);
-        cv.wait(lock, [&] { return !queue.empty() || !running.load(); });
-        if (queue.empty()) return;
+        // Wake at least once per watchdog period so the kill switch is
+        // polled even when this worker's queue stays empty.
+        cv.wait_for(lock, std::chrono::milliseconds(5),
+                    [&] { return !queue.empty() || !running.load(); });
+        // The queue may be empty on a spurious wake, at shutdown, or after
+        // the watchdog requeued this worker's jobs elsewhere.
+        if (queue.empty()) {
+          if (!running.load()) return;
+          continue;
+        }
         j = queue.front();
         queue.pop_front();
       }
+      self.heartbeat.fetch_add(1, std::memory_order_relaxed);
       self.records.push_back(process_job(id, job, j, /*migrate=*/false));
+      if (!global) self.pending.fetch_sub(1, std::memory_order_acq_rel);
     }
   }
 
@@ -344,15 +514,26 @@ struct NodeRuntime::Impl {
     WorkerState& self = *workers[id];
     phy::UplinkRxJob job = rx->make_job();
     for (;;) {
+      if (should_die(id)) return park(id);
+      self.heartbeat.fetch_add(1, std::memory_order_relaxed);
       if (self.pending.load(std::memory_order_acquire) > 0) {
         Job j;
+        bool got = false;
         {
           std::lock_guard lock(self.mu);
-          j = self.queue.front();
-          self.queue.pop_front();
+          // Empty despite pending > 0 when the watchdog just requeued this
+          // worker's jobs elsewhere (it decrements pending under the lock,
+          // but this thread may have read the counter before that).
+          if (!self.queue.empty()) {
+            j = self.queue.front();
+            self.queue.pop_front();
+            got = true;
+          }
         }
-        self.pending.fetch_sub(1, std::memory_order_acq_rel);
-        self.records.push_back(process_job(id, job, j, /*migrate=*/true));
+        if (got) {
+          self.pending.fetch_sub(1, std::memory_order_acq_rel);
+          self.records.push_back(process_job(id, job, j, /*migrate=*/true));
+        }
         continue;
       }
       if (!running.load(std::memory_order_acquire)) return;
@@ -370,8 +551,14 @@ struct NodeRuntime::Impl {
       if (self.mailbox.try_take(chunk)) {
         table.set(id, CoreActivity::kHosting, 0);
         for (;;) {
-          // Preemption check between subtasks.
+          // Preemption and kill checks between subtasks — a killed host
+          // finishes the subtask it claimed before parking, so it never
+          // strands a claimed-but-incomplete index.
           if (self.pending.load(std::memory_order_acquire) > 0) break;
+          if (should_die(id)) {
+            self.mailbox.release();
+            return park(id);
+          }
           if (const fault::Hooks* h = fault::active();
               h && h->host_subtask && !h->host_subtask(id))
             break;
@@ -379,7 +566,10 @@ struct NodeRuntime::Impl {
               chunk.next_index->fetch_add(1, std::memory_order_acq_rel);
           if (i >= chunk.first + chunk.count) break;
           chunk.run_subtask(i);
+          if (chunk.done)
+            chunk.done[i - chunk.first].store(1, std::memory_order_release);
           chunk.completed->fetch_add(1, std::memory_order_acq_rel);
+          self.heartbeat.fetch_add(1, std::memory_order_relaxed);
         }
         self.mailbox.release();
         continue;
@@ -399,11 +589,24 @@ struct NodeRuntime::Impl {
       global_cv.notify_one();
       return;
     }
-    WorkerState& w = *workers[partitioned_worker(j.bs, j.index)];
+    const unsigned wid = slots[j.bs][j.index % config.cores_per_bs];
+    WorkerState& w = *workers[wid];
+    // A push to a caught-up worker restarts its stall timer: the watchdog
+    // must measure "queued work with no progress" from the moment the work
+    // arrived, not from its last (sparse, once-per-tick) observation —
+    // otherwise idle time between checks counts as stall time, and a
+    // survivor handed a requeued orphan can be declared dead in the very
+    // watchdog pass that failed over the real stall. Ticker thread owns
+    // both push_job and last_progress, so no synchronization is needed.
+    if (w.pending.load(std::memory_order_acquire) <= 0)
+      last_progress[wid] = clock.now();
     {
       std::lock_guard lock(w.mu);
       w.queue.push_back(j);
       // Predict this worker's following own arrival (one stride later).
+      // After a repartition the worker may own extra slots and the stride
+      // is only an upper bound on its idle window — a conservative horizon
+      // under-migrates, it never corrupts.
       w.next_own_arrival.store(
           j.arrival + static_cast<Duration>(config.cores_per_bs) *
                           config.subframe_period,
@@ -411,6 +614,72 @@ struct NodeRuntime::Impl {
     }
     w.pending.fetch_add(1, std::memory_order_acq_rel);
     w.cv.notify_one();
+  }
+
+  // ---- watchdog (ticker thread) -----------------------------------------
+
+  /// Declares `id` dead, rebuilds the partition table without it and
+  /// requeues its stranded jobs onto the survivors.
+  void fail_over(unsigned id) {
+    WorkerState& w = *workers[id];
+    w.dead.store(true, std::memory_order_release);
+    // Never a migration target again: pin its table entry to active.
+    table.set(id, CoreActivity::kActive, 0);
+    ++res_failovers;
+
+    std::vector<unsigned> survivors;
+    for (unsigned k = 0; k < workers.size(); ++k)
+      if (!workers[k]->dead.load(std::memory_order_acquire))
+        survivors.push_back(k);
+    if (survivors.empty()) return;  // nothing left to repartition onto
+
+    // Reassign every slot the dead worker owned, round-robin across the
+    // survivors (preferring the dead worker's own basestation peers first
+    // simply by survivor order).
+    std::size_t rr = 0;
+    for (auto& per_bs : slots)
+      for (auto& slot : per_bs)
+        if (slot == id) slot = survivors[rr++ % survivors.size()];
+    ++res_repartitions;
+
+    // Drain the dead worker's queue and re-push through the new table.
+    // Holding its mutex here is what makes the counter adjustment safe
+    // against the (possibly still live) worker's own pop.
+    std::deque<Job> orphans;
+    {
+      std::lock_guard lock(w.mu);
+      orphans.swap(w.queue);
+      w.pending.fetch_sub(static_cast<int>(orphans.size()),
+                          std::memory_order_acq_rel);
+    }
+    for (const Job& j : orphans) {
+      push_job(j);
+      ++res_requeued;
+    }
+  }
+
+  /// Stall detection: a worker whose heartbeat has not advanced across one
+  /// whole watchdog_timeout while it had queued work is declared dead. A
+  /// worker blocked with an empty queue is idle, not dead; one slowly
+  /// grinding through jobs heartbeats per job, so the timeout must exceed
+  /// the worst single-job latency (it defaults to 10x a typical decode).
+  void check_watchdog(TimePoint now) {
+    if (!config.resilience.enable_watchdog ||
+        config.mode == RuntimeMode::kGlobal || workers.size() < 2)
+      return;
+    for (unsigned k = 0; k < workers.size(); ++k) {
+      WorkerState& w = *workers[k];
+      if (w.dead.load(std::memory_order_acquire)) continue;
+      const std::uint64_t hb = w.heartbeat.load(std::memory_order_relaxed);
+      if (hb != last_heartbeat[k] ||
+          w.pending.load(std::memory_order_acquire) <= 0) {
+        last_heartbeat[k] = hb;
+        last_progress[k] = now;
+        continue;
+      }
+      if (now - last_progress[k] >= config.resilience.watchdog_timeout)
+        fail_over(k);
+    }
   }
 };
 
@@ -432,6 +701,26 @@ NodeRuntime::NodeRuntime(const RuntimeConfig& config) {
   for (const unsigned mcs : config.mcs_cycle)
     if (mcs > phy::kMaxMcs)
       throw std::invalid_argument("NodeRuntime: mcs_cycle entry > 27");
+  // A zero or negative estimate seed would admit every subframe (or divide
+  // the migration planner's chunk sizing by zero downstream).
+  if (config.initial_fft_subtask_est <= 0 ||
+      config.initial_decode_subtask_est <= 0 || config.initial_demod_est <= 0)
+    throw std::invalid_argument(
+        "NodeRuntime: planning estimate seeds must be positive");
+  const ResilienceConfig& res = config.resilience;
+  if (res.enable_watchdog && res.watchdog_timeout <= 0)
+    throw std::invalid_argument(
+        "NodeRuntime: non-positive watchdog_timeout");
+  if (res.enable_degradation &&
+      (res.min_turbo_iterations == 0 ||
+       res.min_turbo_iterations >= config.phy.max_iterations))
+    throw std::invalid_argument(
+        "NodeRuntime: min_turbo_iterations must be in [1, Lm)");
+  if (res.completion_flag_timeout < 0)
+    throw std::invalid_argument(
+        "NodeRuntime: negative completion_flag_timeout");
+  // Fronthaul fault params are validated by the model's own constructor
+  // (inside Impl); anything invalid throws std::invalid_argument there.
   impl_ = std::make_unique<Impl>(config);
 }
 
@@ -457,6 +746,10 @@ RuntimeReport NodeRuntime::run() {
   }
 
   // Transport ticker: one tick per subframe period, all basestations.
+  // The fronthaul fault stream is independent of the payload RNG so that
+  // enabling faults does not perturb the generated waveforms.
+  Rng fault_rng(cfg.seed ^ 0x9e3779b97f4a7c15ULL);
+  const bool faults = cfg.resilience.fronthaul_faults.enabled();
   for (std::uint32_t j = 0; j < cfg.subframes_per_bs; ++j) {
     const TimePoint radio_time =
         static_cast<TimePoint>(j) * cfg.subframe_period;
@@ -465,19 +758,38 @@ RuntimeReport NodeRuntime::run() {
     const TimePoint pre = arrival - microseconds(200);
     while (im.clock.now() < pre)
       std::this_thread::sleep_for(std::chrono::microseconds(100));
+    im.check_watchdog(im.clock.now());
     // Per-basestation jittered arrivals (fault injection); without a hook
     // every basestation arrives at the nominal instant in one batch.
     std::vector<std::pair<TimePoint, unsigned>> deliveries;
     deliveries.reserve(cfg.num_basestations);
     for (unsigned bs = 0; bs < cfg.num_basestations; ++bs) {
       TimePoint at = arrival;
+      if (faults) {
+        const transport::FronthaulFault f = im.fault_model.sample(fault_rng);
+        if (f.lost) {
+          // The subframe never reaches the node: record it directly and
+          // free the slot instead of parking a job a worker would block on.
+          SubframeRecord rec;
+          rec.bs = bs;
+          rec.index = j;
+          rec.mcs = cfg.mcs_cycle[(j + bs) % cfg.mcs_cycle.size()];
+          rec.radio_time = radio_time;
+          rec.lost = true;
+          im.lost_records.push_back(rec);
+          continue;
+        }
+        at += f.extra_delay;
+      }
       if (const fault::Hooks* h = fault::active(); h && h->transport_jitter)
         at += std::max<Duration>(0, h->transport_jitter(bs, j));
       deliveries.emplace_back(at, bs);
     }
     std::sort(deliveries.begin(), deliveries.end());
     for (const auto& [at, bs] : deliveries) {
-      im.clock.spin_until(at);
+      // Cap the wait on a late delivery at one tick so the ticker never
+      // falls behind the schedule; the job's recorded arrival stays `at`.
+      im.clock.spin_until(std::min(at, arrival + cfg.subframe_period));
       Job job;
       const unsigned mcs =
           cfg.mcs_cycle[(j + bs) % cfg.mcs_cycle.size()];
@@ -503,8 +815,10 @@ RuntimeReport NodeRuntime::run() {
     }
     return true;
   };
-  while (!queues_empty())
+  while (!queues_empty()) {
+    im.check_watchdog(im.clock.now());
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
   im.running.store(false);
   im.global_cv.notify_all();
@@ -515,16 +829,36 @@ RuntimeReport NodeRuntime::run() {
   for (const auto& w : im.workers)
     report.records.insert(report.records.end(), w->records.begin(),
                           w->records.end());
+  report.records.insert(report.records.end(), im.lost_records.begin(),
+                        im.lost_records.end());
   std::sort(report.records.begin(), report.records.end(),
             [](const SubframeRecord& a, const SubframeRecord& b) {
               if (a.radio_time != b.radio_time) return a.radio_time < b.radio_time;
               return a.bs < b.bs;
             });
+  ResilienceMetrics& res = report.resilience;
   for (const auto& r : report.records) {
     if (r.deadline_missed) ++report.deadline_misses;
     if (r.dropped) ++report.dropped;
-    if (!r.dropped && !r.crc_ok) ++report.crc_failures;
+    if (r.lost) ++res.lost_subframes;
+    if (r.late_arrival) ++res.late_arrivals;
+    res.degrade_histogram[static_cast<unsigned>(r.degrade)] +=
+        !r.lost && !r.dropped && !r.late_arrival;
+    if (r.degrade != DegradeLevel::kNone) {
+      ++res.degraded;
+      if (!r.crc_ok) ++res.degraded_decode_failures;
+    }
+    // CRC failures count ordinary decode failures only: subframes that
+    // were actually decoded at full quality. Lost/late subframes were
+    // never decoded; degraded failures are accounted above.
+    if (!r.dropped && !r.lost && !r.late_arrival &&
+        r.degrade == DegradeLevel::kNone && !r.crc_ok)
+      ++report.crc_failures;
   }
+  res.failovers = im.res_failovers;
+  res.repartitions = im.res_repartitions;
+  res.requeued_jobs = im.res_requeued;
+  res.flag_timeouts = im.flag_timeouts.load();
   report.migrations = im.migrations.load();
   report.recoveries = im.recoveries.load();
   return report;

@@ -20,12 +20,40 @@
 #include <memory>
 #include <vector>
 
+#include "common/resilience.hpp"
 #include "common/time_types.hpp"
 #include "phy/uplink_rx.hpp"
+#include "transport/transport.hpp"
 
 namespace rtopex::runtime {
 
 enum class RuntimeMode { kPartitioned, kGlobal, kRtOpex };
+
+/// Degraded-mode and failure-handling knobs. All default to off so existing
+/// configurations behave exactly as before.
+struct ResilienceConfig {
+  /// Ticker-side watchdog: a worker with queued work whose heartbeat has not
+  /// advanced for `watchdog_timeout` is declared dead; its basestation slots
+  /// are repartitioned round-robin across the survivors and its queued jobs
+  /// requeued. Requires >= 2 workers to do anything.
+  bool enable_watchdog = false;
+  Duration watchdog_timeout = milliseconds(20);
+
+  /// Graceful degradation: when the full-quality slack check fails, retry
+  /// the estimate with the turbo-iteration cap shrunk (down to
+  /// `min_turbo_iterations`) before dropping the subframe.
+  bool enable_degradation = false;
+  unsigned min_turbo_iterations = 1;
+
+  /// Bound on the migration-recovery completion-flag wait. Zero means wait
+  /// forever (the pre-resilience behaviour). On expiry the migrator checks
+  /// whether the hosting worker died and, if so, re-executes the unfinished
+  /// subtasks itself.
+  Duration completion_flag_timeout = 0;
+
+  /// Fronthaul loss / late-delivery process applied by the ticker.
+  transport::FronthaulFaultParams fronthaul_faults;
+};
 
 /// Validated by the NodeRuntime constructor: at least one basestation,
 /// subframe and worker core; a non-empty `mcs_cycle` of valid MCS indices;
@@ -49,6 +77,12 @@ struct RuntimeConfig {
   std::vector<unsigned> mcs_cycle = {4, 16, 27};
 
   phy::UplinkConfig phy;          ///< antennas, bandwidth, Lm.
+  /// Initial planning-model estimates, EWMA-updated from the first job on.
+  /// The paper's testbed seeds these from offline WCET profiling; deploys
+  /// on different hardware should calibrate them (all must be positive).
+  Duration initial_fft_subtask_est = microseconds(50);
+  Duration initial_decode_subtask_est = microseconds(500);
+  Duration initial_demod_est = microseconds(500);
   /// Slack-check dropping (paper §4.1): before each task, compare the
   /// EWMA-estimated execution time with the remaining slack and drop the
   /// subframe when it cannot fit. Disabled configs only record misses.
@@ -56,6 +90,8 @@ struct RuntimeConfig {
   bool pin_threads = false;       ///< attempt CPU affinity (best effort).
   bool try_fifo_priority = false; ///< attempt SCHED_FIFO (best effort).
   std::uint64_t seed = 1;
+
+  ResilienceConfig resilience;
 };
 
 struct StageTiming {
@@ -79,6 +115,9 @@ struct SubframeRecord {
   unsigned iterations = 0;
   bool deadline_missed = false;
   bool dropped = false;  ///< rejected by a slack check; never decoded.
+  bool lost = false;          ///< fronthaul loss: never reached the node.
+  bool late_arrival = false;  ///< arrived after its deadline had passed.
+  DegradeLevel degrade = DegradeLevel::kNone;
   StageTiming timing;
 };
 
@@ -89,6 +128,7 @@ struct RuntimeReport {
   std::size_t crc_failures = 0;  ///< decode failures among processed subframes.
   std::size_t migrations = 0;  ///< migrated subtasks (fft + decode).
   std::size_t recoveries = 0;
+  ResilienceMetrics resilience;
 };
 
 class NodeRuntime {

@@ -19,6 +19,10 @@ sim::SchedulerMetrics GlobalScheduler::run(
   sim::SchedulerMetrics metrics;
   metrics.per_bs.resize(num_basestations_);
 
+  const auto filtered = filter_faulted(work, metrics);
+  const std::span<const sim::SubframeWork> active =
+      filtered ? std::span<const sim::SubframeWork>(*filtered) : work;
+
   // Pending queue keyed by the dispatch order (EDF: deadline; FIFO:
   // arrival), with the insertion sequence as tie-break.
   const bool edf = config_.order == DispatchOrder::kEdf;
@@ -54,9 +58,9 @@ sim::SchedulerMetrics GlobalScheduler::run(
 
   std::size_t next = 0;
   std::size_t seq = 0;
-  while (next < work.size() || !pending.empty()) {
+  while (next < active.size() || !pending.empty()) {
     if (pending.empty()) {
-      pending.insert({key_of(work[next], seq++), &work[next]});
+      pending.insert({key_of(active[next], seq++), &active[next]});
       ++next;
     }
     // The earliest-free core serves the queue head; any subframe arriving
@@ -64,8 +68,8 @@ sim::SchedulerMetrics GlobalScheduler::run(
     const TimePoint head_arrival = pending.begin()->second->arrival;
     const unsigned core_id = choose_core(head_arrival);
     const TimePoint t0 = std::max(free_at[core_id], head_arrival);
-    while (next < work.size() && work[next].arrival <= t0) {
-      pending.insert({key_of(work[next], seq++), &work[next]});
+    while (next < active.size() && active[next].arrival <= t0) {
+      pending.insert({key_of(active[next], seq++), &active[next]});
       ++next;
     }
     const sim::SubframeWork& w = *pending.begin()->second;
@@ -81,7 +85,8 @@ sim::SchedulerMetrics GlobalScheduler::run(
     const Duration penalty =
         last_bs[core_id] == static_cast<int>(w.bs) ? 0 : config_.switch_penalty;
 
-    const SerialOutcome o = execute_serial(w, start, penalty, config_.admission);
+    const SerialOutcome o = execute_serial(w, start, penalty,
+                                           config_.admission, config_.degrade);
     last_bs[core_id] = static_cast<int>(w.bs);
     used[core_id] = true;
     free_at[core_id] = o.end;
@@ -90,6 +95,7 @@ sim::SchedulerMetrics GlobalScheduler::run(
 
     ++metrics.total_subframes;
     ++metrics.per_bs[w.bs].subframes;
+    account_degrade(o, metrics);
     if (o.miss) {
       ++metrics.deadline_misses;
       ++metrics.per_bs[w.bs].misses;

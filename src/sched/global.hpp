@@ -34,6 +34,8 @@ struct GlobalConfig {
   /// random (seeded here); this is what makes cache-switch frequency grow
   /// with core count (paper Fig. 19).
   std::uint64_t selection_seed = 0x9e3779b9;
+  /// Graceful degradation on a failed decode slack check.
+  DegradeConfig degrade;
 };
 
 class GlobalScheduler final : public NodeScheduler {

@@ -29,7 +29,11 @@ sim::SchedulerMetrics PartitionedScheduler::run(
   std::vector<TimePoint> free_at(num_cores(), 0);
   std::vector<bool> used(num_cores(), false);
 
-  for (const auto& w : work) {
+  const auto filtered = filter_faulted(work, metrics);
+  const std::span<const sim::SubframeWork> active =
+      filtered ? std::span<const sim::SubframeWork>(*filtered) : work;
+
+  for (const auto& w : active) {
     if (w.bs >= num_basestations_)
       throw std::invalid_argument("run: basestation id out of range");
     const unsigned core = core_of(w.bs, w.index);
@@ -37,7 +41,8 @@ sim::SchedulerMetrics PartitionedScheduler::run(
     if (used[core] && start > free_at[core])
       metrics.gap_us.push_back(to_us(start - free_at[core]));
 
-    const SerialOutcome o = execute_serial(w, start, 0, config_.admission);
+    const SerialOutcome o =
+        execute_serial(w, start, 0, config_.admission, config_.degrade);
     free_at[core] = o.end;
     used[core] = true;
     if (config_.record_timeline)
@@ -45,6 +50,7 @@ sim::SchedulerMetrics PartitionedScheduler::run(
 
     ++metrics.total_subframes;
     ++metrics.per_bs[w.bs].subframes;
+    account_degrade(o, metrics);
     if (o.miss) {
       ++metrics.deadline_misses;
       ++metrics.per_bs[w.bs].misses;

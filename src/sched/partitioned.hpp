@@ -15,6 +15,8 @@ struct PartitionedConfig {
   AdmissionPolicy admission = AdmissionPolicy::kWcet;
   /// Populate SchedulerMetrics::timeline (costs memory on big runs).
   bool record_timeline = false;
+  /// Graceful degradation on a failed decode slack check.
+  DegradeConfig degrade;
 
   /// Cores per basestation: ceil(Tmax in ms). For the paper's sweep
   /// (RTT/2 in 0.4–0.7 ms) this is always 2.

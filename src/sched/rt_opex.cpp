@@ -41,6 +41,9 @@ RtOpexScheduler::RtOpexScheduler(unsigned num_basestations,
     throw std::invalid_argument("RtOpexScheduler: no basestations");
   if (cfg.rtt_half < 0 || cfg.rtt_half >= kEndToEndBudget)
     throw std::invalid_argument("RtOpexScheduler: invalid rtt_half");
+  for (const auto& f : cfg.core_failures)
+    if (f.core >= num_basestations * cfg.cores_per_bs())
+      throw std::invalid_argument("RtOpexScheduler: core_failure id out of range");
 }
 
 unsigned RtOpexScheduler::core_of(unsigned bs,
@@ -54,13 +57,51 @@ sim::SchedulerMetrics RtOpexScheduler::run(
   sim::SchedulerMetrics metrics;
   metrics.per_bs.resize(num_basestations_);
 
-  std::vector<CoreState> cores(num_cores());
-  for (const auto& w : work) {
-    if (w.bs >= num_basestations_)
+  const auto filtered = filter_faulted(work, metrics);
+  const std::span<const sim::SubframeWork> active =
+      filtered ? std::span<const sim::SubframeWork>(*filtered) : work;
+
+  // Per-core fail-stop instant (kNever: the core never fails).
+  std::vector<TimePoint> fails(num_cores(), kNever);
+  for (const auto& f : config_.core_failures)
+    fails[f.core] = std::min(fails[f.core], f.at);
+
+  // Subframe -> core assignment: the offline partition, then — mirroring
+  // the runtime watchdog — each failure repartitions the dead core's
+  // subframes from its fail instant onward, round-robin across survivors.
+  std::vector<unsigned> assign(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    if (active[i].bs >= num_basestations_)
       throw std::invalid_argument("run: basestation id out of range");
-    cores[core_of(w.bs, w.index)].own.emplace_back(
-        w.radio_time + config_.rtt_half, w.arrival);
+    assign[i] = core_of(active[i].bs, active[i].index);
   }
+  if (!config_.core_failures.empty()) {
+    auto events = config_.core_failures;
+    std::sort(events.begin(), events.end(),
+              [](const auto& a, const auto& b) { return a.at < b.at; });
+    std::size_t rr = 0;
+    for (const auto& ev : events) {
+      std::vector<unsigned> survivors;
+      for (unsigned c = 0; c < num_cores(); ++c)
+        if (fails[c] > ev.at) survivors.push_back(c);
+      if (survivors.empty()) continue;  // no one left to take over
+      ++metrics.resilience.failovers;
+      ++metrics.resilience.repartitions;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (assign[i] != ev.core || active[i].arrival < ev.at) continue;
+        assign[i] = survivors[rr++ % survivors.size()];
+        // Subframes already in flight (radio fired before the failure)
+        // would have sat in the dead core's queue: requeued, not merely
+        // remapped.
+        if (active[i].radio_time < ev.at) ++metrics.resilience.requeued_jobs;
+      }
+    }
+  }
+
+  std::vector<CoreState> cores(num_cores());
+  for (std::size_t i = 0; i < active.size(); ++i)
+    cores[assign[i]].own.emplace_back(
+        active[i].radio_time + config_.rtt_half, active[i].arrival);
 
   // Predicted idle window of core k at time t: until the *nominal* arrival
   // of its next own subframe. Actual preemption happens at the *actual*
@@ -79,6 +120,7 @@ sim::SchedulerMetrics RtOpexScheduler::run(
     std::vector<MigrationCandidate> cands;
     for (unsigned k = 0; k < cores.size(); ++k) {
       if (k == self) continue;
+      if (fails[k] <= t) continue;  // failed cores host nothing
       const CoreState& ck = cores[k];
       if (ck.free_at > t || ck.mig_busy_until > t) continue;
       // A core whose next own subframe has already arrived is (about to be)
@@ -125,7 +167,8 @@ sim::SchedulerMetrics RtOpexScheduler::run(
     unsigned local_count = subtasks;
     for (const auto& chunk : plan.chunks) {
       CoreState& ck = cores[chunk.core];
-      const bool still_available = ck.free_at <= t &&
+      const bool still_available = fails[chunk.core] > t &&
+                                   ck.free_at <= t &&
                                    ck.mig_busy_until <= t &&
                                    actual_preempt(ck) > t;
       if (!still_available) continue;  // failed claim: stays local
@@ -174,8 +217,9 @@ sim::SchedulerMetrics RtOpexScheduler::run(
     return out;
   };
 
-  for (const auto& w : work) {
-    const unsigned self = core_of(w.bs, w.index);
+  for (std::size_t wi = 0; wi < active.size(); ++wi) {
+    const auto& w = active[wi];
+    const unsigned self = assign[wi];
     CoreState& core = cores[self];
     // This subframe must be the core's next own work item.
     if (core.next_own >= core.own.size() ||
@@ -194,6 +238,8 @@ sim::SchedulerMetrics RtOpexScheduler::run(
     bool miss = false;
     bool dropped = false;
     bool terminated = false;
+    DegradeLevel degrade_level = DegradeLevel::kNone;
+    bool degraded_failure = false;
     TimePoint t = start;
 
     // --- FFT stage (deterministic duration; exact slack check) ---
@@ -254,7 +300,22 @@ sim::SchedulerMetrics RtOpexScheduler::run(
                         w.wcet.decode_subtask
               : w.decode_optimistic;
       if (t + admission_estimate > w.deadline) {
-        miss = dropped = true;
+        // Even the post-migration worst case cannot fit: before dropping,
+        // try a serial decode with the iteration cap shrunk (migration
+        // plans assume full-quality subtask times, so the degraded
+        // fallback runs unmigrated).
+        const DegradePlan dplan = plan_degrade(w, t, config_.degrade);
+        if (dplan.cap == 0) {
+          miss = dropped = true;
+        } else {
+          degrade_level = dplan.level;
+          degraded_failure = w.decodable && w.iterations > dplan.cap;
+          t += degraded_decode_time(w, dplan.cap);
+          if (t > w.deadline) {
+            miss = terminated = true;
+            t = w.deadline;
+          }
+        }
       } else {
         metrics.decode_subtasks_total += w.costs.decode_subtasks;
         if (config_.migrate_decode) {
@@ -278,6 +339,15 @@ sim::SchedulerMetrics RtOpexScheduler::run(
     core.free_at = t;
     if (config_.record_timeline)
       metrics.timeline.push_back({w.bs, w.index, self, start, t, miss});
+    if (!dropped) {
+      metrics.resilience
+          .degrade_histogram[static_cast<unsigned>(degrade_level)] += 1;
+      if (degrade_level != DegradeLevel::kNone) {
+        ++metrics.resilience.degraded;
+        if (!miss && degraded_failure)
+          ++metrics.resilience.degraded_decode_failures;
+      }
+    }
     if (miss) {
       ++metrics.deadline_misses;
       ++metrics.per_bs[w.bs].misses;

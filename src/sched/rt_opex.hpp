@@ -43,6 +43,20 @@ struct RtOpexConfig {
   bool enable_recovery = true;
   /// Populate SchedulerMetrics::timeline (costs memory on big runs).
   bool record_timeline = false;
+  /// Graceful degradation: when the post-migration WCET slack check fails,
+  /// fall back to a serial decode with the iteration cap shrunk before
+  /// dropping the subframe.
+  DegradeConfig degrade;
+  /// Injected fail-stop core failures: from `at` onward the core takes no
+  /// new subframes (its slots are repartitioned round-robin across the
+  /// survivors, mirroring the runtime watchdog) and it is never a migration
+  /// target. A subframe already started finishes — failure is detected
+  /// between jobs, like the runtime's kill semantics.
+  struct CoreFailure {
+    unsigned core = 0;
+    TimePoint at = 0;
+  };
+  std::vector<CoreFailure> core_failures;
 
   unsigned cores_per_bs() const {
     const Duration tmax = kEndToEndBudget - rtt_half;

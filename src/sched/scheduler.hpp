@@ -10,8 +10,11 @@
 //    task is terminated at the deadline (deadline miss), freeing the core.
 #pragma once
 
+#include <optional>
 #include <span>
+#include <vector>
 
+#include "common/resilience.hpp"
 #include "sim/metrics.hpp"
 #include "sim/workload.hpp"
 
@@ -48,5 +51,39 @@ class NodeScheduler {
 /// The decode-time prediction the slack check uses under a policy.
 Duration decode_admission_estimate(const sim::SubframeWork& w,
                                    AdmissionPolicy policy);
+
+/// Graceful-degradation knobs, shared by every policy: when the decode
+/// slack check fails at full quality, retry with the turbo-iteration cap
+/// shrunk (down to min_iterations) before dropping the subframe.
+struct DegradeConfig {
+  bool enabled = false;
+  unsigned min_iterations = 1;
+};
+
+/// Classifies fronthaul-faulted subframes (lost / arrived past deadline)
+/// into `metrics` and returns the remaining executable workload. Lost
+/// subframes never occupy a core; a late arrival is a deadline miss of its
+/// own category (late_arrivals), also skipped — by the time it lands the
+/// deadline is gone. Returns nullopt when nothing was filtered (the caller
+/// keeps using the original span: no copy on the clean path).
+std::optional<std::vector<sim::SubframeWork>> filter_faulted(
+    std::span<const sim::SubframeWork> work, sim::SchedulerMetrics& metrics);
+
+/// Degraded-decode planning: the largest iteration cap whose (WCET-model)
+/// estimate fits the deadline from `t`, or cap = 0 when even
+/// min_iterations cannot fit. The model interpolates linearly between the
+/// L = 1 and L = Lm decode estimates (Eq. (1): decode cost ~ linear in L).
+struct DegradePlan {
+  unsigned cap = 0;  ///< 0: drop — even minimal quality cannot fit.
+  DegradeLevel level = DegradeLevel::kNone;
+  Duration estimate = 0;  ///< admission estimate at `cap`.
+};
+DegradePlan plan_degrade(const sim::SubframeWork& w, TimePoint t,
+                         const DegradeConfig& cfg);
+
+/// Actual (jittered) decode duration when capped at `cap` iterations: the
+/// sampled decode cost scaled down to the executed iteration count
+/// min(L, cap) along the model's per-iteration slope.
+Duration degraded_decode_time(const sim::SubframeWork& w, unsigned cap);
 
 }  // namespace rtopex::sched

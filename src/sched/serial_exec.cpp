@@ -1,5 +1,7 @@
 #include "sched/serial_exec.hpp"
 
+#include <algorithm>
+
 #include "sched/scheduler.hpp"
 
 namespace rtopex::sched {
@@ -10,9 +12,84 @@ Duration decode_admission_estimate(const sim::SubframeWork& w,
                                           : w.decode_optimistic;
 }
 
+namespace {
+
+/// Model-predicted (jitter-free) full decode duration at `l` iterations:
+/// linear interpolation between the L = 1 and L = Lm bounds.
+Duration model_decode(const sim::SubframeWork& w, unsigned l) {
+  if (w.lm <= 1) return w.wcet.decode;
+  const Duration slope =
+      (w.wcet.decode - w.decode_optimistic) / static_cast<Duration>(w.lm - 1);
+  return w.decode_optimistic + static_cast<Duration>(l - 1) * slope;
+}
+
+}  // namespace
+
+std::optional<std::vector<sim::SubframeWork>> filter_faulted(
+    std::span<const sim::SubframeWork> work, sim::SchedulerMetrics& metrics) {
+  bool any = false;
+  for (const auto& w : work)
+    if (w.lost || w.arrival > w.deadline) {
+      any = true;
+      break;
+    }
+  if (!any) return std::nullopt;
+  std::vector<sim::SubframeWork> rest;
+  rest.reserve(work.size());
+  for (const auto& w : work) {
+    if (!w.lost && w.arrival <= w.deadline) {
+      rest.push_back(w);
+      continue;
+    }
+    ++metrics.total_subframes;
+    if (w.bs < metrics.per_bs.size()) ++metrics.per_bs[w.bs].subframes;
+    if (w.lost) {
+      ++metrics.resilience.lost_subframes;
+      continue;  // never arrived: not a processing miss
+    }
+    ++metrics.resilience.late_arrivals;
+    ++metrics.deadline_misses;
+    if (w.bs < metrics.per_bs.size()) ++metrics.per_bs[w.bs].misses;
+  }
+  return rest;
+}
+
+DegradePlan plan_degrade(const sim::SubframeWork& w, TimePoint t,
+                         const DegradeConfig& cfg) {
+  DegradePlan plan;
+  if (!cfg.enabled || w.lm <= 1) return plan;
+  const unsigned lmin = std::max(1u, std::min(cfg.min_iterations, w.lm - 1));
+  for (unsigned cap = w.lm - 1; cap >= lmin; --cap) {
+    const Duration est = model_decode(w, cap);
+    if (t + est <= w.deadline) {
+      plan.cap = cap;
+      plan.level = cap <= lmin ? DegradeLevel::kMinimalIterations
+                               : DegradeLevel::kReducedIterations;
+      plan.estimate = est;
+      return plan;
+    }
+    if (cap == lmin) break;
+  }
+  return plan;
+}
+
+Duration degraded_decode_time(const sim::SubframeWork& w, unsigned cap) {
+  const unsigned executed = std::min(w.iterations, cap);
+  // Scale the sampled (jittered) cost to the executed iteration count
+  // along the model slope: jitter multiplies the whole decode, so the
+  // ratio of model predictions carries it.
+  const Duration predicted = model_decode(w, w.iterations);
+  if (predicted <= 0) return w.costs.decode;
+  return static_cast<Duration>(
+      static_cast<double>(w.costs.decode) *
+      static_cast<double>(model_decode(w, executed)) /
+      static_cast<double>(predicted));
+}
+
 SerialOutcome execute_serial(const sim::SubframeWork& w, TimePoint start,
                              Duration entry_penalty,
-                             AdmissionPolicy admission) {
+                             AdmissionPolicy admission,
+                             const DegradeConfig& degrade) {
   SerialOutcome out;
   TimePoint t = start;
 
@@ -34,13 +111,22 @@ SerialOutcome execute_serial(const sim::SubframeWork& w, TimePoint start,
   t += w.costs.demod;
 
   // Decode: admission per policy (WCET by default), then actual execution
-  // with termination at the deadline.
+  // with termination at the deadline. A failed full-quality check first
+  // tries shrinking the iteration cap (graceful degradation) and only
+  // drops when even the minimal-quality estimate cannot fit.
+  Duration decode_time = w.costs.decode;
   if (t + decode_admission_estimate(w, admission) > w.deadline) {
-    out.end = t;
-    out.miss = out.dropped = true;
-    return out;
+    const DegradePlan plan = plan_degrade(w, t, degrade);
+    if (plan.cap == 0) {
+      out.end = t;
+      out.miss = out.dropped = true;
+      return out;
+    }
+    out.degrade = plan.level;
+    out.degraded_failure = w.decodable && w.iterations > plan.cap;
+    decode_time = degraded_decode_time(w, plan.cap);
   }
-  t += w.costs.decode;
+  t += decode_time;
   if (t > w.deadline) {
     out.end = w.deadline;
     out.miss = out.terminated = true;

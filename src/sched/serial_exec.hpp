@@ -13,13 +13,33 @@ struct SerialOutcome {
   bool dropped = false;    ///< rejected by a slack check (no decode ran).
   bool terminated = false; ///< killed mid-execution at the deadline.
   bool completed = false;  ///< all stages ran to completion in time.
+  /// Quality level the decode ran at (degradation enabled only).
+  DegradeLevel degrade = DegradeLevel::kNone;
+  /// Decodable subframe that NACKed *because* of the iteration cap.
+  bool degraded_failure = false;
 };
 
 /// Runs FFT -> demod -> decode serially from `start`. `entry_penalty` models
 /// extra per-dispatch cost (e.g. the global scheduler's cache-refill after a
-/// basestation switch); it is charged before the FFT stage.
+/// basestation switch); it is charged before the FFT stage. With
+/// `degrade.enabled`, a failed decode slack check shrinks the iteration cap
+/// before dropping.
 SerialOutcome execute_serial(const sim::SubframeWork& w, TimePoint start,
                              Duration entry_penalty = 0,
-                             AdmissionPolicy admission = AdmissionPolicy::kWcet);
+                             AdmissionPolicy admission = AdmissionPolicy::kWcet,
+                             const DegradeConfig& degrade = {});
+
+/// Folds one outcome's degradation fields into the metrics (histogram over
+/// executed subframes; capped-decode NACKs counted apart from ordinary
+/// decode failures).
+inline void account_degrade(const SerialOutcome& o,
+                            sim::SchedulerMetrics& metrics) {
+  if (o.dropped) return;
+  metrics.resilience.degrade_histogram[static_cast<unsigned>(o.degrade)] += 1;
+  if (o.degrade == DegradeLevel::kNone) return;
+  ++metrics.resilience.degraded;
+  if (o.completed && o.degraded_failure)
+    ++metrics.resilience.degraded_decode_failures;
+}
 
 }  // namespace rtopex::sched

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/resilience.hpp"
 #include "common/time_types.hpp"
 
 namespace rtopex::sim {
@@ -22,6 +23,10 @@ struct SchedulerMetrics {
   std::size_t terminated = 0;        ///< killed mid-execution at the deadline.
   std::size_t decode_failures = 0;   ///< completed in time but NACK (not a miss).
   std::vector<BsCounters> per_bs;
+
+  /// Failure-handling counters (fronthaul faults, core failures, graceful
+  /// degradation) — all zero unless the matching config knobs are enabled.
+  ResilienceMetrics resilience;
 
   // Idle gaps between consecutive executions on a core (us).
   std::vector<double> gap_us;

@@ -19,6 +19,8 @@ WorkloadGenerator::WorkloadGenerator(
     throw std::invalid_argument("WorkloadGenerator: empty workload");
   if (config.fixed_mcs > static_cast<int>(phy::kMaxMcs))
     throw std::invalid_argument("WorkloadGenerator: fixed_mcs > 27");
+  // Validate the fault params up front (throws std::invalid_argument).
+  transport::FronthaulFaultModel(config.fronthaul_faults);
 }
 
 std::vector<SubframeWork> WorkloadGenerator::generate() const {
@@ -44,6 +46,12 @@ std::vector<SubframeWork> WorkloadGenerator::generate() const {
     const model::TaskCostModel cost_model(
         timing_, config_.num_antennas, phy::bandwidth_config(bw).num_prb);
     Rng rng = master.split();
+    // Independent fault stream: the cost/iteration samples of a faulty run
+    // match its clean twin exactly.
+    const transport::FronthaulFaultModel fault_model(
+        config_.fronthaul_faults);
+    const bool faults = config_.fronthaul_faults.enabled();
+    Rng fault_rng(config_.seed ^ (0x9e3779b97f4a7c15ULL + bs));
     trace::LoadTrace trace;
     if (config_.fixed_mcs < 0) {
       if (!file_traces.empty()) {
@@ -72,7 +80,15 @@ std::vector<SubframeWork> WorkloadGenerator::generate() const {
       const auto outcome = iteration_model_.sample(
           w.mcs, config_.snr_db, config_.max_iterations, rng);
       w.iterations = outcome.iterations;
+      w.lm = config_.max_iterations;
       w.decodable = outcome.decoded;
+      if (faults) {
+        const transport::FronthaulFault f = fault_model.sample(fault_rng);
+        if (f.lost)
+          w.lost = true;
+        else
+          w.arrival += f.extra_delay;
+      }
       w.costs =
           cost_model.costs(w.mcs, w.iterations, error_model_.sample(rng));
       w.wcet = cost_model.costs(w.mcs, config_.max_iterations, 0);

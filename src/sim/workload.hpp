@@ -26,7 +26,12 @@ struct SubframeWork {
   TimePoint deadline = 0;       ///< radio_time + 2 ms (paper Eq. 2).
   unsigned mcs = 0;
   unsigned iterations = 0;      ///< sampled turbo iterations L.
+  unsigned lm = 4;              ///< configured iteration cap Lm.
   bool decodable = true;        ///< CRC outcome if fully processed.
+  /// Fronthaul loss: the subframe never reaches the node. It stays in the
+  /// workload (schedulers must classify it) but is never executed; a lost
+  /// subframe's reserved slot is free for migration.
+  bool lost = false;
   model::SubframeCosts costs;   ///< actual stage/subtask durations.
   /// Model-predicted worst-case costs (L = Lm, no jitter): what a scheduler
   /// can know at admission time (the paper's WCET, §2.1/§3.1.1).
@@ -66,6 +71,11 @@ struct WorkloadConfig {
   /// mean_load_override; ignored when fixed_mcs >= 0.
   std::string trace_csv;
   std::uint64_t seed = 1;
+  /// Fronthaul loss / late-delivery process. Sampled from an RNG stream
+  /// independent of the cost/iteration streams, so enabling faults does not
+  /// perturb the rest of the workload (a faulty run differs from its clean
+  /// twin only in `lost` flags and late arrivals).
+  transport::FronthaulFaultParams fronthaul_faults;
 };
 
 /// Generates the full multi-basestation workload, sorted by arrival time.

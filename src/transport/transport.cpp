@@ -2,8 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace rtopex::transport {
+
+void FronthaulModel::validate() const {
+  if (fiber_km < 0.0)
+    throw std::invalid_argument("FronthaulModel: negative fiber_km");
+  if (switching_overhead < 0)
+    throw std::invalid_argument("FronthaulModel: negative switching_overhead");
+}
 
 CloudNetworkParams cloud_params_1gbe() {
   CloudNetworkParams p;
@@ -17,6 +25,56 @@ CloudNetworkParams cloud_params_10gbe() {
   p.body_mean_us = 140.0;
   p.body_sigma = 0.12;
   return p;
+}
+
+CloudNetworkModel::CloudNetworkModel(const CloudNetworkParams& params)
+    : params_(params) {
+  if (params.body_mean_us <= 0.0)
+    throw std::invalid_argument("CloudNetworkParams: non-positive body_mean_us");
+  if (params.body_sigma < 0.0)
+    throw std::invalid_argument("CloudNetworkParams: negative body_sigma");
+  if (params.tail_prob < 0.0 || params.tail_prob > 1.0)
+    throw std::invalid_argument("CloudNetworkParams: tail_prob outside [0, 1]");
+  if (params.tail_prob > 0.0) {
+    if (params.tail_scale_us <= 0.0)
+      throw std::invalid_argument(
+          "CloudNetworkParams: non-positive tail_scale_us");
+    // Pareto with shape <= 1 has infinite mean: every latency statistic the
+    // schedulers budget from would be meaningless.
+    if (params.tail_shape <= 1.0)
+      throw std::invalid_argument("CloudNetworkParams: tail_shape <= 1");
+  }
+}
+
+FronthaulFaultModel::FronthaulFaultModel(const FronthaulFaultParams& params)
+    : params_(params) {
+  if (params.loss_prob < 0.0 || params.loss_prob > 1.0)
+    throw std::invalid_argument(
+        "FronthaulFaultParams: loss_prob outside [0, 1]");
+  if (params.late_prob < 0.0 || params.late_prob > 1.0)
+    throw std::invalid_argument(
+        "FronthaulFaultParams: late_prob outside [0, 1]");
+  if (params.late_prob > 0.0) {
+    if (params.late_delay_mean <= 0)
+      throw std::invalid_argument(
+          "FronthaulFaultParams: non-positive late_delay_mean");
+    if (params.late_delay_max < params.late_delay_mean)
+      throw std::invalid_argument(
+          "FronthaulFaultParams: late_delay_max < late_delay_mean");
+  }
+}
+
+FronthaulFault FronthaulFaultModel::sample(Rng& rng) const {
+  FronthaulFault f;
+  if (params_.loss_prob > 0.0 && rng.bernoulli(params_.loss_prob)) {
+    f.lost = true;
+    return f;
+  }
+  if (params_.late_prob > 0.0 && rng.bernoulli(params_.late_prob)) {
+    const double us = rng.exponential(to_us(params_.late_delay_mean));
+    f.extra_delay = std::min(params_.late_delay_max, microseconds_f(us));
+  }
+  return f;
 }
 
 Duration CloudNetworkModel::sample_one_way(Rng& rng) const {

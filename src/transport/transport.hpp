@@ -22,6 +22,11 @@ struct FronthaulModel {
   double fiber_km = 20.0;
   Duration switching_overhead = microseconds(25);
 
+  /// Throws std::invalid_argument on nonsense fields (negative fiber_km or
+  /// switching overhead). Called by every model constructor that embeds a
+  /// FronthaulModel; call it yourself when sampling from a bare aggregate.
+  void validate() const;
+
   /// Propagation in fiber is ~5 us/km.
   Duration one_way() const {
     return microseconds_f(fiber_km * 5.0) + switching_overhead;
@@ -44,8 +49,11 @@ CloudNetworkParams cloud_params_10gbe();
 
 class CloudNetworkModel {
  public:
-  explicit CloudNetworkModel(const CloudNetworkParams& params = {})
-      : params_(params) {}
+  /// Throws std::invalid_argument on invalid params: non-positive body mean,
+  /// negative sigma, tail_prob outside [0, 1], non-positive tail scale, or
+  /// tail_shape <= 1 (a Pareto tail with infinite mean would make every
+  /// latency statistic meaningless).
+  explicit CloudNetworkModel(const CloudNetworkParams& params = {});
 
   Duration sample_one_way(Rng& rng) const;
 
@@ -53,6 +61,42 @@ class CloudNetworkModel {
 
  private:
   CloudNetworkParams params_;
+};
+
+/// Fronthaul fault process: per-subframe loss and late delivery, on top of
+/// whatever latency model produces the nominal arrival. A *lost* subframe
+/// never reaches the compute node (the runtime must free the reserved slot
+/// instead of blocking a worker on it); a *late* one arrives with extra
+/// delay and may land past its deadline, in which case it is classified as a
+/// late arrival, not an ordinary processing miss.
+struct FronthaulFaultParams {
+  double loss_prob = 0.0;  ///< P(subframe never arrives).
+  double late_prob = 0.0;  ///< P(extra delivery delay), given not lost.
+  /// Extra delay of a late delivery: exponential with this mean, truncated
+  /// at `late_delay_max`.
+  Duration late_delay_mean = microseconds(300);
+  Duration late_delay_max = milliseconds(5);
+
+  bool enabled() const { return loss_prob > 0.0 || late_prob > 0.0; }
+};
+
+struct FronthaulFault {
+  bool lost = false;
+  Duration extra_delay = 0;  ///< 0 unless the delivery was late.
+};
+
+class FronthaulFaultModel {
+ public:
+  /// Throws std::invalid_argument on probabilities outside [0, 1] or a
+  /// non-positive delay mean/max (when late_prob > 0).
+  explicit FronthaulFaultModel(const FronthaulFaultParams& params = {});
+
+  FronthaulFault sample(Rng& rng) const;
+
+  const FronthaulFaultParams& params() const { return params_; }
+
+ private:
+  FronthaulFaultParams params_;
 };
 
 /// Serialization-based IQ transport latency (Fig. 7): per-radio 1 GbE links
@@ -101,7 +145,9 @@ class CompositeTransport final : public TransportModel {
  public:
   CompositeTransport(const FronthaulModel& fronthaul,
                      const CloudNetworkParams& cloud)
-      : fronthaul_(fronthaul), cloud_(cloud) {}
+      : fronthaul_(fronthaul), cloud_(cloud) {
+    fronthaul_.validate();
+  }
 
   Duration sample_delay(Rng& rng) const override {
     return fronthaul_.one_way() + cloud_.sample_one_way(rng);

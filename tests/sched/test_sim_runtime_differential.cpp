@@ -8,6 +8,7 @@
 // invariants checked on each side.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <set>
 
@@ -201,6 +202,84 @@ TEST(SimRuntimeDifferentialTest, StructuresAgreeUnderOverload) {
   EXPECT_EQ(rt_s.dropped, rt_s.total);  // nothing fits a 1 ms budget here
 
   check_agreement(sim_s, rt_s);
+}
+
+// Faulty differential: fronthaul loss plus one stalled core on both
+// substrates. The classification laws must agree — lost subframes are never
+// deadline misses, every miss is dropped/terminated/late — and each side
+// still terminates every offered subframe exactly once.
+TEST(SimRuntimeDifferentialTest, StructuresAgreeUnderFaults) {
+  constexpr double kLossProb = 0.25;
+
+  sim::WorkloadConfig wc;
+  wc.num_basestations = kBasestations;
+  wc.subframes_per_bs = 64;  // enough to straddle the failure instant
+  wc.seed = 37;
+  wc.fronthaul_faults.loss_prob = kLossProb;
+  const transport::FixedTransport transport(kRttHalf);
+  const sim::WorkloadGenerator gen(wc, transport, model::paper_gpp_model());
+  const auto work = gen.generate();
+
+  sched::RtOpexConfig rc;
+  rc.rtt_half = kRttHalf;
+  rc.core_failures.push_back({0, milliseconds(32)});  // stall core 0 mid-run
+  sched::RtOpexScheduler sched(kBasestations, rc);
+  const auto m = sched.run(work);
+  EXPECT_EQ(m.total_subframes, work.size());
+  EXPECT_GT(m.resilience.lost_subframes, 0u);
+  EXPECT_EQ(m.resilience.failovers, 1u);
+  EXPECT_GE(m.resilience.repartitions, 1u);
+  EXPECT_EQ(m.deadline_misses,
+            m.dropped + m.terminated + m.resilience.late_arrivals);
+  EXPECT_EQ(m.processing_time_us.size(),
+            m.total_subframes - m.deadline_misses -
+                m.resilience.lost_subframes);
+
+  // Runtime twin: same loss probability plus worker 0 killed mid-run and
+  // recovered by the watchdog. The fault RNG streams differ across
+  // substrates, so the counts are compared structurally, not numerically.
+  auto cfg = matched_runtime_config();
+  cfg.subframes_per_bs = 16;
+  cfg.resilience.fronthaul_faults.loss_prob = kLossProb;
+  cfg.resilience.enable_watchdog = true;
+  cfg.resilience.watchdog_timeout = cfg.subframe_period;
+  auto armed = std::make_shared<std::atomic<bool>>(false);
+  runtime::fault::Hooks hooks;
+  hooks.transport_jitter = [armed](unsigned, std::uint32_t index) {
+    if (index >= 8) armed->store(true, std::memory_order_release);
+    return Duration{0};
+  };
+  hooks.kill_worker = [armed](std::size_t worker) {
+    return worker == 0 && armed->load(std::memory_order_acquire);
+  };
+  runtime::fault::ScopedInjection inject(std::move(hooks));
+  runtime::NodeRuntime rt(cfg);
+  const auto report = rt.run();
+
+  const std::size_t offered =
+      static_cast<std::size_t>(kBasestations) * cfg.subframes_per_bs;
+  EXPECT_EQ(report.records.size(), offered);
+  std::set<std::pair<unsigned, std::uint32_t>> seen;
+  std::size_t processed = 0, rt_lost = 0, rt_late = 0, rt_dropped = 0;
+  for (const auto& r : report.records) {
+    EXPECT_TRUE(seen.insert({r.bs, r.index}).second);
+    if (r.lost) {
+      ++rt_lost;
+      EXPECT_FALSE(r.deadline_missed);  // loss is not a miss, as in the sim
+    } else if (r.late_arrival) {
+      ++rt_late;
+      EXPECT_TRUE(r.deadline_missed);
+    } else if (r.dropped) {
+      ++rt_dropped;
+    } else {
+      ++processed;
+    }
+  }
+  EXPECT_EQ(processed + rt_dropped + rt_late + rt_lost, offered);
+  EXPECT_EQ(report.resilience.lost_subframes, rt_lost);
+  EXPECT_GT(rt_lost, 0u);
+  EXPECT_EQ(report.resilience.failovers, 1u);
+  EXPECT_EQ(report.crc_failures, 0u);
 }
 
 // The simulator's RT-OPEX must degrade to the partitioned baseline when

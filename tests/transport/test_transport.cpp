@@ -89,6 +89,132 @@ TEST(TransportModelTest, FixedTransportIsExact) {
   EXPECT_EQ(t.nominal_delay(), microseconds(500));
 }
 
+TEST(FronthaulTest, ValidateRejectsNonsenseFields) {
+  FronthaulModel fh;
+  fh.fiber_km = -1.0;
+  EXPECT_THROW(fh.validate(), std::invalid_argument);
+  fh.fiber_km = 20.0;
+  fh.switching_overhead = -microseconds(1);
+  EXPECT_THROW(fh.validate(), std::invalid_argument);
+  fh.switching_overhead = 0;
+  EXPECT_NO_THROW(fh.validate());
+}
+
+TEST(CloudNetworkTest, ConstructorRejectsInvalidParams) {
+  const auto with = [](auto&& mutate) {
+    CloudNetworkParams p;
+    mutate(p);
+    return p;
+  };
+  EXPECT_THROW(CloudNetworkModel(with([](auto& p) { p.body_mean_us = 0.0; })),
+               std::invalid_argument);
+  EXPECT_THROW(CloudNetworkModel(with([](auto& p) { p.body_sigma = -0.1; })),
+               std::invalid_argument);
+  EXPECT_THROW(CloudNetworkModel(with([](auto& p) { p.tail_prob = -1e-4; })),
+               std::invalid_argument);
+  EXPECT_THROW(CloudNetworkModel(with([](auto& p) { p.tail_prob = 1.5; })),
+               std::invalid_argument);
+  EXPECT_THROW(CloudNetworkModel(with([](auto& p) { p.tail_scale_us = 0.0; })),
+               std::invalid_argument);
+  // Pareto shape <= 1: infinite-mean tail must be rejected.
+  EXPECT_THROW(CloudNetworkModel(with([](auto& p) { p.tail_shape = 1.0; })),
+               std::invalid_argument);
+  // ...but only when a tail exists at all.
+  EXPECT_NO_THROW(CloudNetworkModel(with([](auto& p) {
+    p.tail_prob = 0.0;
+    p.tail_shape = 0.5;
+  })));
+}
+
+TEST(CloudNetworkTest, SamplingIsSeedDeterministic) {
+  const CloudNetworkModel model(cloud_params_10gbe());
+  Rng a(42), b(42), c(43);
+  bool any_diff = false;
+  for (int i = 0; i < 1000; ++i) {
+    const Duration da = model.sample_one_way(a);
+    EXPECT_EQ(da, model.sample_one_way(b));
+    if (da != model.sample_one_way(c)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CloudNetworkTest, EmpiricalTailProbabilityWithinTolerance) {
+  // Inflate the tail so its frequency is measurable, then check the fraction
+  // of samples above a threshold the lognormal body essentially never
+  // reaches (P(body > 280 us) ~ 1e-8 at mean 140, sigma 0.12). A tail draw
+  // adds a Pareto >= 120 us, so most — not all — tail samples cross it.
+  CloudNetworkParams p = cloud_params_10gbe();
+  p.tail_prob = 0.02;
+  const CloudNetworkModel model(p);
+  Rng rng(7);
+  constexpr int kN = 200000;
+  std::size_t above = 0;
+  for (int i = 0; i < kN; ++i)
+    if (model.sample_one_way(rng) > microseconds(280)) ++above;
+  const double frac = static_cast<double>(above) / kN;
+  EXPECT_GT(frac, 0.4 * p.tail_prob);
+  EXPECT_LT(frac, 1.1 * p.tail_prob);
+}
+
+TEST(FronthaulFaultTest, ConstructorRejectsInvalidParams) {
+  const auto with = [](auto&& mutate) {
+    FronthaulFaultParams p;
+    mutate(p);
+    return p;
+  };
+  EXPECT_THROW(FronthaulFaultModel(with([](auto& p) { p.loss_prob = -0.1; })),
+               std::invalid_argument);
+  EXPECT_THROW(FronthaulFaultModel(with([](auto& p) { p.loss_prob = 1.1; })),
+               std::invalid_argument);
+  EXPECT_THROW(FronthaulFaultModel(with([](auto& p) { p.late_prob = 2.0; })),
+               std::invalid_argument);
+  EXPECT_THROW(FronthaulFaultModel(with([](auto& p) {
+                 p.late_prob = 0.1;
+                 p.late_delay_mean = 0;
+               })),
+               std::invalid_argument);
+  EXPECT_THROW(FronthaulFaultModel(with([](auto& p) {
+                 p.late_prob = 0.1;
+                 p.late_delay_max = microseconds(10);  // < mean
+               })),
+               std::invalid_argument);
+  EXPECT_NO_THROW(FronthaulFaultModel(with([](auto&) {})));
+}
+
+TEST(FronthaulFaultTest, SampleMatchesConfiguredRates) {
+  FronthaulFaultParams p;
+  p.loss_prob = 0.1;
+  p.late_prob = 0.2;
+  const FronthaulFaultModel model(p);
+  Rng rng(11);
+  constexpr int kN = 100000;
+  std::size_t lost = 0, late = 0;
+  for (int i = 0; i < kN; ++i) {
+    const FronthaulFault f = model.sample(rng);
+    if (f.lost) {
+      EXPECT_EQ(f.extra_delay, Duration{0});
+      ++lost;
+    } else if (f.extra_delay > 0) {
+      EXPECT_LE(f.extra_delay, p.late_delay_max);
+      ++late;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / kN, p.loss_prob, 0.01);
+  // late_prob applies to the non-lost survivors.
+  EXPECT_NEAR(static_cast<double>(late) / (kN - lost), p.late_prob, 0.01);
+}
+
+TEST(FronthaulFaultTest, DisabledModelNeverFaults) {
+  const FronthaulFaultModel model;
+  EXPECT_FALSE(model.params().enabled());
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const FronthaulFault f = model.sample(rng);
+    EXPECT_FALSE(f.lost);
+    EXPECT_EQ(f.extra_delay, Duration{0});
+  }
+}
+
 TEST(TransportModelTest, CompositeCombinesFronthaulAndCloud) {
   FronthaulModel fh;
   fh.fiber_km = 20.0;
