@@ -28,6 +28,21 @@ std::string fmt(double v, int precision) {
   return buf;
 }
 
+std::vector<std::string> summary_cells(const std::string& label,
+                                       const obs::Histogram& hist,
+                                       const std::vector<double>& quantiles,
+                                       int precision) {
+  std::vector<std::string> cells = {label};
+  if (hist.count() == 0) {
+    cells.insert(cells.end(), quantiles.size() + 1, "-");
+    return cells;
+  }
+  cells.push_back(fmt(hist.mean(), precision));
+  for (const double q : quantiles)
+    cells.push_back(fmt(hist.percentile(q), precision));
+  return cells;
+}
+
 std::vector<model::TimingMeasurement> measure_phy_chain(
     const PhyMeasurementConfig& config) {
   std::vector<model::TimingMeasurement> out;

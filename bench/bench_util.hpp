@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "model/timing_model.hpp"
+#include "obs/histogram.hpp"
 #include "phy/uplink_tx.hpp"
 
 namespace rtopex::bench {
@@ -16,6 +17,14 @@ void print_banner(const std::string& figure, const std::string& description);
 void print_row(const std::vector<std::string>& cells);
 
 std::string fmt(double v, int precision = 2);
+
+/// The shared latency-summary row every figure binary uses: mean and the
+/// requested quantiles of a bounded histogram, formatted with `precision`.
+/// Replaces the per-binary hand-rolled mean/percentile loops.
+std::vector<std::string> summary_cells(const std::string& label,
+                                       const obs::Histogram& hist,
+                                       const std::vector<double>& quantiles,
+                                       int precision = 0);
 
 /// Measures the real PHY chain's wall-clock uplink processing time.
 /// Each measurement runs TX -> AWGN channel -> full RX on this host and

@@ -12,12 +12,16 @@
 //   --faults [P]    enable fronthaul loss (prob P, default 0.01) + late
 //                   arrivals and graceful degradation: regenerates the miss
 //                   curves under the degraded-mode resilience layer.
+//   --out DIR       also write the sweep CSV plus per-scheduler Prometheus
+//                   .prom metrics snapshots (at the last RTT point) into DIR.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
 #include "core/experiment.hpp"
+#include "core/results_io.hpp"
 
 using namespace rtopex;
 
@@ -28,23 +32,28 @@ int main(int argc, char** argv) {
   cfg.workload.num_basestations = 4;
   cfg.workload.subframes_per_bs = 30000;
   cfg.workload.seed = 1;
+  std::string out_dir;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0) {
       auto& f = cfg.workload.fronthaul_faults;
-      f.loss_prob = i + 1 < argc ? std::atof(argv[++i]) : 0.01;
+      f.loss_prob = i + 1 < argc && argv[i + 1][0] != '-'
+                        ? std::atof(argv[++i]) : 0.01;
       f.late_prob = f.loss_prob;
       cfg.degrade.enabled = true;
       std::printf("faults enabled: loss/late prob %.3f, degradation on\n",
                   f.loss_prob);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--faults [P]]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--faults [P]] [--out DIR]\n", argv[0]);
       return 1;
     }
   }
 
   bench::print_row({"rtt/2_us", "partitioned", "global_8", "global_16",
                     "rt-opex", "gain_vs_part"});
+  std::vector<core::SweepPoint> sweep;
   for (int rtt_us = 400; rtt_us <= 700; rtt_us += 50) {
     cfg.rtt_half = microseconds(rtt_us);
     const auto work = core::make_workload(cfg);
@@ -52,7 +61,10 @@ int main(int argc, char** argv) {
     const auto run = [&](core::SchedulerKind kind, unsigned cores) {
       cfg.scheduler = kind;
       cfg.global.num_cores = cores;
-      return core::run_scheduler(cfg, work).metrics.miss_rate();
+      auto result = core::run_scheduler(cfg, work);
+      const double rate = result.metrics.miss_rate();
+      sweep.push_back({static_cast<double>(rtt_us), std::move(result)});
+      return rate;
     };
     const double part = run(core::SchedulerKind::kPartitioned, 0);
     const double g8 = run(core::SchedulerKind::kGlobal, 8);
@@ -67,6 +79,18 @@ int main(int argc, char** argv) {
     std::snprintf(buf[4], 32, "%.1fx", opex > 0 ? part / opex : 999.0);
     bench::print_row({std::to_string(rtt_us), buf[0], buf[1], buf[2], buf[3],
                       buf[4]});
+  }
+  if (!out_dir.empty()) {
+    core::write_sweep_csv(out_dir + "/fig15_sweep.csv", sweep);
+    // Per-scheduler Prometheus snapshots at the last (heaviest) RTT point:
+    // the last four sweep entries, one per scheduler variant.
+    const std::size_t n = sweep.size();
+    const char* names[] = {"partitioned", "global8", "global16", "rtopex"};
+    for (std::size_t i = 0; i + 4 <= n && i < 4; ++i)
+      core::write_metrics_prom(
+          out_dir + "/fig15_" + names[i] + ".prom", sweep[n - 4 + i].result);
+    std::printf("\nwrote %s/fig15_sweep.csv and fig15_*.prom\n",
+                out_dir.c_str());
   }
   std::printf("\npaper: RT-OPEX ~zero below 500 us and an order of magnitude\n"
               "below partitioned/global throughout; global >= partitioned and\n"

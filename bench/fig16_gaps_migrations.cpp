@@ -2,21 +2,38 @@
 //   left : CDF of the idle gaps the partitioned schedule leaves on each
 //          core (processing-time variation only, fixed transport);
 //   right: fraction of FFT and decode subtasks RT-OPEX migrates, vs RTT/2.
+//
+//   --out DIR    also write the gap distribution CSV plus a Prometheus
+//                .prom metrics snapshot into DIR.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "core/experiment.hpp"
+#include "core/results_io.hpp"
 
 using namespace rtopex;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Figure 16", "partitioned gaps and RT-OPEX migrations");
+
+  std::string out_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out DIR]\n", argv[0]);
+      return 1;
+    }
+  }
 
   core::ExperimentConfig cfg;
   cfg.workload.num_basestations = 4;
   cfg.workload.subframes_per_bs = 30000;
   cfg.workload.seed = 1;
+  cfg.record_samples = true;  // exact gap CDF for the left panel
 
   std::printf("\n(left) partitioned idle-gap CDF at RTT/2 = 450 us\n");
   cfg.rtt_half = microseconds(450);
@@ -30,6 +47,13 @@ int main() {
     std::printf("fraction of gaps > 500 us: %.2f "
                 "(paper: ~0.6 of subframes see gaps > 500 us)\n",
                 1.0 - cdf(500.0));
+    if (!out_dir.empty()) {
+      core::write_distribution_csv(out_dir + "/fig16_gap_us.csv",
+                                   result.metrics.gap_us_hist);
+      core::write_metrics_prom(out_dir + "/fig16_partitioned.prom", result);
+      std::printf("wrote %s/fig16_gap_us.csv and fig16_partitioned.prom\n",
+                  out_dir.c_str());
+    }
   }
 
   std::printf("\n(right) fraction of subtasks migrated by RT-OPEX\n");

@@ -47,19 +47,9 @@ int main() {
   for (const unsigned cores : {8u, 16u}) {
     cfg.global.num_cores = cores;
     const auto r = core::run_scheduler(cfg, work27);
-    const auto& t = r.metrics.processing_time_us;
-    if (t.empty()) {
-      bench::print_row({std::to_string(cores), "-", "-", "-"});
-      continue;
-    }
-    const EmpiricalCdf cdf(t);
-    double mean = 0.0;
-    for (const double v : t) mean += v;
-    mean /= static_cast<double>(t.size());
-    bench::print_row({std::to_string(cores), bench::fmt(mean, 0),
-                      bench::fmt(cdf.quantile(0.5), 0),
-                      bench::fmt(cdf.quantile(0.9), 0),
-                      bench::fmt(cdf.quantile(0.99), 0)});
+    bench::print_row(bench::summary_cells(std::to_string(cores),
+                                          r.metrics.processing_us_hist,
+                                          {0.5, 0.9, 0.99}));
   }
   std::printf("\npaper: performance saturates (and slightly worsens) beyond 8\n"
               "cores; at 16 cores >10%% of subframes take ~80 us longer.\n");

@@ -4,19 +4,36 @@
 //
 //   $ ./live_runtime [partitioned|global|rtopex] [options]
 //
+// Sizing options:
+//   --basestations N     basestations (default 2; workers = 2 per BS)
+//   --subframes N        subframes per basestation (default 12)
+//   --period-ms T        subframe period in ms (default 25; budget = 2x)
+//
+// Observability options:
+//   --trace FILE         enable the per-core tracer; write Chrome
+//                        trace-event JSON (chrome://tracing / Perfetto)
+//   --trace-csv FILE     also dump the raw events as CSV
+//   --metrics FILE       Prometheus text snapshots, rendered periodically
+//                        during the run and finalized after it ("-" =
+//                        stdout)
+//   --metrics-period-ms  snapshot period (default: 4 subframe periods)
+//
 // Resilience options:
 //   --kill-core N        park worker N mid-run (watchdog fails it over)
 //   --at-ms T            kill at T ms into the run (default: half the run)
 //   --fronthaul-loss P   drop each subframe with probability P
 //
-// The subframe period is stretched (25 ms) so that the demo runs correctly
-// on any host, including single-core machines; on a multicore machine with
-// CAP_SYS_NICE you can tighten it toward the real 1 ms.
+// The default subframe period is stretched (25 ms) so that the demo runs
+// correctly on any host, including single-core machines; on a multicore
+// machine with CAP_SYS_NICE you can tighten it toward the real 1 ms.
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics_registry.hpp"
 #include "runtime/fault_injection.hpp"
 #include "runtime/node_runtime.hpp"
 
@@ -28,6 +45,11 @@ int main(int argc, char** argv) {
   int kill_core = -1;
   double kill_at_ms = -1.0;
   double loss_prob = 0.0;
+  unsigned basestations = 2;
+  std::size_t subframes = 12;
+  double period_ms = 25.0;
+  double metrics_period_ms = 0.0;
+  std::string trace_path, trace_csv_path, metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "partitioned") == 0) {
       cfg.mode = runtime::RuntimeMode::kPartitioned;
@@ -35,6 +57,21 @@ int main(int argc, char** argv) {
       cfg.mode = runtime::RuntimeMode::kGlobal;
     } else if (std::strcmp(argv[i], "rtopex") == 0) {
       cfg.mode = runtime::RuntimeMode::kRtOpex;
+    } else if (std::strcmp(argv[i], "--basestations") == 0 && i + 1 < argc) {
+      basestations = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--subframes") == 0 && i + 1 < argc) {
+      subframes = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--period-ms") == 0 && i + 1 < argc) {
+      period_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-csv") == 0 && i + 1 < argc) {
+      trace_csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-period-ms") == 0 &&
+               i + 1 < argc) {
+      metrics_period_ms = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--kill-core") == 0 && i + 1 < argc) {
       kill_core = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--at-ms") == 0 && i + 1 < argc) {
@@ -43,19 +80,26 @@ int main(int argc, char** argv) {
       loss_prob = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [partitioned|global|rtopex] [--kill-core N] "
-                   "[--at-ms T] [--fronthaul-loss P]\n",
+                   "usage: %s [partitioned|global|rtopex]\n"
+                   "  [--basestations N] [--subframes N] [--period-ms T]\n"
+                   "  [--trace FILE] [--trace-csv FILE] [--metrics FILE]\n"
+                   "  [--metrics-period-ms T]\n"
+                   "  [--kill-core N] [--at-ms T] [--fronthaul-loss P]\n",
                    argv[0]);
       return 1;
     }
   }
+  if (basestations == 0 || subframes == 0 || period_ms <= 0.0) {
+    std::fprintf(stderr, "invalid sizing options\n");
+    return 1;
+  }
 
-  cfg.num_basestations = 2;
+  cfg.num_basestations = basestations;
   cfg.cores_per_bs = 2;
-  cfg.global_cores = 4;
-  cfg.subframes_per_bs = 12;
-  cfg.subframe_period = milliseconds(25);
-  cfg.deadline_budget = milliseconds(50);
+  cfg.global_cores = 2 * basestations;
+  cfg.subframes_per_bs = subframes;
+  cfg.subframe_period = microseconds(static_cast<long>(period_ms * 1000.0));
+  cfg.deadline_budget = 2 * cfg.subframe_period;
   cfg.mcs_cycle = {27, 10, 20};
   cfg.pin_threads = true;       // best effort
   cfg.phy.bandwidth = phy::Bandwidth::kMHz10;
@@ -63,6 +107,25 @@ int main(int argc, char** argv) {
   if (kill_core >= 0) {
     cfg.resilience.enable_watchdog = true;
     cfg.resilience.watchdog_timeout = cfg.subframe_period;
+  }
+  cfg.trace.enabled = !trace_path.empty() || !trace_csv_path.empty();
+
+  // Periodic Prometheus snapshots from the ticker. A file sink truncates
+  // and rewrites on each snapshot (textfile-collector style); "-" prints.
+  if (!metrics_path.empty()) {
+    if (metrics_period_ms <= 0.0) metrics_period_ms = 4.0 * period_ms;
+    cfg.metrics_period =
+        microseconds(static_cast<long>(metrics_period_ms * 1000.0));
+    cfg.metrics_sink = [metrics_path](const std::string& text) {
+      if (metrics_path == "-") {
+        std::printf("---- metrics snapshot ----\n%s", text.c_str());
+        return;
+      }
+      if (std::FILE* f = std::fopen(metrics_path.c_str(), "w")) {
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+      }
+    };
   }
 
   // Kill switch: an injected hook that parks the chosen worker once the
@@ -92,8 +155,8 @@ int main(int argc, char** argv) {
                               : cfg.mode == runtime::RuntimeMode::kGlobal
                                     ? "global"
                                     : "rt-opex";
-  std::printf("mode: %s | 2 basestations x 12 subframes | period 25 ms\n",
-              mode_name);
+  std::printf("mode: %s | %u basestations x %zu subframes | period %.3g ms\n",
+              mode_name, basestations, subframes, period_ms);
   if (kill_core >= 0)
     std::printf("killing worker %d at ~%.0f ms (watchdog enabled)\n",
                 kill_core, kill_at_ms);
@@ -128,5 +191,29 @@ int main(int argc, char** argv) {
                 "| lost %zu | late %zu | degraded %zu\n",
                 res.failovers, res.repartitions, res.requeued_jobs,
                 res.lost_subframes, res.late_arrivals, res.degraded);
+
+  if (cfg.trace.enabled) {
+    obs::ChromeTraceOptions opts;
+    opts.process_name = std::string("live_runtime ") + mode_name;
+    opts.num_cores = cfg.mode == runtime::RuntimeMode::kGlobal
+                         ? cfg.global_cores
+                         : cfg.num_basestations * cfg.cores_per_bs;
+    if (!trace_path.empty()) obs::write_chrome_trace(trace_path, report.trace, opts);
+    if (!trace_csv_path.empty()) obs::write_trace_csv(trace_csv_path, report.trace);
+    std::printf("trace: %zu events | ring drops %llu | store drops %llu%s%s\n",
+                report.trace.events.size(),
+                static_cast<unsigned long long>(report.trace.ring_drops),
+                static_cast<unsigned long long>(report.trace.store_drops),
+                trace_path.empty() ? "" : " -> ",
+                trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry reg;
+    runtime::fill_registry(report, reg);
+    if (metrics_path == "-")
+      std::printf("---- final metrics ----\n%s", reg.render().c_str());
+    else
+      reg.write(metrics_path);
+  }
   return report.crc_failures == 0 ? 0 : 2;
 }

@@ -8,10 +8,18 @@
 // heavy ones (MCS 21, four turbo iterations) whose worst case exceeds the
 // processing budget — partitioned scheduling must drop those, RT-OPEX
 // admits them by migrating decode subtasks into the other core's gap.
+//
+//   --out DIR    also write each schedule as Chrome trace-event JSON
+//                (fig09_trace.json / fig10_trace.json / fig11_trace.json,
+//                loadable in chrome://tracing or ui.perfetto.dev).
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "model/task_cost_model.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/tracer.hpp"
 #include "sched/global.hpp"
 #include "sched/partitioned.hpp"
 #include "sched/rt_opex.hpp"
@@ -78,18 +86,56 @@ void render(const char* title, const sim::SchedulerMetrics& metrics,
               "subframe, . = idle\n");
 }
 
+/// Per-miss attribution from the timeline: which stage ran out of budget,
+/// and whether the subframe had subtasks hosted on another core.
+void print_missed(const sim::SchedulerMetrics& metrics) {
+  for (const auto& e : metrics.timeline) {
+    if (!e.missed) continue;
+    std::printf("  miss: bs %c subframe %u on core %u — stage %s",
+                static_cast<char>('A' + e.bs), e.index, e.core,
+                obs::to_string(e.missed_stage));
+    if (e.host_core >= 0)
+      std::printf(" (subtasks hosted on core %d)", e.host_core);
+    std::printf("\n");
+  }
+}
+
+void maybe_write_trace(const std::string& out_dir, const char* file,
+                       obs::Tracer& tracer, unsigned num_cores,
+                       const char* name) {
+  if (out_dir.empty()) return;
+  obs::ChromeTraceOptions opts;
+  opts.process_name = name;
+  opts.num_cores = num_cores;
+  const std::string path = out_dir + "/" + file;
+  obs::write_chrome_trace(path, tracer.take(), opts);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string out_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out DIR]\n", argv[0]);
+      return 1;
+    }
+  }
+
   const model::TaskCostModel cost(model::paper_gpp_model(), 2, 50);
   const TimePoint horizon = milliseconds(8);
 
   // --- Fig. 9: partitioned, one basestation on two cores ---
   {
     const auto work = mixed_workload(cost, 1);
+    obs::Tracer tracer(2);
     sched::PartitionedConfig pc;
     pc.rtt_half = kRttHalf;
     pc.record_timeline = true;
+    if (!out_dir.empty()) pc.tracer = &tracer;
     sched::PartitionedScheduler sched(1, pc);
     const auto m = sched.run(work);
     render("Fig. 9 style — partitioned schedule, BS A on 2 cores "
@@ -99,14 +145,19 @@ int main() {
                 "the budget and are dropped,\neven though the other core "
                 "sits idle right next to them.\n",
                 m.deadline_misses, m.total_subframes);
+    print_missed(m);
+    maybe_write_trace(out_dir, "fig09_trace.json", tracer, sched.num_cores(),
+                      "scheduler_timelines fig09 partitioned");
   }
 
   // --- Fig. 10: global, two basestations on two cores ---
   {
     const auto work = mixed_workload(cost, 2);
+    obs::Tracer tracer(2);
     sched::GlobalConfig gc;
     gc.num_cores = 2;
     gc.record_timeline = true;
+    if (!out_dir.empty()) gc.tracer = &tracer;
     sched::GlobalScheduler sched(2, gc);
     const auto m = sched.run(work);
     render("Fig. 10 style — global schedule, BSs A+B sharing 2 cores "
@@ -116,14 +167,19 @@ int main() {
                 "heavy subframes queue behind\neach other and push later "
                 "arrivals past their deadlines.\n",
                 m.deadline_misses, m.total_subframes);
+    print_missed(m);
+    maybe_write_trace(out_dir, "fig10_trace.json", tracer, 2,
+                      "scheduler_timelines fig10 global");
   }
 
   // --- Fig. 11: RT-OPEX, one basestation on two cores ---
   {
     const auto work = mixed_workload(cost, 1);
+    obs::Tracer tracer(2);
     sched::RtOpexConfig rc;
     rc.rtt_half = kRttHalf;
     rc.record_timeline = true;
+    if (!out_dir.empty()) rc.tracer = &tracer;
     sched::RtOpexScheduler sched(1, rc);
     const auto m = sched.run(work);
     render("Fig. 11 style — RT-OPEX on the same workload as Fig. 9 "
@@ -134,6 +190,9 @@ int main() {
                 "hardware now meets every deadline.\n",
                 m.deadline_misses, m.total_subframes,
                 m.fft_subtasks_migrated + m.decode_subtasks_migrated);
+    print_missed(m);
+    maybe_write_trace(out_dir, "fig11_trace.json", tracer, sched.num_cores(),
+                      "scheduler_timelines fig11 rt-opex");
   }
   return 0;
 }

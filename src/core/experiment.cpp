@@ -43,6 +43,8 @@ ExperimentResult run_scheduler(const ExperimentConfig& config,
       sched::PartitionedConfig pc;
       pc.rtt_half = config.rtt_half;
       pc.degrade = config.degrade;
+      pc.record_samples = config.record_samples;
+      pc.tracer = config.tracer;
       scheduler = std::make_unique<sched::PartitionedScheduler>(
           config.workload.num_basestations, pc);
       break;
@@ -50,6 +52,8 @@ ExperimentResult run_scheduler(const ExperimentConfig& config,
     case SchedulerKind::kGlobal: {
       sched::GlobalConfig gc = config.global;
       gc.degrade = config.degrade;
+      gc.record_samples = config.record_samples;
+      gc.tracer = config.tracer;
       scheduler = std::make_unique<sched::GlobalScheduler>(
           config.workload.num_basestations, gc);
       break;
@@ -58,6 +62,8 @@ ExperimentResult run_scheduler(const ExperimentConfig& config,
       sched::RtOpexConfig rc = config.rtopex;
       rc.rtt_half = config.rtt_half;
       rc.degrade = config.degrade;
+      rc.record_samples = config.record_samples;
+      rc.tracer = config.tracer;
       scheduler = std::make_unique<sched::RtOpexScheduler>(
           config.workload.num_basestations, rc);
       break;

@@ -41,6 +41,13 @@ struct ExperimentConfig {
   model::TimingModel timing = model::paper_gpp_model();
   model::IterationModelParams iteration;
   model::PlatformErrorParams platform_error;
+
+  /// Fill the raw gap_us / processing_time_us sample vectors in addition to
+  /// the bounded histograms (forwarded to whichever scheduler runs).
+  bool record_samples = false;
+  /// Optional trace sink, forwarded to whichever scheduler runs. Needs at
+  /// least as many tracks as that scheduler's num_cores().
+  obs::Tracer* tracer = nullptr;
 };
 
 struct ExperimentResult {

@@ -53,4 +53,29 @@ void write_distribution_csv(const std::string& path,
   }
 }
 
+void write_distribution_csv(const std::string& path,
+                            const obs::Histogram& histogram,
+                            unsigned num_quantiles) {
+  if (histogram.count() == 0)
+    throw std::invalid_argument("write_distribution_csv: empty histogram");
+  if (num_quantiles < 2)
+    throw std::invalid_argument("write_distribution_csv: need >= 2 quantiles");
+  CsvWriter writer(path);
+  writer.write_header({"quantile", "value"});
+  for (unsigned i = 0; i <= num_quantiles; ++i) {
+    const double q = static_cast<double>(i) / num_quantiles;
+    writer.write_row({q, histogram.percentile(q)});
+  }
+}
+
+void write_metrics_prom(const std::string& path,
+                        const ExperimentResult& result) {
+  obs::MetricsRegistry registry;
+  registry.add_gauge("rtopex_cores", "Cores the scheduler ran on",
+                     static_cast<double>(result.num_cores),
+                     {{"scheduler", result.scheduler_name}});
+  sim::fill_registry(result.metrics, result.scheduler_name, registry);
+  registry.write(path);
+}
+
 }  // namespace rtopex::core

@@ -29,4 +29,17 @@ void write_distribution_csv(const std::string& path,
                             const std::vector<double>& samples,
                             unsigned num_quantiles = 100);
 
+/// Histogram flavour of the above: quantiles come from the bounded
+/// log-scale histogram (accurate to one bucket width), so no raw samples —
+/// and no record_samples run — are needed.
+void write_distribution_csv(const std::string& path,
+                            const obs::Histogram& histogram,
+                            unsigned num_quantiles = 100);
+
+/// Writes one experiment's full metrics snapshot in Prometheus text format
+/// (all series labelled scheduler=<name>) — the sidecar benches drop next
+/// to their CSVs.
+void write_metrics_prom(const std::string& path,
+                        const ExperimentResult& result);
+
 }  // namespace rtopex::core

@@ -1,0 +1,220 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace rtopex::obs {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSubframeBegin: return "subframe_begin";
+    case EventKind::kSubframeEnd: return "subframe_end";
+    case EventKind::kStageBegin: return "stage_begin";
+    case EventKind::kStageEnd: return "stage_end";
+    case EventKind::kOffload: return "offload";
+    case EventKind::kHostBegin: return "host_begin";
+    case EventKind::kHostEnd: return "host_end";
+    case EventKind::kRecovery: return "recovery";
+    case EventKind::kWatchdogFire: return "watchdog_fire";
+    case EventKind::kDegrade: return "degrade";
+    case EventKind::kGapBegin: return "gap_begin";
+    case EventKind::kGapEnd: return "gap_end";
+    case EventKind::kDrop: return "drop";
+    case EventKind::kTerminate: return "terminate";
+    case EventKind::kLost: return "lost";
+    case EventKind::kLate: return "late";
+  }
+  return "unknown";
+}
+
+const char* to_string(Stage stage) {
+  switch (stage) {
+    case Stage::kNone: return "none";
+    case Stage::kFft: return "fft";
+    case Stage::kDemod: return "demod";
+    case Stage::kDecode: return "decode";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void append(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+std::string ts_us(TimePoint ts_ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ts_ns) / 1000.0);
+  return buf;
+}
+
+/// Flow id shared by the offload ("s") and host ("f") halves of one
+/// migration: both sides can derive it independently from the event.
+std::string flow_id(const TraceEvent& ev, unsigned src, unsigned dst) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "bs%u.%u.%s.%u-%u", ev.bs, ev.index,
+                to_string(ev.stage), src, dst);
+  return buf;
+}
+
+void emit_event_json(std::string& out, const TraceEvent& ev) {
+  const std::string ts = ts_us(ev.ts);
+  const unsigned tid = ev.core;
+  switch (ev.kind) {
+    case EventKind::kSubframeBegin:
+      append(out,
+             ",\n{\"name\":\"subframe bs%u\",\"cat\":\"subframe\",\"ph\":\"B\","
+             "\"pid\":0,\"tid\":%u,\"ts\":%s,\"args\":{\"bs\":%u,\"index\":%u}}",
+             ev.bs, tid, ts.c_str(), ev.bs, ev.index);
+      break;
+    case EventKind::kSubframeEnd:
+      append(out,
+             ",\n{\"ph\":\"E\",\"pid\":0,\"tid\":%u,\"ts\":%s,"
+             "\"args\":{\"missed\":%u}}",
+             tid, ts.c_str(), ev.a);
+      break;
+    case EventKind::kStageBegin:
+      append(out,
+             ",\n{\"name\":\"%s\",\"cat\":\"stage\",\"ph\":\"B\",\"pid\":0,"
+             "\"tid\":%u,\"ts\":%s,\"args\":{\"bs\":%u,\"index\":%u}}",
+             to_string(ev.stage), tid, ts.c_str(), ev.bs, ev.index);
+      break;
+    case EventKind::kStageEnd:
+      append(out, ",\n{\"ph\":\"E\",\"pid\":0,\"tid\":%u,\"ts\":%s}", tid,
+             ts.c_str());
+      break;
+    case EventKind::kOffload: {
+      // Instant on the migrator track plus the start half of the flow arrow
+      // to the host core (ev.a); ev.b carries the subtask count.
+      append(out,
+             ",\n{\"name\":\"offload %s\",\"cat\":\"migration\",\"ph\":\"i\","
+             "\"s\":\"t\",\"pid\":0,\"tid\":%u,\"ts\":%s,"
+             "\"args\":{\"bs\":%u,\"index\":%u,\"target\":%u,\"count\":%u}}",
+             to_string(ev.stage), tid, ts.c_str(), ev.bs, ev.index, ev.a,
+             ev.b);
+      append(out,
+             ",\n{\"name\":\"migrate\",\"cat\":\"migration\",\"ph\":\"s\","
+             "\"id\":\"%s\",\"pid\":0,\"tid\":%u,\"ts\":%s}",
+             flow_id(ev, tid, ev.a).c_str(), tid, ts.c_str());
+      break;
+    }
+    case EventKind::kHostBegin:
+      // ev.a is the source (offloading) core; close the flow arrow here.
+      append(out,
+             ",\n{\"name\":\"host %s bs%u\",\"cat\":\"migration\","
+             "\"ph\":\"B\",\"pid\":0,\"tid\":%u,\"ts\":%s,"
+             "\"args\":{\"bs\":%u,\"index\":%u,\"src\":%u}}",
+             to_string(ev.stage), ev.bs, tid, ts.c_str(), ev.bs, ev.index,
+             ev.a);
+      append(out,
+             ",\n{\"name\":\"migrate\",\"cat\":\"migration\",\"ph\":\"f\","
+             "\"bp\":\"e\",\"id\":\"%s\",\"pid\":0,\"tid\":%u,\"ts\":%s}",
+             flow_id(ev, ev.a, tid).c_str(), tid, ts.c_str());
+      break;
+    case EventKind::kHostEnd:
+      append(out,
+             ",\n{\"ph\":\"E\",\"pid\":0,\"tid\":%u,\"ts\":%s,"
+             "\"args\":{\"completed\":%u}}",
+             tid, ts.c_str(), ev.b);
+      break;
+    case EventKind::kGapBegin:
+      append(out,
+             ",\n{\"name\":\"gap\",\"cat\":\"gap\",\"ph\":\"B\",\"pid\":0,"
+             "\"tid\":%u,\"ts\":%s}",
+             tid, ts.c_str());
+      break;
+    case EventKind::kGapEnd:
+      append(out, ",\n{\"ph\":\"E\",\"pid\":0,\"tid\":%u,\"ts\":%s}", tid,
+             ts.c_str());
+      break;
+    default:
+      // Everything else renders as a thread-scoped instant marker.
+      append(out,
+             ",\n{\"name\":\"%s\",\"cat\":\"marker\",\"ph\":\"i\","
+             "\"s\":\"t\",\"pid\":0,\"tid\":%u,\"ts\":%s,"
+             "\"args\":{\"bs\":%u,\"index\":%u,\"stage\":\"%s\",\"a\":%u,"
+             "\"b\":%u}}",
+             to_string(ev.kind), tid, ts.c_str(), ev.bs, ev.index,
+             to_string(ev.stage), ev.a, ev.b);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceStore& store,
+                              const ChromeTraceOptions& options) {
+  // Sort by timestamp so per-track timestamps in the file are monotone;
+  // stable so same-timestamp events keep their per-track emission order
+  // (collect() drains each ring in push order).
+  std::vector<TraceEvent> events = store.events;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) {
+                     return x.ts < y.ts;
+                   });
+
+  std::set<unsigned> tracks;
+  for (const TraceEvent& ev : events) tracks.insert(ev.core);
+
+  std::string out = "{\"traceEvents\":[";
+  append(out,
+         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+         "\"args\":{\"name\":\"%s\"}}",
+         options.process_name.c_str());
+  for (const unsigned t : tracks) {
+    const bool worker = options.num_cores == 0 || t < options.num_cores;
+    append(out,
+           ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
+           "\"args\":{\"name\":\"%s %u\"}}",
+           t, worker ? "core" : "ticker", t);
+    // sort_index keeps tracks in core order top-to-bottom in the UI.
+    append(out,
+           ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,"
+           "\"tid\":%u,\"args\":{\"sort_index\":%u}}",
+           t, t);
+  }
+  for (const TraceEvent& ev : events) emit_event_json(out, ev);
+  append(out,
+         "],\n\"otherData\":{\"event_count\":%llu,\"ring_drops\":%llu,"
+         "\"store_drops\":%llu}}\n",
+         static_cast<unsigned long long>(events.size()),
+         static_cast<unsigned long long>(store.ring_drops),
+         static_cast<unsigned long long>(store.store_drops));
+  return out;
+}
+
+void write_chrome_trace(const std::string& path, const TraceStore& store,
+                        const ChromeTraceOptions& options) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f)
+    throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  const std::string text = chrome_trace_json(store, options);
+  const std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (n != text.size())
+    throw std::runtime_error("write_chrome_trace: short write to " + path);
+}
+
+void write_trace_csv(const std::string& path, const TraceStore& store) {
+  CsvWriter csv(path);
+  csv.write_header({"ts_ns", "core", "kind", "stage", "bs", "index", "a", "b"});
+  for (const TraceEvent& ev : store.events)
+    csv.write_row({static_cast<double>(ev.ts), static_cast<double>(ev.core),
+                   static_cast<double>(static_cast<unsigned>(ev.kind)),
+                   static_cast<double>(static_cast<unsigned>(ev.stage)),
+                   static_cast<double>(ev.bs), static_cast<double>(ev.index),
+                   static_cast<double>(ev.a), static_cast<double>(ev.b)});
+}
+
+}  // namespace rtopex::obs

@@ -1,0 +1,38 @@
+// Trace exporters: Chrome trace-event JSON (loads directly in
+// chrome://tracing and ui.perfetto.dev) and a flat numeric CSV dump via
+// common/csv. The JSON view renders one track per core, subframe and stage
+// processing as nested spans, resilience events as instants, and
+// migrations as flow arrows from the offloading core to the host core.
+#pragma once
+
+#include <string>
+
+#include "obs/tracer.hpp"
+
+namespace rtopex::obs {
+
+struct ChromeTraceOptions {
+  std::string process_name = "rtopex";
+  /// Tracks below this index are named "core N", tracks at or above it
+  /// "ticker N" (the runtime's extra non-worker track). 0 names every
+  /// track "core N".
+  unsigned num_cores = 0;
+};
+
+/// Serializes a drained TraceStore as Chrome trace-event JSON. Events are
+/// sorted by timestamp, so per-track timestamps in the output are monotone.
+/// Timestamps are emitted in microseconds (the format's unit) at nanosecond
+/// resolution.
+std::string chrome_trace_json(const TraceStore& store,
+                              const ChromeTraceOptions& options = {});
+
+/// chrome_trace_json() to a file (truncates). Throws std::runtime_error on
+/// I/O failure.
+void write_chrome_trace(const std::string& path, const TraceStore& store,
+                        const ChromeTraceOptions& options = {});
+
+/// Flat numeric CSV (ts_ns, core, kind, stage, bs, index, a, b) — one row
+/// per event, kinds/stages as their enum codes, via common/csv.
+void write_trace_csv(const std::string& path, const TraceStore& store);
+
+}  // namespace rtopex::obs

@@ -1,0 +1,104 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rtopex::obs {
+
+Histogram::Histogram(double lo, double hi, unsigned buckets_per_decade)
+    : lo_(lo), hi_(hi), buckets_per_decade_(buckets_per_decade) {
+  if (!(lo > 0.0) || !(hi > lo) || buckets_per_decade == 0)
+    throw std::invalid_argument(
+        "Histogram: need hi > lo > 0 and buckets_per_decade > 0");
+  const double decades = std::log10(hi / lo);
+  const auto buckets = static_cast<std::size_t>(
+      std::ceil(decades * static_cast<double>(buckets_per_decade) - 1e-9));
+  counts_.assign(std::max<std::size_t>(buckets, 1), 0);
+  growth_ = std::pow(10.0, 1.0 / static_cast<double>(buckets_per_decade));
+}
+
+std::size_t Histogram::bucket_index(double x) const {
+  if (!(x > lo_)) return 0;
+  const double pos =
+      std::log10(x / lo_) * static_cast<double>(buckets_per_decade_);
+  const auto i = static_cast<std::size_t>(pos);
+  return std::min(i, counts_.size() - 1);
+}
+
+void Histogram::add(double x) {
+  ++counts_[bucket_index(x)];
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (!same_layout(other))
+    throw std::invalid_argument("Histogram::merge: layout mismatch");
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+double Histogram::mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double Histogram::bucket_lower(std::size_t i) const {
+  if (i >= counts_.size())
+    throw std::out_of_range("Histogram::bucket_lower");
+  return lo_ * std::pow(growth_, static_cast<double>(i));
+}
+
+double Histogram::bucket_upper(std::size_t i) const {
+  if (i >= counts_.size())
+    throw std::out_of_range("Histogram::bucket_upper");
+  return lo_ * std::pow(growth_, static_cast<double>(i + 1));
+}
+
+double Histogram::percentile(double q) const {
+  if (count_ == 0) return 0.0;  // guard: never read bucket 0 of nothing
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample, 1-based: ceil(q * n), at least 1.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_) - 1e-9)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (cum + counts_[i] >= rank) {
+      // Interpolate linearly inside the bucket by rank position.
+      const double within = (static_cast<double>(rank - cum) - 0.5) /
+                            static_cast<double>(counts_[i]);
+      const double lo = bucket_lower(i);
+      const double hi = bucket_upper(i);
+      const double v = lo + within * (hi - lo);
+      return std::clamp(v, min_, max_);
+    }
+    cum += counts_[i];
+  }
+  return max_;
+}
+
+}  // namespace rtopex::obs

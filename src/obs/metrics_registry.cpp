@@ -1,0 +1,123 @@
+#include "obs/metrics_registry.hpp"
+
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+
+namespace rtopex::obs {
+namespace {
+
+std::string format_value(double v) {
+  char buf[64];
+  // Integral values print without a fractional part (counter-friendly).
+  if (v == static_cast<double>(static_cast<long long>(v)))
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  else
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string escape_label(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string render_labels(const MetricsRegistry::Labels& labels,
+                          const std::string& extra_key = "",
+                          const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    out += k + "=\"" + escape_label(v) + "\"";
+    first = false;
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::add_counter(const std::string& name,
+                                  const std::string& help, double value,
+                                  const Labels& labels) {
+  entries_.push_back({Type::kCounter, name, help, labels, value, {}});
+}
+
+void MetricsRegistry::add_gauge(const std::string& name,
+                                const std::string& help, double value,
+                                const Labels& labels) {
+  entries_.push_back({Type::kGauge, name, help, labels, value, {}});
+}
+
+void MetricsRegistry::add_histogram(const std::string& name,
+                                    const std::string& help,
+                                    const Histogram& histogram,
+                                    const Labels& labels) {
+  entries_.push_back({Type::kHistogram, name, help, labels, 0.0, histogram});
+}
+
+std::string MetricsRegistry::render() const {
+  std::string out;
+  std::set<std::string> header_done;
+  for (const Entry& e : entries_) {
+    if (header_done.insert(e.name).second) {
+      out += "# HELP " + e.name + " " + e.help + "\n";
+      out += "# TYPE " + e.name + " ";
+      out += e.type == Type::kCounter
+                 ? "counter"
+                 : e.type == Type::kGauge ? "gauge" : "histogram";
+      out += "\n";
+    }
+    if (e.type != Type::kHistogram) {
+      out += e.name + render_labels(e.labels) + " " + format_value(e.value) +
+             "\n";
+      continue;
+    }
+    const Histogram& h = e.histogram;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+      // Empty buckets are skipped (log-scale histograms are sparse); the
+      // cumulative +Inf bucket below always carries the full count.
+      if (h.bucket(i) == 0) continue;
+      cum += h.bucket(i);
+      out += e.name + "_bucket" +
+             render_labels(e.labels, "le", format_value(h.bucket_upper(i))) +
+             " " + format_value(static_cast<double>(cum)) + "\n";
+    }
+    out += e.name + "_bucket" + render_labels(e.labels, "le", "+Inf") + " " +
+           format_value(static_cast<double>(h.count())) + "\n";
+    out += e.name + "_sum" + render_labels(e.labels) + " " +
+           format_value(h.sum()) + "\n";
+    out += e.name + "_count" + render_labels(e.labels) + " " +
+           format_value(static_cast<double>(h.count())) + "\n";
+  }
+  return out;
+}
+
+void MetricsRegistry::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f)
+    throw std::runtime_error("MetricsRegistry::write: cannot open " + path);
+  const std::string text = render();
+  const std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (n != text.size())
+    throw std::runtime_error("MetricsRegistry::write: short write to " + path);
+}
+
+}  // namespace rtopex::obs

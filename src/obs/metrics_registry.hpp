@@ -1,0 +1,54 @@
+// Prometheus-text-format metrics snapshot. The registry is a passive
+// container: producers (scheduler, runtime, resilience, transport layers)
+// fill it with counter/gauge/histogram samples at snapshot time and
+// render() emits the text exposition format, suitable for a textfile
+// collector, a bench sidecar file next to its CSVs, or plain stdout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace rtopex::obs {
+
+class MetricsRegistry {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  void add_counter(const std::string& name, const std::string& help,
+                   double value, const Labels& labels = {});
+  void add_gauge(const std::string& name, const std::string& help,
+                 double value, const Labels& labels = {});
+  /// Rendered as the native Prometheus histogram type: cumulative
+  /// `_bucket{le="..."}` series over the histogram's log-scale bucket
+  /// upper edges, plus `_sum` and `_count`.
+  void add_histogram(const std::string& name, const std::string& help,
+                     const Histogram& histogram, const Labels& labels = {});
+
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  /// Prometheus text exposition format. Entries with the same metric name
+  /// share one # HELP / # TYPE header (the first help string wins).
+  std::string render() const;
+
+  /// render() to a file (truncates). Throws std::runtime_error on failure.
+  void write(const std::string& path) const;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Type type;
+    std::string name;
+    std::string help;
+    Labels labels;
+    double value = 0.0;    ///< counter/gauge only.
+    Histogram histogram;   ///< histogram only.
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rtopex::obs

@@ -1,0 +1,62 @@
+// Trace-event vocabulary shared by the virtual-time simulator and the
+// real-thread runtime. One TraceEvent is a fixed-size POD stamped with a
+// nanosecond timestamp (virtual or wall-clock, depending on the substrate),
+// the core (track) it happened on, and an event kind with two kind-specific
+// payload words — small enough to push through a lock-free ring on the hot
+// path without allocation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time_types.hpp"
+
+namespace rtopex::obs {
+
+/// Processing stage an event refers to (kNone for whole-subframe events).
+enum class Stage : std::uint8_t {
+  kNone = 0,
+  kFft = 1,
+  kDemod = 2,
+  kDecode = 3,
+};
+
+inline constexpr unsigned kNumStages = 4;
+
+enum class EventKind : std::uint8_t {
+  kSubframeBegin = 0,  ///< worker starts a subframe (span open).
+  kSubframeEnd,        ///< span close; a = 1 when the deadline was missed.
+  kStageBegin,         ///< stage span open (stage field set).
+  kStageEnd,           ///< stage span close.
+  kOffload,            ///< migrator placed a chunk; a = target core, b = count.
+  kHostBegin,          ///< host starts a migrated chunk; a = source core.
+  kHostEnd,            ///< host finished/preempted the chunk; b = completed.
+  kRecovery,           ///< migrator re-executed subtasks locally; b = count.
+  kWatchdogFire,       ///< watchdog declared a core dead; a = dead core.
+  kDegrade,            ///< decode admitted below full quality; a = cap.
+  kGapBegin,           ///< idle gap opens on a core (virtual time only).
+  kGapEnd,             ///< idle gap closes.
+  kDrop,               ///< slack check rejected the subframe.
+  kTerminate,          ///< execution was cut at the deadline.
+  kLost,               ///< fronthaul loss: subframe never arrived.
+  kLate,               ///< arrived after its deadline had passed.
+};
+
+/// Compact fixed-size trace record. `core` doubles as the ring/track index;
+/// non-core producers (the transport ticker) use a dedicated extra track.
+struct TraceEvent {
+  TimePoint ts = 0;          ///< nanoseconds (virtual or since run start).
+  std::uint32_t bs = 0;      ///< basestation id (0 when not applicable).
+  std::uint32_t index = 0;   ///< subframe index within the basestation.
+  std::uint32_t a = 0;       ///< kind-specific (target core, cap, ...).
+  std::uint32_t b = 0;       ///< kind-specific (subtask count, ...).
+  std::uint32_t core = 0;    ///< track the event belongs to.
+  EventKind kind = EventKind::kSubframeBegin;
+  Stage stage = Stage::kNone;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+const char* to_string(EventKind kind);
+const char* to_string(Stage stage);
+
+}  // namespace rtopex::obs

@@ -1,0 +1,64 @@
+#include "obs/tracer.hpp"
+
+#include <stdexcept>
+
+namespace rtopex::obs {
+
+Tracer::Tracer(unsigned num_tracks, std::size_t ring_capacity,
+               std::size_t max_stored_events)
+    : max_stored_(max_stored_events) {
+  if (num_tracks == 0)
+    throw std::invalid_argument("Tracer: need at least one track");
+  if (ring_capacity == 0)
+    throw std::invalid_argument("Tracer: ring_capacity must be positive");
+  tracks_.reserve(num_tracks);
+  for (unsigned i = 0; i < num_tracks; ++i)
+    tracks_.push_back(std::make_unique<Track>(ring_capacity));
+}
+
+void Tracer::emit(const TraceEvent& ev) {
+  Track& track = *tracks_.at(ev.core);
+  if (!track.ring.try_push(ev))
+    track.drops.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t Tracer::collect() {
+  std::size_t moved = 0;
+  for (auto& track : tracks_) {
+    while (auto ev = track->ring.try_pop()) {
+      if (store_.events.size() < max_stored_) {
+        store_.events.push_back(*ev);
+        ++moved;
+      } else {
+        ++store_.store_drops;
+      }
+    }
+  }
+  return moved;
+}
+
+std::uint64_t Tracer::drops(unsigned track) const {
+  return tracks_.at(track)->drops.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::total_ring_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& track : tracks_)
+    total += track->drops.load(std::memory_order_relaxed);
+  return total;
+}
+
+const TraceStore& Tracer::store() const {
+  store_.ring_drops = total_ring_drops();
+  return store_;
+}
+
+TraceStore Tracer::take() {
+  collect();
+  store_.ring_drops = total_ring_drops();
+  TraceStore out = std::move(store_);
+  store_ = TraceStore{};
+  return out;
+}
+
+}  // namespace rtopex::obs

@@ -1,0 +1,126 @@
+// Lock-free per-core event tracer. Each track (one per worker core, plus
+// one for the transport ticker / collector itself) is a single-producer
+// single-consumer ring: the owning thread pushes TraceEvents, a single
+// collector (the ticker in the runtime, the simulation loop in virtual
+// time) drains every ring into a bounded in-memory store. A full ring never
+// blocks the producer — the event is dropped and a per-track drop counter
+// incremented, so tracing can stay on in production without ever stalling
+// the real-time path.
+//
+// Emission at call sites goes through the RTOPEX_TRACE_* macros below,
+// which compile to nothing when the build sets RTOPEX_NO_TRACING
+// (cmake -DRTOPEX_TRACING=OFF), leaving zero overhead on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "obs/trace_event.hpp"
+
+namespace rtopex::obs {
+
+/// Everything the collector drained, plus the two loss counters: events the
+/// rings overflowed away and events the bounded store refused.
+struct TraceStore {
+  std::vector<TraceEvent> events;
+  std::uint64_t ring_drops = 0;
+  std::uint64_t store_drops = 0;
+
+  std::uint64_t total_drops() const { return ring_drops + store_drops; }
+};
+
+/// Tracing knobs embedded in substrate configs (RuntimeConfig etc.).
+struct TraceConfig {
+  bool enabled = false;
+  std::size_t ring_capacity = 4096;        ///< events per track.
+  std::size_t max_stored_events = 1 << 20; ///< bounded collector store.
+};
+
+class Tracer {
+ public:
+  /// Timestamp source for emit_now(); defaults to 0 until set. The runtime
+  /// installs its GlobalClock; virtual-time callers stamp events themselves
+  /// and never call emit_now().
+  using ClockFn = std::function<TimePoint()>;
+
+  explicit Tracer(unsigned num_tracks, std::size_t ring_capacity = 4096,
+                  std::size_t max_stored_events = 1 << 20);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  unsigned num_tracks() const { return static_cast<unsigned>(tracks_.size()); }
+
+  void set_clock(ClockFn clock) { clock_ = std::move(clock); }
+  TimePoint now() const { return clock_ ? clock_() : 0; }
+
+  /// Producer side: push onto the ring selected by ev.core. Must only be
+  /// called by the single thread that owns that track. Never blocks; a full
+  /// ring drops the event and bumps the track's drop counter.
+  void emit(const TraceEvent& ev);
+
+  /// emit() with ev.ts stamped from the installed clock.
+  void emit_now(TraceEvent ev) {
+    ev.ts = now();
+    emit(ev);
+  }
+
+  /// Consumer side (single collector thread): drain every ring into the
+  /// bounded store. Returns the number of events moved.
+  std::size_t collect();
+
+  /// Ring-overflow drops on one track / across all tracks (includes events
+  /// dropped since the last collect()).
+  std::uint64_t drops(unsigned track) const;
+  std::uint64_t total_ring_drops() const;
+
+  /// Collector-side view of everything drained so far. collect() first for
+  /// an up-to-date snapshot; drop counters are refreshed on access.
+  const TraceStore& store() const;
+
+  /// collect(), then move the store out (leaves the tracer empty).
+  TraceStore take();
+
+ private:
+  struct Track {
+    explicit Track(std::size_t capacity) : ring(capacity) {}
+    SpscRingBuffer<TraceEvent> ring;
+    std::atomic<std::uint64_t> drops{0};
+  };
+
+  std::vector<std::unique_ptr<Track>> tracks_;
+  mutable TraceStore store_;
+  std::size_t max_stored_;
+  ClockFn clock_;
+};
+
+}  // namespace rtopex::obs
+
+// Call-site macros: compiled out entirely under RTOPEX_NO_TRACING. The
+// tracer argument is a (possibly null) obs::Tracer*; arguments are not
+// evaluated when the pointer is null or tracing is compiled out.
+#if !defined(RTOPEX_NO_TRACING)
+#define RTOPEX_TRACE_ENABLED 1
+#define RTOPEX_TRACE_EVENT(tracer, ...)                            \
+  do {                                                             \
+    if (::rtopex::obs::Tracer* rtopex_tracer_ = (tracer))          \
+      rtopex_tracer_->emit(::rtopex::obs::TraceEvent{__VA_ARGS__}); \
+  } while (0)
+#define RTOPEX_TRACE_NOW(tracer, ...)                                  \
+  do {                                                                 \
+    if (::rtopex::obs::Tracer* rtopex_tracer_ = (tracer))              \
+      rtopex_tracer_->emit_now(::rtopex::obs::TraceEvent{__VA_ARGS__}); \
+  } while (0)
+#else
+#define RTOPEX_TRACE_ENABLED 0
+#define RTOPEX_TRACE_EVENT(tracer, ...) \
+  do {                                  \
+  } while (0)
+#define RTOPEX_TRACE_NOW(tracer, ...) \
+  do {                                \
+  } while (0)
+#endif

@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 
+#include "obs/trace_event.hpp"
 #include "runtime/fault_injection.hpp"
 
 namespace rtopex::runtime {
@@ -39,6 +40,13 @@ struct MigratedChunk {
   std::atomic<std::uint8_t>* done = nullptr;
   /// Keeps the counters alive while either side still references them.
   std::shared_ptr<void> keepalive;
+  /// Provenance, carried so the hosting core can emit kHostBegin/kHostEnd
+  /// trace events whose flow id matches the migrator's kOffload: which
+  /// subframe the chunk belongs to, which stage, and who offloaded it.
+  unsigned bs = 0;
+  std::uint32_t index = 0;
+  unsigned src_core = 0;
+  obs::Stage stage = obs::Stage::kNone;
 };
 
 class Mailbox {

@@ -10,6 +10,8 @@
 #include "channel/channel.hpp"
 #include "common/rng.hpp"
 #include "model/task_cost_model.hpp"
+#include "obs/histogram.hpp"
+#include "obs/tracer.hpp"
 #include "phy/uplink_tx.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/cpu_state_table.hpp"
@@ -89,6 +91,10 @@ struct NodeRuntime::Impl {
   std::atomic<std::size_t> recoveries{0};
   std::atomic<std::size_t> flag_timeouts{0};
 
+  /// Null unless config.trace.enabled. One track per worker plus a
+  /// dedicated ticker track; the ticker is the sole collector.
+  std::unique_ptr<obs::Tracer> tracer;
+
   // ---- resilience state (ticker-thread only unless noted) ---------------
   /// Partition table: slots[bs][residue] -> worker id. Read and written
   /// only on the ticker thread (push_job and the watchdog both run there),
@@ -126,8 +132,20 @@ struct NodeRuntime::Impl {
     }
     last_heartbeat.assign(worker_count(cfg), 0);
     last_progress.assign(worker_count(cfg), 0);
+    if (cfg.trace.enabled) {
+      tracer = std::make_unique<obs::Tracer>(worker_count(cfg) + 1,
+                                             cfg.trace.ring_capacity,
+                                             cfg.trace.max_stored_events);
+      tracer->set_clock([this] { return clock.now(); });
+    }
     rx = std::make_unique<phy::UplinkRxProcessor>(cfg.phy);
     build_variants();
+  }
+
+  obs::Tracer* trc() { return tracer.get(); }
+  /// The ticker's dedicated trace track (the one past the worker tracks).
+  std::uint32_t ticker_track() const {
+    return static_cast<std::uint32_t>(workers.size());
   }
 
   static unsigned worker_count(const RuntimeConfig& cfg) {
@@ -181,9 +199,11 @@ struct NodeRuntime::Impl {
 
   /// Runs a parallelizable stage with migration; returns subtask counts.
   void run_stage_migrating(unsigned self_id, phy::UplinkRxJob& job,
-                           std::size_t subtasks,
+                           const Job& j, std::size_t subtasks,
                            Duration tp_estimate, bool is_fft,
                            StageTiming& timing) {
+    const obs::Stage stage = is_fft ? obs::Stage::kFft : obs::Stage::kDecode;
+    unsigned recovered_here = 0;
     auto run_subtask = [&](std::size_t i) {
       if (is_fft)
         rx->run_fft_subtask(job, i);
@@ -247,7 +267,16 @@ struct NodeRuntime::Impl {
       mc.completed = &lc->completed;
       mc.done = lc->done.get();
       mc.keepalive = lc;
+      mc.bs = j.bs;
+      mc.index = j.index;
+      mc.src_core = self_id;
+      mc.stage = stage;
       box.fill(std::move(mc));
+      RTOPEX_TRACE_NOW(trc(), .bs = j.bs, .index = j.index,
+                       .a = chunk.core,
+                       .b = static_cast<std::uint32_t>(chunk.count),
+                       .core = self_id, .kind = obs::EventKind::kOffload,
+                       .stage = stage);
       migrations.fetch_add(chunk.count, std::memory_order_relaxed);
       if (is_fft)
         timing.fft_migrated += chunk.count;
@@ -272,6 +301,7 @@ struct NodeRuntime::Impl {
         lc->completed.fetch_add(1, std::memory_order_acq_rel);
         recoveries.fetch_add(1, std::memory_order_relaxed);
         timing.recovered += 1;
+        ++recovered_here;
       }
     }
     // Withdraw chunks the host never started, then wait out any host that
@@ -311,6 +341,7 @@ struct NodeRuntime::Impl {
             lc->completed.fetch_add(1, std::memory_order_acq_rel);
             recoveries.fetch_add(1, std::memory_order_relaxed);
             timing.recovered += 1;
+            ++recovered_here;
           }
           break;
         }
@@ -327,6 +358,10 @@ struct NodeRuntime::Impl {
         }
       }
     }
+    if (recovered_here > 0)
+      RTOPEX_TRACE_NOW(trc(), .bs = j.bs, .index = j.index,
+                       .b = recovered_here, .core = self_id,
+                       .kind = obs::EventKind::kRecovery, .stage = stage);
   }
 
   SubframeRecord process_job(unsigned self_id, phy::UplinkRxJob& job,
@@ -345,6 +380,9 @@ struct NodeRuntime::Impl {
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     rec.start = clock.now();
     table.set(self_id, CoreActivity::kActive, 0);
+    RTOPEX_TRACE_EVENT(trc(), .ts = rec.start, .bs = j.bs, .index = j.index,
+                       .core = self_id,
+                       .kind = obs::EventKind::kSubframeBegin);
 
     // A subframe that arrived after its deadline had already passed (a late
     // fronthaul delivery) is classified and skipped regardless of
@@ -354,6 +392,11 @@ struct NodeRuntime::Impl {
       rec.completion = clock.now();
       rec.deadline_missed = true;
       rec.late_arrival = true;
+      RTOPEX_TRACE_NOW(trc(), .bs = j.bs, .index = j.index, .core = self_id,
+                       .kind = obs::EventKind::kLate);
+      RTOPEX_TRACE_EVENT(trc(), .ts = rec.completion, .bs = j.bs,
+                         .index = j.index, .a = 1, .core = self_id,
+                         .kind = obs::EventKind::kSubframeEnd);
       return rec;
     }
 
@@ -392,6 +435,10 @@ struct NodeRuntime::Impl {
               job.iteration_cap = cap;
               rec.degrade = cap <= lmin ? DegradeLevel::kMinimalIterations
                                         : DegradeLevel::kReducedIterations;
+              RTOPEX_TRACE_NOW(trc(), .bs = j.bs, .index = j.index, .a = cap,
+                               .core = self_id,
+                               .kind = obs::EventKind::kDegrade,
+                               .stage = obs::Stage::kDecode);
               admitted = true;
               break;
             }
@@ -402,6 +449,11 @@ struct NodeRuntime::Impl {
           rec.completion = clock.now();
           rec.deadline_missed = true;
           rec.dropped = true;
+          RTOPEX_TRACE_NOW(trc(), .bs = j.bs, .index = j.index,
+                           .core = self_id, .kind = obs::EventKind::kDrop);
+          RTOPEX_TRACE_EVENT(trc(), .ts = rec.completion, .bs = j.bs,
+                             .index = j.index, .a = 1, .core = self_id,
+                             .kind = obs::EventKind::kSubframeEnd);
           return rec;
         }
       }
@@ -409,14 +461,20 @@ struct NodeRuntime::Impl {
 
     // --- FFT ---
     TimePoint t0 = clock.now();
+    RTOPEX_TRACE_EVENT(trc(), .ts = t0, .bs = j.bs, .index = j.index,
+                       .core = self_id, .kind = obs::EventKind::kStageBegin,
+                       .stage = obs::Stage::kFft);
     if (migrate) {
-      run_stage_migrating(self_id, job, fft_n, fft_subtask_est_ns.load(),
+      run_stage_migrating(self_id, job, j, fft_n, fft_subtask_est_ns.load(),
                           /*is_fft=*/true, rec.timing);
     } else {
       for (std::size_t i = 0; i < fft_n; ++i) rx->run_fft_subtask(job, i);
     }
     TimePoint t1 = clock.now();
     rec.timing.fft = t1 - t0;
+    RTOPEX_TRACE_EVENT(trc(), .ts = t1, .bs = j.bs, .index = j.index,
+                       .core = self_id, .kind = obs::EventKind::kStageEnd,
+                       .stage = obs::Stage::kFft);
     update_estimate(fft_subtask_est_ns,
                     rec.timing.fft / static_cast<Duration>(fft_n));
 
@@ -426,13 +484,23 @@ struct NodeRuntime::Impl {
       rx->run_demod_subtask(job, i);
     TimePoint t2 = clock.now();
     rec.timing.demod = t2 - t1;
+    RTOPEX_TRACE_EVENT(trc(), .ts = t1, .bs = j.bs, .index = j.index,
+                       .core = self_id, .kind = obs::EventKind::kStageBegin,
+                       .stage = obs::Stage::kDemod);
+    RTOPEX_TRACE_EVENT(trc(), .ts = t2, .bs = j.bs, .index = j.index,
+                       .core = self_id, .kind = obs::EventKind::kStageEnd,
+                       .stage = obs::Stage::kDemod);
     update_estimate(demod_est_ns, rec.timing.demod);
 
     // --- Decode ---
     rx->decode_prepare(job);
     const std::size_t dec_n = rx->decode_subtask_count(job);
+    RTOPEX_TRACE_NOW(trc(), .bs = j.bs, .index = j.index, .core = self_id,
+                     .kind = obs::EventKind::kStageBegin,
+                     .stage = obs::Stage::kDecode);
     if (migrate && dec_n > 1) {
-      run_stage_migrating(self_id, job, dec_n, decode_subtask_est_ns.load(),
+      run_stage_migrating(self_id, job, j, dec_n,
+                          decode_subtask_est_ns.load(),
                           /*is_fft=*/false, rec.timing);
     } else {
       for (std::size_t i = 0; i < dec_n; ++i) rx->run_decode_subtask(job, i);
@@ -440,6 +508,9 @@ struct NodeRuntime::Impl {
     const phy::UplinkRxResult result = rx->finalize(job);
     TimePoint t3 = clock.now();
     rec.timing.decode = t3 - t2;
+    RTOPEX_TRACE_EVENT(trc(), .ts = t3, .bs = j.bs, .index = j.index,
+                       .core = self_id, .kind = obs::EventKind::kStageEnd,
+                       .stage = obs::Stage::kDecode);
     // A capped decode is cheaper than a full-quality one; feeding it into
     // the EWMA would bias the full-quality estimate downward and admit
     // subframes that then miss.
@@ -451,6 +522,9 @@ struct NodeRuntime::Impl {
     rec.crc_ok = result.crc_ok;
     rec.iterations = result.iterations;
     rec.deadline_missed = rec.completion > j.deadline;
+    RTOPEX_TRACE_EVENT(trc(), .ts = rec.completion, .bs = j.bs,
+                       .index = j.index, .a = rec.deadline_missed ? 1u : 0u,
+                       .core = self_id, .kind = obs::EventKind::kSubframeEnd);
     return rec;
   }
 
@@ -550,6 +624,11 @@ struct NodeRuntime::Impl {
       MigratedChunk chunk;
       if (self.mailbox.try_take(chunk)) {
         table.set(id, CoreActivity::kHosting, 0);
+        RTOPEX_TRACE_NOW(trc(), .bs = chunk.bs, .index = chunk.index,
+                         .a = chunk.src_core, .core = id,
+                         .kind = obs::EventKind::kHostBegin,
+                         .stage = chunk.stage);
+        std::uint32_t served = 0;
         for (;;) {
           // Preemption and kill checks between subtasks — a killed host
           // finishes the subtask it claimed before parking, so it never
@@ -570,7 +649,12 @@ struct NodeRuntime::Impl {
             chunk.done[i - chunk.first].store(1, std::memory_order_release);
           chunk.completed->fetch_add(1, std::memory_order_acq_rel);
           self.heartbeat.fetch_add(1, std::memory_order_relaxed);
+          ++served;
         }
+        RTOPEX_TRACE_NOW(trc(), .bs = chunk.bs, .index = chunk.index,
+                         .a = chunk.src_core, .b = served, .core = id,
+                         .kind = obs::EventKind::kHostEnd,
+                         .stage = chunk.stage);
         self.mailbox.release();
         continue;
       }
@@ -626,6 +710,8 @@ struct NodeRuntime::Impl {
     // Never a migration target again: pin its table entry to active.
     table.set(id, CoreActivity::kActive, 0);
     ++res_failovers;
+    RTOPEX_TRACE_NOW(trc(), .a = id, .core = ticker_track(),
+                     .kind = obs::EventKind::kWatchdogFire);
 
     std::vector<unsigned> survivors;
     for (unsigned k = 0; k < workers.size(); ++k)
@@ -680,6 +766,47 @@ struct NodeRuntime::Impl {
       if (now - last_progress[k] >= config.resilience.watchdog_timeout)
         fail_over(k);
     }
+  }
+
+  /// Mid-run Prometheus snapshot built only from state the ticker may read
+  /// without locks: atomics and ticker-owned counters. Per-subframe latency
+  /// histograms need the worker-private records and appear only in the
+  /// post-run fill_registry() snapshot.
+  std::string render_live_metrics() {
+    obs::MetricsRegistry reg;
+    reg.add_gauge("rtopex_runtime_uptime_seconds",
+                  "Wall-clock run time so far.",
+                  static_cast<double>(clock.now()) / 1e9);
+    reg.add_counter("rtopex_runtime_migrations_total",
+                    "Subtasks executed on a remote core.",
+                    static_cast<double>(migrations.load()));
+    reg.add_counter("rtopex_runtime_recoveries_total",
+                    "Migrated subtasks re-executed locally.",
+                    static_cast<double>(recoveries.load()));
+    reg.add_counter("rtopex_runtime_flag_timeouts_total",
+                    "Completion-flag waits that expired.",
+                    static_cast<double>(flag_timeouts.load()));
+    reg.add_counter("rtopex_runtime_failovers_total",
+                    "Workers declared dead by the watchdog.",
+                    static_cast<double>(res_failovers));
+    reg.add_counter("rtopex_runtime_repartitions_total",
+                    "Partition-table rebuilds after a failover.",
+                    static_cast<double>(res_repartitions));
+    reg.add_counter("rtopex_runtime_requeued_jobs_total",
+                    "Jobs requeued from a dead worker's queue.",
+                    static_cast<double>(res_requeued));
+    reg.add_counter("rtopex_runtime_lost_subframes_total",
+                    "Subframes the fronthaul never delivered.",
+                    static_cast<double>(lost_records.size()));
+    if (tracer) {
+      reg.add_counter("rtopex_trace_ring_drops_total",
+                      "Trace events dropped on full per-core rings.",
+                      static_cast<double>(tracer->total_ring_drops()));
+      reg.add_counter("rtopex_trace_collected_events_total",
+                      "Trace events drained into the bounded store.",
+                      static_cast<double>(tracer->store().events.size()));
+    }
+    return reg.render();
   }
 };
 
@@ -750,6 +877,7 @@ RuntimeReport NodeRuntime::run() {
   // enabling faults does not perturb the generated waveforms.
   Rng fault_rng(cfg.seed ^ 0x9e3779b97f4a7c15ULL);
   const bool faults = cfg.resilience.fronthaul_faults.enabled();
+  TimePoint last_metrics = 0;
   for (std::uint32_t j = 0; j < cfg.subframes_per_bs; ++j) {
     const TimePoint radio_time =
         static_cast<TimePoint>(j) * cfg.subframe_period;
@@ -759,6 +887,14 @@ RuntimeReport NodeRuntime::run() {
     while (im.clock.now() < pre)
       std::this_thread::sleep_for(std::chrono::microseconds(100));
     im.check_watchdog(im.clock.now());
+    // The ticker is the sole trace collector: drain every worker ring once
+    // per tick so rings never fill under normal load.
+    if (im.tracer) im.tracer->collect();
+    if (cfg.metrics_period > 0 && cfg.metrics_sink &&
+        im.clock.now() - last_metrics >= cfg.metrics_period) {
+      last_metrics = im.clock.now();
+      cfg.metrics_sink(im.render_live_metrics());
+    }
     // Per-basestation jittered arrivals (fault injection); without a hook
     // every basestation arrives at the nominal instant in one batch.
     std::vector<std::pair<TimePoint, unsigned>> deliveries;
@@ -777,6 +913,9 @@ RuntimeReport NodeRuntime::run() {
           rec.radio_time = radio_time;
           rec.lost = true;
           im.lost_records.push_back(rec);
+          RTOPEX_TRACE_NOW(im.trc(), .bs = bs, .index = j,
+                           .core = im.ticker_track(),
+                           .kind = obs::EventKind::kLost);
           continue;
         }
         at += f.extra_delay;
@@ -817,6 +956,7 @@ RuntimeReport NodeRuntime::run() {
   };
   while (!queues_empty()) {
     im.check_watchdog(im.clock.now());
+    if (im.tracer) im.tracer->collect();
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -861,7 +1001,89 @@ RuntimeReport NodeRuntime::run() {
   res.flag_timeouts = im.flag_timeouts.load();
   report.migrations = im.migrations.load();
   report.recoveries = im.recoveries.load();
+  // Workers have joined: one final drain picks up everything they emitted
+  // after the ticker's last pass.
+  if (im.tracer) report.trace = im.tracer->take();
   return report;
+}
+
+void fill_registry(const RuntimeReport& report,
+                   obs::MetricsRegistry& registry) {
+  obs::Histogram stage_us[obs::kNumStages];
+  obs::Histogram processing_us;
+  for (const auto& r : report.records) {
+    if (r.lost || r.late_arrival || r.dropped) continue;
+    stage_us[static_cast<unsigned>(obs::Stage::kFft)].add(to_us(r.timing.fft));
+    stage_us[static_cast<unsigned>(obs::Stage::kDemod)].add(
+        to_us(r.timing.demod));
+    stage_us[static_cast<unsigned>(obs::Stage::kDecode)].add(
+        to_us(r.timing.decode));
+    processing_us.add(to_us(r.completion - r.start));
+  }
+
+  registry.add_counter("rtopex_runtime_subframes_total",
+                       "Subframe records produced by the run.",
+                       static_cast<double>(report.records.size()));
+  registry.add_counter("rtopex_runtime_deadline_misses_total",
+                       "Subframes past their deadline (incl. drops/losses).",
+                       static_cast<double>(report.deadline_misses));
+  registry.add_counter("rtopex_runtime_dropped_total",
+                       "Subframes rejected by the slack check.",
+                       static_cast<double>(report.dropped));
+  registry.add_counter("rtopex_runtime_crc_failures_total",
+                       "Full-quality decodes that failed CRC.",
+                       static_cast<double>(report.crc_failures));
+  registry.add_counter("rtopex_runtime_migrations_total",
+                       "Subtasks executed on a remote core.",
+                       static_cast<double>(report.migrations));
+  registry.add_counter("rtopex_runtime_recoveries_total",
+                       "Migrated subtasks re-executed locally.",
+                       static_cast<double>(report.recoveries));
+  const ResilienceMetrics& res = report.resilience;
+  registry.add_counter("rtopex_runtime_failovers_total",
+                       "Workers declared dead by the watchdog.",
+                       static_cast<double>(res.failovers));
+  registry.add_counter("rtopex_runtime_repartitions_total",
+                       "Partition-table rebuilds after a failover.",
+                       static_cast<double>(res.repartitions));
+  registry.add_counter("rtopex_runtime_requeued_jobs_total",
+                       "Jobs requeued from a dead worker's queue.",
+                       static_cast<double>(res.requeued_jobs));
+  registry.add_counter("rtopex_runtime_flag_timeouts_total",
+                       "Completion-flag waits that expired.",
+                       static_cast<double>(res.flag_timeouts));
+  registry.add_counter("rtopex_runtime_lost_subframes_total",
+                       "Subframes the fronthaul never delivered.",
+                       static_cast<double>(res.lost_subframes));
+  registry.add_counter("rtopex_runtime_late_arrivals_total",
+                       "Subframes that arrived after their deadline.",
+                       static_cast<double>(res.late_arrivals));
+  registry.add_counter("rtopex_runtime_degraded_total",
+                       "Subframes decoded below full quality.",
+                       static_cast<double>(res.degraded));
+  registry.add_counter(
+      "rtopex_runtime_degraded_decode_failures_total",
+      "Degraded decodes that failed CRC.",
+      static_cast<double>(res.degraded_decode_failures));
+  registry.add_counter("rtopex_trace_ring_drops_total",
+                       "Trace events dropped on full per-core rings.",
+                       static_cast<double>(report.trace.ring_drops));
+  registry.add_counter("rtopex_trace_store_drops_total",
+                       "Trace events refused by the bounded store.",
+                       static_cast<double>(report.trace.store_drops));
+  registry.add_counter("rtopex_trace_collected_events_total",
+                       "Trace events drained into the bounded store.",
+                       static_cast<double>(report.trace.events.size()));
+
+  registry.add_histogram("rtopex_runtime_processing_time_us",
+                         "Per-subframe processing time (start to completion).",
+                         processing_us);
+  const char* stage_names[obs::kNumStages] = {"none", "fft", "demod",
+                                              "decode"};
+  for (unsigned s = 1; s < obs::kNumStages; ++s)
+    registry.add_histogram("rtopex_runtime_stage_us",
+                           "Per-stage processing time.", stage_us[s],
+                           {{"stage", stage_names[s]}});
 }
 
 }  // namespace rtopex::runtime

@@ -17,11 +17,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/resilience.hpp"
 #include "common/time_types.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/tracer.hpp"
 #include "phy/uplink_rx.hpp"
 #include "transport/transport.hpp"
 
@@ -92,6 +96,19 @@ struct RuntimeConfig {
   std::uint64_t seed = 1;
 
   ResilienceConfig resilience;
+
+  /// Tracing. When enabled, each worker thread emits TraceEvents onto its
+  /// own SPSC track; the transport ticker owns a dedicated extra track
+  /// (index = worker count) and is the sole collector, draining every ring
+  /// once per tick. The drained store is returned in RuntimeReport::trace.
+  obs::TraceConfig trace;
+
+  /// Periodic Prometheus snapshots: every `metrics_period` of run time the
+  /// ticker renders the live (lock-free readable) counters and hands the
+  /// text to `metrics_sink`. Zero period or a null sink disables this; the
+  /// full post-run snapshot comes from fill_registry() below either way.
+  Duration metrics_period = 0;
+  std::function<void(const std::string&)> metrics_sink;
 };
 
 struct StageTiming {
@@ -129,7 +146,14 @@ struct RuntimeReport {
   std::size_t migrations = 0;  ///< migrated subtasks (fft + decode).
   std::size_t recoveries = 0;
   ResilienceMetrics resilience;
+  /// Drained trace events (empty unless RuntimeConfig::trace.enabled).
+  obs::TraceStore trace;
 };
+
+/// Renders the full post-run report as Prometheus metrics: subframe /
+/// miss / migration counters, resilience counters, per-stage latency
+/// histograms built from the subframe records, and trace-loss counters.
+void fill_registry(const RuntimeReport& report, obs::MetricsRegistry& registry);
 
 class NodeRuntime {
  public:

@@ -80,29 +80,47 @@ sim::SchedulerMetrics GlobalScheduler::run(
 
     const TimePoint start =
         std::max(free_at[core_id], w.arrival) + config_.dispatch_latency;
-    if (used[core_id] && start > free_at[core_id])
-      metrics.gap_us.push_back(to_us(start - free_at[core_id]));
+    obs::Tracer* const tracer = config_.tracer;
+    if (used[core_id] && start > free_at[core_id]) {
+      metrics.record_gap(to_us(start - free_at[core_id]),
+                         config_.record_samples);
+      RTOPEX_TRACE_EVENT(tracer, .ts = free_at[core_id], .core = core_id,
+                         .kind = obs::EventKind::kGapBegin);
+      RTOPEX_TRACE_EVENT(tracer, .ts = start, .core = core_id,
+                         .kind = obs::EventKind::kGapEnd);
+    }
     const Duration penalty =
         last_bs[core_id] == static_cast<int>(w.bs) ? 0 : config_.switch_penalty;
 
-    const SerialOutcome o = execute_serial(w, start, penalty,
-                                           config_.admission, config_.degrade);
+    RTOPEX_TRACE_EVENT(tracer, .ts = start, .bs = w.bs, .index = w.index,
+                       .core = core_id,
+                       .kind = obs::EventKind::kSubframeBegin);
+    const SerialOutcome o =
+        execute_serial(w, start, penalty, config_.admission, config_.degrade,
+                       tracer, core_id);
     last_bs[core_id] = static_cast<int>(w.bs);
     used[core_id] = true;
     free_at[core_id] = o.end;
+    RTOPEX_TRACE_EVENT(tracer, .ts = o.end, .bs = w.bs, .index = w.index,
+                       .a = o.miss ? 1u : 0u, .core = core_id,
+                       .kind = obs::EventKind::kSubframeEnd);
+    if (tracer) tracer->collect();
     if (config_.record_timeline)
-      metrics.timeline.push_back({w.bs, w.index, core_id, start, o.end, o.miss});
+      metrics.timeline.push_back({w.bs, w.index, core_id, start, o.end,
+                                  o.miss, o.missed_stage, -1});
 
     ++metrics.total_subframes;
     ++metrics.per_bs[w.bs].subframes;
     account_degrade(o, metrics);
+    account_stages(o, metrics);
     if (o.miss) {
       ++metrics.deadline_misses;
       ++metrics.per_bs[w.bs].misses;
       if (o.dropped) ++metrics.dropped;
       if (o.terminated) ++metrics.terminated;
     } else {
-      metrics.processing_time_us.push_back(to_us(o.end - w.arrival));
+      metrics.record_processing(w.bs, to_us(o.end - w.arrival),
+                                config_.record_samples);
       if (!w.decodable) ++metrics.decode_failures;
     }
   }

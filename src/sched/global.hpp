@@ -9,6 +9,7 @@
 //    the Fig. 19 behaviour where 16 cores do no better (or worse) than 8.
 #pragma once
 
+#include "obs/tracer.hpp"
 #include "sched/scheduler.hpp"
 
 namespace rtopex::sched {
@@ -36,6 +37,12 @@ struct GlobalConfig {
   std::uint64_t selection_seed = 0x9e3779b9;
   /// Graceful degradation on a failed decode slack check.
   DegradeConfig degrade;
+  /// Fill the raw gap_us / processing_time_us sample vectors in addition to
+  /// the bounded histograms (costs memory on big runs).
+  bool record_samples = false;
+  /// Optional trace sink: virtual-time-stamped events on track = core id.
+  /// Needs at least num_cores tracks; drained once per subframe.
+  obs::Tracer* tracer = nullptr;
 };
 
 class GlobalScheduler final : public NodeScheduler {

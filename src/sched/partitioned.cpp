@@ -33,31 +33,48 @@ sim::SchedulerMetrics PartitionedScheduler::run(
   const std::span<const sim::SubframeWork> active =
       filtered ? std::span<const sim::SubframeWork>(*filtered) : work;
 
+  obs::Tracer* const tracer = config_.tracer;
   for (const auto& w : active) {
     if (w.bs >= num_basestations_)
       throw std::invalid_argument("run: basestation id out of range");
     const unsigned core = core_of(w.bs, w.index);
     const TimePoint start = std::max(w.arrival, free_at[core]);
-    if (used[core] && start > free_at[core])
-      metrics.gap_us.push_back(to_us(start - free_at[core]));
+    if (used[core] && start > free_at[core]) {
+      metrics.record_gap(to_us(start - free_at[core]),
+                         config_.record_samples);
+      RTOPEX_TRACE_EVENT(tracer, .ts = free_at[core], .core = core,
+                         .kind = obs::EventKind::kGapBegin);
+      RTOPEX_TRACE_EVENT(tracer, .ts = start, .core = core,
+                         .kind = obs::EventKind::kGapEnd);
+    }
+    RTOPEX_TRACE_EVENT(tracer, .ts = start, .bs = w.bs, .index = w.index,
+                       .core = core,
+                       .kind = obs::EventKind::kSubframeBegin);
 
-    const SerialOutcome o =
-        execute_serial(w, start, 0, config_.admission, config_.degrade);
+    const SerialOutcome o = execute_serial(w, start, 0, config_.admission,
+                                           config_.degrade, tracer, core);
     free_at[core] = o.end;
     used[core] = true;
+    RTOPEX_TRACE_EVENT(tracer, .ts = o.end, .bs = w.bs, .index = w.index,
+                       .a = o.miss ? 1u : 0u, .core = core,
+                       .kind = obs::EventKind::kSubframeEnd);
+    if (tracer) tracer->collect();
     if (config_.record_timeline)
-      metrics.timeline.push_back({w.bs, w.index, core, start, o.end, o.miss});
+      metrics.timeline.push_back({w.bs, w.index, core, start, o.end, o.miss,
+                                  o.missed_stage, -1});
 
     ++metrics.total_subframes;
     ++metrics.per_bs[w.bs].subframes;
     account_degrade(o, metrics);
+    account_stages(o, metrics);
     if (o.miss) {
       ++metrics.deadline_misses;
       ++metrics.per_bs[w.bs].misses;
       if (o.dropped) ++metrics.dropped;
       if (o.terminated) ++metrics.terminated;
     } else {
-      metrics.processing_time_us.push_back(to_us(o.end - w.arrival));
+      metrics.record_processing(w.bs, to_us(o.end - w.arrival),
+                                config_.record_samples);
       if (!w.decodable) ++metrics.decode_failures;
     }
   }

@@ -4,6 +4,7 @@
 // Gaps left by early-finishing subframes are not reused.
 #pragma once
 
+#include "obs/tracer.hpp"
 #include "sched/scheduler.hpp"
 
 namespace rtopex::sched {
@@ -17,6 +18,12 @@ struct PartitionedConfig {
   bool record_timeline = false;
   /// Graceful degradation on a failed decode slack check.
   DegradeConfig degrade;
+  /// Fill the raw gap_us / processing_time_us sample vectors in addition to
+  /// the bounded histograms (costs memory on big runs).
+  bool record_samples = false;
+  /// Optional trace sink: virtual-time-stamped events on track = core id.
+  /// Needs at least num_cores() tracks; drained once per subframe.
+  obs::Tracer* tracer = nullptr;
 
   /// Cores per basestation: ceil(Tmax in ms). For the paper's sweep
   /// (RTT/2 in 0.4–0.7 ms) this is always 2.

@@ -30,6 +30,7 @@ struct StageOutcome {
   unsigned migrated = 0;    ///< subtasks placed on remote cores.
   unsigned recovered = 0;   ///< subtasks recomputed locally.
   bool lost_results = false;///< only without recovery: results missing.
+  int first_host = -1;      ///< first remote core that hosted a chunk.
 };
 
 }  // namespace
@@ -143,13 +144,17 @@ sim::SchedulerMetrics RtOpexScheduler::run(
     return cands;
   };
 
+  obs::Tracer* const tracer = config_.tracer;
+
   // Executes a previously planned parallelizable stage starting at `t` on
   // core `self`, with actual per-subtask time `tp`. The plan may have been
   // made slightly earlier (and with WCET subtask times); a planned target
   // that is no longer available behaves like a failed mailbox claim — its
   // subtasks simply stay local.
   auto run_stage = [&](TimePoint t, const MigrationPlan& plan,
-                       unsigned subtasks, Duration tp) {
+                       unsigned subtasks, Duration tp,
+                       const sim::SubframeWork& w, unsigned self,
+                       obs::Stage stage) {
     StageOutcome out;
     if (tp <= 0 || subtasks == 0 || plan.chunks.empty()) {
       out.end = t + static_cast<Duration>(subtasks) * tp;
@@ -179,6 +184,24 @@ sim::SchedulerMetrics RtOpexScheduler::run(
       running.push_back({chunk.count, abort_at});
       out.migrated += chunk.count;
       local_count -= chunk.count;
+      if (out.first_host < 0) out.first_host = static_cast<int>(chunk.core);
+      // Offload instant + flow start on the migrator's track, host span on
+      // the remote track (b = subtasks the host completed before its own
+      // work preempted the chunk).
+      RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                         .a = chunk.core, .b = chunk.count, .core = self,
+                         .kind = obs::EventKind::kOffload, .stage = stage);
+      RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                         .a = self, .core = chunk.core,
+                         .kind = obs::EventKind::kHostBegin, .stage = stage);
+      const Duration usable =
+          ck.mig_busy_until - t - config_.migration_cost;
+      const unsigned completed = static_cast<unsigned>(std::clamp<Duration>(
+          usable > 0 ? usable / tp : 0, 0, chunk.count));
+      RTOPEX_TRACE_EVENT(tracer, .ts = ck.mig_busy_until, .bs = w.bs,
+                         .index = w.index, .a = self, .b = completed,
+                         .core = chunk.core,
+                         .kind = obs::EventKind::kHostEnd, .stage = stage);
     }
     const TimePoint local_end =
         t + static_cast<Duration>(local_count) * tp;
@@ -214,6 +237,10 @@ sim::SchedulerMetrics RtOpexScheduler::run(
     }
     out.recovered = recovery;
     out.end = local_end + static_cast<Duration>(recovery) * tp;
+    if (recovery > 0)
+      RTOPEX_TRACE_EVENT(tracer, .ts = local_end, .bs = w.bs,
+                         .index = w.index, .b = recovery, .core = self,
+                         .kind = obs::EventKind::kRecovery, .stage = stage);
     return out;
   };
 
@@ -228,9 +255,18 @@ sim::SchedulerMetrics RtOpexScheduler::run(
     ++core.next_own;
 
     const TimePoint start = std::max(w.arrival, core.free_at);
-    if (core.used && start > core.free_at)
-      metrics.gap_us.push_back(to_us(start - core.free_at));
+    if (core.used && start > core.free_at) {
+      metrics.record_gap(to_us(start - core.free_at),
+                         config_.record_samples);
+      RTOPEX_TRACE_EVENT(tracer, .ts = core.free_at, .core = self,
+                         .kind = obs::EventKind::kGapBegin);
+      RTOPEX_TRACE_EVENT(tracer, .ts = start, .core = self,
+                         .kind = obs::EventKind::kGapEnd);
+    }
     core.used = true;
+    RTOPEX_TRACE_EVENT(tracer, .ts = start, .bs = w.bs, .index = w.index,
+                       .core = self,
+                       .kind = obs::EventKind::kSubframeBegin);
 
     ++metrics.total_subframes;
     ++metrics.per_bs[w.bs].subframes;
@@ -240,39 +276,69 @@ sim::SchedulerMetrics RtOpexScheduler::run(
     bool terminated = false;
     DegradeLevel degrade_level = DegradeLevel::kNone;
     bool degraded_failure = false;
+    obs::Stage missed_stage = obs::Stage::kNone;
+    int host_core = -1;
     TimePoint t = start;
 
     // --- FFT stage (deterministic duration; exact slack check) ---
     if (t + w.costs.fft > w.deadline) {
       miss = dropped = true;
+      missed_stage = obs::Stage::kFft;
+      RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                         .core = self, .kind = obs::EventKind::kDrop,
+                         .stage = obs::Stage::kFft);
     } else {
+      RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                         .core = self, .kind = obs::EventKind::kStageBegin,
+                         .stage = obs::Stage::kFft);
+      const TimePoint fft_start = t;
       metrics.fft_subtasks_total += w.costs.fft_subtasks;
       if (config_.migrate_fft) {
         const MigrationPlan plan = plan_migration(
             w.costs.fft_subtasks, std::max<Duration>(w.costs.fft_subtask, 1),
             config_.migration_cost, gather_candidates(self, t),
             config_.constraints);
-        const StageOutcome o =
-            run_stage(t, plan, w.costs.fft_subtasks, w.costs.fft_subtask);
+        const StageOutcome o = run_stage(t, plan, w.costs.fft_subtasks,
+                                         w.costs.fft_subtask, w, self,
+                                         obs::Stage::kFft);
         metrics.fft_subtasks_migrated += o.migrated;
         metrics.recoveries += o.recovered;
+        if (host_core < 0) host_core = o.first_host;
         // Serial residue of the FFT stage (rounding of fft / subtasks).
         const Duration residue =
             w.costs.fft -
             static_cast<Duration>(w.costs.fft_subtasks) * w.costs.fft_subtask;
         t = o.end + residue;
-        if (o.lost_results) miss = true;
+        if (o.lost_results) {
+          miss = true;
+          missed_stage = obs::Stage::kFft;
+        }
       } else {
         t += w.costs.fft;
       }
+      metrics.record_stage(obs::Stage::kFft, to_us(t - fft_start));
+      RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                         .core = self, .kind = obs::EventKind::kStageEnd,
+                         .stage = obs::Stage::kFft);
     }
 
     // --- Demod stage (serial, deterministic) ---
     if (!miss) {
       if (t + w.costs.demod > w.deadline) {
         miss = dropped = true;
+        missed_stage = obs::Stage::kDemod;
+        RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                           .core = self, .kind = obs::EventKind::kDrop,
+                           .stage = obs::Stage::kDemod);
       } else {
+        RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                           .core = self, .kind = obs::EventKind::kStageBegin,
+                           .stage = obs::Stage::kDemod);
         t += w.costs.demod;
+        metrics.record_stage(obs::Stage::kDemod, to_us(w.costs.demod));
+        RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                           .core = self, .kind = obs::EventKind::kStageEnd,
+                           .stage = obs::Stage::kDemod);
       }
     }
 
@@ -299,6 +365,7 @@ sim::SchedulerMetrics RtOpexScheduler::run(
                     static_cast<Duration>(planned_local) *
                         w.wcet.decode_subtask
               : w.decode_optimistic;
+      const TimePoint decode_start = t;
       if (t + admission_estimate > w.deadline) {
         // Even the post-migration worst case cannot fit: before dropping,
         // try a serial decode with the iteration cap shrunk (migration
@@ -307,38 +374,83 @@ sim::SchedulerMetrics RtOpexScheduler::run(
         const DegradePlan dplan = plan_degrade(w, t, config_.degrade);
         if (dplan.cap == 0) {
           miss = dropped = true;
+          missed_stage = obs::Stage::kDecode;
+          RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                             .core = self, .kind = obs::EventKind::kDrop,
+                             .stage = obs::Stage::kDecode);
         } else {
           degrade_level = dplan.level;
           degraded_failure = w.decodable && w.iterations > dplan.cap;
+          RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                             .a = dplan.cap, .core = self,
+                             .kind = obs::EventKind::kDegrade,
+                             .stage = obs::Stage::kDecode);
+          RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                             .core = self,
+                             .kind = obs::EventKind::kStageBegin,
+                             .stage = obs::Stage::kDecode);
           t += degraded_decode_time(w, dplan.cap);
           if (t > w.deadline) {
             miss = terminated = true;
+            missed_stage = obs::Stage::kDecode;
             t = w.deadline;
           }
+          metrics.record_stage(obs::Stage::kDecode, to_us(t - decode_start));
+          RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                             .core = self, .kind = obs::EventKind::kStageEnd,
+                             .stage = obs::Stage::kDecode);
+          if (terminated)
+            RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                               .core = self,
+                               .kind = obs::EventKind::kTerminate,
+                               .stage = obs::Stage::kDecode);
         }
       } else {
         metrics.decode_subtasks_total += w.costs.decode_subtasks;
+        RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                           .core = self, .kind = obs::EventKind::kStageBegin,
+                           .stage = obs::Stage::kDecode);
         if (config_.migrate_decode) {
           t += w.costs.decode_serial();
-          const StageOutcome o = run_stage(
-              t, plan, w.costs.decode_subtasks, w.costs.decode_subtask);
+          const StageOutcome o =
+              run_stage(t, plan, w.costs.decode_subtasks,
+                        w.costs.decode_subtask, w, self, obs::Stage::kDecode);
           metrics.decode_subtasks_migrated += o.migrated;
           metrics.recoveries += o.recovered;
+          if (host_core < 0) host_core = o.first_host;
           t = o.end;
-          if (o.lost_results) miss = true;
+          if (o.lost_results) {
+            miss = true;
+            missed_stage = obs::Stage::kDecode;
+          }
         } else {
           t += w.costs.decode;
         }
         if (!miss && t > w.deadline) {
           miss = terminated = true;
+          missed_stage = obs::Stage::kDecode;
           t = w.deadline;
         }
+        metrics.record_stage(obs::Stage::kDecode, to_us(t - decode_start));
+        RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                           .core = self, .kind = obs::EventKind::kStageEnd,
+                           .stage = obs::Stage::kDecode);
+        if (terminated)
+          RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                             .core = self,
+                             .kind = obs::EventKind::kTerminate,
+                             .stage = obs::Stage::kDecode);
       }
     }
 
     core.free_at = t;
+    RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                       .a = miss ? 1u : 0u, .core = self,
+                       .kind = obs::EventKind::kSubframeEnd);
+    if (tracer) tracer->collect();
     if (config_.record_timeline)
-      metrics.timeline.push_back({w.bs, w.index, self, start, t, miss});
+      metrics.timeline.push_back({w.bs, w.index, self, start, t, miss,
+                                  missed_stage, host_core});
     if (!dropped) {
       metrics.resilience
           .degrade_histogram[static_cast<unsigned>(degrade_level)] += 1;
@@ -354,7 +466,8 @@ sim::SchedulerMetrics RtOpexScheduler::run(
       if (dropped) ++metrics.dropped;
       if (terminated) ++metrics.terminated;
     } else {
-      metrics.processing_time_us.push_back(to_us(t - w.arrival));
+      metrics.record_processing(w.bs, to_us(t - w.arrival),
+                                config_.record_samples);
       if (!w.decodable) ++metrics.decode_failures;
     }
   }

@@ -18,6 +18,7 @@
 //    planning is therefore slightly conservative.
 #pragma once
 
+#include "obs/tracer.hpp"
 #include "sched/migration.hpp"
 #include "sched/scheduler.hpp"
 
@@ -57,6 +58,13 @@ struct RtOpexConfig {
     TimePoint at = 0;
   };
   std::vector<CoreFailure> core_failures;
+  /// Fill the raw gap_us / processing_time_us sample vectors in addition to
+  /// the bounded histograms (costs memory on big runs).
+  bool record_samples = false;
+  /// Optional trace sink: virtual-time-stamped events on track = core id
+  /// (offloads carry flow metadata; host spans land on the remote track).
+  /// Needs at least num_cores() tracks; drained once per subframe.
+  obs::Tracer* tracer = nullptr;
 
   unsigned cores_per_bs() const {
     const Duration tmax = kEndToEndBudget - rtt_half;

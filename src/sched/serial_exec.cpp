@@ -89,7 +89,8 @@ Duration degraded_decode_time(const sim::SubframeWork& w, unsigned cap) {
 SerialOutcome execute_serial(const sim::SubframeWork& w, TimePoint start,
                              Duration entry_penalty,
                              AdmissionPolicy admission,
-                             const DegradeConfig& degrade) {
+                             const DegradeConfig& degrade,
+                             obs::Tracer* tracer, unsigned core) {
   SerialOutcome out;
   TimePoint t = start;
 
@@ -98,17 +99,39 @@ SerialOutcome execute_serial(const sim::SubframeWork& w, TimePoint start,
   if (t + fft > w.deadline) {
     out.end = t;
     out.miss = out.dropped = true;
+    out.missed_stage = obs::Stage::kFft;
+    RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                       .core = core, .kind = obs::EventKind::kDrop,
+                       .stage = obs::Stage::kFft);
     return out;
   }
+  RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                     .core = core, .kind = obs::EventKind::kStageBegin,
+                     .stage = obs::Stage::kFft);
   t += fft;
+  out.fft_ns = fft;
+  RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                     .core = core, .kind = obs::EventKind::kStageEnd,
+                     .stage = obs::Stage::kFft);
 
   // Demod (deterministic).
   if (t + w.costs.demod > w.deadline) {
     out.end = t;
     out.miss = out.dropped = true;
+    out.missed_stage = obs::Stage::kDemod;
+    RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                       .core = core, .kind = obs::EventKind::kDrop,
+                       .stage = obs::Stage::kDemod);
     return out;
   }
+  RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                     .core = core, .kind = obs::EventKind::kStageBegin,
+                     .stage = obs::Stage::kDemod);
   t += w.costs.demod;
+  out.demod_ns = w.costs.demod;
+  RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                     .core = core, .kind = obs::EventKind::kStageEnd,
+                     .stage = obs::Stage::kDemod);
 
   // Decode: admission per policy (WCET by default), then actual execution
   // with termination at the deadline. A failed full-quality check first
@@ -120,18 +143,41 @@ SerialOutcome execute_serial(const sim::SubframeWork& w, TimePoint start,
     if (plan.cap == 0) {
       out.end = t;
       out.miss = out.dropped = true;
+      out.missed_stage = obs::Stage::kDecode;
+      RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                         .core = core, .kind = obs::EventKind::kDrop,
+                         .stage = obs::Stage::kDecode);
       return out;
     }
     out.degrade = plan.level;
     out.degraded_failure = w.decodable && w.iterations > plan.cap;
     decode_time = degraded_decode_time(w, plan.cap);
+    RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                       .a = plan.cap, .core = core,
+                       .kind = obs::EventKind::kDegrade,
+                       .stage = obs::Stage::kDecode);
   }
-  t += decode_time;
-  if (t > w.deadline) {
+  RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                     .core = core, .kind = obs::EventKind::kStageBegin,
+                     .stage = obs::Stage::kDecode);
+  if (t + decode_time > w.deadline) {
+    out.decode_ns = w.deadline - t;
     out.end = w.deadline;
     out.miss = out.terminated = true;
+    out.missed_stage = obs::Stage::kDecode;
+    RTOPEX_TRACE_EVENT(tracer, .ts = w.deadline, .bs = w.bs, .index = w.index,
+                       .core = core, .kind = obs::EventKind::kStageEnd,
+                       .stage = obs::Stage::kDecode);
+    RTOPEX_TRACE_EVENT(tracer, .ts = w.deadline, .bs = w.bs, .index = w.index,
+                       .core = core, .kind = obs::EventKind::kTerminate,
+                       .stage = obs::Stage::kDecode);
     return out;
   }
+  t += decode_time;
+  out.decode_ns = decode_time;
+  RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                     .core = core, .kind = obs::EventKind::kStageEnd,
+                     .stage = obs::Stage::kDecode);
   out.end = t;
   out.completed = true;
   return out;

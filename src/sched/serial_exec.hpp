@@ -2,6 +2,7 @@
 // used by the partitioned and global policies.
 #pragma once
 
+#include "obs/tracer.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/workload.hpp"
 
@@ -17,17 +18,28 @@ struct SerialOutcome {
   DegradeLevel degrade = DegradeLevel::kNone;
   /// Decodable subframe that NACKed *because* of the iteration cap.
   bool degraded_failure = false;
+  /// Stage at which the miss occurred (kNone when the subframe completed).
+  obs::Stage missed_stage = obs::Stage::kNone;
+  /// Per-stage execution time in ns; -1 when the stage never ran. The FFT
+  /// figure includes the entry penalty (charged before the stage).
+  Duration fft_ns = -1;
+  Duration demod_ns = -1;
+  Duration decode_ns = -1;
 };
 
 /// Runs FFT -> demod -> decode serially from `start`. `entry_penalty` models
 /// extra per-dispatch cost (e.g. the global scheduler's cache-refill after a
 /// basestation switch); it is charged before the FFT stage. With
 /// `degrade.enabled`, a failed decode slack check shrinks the iteration cap
-/// before dropping.
+/// before dropping. A non-null `tracer` receives stage spans, degrade
+/// markers and drop/terminate instants on track `core`, stamped with
+/// virtual time.
 SerialOutcome execute_serial(const sim::SubframeWork& w, TimePoint start,
                              Duration entry_penalty = 0,
                              AdmissionPolicy admission = AdmissionPolicy::kWcet,
-                             const DegradeConfig& degrade = {});
+                             const DegradeConfig& degrade = {},
+                             obs::Tracer* tracer = nullptr,
+                             unsigned core = 0);
 
 /// Folds one outcome's degradation fields into the metrics (histogram over
 /// executed subframes; capped-decode NACKs counted apart from ordinary
@@ -40,6 +52,16 @@ inline void account_degrade(const SerialOutcome& o,
   ++metrics.resilience.degraded;
   if (o.completed && o.degraded_failure)
     ++metrics.resilience.degraded_decode_failures;
+}
+
+/// Folds one outcome's per-stage durations into the stage histograms.
+inline void account_stages(const SerialOutcome& o,
+                           sim::SchedulerMetrics& metrics) {
+  if (o.fft_ns >= 0) metrics.record_stage(obs::Stage::kFft, to_us(o.fft_ns));
+  if (o.demod_ns >= 0)
+    metrics.record_stage(obs::Stage::kDemod, to_us(o.demod_ns));
+  if (o.decode_ns >= 0)
+    metrics.record_stage(obs::Stage::kDecode, to_us(o.decode_ns));
 }
 
 }  // namespace rtopex::sched

@@ -1,0 +1,82 @@
+#include "sim/metrics.hpp"
+
+namespace rtopex::sim {
+
+void fill_registry(const SchedulerMetrics& m, const std::string& scheduler,
+                   obs::MetricsRegistry& registry) {
+  const obs::MetricsRegistry::Labels base = {{"scheduler", scheduler}};
+  auto counter = [&](const char* name, const char* help, std::size_t value) {
+    registry.add_counter(name, help, static_cast<double>(value), base);
+  };
+
+  counter("rtopex_subframes_total", "Subframes offered to the scheduler",
+          m.total_subframes);
+  counter("rtopex_deadline_misses_total", "Subframes dropped or terminated",
+          m.deadline_misses);
+  counter("rtopex_dropped_total", "Subframes rejected by the slack check",
+          m.dropped);
+  counter("rtopex_terminated_total",
+          "Subframes killed mid-execution at the deadline", m.terminated);
+  counter("rtopex_decode_failures_total",
+          "Subframes completed in time but NACKed", m.decode_failures);
+  registry.add_gauge("rtopex_miss_rate", "deadline_misses / subframes",
+                     m.miss_rate(), base);
+
+  counter("rtopex_fft_subtasks_total", "FFT subtasks eligible for migration",
+          m.fft_subtasks_total);
+  counter("rtopex_fft_subtasks_migrated_total",
+          "FFT subtasks placed on remote cores", m.fft_subtasks_migrated);
+  counter("rtopex_decode_subtasks_total",
+          "Decode subtasks eligible for migration", m.decode_subtasks_total);
+  counter("rtopex_decode_subtasks_migrated_total",
+          "Decode subtasks placed on remote cores", m.decode_subtasks_migrated);
+  counter("rtopex_recoveries_total",
+          "Migrated subtasks re-executed locally after preemption",
+          m.recoveries);
+
+  const ResilienceMetrics& r = m.resilience;
+  counter("rtopex_failovers_total", "Cores declared dead by the watchdog",
+          r.failovers);
+  counter("rtopex_repartitions_total",
+          "Partition-table rebuilds after core failures", r.repartitions);
+  counter("rtopex_requeued_jobs_total", "Jobs moved off a dead core's queue",
+          r.requeued_jobs);
+  counter("rtopex_lost_subframes_total",
+          "Fronthaul loss: subframes that never arrived", r.lost_subframes);
+  counter("rtopex_late_arrivals_total",
+          "Subframes that arrived after their deadline", r.late_arrivals);
+  counter("rtopex_degraded_total", "Subframes processed below full quality",
+          r.degraded);
+  counter("rtopex_degraded_decode_failures_total",
+          "Capped decodes that NACKed because of the cap",
+          r.degraded_decode_failures);
+
+  registry.add_histogram("rtopex_processing_time_us",
+                         "Arrival-to-completion time of completed subframes",
+                         m.processing_us_hist, base);
+  registry.add_histogram("rtopex_gap_us",
+                         "Idle gaps between consecutive executions on a core",
+                         m.gap_us_hist, base);
+  static const char* kStageNames[] = {"none", "fft", "demod", "decode"};
+  for (unsigned s = 1; s < obs::kNumStages; ++s) {
+    auto labels = base;
+    labels.emplace_back("stage", kStageNames[s]);
+    registry.add_histogram("rtopex_stage_us", "Per-stage execution time",
+                           m.stage_us_hist[s], labels);
+  }
+  for (std::size_t bs = 0; bs < m.per_bs.size(); ++bs) {
+    auto labels = base;
+    labels.emplace_back("bs", std::to_string(bs));
+    registry.add_counter("rtopex_bs_subframes_total",
+                         "Subframes offered, per basestation",
+                         static_cast<double>(m.per_bs[bs].subframes), labels);
+    registry.add_counter("rtopex_bs_misses_total",
+                         "Deadline misses, per basestation",
+                         static_cast<double>(m.per_bs[bs].misses), labels);
+    registry.add_histogram("rtopex_bs_processing_time_us",
+                           "Processing time, per basestation",
+                           m.per_bs[bs].processing_us, labels);
+  }
+}
+
+}  // namespace rtopex::sim

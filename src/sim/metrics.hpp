@@ -1,19 +1,30 @@
 // Per-run metrics collected by the node schedulers: deadline misses, idle
-// gaps, migration counts and processing-time samples — everything needed to
-// regenerate the paper's Figs. 15–19.
+// gaps, migration counts and processing-time distributions — everything
+// needed to regenerate the paper's Figs. 15–19.
+//
+// Latency-like samples are recorded into bounded log-scale histograms by
+// default (obs::Histogram, p50/p95/p99 within one bucket width); the raw
+// unbounded sample vectors are only filled when the scheduler config sets
+// record_samples (needed for exact CDFs, costly on long runs).
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/resilience.hpp"
 #include "common/time_types.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace_event.hpp"
 
 namespace rtopex::sim {
 
 struct BsCounters {
   std::size_t subframes = 0;
   std::size_t misses = 0;  ///< dropped or terminated at the deadline.
+  /// Per-basestation processing-time breakdown (completed subframes, us).
+  obs::Histogram processing_us;
 };
 
 struct SchedulerMetrics {
@@ -28,8 +39,17 @@ struct SchedulerMetrics {
   /// degradation) — all zero unless the matching config knobs are enabled.
   ResilienceMetrics resilience;
 
-  // Idle gaps between consecutive executions on a core (us).
+  // Bounded histogram views — always recorded, memory independent of run
+  // length. Stage histograms are indexed by obs::Stage (kNone unused).
+  obs::Histogram processing_us_hist;
+  obs::Histogram gap_us_hist;
+  obs::Histogram stage_us_hist[obs::kNumStages];
+
+  // Raw samples — only filled when the scheduler config sets record_samples.
+  /// Idle gaps between consecutive executions on a core (us).
   std::vector<double> gap_us;
+  /// Processing time (arrival -> completion, us) of subframes that finished.
+  std::vector<double> processing_time_us;
 
   // Migration accounting (RT-OPEX only).
   std::size_t fft_subtasks_total = 0;
@@ -37,9 +57,6 @@ struct SchedulerMetrics {
   std::size_t decode_subtasks_total = 0;
   std::size_t decode_subtasks_migrated = 0;
   std::size_t recoveries = 0;  ///< migrated subtasks re-executed locally.
-
-  // Processing time (arrival -> completion, us) of subframes that finished.
-  std::vector<double> processing_time_us;
 
   /// Per-subframe execution record, only populated when the scheduler's
   /// config sets record_timeline (used for Fig. 9/10/11-style renderings).
@@ -50,8 +67,26 @@ struct SchedulerMetrics {
     TimePoint start = 0;
     TimePoint end = 0;
     bool missed = false;
+    /// Stage the miss happened at (kNone when the subframe completed).
+    obs::Stage missed_stage = obs::Stage::kNone;
+    /// First remote core that hosted a migrated chunk of this subframe
+    /// (-1 when nothing migrated).
+    int host_core = -1;
   };
   std::vector<TimelineEntry> timeline;
+
+  void record_processing(unsigned bs, double us, bool keep_samples) {
+    processing_us_hist.add(us);
+    if (bs < per_bs.size()) per_bs[bs].processing_us.add(us);
+    if (keep_samples) processing_time_us.push_back(us);
+  }
+  void record_gap(double us, bool keep_samples) {
+    gap_us_hist.add(us);
+    if (keep_samples) gap_us.push_back(us);
+  }
+  void record_stage(obs::Stage stage, double us) {
+    stage_us_hist[static_cast<unsigned>(stage)].add(us);
+  }
 
   double miss_rate() const {
     return total_subframes == 0
@@ -72,5 +107,10 @@ struct SchedulerMetrics {
                      static_cast<double>(decode_subtasks_total);
   }
 };
+
+/// Snapshots every counter and histogram of `m` into the registry in
+/// Prometheus form; all series carry a scheduler="<name>" label.
+void fill_registry(const SchedulerMetrics& m, const std::string& scheduler,
+                   obs::MetricsRegistry& registry);
 
 }  // namespace rtopex::sim

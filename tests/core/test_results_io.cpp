@@ -54,8 +54,10 @@ TEST_F(ResultsIoTest, DistributionQuantiles) {
 }
 
 TEST_F(ResultsIoTest, RejectsDegenerateInput) {
-  EXPECT_THROW(write_distribution_csv(path_, {}, 10), std::invalid_argument);
-  EXPECT_THROW(write_distribution_csv(path_, {1.0}, 1), std::invalid_argument);
+  EXPECT_THROW(write_distribution_csv(path_, std::vector<double>{}, 10),
+               std::invalid_argument);
+  EXPECT_THROW(write_distribution_csv(path_, std::vector<double>{1.0}, 1),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,214 @@
+// Golden validation of the Chrome trace-event exporter: the JSON must
+// parse, per-track timestamps must be monotone, every flow-start ("s")
+// must have a matching flow-finish ("f") with the same id, and the
+// otherData accounting must match the store. Parsed with the test-side
+// mini JSON parser, not string matching, so structural regressions fail
+// loudly.
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/mini_json.hpp"
+
+namespace rtopex::obs {
+namespace {
+
+using testsupport::JsonValue;
+using testsupport::parse_json;
+
+TraceEvent ev(TimePoint ts, std::uint32_t core, EventKind kind,
+              Stage stage = Stage::kNone, std::uint32_t bs = 0,
+              std::uint32_t index = 0, std::uint32_t a = 0,
+              std::uint32_t b = 0) {
+  return TraceEvent{ts, bs, index, a, b, core, kind, stage};
+}
+
+/// A miniature but representative run: core 0 processes one subframe with
+/// a decode stage, offloads two subtasks to core 1 which hosts them, the
+/// ticker track (2) fires the watchdog, and core 1 finishes its own
+/// subframe late. Events are deliberately appended out of timestamp order
+/// to exercise the exporter's sort.
+TraceStore make_store() {
+  TraceStore store;
+  auto& e = store.events;
+  e.push_back(ev(1000, 0, EventKind::kSubframeBegin, Stage::kNone, 0, 7));
+  e.push_back(ev(1500, 0, EventKind::kStageBegin, Stage::kDecode, 0, 7));
+  e.push_back(ev(2000, 0, EventKind::kOffload, Stage::kDecode, 0, 7,
+                 /*target=*/1, /*count=*/2));
+  e.push_back(ev(6000, 0, EventKind::kStageEnd, Stage::kDecode, 0, 7));
+  e.push_back(ev(6500, 0, EventKind::kSubframeEnd, Stage::kNone, 0, 7,
+                 /*missed=*/0));
+  // Host side, interleaved timestamps.
+  e.push_back(ev(2500, 1, EventKind::kHostBegin, Stage::kDecode, 0, 7,
+                 /*src=*/0));
+  e.push_back(ev(5500, 1, EventKind::kHostEnd, Stage::kDecode, 0, 7, 0,
+                 /*completed=*/2));
+  e.push_back(ev(7000, 1, EventKind::kSubframeBegin, Stage::kNone, 1, 3));
+  e.push_back(ev(9000, 1, EventKind::kSubframeEnd, Stage::kNone, 1, 3,
+                 /*missed=*/1));
+  // Ticker track markers.
+  e.push_back(ev(4000, 2, EventKind::kWatchdogFire, Stage::kNone, 0, 0,
+                 /*dead=*/3));
+  e.push_back(ev(8000, 2, EventKind::kLost, Stage::kNone, 1, 4));
+  store.ring_drops = 5;
+  store.store_drops = 1;
+  return store;
+}
+
+ChromeTraceOptions two_core_options() {
+  ChromeTraceOptions opts;
+  opts.process_name = "unit test";
+  opts.num_cores = 2;
+  return opts;
+}
+
+TEST(ChromeTraceTest, ExportParsesAsJson) {
+  const JsonValue root =
+      parse_json(chrome_trace_json(make_store(), two_core_options()));
+  ASSERT_TRUE(root.is_object());
+  ASSERT_TRUE(root.at("traceEvents").is_array());
+  const JsonValue& other = root.at("otherData");
+  EXPECT_EQ(other.at("event_count").number(), 11.0);
+  EXPECT_EQ(other.at("ring_drops").number(), 5.0);
+  EXPECT_EQ(other.at("store_drops").number(), 1.0);
+}
+
+TEST(ChromeTraceTest, EmptyStoreIsStillValid) {
+  const JsonValue root = parse_json(chrome_trace_json(TraceStore{}));
+  ASSERT_TRUE(root.at("traceEvents").is_array());
+  // Only the process_name metadata record remains.
+  ASSERT_EQ(root.at("traceEvents").size(), 1u);
+  EXPECT_EQ(root.at("traceEvents")[0].at("ph").str(), "M");
+  EXPECT_EQ(root.at("otherData").at("event_count").number(), 0.0);
+}
+
+TEST(ChromeTraceTest, PerTrackTimestampsAreMonotone) {
+  const JsonValue root =
+      parse_json(chrome_trace_json(make_store(), two_core_options()));
+  std::map<double, double> last_ts;  // tid -> last seen ts
+  std::size_t timed = 0;
+  for (const JsonValue& event : root.at("traceEvents").array()) {
+    const std::string& ph = event.at("ph").str();
+    if (ph == "M") continue;  // metadata carries no ts
+    const double tid = event.at("tid").number();
+    const double ts = event.at("ts").number();
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second) << "tid " << tid;
+    }
+    last_ts[tid] = ts;
+    ++timed;
+  }
+  EXPECT_GT(timed, 0u);
+  EXPECT_EQ(last_ts.size(), 3u);  // cores 0, 1 and the ticker track
+}
+
+TEST(ChromeTraceTest, SpanBeginsAndEndsBalancePerTrack) {
+  const JsonValue root =
+      parse_json(chrome_trace_json(make_store(), two_core_options()));
+  std::map<double, int> depth;  // tid -> open span count
+  for (const JsonValue& event : root.at("traceEvents").array()) {
+    const std::string& ph = event.at("ph").str();
+    if (ph == "B") ++depth[event.at("tid").number()];
+    if (ph == "E") {
+      const int d = --depth[event.at("tid").number()];
+      EXPECT_GE(d, 0) << "E without matching B";
+    }
+  }
+  for (const auto& [tid, d] : depth) EXPECT_EQ(d, 0) << "tid " << tid;
+}
+
+TEST(ChromeTraceTest, FlowArrowsPairUpAcrossTracks) {
+  const JsonValue root =
+      parse_json(chrome_trace_json(make_store(), two_core_options()));
+  std::map<std::string, double> starts;   // flow id -> source tid
+  std::map<std::string, double> finishes; // flow id -> destination tid
+  for (const JsonValue& event : root.at("traceEvents").array()) {
+    const std::string& ph = event.at("ph").str();
+    if (ph == "s") starts[event.at("id").str()] = event.at("tid").number();
+    if (ph == "f") finishes[event.at("id").str()] = event.at("tid").number();
+  }
+  ASSERT_EQ(starts.size(), 1u);
+  ASSERT_EQ(finishes.size(), 1u);
+  for (const auto& [id, src_tid] : starts) {
+    const auto it = finishes.find(id);
+    ASSERT_NE(it, finishes.end()) << "unterminated flow " << id;
+    EXPECT_NE(it->second, src_tid) << "flow must cross tracks";
+  }
+  // Both halves derived the same id independently from their own events.
+  EXPECT_EQ(starts.begin()->first, "bs0.7.decode.0-1");
+}
+
+TEST(ChromeTraceTest, TrackMetadataNamesCoresAndTicker) {
+  const JsonValue root =
+      parse_json(chrome_trace_json(make_store(), two_core_options()));
+  std::map<double, std::string> names;  // tid -> thread name
+  for (const JsonValue& event : root.at("traceEvents").array()) {
+    if (event.at("ph").str() != "M") continue;
+    if (event.at("name").str() != "thread_name") continue;
+    names[event.at("tid").number()] = event.at("args").at("name").str();
+  }
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0.0], "core 0");
+  EXPECT_EQ(names[1.0], "core 1");
+  EXPECT_EQ(names[2.0], "ticker 2");
+}
+
+TEST(ChromeTraceTest, MarkersCarryKindAndPayload) {
+  const JsonValue root =
+      parse_json(chrome_trace_json(make_store(), two_core_options()));
+  bool saw_watchdog = false, saw_lost = false;
+  for (const JsonValue& event : root.at("traceEvents").array()) {
+    if (event.at("ph").str() != "i") continue;
+    const std::string& name = event.at("name").str();
+    if (name == "watchdog_fire") {
+      saw_watchdog = true;
+      EXPECT_EQ(event.at("args").at("a").number(), 3.0);
+    }
+    if (name == "lost") {
+      saw_lost = true;
+      EXPECT_EQ(event.at("args").at("bs").number(), 1.0);
+      EXPECT_EQ(event.at("args").at("index").number(), 4.0);
+    }
+  }
+  EXPECT_TRUE(saw_watchdog);
+  EXPECT_TRUE(saw_lost);
+}
+
+TEST(ChromeTraceTest, WriteChromeTraceRoundtripsThroughDisk) {
+  const std::string path = ::testing::TempDir() + "/chrome_trace_test.json";
+  const TraceStore store = make_store();
+  write_chrome_trace(path, store, two_core_options());
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), chrome_trace_json(store, two_core_options()));
+  std::remove(path.c_str());
+  EXPECT_THROW(write_chrome_trace("/nonexistent-dir-xyz/t.json", store),
+               std::runtime_error);
+}
+
+TEST(ChromeTraceTest, CsvDumpHasOneRowPerEvent) {
+  const std::string path = ::testing::TempDir() + "/chrome_trace_test.csv";
+  const TraceStore store = make_store();
+  write_trace_csv(path, store);
+  std::ifstream in(path);
+  std::string line;
+  std::size_t rows = 0;
+  ASSERT_TRUE(std::getline(in, line));  // header
+  EXPECT_EQ(line.rfind("ts_ns", 0), 0u);
+  while (std::getline(in, line))
+    if (!line.empty()) ++rows;
+  EXPECT_EQ(rows, store.events.size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rtopex::obs

@@ -1,0 +1,131 @@
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace rtopex::obs {
+namespace {
+
+TEST(HistogramTest, EmptyIsAllZero) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  // The empty-percentile guard: 0, never a bucket edge of nothing.
+  EXPECT_EQ(h.percentile(0.0), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  EXPECT_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST(HistogramTest, RejectsBadLayout) {
+  EXPECT_THROW(Histogram(0.0, 100.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(-1.0, 100.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(100.0, 100.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(100.0, 10.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 100.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, MomentsAreExact) {
+  // count/sum/mean/min/max come from running moments, not buckets, so they
+  // are exact regardless of bucket resolution.
+  Histogram h(1.0, 1e4, 4);
+  for (const double x : {3.0, 7.0, 100.0, 2500.0}) h.add(x);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2610.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 652.5);
+  EXPECT_DOUBLE_EQ(h.min(), 3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 2500.0);
+}
+
+TEST(HistogramTest, SingleSamplePercentilesCollapse) {
+  Histogram h;
+  h.add(42.0);
+  for (const double q : {0.0, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(h.percentile(q), 42.0);
+}
+
+TEST(HistogramTest, PercentileClampedToObservedRange) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.add(100.0 + i);
+  EXPECT_GE(h.percentile(0.0), h.min());
+  EXPECT_LE(h.percentile(1.0), h.max());
+}
+
+TEST(HistogramTest, OutOfRangeSamplesKeepTotalMass) {
+  Histogram h(1.0, 100.0, 4);
+  h.add(-5.0);    // below range -> first bucket
+  h.add(0.0);
+  h.add(1e9);     // above range -> last bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  // Percentiles stay within the observed extrema even for clipped mass.
+  EXPECT_LE(h.percentile(1.0), 1e9);
+}
+
+TEST(HistogramTest, PercentileMatchesRawWithinOneBucketWidth) {
+  // The documented accuracy contract: a percentile read is within one
+  // bucket width (relative width g = 10^(1/bpd)) of the true sample
+  // quantile. Checked against common/stats on a log-uniform sample.
+  Rng rng(7);
+  Histogram h;  // default: 24 buckets/decade over [0.1, 1e7)
+  std::vector<double> raw;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = std::pow(10.0, 1.0 + 3.0 * rng.uniform());
+    raw.push_back(x);
+    h.add(x);
+  }
+  std::sort(raw.begin(), raw.end());
+  const double g = std::pow(10.0, 1.0 / 24.0);
+  for (const double q : {0.05, 0.25, 0.5, 0.9, 0.95, 0.99}) {
+    const double exact = quantile(raw, q);
+    const double est = h.percentile(q);
+    EXPECT_GE(est, exact / g * (1.0 - 1e-9)) << "q=" << q;
+    EXPECT_LE(est, exact * g * (1.0 + 1e-9)) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergeAddsMassAndChecksLayout) {
+  Histogram a, b;
+  for (int i = 1; i <= 100; ++i) a.add(i);
+  for (int i = 101; i <= 200; ++i) b.add(i);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 200.0);
+  const double median = a.percentile(0.5);
+  EXPECT_GT(median, 80.0);
+  EXPECT_LT(median, 125.0);
+
+  Histogram other(1.0, 100.0, 4);
+  EXPECT_THROW(a.merge(other), std::invalid_argument);
+}
+
+TEST(HistogramTest, ResetRestoresEmptyState) {
+  Histogram h;
+  h.add(5.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  EXPECT_EQ(h, Histogram());
+}
+
+TEST(HistogramTest, EqualityIsBucketExact) {
+  Histogram a, b;
+  a.add(10.0);
+  b.add(10.0);
+  EXPECT_EQ(a, b);
+  b.add(11.0);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rtopex::obs

@@ -1,0 +1,122 @@
+#include "obs/metrics_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/histogram.hpp"
+
+namespace rtopex::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+TEST(MetricsRegistryTest, RendersCounterAndGauge) {
+  MetricsRegistry reg;
+  reg.add_counter("rtopex_subframes_total", "Subframes processed.", 42);
+  reg.add_gauge("rtopex_miss_rate", "Fraction missed.", 0.25);
+  const std::string text = reg.render();
+  EXPECT_NE(text.find("# HELP rtopex_subframes_total Subframes processed."),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rtopex_subframes_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("rtopex_subframes_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rtopex_miss_rate gauge"), std::string::npos);
+  EXPECT_NE(text.find("rtopex_miss_rate 0.25\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, LabelsAreRenderedAndEscaped) {
+  MetricsRegistry reg;
+  reg.add_counter("rtopex_bs_total", "Per-BS.", 7, {{"bs", "3"}});
+  reg.add_counter("rtopex_odd", "Escaping.", 1,
+                  {{"note", "a\"b\\c\nd"}});
+  const std::string text = reg.render();
+  EXPECT_NE(text.find("rtopex_bs_total{bs=\"3\"} 7\n"), std::string::npos);
+  EXPECT_NE(text.find("rtopex_odd{note=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, SharedNameGetsOneHeader) {
+  MetricsRegistry reg;
+  reg.add_counter("rtopex_bs_total", "Per-BS subframes.", 1, {{"bs", "0"}});
+  reg.add_counter("rtopex_bs_total", "ignored duplicate help", 2,
+                  {{"bs", "1"}});
+  const std::string text = reg.render();
+  EXPECT_EQ(count_occurrences(text, "# HELP rtopex_bs_total"), 1u);
+  EXPECT_EQ(count_occurrences(text, "# TYPE rtopex_bs_total"), 1u);
+  EXPECT_NE(text.find("rtopex_bs_total{bs=\"0\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("rtopex_bs_total{bs=\"1\"} 2\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, HistogramRendersCumulativeBuckets) {
+  Histogram h(1.0, 1000.0, 2);
+  for (const double x : {2.0, 20.0, 200.0, 200.0}) h.add(x);
+  MetricsRegistry reg;
+  reg.add_histogram("rtopex_latency_us", "Latency.", h);
+  const std::string text = reg.render();
+  EXPECT_NE(text.find("# TYPE rtopex_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("rtopex_latency_us_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rtopex_latency_us_count 4\n"), std::string::npos);
+  EXPECT_NE(text.find("rtopex_latency_us_sum 422\n"), std::string::npos);
+
+  // Cumulative: the le counts never decrease through the rendered series.
+  std::istringstream lines(text);
+  std::string line;
+  double prev = 0.0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("rtopex_latency_us_bucket", 0) != 0) continue;
+    const double v = std::stod(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_EQ(prev, 4.0);
+}
+
+TEST(MetricsRegistryTest, EmptyHistogramStillRendersCountAndInf) {
+  MetricsRegistry reg;
+  reg.add_histogram("rtopex_empty_us", "Empty.", Histogram());
+  const std::string text = reg.render();
+  EXPECT_NE(text.find("rtopex_empty_us_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rtopex_empty_us_count 0\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, WriteRoundtripsAndFailsOnBadPath) {
+  MetricsRegistry reg;
+  reg.add_counter("rtopex_x_total", "X.", 5);
+  const std::string path =
+      ::testing::TempDir() + "/metrics_registry_test.prom";
+  reg.write(path);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), reg.render());
+  std::remove(path.c_str());
+  EXPECT_THROW(reg.write("/nonexistent-dir-xyz/file.prom"),
+               std::runtime_error);
+}
+
+TEST(MetricsRegistryTest, ClearEmptiesRegistry) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.add_gauge("rtopex_g", "G.", 1.0);
+  EXPECT_FALSE(reg.empty());
+  reg.clear();
+  EXPECT_TRUE(reg.empty());
+  EXPECT_EQ(reg.render(), "");
+}
+
+}  // namespace
+}  // namespace rtopex::obs

@@ -38,7 +38,7 @@ void check_fault_accounting(const sim::SchedulerMetrics& m,
   EXPECT_EQ(m.total_subframes, offered);
   EXPECT_EQ(m.deadline_misses,
             m.dropped + m.terminated + m.resilience.late_arrivals);
-  EXPECT_EQ(m.processing_time_us.size(),
+  EXPECT_EQ(static_cast<std::size_t>(m.processing_us_hist.count()),
             m.total_subframes - m.deadline_misses -
                 m.resilience.lost_subframes);
 }

@@ -57,8 +57,10 @@ TEST_P(RtOpexPropertyTest, DeterministicAndConserving) {
   // Conservation: every subframe is accounted for exactly once.
   EXPECT_EQ(ma.total_subframes, work.size());
   EXPECT_EQ(ma.deadline_misses, ma.dropped + ma.terminated);
-  EXPECT_EQ(ma.processing_time_us.size() + ma.deadline_misses,
+  EXPECT_EQ(static_cast<std::size_t>(ma.processing_us_hist.count()) +
+                ma.deadline_misses,
             ma.total_subframes);
+  EXPECT_EQ(ma.processing_us_hist, mb.processing_us_hist);
   std::size_t per_bs = 0;
   for (const auto& bs : ma.per_bs) per_bs += bs.subframes;
   EXPECT_EQ(per_bs, work.size());

@@ -50,8 +50,11 @@ TEST(PartitionedTest, AccountsEverySubframe) {
   std::size_t per_bs_total = 0;
   for (const auto& bs : m.per_bs) per_bs_total += bs.subframes;
   EXPECT_EQ(per_bs_total, work.size());
-  // Completed + missed == total.
-  EXPECT_EQ(m.processing_time_us.size() + m.deadline_misses,
+  // Completed + missed == total. Raw samples are off by default; the
+  // histogram carries the completed count.
+  EXPECT_TRUE(m.processing_time_us.empty());
+  EXPECT_EQ(static_cast<std::size_t>(m.processing_us_hist.count()) +
+                m.deadline_misses,
             m.total_subframes);
 }
 
@@ -73,7 +76,10 @@ TEST(PartitionedTest, HighLoadAtTightBudgetMissesEverything) {
 
 TEST(PartitionedTest, GapsReflectProcessingVariation) {
   const auto work = make_work(3000, microseconds(500));
-  PartitionedScheduler sched(4, {microseconds(500)});
+  PartitionedConfig pc;
+  pc.rtt_half = microseconds(500);
+  pc.record_samples = true;  // raw gaps alongside the histogram
+  PartitionedScheduler sched(4, pc);
   const auto m = sched.run(work);
   // Each core sees a new subframe every 2 ms and processes for 0.5-2 ms:
   // gaps must exist and be below 2 ms.
@@ -82,6 +88,10 @@ TEST(PartitionedTest, GapsReflectProcessingVariation) {
     EXPECT_GT(g, 0.0);
     EXPECT_LE(g, 2000.0);
   }
+  // Histogram and raw-sample views of the same stream must agree.
+  EXPECT_EQ(m.gap_us_hist.count(), m.gap_us.size());
+  EXPECT_GT(m.gap_us_hist.min(), 0.0);
+  EXPECT_LE(m.gap_us_hist.max(), 2000.0);
 }
 
 TEST(GlobalTest, FewCoresCauseQueueingMisses) {
@@ -220,23 +230,28 @@ void check_metrics_invariants(sim::SchedulerMetrics m, std::size_t expected,
   SCOPED_TRACE(who);
   EXPECT_EQ(m.total_subframes, expected);
   EXPECT_EQ(m.dropped + m.terminated, m.deadline_misses);
-  EXPECT_EQ(m.processing_time_us.size(),
+  EXPECT_EQ(static_cast<std::size_t>(m.processing_us_hist.count()),
             m.total_subframes - m.deadline_misses);
   std::size_t bs_subframes = 0, bs_misses = 0;
+  std::uint64_t bs_hist = 0;
   for (const auto& bs : m.per_bs) {
     bs_subframes += bs.subframes;
     bs_misses += bs.misses;
+    bs_hist += bs.processing_us.count();
   }
   EXPECT_EQ(bs_subframes, m.total_subframes);
   EXPECT_EQ(bs_misses, m.deadline_misses);
+  // The per-basestation histograms partition the aggregate one.
+  EXPECT_EQ(bs_hist, m.processing_us_hist.count());
   // Decode failures come only from subframes that finished processing.
-  EXPECT_LE(m.decode_failures, m.processing_time_us.size());
+  EXPECT_LE(m.decode_failures,
+            static_cast<std::size_t>(m.processing_us_hist.count()));
   // Migration accounting never exceeds the offered subtasks.
   EXPECT_LE(m.fft_subtasks_migrated, m.fft_subtasks_total);
   EXPECT_LE(m.decode_subtasks_migrated, m.decode_subtasks_total);
   EXPECT_LE(m.recoveries,
             m.fft_subtasks_migrated + m.decode_subtasks_migrated);
-  for (const double g : m.gap_us) EXPECT_GT(g, 0.0);
+  if (m.gap_us_hist.count() > 0) EXPECT_GT(m.gap_us_hist.min(), 0.0);
 }
 
 TEST(MetricsInvariantTest, HoldForAllThreeSchedulers) {
@@ -309,6 +324,7 @@ TEST(SchedulerValidationTest, EmptyWorkloadDegradesGracefully) {
   EXPECT_EQ(m.total_subframes, 0u);
   EXPECT_EQ(m.deadline_misses, 0u);
   EXPECT_TRUE(m.processing_time_us.empty());
+  EXPECT_EQ(m.processing_us_hist.count(), 0u);
   PartitionedScheduler part(4, {microseconds(500)});
   EXPECT_EQ(part.run({}).total_subframes, 0u);
   GlobalConfig gc;

@@ -76,7 +76,7 @@ Structural check_sim_side(const sim::SchedulerMetrics& m,
   EXPECT_EQ(m.total_subframes, expected_total);
   // Exactly-once termination: completed + dropped + terminated == total.
   EXPECT_EQ(m.deadline_misses, m.dropped + m.terminated);
-  EXPECT_EQ(m.processing_time_us.size(),
+  EXPECT_EQ(static_cast<std::size_t>(m.processing_us_hist.count()),
             m.total_subframes - m.deadline_misses);
   std::size_t per_bs_subframes = 0, per_bs_misses = 0;
   for (const auto& bs : m.per_bs) {
@@ -231,7 +231,7 @@ TEST(SimRuntimeDifferentialTest, StructuresAgreeUnderFaults) {
   EXPECT_GE(m.resilience.repartitions, 1u);
   EXPECT_EQ(m.deadline_misses,
             m.dropped + m.terminated + m.resilience.late_arrivals);
-  EXPECT_EQ(m.processing_time_us.size(),
+  EXPECT_EQ(static_cast<std::size_t>(m.processing_us_hist.count()),
             m.total_subframes - m.deadline_misses -
                 m.resilience.lost_subframes);
 
@@ -299,7 +299,7 @@ TEST(SimRuntimeDifferentialTest, NoMigrationDegradesToPartitioned) {
   EXPECT_EQ(mo.deadline_misses, mp.deadline_misses);
   EXPECT_EQ(mo.dropped, mp.dropped);
   EXPECT_EQ(mo.terminated, mp.terminated);
-  EXPECT_EQ(mo.processing_time_us.size(), mp.processing_time_us.size());
+  EXPECT_EQ(mo.processing_us_hist.count(), mp.processing_us_hist.count());
 }
 
 }  // namespace

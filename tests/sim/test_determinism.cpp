@@ -40,6 +40,9 @@ void expect_identical(const SchedulerMetrics& a, const SchedulerMetrics& b) {
   // Bit-identical sample vectors, not just equal lengths.
   EXPECT_EQ(a.gap_us, b.gap_us);
   EXPECT_EQ(a.processing_time_us, b.processing_time_us);
+  // Histogram state must agree bucket-for-bucket as well.
+  EXPECT_EQ(a.processing_us_hist, b.processing_us_hist);
+  EXPECT_EQ(a.gap_us_hist, b.gap_us_hist);
   ASSERT_EQ(a.per_bs.size(), b.per_bs.size());
   for (std::size_t i = 0; i < a.per_bs.size(); ++i) {
     EXPECT_EQ(a.per_bs[i].subframes, b.per_bs[i].subframes);
@@ -67,17 +70,24 @@ TEST(DeterminismTest, WorkloadGenerationIsBitIdentical) {
 TEST(DeterminismTest, SchedulerMetricsAreBitIdenticalAcrossRuns) {
   const auto work = generate(101);
 
-  sched::PartitionedScheduler part_a(3, {microseconds(500)});
-  sched::PartitionedScheduler part_b(3, {microseconds(500)});
+  // record_samples keeps the raw vectors populated so the bit-identical
+  // sample comparison stays meaningful alongside the histogram check.
+  sched::PartitionedConfig pc;
+  pc.rtt_half = microseconds(500);
+  pc.record_samples = true;
+  sched::PartitionedScheduler part_a(3, pc);
+  sched::PartitionedScheduler part_b(3, pc);
   expect_identical(part_a.run(work), part_b.run(work));
 
   sched::GlobalConfig gc;
   gc.num_cores = 5;
+  gc.record_samples = true;
   expect_identical(sched::GlobalScheduler(3, gc).run(work),
                    sched::GlobalScheduler(3, gc).run(work));
 
   sched::RtOpexConfig rc;
   rc.rtt_half = microseconds(500);
+  rc.record_samples = true;
   expect_identical(sched::RtOpexScheduler(3, rc).run(work),
                    sched::RtOpexScheduler(3, rc).run(work));
 }

@@ -1,0 +1,124 @@
+// Trace-layer determinism and accuracy on the virtual-time simulator:
+// same-seed runs must produce bit-identical event streams (the virtual
+// clock is the only timestamp source), the exported Chrome JSON must be
+// structurally valid with monotone per-track timestamps, and histogram
+// percentiles must match the raw-sample quantiles within one bucket width.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "model/timing_model.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/tracer.hpp"
+#include "sched/partitioned.hpp"
+#include "sched/rt_opex.hpp"
+#include "sim/workload.hpp"
+#include "support/mini_json.hpp"
+#include "transport/transport.hpp"
+
+namespace rtopex::sim {
+namespace {
+
+using testsupport::JsonValue;
+using testsupport::parse_json;
+
+std::vector<SubframeWork> generate(std::uint64_t seed) {
+  WorkloadConfig cfg;
+  cfg.num_basestations = 2;
+  cfg.subframes_per_bs = 400;
+  cfg.seed = seed;
+  const transport::FixedTransport transport(microseconds(500));
+  const WorkloadGenerator gen(cfg, transport, model::paper_gpp_model());
+  return gen.generate();
+}
+
+obs::TraceStore traced_rtopex_run(const std::vector<SubframeWork>& work) {
+  sched::RtOpexConfig rc;
+  rc.rtt_half = microseconds(500);
+  sched::RtOpexScheduler sched(2, rc);
+  obs::Tracer tracer(sched.num_cores());
+  rc.tracer = &tracer;
+  sched::RtOpexScheduler traced(2, rc);
+  traced.run(work);
+  return tracer.take();
+}
+
+TEST(TraceDeterminismTest, SameSeedRunsProduceIdenticalEventStreams) {
+  if (!RTOPEX_TRACE_ENABLED) GTEST_SKIP() << "built with RTOPEX_TRACING=OFF";
+  const auto work = generate(211);
+  const obs::TraceStore a = traced_rtopex_run(work);
+  const obs::TraceStore b = traced_rtopex_run(work);
+
+  ASSERT_GT(a.events.size(), 0u);
+  EXPECT_EQ(a.ring_drops, 0u);
+  EXPECT_EQ(a.store_drops, 0u);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i)
+    EXPECT_EQ(a.events[i], b.events[i]) << "event " << i;
+}
+
+TEST(TraceDeterminismTest, SimTraceExportsAsValidChromeJson) {
+  if (!RTOPEX_TRACE_ENABLED) GTEST_SKIP() << "built with RTOPEX_TRACING=OFF";
+  const obs::TraceStore store = traced_rtopex_run(generate(223));
+  obs::ChromeTraceOptions opts;
+  opts.num_cores = 4;
+  const JsonValue root = parse_json(chrome_trace_json(store, opts));
+
+  const JsonValue& events = root.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  EXPECT_EQ(root.at("otherData").at("event_count").number(),
+            static_cast<double>(store.events.size()));
+  EXPECT_EQ(root.at("otherData").at("ring_drops").number(), 0.0);
+
+  // Per-track timestamps are monotone in the exported order.
+  std::map<double, double> last_ts;
+  std::size_t timed = 0;
+  for (const JsonValue& event : events.array()) {
+    if (event.at("ph").str() == "M") continue;
+    const double tid = event.at("tid").number();
+    const double ts = event.at("ts").number();
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second) << "tid " << tid;
+    }
+    last_ts[tid] = ts;
+    ++timed;
+  }
+  // Offload/host events render as two JSON records each (span or instant
+  // plus one half of the flow arrow), so the JSON carries at least one
+  // record per stored event.
+  EXPECT_GE(timed, store.events.size());
+}
+
+// Acceptance criterion: with raw samples retained, histogram percentile
+// reads agree with the exact sample quantiles within one bucket width
+// (relative width g = 10^(1/24) for the default layout).
+TEST(TraceDeterminismTest, HistogramPercentilesMatchRawSamples) {
+  const auto work = generate(227);
+  sched::PartitionedConfig pc;
+  pc.rtt_half = microseconds(500);
+  pc.record_samples = true;
+  const auto m = sched::PartitionedScheduler(2, pc).run(work);
+
+  ASSERT_GT(m.processing_time_us.size(), 100u);
+  ASSERT_EQ(m.processing_us_hist.count(), m.processing_time_us.size());
+  const double g = std::pow(10.0, 1.0 / 24.0);
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double exact = quantile(m.processing_time_us, q);
+    const double est = m.processing_us_hist.percentile(q);
+    EXPECT_GE(est, exact / g * (1.0 - 1e-9)) << "q=" << q;
+    EXPECT_LE(est, exact * g * (1.0 + 1e-9)) << "q=" << q;
+  }
+  if (!m.gap_us.empty()) {
+    const double exact = quantile(m.gap_us, 0.95);
+    const double est = m.gap_us_hist.percentile(0.95);
+    EXPECT_GE(est, exact / g * (1.0 - 1e-9));
+    EXPECT_LE(est, exact * g * (1.0 + 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace rtopex::sim

@@ -1,0 +1,244 @@
+// Minimal JSON parser for test-side validation of exported artifacts
+// (Chrome trace JSON). Supports the full value grammar — objects, arrays,
+// strings with escapes, numbers, booleans, null — with no dependencies
+// beyond the standard library. Throws std::runtime_error on malformed
+// input; not a production parser (no streaming, no duplicate-key policy).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rtopex::testsupport {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+  using Storage =
+      std::variant<std::nullptr_t, bool, double, std::string, Array, Object>;
+
+  JsonValue() : value_(nullptr) {}
+  explicit JsonValue(Storage v) : value_(std::move(v)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  bool boolean() const { return std::get<bool>(value_); }
+  double number() const { return std::get<double>(value_); }
+  const std::string& str() const { return std::get<std::string>(value_); }
+  const Array& array() const { return std::get<Array>(value_); }
+  const Object& object() const { return std::get<Object>(value_); }
+
+  bool has(const std::string& key) const {
+    return is_object() && object().count(key) > 0;
+  }
+  const JsonValue& at(const std::string& key) const {
+    const auto& obj = object();
+    const auto it = obj.find(key);
+    if (it == obj.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  const JsonValue& operator[](std::size_t i) const { return array().at(i); }
+  std::size_t size() const { return array().size(); }
+
+ private:
+  Storage value_;
+};
+
+namespace detail {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    const JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(JsonValue::Storage(parse_string()));
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return JsonValue(JsonValue::Storage(true));
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return JsonValue(JsonValue::Storage(false));
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue(JsonValue::Storage(nullptr));
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(JsonValue::Storage(std::move(obj)));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue(JsonValue::Storage(std::move(obj)));
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(JsonValue::Storage(std::move(arr)));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue(JsonValue::Storage(std::move(arr)));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape");
+          std::uint32_t cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<std::uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              cp |= static_cast<std::uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              cp |= static_cast<std::uint32_t>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode (no surrogate-pair recombination; the exporters
+          // under test never emit astral-plane characters).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    try {
+      return JsonValue(
+          JsonValue::Storage(std::stod(text_.substr(start, pos_ - start))));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+inline JsonValue parse_json(const std::string& text) {
+  return detail::JsonParser(text).parse();
+}
+
+}  // namespace rtopex::testsupport
