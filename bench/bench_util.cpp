@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <map>
+#include <stdexcept>
 
 #include "channel/channel.hpp"
 #include "common/rng.hpp"
@@ -9,6 +10,116 @@
 #include "phy/uplink_rx.hpp"
 
 namespace rtopex::bench {
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+  if (kind_ != Kind::kObject) *this = object();
+  for (auto& [k, v] : fields_)
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  fields_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::push(JsonValue value) {
+  if (kind_ != Kind::kArray) *this = array();
+  items_.push_back(std::move(value));
+  return items_.back();
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  switch (kind_) {
+    case Kind::kNull:
+      out = "null";
+      break;
+    case Kind::kBool:
+      out = bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber: {
+      // %.12g keeps integer counts and nanosecond sums exact while staying
+      // compact for rates; JSON has no infinities, so clamp those to null.
+      char buf[40];
+      if (number_ != number_ || number_ > 1e308 || number_ < -1e308) {
+        out = "null";
+      } else {
+        std::snprintf(buf, sizeof buf, "%.12g", number_);
+        out = buf;
+      }
+      break;
+    }
+    case Kind::kString:
+      out += '"';
+      escape_into(out, string_);
+      out += '"';
+      break;
+    case Kind::kArray:
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        out += items_[i].dump();
+      }
+      out += ']';
+      break;
+    case Kind::kObject:
+      out += '{';
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i) out += ',';
+        out += '"';
+        escape_into(out, fields_[i].first);
+        out += "\":";
+        out += fields_[i].second.dump();
+      }
+      out += '}';
+      break;
+  }
+  return out;
+}
+
+void write_bench_json(const std::string& path, const JsonValue& root) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) throw std::runtime_error("write_bench_json: cannot open " + path);
+  const std::string text = root.dump();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+void warn_on_trace_drops(const obs::TraceStore& store,
+                         const std::string& context) {
+  if (store.total_drops() == 0) return;
+  std::fprintf(stderr,
+               "WARNING: %s: trace lost %llu events (%llu ring, %llu "
+               "store) — miss-cause counts may undercount\n",
+               context.c_str(),
+               static_cast<unsigned long long>(store.total_drops()),
+               static_cast<unsigned long long>(store.ring_drops),
+               static_cast<unsigned long long>(store.store_drops));
+}
 
 void print_banner(const std::string& figure, const std::string& description) {
   std::printf("\n================================================================\n");

@@ -2,13 +2,80 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "model/timing_model.hpp"
 #include "obs/histogram.hpp"
+#include "obs/tracer.hpp"
 #include "phy/uplink_tx.hpp"
 
 namespace rtopex::bench {
+
+/// Minimal JSON value tree for the BENCH_<name>.json artifacts: enough to
+/// express the config + per-point result objects the figure binaries emit
+/// (and CI uploads), nothing more. Field order is preserved so the files
+/// diff cleanly across runs.
+class JsonValue {
+ public:
+  static JsonValue object() { return JsonValue(Kind::kObject); }
+  static JsonValue array() { return JsonValue(Kind::kArray); }
+  static JsonValue number(double v) {
+    JsonValue j(Kind::kNumber);
+    j.number_ = v;
+    return j;
+  }
+  static JsonValue string(std::string v) {
+    JsonValue j(Kind::kString);
+    j.string_ = std::move(v);
+    return j;
+  }
+  static JsonValue boolean(bool v) {
+    JsonValue j(Kind::kBool);
+    j.bool_ = v;
+    return j;
+  }
+
+  /// Object field setters (assert-free: calling on a non-object converts
+  /// it, losing prior content, so keep kinds straight). Returns *this for
+  /// chaining.
+  JsonValue& set(const std::string& key, JsonValue value);
+  JsonValue& set(const std::string& key, double value) {
+    return set(key, number(value));
+  }
+  JsonValue& set(const std::string& key, const std::string& value) {
+    return set(key, string(value));
+  }
+  JsonValue& set(const std::string& key, const char* value) {
+    return set(key, string(value));
+  }
+
+  /// Array append; returns a reference to the appended element.
+  JsonValue& push(JsonValue value);
+
+  std::string dump() const;  ///< compact single-line serialization.
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> fields_;
+};
+
+/// Writes `root` (plus a trailing newline) to `path`. Throws
+/// std::runtime_error on I/O failure.
+void write_bench_json(const std::string& path, const JsonValue& root);
+
+/// Prints a stderr warning when the trace lost events (full per-core ring
+/// or saturated collector store) — a bench whose miss-cause breakdown came
+/// from a lossy trace should say so.
+void warn_on_trace_drops(const obs::TraceStore& store,
+                         const std::string& context);
 
 /// Prints a header banner naming the paper artifact being regenerated.
 void print_banner(const std::string& figure, const std::string& description);

@@ -14,6 +14,13 @@
 //                   curves under the degraded-mode resilience layer.
 //   --out DIR       also write the sweep CSV plus per-scheduler Prometheus
 //                   .prom metrics snapshots (at the last RTT point) into DIR.
+//
+// Every run is traced and fed through the deadline-miss postmortem
+// (obs/analysis): a per-scheduler miss-cause breakdown follows the main
+// table, and the whole sweep is emitted as BENCH_fig15.json (config,
+// per-point miss rates, latency quantiles, cause counts) into --out DIR
+// (default: the working directory).
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,8 +29,23 @@
 #include "bench_util.hpp"
 #include "core/experiment.hpp"
 #include "core/results_io.hpp"
+#include "obs/analysis/analysis.hpp"
 
 using namespace rtopex;
+namespace analysis = rtopex::obs::analysis;
+
+namespace {
+
+bench::JsonValue causes_json(
+    const std::array<std::uint64_t, analysis::kNumMissCauses>& counts) {
+  bench::JsonValue obj = bench::JsonValue::object();
+  for (unsigned c = 1; c < analysis::kNumMissCauses; ++c)
+    obj.set(analysis::to_string(static_cast<analysis::MissCause>(c)),
+            static_cast<double>(counts[c]));
+  return obj;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bench::print_banner("Figure 15", "deadline-miss rate vs RTT/2 per scheduler");
@@ -54,15 +76,62 @@ int main(int argc, char** argv) {
   bench::print_row({"rtt/2_us", "partitioned", "global_8", "global_16",
                     "rt-opex", "gain_vs_part"});
   std::vector<core::SweepPoint> sweep;
+  // Per-scheduler miss-cause totals over the whole sweep, plus the JSON
+  // artifact rows (one per run).
+  struct CauseTotals {
+    std::string label;
+    std::array<std::uint64_t, analysis::kNumMissCauses> counts{};
+    std::uint64_t misses = 0;
+  };
+  std::vector<CauseTotals> totals = {
+      {"partitioned", {}, 0}, {"global_8", {}, 0},
+      {"global_16", {}, 0},   {"rt-opex", {}, 0}};
+  bench::JsonValue rows = bench::JsonValue::array();
+  std::uint64_t trace_drops_total = 0;
   for (int rtt_us = 400; rtt_us <= 700; rtt_us += 50) {
     cfg.rtt_half = microseconds(rtt_us);
     const auto work = core::make_workload(cfg);
 
+    std::size_t variant = 0;
     const auto run = [&](core::SchedulerKind kind, unsigned cores) {
       cfg.scheduler = kind;
       cfg.global.num_cores = cores;
+      // Trace every run; the sweep's heaviest run stays well under the
+      // store bound (~1.1M events for 120k subframes).
+      obs::Tracer tracer(24, /*ring_capacity=*/1 << 15,
+                         /*max_stored_events=*/4 << 20);
+      cfg.tracer = &tracer;
       auto result = core::run_scheduler(cfg, work);
+      cfg.tracer = nullptr;
       const double rate = result.metrics.miss_rate();
+
+      const obs::TraceStore store = tracer.take();
+      CauseTotals& tot = totals[variant];
+      bench::warn_on_trace_drops(
+          store, "fig15 " + tot.label + " rtt/2=" + std::to_string(rtt_us));
+      trace_drops_total += store.total_drops();
+      analysis::AnalyzerOptions aopts;
+      aopts.nominal_transport = cfg.rtt_half;
+      const analysis::AnalysisReport rep = analysis::analyze(store, aopts);
+      for (unsigned c = 0; c < analysis::kNumMissCauses; ++c)
+        tot.counts[c] += rep.cause_counts[c];
+      tot.misses += rep.misses;
+
+      const auto& hist = result.metrics.processing_us_hist;
+      rows.push(bench::JsonValue::object()
+                    .set("rtt_half_us", static_cast<double>(rtt_us))
+                    .set("scheduler", tot.label)
+                    .set("subframes",
+                         static_cast<double>(result.metrics.total_subframes))
+                    .set("misses",
+                         static_cast<double>(result.metrics.deadline_misses))
+                    .set("miss_rate", rate)
+                    .set("p50_us", hist.p50())
+                    .set("p99_us", hist.p99())
+                    .set("causes", causes_json(rep.cause_counts))
+                    .set("trace_drops",
+                         static_cast<double>(store.total_drops())));
+      ++variant;
       sweep.push_back({static_cast<double>(rtt_us), std::move(result)});
       return rate;
     };
@@ -80,6 +149,37 @@ int main(int argc, char** argv) {
     bench::print_row({std::to_string(rtt_us), buf[0], buf[1], buf[2], buf[3],
                       buf[4]});
   }
+  // Miss-cause breakdown per scheduler, aggregated over the RTT sweep.
+  std::printf("\nmiss causes over the sweep (postmortem attribution):\n");
+  for (const auto& tot : totals) {
+    std::printf("  %-12s", tot.label.c_str());
+    for (unsigned c = 1; c < analysis::kNumMissCauses; ++c)
+      if (tot.counts[c])
+        std::printf(" %s=%llu",
+                    analysis::to_string(static_cast<analysis::MissCause>(c)),
+                    static_cast<unsigned long long>(tot.counts[c]));
+    std::printf("\n");
+  }
+
+  const std::string json_dir = out_dir.empty() ? "." : out_dir;
+  bench::JsonValue root = bench::JsonValue::object();
+  root.set("bench", "fig15_deadline_miss")
+      .set("config",
+           bench::JsonValue::object()
+               .set("basestations",
+                    static_cast<double>(cfg.workload.num_basestations))
+               .set("subframes_per_bs",
+                    static_cast<double>(cfg.workload.subframes_per_bs))
+               .set("seed", static_cast<double>(cfg.workload.seed))
+               .set("loss_prob", cfg.workload.fronthaul_faults.loss_prob)
+               .set("late_prob", cfg.workload.fronthaul_faults.late_prob)
+               .set("degrade",
+                    bench::JsonValue::boolean(cfg.degrade.enabled)))
+      .set("trace_drops", static_cast<double>(trace_drops_total))
+      .set("rows", std::move(rows));
+  bench::write_bench_json(json_dir + "/BENCH_fig15.json", root);
+  std::printf("\nwrote %s/BENCH_fig15.json\n", json_dir.c_str());
+
   if (!out_dir.empty()) {
     core::write_sweep_csv(out_dir + "/fig15_sweep.csv", sweep);
     // Per-scheduler Prometheus snapshots at the last (heaviest) RTT point:

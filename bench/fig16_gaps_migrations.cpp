@@ -5,6 +5,9 @@
 //
 //   --out DIR    also write the gap distribution CSV plus a Prometheus
 //                .prom metrics snapshot into DIR.
+//
+// Key metrics (gap quantiles, per-RTT migration fractions) are emitted as
+// BENCH_fig16.json into --out DIR (default: the working directory).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -35,6 +38,16 @@ int main(int argc, char** argv) {
   cfg.workload.seed = 1;
   cfg.record_samples = true;  // exact gap CDF for the left panel
 
+  bench::JsonValue root = bench::JsonValue::object();
+  root.set("bench", "fig16_gaps_migrations")
+      .set("config",
+           bench::JsonValue::object()
+               .set("basestations",
+                    static_cast<double>(cfg.workload.num_basestations))
+               .set("subframes_per_bs",
+                    static_cast<double>(cfg.workload.subframes_per_bs))
+               .set("seed", static_cast<double>(cfg.workload.seed)));
+
   std::printf("\n(left) partitioned idle-gap CDF at RTT/2 = 450 us\n");
   cfg.rtt_half = microseconds(450);
   cfg.scheduler = core::SchedulerKind::kPartitioned;
@@ -47,6 +60,15 @@ int main(int argc, char** argv) {
     std::printf("fraction of gaps > 500 us: %.2f "
                 "(paper: ~0.6 of subframes see gaps > 500 us)\n",
                 1.0 - cdf(500.0));
+    const auto& gaps = result.metrics.gap_us_hist;
+    root.set("gaps",
+             bench::JsonValue::object()
+                 .set("rtt_half_us", 450.0)
+                 .set("count", static_cast<double>(gaps.count()))
+                 .set("mean_us", gaps.mean())
+                 .set("p50_us", gaps.p50())
+                 .set("p99_us", gaps.p99())
+                 .set("fraction_over_500us", 1.0 - cdf(500.0)));
     if (!out_dir.empty()) {
       core::write_distribution_csv(out_dir + "/fig16_gap_us.csv",
                                    result.metrics.gap_us_hist);
@@ -60,6 +82,7 @@ int main(int argc, char** argv) {
   bench::print_row({"rtt/2_us", "fft_migrated", "decode_migrated",
                     "recoveries"});
   cfg.scheduler = core::SchedulerKind::kRtOpex;
+  bench::JsonValue rows = bench::JsonValue::array();
   for (int rtt_us = 400; rtt_us <= 700; rtt_us += 50) {
     cfg.rtt_half = microseconds(rtt_us);
     const auto result = core::run_experiment(cfg);
@@ -67,7 +90,19 @@ int main(int argc, char** argv) {
                       bench::fmt(result.metrics.fft_migration_fraction(), 3),
                       bench::fmt(result.metrics.decode_migration_fraction(), 3),
                       std::to_string(result.metrics.recoveries)});
+    rows.push(
+        bench::JsonValue::object()
+            .set("rtt_half_us", static_cast<double>(rtt_us))
+            .set("fft_migrated", result.metrics.fft_migration_fraction())
+            .set("decode_migrated",
+                 result.metrics.decode_migration_fraction())
+            .set("recoveries",
+                 static_cast<double>(result.metrics.recoveries)));
   }
+  root.set("migrations", std::move(rows));
+  const std::string json_dir = out_dir.empty() ? "." : out_dir;
+  bench::write_bench_json(json_dir + "/BENCH_fig16.json", root);
+  std::printf("\nwrote %s/BENCH_fig16.json\n", json_dir.c_str());
   std::printf("\npaper: ~20%% of decode subtasks migrated below 500 us; FFT\n"
               "migration persists as gaps narrow with rising RTT.\n");
   return 0;

@@ -4,14 +4,23 @@
 // offered PHY throughput. RT-OPEX's gains concentrate at high load; at a
 // 1e-2 miss-rate threshold it supports substantially more load than the
 // partitioned scheduler (paper: 31 vs 27 Mbps, ~15%).
+//
+// Every run is traced and fed through the deadline-miss postmortem
+// (obs/analysis): a per-scheduler miss-cause breakdown follows the table,
+// and the sweep is emitted as BENCH_fig17.json ([--out DIR], default the
+// working directory).
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
 #include "core/experiment.hpp"
+#include "obs/analysis/analysis.hpp"
 
 using namespace rtopex;
+namespace analysis = rtopex::obs::analysis;
 
 namespace {
 
@@ -37,6 +46,7 @@ int main(int argc, char** argv) {
 
   // --faults [P]: fronthaul loss/late arrivals + graceful degradation —
   // shifts the supported-load knee; lost subframes never count as misses.
+  std::string out_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--faults") == 0) {
       auto& f = cfg.workload.fronthaul_faults;
@@ -45,13 +55,24 @@ int main(int argc, char** argv) {
       cfg.degrade.enabled = true;
       std::printf("faults enabled: loss/late prob %.3f, degradation on\n",
                   f.loss_prob);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--faults [P]]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--faults [P]] [--out DIR]\n", argv[0]);
       return 1;
     }
   }
 
   std::vector<std::pair<double, double>> part_curve, opex_curve;
+
+  struct CauseTotals {
+    std::string label;
+    std::array<std::uint64_t, analysis::kNumMissCauses> counts{};
+  };
+  std::vector<CauseTotals> totals = {
+      {"partitioned", {}}, {"global_8", {}}, {"rt-opex", {}}};
+  bench::JsonValue rows = bench::JsonValue::array();
+  std::uint64_t trace_drops_total = 0;
 
   bench::print_row({"mean_load", "load_mbps", "partitioned", "global_8",
                     "rt-opex"});
@@ -63,10 +84,46 @@ int main(int argc, char** argv) {
       mbps += phy::transport_block_size(w.mcs, 50) / 1000.0;
     mbps /= static_cast<double>(work.size());
 
+    std::size_t variant = 0;
     const auto run = [&](core::SchedulerKind kind) {
       cfg.scheduler = kind;
       cfg.global.num_cores = 8;
-      return core::run_scheduler(cfg, work).metrics.miss_rate();
+      obs::Tracer tracer(24, /*ring_capacity=*/1 << 15,
+                         /*max_stored_events=*/4 << 20);
+      cfg.tracer = &tracer;
+      const auto result = core::run_scheduler(cfg, work);
+      cfg.tracer = nullptr;
+      const double rate = result.metrics.miss_rate();
+
+      const obs::TraceStore store = tracer.take();
+      CauseTotals& tot = totals[variant++];
+      bench::warn_on_trace_drops(
+          store, "fig17 " + tot.label + " load=" + bench::fmt(mean));
+      trace_drops_total += store.total_drops();
+      analysis::AnalyzerOptions aopts;
+      aopts.nominal_transport = cfg.rtt_half;
+      const analysis::AnalysisReport rep = analysis::analyze(store, aopts);
+      bench::JsonValue causes = bench::JsonValue::object();
+      for (unsigned c = 1; c < analysis::kNumMissCauses; ++c) {
+        tot.counts[c] += rep.cause_counts[c];
+        causes.set(analysis::to_string(static_cast<analysis::MissCause>(c)),
+                   static_cast<double>(rep.cause_counts[c]));
+      }
+      rows.push(bench::JsonValue::object()
+                    .set("mean_load", mean)
+                    .set("load_mbps", mbps)
+                    .set("scheduler", tot.label)
+                    .set("subframes",
+                         static_cast<double>(result.metrics.total_subframes))
+                    .set("misses",
+                         static_cast<double>(result.metrics.deadline_misses))
+                    .set("miss_rate", rate)
+                    .set("p50_us", result.metrics.processing_us_hist.p50())
+                    .set("p99_us", result.metrics.processing_us_hist.p99())
+                    .set("causes", std::move(causes))
+                    .set("trace_drops",
+                         static_cast<double>(store.total_drops())));
+      return rate;
     };
     const double part = run(core::SchedulerKind::kPartitioned);
     const double glob = run(core::SchedulerKind::kGlobal);
@@ -81,6 +138,37 @@ int main(int argc, char** argv) {
     bench::print_row({bench::fmt(mean), bench::fmt(mbps, 1), b[0], b[1],
                       b[2]});
   }
+
+  std::printf("\nmiss causes over the sweep (postmortem attribution):\n");
+  for (const auto& tot : totals) {
+    std::printf("  %-12s", tot.label.c_str());
+    for (unsigned c = 1; c < analysis::kNumMissCauses; ++c)
+      if (tot.counts[c])
+        std::printf(" %s=%llu",
+                    analysis::to_string(static_cast<analysis::MissCause>(c)),
+                    static_cast<unsigned long long>(tot.counts[c]));
+    std::printf("\n");
+  }
+
+  const std::string json_dir = out_dir.empty() ? "." : out_dir;
+  bench::JsonValue root = bench::JsonValue::object();
+  root.set("bench", "fig17_miss_vs_load")
+      .set("config",
+           bench::JsonValue::object()
+               .set("basestations",
+                    static_cast<double>(cfg.workload.num_basestations))
+               .set("subframes_per_bs",
+                    static_cast<double>(cfg.workload.subframes_per_bs))
+               .set("seed", static_cast<double>(cfg.workload.seed))
+               .set("rtt_half_us", to_us(cfg.rtt_half))
+               .set("loss_prob", cfg.workload.fronthaul_faults.loss_prob)
+               .set("late_prob", cfg.workload.fronthaul_faults.late_prob)
+               .set("degrade",
+                    bench::JsonValue::boolean(cfg.degrade.enabled)))
+      .set("trace_drops", static_cast<double>(trace_drops_total))
+      .set("rows", std::move(rows));
+  bench::write_bench_json(json_dir + "/BENCH_fig17.json", root);
+  std::printf("\nwrote %s/BENCH_fig17.json\n", json_dir.c_str());
 
   const double part_max = supported_mbps(part_curve, 1e-2);
   const double opex_max = supported_mbps(opex_curve, 1e-2);

@@ -15,8 +15,13 @@
 //   --trace-csv FILE     also dump the raw events as CSV
 //   --metrics FILE       Prometheus text snapshots, rendered periodically
 //                        during the run and finalized after it ("-" =
-//                        stdout)
+//                        stdout). File snapshots are written to FILE.tmp
+//                        and renamed into place, so a scraper never sees
+//                        a torn half-written exposition.
 //   --metrics-period-ms  snapshot period (default: 4 subframe periods)
+//   --analyze            run the deadline-miss postmortem over the trace
+//                        after the run: prints the one-line JSON summary
+//                        and a per-cause breakdown (implies tracing)
 //
 // Resilience options:
 //   --kill-core N        park worker N mid-run (watchdog fails it over)
@@ -32,6 +37,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/analysis/analysis.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics_registry.hpp"
 #include "runtime/fault_injection.hpp"
@@ -49,6 +55,7 @@ int main(int argc, char** argv) {
   std::size_t subframes = 12;
   double period_ms = 25.0;
   double metrics_period_ms = 0.0;
+  bool analyze = false;
   std::string trace_path, trace_csv_path, metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "partitioned") == 0) {
@@ -72,6 +79,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--metrics-period-ms") == 0 &&
                i + 1 < argc) {
       metrics_period_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--analyze") == 0) {
+      analyze = true;
     } else if (std::strcmp(argv[i], "--kill-core") == 0 && i + 1 < argc) {
       kill_core = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--at-ms") == 0 && i + 1 < argc) {
@@ -83,7 +92,7 @@ int main(int argc, char** argv) {
                    "usage: %s [partitioned|global|rtopex]\n"
                    "  [--basestations N] [--subframes N] [--period-ms T]\n"
                    "  [--trace FILE] [--trace-csv FILE] [--metrics FILE]\n"
-                   "  [--metrics-period-ms T]\n"
+                   "  [--metrics-period-ms T] [--analyze]\n"
                    "  [--kill-core N] [--at-ms T] [--fronthaul-loss P]\n",
                    argv[0]);
       return 1;
@@ -108,23 +117,31 @@ int main(int argc, char** argv) {
     cfg.resilience.enable_watchdog = true;
     cfg.resilience.watchdog_timeout = cfg.subframe_period;
   }
-  cfg.trace.enabled = !trace_path.empty() || !trace_csv_path.empty();
+  cfg.trace.enabled =
+      analyze || !trace_path.empty() || !trace_csv_path.empty();
 
-  // Periodic Prometheus snapshots from the ticker. A file sink truncates
-  // and rewrites on each snapshot (textfile-collector style); "-" prints.
+  // Periodic Prometheus snapshots from the ticker. A file sink writes the
+  // whole exposition to FILE.tmp and renames it over FILE, so a concurrent
+  // textfile collector reads either the previous snapshot or this one,
+  // never a truncated half-write; "-" prints.
+  auto write_atomic = [](const std::string& path, const std::string& text) {
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (!f) return;
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::rename(tmp.c_str(), path.c_str());
+  };
   if (!metrics_path.empty()) {
     if (metrics_period_ms <= 0.0) metrics_period_ms = 4.0 * period_ms;
     cfg.metrics_period =
         microseconds(static_cast<long>(metrics_period_ms * 1000.0));
-    cfg.metrics_sink = [metrics_path](const std::string& text) {
+    cfg.metrics_sink = [metrics_path, write_atomic](const std::string& text) {
       if (metrics_path == "-") {
         std::printf("---- metrics snapshot ----\n%s", text.c_str());
         return;
       }
-      if (std::FILE* f = std::fopen(metrics_path.c_str(), "w")) {
-        std::fwrite(text.data(), 1, text.size(), f);
-        std::fclose(f);
-      }
+      write_atomic(metrics_path, text);
     };
   }
 
@@ -207,13 +224,29 @@ int main(int argc, char** argv) {
                 trace_path.empty() ? "" : " -> ",
                 trace_path.c_str());
   }
+  obs::analysis::AnalysisReport analysis_report;
+  if (analyze) {
+    obs::analysis::AnalyzerOptions aopts;
+    aopts.budget = cfg.deadline_budget;
+    analysis_report = obs::analysis::analyze(report.trace, aopts);
+    std::printf("\nanalysis: %s\n",
+                obs::analysis::summary_json(analysis_report).c_str());
+    for (unsigned c = 1; c < obs::analysis::kNumMissCauses; ++c)
+      if (analysis_report.cause_counts[c])
+        std::printf("  %-22s %llu\n",
+                    obs::analysis::to_string(
+                        static_cast<obs::analysis::MissCause>(c)),
+                    static_cast<unsigned long long>(
+                        analysis_report.cause_counts[c]));
+  }
   if (!metrics_path.empty()) {
     obs::MetricsRegistry reg;
     runtime::fill_registry(report, reg);
+    if (analyze) obs::analysis::fill_registry(analysis_report, reg);
     if (metrics_path == "-")
       std::printf("---- final metrics ----\n%s", reg.render().c_str());
     else
-      reg.write(metrics_path);
+      write_atomic(metrics_path, reg.render());
   }
   return report.crc_failures == 0 ? 0 : 2;
 }

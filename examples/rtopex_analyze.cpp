@@ -1,0 +1,113 @@
+// Deadline-miss postmortem CLI: reads a trace exported with --trace-csv
+// (from live_runtime, scheduler_timelines or any bench), reconstructs every
+// subframe's critical path, attributes each miss to a cause from the fixed
+// taxonomy, and writes the machine-readable artifacts:
+//
+//   $ ./rtopex_analyze TRACE.csv [options]
+//
+//   --out DIR                 artifact directory (default "."): writes
+//                             miss_report.csv and, with --trajectories,
+//                             slack_trajectory.csv
+//   --budget-us N             end-to-end deadline budget for traces that
+//                             predate arrival events (default 2000)
+//   --nominal-transport-us N  expected one-way fronthaul delay; transport
+//                             beyond it is the cloud-tail overage
+//                             (default 500)
+//   --failover-window-ms N    queueing misses within this window of a
+//                             watchdog fire become failover_repartition
+//                             (default 100)
+//   --trajectories            also write the per-basestation slack
+//                             trajectory CSV
+//   --model-fallback          estimate stage budgets from the paper's
+//                             Eq. (1) model when the trace carries none
+//   --metrics FILE            Prometheus rendering of the analysis
+//                             counters ("-" = stdout)
+//
+// The last stdout line is always the one-line JSON summary, so scripts can
+// `tail -n 1` it.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "model/task_cost_model.hpp"
+#include "obs/analysis/analysis.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtopex;
+  namespace analysis = obs::analysis;
+
+  std::string trace_path, out_dir = ".", metrics_path;
+  analysis::AnalyzerOptions opts;
+  bool trajectories = false;
+  bool model_fallback = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--budget-us") == 0 && i + 1 < argc) {
+      opts.budget = microseconds_f(std::atof(argv[++i]));
+    } else if (std::strcmp(argv[i], "--nominal-transport-us") == 0 &&
+               i + 1 < argc) {
+      opts.nominal_transport = microseconds_f(std::atof(argv[++i]));
+    } else if (std::strcmp(argv[i], "--failover-window-ms") == 0 &&
+               i + 1 < argc) {
+      opts.failover_window =
+          microseconds_f(std::atof(argv[++i]) * 1000.0);
+    } else if (std::strcmp(argv[i], "--trajectories") == 0) {
+      trajectories = true;
+    } else if (std::strcmp(argv[i], "--model-fallback") == 0) {
+      model_fallback = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (argv[i][0] != '-' && trace_path.empty()) {
+      trace_path = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s TRACE.csv [--out DIR] [--budget-us N]\n"
+                   "  [--nominal-transport-us N] [--failover-window-ms N]\n"
+                   "  [--trajectories] [--model-fallback] [--metrics FILE]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (trace_path.empty()) {
+    std::fprintf(stderr, "%s: no trace file given\n", argv[0]);
+    return 1;
+  }
+  opts.keep_trajectories = trajectories;
+
+  // Paper-calibrated Eq. (1) stage split at N = 2, 10 MHz — only consulted
+  // for stages whose trace events carry no in-band estimate.
+  model::TaskCostModel fallback(model::paper_gpp_model(), 2, 50);
+  if (model_fallback) opts.cost_model = &fallback;
+
+  try {
+    const obs::TraceStore store = analysis::load_trace_csv(trace_path);
+    const analysis::AnalysisReport report = analysis::analyze(store, opts);
+
+    const std::string miss_path = out_dir + "/miss_report.csv";
+    analysis::write_miss_report_csv(miss_path, report);
+    std::fprintf(stderr, "wrote %s (%llu misses / %llu subframes)\n",
+                 miss_path.c_str(),
+                 static_cast<unsigned long long>(report.misses),
+                 static_cast<unsigned long long>(report.subframes));
+    if (trajectories) {
+      const std::string traj_path = out_dir + "/slack_trajectory.csv";
+      analysis::write_slack_trajectory_csv(traj_path, report);
+      std::fprintf(stderr, "wrote %s\n", traj_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      obs::MetricsRegistry reg;
+      analysis::fill_registry(report, reg);
+      if (metrics_path == "-")
+        std::printf("%s", reg.render().c_str());
+      else
+        reg.write(metrics_path);
+    }
+    std::printf("%s\n", analysis::summary_json(report).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -12,12 +12,15 @@
 //   --out DIR    also write each schedule as Chrome trace-event JSON
 //                (fig09_trace.json / fig10_trace.json / fig11_trace.json,
 //                loadable in chrome://tracing or ui.perfetto.dev).
+//   --analyze    run the deadline-miss postmortem over each schedule's
+//                trace and print the attributed cause breakdown.
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "model/task_cost_model.hpp"
+#include "obs/analysis/analysis.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/tracer.hpp"
 #include "sched/global.hpp"
@@ -100,6 +103,23 @@ void print_missed(const sim::SchedulerMetrics& metrics) {
   }
 }
 
+/// Postmortem over one schedule's trace: the one-line summary plus the
+/// per-cause miss counts, printed under the figure it explains.
+void maybe_analyze(bool analyze, const obs::Tracer& tracer) {
+  if (!analyze) return;
+  namespace analysis = obs::analysis;
+  analysis::AnalyzerOptions opts;
+  opts.nominal_transport = kRttHalf;
+  const analysis::AnalysisReport report =
+      analysis::analyze(tracer.store(), opts);
+  std::printf("  analysis: %s\n", analysis::summary_json(report).c_str());
+  for (unsigned c = 1; c < analysis::kNumMissCauses; ++c)
+    if (report.cause_counts[c])
+      std::printf("    %-22s %llu\n",
+                  analysis::to_string(static_cast<analysis::MissCause>(c)),
+                  static_cast<unsigned long long>(report.cause_counts[c]));
+}
+
 void maybe_write_trace(const std::string& out_dir, const char* file,
                        obs::Tracer& tracer, unsigned num_cores,
                        const char* name) {
@@ -116,14 +136,18 @@ void maybe_write_trace(const std::string& out_dir, const char* file,
 
 int main(int argc, char** argv) {
   std::string out_dir;
+  bool analyze = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--analyze") == 0) {
+      analyze = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--out DIR]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--out DIR] [--analyze]\n", argv[0]);
       return 1;
     }
   }
+  const bool tracing = !out_dir.empty() || analyze;
 
   const model::TaskCostModel cost(model::paper_gpp_model(), 2, 50);
   const TimePoint horizon = milliseconds(8);
@@ -135,7 +159,7 @@ int main(int argc, char** argv) {
     sched::PartitionedConfig pc;
     pc.rtt_half = kRttHalf;
     pc.record_timeline = true;
-    if (!out_dir.empty()) pc.tracer = &tracer;
+    if (tracing) pc.tracer = &tracer;
     sched::PartitionedScheduler sched(1, pc);
     const auto m = sched.run(work);
     render("Fig. 9 style — partitioned schedule, BS A on 2 cores "
@@ -146,6 +170,7 @@ int main(int argc, char** argv) {
                 "sits idle right next to them.\n",
                 m.deadline_misses, m.total_subframes);
     print_missed(m);
+    maybe_analyze(analyze, tracer);
     maybe_write_trace(out_dir, "fig09_trace.json", tracer, sched.num_cores(),
                       "scheduler_timelines fig09 partitioned");
   }
@@ -157,7 +182,7 @@ int main(int argc, char** argv) {
     sched::GlobalConfig gc;
     gc.num_cores = 2;
     gc.record_timeline = true;
-    if (!out_dir.empty()) gc.tracer = &tracer;
+    if (tracing) gc.tracer = &tracer;
     sched::GlobalScheduler sched(2, gc);
     const auto m = sched.run(work);
     render("Fig. 10 style — global schedule, BSs A+B sharing 2 cores "
@@ -168,6 +193,7 @@ int main(int argc, char** argv) {
                 "arrivals past their deadlines.\n",
                 m.deadline_misses, m.total_subframes);
     print_missed(m);
+    maybe_analyze(analyze, tracer);
     maybe_write_trace(out_dir, "fig10_trace.json", tracer, 2,
                       "scheduler_timelines fig10 global");
   }
@@ -179,7 +205,7 @@ int main(int argc, char** argv) {
     sched::RtOpexConfig rc;
     rc.rtt_half = kRttHalf;
     rc.record_timeline = true;
-    if (!out_dir.empty()) rc.tracer = &tracer;
+    if (tracing) rc.tracer = &tracer;
     sched::RtOpexScheduler sched(1, rc);
     const auto m = sched.run(work);
     render("Fig. 11 style — RT-OPEX on the same workload as Fig. 9 "
@@ -191,6 +217,7 @@ int main(int argc, char** argv) {
                 m.deadline_misses, m.total_subframes,
                 m.fft_subtasks_migrated + m.decode_subtasks_migrated);
     print_missed(m);
+    maybe_analyze(analyze, tracer);
     maybe_write_trace(out_dir, "fig11_trace.json", tracer, sched.num_cores(),
                       "scheduler_timelines fig11 rt-opex");
   }

@@ -1,0 +1,225 @@
+// Deadline-miss postmortem engine. Consumes a drained trace stream (an
+// obs::TraceStore, either live from a Tracer or reloaded from the flat CSV
+// export) and reconstructs, for every subframe, the critical path from
+// fronthaul delivery through queueing and the three processing stages —
+// stitching migrated chunks back onto the owning subframe via the
+// offload/host flow events — then attributes each deadline miss to exactly
+// one cause from a fixed taxonomy.
+//
+// Attribution is deterministic: for a missed subframe the analyzer computes
+// the *overage* of every critical-path component against the expectation
+// the admission logic itself used (carried in-band on kArrival /
+// kStageBegin payloads), and the dominant overage names the cause. Ties
+// break in fixed component order (transport, queue, fft, demod, decode),
+// so the same trace always yields the same report, bit for bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+#include "obs/tracer.hpp"
+
+namespace rtopex::model {
+class TaskCostModel;
+}
+
+namespace rtopex::obs::analysis {
+
+/// Fixed miss-cause taxonomy. The enum codes appear verbatim in the miss
+/// report CSV, so existing entries keep their codes; new causes go at the
+/// end (kUnknown moves last and kNumMissCauses follows).
+enum class MissCause : std::uint8_t {
+  kNone = 0,              ///< subframe met its deadline (or never arrived).
+  kFronthaulLate,         ///< arrived after the deadline had already passed.
+  kCloudTail,             ///< transport delay beyond the nominal fronthaul RTT.
+  kDecodeOverrun,         ///< more turbo iterations than the admitted estimate.
+  kMigrationRecovery,     ///< local re-execution tail after a failed offload.
+  kQueueingBacklog,       ///< waited behind other subframes past its slack.
+  kFailoverRepartition,   ///< queueing delay within the failover window of a
+                          ///< watchdog fire (repartition backlog).
+  kPlatformErrorSpike,    ///< a stage ran long versus its own estimate
+                          ///< (platform jitter, not excess iterations).
+  kUnknown,               ///< no component overran; trace too sparse.
+};
+
+inline constexpr unsigned kNumMissCauses = 9;
+
+const char* to_string(MissCause cause);
+
+/// One critical-path component of a subframe: transport, queue wait, or a
+/// processing stage, with the expectation the admission logic used for it.
+struct PathSegment {
+  enum class Kind : std::uint8_t {
+    kTransport = 0,
+    kQueue,
+    kFft,
+    kDemod,
+    kDecode,
+  };
+  Kind kind = Kind::kTransport;
+  TimePoint begin = 0;
+  TimePoint end = 0;
+  Duration expected = 0;     ///< nominal / admitted duration, 0 for queue.
+  Duration slack_after = 0;  ///< deadline - end at this boundary.
+
+  Duration actual() const { return end - begin; }
+  Duration overage() const {
+    const Duration over = actual() - expected;
+    return over > 0 ? over : 0;
+  }
+};
+
+const char* to_string(PathSegment::Kind kind);
+
+/// Reconstructed begin/end of one processing stage within a subframe.
+struct StageTiming {
+  TimePoint begin = -1;
+  TimePoint end = -1;
+  Duration expected = 0;      ///< admission estimate (kStageBegin.a).
+  Duration recovery_ns = 0;   ///< tail spent re-executing offloaded subtasks.
+
+  bool present() const { return begin >= 0 && end >= begin; }
+  Duration actual() const { return present() ? end - begin : 0; }
+};
+
+/// Everything the analyzer reconstructed about one subframe.
+struct SubframeAnalysis {
+  std::uint32_t bs = 0;
+  std::uint32_t index = 0;
+  std::uint32_t core = 0;       ///< core that ran (or dropped) it.
+  TimePoint radio_time = -1;    ///< arrival - transport_ns.
+  TimePoint arrival = -1;
+  TimePoint deadline = -1;
+  TimePoint start = -1;         ///< kSubframeBegin timestamp.
+  TimePoint end = -1;           ///< kSubframeEnd / kDrop timestamp.
+  Duration transport_ns = 0;    ///< fronthaul delay (kArrival.b).
+  Duration queue_ns = 0;        ///< start - arrival, clamped at 0.
+  std::array<StageTiming, kNumStages> stages{};  ///< indexed by obs::Stage.
+  std::uint32_t iterations_estimated = 0;  ///< decode admission assumption.
+  std::uint32_t iterations_executed = 0;   ///< decode iterations actually run.
+  unsigned offloads = 0;        ///< migrated chunks placed from this subframe.
+
+  bool lost = false;        ///< never arrived (fronthaul loss).
+  bool late = false;        ///< arrived past its deadline.
+  bool missed = false;
+  bool dropped = false;     ///< rejected by a slack check.
+  bool terminated = false;  ///< cut at the deadline mid-decode.
+  bool degraded = false;    ///< admitted below full quality.
+  Stage missed_stage = Stage::kNone;
+
+  MissCause cause = MissCause::kNone;
+  Duration dominant_over_ns = 0;  ///< overage of the attributed component.
+  Duration slack_ns = 0;          ///< deadline - end (negative on a miss).
+  /// Critical path with per-boundary slack; filled for misses, and for
+  /// every subframe under AnalyzerOptions::keep_all_paths.
+  std::vector<PathSegment> path;
+};
+
+/// Busy/idle accounting for one core over the trace horizon.
+struct CoreUsage {
+  unsigned core = 0;
+  std::uint64_t subframes = 0;
+  Duration busy_ns = 0;       ///< own subframe spans.
+  Duration host_busy_ns = 0;  ///< hosted migrated chunks.
+  std::uint64_t gaps = 0;     ///< explicit kGapBegin/kGapEnd pairs.
+  Duration gap_total_ns = 0;
+  double utilization = 0.0;   ///< (busy + host_busy) / trace horizon.
+};
+
+/// Per-basestation slack summary plus the slack trajectory over subframe
+/// index (kept only under AnalyzerOptions::keep_trajectories).
+struct BasestationSlack {
+  std::uint32_t bs = 0;
+  std::uint64_t subframes = 0;
+  std::uint64_t misses = 0;
+  Duration min_slack_ns = 0;
+  double mean_slack_ns = 0.0;
+  /// (subframe index, end-of-path slack in ns), index-ordered.
+  std::vector<std::pair<std::uint32_t, Duration>> trajectory;
+};
+
+struct AnalysisReport {
+  std::uint64_t subframes = 0;   ///< reconstructed, including lost/late.
+  std::uint64_t completed = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t late = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t terminated = 0;
+  std::uint64_t degraded = 0;
+  std::array<std::uint64_t, kNumMissCauses> cause_counts{};
+  std::vector<SubframeAnalysis> detail;  ///< sorted by (bs, index).
+  std::vector<CoreUsage> cores;
+  std::vector<BasestationSlack> per_bs;
+  TimePoint horizon_begin = 0;
+  TimePoint horizon_end = 0;
+  std::uint64_t ring_drops = 0;
+  std::uint64_t store_drops = 0;
+
+  double miss_rate() const {
+    return subframes ? static_cast<double>(misses) /
+                           static_cast<double>(subframes)
+                     : 0.0;
+  }
+  std::uint64_t unknown() const {
+    return cause_counts[static_cast<unsigned>(MissCause::kUnknown)];
+  }
+};
+
+struct AnalyzerOptions {
+  /// End-to-end deadline budget, used only when a trace predates kArrival
+  /// events and deadlines must be synthesized from subframe starts.
+  Duration budget = kEndToEndBudget;
+  /// Expected one-way fronthaul delay; transport time beyond this is the
+  /// cloud-tail overage. Benches pass their configured RTT/2.
+  Duration nominal_transport = microseconds(500);
+  /// Queueing delay within this window after a watchdog fire is blamed on
+  /// the failover repartition rather than ordinary backlog.
+  Duration failover_window = milliseconds(100);
+  /// Overages at or below this threshold are noise, never a cause.
+  Duration epsilon = microseconds(1);
+  /// Keep the critical path for hit subframes too (memory-hungry).
+  bool keep_all_paths = false;
+  /// Record per-basestation slack trajectories (memory-hungry).
+  bool keep_trajectories = false;
+  /// Fallback stage-duration estimator for traces whose kStageBegin events
+  /// carry no in-band estimate (a == 0): Eq. (1) stage costs at the given
+  /// MCS. Null disables the fallback (expected = 0 then).
+  const model::TaskCostModel* cost_model = nullptr;
+  unsigned fallback_mcs = 27;
+  unsigned fallback_iterations = 1;  ///< iteration count for the fallback.
+};
+
+/// Reconstructs every subframe from the trace, attributes misses, and
+/// aggregates per-core and per-basestation accounting.
+AnalysisReport analyze(const TraceStore& store,
+                       const AnalyzerOptions& options = {});
+
+/// Reloads a TraceStore from the flat CSV written by write_trace_csv().
+/// Throws std::runtime_error on I/O or format errors.
+TraceStore load_trace_csv(const std::string& path);
+
+/// One row per missed subframe: identity, reconstructed path times, and
+/// the attributed cause (as its enum code — the file stays all-numeric).
+void write_miss_report_csv(const std::string& path,
+                           const AnalysisReport& report);
+
+/// One row per analyzed subframe: bs, index, end-of-path slack, missed
+/// flag, cause code. Requires keep_trajectories.
+void write_slack_trajectory_csv(const std::string& path,
+                                const AnalysisReport& report);
+
+/// Single-line JSON summary: counts, miss rate, per-cause breakdown and
+/// trace-loss counters.
+std::string summary_json(const AnalysisReport& report);
+
+/// Exposes the report through the Prometheus registry:
+/// rtopex_analysis_subframes_total, rtopex_analysis_misses_total,
+/// rtopex_analysis_miss_cause_total{cause=...}, per-core utilization
+/// gauges and the end-of-path slack histogram.
+void fill_registry(const AnalysisReport& report, MetricsRegistry& registry);
+
+}  // namespace rtopex::obs::analysis

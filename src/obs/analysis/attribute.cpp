@@ -1,0 +1,177 @@
+// Root-cause attribution. For each missed subframe the analyzer walks the
+// reconstructed critical path, computes every component's overage against
+// the expectation the admission logic itself used, and blames the dominant
+// one. The component -> cause mapping encodes the taxonomy:
+//
+//   arrival past deadline                  -> fronthaul_late
+//   transport beyond the nominal fronthaul -> cloud_tail
+//   queue wait, watchdog within window     -> failover_repartition
+//   queue wait otherwise                   -> queueing_backlog
+//   fft/demod beyond their estimates       -> platform_error_spike
+//   decode recovery tail dominates         -> migration_recovery
+//   decode rest, executed > admitted iters -> decode_overrun
+//   decode rest otherwise (jitter)         -> platform_error_spike
+//
+// A dropped subframe whose components all ran at or under expectation was
+// rejected purely for lack of budget; the largest absolute consumer
+// (queue wait vs transport) is blamed instead, and only a subframe with no
+// usable timing at all stays unknown. Pure integer comparisons with a
+// fixed tie-break order keep the verdicts bit-identical across runs.
+#include <algorithm>
+
+#include "model/task_cost_model.hpp"
+#include "obs/analysis/internal.hpp"
+
+namespace rtopex::obs::analysis {
+
+namespace {
+
+/// Fallback stage estimate from the Eq. (1) cost model when the trace
+/// carries none (pre-kArrival traces).
+Duration model_expected(Stage stage, const AnalyzerOptions& options) {
+  if (!options.cost_model) return 0;
+  const model::SubframeCosts costs = options.cost_model->costs(
+      options.fallback_mcs, options.fallback_iterations, 0);
+  switch (stage) {
+    case Stage::kFft: return costs.fft;
+    case Stage::kDemod: return costs.demod;
+    case Stage::kDecode: return costs.decode;
+    default: return 0;
+  }
+}
+
+PathSegment::Kind stage_segment_kind(Stage stage) {
+  switch (stage) {
+    case Stage::kFft: return PathSegment::Kind::kFft;
+    case Stage::kDemod: return PathSegment::Kind::kDemod;
+    default: return PathSegment::Kind::kDecode;
+  }
+}
+
+bool watchdog_within(const Reconstruction& rec, TimePoint start,
+                     Duration window) {
+  // watchdog_fires is time-ordered: binary-search the window before start.
+  const auto lo = std::lower_bound(rec.watchdog_fires.begin(),
+                                   rec.watchdog_fires.end(), start - window);
+  return lo != rec.watchdog_fires.end() && *lo <= start;
+}
+
+}  // namespace
+
+void attribute(SubframeAnalysis& sf, const Reconstruction& rec,
+               const AnalyzerOptions& options) {
+  if (sf.lost) {
+    sf.cause = MissCause::kNone;  // never arrived: not a processing miss.
+    return;
+  }
+  if (sf.late || (sf.arrival >= 0 && sf.deadline >= 0 &&
+                  sf.arrival > sf.deadline)) {
+    sf.missed = true;
+    sf.cause = MissCause::kFronthaulLate;
+    sf.dominant_over_ns =
+        sf.deadline >= 0 ? std::max<Duration>(0, sf.arrival - sf.deadline) : 0;
+    return;
+  }
+
+  // Critical path with slack at every component boundary.
+  sf.path.clear();
+  auto push = [&sf](PathSegment::Kind kind, TimePoint begin, TimePoint end,
+                    Duration expected) {
+    sf.path.push_back({kind, begin, end, expected,
+                       sf.deadline >= 0 ? sf.deadline - end : 0});
+  };
+  if (sf.radio_time >= 0 && sf.arrival >= sf.radio_time)
+    push(PathSegment::Kind::kTransport, sf.radio_time, sf.arrival,
+         options.nominal_transport);
+  if (sf.arrival >= 0 && sf.start >= sf.arrival)
+    push(PathSegment::Kind::kQueue, sf.arrival, sf.start, 0);
+  for (unsigned s = 1; s < kNumStages; ++s) {
+    const StageTiming& st = sf.stages[s];
+    if (!st.present()) continue;
+    const Stage stage = static_cast<Stage>(s);
+    const Duration expected =
+        st.expected > 0 ? st.expected : model_expected(stage, options);
+    push(stage_segment_kind(stage), st.begin, st.end, expected);
+  }
+
+  if (!sf.missed) {
+    sf.cause = MissCause::kNone;
+    if (!options.keep_all_paths) sf.path.clear();
+    return;
+  }
+
+  // Component overages, in fixed tie-break order. The decode overage is
+  // split into the migration-recovery tail and the rest so each half can
+  // carry its own cause.
+  struct Candidate {
+    MissCause cause;
+    Duration over;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(6);
+  Duration transport_abs = 0;
+  Duration queue_abs = 0;
+  for (const PathSegment& seg : sf.path) {
+    const Duration over = seg.overage();
+    switch (seg.kind) {
+      case PathSegment::Kind::kTransport:
+        transport_abs = seg.actual();
+        candidates.push_back({MissCause::kCloudTail, over});
+        break;
+      case PathSegment::Kind::kQueue:
+        queue_abs = seg.actual();
+        candidates.push_back(
+            {watchdog_within(rec, sf.start, options.failover_window)
+                 ? MissCause::kFailoverRepartition
+                 : MissCause::kQueueingBacklog,
+             over});
+        break;
+      case PathSegment::Kind::kFft:
+      case PathSegment::Kind::kDemod:
+        candidates.push_back({MissCause::kPlatformErrorSpike, over});
+        break;
+      case PathSegment::Kind::kDecode: {
+        const Duration recovery =
+            sf.stages[static_cast<unsigned>(Stage::kDecode)].recovery_ns;
+        const Duration recovery_over = std::min(recovery, over);
+        candidates.push_back({MissCause::kMigrationRecovery, recovery_over});
+        const bool excess_iterations =
+            sf.iterations_estimated > 0 &&
+            sf.iterations_executed > sf.iterations_estimated;
+        candidates.push_back({excess_iterations
+                                  ? MissCause::kDecodeOverrun
+                                  : MissCause::kPlatformErrorSpike,
+                              over - recovery_over});
+        break;
+      }
+    }
+  }
+
+  // Dominant overage above the noise floor wins; earlier candidates win
+  // ties (transport > queue > fft > demod > decode halves).
+  MissCause cause = MissCause::kUnknown;
+  Duration best = options.epsilon;
+  for (const Candidate& c : candidates)
+    if (c.over > best) {
+      cause = c.cause;
+      best = c.over;
+    }
+
+  if (cause == MissCause::kUnknown) {
+    // Nothing overran its own estimate: the budget was simply consumed
+    // (typical for admission drops). Blame the largest absolute pre-
+    // processing consumer.
+    if (queue_abs > options.epsilon && queue_abs >= transport_abs)
+      cause = watchdog_within(rec, sf.start, options.failover_window)
+                  ? MissCause::kFailoverRepartition
+                  : MissCause::kQueueingBacklog;
+    else if (transport_abs > options.epsilon)
+      cause = MissCause::kCloudTail;
+    best = std::max(queue_abs, transport_abs);
+    if (cause == MissCause::kUnknown) best = 0;
+  }
+  sf.cause = cause;
+  sf.dominant_over_ns = best;
+}
+
+}  // namespace rtopex::obs::analysis

@@ -1,0 +1,34 @@
+// Shared between the analyzer's translation units: the intermediate
+// reconstruction (per-subframe timelines plus run-wide context) handed from
+// reconstruct.cpp to attribute.cpp, and the final aggregation in report.cpp.
+// Not installed; include only from within src/obs/analysis.
+#pragma once
+
+#include <map>
+
+#include "obs/analysis/analysis.hpp"
+
+namespace rtopex::obs::analysis {
+
+struct Reconstruction {
+  std::vector<SubframeAnalysis> subframes;  ///< (bs, index)-ordered.
+  std::vector<TimePoint> watchdog_fires;    ///< time-ordered.
+  std::map<unsigned, CoreUsage> core_usage;
+  TimePoint horizon_begin = 0;
+  TimePoint horizon_end = 0;
+  std::uint64_t ring_drops = 0;
+  std::uint64_t store_drops = 0;
+};
+
+/// Rebuilds per-subframe timelines and per-core accounting from the raw
+/// event stream.
+Reconstruction reconstruct(const TraceStore& store,
+                           const AnalyzerOptions& options);
+
+/// Builds the critical path for one reconstructed subframe and names the
+/// miss cause (MissCause::kNone when the deadline was met). Fills
+/// sf.path, sf.cause and sf.dominant_over_ns.
+void attribute(SubframeAnalysis& sf, const Reconstruction& rec,
+               const AnalyzerOptions& options);
+
+}  // namespace rtopex::obs::analysis

@@ -1,0 +1,240 @@
+// Critical-path reconstruction: turns a flat event stream back into
+// per-subframe timelines (arrival -> queue -> stages, with migrated chunks
+// stitched back via the offload/host flow events) plus per-core busy/gap
+// accounting. Attribution over the reconstructed paths lives in
+// attribute.cpp.
+#include <algorithm>
+#include <map>
+
+#include "obs/analysis/analysis.hpp"
+#include "obs/analysis/internal.hpp"
+
+namespace rtopex::obs::analysis {
+
+namespace {
+
+/// Events that belong to a core or to the run as a whole, never to one
+/// subframe — grouping by (bs, index) must skip them (their bs/index
+/// fields are zero, which is also a valid subframe identity).
+bool is_global_kind(EventKind kind) {
+  switch (kind) {
+    case EventKind::kGapBegin:
+    case EventKind::kGapEnd:
+    case EventKind::kWatchdogFire:
+      return true;
+    default:
+      return false;
+  }
+}
+
+unsigned stage_slot(Stage stage) {
+  const unsigned s = static_cast<unsigned>(stage);
+  return s < kNumStages ? s : 0;
+}
+
+}  // namespace
+
+Reconstruction reconstruct(const TraceStore& store,
+                           const AnalyzerOptions& options) {
+  Reconstruction rec;
+  rec.ring_drops = store.ring_drops;
+  rec.store_drops = store.store_drops;
+  if (store.events.empty()) return rec;
+
+  // Single time-ordered view; the store interleaves per-track FIFO runs.
+  std::vector<const TraceEvent*> ordered;
+  ordered.reserve(store.events.size());
+  for (const TraceEvent& ev : store.events) ordered.push_back(&ev);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->ts < b->ts;
+                   });
+  rec.horizon_begin = ordered.front()->ts;
+  rec.horizon_end = ordered.back()->ts;
+
+  // std::map keys keep subframes in deterministic (bs, index) order and
+  // give stable iteration for the report regardless of track interleaving.
+  std::map<std::uint64_t, SubframeAnalysis> subframes;
+  auto slot = [&subframes](const TraceEvent& ev) -> SubframeAnalysis& {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(ev.bs) << 32) | ev.index;
+    SubframeAnalysis& sf = subframes[key];
+    sf.bs = ev.bs;
+    sf.index = ev.index;
+    return sf;
+  };
+
+  // Decode-recovery markers (kRecovery carries the local-end timestamp;
+  // the tail extends to the stage end, seen later) and open host spans,
+  // keyed by (subframe, stage, source core, host core) so concurrent
+  // migrations from different subframes never cross-stitch.
+  std::map<std::uint64_t, TimePoint> recovery_at;
+  struct HostKey {
+    std::uint64_t subframe;
+    unsigned stage;
+    std::uint32_t src;
+    std::uint32_t host;
+    auto operator<=>(const HostKey&) const = default;
+  };
+  std::map<HostKey, TimePoint> open_hosts;
+  std::map<unsigned, TimePoint> open_gaps;
+
+  auto& cores = rec.core_usage;
+  auto core_of = [&cores](unsigned id) -> CoreUsage& {
+    CoreUsage& cu = cores[id];
+    cu.core = id;
+    return cu;
+  };
+
+  for (const TraceEvent* evp : ordered) {
+    const TraceEvent& ev = *evp;
+    switch (ev.kind) {
+      case EventKind::kWatchdogFire:
+        rec.watchdog_fires.push_back(ev.ts);
+        break;
+      case EventKind::kGapBegin:
+        open_gaps[ev.core] = ev.ts;
+        break;
+      case EventKind::kGapEnd: {
+        const auto it = open_gaps.find(ev.core);
+        if (it != open_gaps.end()) {
+          CoreUsage& cu = core_of(ev.core);
+          ++cu.gaps;
+          cu.gap_total_ns += std::max<Duration>(0, ev.ts - it->second);
+          open_gaps.erase(it);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    if (is_global_kind(ev.kind)) continue;
+
+    SubframeAnalysis& sf = slot(ev);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(ev.bs) << 32) | ev.index;
+    switch (ev.kind) {
+      case EventKind::kArrival:
+        sf.arrival = ev.ts;
+        sf.deadline = ev.ts + static_cast<Duration>(ev.a);
+        sf.transport_ns = static_cast<Duration>(ev.b);
+        sf.core = ev.core;
+        break;
+      case EventKind::kLost:
+        sf.lost = true;
+        sf.radio_time = ev.ts;
+        break;
+      case EventKind::kLate:
+        sf.late = true;
+        sf.missed = true;
+        sf.arrival = ev.ts;
+        sf.deadline = ev.ts - static_cast<Duration>(ev.a);
+        sf.transport_ns = static_cast<Duration>(ev.b);
+        break;
+      case EventKind::kSubframeBegin:
+        sf.start = ev.ts;
+        sf.core = ev.core;
+        break;
+      case EventKind::kSubframeEnd:
+        sf.end = ev.ts;
+        if (ev.a) sf.missed = true;
+        sf.iterations_executed = ev.b;
+        break;
+      case EventKind::kStageBegin: {
+        StageTiming& st = sf.stages[stage_slot(ev.stage)];
+        st.begin = ev.ts;
+        st.expected = static_cast<Duration>(ev.a);
+        if (ev.stage == Stage::kDecode) sf.iterations_estimated = ev.b;
+        break;
+      }
+      case EventKind::kStageEnd:
+        sf.stages[stage_slot(ev.stage)].end = ev.ts;
+        break;
+      case EventKind::kOffload:
+        ++sf.offloads;
+        break;
+      case EventKind::kHostBegin:
+        open_hosts[{key, stage_slot(ev.stage), ev.a, ev.core}] = ev.ts;
+        break;
+      case EventKind::kHostEnd: {
+        const auto it =
+            open_hosts.find({key, stage_slot(ev.stage), ev.a, ev.core});
+        if (it != open_hosts.end()) {
+          core_of(ev.core).host_busy_ns +=
+              std::max<Duration>(0, ev.ts - it->second);
+          open_hosts.erase(it);
+        }
+        break;
+      }
+      case EventKind::kRecovery: {
+        // Keep the earliest marker: the recovery tail runs from there to
+        // the stage end.
+        const auto [it, inserted] = recovery_at.try_emplace(
+            (key << 2) | stage_slot(ev.stage), ev.ts);
+        if (!inserted) it->second = std::min(it->second, ev.ts);
+        break;
+      }
+      case EventKind::kDegrade:
+        sf.degraded = true;
+        break;
+      case EventKind::kDrop:
+        sf.dropped = true;
+        sf.missed = true;
+        sf.missed_stage = ev.stage;
+        sf.end = ev.ts;
+        sf.core = ev.core;
+        break;
+      case EventKind::kTerminate:
+        sf.terminated = true;
+        sf.missed = true;
+        sf.missed_stage = ev.stage;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Finalize each subframe: synthesize what older traces omit, derive the
+  // queue wait and end-of-path slack, and fold recovery markers into the
+  // owning stage.
+  rec.subframes.reserve(subframes.size());
+  for (auto& [key, sf] : subframes) {
+    if (!sf.lost) {
+      if (sf.arrival < 0 && sf.start >= 0) {
+        // Pre-kArrival trace: no delivery metadata. Assume zero queueing
+        // and the full budget from the processing start.
+        sf.arrival = sf.start;
+        sf.deadline = sf.start + options.budget;
+        sf.transport_ns = options.nominal_transport;
+      }
+      if (sf.arrival >= 0) sf.radio_time = sf.arrival - sf.transport_ns;
+      if (sf.start >= 0 && sf.arrival >= 0)
+        sf.queue_ns = std::max<Duration>(0, sf.start - sf.arrival);
+      if (sf.end < 0) {
+        // Span never closed (truncated trace): treat the last stage end —
+        // or the start — as the end so downstream math stays finite.
+        TimePoint last = sf.start;
+        for (const StageTiming& st : sf.stages)
+          if (st.end > last) last = st.end;
+        sf.end = last >= 0 ? last : sf.arrival;
+      }
+      for (unsigned s = 0; s < kNumStages; ++s) {
+        const auto it = recovery_at.find((key << 2) | s);
+        if (it == recovery_at.end()) continue;
+        StageTiming& st = sf.stages[s];
+        if (st.present())
+          st.recovery_ns = std::max<Duration>(0, st.end - it->second);
+      }
+      if (sf.deadline >= 0 && sf.end >= 0) sf.slack_ns = sf.deadline - sf.end;
+      if (sf.start >= 0 && sf.end >= sf.start) {
+        CoreUsage& cu = core_of(sf.core);
+        ++cu.subframes;
+        cu.busy_ns += sf.end - sf.start;
+      }
+    }
+    rec.subframes.push_back(std::move(sf));
+  }
+  return rec;
+}
+
+}  // namespace rtopex::obs::analysis

@@ -1,0 +1,209 @@
+// Aggregation and output: analyze() ties reconstruction and attribution
+// together, then the writers render the report as a numeric miss CSV, a
+// slack-trajectory CSV, a one-line JSON summary, or Prometheus samples.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/csv.hpp"
+#include "obs/analysis/internal.hpp"
+
+namespace rtopex::obs::analysis {
+
+const char* to_string(MissCause cause) {
+  switch (cause) {
+    case MissCause::kNone: return "none";
+    case MissCause::kFronthaulLate: return "fronthaul_late";
+    case MissCause::kCloudTail: return "cloud_tail";
+    case MissCause::kDecodeOverrun: return "decode_overrun";
+    case MissCause::kMigrationRecovery: return "migration_recovery";
+    case MissCause::kQueueingBacklog: return "queueing_backlog";
+    case MissCause::kFailoverRepartition: return "failover_repartition";
+    case MissCause::kPlatformErrorSpike: return "platform_error_spike";
+    case MissCause::kUnknown: return "unknown";
+  }
+  return "invalid";
+}
+
+const char* to_string(PathSegment::Kind kind) {
+  switch (kind) {
+    case PathSegment::Kind::kTransport: return "transport";
+    case PathSegment::Kind::kQueue: return "queue";
+    case PathSegment::Kind::kFft: return "fft";
+    case PathSegment::Kind::kDemod: return "demod";
+    case PathSegment::Kind::kDecode: return "decode";
+  }
+  return "invalid";
+}
+
+AnalysisReport analyze(const TraceStore& store,
+                       const AnalyzerOptions& options) {
+  Reconstruction rec = reconstruct(store, options);
+
+  AnalysisReport report;
+  report.horizon_begin = rec.horizon_begin;
+  report.horizon_end = rec.horizon_end;
+  report.ring_drops = rec.ring_drops;
+  report.store_drops = rec.store_drops;
+
+  std::map<std::uint32_t, BasestationSlack> per_bs;
+  std::map<std::uint32_t, double> slack_sums;
+  for (SubframeAnalysis& sf : rec.subframes) {
+    attribute(sf, rec, options);
+
+    ++report.subframes;
+    BasestationSlack& bss = per_bs[sf.bs];
+    bss.bs = sf.bs;
+    ++bss.subframes;
+    if (sf.lost) {
+      ++report.lost;
+    } else {
+      if (sf.late) ++report.late;
+      if (sf.dropped) ++report.dropped;
+      if (sf.terminated) ++report.terminated;
+      if (sf.degraded) ++report.degraded;
+      if (sf.missed) {
+        ++report.misses;
+        ++bss.misses;
+      } else {
+        ++report.completed;
+      }
+      if (bss.subframes == 1 || sf.slack_ns < bss.min_slack_ns)
+        bss.min_slack_ns = sf.slack_ns;
+      slack_sums[sf.bs] += static_cast<double>(sf.slack_ns);
+      if (options.keep_trajectories)
+        bss.trajectory.emplace_back(sf.index, sf.slack_ns);
+    }
+    ++report.cause_counts[static_cast<unsigned>(sf.cause)];
+  }
+  // Every subframe lands in cause_counts; completed/lost ones under kNone.
+
+  for (auto& [bs, bss] : per_bs) {
+    const std::uint64_t processed =
+        bss.subframes;  // includes lost (slack 0 contributions skipped)
+    if (processed)
+      bss.mean_slack_ns = slack_sums[bs] / static_cast<double>(processed);
+    std::sort(bss.trajectory.begin(), bss.trajectory.end());
+    report.per_bs.push_back(std::move(bss));
+  }
+
+  const Duration horizon = rec.horizon_end - rec.horizon_begin;
+  for (auto& [id, cu] : rec.core_usage) {
+    if (horizon > 0)
+      cu.utilization = static_cast<double>(cu.busy_ns + cu.host_busy_ns) /
+                       static_cast<double>(horizon);
+    report.cores.push_back(cu);
+  }
+
+  report.detail = std::move(rec.subframes);
+  return report;
+}
+
+void write_miss_report_csv(const std::string& path,
+                           const AnalysisReport& report) {
+  CsvWriter csv(path);
+  csv.write_header({"bs", "index", "core", "cause", "dominant_over_ns",
+                    "slack_ns", "arrival_ns", "deadline_ns", "start_ns",
+                    "end_ns", "transport_ns", "queue_ns", "fft_ns",
+                    "demod_ns", "decode_ns", "recovery_ns", "iter_est",
+                    "iter_exec", "dropped", "terminated", "degraded",
+                    "late"});
+  auto stage_ns = [](const SubframeAnalysis& sf, Stage s) {
+    return static_cast<double>(
+        sf.stages[static_cast<unsigned>(s)].actual());
+  };
+  for (const SubframeAnalysis& sf : report.detail) {
+    if (!sf.missed) continue;
+    csv.write_row(
+        {static_cast<double>(sf.bs), static_cast<double>(sf.index),
+         static_cast<double>(sf.core),
+         static_cast<double>(static_cast<unsigned>(sf.cause)),
+         static_cast<double>(sf.dominant_over_ns),
+         static_cast<double>(sf.slack_ns), static_cast<double>(sf.arrival),
+         static_cast<double>(sf.deadline), static_cast<double>(sf.start),
+         static_cast<double>(sf.end), static_cast<double>(sf.transport_ns),
+         static_cast<double>(sf.queue_ns), stage_ns(sf, Stage::kFft),
+         stage_ns(sf, Stage::kDemod), stage_ns(sf, Stage::kDecode),
+         static_cast<double>(
+             sf.stages[static_cast<unsigned>(Stage::kDecode)].recovery_ns),
+         static_cast<double>(sf.iterations_estimated),
+         static_cast<double>(sf.iterations_executed),
+         sf.dropped ? 1.0 : 0.0, sf.terminated ? 1.0 : 0.0,
+         sf.degraded ? 1.0 : 0.0, sf.late ? 1.0 : 0.0});
+  }
+}
+
+void write_slack_trajectory_csv(const std::string& path,
+                                const AnalysisReport& report) {
+  CsvWriter csv(path);
+  csv.write_header({"bs", "index", "slack_ns"});
+  for (const BasestationSlack& bss : report.per_bs)
+    for (const auto& [index, slack] : bss.trajectory)
+      csv.write_row({static_cast<double>(bss.bs), static_cast<double>(index),
+                     static_cast<double>(slack)});
+}
+
+std::string summary_json(const AnalysisReport& report) {
+  char buf[256];
+  std::string out;
+  auto append = [&out, &buf](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof buf, fmt, args...);
+    out += buf;
+  };
+  append("{\"subframes\":%" PRIu64 ",\"completed\":%" PRIu64
+         ",\"misses\":%" PRIu64 ",\"miss_rate\":%.6g,\"lost\":%" PRIu64
+         ",\"late\":%" PRIu64 ",\"dropped\":%" PRIu64
+         ",\"terminated\":%" PRIu64 ",\"degraded\":%" PRIu64,
+         report.subframes, report.completed, report.misses,
+         report.miss_rate(), report.lost, report.late, report.dropped,
+         report.terminated, report.degraded);
+  out += ",\"causes\":{";
+  bool first = true;
+  for (unsigned c = 1; c < kNumMissCauses; ++c) {
+    if (!first) out += ',';
+    first = false;
+    append("\"%s\":%" PRIu64, to_string(static_cast<MissCause>(c)),
+           report.cause_counts[c]);
+  }
+  append("},\"ring_drops\":%" PRIu64 ",\"store_drops\":%" PRIu64 "}",
+         report.ring_drops, report.store_drops);
+  return out;
+}
+
+void fill_registry(const AnalysisReport& report, MetricsRegistry& registry) {
+  registry.add_counter("rtopex_analysis_subframes_total",
+                       "Subframes reconstructed from the trace.",
+                       static_cast<double>(report.subframes));
+  registry.add_counter("rtopex_analysis_misses_total",
+                       "Deadline misses found in the trace.",
+                       static_cast<double>(report.misses));
+  for (unsigned c = 1; c < kNumMissCauses; ++c)
+    registry.add_counter(
+        "rtopex_analysis_miss_cause_total",
+        "Deadline misses by attributed root cause.",
+        static_cast<double>(report.cause_counts[c]),
+        {{"cause", to_string(static_cast<MissCause>(c))}});
+  registry.add_counter("rtopex_analysis_trace_drops_total",
+                       "Trace events lost before analysis (ring + store).",
+                       static_cast<double>(report.ring_drops +
+                                           report.store_drops));
+  Histogram slack_us;
+  for (const SubframeAnalysis& sf : report.detail)
+    if (!sf.lost && sf.slack_ns > 0) slack_us.add(to_us(sf.slack_ns));
+  registry.add_histogram("rtopex_analysis_slack_us",
+                         "Positive end-of-path slack per subframe (us).",
+                         slack_us);
+  for (const CoreUsage& cu : report.cores) {
+    registry.add_gauge("rtopex_analysis_core_utilization",
+                       "Fraction of the trace horizon the core was busy "
+                       "(own subframes plus hosted chunks).",
+                       cu.utilization,
+                       {{"core", std::to_string(cu.core)}});
+    registry.add_gauge("rtopex_analysis_core_gap_seconds_total",
+                       "Idle-gap time observed on the core.",
+                       static_cast<double>(cu.gap_total_ns) * 1e-9,
+                       {{"core", std::to_string(cu.core)}});
+  }
+}
+
+}  // namespace rtopex::obs::analysis

@@ -1,0 +1,54 @@
+// Reloads the flat CSV written by obs::write_trace_csv back into a
+// TraceStore, so the analyzer (and the rtopex_analyze CLI) can run on an
+// exported trace file long after the run that produced it.
+#include <cmath>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+#include "obs/analysis/analysis.hpp"
+
+namespace rtopex::obs::analysis {
+
+namespace {
+
+std::int64_t as_i64(double v) { return std::llround(v); }
+
+std::uint32_t as_u32(double v) {
+  const std::int64_t n = std::llround(v);
+  if (n < 0 || n > 0xffffffffLL)
+    throw std::runtime_error("load_trace_csv: field out of 32-bit range");
+  return static_cast<std::uint32_t>(n);
+}
+
+}  // namespace
+
+TraceStore load_trace_csv(const std::string& path) {
+  const CsvTable table = read_csv(path);
+  TraceStore store;
+  store.events.reserve(table.rows.size());
+  for (const std::vector<double>& row : table.rows) {
+    if (row.size() != 8)
+      throw std::runtime_error("load_trace_csv: expected 8 columns in " +
+                               path);
+    TraceEvent ev;
+    ev.ts = as_i64(row[0]);
+    ev.core = as_u32(row[1]);
+    const std::uint32_t kind = as_u32(row[2]);
+    if (kind > static_cast<std::uint32_t>(EventKind::kArrival))
+      throw std::runtime_error("load_trace_csv: unknown event kind in " +
+                               path);
+    ev.kind = static_cast<EventKind>(kind);
+    const std::uint32_t stage = as_u32(row[3]);
+    if (stage >= kNumStages)
+      throw std::runtime_error("load_trace_csv: unknown stage in " + path);
+    ev.stage = static_cast<Stage>(stage);
+    ev.bs = as_u32(row[4]);
+    ev.index = as_u32(row[5]);
+    ev.a = as_u32(row[6]);
+    ev.b = as_u32(row[7]);
+    store.events.push_back(ev);
+  }
+  return store;
+}
+
+}  // namespace rtopex::obs::analysis

@@ -28,6 +28,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kTerminate: return "terminate";
     case EventKind::kLost: return "lost";
     case EventKind::kLate: return "late";
+    case EventKind::kArrival: return "arrival";
   }
   return "unknown";
 }

@@ -38,8 +38,21 @@ enum class EventKind : std::uint8_t {
   kDrop,               ///< slack check rejected the subframe.
   kTerminate,          ///< execution was cut at the deadline.
   kLost,               ///< fronthaul loss: subframe never arrived.
-  kLate,               ///< arrived after its deadline had passed.
+  kLate,               ///< arrived after its deadline had passed; a = ns late.
+  kArrival,            ///< fronthaul delivery; a = deadline - arrival (ns,
+                       ///< clamped at 0), b = arrival - radio_time (ns).
 };
+
+// Payload conventions consumed by the postmortem analyzer (obs/analysis):
+//  * kArrival stamps ts = arrival and carries the deadline (a) and the
+//    transport delay (b) in-band, so the analyzer never guesses either.
+//  * kStageBegin carries the stage-duration estimate the admission logic
+//    used in `a` (ns, clamped to 32 bits — far above the 2 ms budget); for
+//    the decode stage `b` is the turbo-iteration count that estimate
+//    assumed (Lm under WCET admission, 1 under optimistic, the cap when
+//    degraded).
+//  * kSubframeEnd carries `a` = 1 on a deadline miss and `b` = the turbo
+//    iterations actually executed (0 when the decode never ran).
 
 /// Compact fixed-size trace record. `core` doubles as the ring/track index;
 /// non-core producers (the transport ticker) use a dedicated extra track.
@@ -58,5 +71,14 @@ struct TraceEvent {
 
 const char* to_string(EventKind kind);
 const char* to_string(Stage stage);
+
+/// Saturates a nanosecond duration into a 32-bit payload word. Negative
+/// values clamp to 0, values past 2^32-1 ns (~4.3 s, far above any
+/// per-subframe quantity) to the maximum.
+inline std::uint32_t clamp_payload_ns(std::int64_t ns) {
+  if (ns <= 0) return 0;
+  if (ns >= 0xffffffffLL) return 0xffffffffu;
+  return static_cast<std::uint32_t>(ns);
+}
 
 }  // namespace rtopex::obs

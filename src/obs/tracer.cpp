@@ -49,16 +49,27 @@ std::uint64_t Tracer::total_ring_drops() const {
 }
 
 const TraceStore& Tracer::store() const {
-  store_.ring_drops = total_ring_drops();
+  refresh_drops();
   return store_;
 }
 
 TraceStore Tracer::take() {
   collect();
-  store_.ring_drops = total_ring_drops();
+  refresh_drops();
   TraceStore out = std::move(store_);
   store_ = TraceStore{};
   return out;
+}
+
+void Tracer::refresh_drops() const {
+  store_.ring_drops_per_track.resize(tracks_.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    const std::uint64_t d = tracks_[i]->drops.load(std::memory_order_relaxed);
+    store_.ring_drops_per_track[i] = d;
+    total += d;
+  }
+  store_.ring_drops = total;
 }
 
 }  // namespace rtopex::obs

@@ -29,6 +29,9 @@ struct TraceStore {
   std::vector<TraceEvent> events;
   std::uint64_t ring_drops = 0;
   std::uint64_t store_drops = 0;
+  /// ring_drops broken down by track (index = core); empty when the store
+  /// was built by hand rather than drained from a Tracer.
+  std::vector<std::uint64_t> ring_drops_per_track;
 
   std::uint64_t total_drops() const { return ring_drops + store_drops; }
 };
@@ -86,6 +89,8 @@ class Tracer {
   TraceStore take();
 
  private:
+  void refresh_drops() const;
+
   struct Track {
     explicit Track(std::size_t capacity) : ring(capacity) {}
     SpscRingBuffer<TraceEvent> ring;

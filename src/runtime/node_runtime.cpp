@@ -380,6 +380,10 @@ struct NodeRuntime::Impl {
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     rec.start = clock.now();
     table.set(self_id, CoreActivity::kActive, 0);
+    RTOPEX_TRACE_EVENT(trc(), .ts = j.arrival, .bs = j.bs, .index = j.index,
+                       .a = obs::clamp_payload_ns(j.deadline - j.arrival),
+                       .b = obs::clamp_payload_ns(j.arrival - j.radio_time),
+                       .core = self_id, .kind = obs::EventKind::kArrival);
     RTOPEX_TRACE_EVENT(trc(), .ts = rec.start, .bs = j.bs, .index = j.index,
                        .core = self_id,
                        .kind = obs::EventKind::kSubframeBegin);
@@ -392,8 +396,10 @@ struct NodeRuntime::Impl {
       rec.completion = clock.now();
       rec.deadline_missed = true;
       rec.late_arrival = true;
-      RTOPEX_TRACE_NOW(trc(), .bs = j.bs, .index = j.index, .core = self_id,
-                       .kind = obs::EventKind::kLate);
+      RTOPEX_TRACE_NOW(trc(), .bs = j.bs, .index = j.index,
+                       .a = obs::clamp_payload_ns(j.arrival - j.deadline),
+                       .b = obs::clamp_payload_ns(j.arrival - j.radio_time),
+                       .core = self_id, .kind = obs::EventKind::kLate);
       RTOPEX_TRACE_EVENT(trc(), .ts = rec.completion, .bs = j.bs,
                          .index = j.index, .a = 1, .core = self_id,
                          .kind = obs::EventKind::kSubframeEnd);
@@ -462,6 +468,9 @@ struct NodeRuntime::Impl {
     // --- FFT ---
     TimePoint t0 = clock.now();
     RTOPEX_TRACE_EVENT(trc(), .ts = t0, .bs = j.bs, .index = j.index,
+                       .a = obs::clamp_payload_ns(
+                           fft_subtask_est_ns.load() *
+                           static_cast<Duration>(fft_n)),
                        .core = self_id, .kind = obs::EventKind::kStageBegin,
                        .stage = obs::Stage::kFft);
     if (migrate) {
@@ -485,6 +494,7 @@ struct NodeRuntime::Impl {
     TimePoint t2 = clock.now();
     rec.timing.demod = t2 - t1;
     RTOPEX_TRACE_EVENT(trc(), .ts = t1, .bs = j.bs, .index = j.index,
+                       .a = obs::clamp_payload_ns(demod_est_ns.load()),
                        .core = self_id, .kind = obs::EventKind::kStageBegin,
                        .stage = obs::Stage::kDemod);
     RTOPEX_TRACE_EVENT(trc(), .ts = t2, .bs = j.bs, .index = j.index,
@@ -495,8 +505,19 @@ struct NodeRuntime::Impl {
     // --- Decode ---
     rx->decode_prepare(job);
     const std::size_t dec_n = rx->decode_subtask_count(job);
-    RTOPEX_TRACE_NOW(trc(), .bs = j.bs, .index = j.index, .core = self_id,
-                     .kind = obs::EventKind::kStageBegin,
+    // Estimate the admission logic would have used: the EWMA per-subtask
+    // decode time tracks full-quality (Lm) decodes, scaled to the cap when
+    // the subframe was admitted degraded.
+    const unsigned lm = config.phy.max_iterations;
+    Duration decode_est =
+        decode_subtask_est_ns.load() * static_cast<Duration>(dec_n);
+    if (job.iteration_cap > 0 && lm > 0)
+      decode_est = decode_est * static_cast<Duration>(job.iteration_cap) /
+                   static_cast<Duration>(lm);
+    RTOPEX_TRACE_NOW(trc(), .bs = j.bs, .index = j.index,
+                     .a = obs::clamp_payload_ns(decode_est),
+                     .b = job.iteration_cap > 0 ? job.iteration_cap : lm,
+                     .core = self_id, .kind = obs::EventKind::kStageBegin,
                      .stage = obs::Stage::kDecode);
     if (migrate && dec_n > 1) {
       run_stage_migrating(self_id, job, j, dec_n,
@@ -524,7 +545,8 @@ struct NodeRuntime::Impl {
     rec.deadline_missed = rec.completion > j.deadline;
     RTOPEX_TRACE_EVENT(trc(), .ts = rec.completion, .bs = j.bs,
                        .index = j.index, .a = rec.deadline_missed ? 1u : 0u,
-                       .core = self_id, .kind = obs::EventKind::kSubframeEnd);
+                       .b = rec.iterations, .core = self_id,
+                       .kind = obs::EventKind::kSubframeEnd);
     return rec;
   }
 
@@ -802,6 +824,11 @@ struct NodeRuntime::Impl {
       reg.add_counter("rtopex_trace_ring_drops_total",
                       "Trace events dropped on full per-core rings.",
                       static_cast<double>(tracer->total_ring_drops()));
+      for (unsigned t = 0; t < tracer->num_tracks(); ++t)
+        reg.add_counter("rtopex_trace_ring_dropped_total",
+                        "Trace events dropped on one core's full ring.",
+                        static_cast<double>(tracer->drops(t)),
+                        {{"core", std::to_string(t)}});
       reg.add_counter("rtopex_trace_collected_events_total",
                       "Trace events drained into the bounded store.",
                       static_cast<double>(tracer->store().events.size()));
@@ -1068,6 +1095,12 @@ void fill_registry(const RuntimeReport& report,
   registry.add_counter("rtopex_trace_ring_drops_total",
                        "Trace events dropped on full per-core rings.",
                        static_cast<double>(report.trace.ring_drops));
+  for (std::size_t t = 0; t < report.trace.ring_drops_per_track.size(); ++t)
+    registry.add_counter(
+        "rtopex_trace_ring_dropped_total",
+        "Trace events dropped on one core's full ring.",
+        static_cast<double>(report.trace.ring_drops_per_track[t]),
+        {{"core", std::to_string(t)}});
   registry.add_counter("rtopex_trace_store_drops_total",
                        "Trace events refused by the bounded store.",
                        static_cast<double>(report.trace.store_drops));

@@ -19,7 +19,8 @@ sim::SchedulerMetrics GlobalScheduler::run(
   sim::SchedulerMetrics metrics;
   metrics.per_bs.resize(num_basestations_);
 
-  const auto filtered = filter_faulted(work, metrics);
+  obs::Tracer* const tracer = config_.tracer;
+  const auto filtered = filter_faulted(work, metrics, tracer);
   const std::span<const sim::SubframeWork> active =
       filtered ? std::span<const sim::SubframeWork>(*filtered) : work;
 
@@ -80,7 +81,6 @@ sim::SchedulerMetrics GlobalScheduler::run(
 
     const TimePoint start =
         std::max(free_at[core_id], w.arrival) + config_.dispatch_latency;
-    obs::Tracer* const tracer = config_.tracer;
     if (used[core_id] && start > free_at[core_id]) {
       metrics.record_gap(to_us(start - free_at[core_id]),
                          config_.record_samples);
@@ -92,6 +92,10 @@ sim::SchedulerMetrics GlobalScheduler::run(
     const Duration penalty =
         last_bs[core_id] == static_cast<int>(w.bs) ? 0 : config_.switch_penalty;
 
+    RTOPEX_TRACE_EVENT(tracer, .ts = w.arrival, .bs = w.bs, .index = w.index,
+                       .a = obs::clamp_payload_ns(w.deadline - w.arrival),
+                       .b = obs::clamp_payload_ns(w.arrival - w.radio_time),
+                       .core = core_id, .kind = obs::EventKind::kArrival);
     RTOPEX_TRACE_EVENT(tracer, .ts = start, .bs = w.bs, .index = w.index,
                        .core = core_id,
                        .kind = obs::EventKind::kSubframeBegin);
@@ -102,7 +106,8 @@ sim::SchedulerMetrics GlobalScheduler::run(
     used[core_id] = true;
     free_at[core_id] = o.end;
     RTOPEX_TRACE_EVENT(tracer, .ts = o.end, .bs = w.bs, .index = w.index,
-                       .a = o.miss ? 1u : 0u, .core = core_id,
+                       .a = o.miss ? 1u : 0u, .b = o.executed_iterations,
+                       .core = core_id,
                        .kind = obs::EventKind::kSubframeEnd);
     if (tracer) tracer->collect();
     if (config_.record_timeline)

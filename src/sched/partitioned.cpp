@@ -29,11 +29,11 @@ sim::SchedulerMetrics PartitionedScheduler::run(
   std::vector<TimePoint> free_at(num_cores(), 0);
   std::vector<bool> used(num_cores(), false);
 
-  const auto filtered = filter_faulted(work, metrics);
+  obs::Tracer* const tracer = config_.tracer;
+  const auto filtered = filter_faulted(work, metrics, tracer);
   const std::span<const sim::SubframeWork> active =
       filtered ? std::span<const sim::SubframeWork>(*filtered) : work;
 
-  obs::Tracer* const tracer = config_.tracer;
   for (const auto& w : active) {
     if (w.bs >= num_basestations_)
       throw std::invalid_argument("run: basestation id out of range");
@@ -47,6 +47,10 @@ sim::SchedulerMetrics PartitionedScheduler::run(
       RTOPEX_TRACE_EVENT(tracer, .ts = start, .core = core,
                          .kind = obs::EventKind::kGapEnd);
     }
+    RTOPEX_TRACE_EVENT(tracer, .ts = w.arrival, .bs = w.bs, .index = w.index,
+                       .a = obs::clamp_payload_ns(w.deadline - w.arrival),
+                       .b = obs::clamp_payload_ns(w.arrival - w.radio_time),
+                       .core = core, .kind = obs::EventKind::kArrival);
     RTOPEX_TRACE_EVENT(tracer, .ts = start, .bs = w.bs, .index = w.index,
                        .core = core,
                        .kind = obs::EventKind::kSubframeBegin);
@@ -56,8 +60,8 @@ sim::SchedulerMetrics PartitionedScheduler::run(
     free_at[core] = o.end;
     used[core] = true;
     RTOPEX_TRACE_EVENT(tracer, .ts = o.end, .bs = w.bs, .index = w.index,
-                       .a = o.miss ? 1u : 0u, .core = core,
-                       .kind = obs::EventKind::kSubframeEnd);
+                       .a = o.miss ? 1u : 0u, .b = o.executed_iterations,
+                       .core = core, .kind = obs::EventKind::kSubframeEnd);
     if (tracer) tracer->collect();
     if (config_.record_timeline)
       metrics.timeline.push_back({w.bs, w.index, core, start, o.end, o.miss,

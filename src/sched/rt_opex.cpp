@@ -58,7 +58,8 @@ sim::SchedulerMetrics RtOpexScheduler::run(
   sim::SchedulerMetrics metrics;
   metrics.per_bs.resize(num_basestations_);
 
-  const auto filtered = filter_faulted(work, metrics);
+  obs::Tracer* const tracer = config_.tracer;
+  const auto filtered = filter_faulted(work, metrics, tracer);
   const std::span<const sim::SubframeWork> active =
       filtered ? std::span<const sim::SubframeWork>(*filtered) : work;
 
@@ -88,6 +89,10 @@ sim::SchedulerMetrics RtOpexScheduler::run(
       if (survivors.empty()) continue;  // no one left to take over
       ++metrics.resilience.failovers;
       ++metrics.resilience.repartitions;
+      // Mirror the runtime watchdog's trace marker so the analyzer can
+      // correlate queueing misses with the repartition instant.
+      RTOPEX_TRACE_EVENT(tracer, .ts = ev.at, .a = ev.core,
+                         .kind = obs::EventKind::kWatchdogFire);
       for (std::size_t i = 0; i < active.size(); ++i) {
         if (assign[i] != ev.core || active[i].arrival < ev.at) continue;
         assign[i] = survivors[rr++ % survivors.size()];
@@ -143,8 +148,6 @@ sim::SchedulerMetrics RtOpexScheduler::run(
               });
     return cands;
   };
-
-  obs::Tracer* const tracer = config_.tracer;
 
   // Executes a previously planned parallelizable stage starting at `t` on
   // core `self`, with actual per-subtask time `tp`. The plan may have been
@@ -264,6 +267,10 @@ sim::SchedulerMetrics RtOpexScheduler::run(
                          .kind = obs::EventKind::kGapEnd);
     }
     core.used = true;
+    RTOPEX_TRACE_EVENT(tracer, .ts = w.arrival, .bs = w.bs, .index = w.index,
+                       .a = obs::clamp_payload_ns(w.deadline - w.arrival),
+                       .b = obs::clamp_payload_ns(w.arrival - w.radio_time),
+                       .core = self, .kind = obs::EventKind::kArrival);
     RTOPEX_TRACE_EVENT(tracer, .ts = start, .bs = w.bs, .index = w.index,
                        .core = self,
                        .kind = obs::EventKind::kSubframeBegin);
@@ -278,6 +285,7 @@ sim::SchedulerMetrics RtOpexScheduler::run(
     bool degraded_failure = false;
     obs::Stage missed_stage = obs::Stage::kNone;
     int host_core = -1;
+    unsigned executed_iters = 0;
     TimePoint t = start;
 
     // --- FFT stage (deterministic duration; exact slack check) ---
@@ -289,6 +297,7 @@ sim::SchedulerMetrics RtOpexScheduler::run(
                          .stage = obs::Stage::kFft);
     } else {
       RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                         .a = obs::clamp_payload_ns(w.costs.fft),
                          .core = self, .kind = obs::EventKind::kStageBegin,
                          .stage = obs::Stage::kFft);
       const TimePoint fft_start = t;
@@ -332,6 +341,7 @@ sim::SchedulerMetrics RtOpexScheduler::run(
                            .stage = obs::Stage::kDemod);
       } else {
         RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                           .a = obs::clamp_payload_ns(w.costs.demod),
                            .core = self, .kind = obs::EventKind::kStageBegin,
                            .stage = obs::Stage::kDemod);
         t += w.costs.demod;
@@ -381,12 +391,14 @@ sim::SchedulerMetrics RtOpexScheduler::run(
         } else {
           degrade_level = dplan.level;
           degraded_failure = w.decodable && w.iterations > dplan.cap;
+          executed_iters = std::min(w.iterations, dplan.cap);
           RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
                              .a = dplan.cap, .core = self,
                              .kind = obs::EventKind::kDegrade,
                              .stage = obs::Stage::kDecode);
           RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
-                             .core = self,
+                             .a = obs::clamp_payload_ns(dplan.estimate),
+                             .b = dplan.cap, .core = self,
                              .kind = obs::EventKind::kStageBegin,
                              .stage = obs::Stage::kDecode);
           t += degraded_decode_time(w, dplan.cap);
@@ -407,7 +419,11 @@ sim::SchedulerMetrics RtOpexScheduler::run(
         }
       } else {
         metrics.decode_subtasks_total += w.costs.decode_subtasks;
+        executed_iters = w.iterations;
         RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                           .a = obs::clamp_payload_ns(admission_estimate),
+                           .b = config_.admission == AdmissionPolicy::kWcet
+                                    ? w.lm : 1u,
                            .core = self, .kind = obs::EventKind::kStageBegin,
                            .stage = obs::Stage::kDecode);
         if (config_.migrate_decode) {
@@ -445,8 +461,8 @@ sim::SchedulerMetrics RtOpexScheduler::run(
 
     core.free_at = t;
     RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
-                       .a = miss ? 1u : 0u, .core = self,
-                       .kind = obs::EventKind::kSubframeEnd);
+                       .a = miss ? 1u : 0u, .b = executed_iters,
+                       .core = self, .kind = obs::EventKind::kSubframeEnd);
     if (tracer) tracer->collect();
     if (config_.record_timeline)
       metrics.timeline.push_back({w.bs, w.index, self, start, t, miss,

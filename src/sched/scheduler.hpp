@@ -18,6 +18,10 @@
 #include "sim/metrics.hpp"
 #include "sim/workload.hpp"
 
+namespace rtopex::obs {
+class Tracer;
+}
+
 namespace rtopex::sched {
 
 /// What the slack check predicts for the decode task, whose iteration count
@@ -65,9 +69,14 @@ struct DegradeConfig {
 /// subframes never occupy a core; a late arrival is a deadline miss of its
 /// own category (late_arrivals), also skipped — by the time it lands the
 /// deadline is gone. Returns nullopt when nothing was filtered (the caller
-/// keeps using the original span: no copy on the clean path).
+/// keeps using the original span: no copy on the clean path). A non-null
+/// `tracer` receives a kLost marker per lost subframe (at its radio time)
+/// and a kLate marker per late arrival (at its arrival, a = ns past the
+/// deadline), both on track 0 — the sim is single-threaded, so any track
+/// is a legal producer.
 std::optional<std::vector<sim::SubframeWork>> filter_faulted(
-    std::span<const sim::SubframeWork> work, sim::SchedulerMetrics& metrics);
+    std::span<const sim::SubframeWork> work, sim::SchedulerMetrics& metrics,
+    obs::Tracer* tracer = nullptr);
 
 /// Degraded-decode planning: the largest iteration cap whose (WCET-model)
 /// estimate fits the deadline from `t`, or cap = 0 when even

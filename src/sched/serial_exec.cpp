@@ -26,7 +26,8 @@ Duration model_decode(const sim::SubframeWork& w, unsigned l) {
 }  // namespace
 
 std::optional<std::vector<sim::SubframeWork>> filter_faulted(
-    std::span<const sim::SubframeWork> work, sim::SchedulerMetrics& metrics) {
+    std::span<const sim::SubframeWork> work, sim::SchedulerMetrics& metrics,
+    obs::Tracer* tracer) {
   bool any = false;
   for (const auto& w : work)
     if (w.lost || w.arrival > w.deadline) {
@@ -45,12 +46,19 @@ std::optional<std::vector<sim::SubframeWork>> filter_faulted(
     if (w.bs < metrics.per_bs.size()) ++metrics.per_bs[w.bs].subframes;
     if (w.lost) {
       ++metrics.resilience.lost_subframes;
+      RTOPEX_TRACE_EVENT(tracer, .ts = w.radio_time, .bs = w.bs,
+                         .index = w.index, .kind = obs::EventKind::kLost);
       continue;  // never arrived: not a processing miss
     }
     ++metrics.resilience.late_arrivals;
     ++metrics.deadline_misses;
     if (w.bs < metrics.per_bs.size()) ++metrics.per_bs[w.bs].misses;
+    RTOPEX_TRACE_EVENT(tracer, .ts = w.arrival, .bs = w.bs, .index = w.index,
+                       .a = obs::clamp_payload_ns(w.arrival - w.deadline),
+                       .b = obs::clamp_payload_ns(w.arrival - w.radio_time),
+                       .kind = obs::EventKind::kLate);
   }
+  if (tracer) tracer->collect();
   return rest;
 }
 
@@ -106,7 +114,8 @@ SerialOutcome execute_serial(const sim::SubframeWork& w, TimePoint start,
     return out;
   }
   RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
-                     .core = core, .kind = obs::EventKind::kStageBegin,
+                     .a = obs::clamp_payload_ns(fft), .core = core,
+                     .kind = obs::EventKind::kStageBegin,
                      .stage = obs::Stage::kFft);
   t += fft;
   out.fft_ns = fft;
@@ -125,7 +134,8 @@ SerialOutcome execute_serial(const sim::SubframeWork& w, TimePoint start,
     return out;
   }
   RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
-                     .core = core, .kind = obs::EventKind::kStageBegin,
+                     .a = obs::clamp_payload_ns(w.costs.demod), .core = core,
+                     .kind = obs::EventKind::kStageBegin,
                      .stage = obs::Stage::kDemod);
   t += w.costs.demod;
   out.demod_ns = w.costs.demod;
@@ -138,12 +148,16 @@ SerialOutcome execute_serial(const sim::SubframeWork& w, TimePoint start,
   // tries shrinking the iteration cap (graceful degradation) and only
   // drops when even the minimal-quality estimate cannot fit.
   Duration decode_time = w.costs.decode;
-  if (t + decode_admission_estimate(w, admission) > w.deadline) {
+  Duration decode_est = decode_admission_estimate(w, admission);
+  unsigned iter_est = admission == AdmissionPolicy::kWcet ? w.lm : 1;
+  out.executed_iterations = w.iterations;
+  if (t + decode_est > w.deadline) {
     const DegradePlan plan = plan_degrade(w, t, degrade);
     if (plan.cap == 0) {
       out.end = t;
       out.miss = out.dropped = true;
       out.missed_stage = obs::Stage::kDecode;
+      out.executed_iterations = 0;
       RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
                          .core = core, .kind = obs::EventKind::kDrop,
                          .stage = obs::Stage::kDecode);
@@ -152,12 +166,16 @@ SerialOutcome execute_serial(const sim::SubframeWork& w, TimePoint start,
     out.degrade = plan.level;
     out.degraded_failure = w.decodable && w.iterations > plan.cap;
     decode_time = degraded_decode_time(w, plan.cap);
+    decode_est = plan.estimate;
+    iter_est = plan.cap;
+    out.executed_iterations = std::min(w.iterations, plan.cap);
     RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
                        .a = plan.cap, .core = core,
                        .kind = obs::EventKind::kDegrade,
                        .stage = obs::Stage::kDecode);
   }
   RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
+                     .a = obs::clamp_payload_ns(decode_est), .b = iter_est,
                      .core = core, .kind = obs::EventKind::kStageBegin,
                      .stage = obs::Stage::kDecode);
   if (t + decode_time > w.deadline) {

@@ -20,6 +20,9 @@ struct SerialOutcome {
   bool degraded_failure = false;
   /// Stage at which the miss occurred (kNone when the subframe completed).
   obs::Stage missed_stage = obs::Stage::kNone;
+  /// Turbo iterations the decode executed (capped under degradation; 0 when
+  /// the decode never ran). Mirrored into kSubframeEnd's `b` payload.
+  unsigned executed_iterations = 0;
   /// Per-stage execution time in ns; -1 when the stage never ran. The FFT
   /// figure includes the entry penalty (charged before the stage).
   Duration fft_ns = -1;

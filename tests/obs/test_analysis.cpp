@@ -1,0 +1,530 @@
+// Deadline-miss postmortem engine (obs/analysis) tests:
+//  * golden hand-built event streams, one per taxonomy cause, checking the
+//    reconstructed path, the attributed cause and the dominant overage;
+//  * determinism: the verdicts are identical regardless of event order in
+//    the store, and bit-identical across repeated analyses;
+//  * CSV round-trip: write_trace_csv -> load_trace_csv preserves the
+//    events and the analysis verbatim;
+//  * a seeded, faulted fig15-style simulation run meeting the accuracy
+//    bar (>= 95% of misses attributed to a non-unknown cause) and agreeing
+//    with the scheduler's own metrics and timeline;
+//  * a sim-vs-runtime differential: both substrates' traces reconstruct to
+//    the same fault classification their own counters report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "obs/analysis/analysis.hpp"
+#include "obs/chrome_trace.hpp"
+#include "runtime/node_runtime.hpp"
+#include "sched/partitioned.hpp"
+
+namespace rtopex {
+namespace {
+
+using obs::EventKind;
+using obs::Stage;
+using obs::TraceEvent;
+using obs::TraceStore;
+namespace analysis = obs::analysis;
+using analysis::MissCause;
+
+constexpr TimePoint us(std::int64_t n) { return n * 1000; }
+
+std::uint32_t pay(std::int64_t ns) { return obs::clamp_payload_ns(ns); }
+
+/// Hand-built event stream. Events are appended in emission order; the
+/// analyzer must not care (it re-sorts by timestamp).
+struct StreamBuilder {
+  TraceStore store;
+
+  void ev(TimePoint ts, EventKind kind, std::uint32_t index,
+          std::uint32_t a = 0, std::uint32_t b = 0, unsigned core = 0,
+          Stage stage = Stage::kNone, std::uint32_t bs = 0) {
+    store.events.push_back({ts, bs, index, a, b,
+                            static_cast<std::uint32_t>(core), kind, stage});
+  }
+
+  /// Fronthaul delivery: deadline = arrival + budget_left.
+  void arrival(std::uint32_t index, TimePoint at, Duration budget_left,
+               Duration transport, unsigned core = 0) {
+    ev(at, EventKind::kArrival, index, pay(budget_left), pay(transport), core);
+  }
+
+  void stage_span(std::uint32_t index, Stage stage, TimePoint begin,
+                  TimePoint end, Duration expected, std::uint32_t iters = 0,
+                  unsigned core = 0) {
+    ev(begin, EventKind::kStageBegin, index, pay(expected), iters, core,
+       stage);
+    ev(end, EventKind::kStageEnd, index, 0, 0, core, stage);
+  }
+};
+
+std::uint64_t count(const analysis::AnalysisReport& rep, MissCause cause) {
+  return rep.cause_counts[static_cast<unsigned>(cause)];
+}
+
+// ---------------------------------------------------------------------------
+// Golden streams: one subframe per test, one taxonomy cause each.
+
+TEST(AnalysisGolden, CompletedSubframeAttributesNone) {
+  StreamBuilder sb;
+  sb.arrival(0, us(500), us(1500), us(500));
+  sb.ev(us(520), EventKind::kSubframeBegin, 0);
+  sb.stage_span(0, Stage::kFft, us(520), us(620), us(100));
+  sb.stage_span(0, Stage::kDemod, us(620), us(820), us(200));
+  sb.stage_span(0, Stage::kDecode, us(820), us(1220), us(400), 4);
+  sb.ev(us(1220), EventKind::kSubframeEnd, 0, 0, 4);
+
+  const analysis::AnalysisReport rep = analysis::analyze(sb.store);
+  EXPECT_EQ(rep.subframes, 1u);
+  EXPECT_EQ(rep.completed, 1u);
+  EXPECT_EQ(rep.misses, 0u);
+  EXPECT_EQ(count(rep, MissCause::kNone), 1u);
+  ASSERT_EQ(rep.detail.size(), 1u);
+  const analysis::SubframeAnalysis& sf = rep.detail[0];
+  EXPECT_EQ(sf.cause, MissCause::kNone);
+  EXPECT_EQ(sf.queue_ns, us(20));
+  EXPECT_EQ(sf.slack_ns, us(780));
+  EXPECT_EQ(sf.radio_time, us(0));
+  ASSERT_EQ(rep.cores.size(), 1u);
+  EXPECT_EQ(rep.cores[0].busy_ns, us(700));
+}
+
+TEST(AnalysisGolden, LateArrivalIsFronthaulLate) {
+  StreamBuilder sb;
+  // Delivered 300 us past the deadline; transport took 900 us.
+  sb.ev(us(2300), EventKind::kLate, 0, pay(us(300)), pay(us(900)));
+
+  const analysis::AnalysisReport rep = analysis::analyze(sb.store);
+  EXPECT_EQ(rep.misses, 1u);
+  EXPECT_EQ(rep.late, 1u);
+  EXPECT_EQ(count(rep, MissCause::kFronthaulLate), 1u);
+  ASSERT_EQ(rep.detail.size(), 1u);
+  EXPECT_EQ(rep.detail[0].dominant_over_ns, us(300));
+}
+
+TEST(AnalysisGolden, TransportOverageIsCloudTail) {
+  StreamBuilder sb;
+  // Transport took 900 us against the 500 us nominal; every stage ran
+  // exactly at its estimate, yet the subframe finished 100 us past the
+  // deadline: the 400 us transport overage is the only overrun.
+  sb.arrival(0, us(900), us(1100), us(900));
+  sb.ev(us(900), EventKind::kSubframeBegin, 0);
+  sb.stage_span(0, Stage::kFft, us(900), us(1000), us(100));
+  sb.stage_span(0, Stage::kDemod, us(1000), us(1200), us(200));
+  sb.stage_span(0, Stage::kDecode, us(1200), us(2100), us(900), 4);
+  sb.ev(us(2100), EventKind::kSubframeEnd, 0, 1, 4);
+
+  const analysis::AnalysisReport rep = analysis::analyze(sb.store);
+  EXPECT_EQ(rep.misses, 1u);
+  EXPECT_EQ(count(rep, MissCause::kCloudTail), 1u);
+  ASSERT_EQ(rep.detail.size(), 1u);
+  const analysis::SubframeAnalysis& sf = rep.detail[0];
+  EXPECT_EQ(sf.cause, MissCause::kCloudTail);
+  EXPECT_EQ(sf.dominant_over_ns, us(400));
+  EXPECT_EQ(sf.slack_ns, -us(100));
+  // Full critical path: transport, queue, fft, demod, decode — with the
+  // end-of-path slack recorded at the last boundary.
+  ASSERT_EQ(sf.path.size(), 5u);
+  EXPECT_EQ(sf.path.front().kind, analysis::PathSegment::Kind::kTransport);
+  EXPECT_EQ(sf.path.back().kind, analysis::PathSegment::Kind::kDecode);
+  EXPECT_EQ(sf.path.back().slack_after, -us(100));
+}
+
+TEST(AnalysisGolden, QueueWaitIsQueueingBacklog) {
+  StreamBuilder sb;
+  sb.arrival(0, us(500), us(1500), us(500));
+  sb.ev(us(1800), EventKind::kSubframeBegin, 0);  // 1300 us in queue
+  sb.stage_span(0, Stage::kFft, us(1800), us(1900), us(100));
+  sb.stage_span(0, Stage::kDemod, us(1900), us(2000), us(100));
+  sb.stage_span(0, Stage::kDecode, us(2000), us(2100), us(100), 4);
+  sb.ev(us(2100), EventKind::kSubframeEnd, 0, 1, 4);
+
+  const analysis::AnalysisReport rep = analysis::analyze(sb.store);
+  EXPECT_EQ(count(rep, MissCause::kQueueingBacklog), 1u);
+  ASSERT_EQ(rep.detail.size(), 1u);
+  EXPECT_EQ(rep.detail[0].dominant_over_ns, us(1300));
+}
+
+TEST(AnalysisGolden, QueueWaitAfterWatchdogIsFailoverRepartition) {
+  StreamBuilder sb;
+  // Same shape as the backlog case, but a watchdog fired 800 us before the
+  // subframe finally started: the wait is repartition fallout.
+  sb.ev(us(1000), EventKind::kWatchdogFire, 0, /*dead core=*/2, 0, 5);
+  sb.arrival(0, us(500), us(1500), us(500));
+  sb.ev(us(1800), EventKind::kSubframeBegin, 0);
+  sb.stage_span(0, Stage::kFft, us(1800), us(1900), us(100));
+  sb.stage_span(0, Stage::kDemod, us(1900), us(2000), us(100));
+  sb.stage_span(0, Stage::kDecode, us(2000), us(2100), us(100), 4);
+  sb.ev(us(2100), EventKind::kSubframeEnd, 0, 1, 4);
+
+  const analysis::AnalysisReport rep = analysis::analyze(sb.store);
+  EXPECT_EQ(count(rep, MissCause::kFailoverRepartition), 1u);
+  EXPECT_EQ(count(rep, MissCause::kQueueingBacklog), 0u);
+}
+
+TEST(AnalysisGolden, ExcessIterationsAreDecodeOverrun) {
+  StreamBuilder sb;
+  sb.arrival(0, us(500), us(1500), us(500));
+  sb.ev(us(510), EventKind::kSubframeBegin, 0);
+  sb.stage_span(0, Stage::kFft, us(510), us(610), us(100));
+  sb.stage_span(0, Stage::kDemod, us(610), us(810), us(200));
+  // Admitted at 2 iterations / 500 us; ran 6 iterations for 1300 us.
+  sb.stage_span(0, Stage::kDecode, us(810), us(2110), us(500), 2);
+  sb.ev(us(2110), EventKind::kSubframeEnd, 0, 1, 6);
+
+  const analysis::AnalysisReport rep = analysis::analyze(sb.store);
+  EXPECT_EQ(count(rep, MissCause::kDecodeOverrun), 1u);
+  ASSERT_EQ(rep.detail.size(), 1u);
+  EXPECT_EQ(rep.detail[0].dominant_over_ns, us(800));
+  EXPECT_EQ(rep.detail[0].iterations_estimated, 2u);
+  EXPECT_EQ(rep.detail[0].iterations_executed, 6u);
+}
+
+TEST(AnalysisGolden, RecoveryTailIsMigrationRecovery) {
+  StreamBuilder sb;
+  sb.arrival(0, us(500), us(1500), us(500));
+  sb.ev(us(510), EventKind::kSubframeBegin, 0);
+  sb.stage_span(0, Stage::kFft, us(510), us(610), us(100));
+  sb.stage_span(0, Stage::kDemod, us(610), us(810), us(200));
+  // Decode overran by 740 us, of which 650 us were spent re-executing
+  // offloaded subtasks locally after the host stalled (kRecovery marks the
+  // local end; the tail runs to the stage end).
+  sb.ev(us(810), EventKind::kStageBegin, 0, pay(us(500)), 4, 0,
+        Stage::kDecode);
+  sb.ev(us(900), EventKind::kOffload, 0, /*target=*/1, /*count=*/2, 0,
+        Stage::kDecode);
+  sb.ev(us(950), EventKind::kHostBegin, 0, /*src=*/0, 0, 1, Stage::kDecode);
+  sb.ev(us(1100), EventKind::kHostEnd, 0, /*src=*/0, /*completed=*/1, 1,
+        Stage::kDecode);
+  sb.ev(us(1400), EventKind::kRecovery, 0, 0, /*count=*/1, 0, Stage::kDecode);
+  sb.ev(us(2050), EventKind::kStageEnd, 0, 0, 0, 0, Stage::kDecode);
+  sb.ev(us(2050), EventKind::kSubframeEnd, 0, 1, 4);
+
+  const analysis::AnalysisReport rep = analysis::analyze(sb.store);
+  EXPECT_EQ(count(rep, MissCause::kMigrationRecovery), 1u);
+  ASSERT_EQ(rep.detail.size(), 1u);
+  const analysis::SubframeAnalysis& sf = rep.detail[0];
+  EXPECT_EQ(sf.dominant_over_ns, us(650));
+  EXPECT_EQ(sf.offloads, 1u);
+  EXPECT_EQ(sf.stages[static_cast<unsigned>(Stage::kDecode)].recovery_ns,
+            us(650));
+  // The hosted chunk shows up as host-busy time on the remote core.
+  bool found_host = false;
+  for (const analysis::CoreUsage& cu : rep.cores)
+    if (cu.core == 1) {
+      found_host = true;
+      EXPECT_EQ(cu.host_busy_ns, us(150));
+    }
+  EXPECT_TRUE(found_host);
+}
+
+TEST(AnalysisGolden, StageJitterIsPlatformErrorSpike) {
+  StreamBuilder sb;
+  sb.arrival(0, us(500), us(1500), us(500));
+  sb.ev(us(510), EventKind::kSubframeBegin, 0);
+  // The FFT ran 890 us against a 100 us estimate — platform jitter, no
+  // excess iterations anywhere.
+  sb.stage_span(0, Stage::kFft, us(510), us(1400), us(100));
+  sb.stage_span(0, Stage::kDemod, us(1400), us(1700), us(300));
+  sb.stage_span(0, Stage::kDecode, us(1700), us(2100), us(400), 4);
+  sb.ev(us(2100), EventKind::kSubframeEnd, 0, 1, 4);
+
+  const analysis::AnalysisReport rep = analysis::analyze(sb.store);
+  EXPECT_EQ(count(rep, MissCause::kPlatformErrorSpike), 1u);
+  ASSERT_EQ(rep.detail.size(), 1u);
+  EXPECT_EQ(rep.detail[0].dominant_over_ns, us(790));
+}
+
+TEST(AnalysisGolden, LostSubframeIsNotAMiss) {
+  StreamBuilder sb;
+  sb.ev(us(0), EventKind::kLost, 0);
+
+  const analysis::AnalysisReport rep = analysis::analyze(sb.store);
+  EXPECT_EQ(rep.subframes, 1u);
+  EXPECT_EQ(rep.lost, 1u);
+  EXPECT_EQ(rep.misses, 0u);
+  EXPECT_EQ(count(rep, MissCause::kNone), 1u);
+}
+
+TEST(AnalysisGolden, AdmissionDropBlamesTheBudgetConsumer) {
+  StreamBuilder sb;
+  // The slack check rejected the subframe: nothing overran an estimate,
+  // but 1400 us of the budget went to queueing — the fallback blames the
+  // largest absolute consumer.
+  sb.arrival(0, us(500), us(1500), us(500));
+  sb.ev(us(1900), EventKind::kSubframeBegin, 0);
+  sb.ev(us(1900), EventKind::kDrop, 0, 0, 0, 0, Stage::kDecode);
+
+  const analysis::AnalysisReport rep = analysis::analyze(sb.store);
+  EXPECT_EQ(rep.misses, 1u);
+  EXPECT_EQ(rep.dropped, 1u);
+  EXPECT_EQ(count(rep, MissCause::kQueueingBacklog), 1u);
+  ASSERT_EQ(rep.detail.size(), 1u);
+  EXPECT_TRUE(rep.detail[0].dropped);
+  EXPECT_EQ(rep.detail[0].dominant_over_ns, us(1400));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and I/O round-trips over a combined stream.
+
+/// Several of the golden subframes merged into one store (distinct indices).
+TraceStore combined_stream() {
+  StreamBuilder sb;
+  sb.arrival(0, us(500), us(1500), us(500));
+  sb.ev(us(520), EventKind::kSubframeBegin, 0);
+  sb.stage_span(0, Stage::kFft, us(520), us(620), us(100));
+  sb.stage_span(0, Stage::kDemod, us(620), us(820), us(200));
+  sb.stage_span(0, Stage::kDecode, us(820), us(1220), us(400), 4);
+  sb.ev(us(1220), EventKind::kSubframeEnd, 0, 0, 4);
+
+  sb.ev(us(2300), EventKind::kLate, 1, pay(us(300)), pay(us(900)));
+  sb.ev(us(1000), EventKind::kLost, 2);
+
+  sb.arrival(3, us(900), us(1100), us(900), 1);
+  sb.ev(us(900), EventKind::kSubframeBegin, 3, 0, 0, 1);
+  sb.stage_span(3, Stage::kFft, us(900), us(1000), us(100), 0, 1);
+  sb.stage_span(3, Stage::kDemod, us(1000), us(1200), us(200), 0, 1);
+  sb.stage_span(3, Stage::kDecode, us(1200), us(2100), us(900), 4, 1);
+  sb.ev(us(2100), EventKind::kSubframeEnd, 3, 1, 4, 1);
+
+  sb.arrival(4, us(500), us(1500), us(500), 2);
+  sb.ev(us(1800), EventKind::kSubframeBegin, 4, 0, 0, 2);
+  sb.stage_span(4, Stage::kFft, us(1800), us(1900), us(100), 0, 2);
+  sb.stage_span(4, Stage::kDemod, us(1900), us(2000), us(100), 0, 2);
+  sb.stage_span(4, Stage::kDecode, us(2000), us(2100), us(100), 4, 2);
+  sb.ev(us(2100), EventKind::kSubframeEnd, 4, 1, 4, 2);
+  return std::move(sb.store);
+}
+
+TEST(AnalysisDeterminism, EventOrderDoesNotChangeTheReport) {
+  const TraceStore forward = combined_stream();
+  TraceStore reversed;
+  reversed.events.assign(forward.events.rbegin(), forward.events.rend());
+
+  const analysis::AnalysisReport a = analysis::analyze(forward);
+  const analysis::AnalysisReport b = analysis::analyze(reversed);
+  EXPECT_EQ(analysis::summary_json(a), analysis::summary_json(b));
+  ASSERT_EQ(a.detail.size(), b.detail.size());
+  for (std::size_t i = 0; i < a.detail.size(); ++i) {
+    EXPECT_EQ(a.detail[i].cause, b.detail[i].cause);
+    EXPECT_EQ(a.detail[i].dominant_over_ns, b.detail[i].dominant_over_ns);
+    EXPECT_EQ(a.detail[i].slack_ns, b.detail[i].slack_ns);
+  }
+  // Repeated analysis of the same store is bit-identical too.
+  EXPECT_EQ(analysis::summary_json(a),
+            analysis::summary_json(analysis::analyze(forward)));
+}
+
+TEST(AnalysisDeterminism, CsvRoundTripPreservesEventsAndVerdicts) {
+  const TraceStore store = combined_stream();
+  const std::string path = ::testing::TempDir() + "analysis_roundtrip.csv";
+  obs::write_trace_csv(path, store);
+  const TraceStore loaded = analysis::load_trace_csv(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.events.size(), store.events.size());
+  for (std::size_t i = 0; i < store.events.size(); ++i)
+    EXPECT_EQ(loaded.events[i], store.events[i]) << "event " << i;
+  EXPECT_EQ(analysis::summary_json(analysis::analyze(store)),
+            analysis::summary_json(analysis::analyze(loaded)));
+}
+
+TEST(AnalysisDeterminism, MissReportCsvHasOneRowPerMiss) {
+  const analysis::AnalysisReport rep = analysis::analyze(combined_stream());
+  const std::string path = ::testing::TempDir() + "analysis_missreport.csv";
+  analysis::write_miss_report_csv(path, rep);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::size_t lines = 0;
+  for (int c; (c = std::fgetc(f)) != EOF;)
+    if (c == '\n') ++lines;
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(lines, 1u + rep.misses);  // header + one row per miss
+}
+
+// ---------------------------------------------------------------------------
+// Seeded faulted simulation run: the fig15-style accuracy bar.
+
+core::ExperimentConfig faulted_sim_config() {
+  core::ExperimentConfig cfg;
+  cfg.workload.num_basestations = 4;
+  cfg.workload.subframes_per_bs = 3000;
+  cfg.workload.seed = 11;
+  cfg.workload.fronthaul_faults.loss_prob = 0.02;
+  cfg.workload.fronthaul_faults.late_prob = 0.02;
+  cfg.degrade.enabled = true;
+  cfg.rtt_half = microseconds(650);  // past the knee: plenty of misses
+  cfg.scheduler = core::SchedulerKind::kPartitioned;
+  return cfg;
+}
+
+std::pair<TraceStore, core::ExperimentResult> run_traced(
+    core::ExperimentConfig& cfg, std::span<const sim::SubframeWork> work) {
+  obs::Tracer tracer(24, /*ring_capacity=*/1 << 15,
+                     /*max_stored_events=*/4 << 20);
+  cfg.tracer = &tracer;
+  core::ExperimentResult result = core::run_scheduler(cfg, work);
+  cfg.tracer = nullptr;
+  return {tracer.take(), std::move(result)};
+}
+
+TEST(AnalysisSim, FaultedRunMeetsTheAttributionBar) {
+  core::ExperimentConfig cfg = faulted_sim_config();
+  const auto work = core::make_workload(cfg);
+  auto [store, result] = run_traced(cfg, work);
+  ASSERT_EQ(store.total_drops(), 0u);
+
+  analysis::AnalyzerOptions aopts;
+  aopts.nominal_transport = cfg.rtt_half;
+  const analysis::AnalysisReport rep = analysis::analyze(store, aopts);
+
+  // Every offered subframe is reconstructed, including lost/late ones.
+  EXPECT_EQ(rep.subframes, 4u * 3000u);
+  ASSERT_GT(rep.misses, 0u);
+  // Acceptance bar: >= 95% of misses carry a non-unknown cause.
+  EXPECT_LE(rep.unknown() * 20, rep.misses)
+      << analysis::summary_json(rep);
+
+  // The analyzer's counts agree with the scheduler's own accounting.
+  EXPECT_EQ(rep.lost, result.metrics.resilience.lost_subframes);
+  EXPECT_EQ(rep.late, result.metrics.resilience.late_arrivals);
+  // deadline_misses already includes late arrivals (filter_faulted counts
+  // them as misses), so the two totals must match exactly.
+  EXPECT_EQ(rep.misses, result.metrics.deadline_misses);
+  EXPECT_GT(rep.lost, 0u);
+  EXPECT_GT(rep.late, 0u);
+  EXPECT_EQ(count(rep, MissCause::kFronthaulLate), rep.late);
+}
+
+TEST(AnalysisSim, SameSeedYieldsBitIdenticalReports) {
+  core::ExperimentConfig cfg = faulted_sim_config();
+  const auto work = core::make_workload(cfg);
+  auto [store_a, result_a] = run_traced(cfg, work);
+  auto [store_b, result_b] = run_traced(cfg, work);
+
+  analysis::AnalyzerOptions aopts;
+  aopts.nominal_transport = cfg.rtt_half;
+  const analysis::AnalysisReport a = analysis::analyze(store_a, aopts);
+  const analysis::AnalysisReport b = analysis::analyze(store_b, aopts);
+  EXPECT_EQ(analysis::summary_json(a), analysis::summary_json(b));
+  ASSERT_EQ(a.detail.size(), b.detail.size());
+  for (std::size_t i = 0; i < a.detail.size(); ++i) {
+    EXPECT_EQ(a.detail[i].cause, b.detail[i].cause) << "subframe " << i;
+    EXPECT_EQ(a.detail[i].dominant_over_ns, b.detail[i].dominant_over_ns);
+  }
+}
+
+TEST(AnalysisSim, CriticalPathMatchesTheRecordedTimeline) {
+  // Clean run (no faults) through the partitioned scheduler with both the
+  // timeline recorder and the tracer on: for every miss, the reconstructed
+  // execution span must match the recorded one within one log-scale
+  // histogram bucket (growth factor g = 10^(1/24)).
+  sched::PartitionedConfig pcfg;
+  pcfg.rtt_half = microseconds(600);
+  pcfg.record_timeline = true;
+  obs::Tracer tracer(24, 1 << 15, 4 << 20);
+  pcfg.tracer = &tracer;
+
+  core::ExperimentConfig wcfg;
+  wcfg.workload.num_basestations = 2;
+  wcfg.workload.subframes_per_bs = 2000;
+  wcfg.workload.seed = 3;
+  wcfg.rtt_half = pcfg.rtt_half;
+  const auto work = core::make_workload(wcfg);
+
+  sched::PartitionedScheduler sched(2, pcfg);
+  const sim::SchedulerMetrics metrics = sched.run(work);
+  const TraceStore store = tracer.take();
+  ASSERT_EQ(store.total_drops(), 0u);
+
+  analysis::AnalyzerOptions aopts;
+  aopts.nominal_transport = pcfg.rtt_half;
+  const analysis::AnalysisReport rep = analysis::analyze(store, aopts);
+  // Clean run: no fronthaul faults, and nothing stays unattributed.
+  EXPECT_EQ(rep.lost, 0u);
+  EXPECT_EQ(rep.late, 0u);
+  EXPECT_EQ(rep.unknown(), 0u) << analysis::summary_json(rep);
+  ASSERT_GT(rep.misses, 0u);
+
+  std::map<std::pair<std::uint32_t, std::uint32_t>,
+           const sim::SchedulerMetrics::TimelineEntry*>
+      by_id;
+  for (const auto& te : metrics.timeline) by_id[{te.bs, te.index}] = &te;
+
+  const double g = std::pow(10.0, 1.0 / 24.0);
+  std::size_t compared = 0;
+  for (const analysis::SubframeAnalysis& sf : rep.detail) {
+    if (!sf.missed || sf.lost || sf.late) continue;
+    const auto it = by_id.find({sf.bs, sf.index});
+    ASSERT_NE(it, by_id.end()) << "bs " << sf.bs << " sf " << sf.index;
+    const auto& te = *it->second;
+    EXPECT_EQ(sf.missed, te.missed);
+    const double recorded = static_cast<double>(te.end - te.start);
+    const double rebuilt = static_cast<double>(sf.end - sf.start);
+    if (recorded <= 0.0 || rebuilt <= 0.0) continue;
+    EXPECT_LE(rebuilt, recorded * g) << "bs " << sf.bs << " sf " << sf.index;
+    EXPECT_GE(rebuilt, recorded / g) << "bs " << sf.bs << " sf " << sf.index;
+    ++compared;
+  }
+  EXPECT_GT(compared, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sim-vs-runtime differential: the same postmortem over the real-thread
+// runtime's trace agrees with the runtime's own fault counters, exactly as
+// it does with the simulator's (checked above).
+
+TEST(AnalysisRuntime, RuntimeTraceAgreesWithItsOwnCounters) {
+  runtime::RuntimeConfig cfg;
+  cfg.mode = runtime::RuntimeMode::kRtOpex;
+  cfg.num_basestations = 2;
+  cfg.cores_per_bs = 2;
+  cfg.subframes_per_bs = 12;
+  // Relaxed pacing so a loaded CI host keeps up (see the differential
+  // suite); the fault classification is pacing-independent.
+  cfg.subframe_period = milliseconds(30);
+  cfg.deadline_budget = milliseconds(60);
+  cfg.rtt_half = microseconds(500);
+  cfg.mcs_cycle = {16, 10};
+  cfg.phy.num_antennas = 2;
+  cfg.phy.bandwidth = phy::Bandwidth::kMHz5;
+  cfg.enforce_deadlines = false;
+  cfg.seed = 5;
+  cfg.trace.enabled = true;
+  cfg.trace.ring_capacity = 1 << 14;
+  // Late deliveries are delayed far past the budget so every one of them
+  // is a genuine late arrival, not merely a slow transport.
+  cfg.resilience.fronthaul_faults.loss_prob = 0.25;
+  cfg.resilience.fronthaul_faults.late_prob = 0.25;
+  cfg.resilience.fronthaul_faults.late_delay_mean = milliseconds(200);
+  cfg.resilience.fronthaul_faults.late_delay_max = milliseconds(400);
+
+  runtime::NodeRuntime rt(cfg);
+  const runtime::RuntimeReport report = rt.run();
+
+  analysis::AnalyzerOptions aopts;
+  aopts.budget = cfg.deadline_budget;
+  aopts.nominal_transport = cfg.rtt_half;
+  const analysis::AnalysisReport rep = analysis::analyze(report.trace, aopts);
+
+  EXPECT_EQ(rep.subframes, 24u);
+  EXPECT_EQ(rep.lost, report.resilience.lost_subframes);
+  EXPECT_EQ(rep.late, report.resilience.late_arrivals);
+  EXPECT_GT(rep.lost + rep.late, 0u);
+  EXPECT_EQ(count(rep, MissCause::kFronthaulLate), rep.late);
+  // Wall-clock jitter may add misses beyond the injected faults, but every
+  // miss must still land on a cause.
+  EXPECT_EQ(rep.unknown(), 0u) << analysis::summary_json(rep);
+}
+
+}  // namespace
+}  // namespace rtopex
