@@ -1,7 +1,27 @@
 // Google-benchmark micro-benchmarks of the PHY kernels: the compute blocks
-// whose costs the Eq. (1) model abstracts.
+// whose costs the Eq. (1) model abstracts, plus warm per-stage and
+// end-to-end uplink-subframe benchmarks at the paper's operating points
+// (10 MHz / 50 PRB, N = 2 antennas, MCS 0/13/27).
+//
+// Beyond the standard benchmark flags this binary understands:
+//   --json=PATH        write results as bench/baselines-style
+//                      BENCH_micro_phy.json
+//   --baseline=PATH    compare against a previously written JSON
+//   --threshold=PCT    fail (exit 1) when any benchmark's cpu time
+//                      regresses more than PCT percent vs the baseline
+//                      (default 25)
+// CI's perf-smoke job runs this against the committed baseline in
+// bench/baselines/ — see EXPERIMENTS.md "Kernel performance".
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "channel/channel.hpp"
 #include "common/rng.hpp"
 #include "phy/crc.hpp"
@@ -39,8 +59,29 @@ void BM_Fft(benchmark::State& state) {
 }
 BENCHMARK(BM_Fft)->Arg(512)->Arg(1024)->Arg(2048);
 
+// The SoA path on caller-owned split buffers — what the uplink FFT subtasks
+// actually run (no interleave/deinterleave shuffle).
+void BM_FftSoa(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const FftPlan plan(n);
+  Rng rng(1);
+  std::vector<float> re(n), im(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    re[i] = static_cast<float>(rng.normal());
+    im[i] = static_cast<float>(rng.normal());
+  }
+  for (auto _ : state) {
+    plan.forward_soa(re, im);
+    benchmark::DoNotOptimize(re.data());
+    benchmark::DoNotOptimize(im.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftSoa)->Arg(1024)->Arg(2048);
+
 void BM_Crc24a(benchmark::State& state) {
-  const BitVector bits = random_bits(static_cast<std::size_t>(state.range(0)), 2);
+  const BitVector bits =
+      random_bits(static_cast<std::size_t>(state.range(0)), 2);
   for (auto _ : state) benchmark::DoNotOptimize(crc24a(bits));
 }
 BENCHMARK(BM_Crc24a)->Arg(6144);
@@ -68,7 +109,11 @@ void BM_TurboDecode(benchmark::State& state) {
     p1[i] = cw.parity1[i] ? -4.0f : 4.0f;
     p2[i] = cw.parity2[i] ? -4.0f : 4.0f;
   }
-  for (auto _ : state) benchmark::DoNotOptimize(dec.decode(sys, p1, p2));
+  DecodeWorkspace ws;
+  for (auto _ : state) {
+    dec.decode_into(sys, p1, p2, ws);
+    benchmark::DoNotOptimize(ws.bits.data());
+  }
 }
 BENCHMARK(BM_TurboDecode)->Args({6144, 1})->Args({6144, 4});
 
@@ -77,8 +122,11 @@ void BM_Demodulate(benchmark::State& state) {
   const BitVector bits = random_bits(600 * order, 5);
   const IqVector symbols = modulate(bits, order);
   const std::vector<float> nv(symbols.size(), 0.01f);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(demodulate(symbols, nv, order));
+  LlrVector out(symbols.size() * order);
+  for (auto _ : state) {
+    demodulate_into(symbols, nv, order, out);
+    benchmark::DoNotOptimize(out.data());
+  }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(symbols.size()));
 }
@@ -100,6 +148,102 @@ void BM_Scrambler(benchmark::State& state) {
 }
 BENCHMARK(BM_Scrambler);
 
+// --- Warm per-stage and end-to-end subframe benchmarks ---------------------
+//
+// These measure the stage methods exactly as a NodeRuntime worker runs them:
+// reused job, reused per-thread workspace, no allocations in steady state.
+// The subframe fixture is noiseless (samples fanned out to both antennas),
+// so the decode stage sees the paper's one-iteration fast path.
+
+struct SubframeFixture {
+  explicit SubframeFixture(unsigned mcs, unsigned antennas = 2)
+      : cfg{}, mcs(mcs) {
+    cfg.num_antennas = antennas;
+    const UplinkTransmitter tx(cfg);
+    rx = std::make_unique<UplinkRxProcessor>(cfg);
+    const TxSubframe sf = tx.transmit(mcs, 1, 42);
+    subframe_index = sf.subframe_index;
+    antenna_samples.assign(antennas, sf.samples);
+    job = rx->make_job();
+    run_all();  // warm-up: every grow-only buffer reaches its high-water mark.
+  }
+
+  void run_all() {
+    auto& ws = UplinkRxProcessor::thread_workspace();
+    rx->begin(job, antenna_samples, mcs, subframe_index);
+    for (std::size_t s = 0; s < rx->fft_subtask_count(); ++s)
+      rx->run_fft_subtask(job, s, ws);
+    rx->demod_prepare(job);
+    for (std::size_t s = 0; s < rx->demod_subtask_count(); ++s)
+      rx->run_demod_subtask(job, s);
+    rx->decode_prepare(job, ws);
+    for (std::size_t s = 0; s < rx->decode_subtask_count(job); ++s)
+      rx->run_decode_subtask(job, s, ws);
+    rx->finalize_into(job, ws, result);
+  }
+
+  UplinkConfig cfg;
+  unsigned mcs;
+  std::uint32_t subframe_index = 0;
+  std::vector<IqVector> antenna_samples;
+  std::unique_ptr<UplinkRxProcessor> rx;
+  UplinkRxJob job;
+  UplinkRxResult result;
+};
+
+// One full FFT stage: 14 * N OFDM symbol transforms + subcarrier extraction.
+void BM_UplinkStageFft(benchmark::State& state) {
+  SubframeFixture f(static_cast<unsigned>(state.range(0)));
+  auto& ws = UplinkRxProcessor::thread_workspace();
+  for (auto _ : state) {
+    for (std::size_t s = 0; s < f.rx->fft_subtask_count(); ++s)
+      f.rx->run_fft_subtask(f.job, s, ws);
+    benchmark::DoNotOptimize(f.job.grid.data());
+  }
+}
+BENCHMARK(BM_UplinkStageFft)->Arg(27)->Unit(benchmark::kMicrosecond);
+
+// One full demod stage: channel estimation + MRC + max-log demapping.
+void BM_UplinkStageDemod(benchmark::State& state) {
+  SubframeFixture f(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    f.rx->demod_prepare(f.job);
+    for (std::size_t s = 0; s < f.rx->demod_subtask_count(); ++s)
+      f.rx->run_demod_subtask(f.job, s);
+    benchmark::DoNotOptimize(f.job.llrs.data());
+  }
+}
+BENCHMARK(BM_UplinkStageDemod)->Arg(27)->Unit(benchmark::kMicrosecond);
+
+// One full decode stage (rate dematch + turbo over all code blocks).
+// decode_prepare is excluded: descrambling flips job.llrs in place, so
+// repeating it would corrupt the fixture (it is measured by BM_Scrambler).
+void BM_UplinkStageDecode(benchmark::State& state) {
+  SubframeFixture f(static_cast<unsigned>(state.range(0)));
+  auto& ws = UplinkRxProcessor::thread_workspace();
+  for (auto _ : state) {
+    for (std::size_t s = 0; s < f.rx->decode_subtask_count(f.job); ++s)
+      f.rx->run_decode_subtask(f.job, s, ws);
+    benchmark::DoNotOptimize(f.job.cb_results.data());
+  }
+}
+BENCHMARK(BM_UplinkStageDecode)->Arg(27)->Unit(benchmark::kMicrosecond);
+
+// Steady-state end-to-end subframe: the number a worker core must beat
+// every millisecond. Arg = MCS.
+void BM_UplinkSubframe(benchmark::State& state) {
+  SubframeFixture f(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    f.run_all();
+    benchmark::DoNotOptimize(f.result.crc_ok);
+  }
+  state.counters["crc_ok"] = f.result.crc_ok ? 1 : 0;
+}
+BENCHMARK(BM_UplinkSubframe)->Arg(0)->Arg(13)->Arg(27)
+    ->Unit(benchmark::kMicrosecond);
+
+// The allocating convenience path (fresh job per call), kept for contrast
+// with BM_UplinkSubframe and continuity with older baselines.
 void BM_FullUplinkChain(benchmark::State& state) {
   const auto mcs = static_cast<unsigned>(state.range(0));
   UplinkConfig cfg;
@@ -120,4 +264,156 @@ BENCHMARK(BM_FullUplinkChain)->Arg(0)->Arg(13)->Arg(27)
 }  // namespace
 }  // namespace rtopex::phy
 
-BENCHMARK_MAIN();
+namespace {
+
+struct CapturedRun {
+  std::string name;
+  double real_ns = 0.0;
+  double cpu_ns = 0.0;
+};
+
+/// Console reporter that also keeps per-iteration-group results so main()
+/// can emit the BENCH_micro_phy.json artifact and run the baseline gate.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters = static_cast<double>(run.iterations);
+      captured.push_back({run.benchmark_name(),
+                          run.real_accumulated_time / iters * 1e9,
+                          run.cpu_accumulated_time / iters * 1e9});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<CapturedRun> captured;
+};
+
+/// Minimal extractor for the baseline JSON this binary itself writes
+/// (objects with "name"/"real_ns"/"cpu_ns" fields).
+std::map<std::string, CapturedRun> read_baseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open baseline: " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  std::map<std::string, CapturedRun> entries;
+  const std::string name_key = "\"name\":\"";
+  const auto number_after = [&](std::size_t from, const std::string& key) {
+    const std::size_t at = text.find(key, from);
+    if (at == std::string::npos) return -1.0;
+    return std::stod(text.substr(at + key.size()));
+  };
+  for (std::size_t pos = text.find(name_key); pos != std::string::npos;
+       pos = text.find(name_key, pos + 1)) {
+    const std::size_t begin = pos + name_key.size();
+    const std::size_t end = text.find('"', begin);
+    if (end == std::string::npos) break;
+    CapturedRun entry;
+    entry.name = text.substr(begin, end - begin);
+    entry.real_ns = number_after(end, "\"real_ns\":");
+    entry.cpu_ns = number_after(end, "\"cpu_ns\":");
+    if (entry.cpu_ns > 0.0) entries[entry.name] = entry;
+  }
+  return entries;
+}
+
+void write_results_json(const std::string& path,
+                        const std::vector<CapturedRun>& runs) {
+  using rtopex::bench::JsonValue;
+  JsonValue root = JsonValue::object();
+  root.set("bench", "micro_phy");
+  JsonValue config = JsonValue::object();
+#ifdef RTOPEX_SIMD
+  config.set("simd", JsonValue::boolean(true));
+#else
+  config.set("simd", JsonValue::boolean(false));
+#endif
+  root.set("config", std::move(config));
+  JsonValue results = JsonValue::array();
+  for (const auto& run : runs) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", run.name);
+    entry.set("real_ns", run.real_ns);
+    entry.set("cpu_ns", run.cpu_ns);
+    results.push(std::move(entry));
+  }
+  root.set("results", std::move(results));
+  rtopex::bench::write_bench_json(path, root);
+}
+
+/// Returns the number of benchmarks whose cpu time regressed beyond the
+/// threshold. Benchmarks missing from either side are reported, not failed
+/// (the baseline predates newly added benchmarks).
+int gate_against_baseline(const std::vector<CapturedRun>& runs,
+                          const std::map<std::string, CapturedRun>& baseline,
+                          double threshold_pct) {
+  int regressions = 0;
+  std::printf("\nPerf gate (threshold +%.0f%% cpu time vs baseline):\n",
+              threshold_pct);
+  std::printf("%-28s %14s %14s %9s\n", "benchmark", "baseline_ns", "cpu_ns",
+              "ratio");
+  for (const auto& run : runs) {
+    const auto it = baseline.find(run.name);
+    if (it == baseline.end()) {
+      std::printf("%-28s %14s %14.0f %9s\n", run.name.c_str(), "-",
+                  run.cpu_ns, "new");
+      continue;
+    }
+    const double ratio = run.cpu_ns / it->second.cpu_ns;
+    const bool bad = ratio > 1.0 + threshold_pct / 100.0;
+    std::printf("%-28s %14.0f %14.0f %8.2fx%s\n", run.name.c_str(),
+                it->second.cpu_ns, run.cpu_ns, ratio,
+                bad ? "  REGRESSION" : "");
+    if (bad) ++regressions;
+  }
+  return regressions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string baseline_path;
+  double threshold_pct = 25.0;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      threshold_pct = std::stod(arg.substr(12));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data()))
+    return 1;
+
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    write_results_json(json_path, reporter.captured);
+    std::printf("wrote %s (%zu benchmarks)\n", json_path.c_str(),
+                reporter.captured.size());
+  }
+  if (!baseline_path.empty()) {
+    const auto baseline = read_baseline(baseline_path);
+    const int regressions =
+        gate_against_baseline(reporter.captured, baseline, threshold_pct);
+    if (regressions > 0) {
+      std::fprintf(stderr, "perf gate: %d regression(s) beyond +%.0f%%\n",
+                   regressions, threshold_pct);
+      return 1;
+    }
+    std::printf("perf gate: ok\n");
+  }
+  return 0;
+}

@@ -6,11 +6,60 @@
 namespace rtopex::phy {
 namespace {
 
-// Coefficients from x^24 down to x^0.
+// Coefficients from x^24 down to x^0 (generic-LFSR form, kept as the
+// reference the table path is differentially tested against).
 constexpr std::array<std::uint8_t, 25> kPoly24A = {
     1, 1, 0, 0, 0, 0, 1, 1, 0, 0, 1, 0, 0, 1, 1, 0, 0, 1, 1, 1, 1, 1, 0, 1, 1};
 constexpr std::array<std::uint8_t, 25> kPoly24B = {
     1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 1, 1};
+
+// Low 24 bits of the same polynomials (the x^24 term is implicit in the
+// MSB-first shift).
+constexpr std::uint32_t kPolyBits24A = 0x864CFB;
+constexpr std::uint32_t kPolyBits24B = 0x800063;
+
+constexpr std::array<std::uint32_t, 256> make_crc24_table(std::uint32_t poly) {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t byte = 0; byte < 256; ++byte) {
+    std::uint32_t crc = byte << 16;
+    for (int b = 0; b < 8; ++b)
+      crc = (crc & 0x800000u) ? (((crc << 1) ^ poly) & 0xFFFFFFu)
+                              : ((crc << 1) & 0xFFFFFFu);
+    table[byte] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable24A = make_crc24_table(kPolyBits24A);
+constexpr auto kTable24B = make_crc24_table(kPolyBits24B);
+
+// Byte-wise table CRC over the one-bit-per-element representation. Any
+// leading bits.size() % 8 bits are folded in one at a time, then the rest
+// proceeds a byte per table lookup. CRC with zero init is prefix-
+// composable, so chunking does not change the remainder.
+std::uint32_t crc24_table(std::span<const std::uint8_t> bits,
+                          const std::array<std::uint32_t, 256>& table,
+                          std::uint32_t poly) {
+  std::uint32_t crc = 0;
+  std::size_t i = 0;
+  const std::size_t lead = bits.size() % 8;
+  for (; i < lead; ++i) {
+    const std::uint32_t fb = ((crc >> 23) ^ bits[i]) & 1u;
+    crc = ((crc << 1) & 0xFFFFFFu) ^ (fb ? poly : 0u);
+  }
+  for (; i < bits.size(); i += 8) {
+    std::uint32_t byte = 0;
+    for (int b = 0; b < 8; ++b)
+      byte = (byte << 1) | (bits[i + b] & 1u);
+    crc = ((crc << 8) & 0xFFFFFFu) ^ table[((crc >> 16) ^ byte) & 0xFFu];
+  }
+  // The LFSR reference clocks 24 explicit flush steps after the message
+  // (its register sees bits followed by 24 zeros), scaling the remainder by
+  // an extra x^24 mod G. Three zero-byte folds reproduce that exactly.
+  for (int n = 0; n < 3; ++n)
+    crc = ((crc << 8) & 0xFFFFFFu) ^ table[(crc >> 16) & 0xFFu];
+  return crc;
+}
 
 }  // namespace
 
@@ -32,12 +81,20 @@ std::uint32_t crc_bits(std::span<const std::uint8_t> bits,
   return crc;
 }
 
-std::uint32_t crc24a(std::span<const std::uint8_t> bits) {
+std::uint32_t crc24a_reference(std::span<const std::uint8_t> bits) {
   return crc_bits(bits, kPoly24A);
 }
 
-std::uint32_t crc24b(std::span<const std::uint8_t> bits) {
+std::uint32_t crc24b_reference(std::span<const std::uint8_t> bits) {
   return crc_bits(bits, kPoly24B);
+}
+
+std::uint32_t crc24a(std::span<const std::uint8_t> bits) {
+  return crc24_table(bits, kTable24A, kPolyBits24A);
+}
+
+std::uint32_t crc24b(std::span<const std::uint8_t> bits) {
+  return crc24_table(bits, kTable24B, kPolyBits24B);
 }
 
 void attach_crc24(BitVector& bits, CrcKind kind) {

@@ -15,7 +15,9 @@ using BitVector = std::vector<std::uint8_t>;
 
 /// Generic bitwise CRC over a bit sequence. `poly` lists the generator
 /// polynomial coefficients from x^len down to x^0 (so poly.size() == len+1
-/// and poly.front() == 1).
+/// and poly.front() == 1). Reference implementation; the crc24a/crc24b
+/// entry points below use a byte-wise 256-entry table instead and are
+/// differentially tested against the *_reference forms.
 std::uint32_t crc_bits(std::span<const std::uint8_t> bits,
                        std::span<const std::uint8_t> poly);
 
@@ -24,6 +26,10 @@ std::uint32_t crc24a(std::span<const std::uint8_t> bits);
 
 /// CRC-24B: x^24+x^23+x^6+x^5+x+1.
 std::uint32_t crc24b(std::span<const std::uint8_t> bits);
+
+/// Bit-at-a-time LFSR forms of the same CRCs, retained for testing.
+std::uint32_t crc24a_reference(std::span<const std::uint8_t> bits);
+std::uint32_t crc24b_reference(std::span<const std::uint8_t> bits);
 
 /// Appends the 24 CRC bits (MSB first) of the given kind to `bits`.
 enum class CrcKind { kA, kB };

@@ -2,18 +2,93 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#if defined(RTOPEX_SIMD) && defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(RTOPEX_SIMD) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
 
 namespace rtopex::phy {
+
+namespace {
+
+// One stage's butterflies over a contiguous half-span. The SIMD lanes use
+// mul/add (not FMA) so the wide path rounds identically to the scalar tail
+// and the scalar-vs-SIMD differential can demand exact equality.
+inline void butterfly_span(float* re0, float* im0, float* re1, float* im1,
+                           const float* twr, const float* twi,
+                           std::size_t half) {
+  std::size_t k = 0;
+#if defined(RTOPEX_SIMD) && defined(__AVX2__)
+  for (; k + 8 <= half; k += 8) {
+    const __m256 wr = _mm256_loadu_ps(twr + k);
+    const __m256 wi = _mm256_loadu_ps(twi + k);
+    const __m256 xr = _mm256_loadu_ps(re1 + k);
+    const __m256 xi = _mm256_loadu_ps(im1 + k);
+    const __m256 vr = _mm256_sub_ps(_mm256_mul_ps(xr, wr),
+                                    _mm256_mul_ps(xi, wi));
+    const __m256 vi = _mm256_add_ps(_mm256_mul_ps(xr, wi),
+                                    _mm256_mul_ps(xi, wr));
+    const __m256 ur = _mm256_loadu_ps(re0 + k);
+    const __m256 ui = _mm256_loadu_ps(im0 + k);
+    _mm256_storeu_ps(re0 + k, _mm256_add_ps(ur, vr));
+    _mm256_storeu_ps(im0 + k, _mm256_add_ps(ui, vi));
+    _mm256_storeu_ps(re1 + k, _mm256_sub_ps(ur, vr));
+    _mm256_storeu_ps(im1 + k, _mm256_sub_ps(ui, vi));
+  }
+#elif defined(RTOPEX_SIMD) && defined(__ARM_NEON)
+  for (; k + 4 <= half; k += 4) {
+    const float32x4_t wr = vld1q_f32(twr + k);
+    const float32x4_t wi = vld1q_f32(twi + k);
+    const float32x4_t xr = vld1q_f32(re1 + k);
+    const float32x4_t xi = vld1q_f32(im1 + k);
+    const float32x4_t vr = vsubq_f32(vmulq_f32(xr, wr), vmulq_f32(xi, wi));
+    const float32x4_t vi = vaddq_f32(vmulq_f32(xr, wi), vmulq_f32(xi, wr));
+    const float32x4_t ur = vld1q_f32(re0 + k);
+    const float32x4_t ui = vld1q_f32(im0 + k);
+    vst1q_f32(re0 + k, vaddq_f32(ur, vr));
+    vst1q_f32(im0 + k, vaddq_f32(ui, vi));
+    vst1q_f32(re1 + k, vsubq_f32(ur, vr));
+    vst1q_f32(im1 + k, vsubq_f32(ui, vi));
+  }
+#endif
+  for (; k < half; ++k) {
+    const float wr = twr[k];
+    const float wi = twi[k];
+    const float xr = re1[k];
+    const float xi = im1[k];
+    const float vr = xr * wr - xi * wi;
+    const float vi = xr * wi + xi * wr;
+    const float ur = re0[k];
+    const float ui = im0[k];
+    re0[k] = ur + vr;
+    im0[k] = ui + vi;
+    re1[k] = ur - vr;
+    im1[k] = ui - vi;
+  }
+}
+
+}  // namespace
 
 FftPlan::FftPlan(std::size_t size) : size_(size) {
   if (size < 2 || (size & (size - 1)) != 0)
     throw std::invalid_argument("FftPlan: size must be a power of two >= 2");
-  twiddles_.resize(size / 2);
-  for (std::size_t k = 0; k < size / 2; ++k) {
-    const double angle = -2.0 * M_PI * static_cast<double>(k) /
-                         static_cast<double>(size);
-    twiddles_[k] = {static_cast<float>(std::cos(angle)),
-                    static_cast<float>(std::sin(angle))};
+  // Per-stage tables: stage with half-length h occupies [h - 1, 2h - 1),
+  // total N - 1 entries, each stage's twiddles contiguous and unit-stride.
+  tw_re_.resize(size - 1);
+  tw_im_fwd_.resize(size - 1);
+  tw_im_inv_.resize(size - 1);
+  for (std::size_t half = 1; half < size; half <<= 1) {
+    for (std::size_t k = 0; k < half; ++k) {
+      const double angle =
+          -M_PI * static_cast<double>(k) / static_cast<double>(half);
+      const std::size_t at = (half - 1) + k;
+      tw_re_[at] = static_cast<float>(std::cos(angle));
+      tw_im_fwd_[at] = static_cast<float>(std::sin(angle));
+      tw_im_inv_[at] = -tw_im_fwd_[at];
+    }
   }
   reversal_.resize(size);
   unsigned bits = 0;
@@ -26,6 +101,84 @@ FftPlan::FftPlan(std::size_t size) : size_(size) {
   }
 }
 
+void FftPlan::transform_soa(float* re, float* im, bool invert) const {
+  for (std::size_t i = 0; i < size_; ++i) {
+    const std::size_t j = reversal_[i];
+    if (i < j) {
+      std::swap(re[i], re[j]);
+      std::swap(im[i], im[j]);
+    }
+  }
+  const float* twi_all = invert ? tw_im_inv_.data() : tw_im_fwd_.data();
+  for (std::size_t half = 1; half < size_; half <<= 1) {
+    const float* twr = tw_re_.data() + (half - 1);
+    const float* twi = twi_all + (half - 1);
+    for (std::size_t start = 0; start < size_; start += 2 * half)
+      butterfly_span(re + start, im + start, re + start + half,
+                     im + start + half, twr, twi, half);
+  }
+}
+
+void FftPlan::forward_soa(std::span<float> re, std::span<float> im) const {
+  if (re.size() != size_ || im.size() != size_)
+    throw std::invalid_argument("FftPlan: buffer size mismatch");
+  transform_soa(re.data(), im.data(), false);
+}
+
+void FftPlan::inverse_soa(std::span<float> re, std::span<float> im) const {
+  if (re.size() != size_ || im.size() != size_)
+    throw std::invalid_argument("FftPlan: buffer size mismatch");
+  transform_soa(re.data(), im.data(), true);
+  const float inv = 1.0f / static_cast<float>(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    re[i] *= inv;
+    im[i] *= inv;
+  }
+}
+
+namespace {
+// Split scratch for the interleaved entry points. Thread-local so a plan
+// shared across worker threads stays safe; sized once per thread.
+thread_local std::vector<float> t_fft_re;
+thread_local std::vector<float> t_fft_im;
+}  // namespace
+
+void FftPlan::forward(std::span<Complex> data) const {
+  if (data.size() != size_)
+    throw std::invalid_argument("FftPlan: buffer size mismatch");
+  if (t_fft_re.size() < size_) {
+    t_fft_re.resize(size_);
+    t_fft_im.resize(size_);
+  }
+  float* re = t_fft_re.data();
+  float* im = t_fft_im.data();
+  for (std::size_t i = 0; i < size_; ++i) {
+    re[i] = data[i].real();
+    im[i] = data[i].imag();
+  }
+  transform_soa(re, im, false);
+  for (std::size_t i = 0; i < size_; ++i) data[i] = {re[i], im[i]};
+}
+
+void FftPlan::inverse(std::span<Complex> data) const {
+  if (data.size() != size_)
+    throw std::invalid_argument("FftPlan: buffer size mismatch");
+  if (t_fft_re.size() < size_) {
+    t_fft_re.resize(size_);
+    t_fft_im.resize(size_);
+  }
+  float* re = t_fft_re.data();
+  float* im = t_fft_im.data();
+  for (std::size_t i = 0; i < size_; ++i) {
+    re[i] = data[i].real();
+    im[i] = data[i].imag();
+  }
+  transform_soa(re, im, true);
+  const float inv = 1.0f / static_cast<float>(size_);
+  for (std::size_t i = 0; i < size_; ++i)
+    data[i] = {re[i] * inv, im[i] * inv};
+}
+
 void FftPlan::transform(std::span<Complex> data, bool invert) const {
   if (data.size() != size_)
     throw std::invalid_argument("FftPlan: buffer size mismatch");
@@ -33,16 +186,22 @@ void FftPlan::transform(std::span<Complex> data, bool invert) const {
     const std::size_t j = reversal_[i];
     if (i < j) std::swap(data[i], data[j]);
   }
-  for (std::size_t len = 2; len <= size_; len <<= 1) {
-    const std::size_t stride = size_ / len;
-    for (std::size_t start = 0; start < size_; start += len) {
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        Complex w = twiddles_[k * stride];
-        if (invert) w = std::conj(w);
-        const Complex u = data[start + k];
-        const Complex v = data[start + k + len / 2] * w;
-        data[start + k] = u + v;
-        data[start + k + len / 2] = u - v;
+  const float* twi_all = invert ? tw_im_inv_.data() : tw_im_fwd_.data();
+  for (std::size_t half = 1; half < size_; half <<= 1) {
+    const float* twr = tw_re_.data() + (half - 1);
+    const float* twi = twi_all + (half - 1);
+    for (std::size_t start = 0; start < size_; start += 2 * half) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const float wr = twr[k];
+        const float wi = twi[k];
+        Complex& a = data[start + k];
+        Complex& b = data[start + k + half];
+        const float vr = b.real() * wr - b.imag() * wi;
+        const float vi = b.real() * wi + b.imag() * wr;
+        const float ur = a.real();
+        const float ui = a.imag();
+        a = {ur + vr, ui + vi};
+        b = {ur - vr, ui - vi};
       }
     }
   }
@@ -51,10 +210,6 @@ void FftPlan::transform(std::span<Complex> data, bool invert) const {
     for (auto& x : data) x *= inv;
   }
 }
-
-void FftPlan::forward(std::span<Complex> data) const { transform(data, false); }
-
-void FftPlan::inverse(std::span<Complex> data) const { transform(data, true); }
 
 IqVector reference_dft(std::span<const Complex> data, bool invert) {
   const std::size_t n = data.size();

@@ -4,6 +4,17 @@
 // the "FFT task" of the paper, parallelizable across its 14 * N subtasks
 // (§2.2). A plan is immutable after construction and safe to share across
 // threads executing transforms on distinct buffers.
+//
+// Two execution paths share the plan's tables:
+//   * forward/inverse — structure-of-arrays (split re/im) transform. The
+//     split layout gives contiguous unit-stride butterflies per stage that
+//     autovectorize, and avoids libstdc++'s __mulsc3 complex multiply. With
+//     -DRTOPEX_SIMD the inner butterflies additionally use explicit 8-wide
+//     AVX2 (or 4-wide NEON) kernels.
+//   * transform — the retained scalar interleaved fallback, kept as the
+//     in-place reference for the differential tests.
+// Conjugation for the inverse direction is hoisted into a second twiddle
+// table at plan construction; neither path branches per butterfly.
 #pragma once
 
 #include <cstddef>
@@ -26,12 +37,28 @@ class FftPlan {
   /// In-place inverse DFT, normalized by 1/N (so inverse(forward(x)) == x).
   void inverse(std::span<Complex> data) const;
 
- private:
+  /// Split re/im in-place transforms. Both spans must be `size()` long;
+  /// the inverse variant normalizes by 1/N. This is the zero-allocation
+  /// entry point: callers own the split buffers (see DecodeWorkspace).
+  void forward_soa(std::span<float> re, std::span<float> im) const;
+  void inverse_soa(std::span<float> re, std::span<float> im) const;
+
+  /// Retained scalar interleaved fallback (and differential reference):
+  /// same radix-2 schedule as the SoA path, one butterfly at a time.
   void transform(std::span<Complex> data, bool invert) const;
 
+ private:
+  void transform_soa(float* re, float* im, bool invert) const;
+
   std::size_t size_;
-  std::vector<Complex> twiddles_;       // e^{-2πik/N}, k < N/2
-  std::vector<std::uint32_t> reversal_;  // bit-reversal permutation
+  /// Per-stage twiddle tables, stage with half-length h at offset h - 1
+  /// (h = 1, 2, 4, ...): tw_re_[h-1+k] + i*tw_im_fwd_[h-1+k] = e^{-iπk/h}.
+  /// The inverse table carries the conjugate so no path branches on
+  /// direction per butterfly.
+  std::vector<float> tw_re_;
+  std::vector<float> tw_im_fwd_;
+  std::vector<float> tw_im_inv_;
+  std::vector<std::uint32_t> reversal_;  ///< bit-reversal permutation.
 };
 
 /// O(N^2) reference DFT for testing.

@@ -140,8 +140,75 @@ const AxisTable& axis_table(unsigned order) {
 
 }  // namespace
 
+namespace {
+
+// Order-specialized max-log kernel: BITS axis bits, 2^BITS levels, all loop
+// bounds compile-time so the per-symbol work fully unrolls. Produces the
+// same floats as the generic reference loop (same expressions, same
+// min-reduction order over levels).
+template <unsigned BITS>
+void demap_axes(std::span<const Complex> symbols,
+                std::span<const float> noise_var, const AxisTable& t,
+                float* out) {
+  constexpr unsigned kLevels = 1u << BITS;
+  constexpr unsigned kOrder = 2 * BITS;
+  float amp[kLevels];
+  for (unsigned lvl = 0; lvl < kLevels; ++lvl) amp[lvl] = t.amplitude[lvl];
+  for (std::size_t s = 0; s < symbols.size(); ++s) {
+    const float inv_var = 1.0f / std::max(noise_var[s], 1e-9f);
+    const float yi = symbols[s].real();
+    const float yq = symbols[s].imag();
+    float best_i[2 * BITS], best_q[2 * BITS];
+    for (unsigned j = 0; j < 2 * BITS; ++j) {
+      best_i[j] = 1e30f;
+      best_q[j] = 1e30f;
+    }
+    for (unsigned lvl = 0; lvl < kLevels; ++lvl) {
+      const float di = yi - amp[lvl];
+      const float dq = yq - amp[lvl];
+      const float dist_i = di * di;
+      const float dist_q = dq * dq;
+      for (unsigned b = 0; b < BITS; ++b) {
+        const unsigned value = (lvl >> (BITS - 1 - b)) & 1;
+        best_i[b * 2 + value] = std::min(best_i[b * 2 + value], dist_i);
+        best_q[b * 2 + value] = std::min(best_q[b * 2 + value], dist_q);
+      }
+    }
+    float* llr = out + s * kOrder;
+    for (unsigned b = 0; b < BITS; ++b) {
+      llr[2 * b + 0] = (best_i[b * 2 + 1] - best_i[b * 2 + 0]) * inv_var;
+      llr[2 * b + 1] = (best_q[b * 2 + 1] - best_q[b * 2 + 0]) * inv_var;
+    }
+  }
+}
+
+}  // namespace
+
+void demodulate_into(std::span<const Complex> symbols,
+                     std::span<const float> noise_var, unsigned order,
+                     std::span<float> out) {
+  if (symbols.size() != noise_var.size())
+    throw std::invalid_argument("demodulate: size mismatch");
+  if (out.size() != symbols.size() * order)
+    throw std::invalid_argument("demodulate_into: bad output size");
+  const AxisTable& t = axis_table(order);
+  switch (order) {
+    case 2: demap_axes<1>(symbols, noise_var, t, out.data()); break;
+    case 4: demap_axes<2>(symbols, noise_var, t, out.data()); break;
+    default: demap_axes<3>(symbols, noise_var, t, out.data()); break;
+  }
+}
+
 LlrVector demodulate(std::span<const Complex> symbols,
                      std::span<const float> noise_var, unsigned order) {
+  LlrVector llrs(symbols.size() * order);
+  demodulate_into(symbols, noise_var, order, llrs);
+  return llrs;
+}
+
+LlrVector demodulate_reference(std::span<const Complex> symbols,
+                               std::span<const float> noise_var,
+                               unsigned order) {
   if (symbols.size() != noise_var.size())
     throw std::invalid_argument("demodulate: size mismatch");
   const AxisTable& t = axis_table(order);

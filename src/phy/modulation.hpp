@@ -27,6 +27,20 @@ IqVector modulate(std::span<const std::uint8_t> bits, unsigned order);
 LlrVector demodulate(std::span<const Complex> symbols,
                      std::span<const float> noise_var, unsigned order);
 
+/// Allocation-free demapper: writes order * symbols.size() LLRs into `out`
+/// (which must be exactly that long). The axis decomposition is dispatched
+/// once per call to an order-specialized kernel with compile-time level
+/// counts, so the per-symbol loop is branchless and unrolled.
+void demodulate_into(std::span<const Complex> symbols,
+                     std::span<const float> noise_var, unsigned order,
+                     std::span<float> out);
+
+/// The original table-driven generic loop, retained as the differential
+/// reference for demodulate_into.
+LlrVector demodulate_reference(std::span<const Complex> symbols,
+                               std::span<const float> noise_var,
+                               unsigned order);
+
 /// The constellation for a modulation order (2^order points, Gray mapped:
 /// point index == packed bits, MSB = first bit).
 std::span<const Complex> constellation(unsigned order);

@@ -81,4 +81,34 @@ IqVector ofdm_demodulate(const FftPlan& plan, std::span<const Complex> samples,
   return out;
 }
 
+void ofdm_demodulate_into(const FftPlan& plan, std::span<const Complex> samples,
+                          std::size_t cp_samples, std::span<Complex> out,
+                          DecodeWorkspace& ws) {
+  const std::size_t n = plan.size();
+  if (samples.size() != cp_samples + n)
+    throw std::invalid_argument("ofdm_demodulate: bad sample count");
+  const std::size_t nsc = out.size();
+  grow_buffer(ws.fft_re, n);
+  grow_buffer(ws.fft_im, n);
+  float* re = ws.fft_re.data();
+  float* im = ws.fft_im.data();
+  const Complex* in = samples.data() + cp_samples;
+  for (std::size_t i = 0; i < n; ++i) {
+    re[i] = in[i].real();
+    im[i] = in[i].imag();
+  }
+  plan.forward_soa(std::span<float>(re, n), std::span<float>(im, n));
+  // The occupied bins straddle DC: negative frequencies sit at the top of
+  // the spectrum, so the gather is two contiguous runs (see subcarrier_bin).
+  const std::size_t half = nsc / 2;
+  for (std::size_t k = 0; k < half; ++k) {
+    const std::size_t bin = n - half + k;
+    out[k] = {re[bin], im[bin]};
+  }
+  for (std::size_t k = half; k < nsc; ++k) {
+    const std::size_t bin = k - half + 1;
+    out[k] = {re[bin], im[bin]};
+  }
+}
+
 }  // namespace rtopex::phy

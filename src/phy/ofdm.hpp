@@ -10,6 +10,7 @@
 #include <cstddef>
 
 #include "phy/fft.hpp"
+#include "phy/workspace.hpp"
 
 namespace rtopex::phy {
 
@@ -32,5 +33,13 @@ IqVector ofdm_modulate(const FftPlan& plan, std::span<const Complex> subcarriers
 /// Time-domain samples (cp + fft_size) -> nsc occupied subcarriers.
 IqVector ofdm_demodulate(const FftPlan& plan, std::span<const Complex> samples,
                          std::size_t cp_samples, std::size_t nsc);
+
+/// Allocation-free demodulation into `out` (exactly nsc entries): the
+/// post-CP samples are deinterleaved into the workspace's split re/im
+/// buffers, transformed via the SoA FFT path, and the occupied bins
+/// gathered back out.
+void ofdm_demodulate_into(const FftPlan& plan, std::span<const Complex> samples,
+                          std::size_t cp_samples, std::span<Complex> out,
+                          DecodeWorkspace& ws);
 
 }  // namespace rtopex::phy

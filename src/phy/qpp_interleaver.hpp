@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace rtopex::phy {
@@ -31,6 +32,11 @@ class QppInterleaver {
   std::size_t map(std::size_t i) const { return forward_[i]; }
   /// Original index of interleaved position j.
   std::size_t inverse(std::size_t j) const { return inverse_[j]; }
+
+  /// Whole permutation tables, for gather-style kernels that index the raw
+  /// arrays instead of calling map()/inverse() per element.
+  std::span<const std::size_t> forward_map() const { return forward_; }
+  std::span<const std::size_t> inverse_map() const { return inverse_; }
 
   /// Interleave / deinterleave whole sequences.
   template <typename T>

@@ -40,6 +40,22 @@ RateMatcher::RateMatcher(std::size_t block_size) {
     cb_map_[kpi + 2 * i + 1] =
         perm[i] < 0 ? -1 : 2 * static_cast<std::int32_t>(kd_) + perm[i];
   }
+
+  // Split form of the same mapping so the hot loops do one table lookup per
+  // bit instead of a div/mod to recover (stream, offset).
+  cb_stream_.resize(cb_map_.size());
+  cb_off_.resize(cb_map_.size());
+  for (std::size_t i = 0; i < cb_map_.size(); ++i) {
+    if (cb_map_[i] < 0) {
+      cb_stream_[i] = 3;
+      cb_off_[i] = 0;
+    } else {
+      cb_stream_[i] = static_cast<std::uint8_t>(
+          cb_map_[i] / static_cast<std::int32_t>(kd_));
+      cb_off_[i] = static_cast<std::uint32_t>(
+          cb_map_[i] % static_cast<std::int32_t>(kd_));
+    }
+  }
 }
 
 std::size_t RateMatcher::start_index(unsigned rv) const {
@@ -80,25 +96,36 @@ RateMatcher::Dematched RateMatcher::dematch(std::span<const float> llrs,
   out.systematic.assign(kd_, 0.0f);
   out.parity1.assign(kd_, 0.0f);
   out.parity2.assign(kd_, 0.0f);
+  dematch_into(llrs, redundancy_version, out.systematic, out.parity1,
+               out.parity2);
+  return out;
+}
 
-  auto stream_llr = [&](std::int32_t idx) -> float& {
-    const auto stream = idx / static_cast<std::int32_t>(kd_);
-    const auto off = static_cast<std::size_t>(idx % static_cast<std::int32_t>(kd_));
-    switch (stream) {
-      case 0: return out.systematic[off];
-      case 1: return out.parity1[off];
-      default: return out.parity2[off];
-    }
-  };
-
+void RateMatcher::dematch_into(std::span<const float> llrs,
+                               unsigned redundancy_version,
+                               std::span<float> systematic,
+                               std::span<float> parity1,
+                               std::span<float> parity2) const {
+  if (systematic.size() < kd_ || parity1.size() < kd_ || parity2.size() < kd_)
+    throw std::invalid_argument("dematch_into: stream spans too short");
+  for (std::size_t i = 0; i < kd_; ++i) {
+    systematic[i] = 0.0f;
+    parity1[i] = 0.0f;
+    parity2[i] = 0.0f;
+  }
+  // Dummy positions (stream 3) accumulate into a scratch slot so the loop
+  // body stays branch-free except for the consume decision.
+  float dummy = 0.0f;
+  float* streams[4] = {systematic.data(), parity1.data(), parity2.data(),
+                       &dummy};
+  const std::size_t n = cb_off_.size();
   std::size_t pos = start_index(redundancy_version);
   std::size_t consumed = 0;
   while (consumed < llrs.size()) {
-    const std::int32_t idx = cb_map_[pos];
-    if (idx >= 0) stream_llr(idx) += llrs[consumed++];
-    pos = (pos + 1) % cb_map_.size();
+    const std::uint8_t stream = cb_stream_[pos];
+    if (stream != 3) streams[stream][cb_off_[pos]] += llrs[consumed++];
+    pos = pos + 1 == n ? 0 : pos + 1;
   }
-  return out;
 }
 
 }  // namespace rtopex::phy

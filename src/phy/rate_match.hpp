@@ -44,6 +44,14 @@ class RateMatcher {
   Dematched dematch(std::span<const float> llrs,
                     unsigned redundancy_version = 0) const;
 
+  /// Allocation-free dematch: zero-fills the three spans (each K + 4 long)
+  /// and soft-combines the received LLRs into them. The circular buffer is
+  /// walked via precomputed stream/offset tables, so the per-bit work is a
+  /// single indexed accumulate with no division.
+  void dematch_into(std::span<const float> llrs, unsigned redundancy_version,
+                    std::span<float> systematic, std::span<float> parity1,
+                    std::span<float> parity2) const;
+
  private:
   std::size_t start_index(unsigned rv) const;
 
@@ -51,6 +59,10 @@ class RateMatcher {
   std::size_t rows_ = 0;  ///< sub-block interleaver rows.
   /// Circular-buffer position -> (stream * kd_ + index), or -1 for a dummy.
   std::vector<std::int32_t> cb_map_;
+  /// The same mapping split for branch-light kernels: stream index (0..2,
+  /// or 3 for a dummy) and within-stream offset per buffer position.
+  std::vector<std::uint8_t> cb_stream_;
+  std::vector<std::uint32_t> cb_off_;
 };
 
 }  // namespace rtopex::phy

@@ -10,6 +10,7 @@
 
 #include "phy/crc.hpp"
 #include "phy/turbo.hpp"
+#include "phy/workspace.hpp"
 
 namespace rtopex::phy {
 
@@ -26,5 +27,14 @@ void scramble_bits(std::span<std::uint8_t> bits, std::uint32_t c_init);
 /// Flips the sign of `llrs[i]` where the sequence bit is 1 (descrambling on
 /// the soft path: a scrambled 1 inverts the bit, hence the LLR).
 void descramble_llrs(std::span<float> llrs, std::uint32_t c_init);
+
+/// Allocation-free descramble: the sequence (and its generator scratch)
+/// lives in the workspace, keyed by c_init. A steady-state worker
+/// descrambles the same basestation's identity every subframe, so after the
+/// first call this is a pure sign-flip pass. Gold sequences are
+/// prefix-stable — c(n) depends only on n — so a cached longer sequence
+/// serves shorter requests.
+void descramble_llrs_cached(std::span<float> llrs, std::uint32_t c_init,
+                            DecodeWorkspace& ws);
 
 }  // namespace rtopex::phy

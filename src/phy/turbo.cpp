@@ -159,6 +159,119 @@ LlrVector siso_decode(std::span<const float> sys_in,
   return out;
 }
 
+// Flattened max-log-MAP over the same trellis, bit-identical to siso_decode:
+//
+//  * The four distinct branch metrics per step — gamma(u, z) =
+//    (±0.5)·sys + (±0.5)·par — are precomputed into ws.gamma as
+//    {a+b, a-b, b-a, -(a+b)} with a = 0.5f·sys, b = 0.5f·par. Each equals
+//    the reference's bu·sys + bz·par exactly: multiplying by -0.5f instead
+//    of 0.5f only flips the sign bit, IEEE negation is exact, and rounding
+//    is symmetric.
+//  * The 8-state transition structure is unrolled at compile time from the
+//    generators (g0 = 1 + D^2 + D^3, g1 = 1 + D + D^3), removing the
+//    per-branch table walk and the reachability branches. Unreachable
+//    states are handled arithmetically: their metric is exactly kNegInf,
+//    and kNegInf + gamma == kNegInf in float (the ulp at 1e30 dwarfs any
+//    branch metric), so the branchless max yields the same floats the
+//    guarded reference produces.
+//  * Forward metrics go to ws.alpha (8 per step); backward metrics never
+//    materialize — beta lives in 8 registers and the LLR extraction is
+//    fused into the backward sweep.
+//
+// Association orders match the reference exactly: alpha-then-gamma,
+// beta-then-gamma, (alpha + gamma) + beta.
+void siso_decode_flat(const float* sys_in, const float* par_in, std::size_t k,
+                      DecodeWorkspace& ws, float* app_out) {
+  const std::size_t steps = k + 3;
+
+  grow_buffer(ws.gamma, 4 * steps);
+  grow_buffer(ws.alpha, 8 * (steps + 1));
+  float* g = ws.gamma.data();
+  float* alpha = ws.alpha.data();
+
+  // Branch metrics, indexed (u << 1) | z.
+  for (std::size_t i = 0; i < steps; ++i) {
+    const float a = 0.5f * sys_in[i];
+    const float b = 0.5f * par_in[i];
+    g[4 * i + 0] = a + b;     // u=0, z=0
+    g[4 * i + 1] = a - b;     // u=0, z=1
+    g[4 * i + 2] = b - a;     // u=1, z=0
+    g[4 * i + 3] = -(a + b);  // u=1, z=1
+  }
+
+  // Forward pass. Transition map (state s, input u) -> (next, z):
+  //   s0: u0->(0,0) u1->(1,1)    s4: u0->(1,0) u1->(0,1)
+  //   s1: u0->(2,1) u1->(3,0)    s5: u0->(3,1) u1->(2,0)
+  //   s2: u0->(5,1) u1->(4,0)    s6: u0->(4,1) u1->(5,0)
+  //   s3: u0->(7,0) u1->(6,1)    s7: u0->(6,0) u1->(7,1)
+  alpha[0] = 0.0f;
+  for (int s = 1; s < kNumStates; ++s) alpha[s] = kNegInf;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const float* a = alpha + 8 * i;
+    float* n = alpha + 8 * (i + 1);
+    const float g0 = g[4 * i + 0];
+    const float g1 = g[4 * i + 1];
+    const float g2 = g[4 * i + 2];
+    const float g3 = g[4 * i + 3];
+    n[0] = std::max(a[0] + g0, a[4] + g3);
+    n[1] = std::max(a[0] + g3, a[4] + g0);
+    n[2] = std::max(a[1] + g1, a[5] + g2);
+    n[3] = std::max(a[1] + g2, a[5] + g1);
+    n[4] = std::max(a[2] + g2, a[6] + g1);
+    n[5] = std::max(a[2] + g1, a[6] + g2);
+    n[6] = std::max(a[3] + g3, a[7] + g0);
+    n[7] = std::max(a[3] + g0, a[7] + g3);
+  }
+
+  // Backward sweep with fused LLR extraction. beta starts terminated (state
+  // 0) at `steps`, walks the three tail steps, then emits app_out[i] from
+  // (alpha[i], gamma[i], beta[i+1]) before retiring step i.
+  float b0 = 0.0f, b1 = kNegInf, b2 = kNegInf, b3 = kNegInf;
+  float b4 = kNegInf, b5 = kNegInf, b6 = kNegInf, b7 = kNegInf;
+  auto beta_step = [&](std::size_t i) {
+    const float g0 = g[4 * i + 0];
+    const float g1 = g[4 * i + 1];
+    const float g2 = g[4 * i + 2];
+    const float g3 = g[4 * i + 3];
+    const float p0 = std::max(b0 + g0, b1 + g3);
+    const float p1 = std::max(b2 + g1, b3 + g2);
+    const float p2 = std::max(b5 + g1, b4 + g2);
+    const float p3 = std::max(b7 + g0, b6 + g3);
+    const float p4 = std::max(b1 + g0, b0 + g3);
+    const float p5 = std::max(b3 + g1, b2 + g2);
+    const float p6 = std::max(b4 + g1, b5 + g2);
+    const float p7 = std::max(b6 + g0, b7 + g3);
+    b0 = p0; b1 = p1; b2 = p2; b3 = p3;
+    b4 = p4; b5 = p5; b6 = p6; b7 = p7;
+  };
+  for (std::size_t i = steps; i-- > k;) beta_step(i);
+  for (std::size_t i = k; i-- > 0;) {
+    const float* a = alpha + 8 * i;
+    const float g0 = g[4 * i + 0];
+    const float g1 = g[4 * i + 1];
+    const float g2 = g[4 * i + 2];
+    const float g3 = g[4 * i + 3];
+    float m0 = (a[0] + g0) + b0;
+    m0 = std::max(m0, (a[1] + g1) + b2);
+    m0 = std::max(m0, (a[2] + g1) + b5);
+    m0 = std::max(m0, (a[3] + g0) + b7);
+    m0 = std::max(m0, (a[4] + g0) + b1);
+    m0 = std::max(m0, (a[5] + g1) + b3);
+    m0 = std::max(m0, (a[6] + g1) + b4);
+    m0 = std::max(m0, (a[7] + g0) + b6);
+    float m1 = (a[0] + g3) + b1;
+    m1 = std::max(m1, (a[1] + g2) + b3);
+    m1 = std::max(m1, (a[2] + g2) + b4);
+    m1 = std::max(m1, (a[3] + g3) + b6);
+    m1 = std::max(m1, (a[4] + g3) + b0);
+    m1 = std::max(m1, (a[5] + g2) + b2);
+    m1 = std::max(m1, (a[6] + g2) + b5);
+    m1 = std::max(m1, (a[7] + g3) + b7);
+    app_out[i] = m0 - m1;
+    beta_step(i);
+  }
+}
+
 }  // namespace
 
 TurboCodeword TurboEncoder::encode(std::span<const std::uint8_t> bits) const {
@@ -192,6 +305,102 @@ TurboCodeword TurboEncoder::encode(std::span<const std::uint8_t> bits) const {
 }
 
 TurboDecodeResult TurboDecoder::decode(
+    std::span<const float> systematic, std::span<const float> parity1,
+    std::span<const float> parity2,
+    const std::function<bool(std::span<const std::uint8_t>)>& crc_check,
+    unsigned max_iterations_override) const {
+  // Value-semantics convenience wrapper; the hot path calls decode_into with
+  // the caller's workspace directly.
+  thread_local DecodeWorkspace ws;
+  decode_into(systematic, parity1, parity2, ws, crc_check,
+              max_iterations_override);
+  TurboDecodeResult result;
+  result.bits.assign(ws.bits.begin(),
+                     ws.bits.begin() +
+                         static_cast<std::ptrdiff_t>(interleaver_.size()));
+  result.iterations = ws.iterations;
+  result.early_terminated = ws.early_terminated;
+  return result;
+}
+
+void TurboDecoder::decode_into(
+    std::span<const float> systematic, std::span<const float> parity1,
+    std::span<const float> parity2, DecodeWorkspace& ws,
+    const std::function<bool(std::span<const std::uint8_t>)>& crc_check,
+    unsigned max_iterations_override) const {
+  const std::size_t k = interleaver_.size();
+  if (systematic.size() != k + 4 || parity1.size() != k + 4 ||
+      parity2.size() != k + 4)
+    throw std::invalid_argument("TurboDecoder: bad stream length");
+
+  grow_buffer(ws.sys1, k + 3);
+  grow_buffer(ws.par1, k + 3);
+  grow_buffer(ws.sys2, k + 3);
+  grow_buffer(ws.par2, k + 3);
+  grow_buffer(ws.extrinsic1, k);
+  grow_buffer(ws.extrinsic2, k);
+  grow_buffer(ws.app, k);
+  grow_buffer(ws.bits, k);
+  float* sys1 = ws.sys1.data();
+  float* par1 = ws.par1.data();
+  float* sys2 = ws.sys2.data();
+  float* par2 = ws.par2.data();
+  float* extrinsic1 = ws.extrinsic1.data();
+  float* extrinsic2 = ws.extrinsic2.data();
+  float* app = ws.app.data();
+  std::uint8_t* bits = ws.bits.data();
+
+  // Tail unpacking identical to decode_reference (see encoder packing).
+  for (std::size_t i = 0; i < k; ++i) par1[i] = parity1[i];
+  for (std::size_t i = 0; i < 3; ++i) {
+    sys1[k + i] = systematic[k + i];
+    par1[k + i] = parity1[k + i];
+  }
+  for (std::size_t i = 0; i < k; ++i) par2[i] = parity2[i];
+  sys2[k] = systematic[k + 3];
+  sys2[k + 1] = parity2[k];
+  sys2[k + 2] = parity2[k + 1];
+  par2[k] = parity1[k + 3];
+  par2[k + 1] = parity2[k + 2];
+  par2[k + 2] = parity2[k + 3];
+
+  for (std::size_t i = 0; i < k; ++i) extrinsic2[i] = 0.0f;
+  for (std::size_t i = 0; i < k; ++i) bits[i] = 0;
+  ws.iterations = 0;
+  ws.early_terminated = false;
+
+  const std::size_t* fwd = interleaver_.forward_map().data();
+  const unsigned lm = max_iterations_override == 0
+                          ? max_iterations_
+                          : std::min(max_iterations_, max_iterations_override);
+  for (unsigned iter = 1; iter <= lm; ++iter) {
+    // --- SISO 1 ---
+    for (std::size_t i = 0; i < k; ++i)
+      sys1[i] = systematic[i] + extrinsic2[i];
+    siso_decode_flat(sys1, par1, k, ws, app);
+    for (std::size_t i = 0; i < k; ++i) extrinsic1[i] = app[i] - sys1[i];
+
+    // --- SISO 2 (interleaved domain, gathered via the precomputed map) ---
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t src = fwd[i];
+      sys2[i] = systematic[src] + extrinsic1[src];
+    }
+    siso_decode_flat(sys2, par2, k, ws, app);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t src = fwd[i];
+      extrinsic2[src] = app[i] - sys2[i];
+      bits[src] = app[i] < 0.0f ? 1 : 0;
+    }
+    ws.iterations = iter;
+
+    if (crc_check && crc_check(std::span<const std::uint8_t>(bits, k))) {
+      ws.early_terminated = true;
+      break;
+    }
+  }
+}
+
+TurboDecodeResult TurboDecoder::decode_reference(
     std::span<const float> systematic, std::span<const float> parity1,
     std::span<const float> parity2,
     const std::function<bool(std::span<const std::uint8_t>)>& crc_check,

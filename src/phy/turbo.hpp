@@ -15,6 +15,7 @@
 
 #include "phy/crc.hpp"
 #include "phy/qpp_interleaver.hpp"
+#include "phy/workspace.hpp"
 
 namespace rtopex::phy {
 
@@ -71,6 +72,26 @@ class TurboDecoder {
   /// check that cannot fit the full-quality decode shrinks the cap instead of
   /// dropping the subframe.
   TurboDecodeResult decode(
+      std::span<const float> systematic, std::span<const float> parity1,
+      std::span<const float> parity2,
+      const std::function<bool(std::span<const std::uint8_t>)>& crc_check = {},
+      unsigned max_iterations_override = 0) const;
+
+  /// Zero-allocation decode: all intermediates (SISO inputs, extrinsics,
+  /// the per-step branch-metric table, forward metrics, hard decisions) live
+  /// in `ws` and only ever grow. Results land in ws.bits (first K entries),
+  /// ws.iterations and ws.early_terminated. The flattened SISO produces
+  /// bit-identical hard decisions and iteration counts to decode_reference
+  /// (asserted by the kernel differential tests).
+  void decode_into(
+      std::span<const float> systematic, std::span<const float> parity1,
+      std::span<const float> parity2, DecodeWorkspace& ws,
+      const std::function<bool(std::span<const std::uint8_t>)>& crc_check = {},
+      unsigned max_iterations_override = 0) const;
+
+  /// The original branchy per-lambda-gamma implementation, retained as the
+  /// differential reference for decode / decode_into.
+  TurboDecodeResult decode_reference(
       std::span<const float> systematic, std::span<const float> parity1,
       std::span<const float> parity2,
       const std::function<bool(std::span<const std::uint8_t>)>& crc_check = {},

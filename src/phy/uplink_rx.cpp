@@ -116,7 +116,20 @@ void UplinkRxProcessor::begin(Job& job,
   }
   const unsigned qm = modulation_order(mcs);
   job.llrs.assign(job.equalized.size() * qm, 0.0f);
-  job.cb_results.assign(impl_->per_mcs[mcs].layout.e_bits.size(), {});
+  // Reset per-block results without freeing their bit buffers: a reused job
+  // decoding the same MCS every subframe must not reallocate here.
+  const std::size_t c = impl_->per_mcs[mcs].layout.e_bits.size();
+  job.cb_results.resize(c);
+  for (auto& cb : job.cb_results) {
+    cb.bits.clear();
+    cb.iterations = 0;
+    cb.crc_ok = false;
+  }
+}
+
+DecodeWorkspace& UplinkRxProcessor::thread_workspace() {
+  thread_local DecodeWorkspace ws;
+  return ws;
 }
 
 std::size_t UplinkRxProcessor::fft_subtask_count() const {
@@ -124,8 +137,12 @@ std::size_t UplinkRxProcessor::fft_subtask_count() const {
 }
 
 void UplinkRxProcessor::run_fft_subtask(Job& job, std::size_t index) const {
+  run_fft_subtask(job, index, thread_workspace());
+}
+
+void UplinkRxProcessor::run_fft_subtask(Job& job, std::size_t index,
+                                        DecodeWorkspace& ws) const {
   const auto bw = config_.bw_config();
-  const unsigned nsc = config_.num_subcarriers();
   const std::size_t antenna = index / kSymbolsPerSubframe;
   const std::size_t symbol = index % kSymbolsPerSubframe;
   if (antenna >= config_.num_antennas)
@@ -133,8 +150,10 @@ void UplinkRxProcessor::run_fft_subtask(Job& job, std::size_t index) const {
   const std::size_t sym_len = bw.cp_samples + bw.fft_size;
   const std::span<const Complex> samples(
       job.antenna_samples[antenna].data() + symbol * sym_len, sym_len);
-  job.grid[antenna * kSymbolsPerSubframe + symbol] =
-      ofdm_demodulate(impl_->fft, samples, bw.cp_samples, nsc);
+  // The grid cell is pre-sized to nsc by make_job; the SoA FFT runs in the
+  // workspace's split buffers.
+  ofdm_demodulate_into(impl_->fft, samples, bw.cp_samples,
+                       job.grid[antenna * kSymbolsPerSubframe + symbol], ws);
 }
 
 void UplinkRxProcessor::demod_prepare(Job& job) const {
@@ -150,12 +169,17 @@ void UplinkRxProcessor::demod_prepare(Job& job) const {
     IqVector& h = job.channel_est[a];
     for (unsigned k = 0; k < nsc; ++k) {
       // DMRS has unit magnitude, so dividing is multiplying by conj.
-      const Complex p = std::conj(impl_->dmrs[k]);
-      const Complex h0 = y0[k] * p;
-      const Complex h1 = y1[k] * p;
-      h[k] = 0.5f * (h0 + h1);
-      const Complex d = h0 - h1;
-      noise_acc += 0.5 * (d.real() * d.real() + d.imag() * d.imag());
+      // Explicit float math (h = y * conj(p)) to avoid __mulsc3 per RE.
+      const float pr = impl_->dmrs[k].real();
+      const float pi = impl_->dmrs[k].imag();
+      const float h0r = y0[k].real() * pr + y0[k].imag() * pi;
+      const float h0i = y0[k].imag() * pr - y0[k].real() * pi;
+      const float h1r = y1[k].real() * pr + y1[k].imag() * pi;
+      const float h1i = y1[k].imag() * pr - y1[k].real() * pi;
+      h[k] = {0.5f * (h0r + h1r), 0.5f * (h0i + h1i)};
+      const float dr = h0r - h1r;
+      const float di = h0i - h1i;
+      noise_acc += 0.5 * (dr * dr + di * di);
       ++noise_cnt;
     }
   }
@@ -172,33 +196,46 @@ void UplinkRxProcessor::run_demod_subtask(Job& job, std::size_t index) const {
   const unsigned symbol = impl_->data_symbols[index];
   const unsigned qm = modulation_order(job.mcs);
 
-  // MRC across antennas per subcarrier.
+  // MRC across antennas per subcarrier. Explicit float math: conj(h) * y
+  // through std::complex would emit a __mulsc3 library call per RE.
   const std::size_t out_base = index * nsc;
   for (unsigned k = 0; k < nsc; ++k) {
-    Complex num{0.0f, 0.0f};
+    float num_re = 0.0f;
+    float num_im = 0.0f;
     float denom = 0.0f;
     for (unsigned a = 0; a < n; ++a) {
       const Complex h = job.channel_est[a][k];
       const Complex y = job.grid[a * kSymbolsPerSubframe + symbol][k];
-      num += std::conj(h) * y;
+      num_re += h.real() * y.real() + h.imag() * y.imag();
+      num_im += h.real() * y.imag() - h.imag() * y.real();
       denom += h.real() * h.real() + h.imag() * h.imag();
     }
     denom = std::max(denom, 1e-12f);
-    job.equalized[out_base + k] = num / denom;
+    job.equalized[out_base + k] = {num_re / denom, num_im / denom};
     job.post_eq_noise[out_base + k] = job.noise_var / denom;
   }
 
-  // Demap this symbol's REs into the right LLR slice.
+  // Demap this symbol's REs straight into the right LLR slice.
   const std::span<const Complex> eq(job.equalized.data() + out_base, nsc);
   const std::span<const float> nv(job.post_eq_noise.data() + out_base, nsc);
-  const LlrVector llr = demodulate(eq, nv, qm);
-  std::copy(llr.begin(), llr.end(),
-            job.llrs.begin() + static_cast<std::ptrdiff_t>(out_base) * qm);
+  demodulate_into(
+      eq, nv, qm,
+      std::span<float>(job.llrs.data() + out_base * qm,
+                       static_cast<std::size_t>(nsc) * qm));
 }
 
 void UplinkRxProcessor::decode_prepare(Job& job) const {
-  descramble_llrs(job.llrs, scrambling_init(config_.rnti, job.subframe_index,
-                                            config_.cell_id));
+  decode_prepare(job, thread_workspace());
+}
+
+void UplinkRxProcessor::decode_prepare(Job& job, DecodeWorkspace& ws) const {
+  // c_init cycles through at most 10 values per basestation (subframe mod
+  // 10); on a miss the sequence regenerates into grow-only workspace
+  // buffers, so either way this allocates nothing in steady state.
+  descramble_llrs_cached(job.llrs,
+                         scrambling_init(config_.rnti, job.subframe_index,
+                                         config_.cell_id),
+                         ws);
 }
 
 std::size_t UplinkRxProcessor::decode_subtask_count(const Job& job) const {
@@ -206,58 +243,91 @@ std::size_t UplinkRxProcessor::decode_subtask_count(const Job& job) const {
 }
 
 void UplinkRxProcessor::run_decode_subtask(Job& job, std::size_t index) const {
+  run_decode_subtask(job, index, thread_workspace());
+}
+
+void UplinkRxProcessor::run_decode_subtask(Job& job, std::size_t index,
+                                           DecodeWorkspace& ws) const {
   const McsContext& ctx = impl_->per_mcs[job.mcs];
   if (index >= ctx.layout.e_bits.size())
     throw std::out_of_range("run_decode_subtask: bad index");
   const std::size_t c = ctx.layout.e_bits.size();
+  const std::size_t k = ctx.layout.block_size;
+  const std::size_t kd = k + 4;
 
   const std::span<const float> cb_llrs(job.llrs.data() + ctx.e_offsets[index],
                                        ctx.layout.e_bits[index]);
-  const RateMatcher::Dematched streams = ctx.matcher->dematch(cb_llrs);
+  grow_buffer(ws.dm_systematic, kd);
+  grow_buffer(ws.dm_parity1, kd);
+  grow_buffer(ws.dm_parity2, kd);
+  const std::span<float> sys(ws.dm_systematic.data(), kd);
+  const std::span<float> par1(ws.dm_parity1.data(), kd);
+  const std::span<float> par2(ws.dm_parity2.data(), kd);
+  ctx.matcher->dematch_into(cb_llrs, 0, sys, par1, par2);
 
   // Early-termination CRC: per-block CRC24B when segmented, else the
   // transport block's CRC24A (which then covers filler-free payload).
-  const auto crc_check = [&](std::span<const std::uint8_t> bits) {
+  // Captures one pointer + one size_t so the std::function stays within
+  // libstdc++'s small-object buffer — no heap allocation.
+  const McsContext* ctx_ptr = &ctx;
+  const auto crc_check = [ctx_ptr, c](std::span<const std::uint8_t> bits) {
     if (c > 1) return check_crc24(bits, CrcKind::kB);
     // Single block: strip filler before checking CRC24A.
-    const auto payload = bits.subspan(ctx.layout.filler_bits);
+    const auto payload = bits.subspan(ctx_ptr->layout.filler_bits);
     return check_crc24(payload, CrcKind::kA);
   };
 
-  const TurboDecodeResult res =
-      ctx.decoder->decode(streams.systematic, streams.parity1, streams.parity2,
-                          crc_check, job.iteration_cap);
+  ctx.decoder->decode_into(sys, par1, par2, ws, crc_check, job.iteration_cap);
   auto& out = job.cb_results[index];
-  out.bits = res.bits;
-  out.iterations = res.iterations;
-  out.crc_ok = res.early_terminated || crc_check(res.bits);
+  out.bits.assign(ws.bits.begin(),
+                  ws.bits.begin() + static_cast<std::ptrdiff_t>(k));
+  out.iterations = ws.iterations;
+  out.crc_ok = ws.early_terminated ||
+               crc_check(std::span<const std::uint8_t>(ws.bits.data(), k));
 }
 
 UplinkRxResult UplinkRxProcessor::finalize(Job& job) const {
-  const McsContext& ctx = impl_->per_mcs[job.mcs];
-  std::vector<BitVector> blocks;
-  blocks.reserve(job.cb_results.size());
   UplinkRxResult result;
+  finalize_into(job, thread_workspace(), result);
+  return result;
+}
+
+void UplinkRxProcessor::finalize_into(Job& job, DecodeWorkspace& ws,
+                                      UplinkRxResult& result) const {
+  const McsContext& ctx = impl_->per_mcs[job.mcs];
+  const std::size_t c = job.cb_results.size();
+  result.cb_crc_ok.clear();
+  result.payload.clear();
   unsigned iter_max = 0;
   double iter_sum = 0.0;
   for (const auto& cb : job.cb_results) {
-    blocks.push_back(cb.bits);
     result.cb_crc_ok.push_back(cb.crc_ok);
     iter_max = std::max(iter_max, cb.iterations);
     iter_sum += cb.iterations;
   }
   result.iterations = iter_max;
-  result.mean_iterations =
-      iter_sum / static_cast<double>(job.cb_results.size());
+  result.mean_iterations = iter_sum / static_cast<double>(c);
 
-  const Desegmentation de = desegment_transport_block(
-      blocks, ctx.layout.payload_bits, ctx.layout.filler_bits);
-  result.crc_ok = check_crc24(de.tb_with_crc, CrcKind::kA);
-  if (result.crc_ok) {
-    result.payload.assign(de.tb_with_crc.begin(),
-                          de.tb_with_crc.end() - kCrcLength);
+  // Desegmentation inlined into the workspace buffer: strip block 0's
+  // filler and (when segmented) each block's CRC24B, concatenate. The
+  // CRC24B results were already computed by the decode subtasks, so unlike
+  // desegment_transport_block no recheck happens here.
+  ws.tb_with_crc.clear();
+  for (std::size_t blk = 0; blk < c; ++blk) {
+    const BitVector& bits = job.cb_results[blk].bits;
+    const std::size_t begin = blk == 0 ? ctx.layout.filler_bits : 0;
+    const std::size_t end = bits.size() - (c > 1 ? kCrcLength : 0);
+    ws.tb_with_crc.insert(ws.tb_with_crc.end(),
+                          bits.begin() + static_cast<std::ptrdiff_t>(begin),
+                          bits.begin() + static_cast<std::ptrdiff_t>(end));
   }
-  return result;
+  if (ws.tb_with_crc.size() != ctx.layout.payload_bits)
+    throw std::logic_error("finalize: size mismatch with payload_bits");
+  result.crc_ok = check_crc24(ws.tb_with_crc, CrcKind::kA);
+  if (result.crc_ok) {
+    result.payload.assign(ws.tb_with_crc.begin(),
+                          ws.tb_with_crc.end() - kCrcLength);
+  }
 }
 
 UplinkRxResult UplinkRxProcessor::process(

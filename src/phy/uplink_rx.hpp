@@ -19,6 +19,7 @@
 #include <span>
 
 #include "phy/uplink_tx.hpp"
+#include "phy/workspace.hpp"
 
 namespace rtopex::phy {
 
@@ -75,22 +76,42 @@ class UplinkRxProcessor {
   void begin(Job& job, std::span<const IqVector> antenna_samples, unsigned mcs,
              std::uint32_t subframe_index) const;
 
+  // Stage methods come in two forms: an explicit-workspace overload (the
+  // zero-allocation hot path — all kernel scratch lives in `ws` and is
+  // reused across subframes) and a convenience overload that uses this
+  // thread's workspace. One workspace per executing thread: subtasks of one
+  // job may run concurrently on different cores (RT-OPEX migration), so the
+  // workspace belongs to the thread, never to the job.
+
   // --- Stage A: FFT ---
   std::size_t fft_subtask_count() const;
   void run_fft_subtask(Job& job, std::size_t index) const;
+  void run_fft_subtask(Job& job, std::size_t index, DecodeWorkspace& ws) const;
 
-  // --- Stage B: demod ---
+  // --- Stage B: demod (workspace-free: writes straight into the job) ---
   void demod_prepare(Job& job) const;
   std::size_t demod_subtask_count() const { return kSymbolsPerSubframe - 2; }
   void run_demod_subtask(Job& job, std::size_t index) const;
 
   // --- Stage C: decode ---
   void decode_prepare(Job& job) const;
+  void decode_prepare(Job& job, DecodeWorkspace& ws) const;
   std::size_t decode_subtask_count(const Job& job) const;
   void run_decode_subtask(Job& job, std::size_t index) const;
+  void run_decode_subtask(Job& job, std::size_t index,
+                          DecodeWorkspace& ws) const;
 
   // --- Finalize ---
   UplinkRxResult finalize(Job& job) const;
+  /// Allocation-free finalize: desegmentation goes through ws.tb_with_crc
+  /// and `result`'s buffers are reused (clear + refill within capacity).
+  void finalize_into(Job& job, DecodeWorkspace& ws,
+                     UplinkRxResult& result) const;
+
+  /// The calling thread's lazily-created workspace (used by the
+  /// convenience overloads; also what migrated-chunk host threads share
+  /// across whatever subtasks land on them).
+  static DecodeWorkspace& thread_workspace();
 
   /// Convenience: the full chain, serially, on a fresh job.
   UplinkRxResult process(std::span<const IqVector> antenna_samples,

@@ -1,0 +1,69 @@
+// Per-thread scratch for the uplink receive chain.
+//
+// Every hot-path kernel (FFT, demapper, rate dematcher, turbo SISO,
+// descrambler, desegmentation) writes its intermediates into a
+// DecodeWorkspace instead of allocating. Buffers only ever grow, so after
+// one warm-up subframe a steady-state subframe performs zero heap
+// allocations (asserted by tests/phy/test_zero_alloc.cpp with a counting
+// allocator).
+//
+// Ownership rule: one workspace per executing thread. Subtasks of one
+// UplinkRxJob may run concurrently on different cores (including migrated
+// RT-OPEX chunks); each executing thread must bring its own workspace.
+// UplinkRxProcessor's no-workspace overloads use a thread_local instance
+// (UplinkRxProcessor::thread_workspace()), which is what the NodeRuntime
+// workers and migrated-chunk hosts reuse across subframes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rtopex::phy {
+
+struct TurboDecodeResult;
+
+/// Grow-only resize: never shrinks, so steady-state reuse never allocates.
+template <typename T>
+inline void grow_buffer(std::vector<T>& v, std::size_t n) {
+  if (v.size() < n) v.resize(n);
+}
+
+struct DecodeWorkspace {
+  // --- FFT: structure-of-arrays transform scratch (FftPlan::size floats).
+  std::vector<float> fft_re;
+  std::vector<float> fft_im;
+
+  // --- Rate dematcher output streams (K + 4 each).
+  std::vector<float> dm_systematic;
+  std::vector<float> dm_parity1;
+  std::vector<float> dm_parity2;
+
+  // --- Turbo decoder scratch (K data bits, K + 3 trellis steps).
+  std::vector<float> sys1, par1;    ///< SISO 1 inputs (K + 3).
+  std::vector<float> sys2, par2;    ///< SISO 2 inputs (K + 3).
+  std::vector<float> extrinsic1;    ///< decoder 1 -> 2 (K).
+  std::vector<float> extrinsic2;    ///< decoder 2 -> 1, deinterleaved (K).
+  std::vector<float> app;           ///< SISO a-posteriori output (K).
+  std::vector<float> gamma;         ///< 4 branch metrics per step (4*(K+3)).
+  std::vector<float> alpha;         ///< forward metrics (8*(K+4)).
+  std::vector<std::uint8_t> bits;   ///< hard decisions (K).
+  unsigned iterations = 0;          ///< of the last decode_into call.
+  bool early_terminated = false;    ///< of the last decode_into call.
+
+  // --- Descrambler: cached sequence plus generator scratch. The cache key
+  // is (c_init, length); a steady-state worker decodes the same
+  // basestation's scrambling identity every subframe and pays generation
+  // once.
+  std::vector<std::uint8_t> scramble_seq;
+  std::vector<std::uint8_t> scramble_x1, scramble_x2;
+  std::uint32_t scramble_c_init = 0;
+  /// Entries of scramble_seq valid for scramble_c_init (the buffer itself
+  /// is grow-only and may be longer than the last generation).
+  std::size_t scramble_len = 0;
+  bool scramble_valid = false;
+
+  // --- Finalize: reassembled transport block (payload + CRC24A bits).
+  std::vector<std::uint8_t> tb_with_crc;
+};
+
+}  // namespace rtopex::phy

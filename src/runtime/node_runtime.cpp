@@ -364,8 +364,14 @@ struct NodeRuntime::Impl {
                        .kind = obs::EventKind::kRecovery, .stage = stage);
   }
 
+  // `job` and `rx_result` are the calling worker's reusable buffers; all
+  // kernel scratch lives in per-thread phy::DecodeWorkspace instances (the
+  // stage methods route through UplinkRxProcessor::thread_workspace()), so
+  // a host thread executing migrated subtasks of this job brings its own
+  // workspace and a steady-state subframe allocates nothing anywhere.
   SubframeRecord process_job(unsigned self_id, phy::UplinkRxJob& job,
-                             const Job& j, bool migrate) {
+                             phy::UplinkRxResult& rx_result, const Job& j,
+                             bool migrate) {
     SubframeRecord rec;
     rec.bs = j.bs;
     rec.index = j.index;
@@ -526,7 +532,8 @@ struct NodeRuntime::Impl {
     } else {
       for (std::size_t i = 0; i < dec_n; ++i) rx->run_decode_subtask(job, i);
     }
-    const phy::UplinkRxResult result = rx->finalize(job);
+    rx->finalize_into(job, phy::UplinkRxProcessor::thread_workspace(),
+                      rx_result);
     TimePoint t3 = clock.now();
     rec.timing.decode = t3 - t2;
     RTOPEX_TRACE_EVENT(trc(), .ts = t3, .bs = j.bs, .index = j.index,
@@ -540,8 +547,8 @@ struct NodeRuntime::Impl {
                       rec.timing.decode / static_cast<Duration>(dec_n));
 
     rec.completion = t3;
-    rec.crc_ok = result.crc_ok;
-    rec.iterations = result.iterations;
+    rec.crc_ok = rx_result.crc_ok;
+    rec.iterations = rx_result.iterations;
     rec.deadline_missed = rec.completion > j.deadline;
     RTOPEX_TRACE_EVENT(trc(), .ts = rec.completion, .bs = j.bs,
                        .index = j.index, .a = rec.deadline_missed ? 1u : 0u,
@@ -575,6 +582,7 @@ struct NodeRuntime::Impl {
     const bool global = config.mode == RuntimeMode::kGlobal;
     WorkerState& self = *workers[id];
     phy::UplinkRxJob job = rx->make_job();
+    phy::UplinkRxResult rx_result;
     auto& mu = global ? global_mu : self.mu;
     auto& cv = global ? global_cv : self.cv;
     auto& queue = global ? global_queue : self.queue;
@@ -597,7 +605,8 @@ struct NodeRuntime::Impl {
         queue.pop_front();
       }
       self.heartbeat.fetch_add(1, std::memory_order_relaxed);
-      self.records.push_back(process_job(id, job, j, /*migrate=*/false));
+      self.records.push_back(
+          process_job(id, job, rx_result, j, /*migrate=*/false));
       if (!global) self.pending.fetch_sub(1, std::memory_order_acq_rel);
     }
   }
@@ -609,6 +618,7 @@ struct NodeRuntime::Impl {
     set_current_thread_name("rtopex-w" + std::to_string(id));
     WorkerState& self = *workers[id];
     phy::UplinkRxJob job = rx->make_job();
+    phy::UplinkRxResult rx_result;
     for (;;) {
       if (should_die(id)) return park(id);
       self.heartbeat.fetch_add(1, std::memory_order_relaxed);
@@ -628,7 +638,8 @@ struct NodeRuntime::Impl {
         }
         if (got) {
           self.pending.fetch_sub(1, std::memory_order_acq_rel);
-          self.records.push_back(process_job(id, job, j, /*migrate=*/true));
+          self.records.push_back(
+              process_job(id, job, rx_result, j, /*migrate=*/true));
         }
         continue;
       }
