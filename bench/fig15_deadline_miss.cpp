@@ -65,10 +65,14 @@ int main(int argc, char** argv) {
       cfg.degrade.enabled = true;
       std::printf("faults enabled: loss/late prob %.3f, degradation on\n",
                   f.loss_prob);
+    } else if (std::strcmp(argv[i], "--adaptive") == 0) {
+      cfg.adaptive.enabled = true;
+      std::printf("online adaptive estimators enabled\n");
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--faults [P]] [--out DIR]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--faults [P]] [--adaptive] [--out DIR]\n",
+                   argv[0]);
       return 1;
     }
   }

@@ -55,10 +55,14 @@ int main(int argc, char** argv) {
       cfg.degrade.enabled = true;
       std::printf("faults enabled: loss/late prob %.3f, degradation on\n",
                   f.loss_prob);
+    } else if (std::strcmp(argv[i], "--adaptive") == 0) {
+      cfg.adaptive.enabled = true;
+      std::printf("online adaptive estimators enabled\n");
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--faults [P]] [--out DIR]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--faults [P]] [--adaptive] [--out DIR]\n",
+                   argv[0]);
       return 1;
     }
   }
@@ -164,7 +168,9 @@ int main(int argc, char** argv) {
                .set("loss_prob", cfg.workload.fronthaul_faults.loss_prob)
                .set("late_prob", cfg.workload.fronthaul_faults.late_prob)
                .set("degrade",
-                    bench::JsonValue::boolean(cfg.degrade.enabled)))
+                    bench::JsonValue::boolean(cfg.degrade.enabled))
+               .set("adaptive",
+                    bench::JsonValue::boolean(cfg.adaptive.enabled)))
       .set("trace_drops", static_cast<double>(trace_drops_total))
       .set("rows", std::move(rows));
   bench::write_bench_json(json_dir + "/BENCH_fig17.json", root);

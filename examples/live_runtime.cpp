@@ -22,6 +22,9 @@
 //   --analyze            run the deadline-miss postmortem over the trace
 //                        after the run: prints the one-line JSON summary
 //                        and a per-cause breakdown (implies tracing)
+//   --adaptive           online adaptive estimators (per-BS iteration
+//                        predictors + Eq. (1) decode fit) in the slack
+//                        check and migration planning
 //
 // Resilience options:
 //   --kill-core N        park worker N mid-run (watchdog fails it over)
@@ -81,6 +84,8 @@ int main(int argc, char** argv) {
       metrics_period_ms = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--analyze") == 0) {
       analyze = true;
+    } else if (std::strcmp(argv[i], "--adaptive") == 0) {
+      cfg.adaptive = true;
     } else if (std::strcmp(argv[i], "--kill-core") == 0 && i + 1 < argc) {
       kill_core = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--at-ms") == 0 && i + 1 < argc) {
@@ -92,7 +97,7 @@ int main(int argc, char** argv) {
                    "usage: %s [partitioned|global|rtopex]\n"
                    "  [--basestations N] [--subframes N] [--period-ms T]\n"
                    "  [--trace FILE] [--trace-csv FILE] [--metrics FILE]\n"
-                   "  [--metrics-period-ms T] [--analyze]\n"
+                   "  [--metrics-period-ms T] [--analyze] [--adaptive]\n"
                    "  [--kill-core N] [--at-ms T] [--fronthaul-loss P]\n",
                    argv[0]);
       return 1;

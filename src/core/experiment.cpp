@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "phy/lte_params.hpp"
 #include "transport/transport.hpp"
 
 namespace rtopex::core {
@@ -37,12 +38,21 @@ std::vector<sim::SubframeWork> make_workload(const ExperimentConfig& config) {
 
 ExperimentResult run_scheduler(const ExperimentConfig& config,
                                std::span<const sim::SubframeWork> work) {
+  // Sync the Eq. (1) regressor context from the workload so callers only
+  // flip adaptive.enabled.
+  sched::AdaptiveConfig adaptive = config.adaptive;
+  adaptive.num_antennas = config.workload.num_antennas;
+  adaptive.num_prb =
+      phy::bandwidth_config(config.workload.bandwidth).num_prb;
+  adaptive.max_iterations = config.workload.max_iterations;
+
   std::unique_ptr<sched::NodeScheduler> scheduler;
   switch (config.scheduler) {
     case SchedulerKind::kPartitioned: {
       sched::PartitionedConfig pc;
       pc.rtt_half = config.rtt_half;
       pc.degrade = config.degrade;
+      pc.adaptive = adaptive;
       pc.record_samples = config.record_samples;
       pc.tracer = config.tracer;
       scheduler = std::make_unique<sched::PartitionedScheduler>(
@@ -52,6 +62,7 @@ ExperimentResult run_scheduler(const ExperimentConfig& config,
     case SchedulerKind::kGlobal: {
       sched::GlobalConfig gc = config.global;
       gc.degrade = config.degrade;
+      gc.adaptive = adaptive;
       gc.record_samples = config.record_samples;
       gc.tracer = config.tracer;
       scheduler = std::make_unique<sched::GlobalScheduler>(
@@ -62,6 +73,7 @@ ExperimentResult run_scheduler(const ExperimentConfig& config,
       sched::RtOpexConfig rc = config.rtopex;
       rc.rtt_half = config.rtt_half;
       rc.degrade = config.degrade;
+      rc.adaptive = adaptive;
       rc.record_samples = config.record_samples;
       rc.tracer = config.tracer;
       scheduler = std::make_unique<sched::RtOpexScheduler>(

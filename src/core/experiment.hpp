@@ -38,6 +38,12 @@ struct ExperimentConfig {
   /// the generated arrivals, not of the scheduler).
   sched::DegradeConfig degrade;
 
+  /// Online adaptive estimation, applied to whichever scheduler runs. The
+  /// Eq. (1) regressor context (antennas, PRBs, iteration cap) is synced
+  /// from `workload` automatically — set only `adaptive.enabled` (and
+  /// optionally `adaptive.params`).
+  sched::AdaptiveConfig adaptive;
+
   model::TimingModel timing = model::paper_gpp_model();
   model::IterationModelParams iteration;
   model::PlatformErrorParams platform_error;

@@ -42,9 +42,15 @@ Reconstruction reconstruct(const TraceStore& store,
   if (store.events.empty()) return rec;
 
   // Single time-ordered view; the store interleaves per-track FIFO runs.
+  // kJobSpec is workload-capture data for the what-if replayer, not an
+  // observation — filtering it here (before the horizon computation and
+  // the per-subframe grouping) keeps analyze() identical whether or not a
+  // run captured its workload.
   std::vector<const TraceEvent*> ordered;
   ordered.reserve(store.events.size());
-  for (const TraceEvent& ev : store.events) ordered.push_back(&ev);
+  for (const TraceEvent& ev : store.events)
+    if (ev.kind != EventKind::kJobSpec) ordered.push_back(&ev);
+  if (ordered.empty()) return rec;
   std::stable_sort(ordered.begin(), ordered.end(),
                    [](const TraceEvent* a, const TraceEvent* b) {
                      return a->ts < b->ts;

@@ -1,11 +1,20 @@
 // Reloads the flat CSV written by obs::write_trace_csv back into a
 // TraceStore, so the analyzer (and the rtopex_analyze CLI) can run on an
 // exported trace file long after the run that produced it.
+//
+// Format versions:
+//  * v1 — header first column "ts_ns", no footer (pre-footer files; still
+//    loadable, but truncation is undetectable).
+//  * v2 — header first column "ts_ns_v2"; the last row is a footer sentinel
+//    (kind = kTraceCsvFooterKind) carrying the event count and the
+//    ring/store drop counters. A v2 file with a missing footer or a
+//    mismatched count is rejected: its tail was cut off.
 #include <cmath>
 #include <stdexcept>
 
 #include "common/csv.hpp"
 #include "obs/analysis/analysis.hpp"
+#include "obs/chrome_trace.hpp"
 
 namespace rtopex::obs::analysis {
 
@@ -23,8 +32,40 @@ std::uint32_t as_u32(double v) {
 }  // namespace
 
 TraceStore load_trace_csv(const std::string& path) {
-  const CsvTable table = read_csv(path);
+  CsvTable table = read_csv(path);
+
+  // Version gate on the first header column. Headerless files (or files
+  // whose first row parsed as data) are rejected outright — every version
+  // of write_trace_csv has emitted a header.
+  if (table.header.empty())
+    throw std::runtime_error("load_trace_csv: missing header in " + path);
+  const std::string& version = table.header.front();
+  const bool v2 = version == "ts_ns_v2";
+  if (!v2 && version != "ts_ns")
+    throw std::runtime_error("load_trace_csv: unknown trace CSV version \"" +
+                             version + "\" in " + path);
+
   TraceStore store;
+  if (v2) {
+    // The footer must be the last row; anything else means the file lost
+    // its tail (truncated download, interrupted writer, ...).
+    if (table.rows.empty() || table.rows.back().size() != 8 ||
+        as_u32(table.rows.back()[2]) != kTraceCsvFooterKind)
+      throw std::runtime_error(
+          "load_trace_csv: trace CSV footer missing (file truncated?): " +
+          path);
+    const std::vector<double>& footer = table.rows.back();
+    const std::uint64_t expected = static_cast<std::uint64_t>(as_i64(footer[0]));
+    store.ring_drops = as_u32(footer[6]);
+    store.store_drops = as_u32(footer[7]);
+    table.rows.pop_back();
+    if (table.rows.size() != expected)
+      throw std::runtime_error(
+          "load_trace_csv: event count mismatch (footer says " +
+          std::to_string(expected) + ", file has " +
+          std::to_string(table.rows.size()) + "): " + path);
+  }
+
   store.events.reserve(table.rows.size());
   for (const std::vector<double>& row : table.rows) {
     if (row.size() != 8)
@@ -34,7 +75,7 @@ TraceStore load_trace_csv(const std::string& path) {
     ev.ts = as_i64(row[0]);
     ev.core = as_u32(row[1]);
     const std::uint32_t kind = as_u32(row[2]);
-    if (kind > static_cast<std::uint32_t>(EventKind::kArrival))
+    if (kind > static_cast<std::uint32_t>(EventKind::kJobSpec))
       throw std::runtime_error("load_trace_csv: unknown event kind in " +
                                path);
     ev.kind = static_cast<EventKind>(kind);

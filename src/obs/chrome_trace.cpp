@@ -29,6 +29,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kLost: return "lost";
     case EventKind::kLate: return "late";
     case EventKind::kArrival: return "arrival";
+    case EventKind::kJobSpec: return "job_spec";
   }
   return "unknown";
 }
@@ -209,13 +210,27 @@ void write_chrome_trace(const std::string& path, const TraceStore& store,
 
 void write_trace_csv(const std::string& path, const TraceStore& store) {
   CsvWriter csv(path);
-  csv.write_header({"ts_ns", "core", "kind", "stage", "bs", "index", "a", "b"});
+  // Version-tagged header (v2): the first column name carries the format
+  // version so the loader can reject files written by a future layout
+  // instead of misreading them.
+  csv.write_header(
+      {"ts_ns_v2", "core", "kind", "stage", "bs", "index", "a", "b"});
   for (const TraceEvent& ev : store.events)
     csv.write_row({static_cast<double>(ev.ts), static_cast<double>(ev.core),
                    static_cast<double>(static_cast<unsigned>(ev.kind)),
                    static_cast<double>(static_cast<unsigned>(ev.stage)),
                    static_cast<double>(ev.bs), static_cast<double>(ev.index),
                    static_cast<double>(ev.a), static_cast<double>(ev.b)});
+  // Footer sentinel (kind = 255, never a real event): carries the event
+  // count in the ts column plus the trace-loss counters, so a file whose
+  // tail was cut off — even at a clean line boundary — fails loading
+  // loudly instead of silently yielding a short stream.
+  csv.write_row({static_cast<double>(store.events.size()), 0.0,
+                 static_cast<double>(kTraceCsvFooterKind), 0.0, 0.0, 0.0,
+                 static_cast<double>(clamp_payload_ns(
+                     static_cast<std::int64_t>(store.ring_drops))),
+                 static_cast<double>(clamp_payload_ns(
+                     static_cast<std::int64_t>(store.store_drops)))});
 }
 
 }  // namespace rtopex::obs

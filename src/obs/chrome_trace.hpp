@@ -32,7 +32,14 @@ void write_chrome_trace(const std::string& path, const TraceStore& store,
                         const ChromeTraceOptions& options = {});
 
 /// Flat numeric CSV (ts_ns, core, kind, stage, bs, index, a, b) — one row
-/// per event, kinds/stages as their enum codes, via common/csv.
+/// per event, kinds/stages as their enum codes, via common/csv. The header
+/// names the format version in its first column ("ts_ns_v2") and the last
+/// row is a footer sentinel (kind = kTraceCsvFooterKind) carrying the event
+/// count and the ring/store drop counters, so truncated files are
+/// detectable on load.
 void write_trace_csv(const std::string& path, const TraceStore& store);
+
+/// Kind code reserved for the trace-CSV footer row; never a real event.
+inline constexpr unsigned kTraceCsvFooterKind = 255;
 
 }  // namespace rtopex::obs

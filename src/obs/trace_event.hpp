@@ -41,6 +41,10 @@ enum class EventKind : std::uint8_t {
   kLate,               ///< arrived after its deadline had passed; a = ns late.
   kArrival,            ///< fronthaul delivery; a = deadline - arrival (ns,
                        ///< clamped at 0), b = arrival - radio_time (ns).
+  kJobSpec,            ///< workload-capture record for the what-if replayer:
+                       ///< ts = radio time, a = field id, b = field value
+                       ///< (see obs/analysis/replay.hpp). Ignored by the
+                       ///< postmortem analyzer.
 };
 
 // Payload conventions consumed by the postmortem analyzer (obs/analysis):
@@ -53,6 +57,10 @@ enum class EventKind : std::uint8_t {
 //    degraded).
 //  * kSubframeEnd carries `a` = 1 on a deadline miss and `b` = the turbo
 //    iterations actually executed (0 when the decode never ran).
+//  * kJobSpec is not consumed by the analyzer at all: it carries one field
+//    of the offered workload (costs, iteration counts, deadlines) so the
+//    what-if replayer can rebuild the exact per-subframe job the scheduler
+//    saw. The field-id vocabulary lives in obs/analysis/replay.hpp.
 
 /// Compact fixed-size trace record. `core` doubles as the ring/track index;
 /// non-core producers (the transport ticker) use a dedicated extra track.

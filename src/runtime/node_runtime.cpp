@@ -9,7 +9,9 @@
 
 #include "channel/channel.hpp"
 #include "common/rng.hpp"
+#include "model/online_fit.hpp"
 #include "model/task_cost_model.hpp"
+#include "obs/analysis/replay.hpp"  // kJobSpec field vocabulary (header-only)
 #include "obs/histogram.hpp"
 #include "obs/tracer.hpp"
 #include "phy/uplink_tx.hpp"
@@ -87,6 +89,29 @@ struct NodeRuntime::Impl {
   std::atomic<std::int64_t> demod_est_ns;
   Duration migration_cost = microseconds(20);
 
+  /// Online adaptive estimators (null unless config.adaptive). Workers
+  /// observe and predict concurrently, so access goes through the mutex;
+  /// the critical sections are a handful of FLOPs against ms-scale jobs.
+  struct AdaptiveState {
+    std::mutex mu;
+    model::OnlineEstimators est;
+    explicit AdaptiveState(const RuntimeConfig& cfg)
+        : est(cfg.phy.num_antennas, cfg.phy.num_prb(), cfg.num_basestations,
+              cfg.phy.max_iterations, cfg.adaptive_params) {}
+  };
+  std::unique_ptr<AdaptiveState> adaptive;
+
+  Duration adaptive_fft_subtask(Duration fallback) {
+    if (!adaptive) return fallback;
+    std::lock_guard lock(adaptive->mu);
+    return adaptive->est.fft_subtask_or(fallback);
+  }
+  Duration adaptive_decode_subtask(Duration fallback) {
+    if (!adaptive) return fallback;
+    std::lock_guard lock(adaptive->mu);
+    return adaptive->est.decode_subtask_or(fallback);
+  }
+
   std::atomic<std::size_t> migrations{0};
   std::atomic<std::size_t> recoveries{0};
   std::atomic<std::size_t> flag_timeouts{0};
@@ -118,6 +143,7 @@ struct NodeRuntime::Impl {
         decode_subtask_est_ns(cfg.initial_decode_subtask_est),
         demod_est_ns(cfg.initial_demod_est),
         fault_model(cfg.resilience.fronthaul_faults) {
+    if (cfg.adaptive) adaptive = std::make_unique<AdaptiveState>(cfg);
     for (unsigned i = 0; i < worker_count(cfg); ++i) {
       workers.push_back(std::make_unique<WorkerState>());
       workers.back()->mailbox.set_owner(i);
@@ -195,6 +221,65 @@ struct NodeRuntime::Impl {
     // EWMA with alpha = 1/4.
     const std::int64_t old = est.load(std::memory_order_relaxed);
     est.store(old + (sample - old) / 4, std::memory_order_relaxed);
+  }
+
+  /// Workload capture: emits one kJobSpec record per field onto `track`
+  /// (the emitter's own SPSC track) so the drained trace is replayable by
+  /// obs/analysis/replay. Costs carry the measured stage times when the
+  /// subframe was actually processed; for dropped/late/lost subframes —
+  /// never decoded, so never measured — the planning estimates in force
+  /// stand in, which keeps a counterfactual replay able to schedule them.
+  void emit_job_spec(std::uint32_t track, const Job& j, unsigned mcs,
+                     const SubframeRecord& rec, std::size_t fft_n,
+                     std::size_t dec_n) {
+    if (!tracer) return;
+    using Field = obs::analysis::JobSpecField;
+    const unsigned lm = std::max(1u, config.phy.max_iterations);
+    const Duration fft_sub = fft_subtask_est_ns.load();
+    const Duration dec_sub = decode_subtask_est_ns.load();
+    const bool measured =
+        !rec.lost && !rec.late_arrival && !rec.dropped && rec.timing.decode > 0;
+    const Duration fft =
+        measured ? rec.timing.fft : fft_sub * static_cast<Duration>(fft_n);
+    const Duration demod = measured ? rec.timing.demod : demod_est_ns.load();
+    const Duration decode =
+        measured ? rec.timing.decode : dec_sub * static_cast<Duration>(dec_n);
+    const unsigned iters = measured ? std::max(1u, rec.iterations) : lm;
+    auto put = [&](Field field, std::uint32_t value) {
+      RTOPEX_TRACE_EVENT(trc(), .ts = j.radio_time, .bs = j.bs,
+                         .index = j.index,
+                         .a = static_cast<std::uint32_t>(field), .b = value,
+                         .core = track, .kind = obs::EventKind::kJobSpec);
+    };
+    put(Field::kMeta, (mcs & 0xffu) | ((lm & 0xffu) << 8) |
+                          (static_cast<std::uint32_t>(
+                               measured ? rec.crc_ok : true)
+                           << 16) |
+                          (static_cast<std::uint32_t>(rec.lost) << 17));
+    put(Field::kIterations, iters);
+    put(Field::kArrivalOffsetNs, obs::clamp_payload_ns(j.arrival - j.radio_time));
+    put(Field::kDeadlineOffsetNs,
+        obs::clamp_payload_ns(j.deadline - j.radio_time));
+    put(Field::kFftNs, obs::clamp_payload_ns(fft));
+    put(Field::kDemodNs, obs::clamp_payload_ns(demod));
+    put(Field::kDecodeNs, obs::clamp_payload_ns(decode));
+    put(Field::kFftSubtasks, static_cast<std::uint32_t>(fft_n));
+    put(Field::kFftSubtaskNs,
+        obs::clamp_payload_ns(fft / static_cast<Duration>(std::max<std::size_t>(
+                                        1, fft_n))));
+    put(Field::kDecodeSubtasks, static_cast<std::uint32_t>(dec_n));
+    put(Field::kDecodeSubtaskNs,
+        obs::clamp_payload_ns(
+            decode / static_cast<Duration>(std::max<std::size_t>(1, dec_n))));
+    put(Field::kWcetFftNs,
+        obs::clamp_payload_ns(fft_sub * static_cast<Duration>(fft_n)));
+    put(Field::kWcetDemodNs, obs::clamp_payload_ns(demod_est_ns.load()));
+    put(Field::kWcetDecodeNs,
+        obs::clamp_payload_ns(dec_sub * static_cast<Duration>(dec_n)));
+    put(Field::kWcetFftSubtaskNs, obs::clamp_payload_ns(fft_sub));
+    put(Field::kWcetDecodeSubtaskNs, obs::clamp_payload_ns(dec_sub));
+    put(Field::kDecodeOptimisticNs,
+        obs::clamp_payload_ns(decode / static_cast<Duration>(iters)));
   }
 
   /// Runs a parallelizable stage with migration; returns subtask counts.
@@ -394,6 +479,10 @@ struct NodeRuntime::Impl {
                        .core = self_id,
                        .kind = obs::EventKind::kSubframeBegin);
 
+    const std::size_t fft_n = rx->fft_subtask_count();
+    const std::size_t dec_n_est = phy::num_code_blocks(
+        j.variant->mcs, config.phy.num_prb());
+
     // A subframe that arrived after its deadline had already passed (a late
     // fronthaul delivery) is classified and skipped regardless of
     // enforce_deadlines — there is no decision to make, the deadline is
@@ -409,6 +498,7 @@ struct NodeRuntime::Impl {
       RTOPEX_TRACE_EVENT(trc(), .ts = rec.completion, .bs = j.bs,
                          .index = j.index, .a = 1, .core = self_id,
                          .kind = obs::EventKind::kSubframeEnd);
+      emit_job_spec(self_id, j, j.variant->mcs, rec, fft_n, dec_n_est);
       return rec;
     }
 
@@ -420,16 +510,21 @@ struct NodeRuntime::Impl {
     // degradation enabled, first retry the estimate with the
     // turbo-iteration cap shrunk below Lm — trading decode quality for
     // deadline compliance — and only drop when even the minimal-quality
-    // estimate cannot fit.
-    const std::size_t fft_n = rx->fft_subtask_count();
-    const std::size_t dec_n_est = phy::num_code_blocks(
-        j.variant->mcs, config.phy.num_prb());
+    // estimate cannot fit. With adaptive estimation on, the learned
+    // MCS-aware Eq. (1) fit and per-BS iteration predictors replace the
+    // single global EWMA products (falling back to them until warmed up).
     if (config.enforce_deadlines) {
-      const Duration base =
-          fft_subtask_est_ns.load() * static_cast<Duration>(fft_n) +
-          demod_est_ns.load();
-      const Duration decode_full =
+      Duration fft_sub = fft_subtask_est_ns.load();
+      Duration decode_full =
           decode_subtask_est_ns.load() * static_cast<Duration>(dec_n_est);
+      if (adaptive) {
+        std::lock_guard lock(adaptive->mu);
+        fft_sub = adaptive->est.fft_subtask_or(fft_sub);
+        decode_full =
+            adaptive->est.predict_decode(j.bs, j.variant->mcs, decode_full);
+      }
+      const Duration base =
+          fft_sub * static_cast<Duration>(fft_n) + demod_est_ns.load();
       if (clock.now() + base + decode_full > j.deadline) {
         bool admitted = false;
         const unsigned lm = config.phy.max_iterations;
@@ -466,21 +561,23 @@ struct NodeRuntime::Impl {
           RTOPEX_TRACE_EVENT(trc(), .ts = rec.completion, .bs = j.bs,
                              .index = j.index, .a = 1, .core = self_id,
                              .kind = obs::EventKind::kSubframeEnd);
+          emit_job_spec(self_id, j, j.variant->mcs, rec, fft_n, dec_n_est);
           return rec;
         }
       }
     }
 
     // --- FFT ---
+    const Duration fft_sub_est =
+        adaptive_fft_subtask(fft_subtask_est_ns.load());
     TimePoint t0 = clock.now();
     RTOPEX_TRACE_EVENT(trc(), .ts = t0, .bs = j.bs, .index = j.index,
                        .a = obs::clamp_payload_ns(
-                           fft_subtask_est_ns.load() *
-                           static_cast<Duration>(fft_n)),
+                           fft_sub_est * static_cast<Duration>(fft_n)),
                        .core = self_id, .kind = obs::EventKind::kStageBegin,
                        .stage = obs::Stage::kFft);
     if (migrate) {
-      run_stage_migrating(self_id, job, j, fft_n, fft_subtask_est_ns.load(),
+      run_stage_migrating(self_id, job, j, fft_n, fft_sub_est,
                           /*is_fft=*/true, rec.timing);
     } else {
       for (std::size_t i = 0; i < fft_n; ++i) rx->run_fft_subtask(job, i);
@@ -513,21 +610,32 @@ struct NodeRuntime::Impl {
     const std::size_t dec_n = rx->decode_subtask_count(job);
     // Estimate the admission logic would have used: the EWMA per-subtask
     // decode time tracks full-quality (Lm) decodes, scaled to the cap when
-    // the subframe was admitted degraded.
+    // the subframe was admitted degraded. With adaptive estimation on, the
+    // Eq. (1) fit's prediction (at the per-BS predicted iteration count)
+    // takes over, and the migration chunks are sized with the learned
+    // per-subtask time instead of the global EWMA.
     const unsigned lm = config.phy.max_iterations;
-    Duration decode_est =
-        decode_subtask_est_ns.load() * static_cast<Duration>(dec_n);
+    const Duration dec_sub_est =
+        adaptive_decode_subtask(decode_subtask_est_ns.load());
+    Duration decode_est = dec_sub_est * static_cast<Duration>(dec_n);
+    unsigned assumed_iters = job.iteration_cap > 0 ? job.iteration_cap : lm;
+    if (adaptive) {
+      std::lock_guard lock(adaptive->mu);
+      decode_est = adaptive->est.predict_decode(j.bs, j.variant->mcs,
+                                                decode_est);
+      if (job.iteration_cap == 0)
+        assumed_iters = adaptive->est.predict_iterations(j.bs);
+    }
     if (job.iteration_cap > 0 && lm > 0)
       decode_est = decode_est * static_cast<Duration>(job.iteration_cap) /
                    static_cast<Duration>(lm);
     RTOPEX_TRACE_NOW(trc(), .bs = j.bs, .index = j.index,
                      .a = obs::clamp_payload_ns(decode_est),
-                     .b = job.iteration_cap > 0 ? job.iteration_cap : lm,
+                     .b = assumed_iters,
                      .core = self_id, .kind = obs::EventKind::kStageBegin,
                      .stage = obs::Stage::kDecode);
     if (migrate && dec_n > 1) {
-      run_stage_migrating(self_id, job, j, dec_n,
-                          decode_subtask_est_ns.load(),
+      run_stage_migrating(self_id, job, j, dec_n, dec_sub_est,
                           /*is_fft=*/false, rec.timing);
     } else {
       for (std::size_t i = 0; i < dec_n; ++i) rx->run_decode_subtask(job, i);
@@ -550,10 +658,19 @@ struct NodeRuntime::Impl {
     rec.crc_ok = rx_result.crc_ok;
     rec.iterations = rx_result.iterations;
     rec.deadline_missed = rec.completion > j.deadline;
+    if (adaptive && job.iteration_cap == 0) {
+      std::lock_guard lock(adaptive->mu);
+      adaptive->est.observe_fft(rec.timing.fft /
+                                static_cast<Duration>(fft_n));
+      adaptive->est.observe_decode(
+          j.bs, j.variant->mcs, rec.iterations, rec.timing.decode,
+          rec.timing.decode / static_cast<Duration>(dec_n));
+    }
     RTOPEX_TRACE_EVENT(trc(), .ts = rec.completion, .bs = j.bs,
                        .index = j.index, .a = rec.deadline_missed ? 1u : 0u,
                        .b = rec.iterations, .core = self_id,
                        .kind = obs::EventKind::kSubframeEnd);
+    emit_job_spec(self_id, j, j.variant->mcs, rec, fft_n, dec_n);
     return rec;
   }
 
@@ -954,6 +1071,17 @@ RuntimeReport NodeRuntime::run() {
           RTOPEX_TRACE_NOW(im.trc(), .bs = bs, .index = j,
                            .core = im.ticker_track(),
                            .kind = obs::EventKind::kLost);
+          // Capture the lost subframe too (on the ticker's own track): a
+          // replay must see the full offered load, losses included.
+          Job lost_job;
+          lost_job.bs = bs;
+          lost_job.index = j;
+          lost_job.radio_time = radio_time;
+          lost_job.arrival = arrival;
+          lost_job.deadline = radio_time + cfg.deadline_budget;
+          im.emit_job_spec(im.ticker_track(), lost_job, rec.mcs, rec,
+                           im.rx->fft_subtask_count(),
+                           phy::num_code_blocks(rec.mcs, cfg.phy.num_prb()));
           continue;
         }
         at += f.extra_delay;

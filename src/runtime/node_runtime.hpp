@@ -24,6 +24,7 @@
 
 #include "common/resilience.hpp"
 #include "common/time_types.hpp"
+#include "model/online_fit.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/tracer.hpp"
 #include "phy/uplink_rx.hpp"
@@ -91,6 +92,13 @@ struct RuntimeConfig {
   /// EWMA-estimated execution time with the remaining slack and drop the
   /// subframe when it cannot fit. Disabled configs only record misses.
   bool enforce_deadlines = true;
+  /// Online adaptive estimation (opt-in): per-basestation turbo-iteration
+  /// predictors and a streaming Eq. (1) decode fit sharpen the slack check
+  /// and the migration chunk sizing. The static seeds above stay in force
+  /// as fallbacks until the fit warms up; with `adaptive` false the
+  /// original single-EWMA behaviour is untouched.
+  bool adaptive = false;
+  model::AdaptiveParams adaptive_params;
   bool pin_threads = false;       ///< attempt CPU affinity (best effort).
   bool try_fifo_priority = false; ///< attempt SCHED_FIFO (best effort).
   std::uint64_t seed = 1;

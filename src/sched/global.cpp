@@ -38,6 +38,11 @@ sim::SchedulerMetrics GlobalScheduler::run(
   std::vector<bool> used(config_.num_cores, false);
   Rng pick_rng(config_.selection_seed);
 
+  std::optional<model::OnlineEstimators> estimators =
+      make_estimators(config_.adaptive, num_basestations_);
+  model::OnlineEstimators* const adaptive =
+      estimators ? &*estimators : nullptr;
+
   // Earliest-free core; among cores idle at the dispatch instant the choice
   // is uniform at random (no basestation affinity — see GlobalConfig).
   auto choose_core = [&](TimePoint head_arrival) {
@@ -101,7 +106,7 @@ sim::SchedulerMetrics GlobalScheduler::run(
                        .kind = obs::EventKind::kSubframeBegin);
     const SerialOutcome o =
         execute_serial(w, start, penalty, config_.admission, config_.degrade,
-                       tracer, core_id);
+                       tracer, core_id, adaptive);
     last_bs[core_id] = static_cast<int>(w.bs);
     used[core_id] = true;
     free_at[core_id] = o.end;
@@ -118,6 +123,7 @@ sim::SchedulerMetrics GlobalScheduler::run(
     ++metrics.per_bs[w.bs].subframes;
     account_degrade(o, metrics);
     account_stages(o, metrics);
+    account_decode_estimate(o, w, config_.admission, metrics);
     if (o.miss) {
       ++metrics.deadline_misses;
       ++metrics.per_bs[w.bs].misses;

@@ -37,6 +37,8 @@ struct GlobalConfig {
   std::uint64_t selection_seed = 0x9e3779b9;
   /// Graceful degradation on a failed decode slack check.
   DegradeConfig degrade;
+  /// Online adaptive decode-admission estimation (off: static WCET seeds).
+  AdaptiveConfig adaptive;
   /// Fill the raw gap_us / processing_time_us sample vectors in addition to
   /// the bounded histograms (costs memory on big runs).
   bool record_samples = false;

@@ -34,6 +34,11 @@ sim::SchedulerMetrics PartitionedScheduler::run(
   const std::span<const sim::SubframeWork> active =
       filtered ? std::span<const sim::SubframeWork>(*filtered) : work;
 
+  std::optional<model::OnlineEstimators> estimators =
+      make_estimators(config_.adaptive, num_basestations_);
+  model::OnlineEstimators* const adaptive =
+      estimators ? &*estimators : nullptr;
+
   for (const auto& w : active) {
     if (w.bs >= num_basestations_)
       throw std::invalid_argument("run: basestation id out of range");
@@ -56,7 +61,8 @@ sim::SchedulerMetrics PartitionedScheduler::run(
                        .kind = obs::EventKind::kSubframeBegin);
 
     const SerialOutcome o = execute_serial(w, start, 0, config_.admission,
-                                           config_.degrade, tracer, core);
+                                           config_.degrade, tracer, core,
+                                           adaptive);
     free_at[core] = o.end;
     used[core] = true;
     RTOPEX_TRACE_EVENT(tracer, .ts = o.end, .bs = w.bs, .index = w.index,
@@ -71,6 +77,7 @@ sim::SchedulerMetrics PartitionedScheduler::run(
     ++metrics.per_bs[w.bs].subframes;
     account_degrade(o, metrics);
     account_stages(o, metrics);
+    account_decode_estimate(o, w, config_.admission, metrics);
     if (o.miss) {
       ++metrics.deadline_misses;
       ++metrics.per_bs[w.bs].misses;

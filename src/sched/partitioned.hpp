@@ -18,6 +18,8 @@ struct PartitionedConfig {
   bool record_timeline = false;
   /// Graceful degradation on a failed decode slack check.
   DegradeConfig degrade;
+  /// Online adaptive decode-admission estimation (off: static WCET seeds).
+  AdaptiveConfig adaptive;
   /// Fill the raw gap_us / processing_time_us sample vectors in addition to
   /// the bounded histograms (costs memory on big runs).
   bool record_samples = false;

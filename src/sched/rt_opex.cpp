@@ -109,6 +109,11 @@ sim::SchedulerMetrics RtOpexScheduler::run(
     cores[assign[i]].own.emplace_back(
         active[i].radio_time + config_.rtt_half, active[i].arrival);
 
+  std::optional<model::OnlineEstimators> estimators =
+      make_estimators(config_.adaptive, num_basestations_);
+  model::OnlineEstimators* const adaptive =
+      estimators ? &*estimators : nullptr;
+
   // Predicted idle window of core k at time t: until the *nominal* arrival
   // of its next own subframe. Actual preemption happens at the *actual*
   // arrival.
@@ -358,18 +363,31 @@ sim::SchedulerMetrics RtOpexScheduler::run(
     // against the post-migration worst case: migration is what lets RT-OPEX
     // admit high-MCS subframes that partitioned scheduling must drop.
     if (!miss) {
+      // Per-subtask time the migration planner and the admission check
+      // assume: the WCET constant, or — adaptive — the learned EWMA over
+      // executed per-code-block times (Algorithm 1 with adaptive chunks).
+      const Duration planning_subtask =
+          adaptive ? adaptive->decode_subtask_or(w.wcet.decode_subtask)
+                   : w.wcet.decode_subtask;
       MigrationPlan plan;  // empty unless decode migration is enabled
       unsigned planned_local = w.wcet.decode_subtasks;
       if (config_.migrate_decode && w.costs.decode_subtasks > 1) {
         const TimePoint par_start_pred = t + w.wcet.decode_serial();
         plan = plan_migration(
             w.wcet.decode_subtasks,
-            std::max<Duration>(w.wcet.decode_subtask, 1),
+            std::max<Duration>(planning_subtask, 1),
             config_.migration_cost, gather_candidates(self, par_start_pred),
             config_.constraints);
         planned_local = plan.local_subtasks;
       }
       const Duration admission_estimate =
+          config_.admission == AdmissionPolicy::kWcet
+              ? w.wcet.decode_serial() +
+                    static_cast<Duration>(planned_local) * planning_subtask
+              : w.decode_optimistic;
+      // Static reference for estimate-accuracy accounting: the same plan
+      // costed with the frozen WCET constant.
+      const Duration static_estimate =
           config_.admission == AdmissionPolicy::kWcet
               ? w.wcet.decode_serial() +
                     static_cast<Duration>(planned_local) *
@@ -422,8 +440,12 @@ sim::SchedulerMetrics RtOpexScheduler::run(
         executed_iters = w.iterations;
         RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
                            .a = obs::clamp_payload_ns(admission_estimate),
-                           .b = config_.admission == AdmissionPolicy::kWcet
-                                    ? w.lm : 1u,
+                           .b = adaptive
+                                    ? adaptive->predict_iterations(w.bs)
+                                    : (config_.admission ==
+                                               AdmissionPolicy::kWcet
+                                           ? w.lm
+                                           : 1u),
                            .core = self, .kind = obs::EventKind::kStageBegin,
                            .stage = obs::Stage::kDecode);
         if (config_.migrate_decode) {
@@ -456,6 +478,22 @@ sim::SchedulerMetrics RtOpexScheduler::run(
                              .core = self,
                              .kind = obs::EventKind::kTerminate,
                              .stage = obs::Stage::kDecode);
+        if (!terminated)
+          metrics.record_decode_estimate(to_us(admission_estimate),
+                                         to_us(static_estimate),
+                                         to_us(t - decode_start));
+      }
+      if (adaptive && !miss) {
+        // Feed the executed stage back: the full serial decode work
+        // content (what a single core would have run) as the Eq. (1)
+        // sample, plus the per-code-block time for chunk sizing.
+        adaptive->observe_fft(w.costs.fft_subtask);
+        adaptive->observe_decode(w.bs, w.mcs, executed_iters,
+                                 degrade_level == DegradeLevel::kNone
+                                     ? w.costs.decode
+                                     : degraded_decode_time(
+                                           w, std::max(1u, executed_iters)),
+                                 w.costs.decode_subtask);
       }
     }
 

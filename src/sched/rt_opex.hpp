@@ -48,6 +48,11 @@ struct RtOpexConfig {
   /// fall back to a serial decode with the iteration cap shrunk before
   /// dropping the subframe.
   DegradeConfig degrade;
+  /// Online adaptive estimation: Algorithm-1 migration chunks sized with
+  /// the learned per-code-block decode time (EWMA over executed subtask
+  /// durations) instead of the fixed WCET constant, and the post-migration
+  /// admission estimate built from it (off: static WCET seeds).
+  AdaptiveConfig adaptive;
   /// Injected fail-stop core failures: from `at` onward the core takes no
   /// new subframes (its slots are repartitioned round-robin across the
   /// survivors, mirroring the runtime watchdog) and it is never a migration

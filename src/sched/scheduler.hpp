@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/resilience.hpp"
+#include "model/online_fit.hpp"
 #include "sim/metrics.hpp"
 #include "sim/workload.hpp"
 
@@ -63,6 +64,26 @@ struct DegradeConfig {
   bool enabled = false;
   unsigned min_iterations = 1;
 };
+
+/// Opt-in online adaptive estimation (ROADMAP item 5), shared by every
+/// policy. When enabled, run() builds a model::OnlineEstimators bundle and
+/// the decode admission estimate becomes the streaming Eq. (1) fit at the
+/// per-BS predicted iteration count instead of the frozen WCET/optimistic
+/// seed; RT-OPEX additionally sizes Algorithm-1 migration chunks with the
+/// learned per-code-block time. Disabled (the default), every decision is
+/// bit-identical to the static path. The regressor context fields are
+/// synced from the workload config by core::run_scheduler.
+struct AdaptiveConfig {
+  bool enabled = false;
+  model::AdaptiveParams params;
+  unsigned num_antennas = 2;
+  unsigned num_prb = 50;        ///< PRBs of the cell (10 MHz default).
+  unsigned max_iterations = 4;  ///< turbo Lm (PR-2 iteration cap).
+};
+
+/// The per-run estimator bundle, or nullopt when adaptive is disabled.
+std::optional<model::OnlineEstimators> make_estimators(
+    const AdaptiveConfig& cfg, unsigned num_basestations);
 
 /// Classifies fronthaul-faulted subframes (lost / arrived past deadline)
 /// into `metrics` and returns the remaining executable workload. Lost

@@ -12,6 +12,14 @@ Duration decode_admission_estimate(const sim::SubframeWork& w,
                                           : w.decode_optimistic;
 }
 
+std::optional<model::OnlineEstimators> make_estimators(
+    const AdaptiveConfig& cfg, unsigned num_basestations) {
+  if (!cfg.enabled) return std::nullopt;
+  return model::OnlineEstimators(cfg.num_antennas, cfg.num_prb,
+                                 num_basestations, cfg.max_iterations,
+                                 cfg.params);
+}
+
 namespace {
 
 /// Model-predicted (jitter-free) full decode duration at `l` iterations:
@@ -98,7 +106,8 @@ SerialOutcome execute_serial(const sim::SubframeWork& w, TimePoint start,
                              Duration entry_penalty,
                              AdmissionPolicy admission,
                              const DegradeConfig& degrade,
-                             obs::Tracer* tracer, unsigned core) {
+                             obs::Tracer* tracer, unsigned core,
+                             model::OnlineEstimators* adaptive) {
   SerialOutcome out;
   TimePoint t = start;
 
@@ -122,6 +131,7 @@ SerialOutcome execute_serial(const sim::SubframeWork& w, TimePoint start,
   RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
                      .core = core, .kind = obs::EventKind::kStageEnd,
                      .stage = obs::Stage::kFft);
+  if (adaptive) adaptive->observe_fft(w.costs.fft_subtask);
 
   // Demod (deterministic).
   if (t + w.costs.demod > w.deadline) {
@@ -150,6 +160,10 @@ SerialOutcome execute_serial(const sim::SubframeWork& w, TimePoint start,
   Duration decode_time = w.costs.decode;
   Duration decode_est = decode_admission_estimate(w, admission);
   unsigned iter_est = admission == AdmissionPolicy::kWcet ? w.lm : 1;
+  if (adaptive) {
+    iter_est = adaptive->predict_iterations(w.bs);
+    decode_est = adaptive->predict_decode(w.bs, w.mcs, decode_est);
+  }
   out.executed_iterations = w.iterations;
   if (t + decode_est > w.deadline) {
     const DegradePlan plan = plan_degrade(w, t, degrade);
@@ -174,6 +188,7 @@ SerialOutcome execute_serial(const sim::SubframeWork& w, TimePoint start,
                        .kind = obs::EventKind::kDegrade,
                        .stage = obs::Stage::kDecode);
   }
+  out.decode_est_ns = decode_est;
   RTOPEX_TRACE_EVENT(tracer, .ts = t, .bs = w.bs, .index = w.index,
                      .a = obs::clamp_payload_ns(decode_est), .b = iter_est,
                      .core = core, .kind = obs::EventKind::kStageBegin,
@@ -198,6 +213,12 @@ SerialOutcome execute_serial(const sim::SubframeWork& w, TimePoint start,
                      .stage = obs::Stage::kDecode);
   out.end = t;
   out.completed = true;
+  // Close the loop: feed the executed decode back into the estimators (the
+  // executed iteration count and the duration it produced are a consistent
+  // Eq. (1) sample even on the degraded path).
+  if (adaptive)
+    adaptive->observe_decode(w.bs, w.mcs, out.executed_iterations,
+                             out.decode_ns, w.costs.decode_subtask);
   return out;
 }
 

@@ -28,6 +28,10 @@ struct SerialOutcome {
   Duration fft_ns = -1;
   Duration demod_ns = -1;
   Duration decode_ns = -1;
+  /// Admission estimate the decode ran under (post-degradation when the
+  /// cap shrank; -1 when the decode was never admitted). Compared against
+  /// decode_ns for estimate-accuracy accounting.
+  Duration decode_est_ns = -1;
 };
 
 /// Runs FFT -> demod -> decode serially from `start`. `entry_penalty` models
@@ -36,13 +40,17 @@ struct SerialOutcome {
 /// `degrade.enabled`, a failed decode slack check shrinks the iteration cap
 /// before dropping. A non-null `tracer` receives stage spans, degrade
 /// markers and drop/terminate instants on track `core`, stamped with
-/// virtual time.
+/// virtual time. A non-null `adaptive` bundle replaces the static decode
+/// admission estimate with the learned Eq. (1) fit at the predicted
+/// iteration count and is fed the executed stage observations afterwards;
+/// null keeps the static path bit-identical.
 SerialOutcome execute_serial(const sim::SubframeWork& w, TimePoint start,
                              Duration entry_penalty = 0,
                              AdmissionPolicy admission = AdmissionPolicy::kWcet,
                              const DegradeConfig& degrade = {},
                              obs::Tracer* tracer = nullptr,
-                             unsigned core = 0);
+                             unsigned core = 0,
+                             model::OnlineEstimators* adaptive = nullptr);
 
 /// Folds one outcome's degradation fields into the metrics (histogram over
 /// executed subframes; capped-decode NACKs counted apart from ordinary
@@ -65,6 +73,20 @@ inline void account_stages(const SerialOutcome& o,
     metrics.record_stage(obs::Stage::kDemod, to_us(o.demod_ns));
   if (o.decode_ns >= 0)
     metrics.record_stage(obs::Stage::kDecode, to_us(o.decode_ns));
+}
+
+/// Folds one outcome's decode-estimate accuracy into the metrics: the
+/// estimate actually used vs the frozen static seed, each against the
+/// executed decode time. Only decodes that ran to natural completion
+/// count (a terminated decode's duration is deadline-truncated).
+inline void account_decode_estimate(const SerialOutcome& o,
+                                    const sim::SubframeWork& w,
+                                    AdmissionPolicy admission,
+                                    sim::SchedulerMetrics& metrics) {
+  if (o.decode_ns < 0 || o.terminated || o.decode_est_ns < 0) return;
+  metrics.record_decode_estimate(to_us(o.decode_est_ns),
+                                 to_us(decode_admission_estimate(w, admission)),
+                                 to_us(o.decode_ns));
 }
 
 }  // namespace rtopex::sched

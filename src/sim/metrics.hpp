@@ -8,6 +8,7 @@
 // record_samples (needed for exact CDFs, costly on long runs).
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -51,6 +52,15 @@ struct SchedulerMetrics {
   /// Processing time (arrival -> completion, us) of subframes that finished.
   std::vector<double> processing_time_us;
 
+  // Decode-estimate accuracy: sum of |admission estimate - executed decode
+  // time| over decodes that ran to natural completion. `static` is what the
+  // frozen seed (WCET or optimistic) predicted, `used` what the scheduler
+  // actually admitted with — identical unless adaptive estimation is on
+  // (the BENCH_whatif accuracy comparison).
+  std::size_t decode_est_samples = 0;
+  double decode_est_used_abs_err_us = 0.0;
+  double decode_est_static_abs_err_us = 0.0;
+
   // Migration accounting (RT-OPEX only).
   std::size_t fft_subtasks_total = 0;
   std::size_t fft_subtasks_migrated = 0;
@@ -86,6 +96,24 @@ struct SchedulerMetrics {
   }
   void record_stage(obs::Stage stage, double us) {
     stage_us_hist[static_cast<unsigned>(stage)].add(us);
+  }
+  void record_decode_estimate(double used_us, double static_us,
+                              double actual_us) {
+    ++decode_est_samples;
+    decode_est_used_abs_err_us += std::abs(used_us - actual_us);
+    decode_est_static_abs_err_us += std::abs(static_us - actual_us);
+  }
+
+  double mean_est_err_used_us() const {
+    return decode_est_samples == 0 ? 0.0
+                                   : decode_est_used_abs_err_us /
+                                         static_cast<double>(decode_est_samples);
+  }
+  double mean_est_err_static_us() const {
+    return decode_est_samples == 0
+               ? 0.0
+               : decode_est_static_abs_err_us /
+                     static_cast<double>(decode_est_samples);
   }
 
   double miss_rate() const {

@@ -1,0 +1,203 @@
+// Online adaptive estimators: the streaming Eq. (1) RLS fit converges to a
+// seeded ground-truth coefficient vector, predictions fall back to the
+// static seed until warmup and never go non-positive or non-finite under
+// adversarial streams (zero-iteration jobs, fault-truncated stages,
+// non-finite regressors), the per-BS iteration predictor stays inside the
+// PR-2 cap, and the duration EWMAs stay division-safe.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "model/online_fit.hpp"
+
+namespace rtopex::model {
+namespace {
+
+// The paper's GPP Eq. (1) coefficients (us): t = w0 + w1*N + w2*K + w3*D*L.
+constexpr double kW0 = 31.4;
+constexpr double kW1 = 169.1;
+constexpr double kW2 = 49.7;
+constexpr double kW3 = 93.0;
+
+double eq1_us(unsigned antennas, unsigned mod_order, double load,
+              double iters) {
+  return kW0 + kW1 * antennas + kW2 * mod_order + kW3 * load * iters;
+}
+
+/// Streams `rounds` sweeps of a diverse noiseless operating grid into the
+/// fit. Returns the number of observations fed.
+std::size_t feed_grid(Eq1OnlineFit& fit, unsigned rounds) {
+  std::size_t n = 0;
+  for (unsigned r = 0; r < rounds; ++r) {
+    for (unsigned antennas : {1u, 2u, 4u}) {
+      for (unsigned mod : {2u, 4u, 6u}) {
+        for (double load : {0.3, 0.6, 1.0}) {
+          for (double iters : {1.0, 2.0, 4.0}) {
+            const double us = eq1_us(antennas, mod, load, iters);
+            fit.observe(antennas, mod, load, iters,
+                        static_cast<Duration>(std::llround(us * 1000.0)));
+            ++n;
+          }
+        }
+      }
+    }
+  }
+  return n;
+}
+
+TEST(Eq1OnlineFit, ConvergesToSeededEq1Coefficients) {
+  Eq1OnlineFit fit;
+  feed_grid(fit, 10);
+  ASSERT_TRUE(fit.warmed_up());
+
+  // Noiseless linear data (ns-quantized): the fit should land on the paper
+  // coefficients to well under an Eq. (1) unit.
+  const auto w = fit.coefficients_us();
+  EXPECT_NEAR(w[0], kW0, 1.0);
+  EXPECT_NEAR(w[1], kW1, 1.0);
+  EXPECT_NEAR(w[2], kW2, 1.0);
+  EXPECT_NEAR(w[3], kW3, 1.0);
+
+  // And predictions at a point NOT on the training grid track the closed
+  // form (3 antennas, QPSK, 80% load, 3 iterations).
+  const double truth_us = eq1_us(3, 2, 0.8, 3.0);
+  const Duration pred = fit.predict_or(3, 2, 0.8, 3.0, /*fallback=*/1);
+  EXPECT_NEAR(static_cast<double>(pred) / 1000.0, truth_us,
+              0.02 * truth_us);
+}
+
+TEST(Eq1OnlineFit, FallsBackUntilWarmup) {
+  AdaptiveParams params;
+  ASSERT_EQ(params.warmup_samples, 32u);
+  Eq1OnlineFit fit(params);
+  const Duration fallback = 777777;
+
+  for (unsigned i = 0; i < params.warmup_samples - 1; ++i) {
+    fit.observe(2, 4, 0.5, 2.0, 500000);
+    EXPECT_FALSE(fit.warmed_up());
+    EXPECT_EQ(fit.predict_or(2, 4, 0.5, 2.0, fallback), fallback);
+  }
+  fit.observe(2, 4, 0.5, 2.0, 500000);
+  EXPECT_TRUE(fit.warmed_up());
+  // Trained on a single operating point at 500 us, the warmed-up fit must
+  // now answer for itself (and near the observed level, not the fallback).
+  const Duration pred = fit.predict_or(2, 4, 0.5, 2.0, fallback);
+  EXPECT_NE(pred, fallback);
+  EXPECT_NEAR(static_cast<double>(pred), 500000.0, 50000.0);
+}
+
+TEST(Eq1OnlineFit, AdversarialStreamsNeverYieldNonPositiveOrNaN) {
+  Eq1OnlineFit fit;
+
+  // Fault-truncated stages (time <= 0) are ignored outright.
+  fit.observe(2, 4, 0.5, 2.0, 0);
+  fit.observe(2, 4, 0.5, 2.0, -123456);
+  EXPECT_EQ(fit.samples(), 0u);
+
+  // Non-finite regressors must not poison the state.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  fit.observe(2, 4, nan, 2.0, 500000);
+  fit.observe(2, 4, 0.5, inf, 500000);
+
+  // Degenerate stream: zero-iteration jobs at one fixed operating point —
+  // a rank-deficient design the RLS can never fully identify.
+  for (unsigned i = 0; i < 200; ++i) fit.observe(2, 4, 0.5, 0.0, 1000);
+
+  // Wherever we ask — including wild extrapolations the degenerate fit has
+  // no basis for — the guarded prediction is finite and >= 1 ns.
+  for (unsigned antennas : {0u, 1u, 100u}) {
+    for (double iters : {0.0, 1.0, 1000.0}) {
+      const Duration p = fit.predict_or(antennas, 6, 1.0, iters, 42);
+      EXPECT_GE(p, 1) << "antennas=" << antennas << " iters=" << iters;
+    }
+  }
+  const auto w = fit.coefficients_us();
+  for (double c : w) EXPECT_TRUE(std::isfinite(c));
+}
+
+TEST(IterationPredictor, StaysWithinTheIterationCap) {
+  const unsigned lm = 4;
+  IterationPredictor pred(/*initial=*/4.0, lm);
+  EXPECT_GE(pred.predict(), 1u);
+  EXPECT_LE(pred.predict(), lm);
+
+  // Zero (decode never ran) is ignored.
+  pred.observe(0);
+  EXPECT_EQ(pred.samples(), 0u);
+
+  // A long run of single-iteration decodes drags the mean down, but the
+  // prediction never leaves [1, Lm].
+  for (unsigned i = 0; i < 100; ++i) {
+    pred.observe(1);
+    EXPECT_GE(pred.predict(), 1u);
+    EXPECT_LE(pred.predict(), lm);
+  }
+  EXPECT_NEAR(pred.mean(), 1.0, 0.05);
+
+  // Absurd executed counts (above Lm — e.g. a buggy producer) still cannot
+  // push the prediction past the cap.
+  for (unsigned i = 0; i < 100; ++i) {
+    pred.observe(1000);
+    EXPECT_LE(pred.predict(), lm);
+  }
+  EXPECT_EQ(pred.predict(), lm);
+}
+
+TEST(DurationEwma, FallsBackThenTracksAndStaysPositive) {
+  DurationEwma ewma;
+  EXPECT_EQ(ewma.value_or(12345), 12345);
+
+  // Non-positive samples are ignored; the fallback still wins.
+  ewma.observe(0);
+  ewma.observe(-50);
+  EXPECT_EQ(ewma.samples(), 0u);
+  EXPECT_EQ(ewma.value_or(12345), 12345);
+
+  for (unsigned i = 0; i < 50; ++i) ewma.observe(20000);
+  EXPECT_NEAR(static_cast<double>(ewma.value_or(1)), 20000.0, 1.0);
+  // Division-safe floor even if the stream collapses toward zero.
+  for (unsigned i = 0; i < 200; ++i) ewma.observe(1);
+  EXPECT_GE(ewma.value_or(12345), 1);
+}
+
+TEST(OnlineEstimators, EndToEndWarmupAndBounds) {
+  const unsigned lm = 4;
+  OnlineEstimators est(/*num_antennas=*/2, /*num_prb=*/50,
+                       /*num_basestations=*/4, lm);
+
+  // Cold: every prediction defers to the caller's fallback / seed.
+  const Duration fallback = 900000;
+  EXPECT_EQ(est.predict_decode(0, 15, fallback), fallback);
+  EXPECT_EQ(est.decode_subtask_or(4321), 4321);
+  EXPECT_EQ(est.fft_subtask_or(1234), 1234);
+  EXPECT_GE(est.predict_iterations(0), 1u);
+  EXPECT_LE(est.predict_iterations(0), lm);
+
+  // Warm up basestation 0 on a steady decode profile.
+  for (unsigned i = 0; i < 64; ++i) {
+    est.observe_decode(/*bs=*/0, /*mcs=*/15, /*executed_iterations=*/2,
+                       /*decode_ns=*/500000, /*decode_subtask_ns=*/20000);
+    est.observe_fft(5000);
+  }
+  EXPECT_TRUE(est.decode_fit().warmed_up());
+  EXPECT_EQ(est.decode_samples(), 64u);
+
+  const Duration dec = est.predict_decode(0, 15, fallback);
+  EXPECT_NE(dec, fallback);
+  EXPECT_GT(dec, 0);
+  EXPECT_NEAR(static_cast<double>(est.decode_subtask_or(1)), 20000.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(est.fft_subtask_or(1)), 5000.0, 1.0);
+
+  // Iteration predictor learned per basestation: bs 0 saw 2-iteration
+  // decodes, bs 3 saw nothing and keeps its prior; both stay in [1, Lm].
+  for (unsigned bs : {0u, 3u}) {
+    EXPECT_GE(est.predict_iterations(bs), 1u) << "bs=" << bs;
+    EXPECT_LE(est.predict_iterations(bs), lm) << "bs=" << bs;
+  }
+  EXPECT_LE(est.predict_iterations(0), 3u);  // mean 2 + headroom, capped.
+}
+
+}  // namespace
+}  // namespace rtopex::model

@@ -195,18 +195,25 @@ TEST(ChromeTraceTest, WriteChromeTraceRoundtripsThroughDisk) {
                std::runtime_error);
 }
 
-TEST(ChromeTraceTest, CsvDumpHasOneRowPerEvent) {
+TEST(ChromeTraceTest, CsvDumpHasOneRowPerEventPlusFooter) {
   const std::string path = ::testing::TempDir() + "/chrome_trace_test.csv";
   const TraceStore store = make_store();
   write_trace_csv(path, store);
   std::ifstream in(path);
   std::string line;
   std::size_t rows = 0;
+  std::string last;
   ASSERT_TRUE(std::getline(in, line));  // header
-  EXPECT_EQ(line.rfind("ts_ns", 0), 0u);
+  EXPECT_EQ(line.rfind("ts_ns_v2", 0), 0u);
   while (std::getline(in, line))
-    if (!line.empty()) ++rows;
-  EXPECT_EQ(rows, store.events.size());
+    if (!line.empty()) {
+      ++rows;
+      last = line;
+    }
+  // One row per event plus the footer sentinel, which carries the event
+  // count in its first (ts) column.
+  EXPECT_EQ(rows, store.events.size() + 1);
+  EXPECT_EQ(last.rfind(std::to_string(store.events.size()) + ",", 0), 0u);
   std::remove(path.c_str());
 }
 
