@@ -1,0 +1,181 @@
+// Cluster-scale resilience demo: shard basestations across simulated
+// compute nodes, kill one mid-run, and watch the control plane detect the
+// death, re-home the orphaned basestations onto survivors, and keep the
+// cluster-wide conservation law exact.
+//
+//   $ ./rtopex_cluster [partitioned|global|rtopex] [options]
+//
+// Topology options:
+//   --nodes M            compute nodes (default 8)
+//   --bs N               basestations across the cluster (default 32)
+//   --subframes N        subframes per basestation (default 2000)
+//   --load F             mean offered load per basestation (default 0.35)
+//   --placement P        static-hash | load-aware | headroom-aware
+//                        (default static-hash)
+//
+// Failure options:
+//   --kill-node N        fail-stop node N mid-run (repeatable)
+//   --at-ms T            failure instant in ms (default: half the run)
+//   --detect-ms T        detection timeout in ms (default 30)
+//
+// Overload options:
+//   --shed F             enable ingress admission control at threshold F
+//                        of surviving capacity (F in (0, 1])
+//   --rebalance          enable EWMA-driven hotspot rebalancing
+//
+// Observability options:
+//   --trace FILE         write the merged cluster trace as Chrome JSON
+//   --trace-csv FILE     also dump the raw merged events as CSV
+//   --analyze            run the deadline-miss postmortem over the merged
+//                        trace (per-cause breakdown incl. the cluster
+//                        causes node_failure_rehoming / cluster_shed)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "obs/analysis/analysis.hpp"
+#include "obs/chrome_trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtopex;
+
+  core::ExperimentConfig node;
+  node.scheduler = core::SchedulerKind::kRtOpex;
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 8;
+  unsigned num_bs = 32;
+  std::size_t subframes = 2000;
+  double load = 0.35;
+  double kill_at_ms = -1.0;
+  double detect_ms = 30.0;
+  std::vector<unsigned> kill_nodes;
+  bool analyze = false;
+  std::string trace_path, trace_csv_path;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "partitioned") == 0) {
+      node.scheduler = core::SchedulerKind::kPartitioned;
+    } else if (std::strcmp(argv[i], "global") == 0) {
+      node.scheduler = core::SchedulerKind::kGlobal;
+    } else if (std::strcmp(argv[i], "rtopex") == 0) {
+      node.scheduler = core::SchedulerKind::kRtOpex;
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      cfg.num_nodes = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--bs") == 0 && i + 1 < argc) {
+      num_bs = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--subframes") == 0 && i + 1 < argc) {
+      subframes = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
+      load = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--placement") == 0 && i + 1 < argc) {
+      const std::string p = argv[++i];
+      if (p == "static-hash") {
+        cfg.placement = cluster::PlacementPolicy::kStaticHash;
+      } else if (p == "load-aware") {
+        cfg.placement = cluster::PlacementPolicy::kLoadAware;
+      } else if (p == "headroom-aware") {
+        cfg.placement = cluster::PlacementPolicy::kHeadroomAware;
+      } else {
+        std::fprintf(stderr, "unknown placement policy: %s\n", p.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--kill-node") == 0 && i + 1 < argc) {
+      kill_nodes.push_back(static_cast<unsigned>(std::atoi(argv[++i])));
+    } else if (std::strcmp(argv[i], "--at-ms") == 0 && i + 1 < argc) {
+      kill_at_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--detect-ms") == 0 && i + 1 < argc) {
+      detect_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shed") == 0 && i + 1 < argc) {
+      cfg.shed_enabled = true;
+      cfg.shed_threshold = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rebalance") == 0) {
+      cfg.rebalance_enabled = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-csv") == 0 && i + 1 < argc) {
+      trace_csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--analyze") == 0) {
+      analyze = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  node.workload.num_basestations = num_bs;
+  node.workload.subframes_per_bs = subframes;
+  node.workload.mean_load_override = load;
+  cfg.detection_timeout = microseconds_f(detect_ms * 1000.0);
+  if (kill_at_ms < 0.0)
+    kill_at_ms = static_cast<double>(subframes) / 2.0;  // 1 ms per subframe
+  for (const unsigned n : kill_nodes)
+    cfg.failures.push_back({n, microseconds_f(kill_at_ms * 1000.0)});
+  cfg.trace.enabled = analyze || !trace_path.empty() || !trace_csv_path.empty();
+  // Size the per-node bounded stores to the run so the postmortem sees every
+  // event (~34 events per subframe on a busy RT-OPEX node; 64 is headroom).
+  cfg.trace.max_stored_events = num_bs * subframes * 64;
+
+  cluster::ClusterSim sim(node, cfg);
+  const cluster::ClusterResult result = sim.run();
+  const cluster::ClusterMetrics& m = result.metrics;
+
+  std::printf("cluster: %u basestations on %u nodes (%s), scheduler %s\n",
+              num_bs, cfg.num_nodes, cluster::to_string(cfg.placement),
+              result.scheduler_name.c_str());
+  std::printf("%-5s %-10s %9s %9s %9s %9s  %s\n", "node", "bs res/host",
+              "subframes", "misses", "miss rate", "lost", "state");
+  for (const cluster::NodeReport& nr : m.nodes) {
+    char bs_col[16];
+    std::snprintf(bs_col, sizeof bs_col, "%u/%u", nr.resident_basestations,
+                  nr.hosted_basestations);
+    char state[64] = "ok";
+    if (nr.failed_at >= 0)
+      std::snprintf(state, sizeof state, "killed @%.0fms detected @%.0fms",
+                    to_ms(nr.failed_at), to_ms(nr.detected_at));
+    std::printf("%-5u %-10s %9zu %9zu %9.2e %9zu  %s\n", nr.node, bs_col,
+                nr.metrics.total_subframes, nr.metrics.deadline_misses,
+                nr.metrics.miss_rate(), nr.metrics.resilience.lost_subframes,
+                state);
+  }
+
+  std::printf("\ncluster rollup:\n");
+  std::printf("  offered %zu = dispatched %zu + shed %zu + failure_lost %zu\n",
+              m.offered, m.dispatched, m.shed, m.failure_lost);
+  std::printf("  processed %zu, dropped %zu, terminated %zu, late %zu, "
+              "lost %zu\n",
+              m.processed, m.dropped, m.terminated, m.late, m.lost);
+  std::printf("  miss rate %.3e  (misses %zu)\n", m.miss_rate(),
+              m.deadline_misses);
+  std::printf("  node failovers %zu, re-homed basestations %zu "
+              "(%zu subframes), rebalance moves %zu\n",
+              m.node_failovers, m.rehomed_basestations, m.rehomed_subframes,
+              m.rebalance_moves);
+  if (m.recovery_ms.count() > 0)
+    std::printf("  recovery time: p50 %.1f ms, p99 %.1f ms, max %.1f ms "
+                "(%llu failures)\n",
+                m.recovery_ms.p50(), m.recovery_ms.p99(), m.recovery_ms.max(),
+                static_cast<unsigned long long>(m.recovery_ms.count()));
+  std::printf("  conservation law: %s\n",
+              m.conserved() ? "exact" : "VIOLATED");
+
+  if (!trace_path.empty()) obs::write_chrome_trace(trace_path, result.trace);
+  if (!trace_csv_path.empty())
+    obs::write_trace_csv(trace_csv_path, result.trace);
+
+  if (analyze) {
+    const obs::analysis::AnalysisReport report =
+        obs::analysis::analyze(result.trace, {});
+    std::printf("\npostmortem: %s\n",
+                obs::analysis::summary_json(report).c_str());
+    for (unsigned c = 1; c < obs::analysis::kNumMissCauses; ++c)
+      if (report.cause_counts[c] > 0)
+        std::printf("  %-24s %llu\n",
+                    obs::analysis::to_string(
+                        static_cast<obs::analysis::MissCause>(c)),
+                    static_cast<unsigned long long>(report.cause_counts[c]));
+  }
+  return m.conserved() ? 0 : 1;
+}

@@ -1,0 +1,220 @@
+// Cluster-scale C-RAN sharding (ROADMAP item 1): a ClusterSim shards N
+// basestations across M simulated compute nodes — each an unchanged
+// per-node scheduler (Partitioned / Global / RT-OPEX) running in shared
+// virtual time — under a failure-aware control plane:
+//
+//  * Placement: static hash, load-aware (greedy LPT on measured mean
+//    per-subframe cost) or headroom-aware (greedy LPT on the WCET demand a
+//    scheduler can actually admit against), plus an explicit override.
+//  * Node failure: a dead node stops processing at its fail instant; the
+//    control plane detects the death at the first heartbeat check past the
+//    detection timeout. Subframes arriving in the detection window are
+//    *lost and attributed* (failure_lost), never silently dropped. On
+//    detection the dead node's basestations re-home round-robin across the
+//    survivors — PR-2's core-repartition semantics lifted one level up,
+//    including the orphan requeue count for in-flight subframes. A
+//    re-homed basestation occupies *unprovisioned* core slots on its new
+//    node (sched/failover.hpp), so the survivor absorbs the load with its
+//    own cores — overload is real, not hidden.
+//  * Hotspot rebalancing: per-node and per-basestation demand EWMAs
+//    (model::DurationEwma) drive periodic moves from an overloaded node to
+//    the one with the most headroom, picking the largest basestation that
+//    strictly shrinks the utilization gap.
+//  * Admission control: when a tick's aggregate WCET demand exceeds the
+//    believed surviving capacity, the cluster sheds the largest jobs at
+//    ingress — classified as dropped (kShed / cluster_shed), never
+//    blocking.
+//
+// Correctness anchor — the cluster-wide conservation law:
+//   processed + dropped + terminated + late + lost == offered
+// with shed a subset of dropped and failure_lost a subset of lost; it holds
+// exactly under any kill campaign (ClusterMetrics::conserved()).
+//
+// Tracing: each node's events merge into one store with cores remapped to
+// disjoint track ranges and local basestation ids mapped back to global
+// ones; cluster-level events (kShed, kRehome, kLost in a detection window,
+// kWatchdogFire at detection) ride a dedicated cluster track, and the
+// merged trace keeps a kJobSpec workload capture so rtopex_analyze and the
+// what-if replayer work on cluster runs unchanged.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "obs/histogram.hpp"
+#include "obs/tracer.hpp"
+
+namespace rtopex::cluster {
+
+enum class PlacementPolicy {
+  kStaticHash,     ///< node = mix(bs) % M; stateless and stable.
+  kLoadAware,      ///< greedy LPT on measured mean per-subframe cost.
+  kHeadroomAware,  ///< greedy LPT on per-basestation WCET demand.
+};
+
+const char* to_string(PlacementPolicy policy);
+
+/// Whole-node fail-stop failure: from `at` onward the node processes no new
+/// subframes. Detection happens at the first heartbeat check at or after
+/// at + detection_timeout.
+struct NodeFailure {
+  unsigned node = 0;
+  TimePoint at = 0;
+};
+
+struct ClusterConfig {
+  unsigned num_nodes = 4;
+  PlacementPolicy placement = PlacementPolicy::kStaticHash;
+  /// Optional explicit basestation -> node map (indexed by basestation).
+  /// When non-empty it must cover every basestation and name valid nodes;
+  /// `placement` is ignored then.
+  std::vector<unsigned> explicit_placement;
+
+  /// Node heartbeat cadence; failure checks run on these boundaries.
+  Duration heartbeat_period = milliseconds(10);
+  /// A node whose heartbeat is this stale is declared dead — the knob for
+  /// detection latency. Must be strictly greater than heartbeat_period.
+  Duration detection_timeout = milliseconds(30);
+  std::vector<NodeFailure> failures;
+
+  /// Cluster-level admission control: shed (classify as dropped, never
+  /// block) when a tick's aggregate WCET demand exceeds shed_threshold x
+  /// the believed surviving capacity. Threshold must lie in (0, 1].
+  bool shed_enabled = false;
+  double shed_threshold = 1.0;
+
+  /// Hotspot rebalancing driven by the demand EWMAs: every
+  /// rebalance_period, if some node's estimated utilization exceeds
+  /// hotspot_utilization, move the largest basestation whose relocation
+  /// strictly shrinks the hot/cool utilization gap to the coolest node (it
+  /// runs on unprovisioned slots there, like a re-homed one).
+  bool rebalance_enabled = false;
+  Duration rebalance_period = milliseconds(200);
+  double hotspot_utilization = 0.85;
+  /// EWMA gain of the per-node / per-basestation demand estimators.
+  double load_alpha = 0.25;
+
+  /// Merged cluster trace (per-node core tracks + one cluster track).
+  obs::TraceConfig trace;
+};
+
+/// Per-node outcome: the node's own SchedulerMetrics plus its place in the
+/// cluster topology.
+struct NodeReport {
+  unsigned node = 0;
+  unsigned resident_basestations = 0;  ///< initial placement.
+  unsigned hosted_basestations = 0;    ///< residents + adopted (ever).
+  unsigned num_cores = 0;              ///< provisioned cores (phantoms excluded).
+  TimePoint failed_at = -1;            ///< -1: never failed.
+  TimePoint detected_at = -1;          ///< -1: never declared dead.
+  std::string scheduler_name;
+  sim::SchedulerMetrics metrics;
+};
+
+/// ResilienceMetrics extended one level up: cluster re-homing, rebalancing
+/// and shedding counters plus the recovery-time histogram, and the node
+/// metrics rolled up for the conservation law.
+struct ClusterMetrics {
+  // Cluster control-plane counters.
+  std::size_t offered = 0;      ///< subframes in the cluster workload.
+  std::size_t dispatched = 0;   ///< handed to some node scheduler.
+  std::size_t shed = 0;         ///< dropped at ingress by admission control.
+  std::size_t failure_lost = 0; ///< arrived at a dead node pre-detection.
+  std::size_t node_failovers = 0;        ///< nodes declared dead.
+  std::size_t rehomed_basestations = 0;  ///< basestations moved off dead nodes.
+  std::size_t rehomed_subframes = 0;     ///< dispatches to a re-homed home.
+  std::size_t rebalance_moves = 0;       ///< hotspot moves.
+
+  // Node-metric rollup (see conserved()).
+  std::size_t processed = 0;        ///< completed in time on some node.
+  std::size_t deadline_misses = 0;  ///< node misses + shed.
+  std::size_t dropped = 0;          ///< node slack-check drops + shed.
+  std::size_t terminated = 0;
+  std::size_t late = 0;             ///< fronthaul late arrivals.
+  std::size_t lost = 0;             ///< fronthaul lost + failure_lost.
+  ResilienceMetrics resilience;     ///< summed across nodes; requeued_jobs
+                                    ///< includes cluster-level re-homing
+                                    ///< orphans, failovers/repartitions the
+                                    ///< node-death events.
+
+  /// One sample per node failure: milliseconds from the fail instant until
+  /// every re-homed basestation completed a subframe on its new node.
+  obs::Histogram recovery_ms;
+
+  std::vector<NodeReport> nodes;
+
+  /// The cluster-wide conservation law. Every offered subframe is counted
+  /// exactly once: processed, dropped (slack check or shed), terminated at
+  /// the deadline, late, or lost (fronthaul or failure window).
+  bool conserved() const {
+    // Ingress: every offered subframe is dispatched to a node (including
+    // fronthaul-lost ones, which the node classifies), shed, or lost in a
+    // dead node's detection window.
+    return dispatched + shed + failure_lost == offered &&
+           processed + dropped + terminated + late + lost == offered &&
+           deadline_misses == dropped + terminated + late;
+  }
+
+  double miss_rate() const {
+    return offered == 0 ? 0.0
+                        : static_cast<double>(deadline_misses) /
+                              static_cast<double>(offered);
+  }
+};
+
+struct ClusterResult {
+  ClusterMetrics metrics;
+  /// Initial basestation -> node placement the run used.
+  std::vector<unsigned> placement;
+  /// Merged trace (empty unless config.trace.enabled): per-node core
+  /// tracks in node order, then one cluster track.
+  obs::TraceStore trace;
+  unsigned total_tracks = 0;   ///< core tracks + the cluster track.
+  unsigned cluster_track = 0;  ///< track id of the cluster control plane.
+  std::string scheduler_name;
+};
+
+/// Shards `node_config.workload` (the *cluster-wide* workload: its
+/// num_basestations is the cluster total) across simulated nodes running
+/// node_config's scheduler. Construction validates the cluster config and
+/// throws std::invalid_argument on: zero nodes, nothing to place, an
+/// explicit placement of the wrong size or naming an invalid node, a
+/// heartbeat period >= the detection timeout, a shed threshold outside
+/// (0, 1], an out-of-range failure node, or invalid rebalance knobs.
+class ClusterSim {
+ public:
+  ClusterSim(const core::ExperimentConfig& node_config,
+             const ClusterConfig& cluster_config);
+
+  /// Generates the cluster workload (core::make_workload) and runs it.
+  ClusterResult run();
+
+  /// Runs a pre-generated arrival-sorted cluster workload (reuse one
+  /// workload across placement/failure comparisons).
+  ClusterResult run(std::span<const sim::SubframeWork> work);
+
+  unsigned num_basestations() const { return num_bs_; }
+  unsigned num_nodes() const { return cluster_.num_nodes; }
+  /// Provisioned cores per basestation (from the node scheduler's Tmax).
+  unsigned cores_per_bs() const;
+
+ private:
+  core::ExperimentConfig node_config_;
+  ClusterConfig cluster_;
+  unsigned num_bs_ = 0;
+};
+
+/// Computes the initial basestation -> node map for a policy over a
+/// workload (exposed for tests and the placement comparison in the bench).
+std::vector<unsigned> make_placement(
+    const ClusterConfig& config, unsigned num_basestations,
+    std::span<const sim::SubframeWork> work);
+
+/// Exposes the rollup through the Prometheus registry
+/// (rtopex_cluster_* series, all labelled scheduler="<name>").
+void fill_registry(const ClusterMetrics& metrics, const std::string& scheduler,
+                   obs::MetricsRegistry& registry);
+
+}  // namespace rtopex::cluster

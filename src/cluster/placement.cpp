@@ -1,0 +1,101 @@
+// Initial basestation -> node placement policies. All three are
+// deterministic; the two greedy ones are classic LPT (longest processing
+// time first) over a per-basestation demand key — measured mean cost for
+// load-aware, WCET demand for headroom-aware (the quantity a node's
+// admission control actually budgets against).
+#include <algorithm>
+#include <stdexcept>
+
+#include "cluster/cluster.hpp"
+
+namespace rtopex::cluster {
+
+const char* to_string(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kStaticHash: return "static-hash";
+    case PlacementPolicy::kLoadAware: return "load-aware";
+    case PlacementPolicy::kHeadroomAware: return "headroom-aware";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// SplitMix64 finalizer: spreads consecutive basestation ids across nodes
+/// without the modulo striping a raw `bs % M` would give.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Greedy LPT: basestations in descending demand order, each onto the
+/// least-loaded node so far. Ties break on the smaller basestation / node
+/// id for bit-stable placements.
+std::vector<unsigned> greedy_lpt(const std::vector<double>& demand,
+                                 unsigned num_nodes) {
+  std::vector<unsigned> order(demand.size());
+  for (unsigned bs = 0; bs < order.size(); ++bs) order[bs] = bs;
+  std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+    if (demand[a] != demand[b]) return demand[a] > demand[b];
+    return a < b;
+  });
+  std::vector<double> node_load(num_nodes, 0.0);
+  std::vector<unsigned> placement(demand.size(), 0);
+  for (const unsigned bs : order) {
+    unsigned best = 0;
+    for (unsigned n = 1; n < num_nodes; ++n)
+      if (node_load[n] < node_load[best]) best = n;
+    placement[bs] = best;
+    node_load[best] += demand[bs];
+  }
+  return placement;
+}
+
+}  // namespace
+
+std::vector<unsigned> make_placement(
+    const ClusterConfig& config, unsigned num_basestations,
+    std::span<const sim::SubframeWork> work) {
+  if (!config.explicit_placement.empty()) {
+    if (config.explicit_placement.size() != num_basestations)
+      throw std::invalid_argument(
+          "make_placement: explicit placement must cover every basestation");
+    for (const unsigned n : config.explicit_placement)
+      if (n >= config.num_nodes)
+        throw std::invalid_argument(
+            "make_placement: explicit placement names an invalid node");
+    return config.explicit_placement;
+  }
+
+  switch (config.placement) {
+    case PlacementPolicy::kStaticHash: {
+      std::vector<unsigned> placement(num_basestations);
+      for (unsigned bs = 0; bs < num_basestations; ++bs)
+        placement[bs] = static_cast<unsigned>(mix(bs) % config.num_nodes);
+      return placement;
+    }
+    case PlacementPolicy::kLoadAware:
+    case PlacementPolicy::kHeadroomAware: {
+      // Per-basestation demand over the offered workload: mean measured
+      // cost (load-aware) or mean WCET (headroom-aware).
+      std::vector<double> demand(num_basestations, 0.0);
+      std::vector<std::uint64_t> count(num_basestations, 0);
+      for (const sim::SubframeWork& w : work) {
+        if (w.bs >= num_basestations) continue;
+        demand[w.bs] += static_cast<double>(
+            config.placement == PlacementPolicy::kLoadAware
+                ? w.costs.total()
+                : w.wcet.total());
+        ++count[w.bs];
+      }
+      for (unsigned bs = 0; bs < num_basestations; ++bs)
+        if (count[bs]) demand[bs] /= static_cast<double>(count[bs]);
+      return greedy_lpt(demand, config.num_nodes);
+    }
+  }
+  throw std::invalid_argument("make_placement: unknown placement policy");
+}
+
+}  // namespace rtopex::cluster

@@ -42,10 +42,15 @@ enum class MissCause : std::uint8_t {
                           ///< watchdog fire (repartition backlog).
   kPlatformErrorSpike,    ///< a stage ran long versus its own estimate
                           ///< (platform jitter, not excess iterations).
+  kNodeFailureRehoming,   ///< queueing delay on a basestation re-homed after
+                          ///< a whole-node failure (survivor backlog).
+  kClusterShed,           ///< dropped at cluster ingress by admission
+                          ///< control (offered load exceeded surviving
+                          ///< capacity).
   kUnknown,               ///< no component overran; trace too sparse.
 };
 
-inline constexpr unsigned kNumMissCauses = 9;
+inline constexpr unsigned kNumMissCauses = 11;
 
 const char* to_string(MissCause cause);
 
@@ -106,6 +111,8 @@ struct SubframeAnalysis {
   bool late = false;        ///< arrived past its deadline.
   bool missed = false;
   bool dropped = false;     ///< rejected by a slack check.
+  bool shed = false;        ///< dropped at cluster ingress (kShed).
+  bool rehomed = false;     ///< dispatched off its original node (kRehome).
   bool terminated = false;  ///< cut at the deadline mid-decode.
   bool degraded = false;    ///< admitted below full quality.
   Stage missed_stage = Stage::kNone;
@@ -150,6 +157,8 @@ struct AnalysisReport {
   std::uint64_t dropped = 0;
   std::uint64_t terminated = 0;
   std::uint64_t degraded = 0;
+  std::uint64_t shed = 0;     ///< cluster-ingress drops (subset of dropped).
+  std::uint64_t rehomed = 0;  ///< subframes dispatched off their home node.
   std::array<std::uint64_t, kNumMissCauses> cause_counts{};
   std::vector<SubframeAnalysis> detail;  ///< sorted by (bs, index).
   std::vector<CoreUsage> cores;

@@ -64,6 +64,14 @@ void attribute(SubframeAnalysis& sf, const Reconstruction& rec,
     sf.cause = MissCause::kNone;  // never arrived: not a processing miss.
     return;
   }
+  if (sf.shed) {
+    // Dropped at cluster ingress: admission control, not a node-side
+    // component overrun — nothing downstream to attribute.
+    sf.missed = true;
+    sf.cause = MissCause::kClusterShed;
+    sf.dominant_over_ns = 0;
+    return;
+  }
   if (sf.late || (sf.arrival >= 0 && sf.deadline >= 0 &&
                   sf.arrival > sf.deadline)) {
     sf.missed = true;
@@ -120,8 +128,11 @@ void attribute(SubframeAnalysis& sf, const Reconstruction& rec,
         break;
       case PathSegment::Kind::kQueue:
         queue_abs = seg.actual();
+        // A re-homed basestation's queueing is the survivor absorbing the
+        // dead node's load — named before the generic failover window.
         candidates.push_back(
-            {watchdog_within(rec, sf.start, options.failover_window)
+            {sf.rehomed ? MissCause::kNodeFailureRehoming
+             : watchdog_within(rec, sf.start, options.failover_window)
                  ? MissCause::kFailoverRepartition
                  : MissCause::kQueueingBacklog,
              over});
@@ -162,7 +173,8 @@ void attribute(SubframeAnalysis& sf, const Reconstruction& rec,
     // (typical for admission drops). Blame the largest absolute pre-
     // processing consumer.
     if (queue_abs > options.epsilon && queue_abs >= transport_abs)
-      cause = watchdog_within(rec, sf.start, options.failover_window)
+      cause = sf.rehomed ? MissCause::kNodeFailureRehoming
+              : watchdog_within(rec, sf.start, options.failover_window)
                   ? MissCause::kFailoverRepartition
                   : MissCause::kQueueingBacklog;
     else if (transport_abs > options.epsilon)

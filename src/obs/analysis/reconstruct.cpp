@@ -195,6 +195,22 @@ Reconstruction reconstruct(const TraceStore& store,
         sf.missed = true;
         sf.missed_stage = ev.stage;
         break;
+      case EventKind::kShed:
+        // Cluster-ingress drop: carries kArrival's payload shape (the
+        // subframe never reaches a node, so no kArrival follows). The span
+        // ends where it began — the subframe consumed no processing time.
+        sf.shed = true;
+        sf.dropped = true;
+        sf.missed = true;
+        sf.arrival = ev.ts;
+        sf.deadline = ev.ts + static_cast<Duration>(ev.a);
+        sf.transport_ns = static_cast<Duration>(ev.b);
+        sf.end = ev.ts;
+        sf.core = ev.core;
+        break;
+      case EventKind::kRehome:
+        sf.rehomed = true;
+        break;
       default:
         break;
     }

@@ -20,6 +20,8 @@ const char* to_string(MissCause cause) {
     case MissCause::kQueueingBacklog: return "queueing_backlog";
     case MissCause::kFailoverRepartition: return "failover_repartition";
     case MissCause::kPlatformErrorSpike: return "platform_error_spike";
+    case MissCause::kNodeFailureRehoming: return "node_failure_rehoming";
+    case MissCause::kClusterShed: return "cluster_shed";
     case MissCause::kUnknown: return "unknown";
   }
   return "invalid";
@@ -62,6 +64,8 @@ AnalysisReport analyze(const TraceStore& store,
       if (sf.dropped) ++report.dropped;
       if (sf.terminated) ++report.terminated;
       if (sf.degraded) ++report.degraded;
+      if (sf.shed) ++report.shed;
+      if (sf.rehomed) ++report.rehomed;
       if (sf.missed) {
         ++report.misses;
         ++bss.misses;
@@ -153,10 +157,11 @@ std::string summary_json(const AnalysisReport& report) {
   append("{\"subframes\":%" PRIu64 ",\"completed\":%" PRIu64
          ",\"misses\":%" PRIu64 ",\"miss_rate\":%.6g,\"lost\":%" PRIu64
          ",\"late\":%" PRIu64 ",\"dropped\":%" PRIu64
-         ",\"terminated\":%" PRIu64 ",\"degraded\":%" PRIu64,
+         ",\"terminated\":%" PRIu64 ",\"degraded\":%" PRIu64
+         ",\"shed\":%" PRIu64 ",\"rehomed\":%" PRIu64,
          report.subframes, report.completed, report.misses,
          report.miss_rate(), report.lost, report.late, report.dropped,
-         report.terminated, report.degraded);
+         report.terminated, report.degraded, report.shed, report.rehomed);
   out += ",\"causes\":{";
   bool first = true;
   for (unsigned c = 1; c < kNumMissCauses; ++c) {

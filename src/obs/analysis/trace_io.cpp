@@ -75,7 +75,7 @@ TraceStore load_trace_csv(const std::string& path) {
     ev.ts = as_i64(row[0]);
     ev.core = as_u32(row[1]);
     const std::uint32_t kind = as_u32(row[2]);
-    if (kind > static_cast<std::uint32_t>(EventKind::kJobSpec))
+    if (kind > static_cast<std::uint32_t>(EventKind::kRehome))
       throw std::runtime_error("load_trace_csv: unknown event kind in " +
                                path);
     ev.kind = static_cast<EventKind>(kind);

@@ -30,6 +30,8 @@ const char* to_string(EventKind kind) {
     case EventKind::kLate: return "late";
     case EventKind::kArrival: return "arrival";
     case EventKind::kJobSpec: return "job_spec";
+    case EventKind::kShed: return "shed";
+    case EventKind::kRehome: return "rehome";
   }
   return "unknown";
 }

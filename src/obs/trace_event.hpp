@@ -45,6 +45,15 @@ enum class EventKind : std::uint8_t {
                        ///< ts = radio time, a = field id, b = field value
                        ///< (see obs/analysis/replay.hpp). Ignored by the
                        ///< postmortem analyzer.
+  kShed,               ///< cluster admission control dropped the subframe at
+                       ///< ingress; ts = arrival, a = deadline - arrival (ns,
+                       ///< clamped at 0), b = arrival - radio_time (ns) —
+                       ///< kArrival's payload shape, so the analyzer can
+                       ///< place the subframe without a kArrival of its own.
+  kRehome,             ///< cluster control plane dispatched the subframe to a
+                       ///< node other than its basestation's original home
+                       ///< (failure re-homing); ts = arrival, a = new node,
+                       ///< b = original node.
 };
 
 // Payload conventions consumed by the postmortem analyzer (obs/analysis):

@@ -1,0 +1,80 @@
+#include "sched/failover.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/tracer.hpp"
+
+namespace rtopex::sched {
+
+std::vector<TimePoint> apply_core_outages(
+    std::span<const sim::SubframeWork> active, std::vector<unsigned>& assign,
+    unsigned num_cores, std::span<const CoreFailure> failures,
+    std::span<const unsigned> unprovisioned, sim::SchedulerMetrics& metrics,
+    obs::Tracer* tracer) {
+  // Per-core fail-stop instant (kCoreNeverFails: the core never fails).
+  std::vector<TimePoint> fails(num_cores, kCoreNeverFails);
+  for (const unsigned c : unprovisioned) {
+    if (c >= num_cores)
+      throw std::invalid_argument(
+          "apply_core_outages: unprovisioned core id out of range");
+    fails[c] = kCoreNeverProvisioned;
+  }
+  for (const auto& f : failures) {
+    if (f.core >= num_cores)
+      throw std::invalid_argument(
+          "apply_core_outages: core_failure id out of range");
+    if (fails[f.core] != kCoreNeverProvisioned)
+      fails[f.core] = std::min(fails[f.core], f.at);
+  }
+
+  // Phantom slots first: their subframes fold round-robin onto the
+  // provisioned cores from t = 0, silently — this is offline placement (a
+  // re-homed basestation lands on a survivor's existing cores), not a
+  // runtime failover.
+  if (!unprovisioned.empty()) {
+    std::vector<unsigned> provisioned;
+    for (unsigned c = 0; c < num_cores; ++c)
+      if (fails[c] != kCoreNeverProvisioned) provisioned.push_back(c);
+    if (provisioned.empty())
+      throw std::invalid_argument(
+          "apply_core_outages: every core is unprovisioned");
+    std::size_t rr = 0;
+    for (std::size_t i = 0; i < active.size(); ++i)
+      if (fails[assign[i]] == kCoreNeverProvisioned)
+        assign[i] = provisioned[rr++ % provisioned.size()];
+  }
+
+  // Then — mirroring the runtime watchdog — each failure repartitions the
+  // dead core's subframes from its fail instant onward, round-robin across
+  // survivors.
+  if (!failures.empty()) {
+    std::vector<CoreFailure> events(failures.begin(), failures.end());
+    std::sort(events.begin(), events.end(),
+              [](const auto& a, const auto& b) { return a.at < b.at; });
+    std::size_t rr = 0;
+    for (const auto& ev : events) {
+      std::vector<unsigned> survivors;
+      for (unsigned c = 0; c < num_cores; ++c)
+        if (fails[c] > ev.at) survivors.push_back(c);
+      if (survivors.empty()) continue;  // no one left to take over
+      ++metrics.resilience.failovers;
+      ++metrics.resilience.repartitions;
+      // Mirror the runtime watchdog's trace marker so the analyzer can
+      // correlate queueing misses with the repartition instant.
+      RTOPEX_TRACE_EVENT(tracer, .ts = ev.at, .a = ev.core,
+                         .kind = obs::EventKind::kWatchdogFire);
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (assign[i] != ev.core || active[i].arrival < ev.at) continue;
+        assign[i] = survivors[rr++ % survivors.size()];
+        // Subframes already in flight (radio fired before the failure)
+        // would have sat in the dead core's queue: requeued, not merely
+        // remapped.
+        if (active[i].radio_time < ev.at) ++metrics.resilience.requeued_jobs;
+      }
+    }
+  }
+  return fails;
+}
+
+}  // namespace rtopex::sched

@@ -1,0 +1,59 @@
+// Shared core-outage machinery for the partition-style schedulers
+// (Partitioned and RT-OPEX both map subframes onto per-basestation cores
+// offline). Two outage flavours fold into the same subframe -> core
+// assignment:
+//
+//  * Fail-stop core failures (PR-2 semantics): from `at` onward the core
+//    takes no new subframes; its slots are repartitioned round-robin across
+//    the survivors, mirroring the runtime watchdog, with failover /
+//    repartition / requeue accounting and a kWatchdogFire trace marker.
+//  * Unprovisioned cores: core slots that exist in the offline partition
+//    (so per-BS subframe identities stay unique) but were never given a
+//    physical core — the cluster layer uses this to re-home a dead node's
+//    basestations onto a survivor without granting extra capacity. Their
+//    subframes fold onto the provisioned cores from t = 0, silently: no
+//    failover counters, no watchdog marker, and the core is never a
+//    migration target.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/time_types.hpp"
+#include "sim/metrics.hpp"
+#include "sim/workload.hpp"
+
+namespace rtopex::obs {
+class Tracer;
+}
+
+namespace rtopex::sched {
+
+/// Injected fail-stop core failure (shared by RtOpexConfig and
+/// PartitionedConfig). A subframe already started finishes — failure is
+/// detected between jobs, like the runtime's kill semantics.
+struct CoreFailure {
+  unsigned core = 0;
+  TimePoint at = 0;
+};
+
+/// Sentinel fail instants in the per-core vector returned by
+/// apply_core_outages: kCoreNeverFails for healthy cores,
+/// kCoreNeverProvisioned (< any event time) for phantom cores.
+inline constexpr TimePoint kCoreNeverFails =
+    std::numeric_limits<TimePoint>::max();
+inline constexpr TimePoint kCoreNeverProvisioned = -1;
+
+/// Rewrites `assign` (subframe i -> core, parallel to `active`) for the
+/// configured outages and returns the per-core fail-instant vector: a core
+/// with fails[c] <= t at decision time t hosts nothing and is never a
+/// migration target. `active` must be the arrival-sorted executable
+/// workload. Requires at least one provisioned core.
+std::vector<TimePoint> apply_core_outages(
+    std::span<const sim::SubframeWork> active, std::vector<unsigned>& assign,
+    unsigned num_cores, std::span<const CoreFailure> failures,
+    std::span<const unsigned> unprovisioned, sim::SchedulerMetrics& metrics,
+    obs::Tracer* tracer);
+
+}  // namespace rtopex::sched

@@ -14,6 +14,14 @@ PartitionedScheduler::PartitionedScheduler(unsigned num_basestations,
     throw std::invalid_argument("PartitionedScheduler: no basestations");
   if (cfg.rtt_half < 0 || cfg.rtt_half >= kEndToEndBudget)
     throw std::invalid_argument("PartitionedScheduler: invalid rtt_half");
+  for (const auto& f : cfg.core_failures)
+    if (f.core >= num_basestations * cfg.cores_per_bs())
+      throw std::invalid_argument(
+          "PartitionedScheduler: core_failure id out of range");
+  for (const unsigned c : cfg.unprovisioned_cores)
+    if (c >= num_basestations * cfg.cores_per_bs())
+      throw std::invalid_argument(
+          "PartitionedScheduler: unprovisioned core id out of range");
 }
 
 unsigned PartitionedScheduler::core_of(unsigned bs,
@@ -39,10 +47,20 @@ sim::SchedulerMetrics PartitionedScheduler::run(
   model::OnlineEstimators* const adaptive =
       estimators ? &*estimators : nullptr;
 
-  for (const auto& w : active) {
-    if (w.bs >= num_basestations_)
+  // The offline partition plus the shared outage machinery (unprovisioned
+  // slots fold onto real cores; failed cores repartition to survivors).
+  std::vector<unsigned> assign(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    if (active[i].bs >= num_basestations_)
       throw std::invalid_argument("run: basestation id out of range");
-    const unsigned core = core_of(w.bs, w.index);
+    assign[i] = core_of(active[i].bs, active[i].index);
+  }
+  apply_core_outages(active, assign, num_cores(), config_.core_failures,
+                     config_.unprovisioned_cores, metrics, tracer);
+
+  for (std::size_t wi = 0; wi < active.size(); ++wi) {
+    const auto& w = active[wi];
+    const unsigned core = assign[wi];
     const TimePoint start = std::max(w.arrival, free_at[core]);
     if (used[core] && start > free_at[core]) {
       metrics.record_gap(to_us(start - free_at[core]),

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "obs/tracer.hpp"
+#include "sched/failover.hpp"
 #include "sched/scheduler.hpp"
 
 namespace rtopex::sched {
@@ -23,6 +24,13 @@ struct PartitionedConfig {
   /// Fill the raw gap_us / processing_time_us sample vectors in addition to
   /// the bounded histograms (costs memory on big runs).
   bool record_samples = false;
+  /// Injected fail-stop core failures, with PR-2 round-robin repartition
+  /// semantics (see sched/failover.hpp).
+  std::vector<CoreFailure> core_failures;
+  /// Core slots in the offline partition never backed by a physical core;
+  /// their subframes fold onto the provisioned cores from t = 0, silently.
+  /// The cluster layer re-homes a dead node's basestations through this.
+  std::vector<unsigned> unprovisioned_cores;
   /// Optional trace sink: virtual-time-stamped events on track = core id.
   /// Needs at least num_cores() tracks; drained once per subframe.
   obs::Tracer* tracer = nullptr;

@@ -45,6 +45,10 @@ RtOpexScheduler::RtOpexScheduler(unsigned num_basestations,
   for (const auto& f : cfg.core_failures)
     if (f.core >= num_basestations * cfg.cores_per_bs())
       throw std::invalid_argument("RtOpexScheduler: core_failure id out of range");
+  for (const unsigned c : cfg.unprovisioned_cores)
+    if (c >= num_basestations * cfg.cores_per_bs())
+      throw std::invalid_argument(
+          "RtOpexScheduler: unprovisioned core id out of range");
 }
 
 unsigned RtOpexScheduler::core_of(unsigned bs,
@@ -63,46 +67,19 @@ sim::SchedulerMetrics RtOpexScheduler::run(
   const std::span<const sim::SubframeWork> active =
       filtered ? std::span<const sim::SubframeWork>(*filtered) : work;
 
-  // Per-core fail-stop instant (kNever: the core never fails).
-  std::vector<TimePoint> fails(num_cores(), kNever);
-  for (const auto& f : config_.core_failures)
-    fails[f.core] = std::min(fails[f.core], f.at);
-
-  // Subframe -> core assignment: the offline partition, then — mirroring
-  // the runtime watchdog — each failure repartitions the dead core's
-  // subframes from its fail instant onward, round-robin across survivors.
+  // Subframe -> core assignment: the offline partition, then the shared
+  // outage machinery folds unprovisioned slots onto real cores and
+  // repartitions each failed core's subframes across survivors (see
+  // sched/failover.hpp).
   std::vector<unsigned> assign(active.size());
   for (std::size_t i = 0; i < active.size(); ++i) {
     if (active[i].bs >= num_basestations_)
       throw std::invalid_argument("run: basestation id out of range");
     assign[i] = core_of(active[i].bs, active[i].index);
   }
-  if (!config_.core_failures.empty()) {
-    auto events = config_.core_failures;
-    std::sort(events.begin(), events.end(),
-              [](const auto& a, const auto& b) { return a.at < b.at; });
-    std::size_t rr = 0;
-    for (const auto& ev : events) {
-      std::vector<unsigned> survivors;
-      for (unsigned c = 0; c < num_cores(); ++c)
-        if (fails[c] > ev.at) survivors.push_back(c);
-      if (survivors.empty()) continue;  // no one left to take over
-      ++metrics.resilience.failovers;
-      ++metrics.resilience.repartitions;
-      // Mirror the runtime watchdog's trace marker so the analyzer can
-      // correlate queueing misses with the repartition instant.
-      RTOPEX_TRACE_EVENT(tracer, .ts = ev.at, .a = ev.core,
-                         .kind = obs::EventKind::kWatchdogFire);
-      for (std::size_t i = 0; i < active.size(); ++i) {
-        if (assign[i] != ev.core || active[i].arrival < ev.at) continue;
-        assign[i] = survivors[rr++ % survivors.size()];
-        // Subframes already in flight (radio fired before the failure)
-        // would have sat in the dead core's queue: requeued, not merely
-        // remapped.
-        if (active[i].radio_time < ev.at) ++metrics.resilience.requeued_jobs;
-      }
-    }
-  }
+  const std::vector<TimePoint> fails = apply_core_outages(
+      active, assign, num_cores(), config_.core_failures,
+      config_.unprovisioned_cores, metrics, tracer);
 
   std::vector<CoreState> cores(num_cores());
   for (std::size_t i = 0; i < active.size(); ++i)

@@ -19,6 +19,7 @@
 #pragma once
 
 #include "obs/tracer.hpp"
+#include "sched/failover.hpp"
 #include "sched/migration.hpp"
 #include "sched/scheduler.hpp"
 
@@ -58,11 +59,15 @@ struct RtOpexConfig {
   /// survivors, mirroring the runtime watchdog) and it is never a migration
   /// target. A subframe already started finishes — failure is detected
   /// between jobs, like the runtime's kill semantics.
-  struct CoreFailure {
-    unsigned core = 0;
-    TimePoint at = 0;
-  };
+  using CoreFailure = sched::CoreFailure;
   std::vector<CoreFailure> core_failures;
+  /// Core slots present in the offline partition but never backed by a
+  /// physical core: their subframes fold onto the provisioned cores from
+  /// t = 0 (round-robin, silent — no failover accounting) and they are
+  /// never migration targets. The cluster layer re-homes a dead node's
+  /// basestations through this without granting the survivor extra
+  /// capacity; see sched/failover.hpp.
+  std::vector<unsigned> unprovisioned_cores;
   /// Fill the raw gap_us / processing_time_us sample vectors in addition to
   /// the bounded histograms (costs memory on big runs).
   bool record_samples = false;

@@ -25,7 +25,8 @@ WorkloadGenerator::WorkloadGenerator(
 
 std::vector<SubframeWork> WorkloadGenerator::generate() const {
   Rng master(config_.seed);
-  const auto params = trace::metropolitan_preset(config_.num_basestations);
+  const auto params =
+      trace::metropolitan_preset_cycled(config_.num_basestations);
 
   std::vector<trace::LoadTrace> file_traces;
   if (!config_.trace_csv.empty() && config_.fixed_mcs < 0) {

@@ -48,6 +48,24 @@ std::vector<BasestationLoadParams> metropolitan_preset(std::size_t count) {
   return {all.begin(), all.begin() + static_cast<std::ptrdiff_t>(count)};
 }
 
+std::vector<BasestationLoadParams> metropolitan_preset_cycled(
+    std::size_t count) {
+  const auto base = metropolitan_preset(std::min<std::size_t>(count, 8));
+  std::vector<BasestationLoadParams> out;
+  out.reserve(count);
+  for (std::size_t bs = 0; bs < count; ++bs) {
+    BasestationLoadParams p = base[bs % base.size()];
+    // Nudge repeated operating points so cycles stay distinguishable but
+    // keep the preset's overall load profile (means move < ±0.03).
+    const std::size_t cycle = bs / base.size();
+    if (cycle > 0)
+      p.mean = std::clamp(
+          p.mean + 0.015 * static_cast<double>(cycle % 4) - 0.02, 0.05, 0.95);
+    out.push_back(p);
+  }
+  return out;
+}
+
 unsigned mcs_from_load(double load) {
   load = std::clamp(load, 0.0, 1.0);
   return static_cast<unsigned>(std::lround(load * 27.0));

@@ -53,6 +53,13 @@ LoadTrace generate_load_trace(const BasestationLoadParams& params,
 /// capture (distinct means/spreads). `count` <= 8.
 std::vector<BasestationLoadParams> metropolitan_preset(std::size_t count);
 
+/// metropolitan_preset extended to arbitrary counts for cluster-scale
+/// workloads: the 8 operating points repeat cyclically past 8, with a small
+/// deterministic mean offset per cycle so tower 0 and tower 8 are not
+/// byte-identical twins. Identical to metropolitan_preset for count <= 8.
+std::vector<BasestationLoadParams> metropolitan_preset_cycled(
+    std::size_t count);
+
 /// Load -> MCS (0..27), the paper's §4.2 emulation of traffic via MCS.
 unsigned mcs_from_load(double load);
 

@@ -1,0 +1,324 @@
+// Cluster-scale resilience: the cluster-wide conservation law under
+// node-kill campaigns (the correctness anchor), bit-identical same-seed
+// determinism of ClusterSim, config validation, placement policies, and the
+// postmortem attribution of the two cluster-level miss causes
+// (node_failure_rehoming, cluster_shed) over the merged trace.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "obs/analysis/analysis.hpp"
+
+using namespace rtopex;
+namespace analysis = rtopex::obs::analysis;
+
+namespace {
+
+core::ExperimentConfig small_node_config() {
+  core::ExperimentConfig node;
+  node.scheduler = core::SchedulerKind::kRtOpex;
+  node.workload.num_basestations = 8;
+  node.workload.subframes_per_bs = 400;
+  node.workload.mean_load_override = 0.35;
+  node.workload.seed = 3;
+  return node;
+}
+
+cluster::ClusterConfig small_cluster_config() {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ClusterConfig, ValidationThrows) {
+  const core::ExperimentConfig node = small_node_config();
+  cluster::ClusterConfig cfg = small_cluster_config();
+
+  cfg.num_nodes = 0;
+  EXPECT_THROW(cluster::ClusterSim(node, cfg), std::invalid_argument);
+  cfg = small_cluster_config();
+
+  core::ExperimentConfig empty = node;
+  empty.workload.num_basestations = 0;
+  EXPECT_THROW(cluster::ClusterSim(empty, cfg), std::invalid_argument);
+
+  cfg.explicit_placement = {0, 1};  // 8 basestations need 8 entries
+  EXPECT_THROW(cluster::ClusterSim(node, cfg), std::invalid_argument);
+  cfg.explicit_placement.assign(8, 9);  // node 9 of 4
+  EXPECT_THROW(cluster::ClusterSim(node, cfg), std::invalid_argument);
+  cfg = small_cluster_config();
+
+  cfg.heartbeat_period = milliseconds(30);
+  cfg.detection_timeout = milliseconds(30);  // must be strictly longer
+  EXPECT_THROW(cluster::ClusterSim(node, cfg), std::invalid_argument);
+  cfg = small_cluster_config();
+  cfg.heartbeat_period = Duration{0};
+  EXPECT_THROW(cluster::ClusterSim(node, cfg), std::invalid_argument);
+  cfg = small_cluster_config();
+
+  for (const double threshold : {0.0, -0.25, 1.5}) {
+    cfg.shed_threshold = threshold;
+    EXPECT_THROW(cluster::ClusterSim(node, cfg), std::invalid_argument)
+        << "shed threshold " << threshold;
+  }
+  cfg = small_cluster_config();
+
+  cfg.failures = {{7, milliseconds(10)}};  // node 7 of 4
+  EXPECT_THROW(cluster::ClusterSim(node, cfg), std::invalid_argument);
+  cfg.failures = {{0, -milliseconds(1)}};
+  EXPECT_THROW(cluster::ClusterSim(node, cfg), std::invalid_argument);
+  cfg = small_cluster_config();
+
+  cfg.rebalance_enabled = true;
+  cfg.rebalance_period = Duration{0};
+  EXPECT_THROW(cluster::ClusterSim(node, cfg), std::invalid_argument);
+  cfg = small_cluster_config();
+  cfg.rebalance_enabled = true;
+  cfg.hotspot_utilization = 1.25;
+  EXPECT_THROW(cluster::ClusterSim(node, cfg), std::invalid_argument);
+  cfg = small_cluster_config();
+  cfg.load_alpha = 0.0;
+  EXPECT_THROW(cluster::ClusterSim(node, cfg), std::invalid_argument);
+
+  // The boundary cases are valid.
+  cfg = small_cluster_config();
+  cfg.shed_threshold = 1.0;
+  cfg.load_alpha = 1.0;
+  EXPECT_NO_THROW(cluster::ClusterSim(node, cfg));
+}
+
+TEST(ClusterPlacement, PoliciesProduceValidMaps) {
+  const core::ExperimentConfig node = small_node_config();
+  const auto work = core::make_workload(node);
+  cluster::ClusterConfig cfg = small_cluster_config();
+
+  for (const auto policy : {cluster::PlacementPolicy::kStaticHash,
+                            cluster::PlacementPolicy::kLoadAware,
+                            cluster::PlacementPolicy::kHeadroomAware}) {
+    cfg.placement = policy;
+    const auto placement = cluster::make_placement(cfg, 8, work);
+    ASSERT_EQ(placement.size(), 8u) << cluster::to_string(policy);
+    for (const unsigned n : placement)
+      EXPECT_LT(n, cfg.num_nodes) << cluster::to_string(policy);
+    // Deterministic: same inputs, same map.
+    EXPECT_EQ(placement, cluster::make_placement(cfg, 8, work));
+  }
+
+  // The greedy LPT policies never leave a node empty while another holds
+  // more than its share (8 basestations over 4 nodes -> 2 each when demand
+  // is comparable; at minimum no node is empty).
+  cfg.placement = cluster::PlacementPolicy::kHeadroomAware;
+  const auto lpt = cluster::make_placement(cfg, 8, work);
+  std::vector<unsigned> counts(cfg.num_nodes, 0);
+  for (const unsigned n : lpt) ++counts[n];
+  for (const unsigned c : counts) EXPECT_GE(c, 1u);
+
+  // Explicit placement is honored verbatim.
+  cfg.explicit_placement = {3, 2, 1, 0, 3, 2, 1, 0};
+  EXPECT_EQ(cluster::make_placement(cfg, 8, work), cfg.explicit_placement);
+}
+
+TEST(ClusterSim, HealthyRunConservesAndDispatchesEverything) {
+  const core::ExperimentConfig node = small_node_config();
+  cluster::ClusterSim sim(node, small_cluster_config());
+  const auto result = sim.run();
+  const cluster::ClusterMetrics& m = result.metrics;
+
+  EXPECT_EQ(m.offered, 8u * 400u);
+  EXPECT_EQ(m.dispatched, m.offered);
+  EXPECT_EQ(m.shed, 0u);
+  EXPECT_EQ(m.failure_lost, 0u);
+  EXPECT_EQ(m.node_failovers, 0u);
+  EXPECT_TRUE(m.conserved());
+  ASSERT_EQ(m.nodes.size(), 4u);
+  std::size_t node_total = 0;
+  for (const auto& nr : m.nodes) node_total += nr.metrics.total_subframes;
+  EXPECT_EQ(node_total, m.offered);
+}
+
+// The correctness anchor: kill 1..M-1 of the M nodes mid-run (staggered),
+// and the cluster-wide conservation law must hold exactly every time.
+TEST(ClusterSim, ConservationHoldsUnderKillCampaigns) {
+  const core::ExperimentConfig node = small_node_config();
+  for (unsigned kills = 1; kills <= 3; ++kills) {
+    cluster::ClusterConfig cfg = small_cluster_config();
+    for (unsigned k = 0; k < kills; ++k)
+      cfg.failures.push_back({k, milliseconds(120 + 60 * k)});
+    cluster::ClusterSim sim(node, cfg);
+    const auto result = sim.run();
+    const cluster::ClusterMetrics& m = result.metrics;
+
+    EXPECT_TRUE(m.conserved()) << kills << " kills";
+    EXPECT_EQ(m.node_failovers, kills);
+    EXPECT_GT(m.failure_lost, 0u) << "detection window must lose arrivals";
+    EXPECT_GT(m.rehomed_basestations, 0u);
+    EXPECT_GT(m.rehomed_subframes, 0u);
+    EXPECT_EQ(m.recovery_ms.count(), kills);
+    // A re-homed basestation keeps processing: post-recovery the cluster
+    // still completes the bulk of the offered load.
+    EXPECT_GT(m.processed, m.offered / 2);
+    for (const auto& nr : m.nodes) {
+      if (nr.node < kills) {
+        EXPECT_GE(nr.failed_at, 0) << "node " << nr.node;
+        EXPECT_GT(nr.detected_at, nr.failed_at);
+      } else {
+        EXPECT_EQ(nr.failed_at, -1);
+      }
+    }
+  }
+}
+
+// Killing every node strands the re-homing: once the last survivor dies,
+// all remaining arrivals are failure-lost — and the law still holds.
+TEST(ClusterSim, ConservationHoldsWhenEveryNodeDies) {
+  const core::ExperimentConfig node = small_node_config();
+  cluster::ClusterConfig cfg = small_cluster_config();
+  for (unsigned n = 0; n < 4; ++n)
+    cfg.failures.push_back({n, milliseconds(100 + 40 * n)});
+  cluster::ClusterSim sim(node, cfg);
+  const auto result = sim.run();
+  const cluster::ClusterMetrics& m = result.metrics;
+
+  EXPECT_TRUE(m.conserved());
+  EXPECT_EQ(m.node_failovers, 4u);
+  // Everything offered after the last death is lost, never silently dropped.
+  EXPECT_GT(m.failure_lost, m.offered / 4);
+  EXPECT_LT(m.dispatched, m.offered);
+}
+
+TEST(ClusterSim, SameSeedRunsAreBitIdentical) {
+  const core::ExperimentConfig node = small_node_config();
+  cluster::ClusterConfig cfg = small_cluster_config();
+  cfg.failures = {{1, milliseconds(150)}};
+  cfg.shed_enabled = true;
+  cfg.shed_threshold = 0.9;
+  cfg.trace.enabled = true;
+  cfg.trace.max_stored_events = 4u << 20;
+
+  cluster::ClusterSim sim_a(node, cfg);
+  cluster::ClusterSim sim_b(node, cfg);
+  const auto a = sim_a.run();
+  const auto b = sim_b.run();
+
+  EXPECT_EQ(a.placement, b.placement);
+  EXPECT_EQ(a.metrics.offered, b.metrics.offered);
+  EXPECT_EQ(a.metrics.dispatched, b.metrics.dispatched);
+  EXPECT_EQ(a.metrics.shed, b.metrics.shed);
+  EXPECT_EQ(a.metrics.failure_lost, b.metrics.failure_lost);
+  EXPECT_EQ(a.metrics.processed, b.metrics.processed);
+  EXPECT_EQ(a.metrics.deadline_misses, b.metrics.deadline_misses);
+  EXPECT_EQ(a.metrics.rehomed_subframes, b.metrics.rehomed_subframes);
+  EXPECT_EQ(a.metrics.recovery_ms, b.metrics.recovery_ms);
+  ASSERT_EQ(a.metrics.nodes.size(), b.metrics.nodes.size());
+  for (std::size_t n = 0; n < a.metrics.nodes.size(); ++n) {
+    EXPECT_EQ(a.metrics.nodes[n].metrics.total_subframes,
+              b.metrics.nodes[n].metrics.total_subframes);
+    EXPECT_EQ(a.metrics.nodes[n].metrics.deadline_misses,
+              b.metrics.nodes[n].metrics.deadline_misses);
+  }
+  // The merged traces are event-for-event identical (TraceEvent ==).
+  ASSERT_EQ(a.trace.events.size(), b.trace.events.size());
+  EXPECT_EQ(a.trace.events, b.trace.events);
+}
+
+// Shed subframes are classified (dropped + attributed cluster_shed), never
+// blocking and never silently vanished.
+TEST(ClusterSim, SheddingClassifiesExactly) {
+  core::ExperimentConfig node = small_node_config();
+  node.workload.mean_load_override = 0.8;
+  cluster::ClusterConfig cfg = small_cluster_config();
+  cfg.shed_enabled = true;
+  cfg.shed_threshold = 0.5;
+  cfg.trace.enabled = true;
+  cfg.trace.max_stored_events = 4u << 20;
+
+  cluster::ClusterSim sim(node, cfg);
+  const auto result = sim.run();
+  const cluster::ClusterMetrics& m = result.metrics;
+
+  EXPECT_GT(m.shed, 0u);
+  EXPECT_TRUE(m.conserved());
+  EXPECT_GE(m.dropped, m.shed);
+  EXPECT_GE(m.deadline_misses, m.shed);
+
+  const analysis::AnalysisReport report = analysis::analyze(result.trace, {});
+  EXPECT_EQ(report.subframes, m.offered);
+  EXPECT_EQ(report.shed, m.shed);
+  EXPECT_EQ(report.cause_counts[static_cast<unsigned>(
+                analysis::MissCause::kClusterShed)],
+            m.shed);
+  EXPECT_EQ(report.unknown(), 0u);
+}
+
+// The merged cluster trace keeps the postmortem engine working: every
+// subframe reconstructs, misses match the rollup, re-homed backlog is
+// attributed to node_failure_rehoming, and nothing lands in `unknown`.
+TEST(ClusterSim, PostmortemAttributesRehomingOverMergedTrace) {
+  const core::ExperimentConfig node = small_node_config();
+  cluster::ClusterConfig cfg = small_cluster_config();
+  cfg.failures = {{0, milliseconds(150)}};
+  cfg.trace.enabled = true;
+  cfg.trace.max_stored_events = 4u << 20;
+
+  cluster::ClusterSim sim(node, cfg);
+  const auto result = sim.run();
+  const cluster::ClusterMetrics& m = result.metrics;
+  ASSERT_TRUE(m.conserved());
+  ASSERT_GT(m.rehomed_subframes, 0u);
+
+  ASSERT_EQ(result.trace.ring_drops, 0u);
+  ASSERT_EQ(result.trace.store_drops, 0u);
+  const analysis::AnalysisReport report = analysis::analyze(result.trace, {});
+  EXPECT_EQ(report.subframes, m.offered);
+  EXPECT_EQ(report.misses, m.deadline_misses);
+  EXPECT_EQ(report.lost, m.lost);
+  EXPECT_EQ(report.rehomed, m.rehomed_subframes);
+  EXPECT_EQ(report.unknown(), 0u);
+}
+
+// Forced hotspot: a skewed explicit placement plus a low hotspot threshold
+// must trigger at least one EWMA-driven move, without breaking the law.
+TEST(ClusterSim, RebalanceMovesShrinkTheHotspot) {
+  core::ExperimentConfig node = small_node_config();
+  // Heterogeneous demand: the hot node's residents run 20 MHz, the cool
+  // node's 5 MHz (4x fewer PRBs, far cheaper subframes).
+  node.workload.num_basestations = 4;
+  node.workload.mean_load_override = 0.5;
+  node.workload.per_bs_bandwidth = {
+      phy::Bandwidth::kMHz20, phy::Bandwidth::kMHz20, phy::Bandwidth::kMHz5,
+      phy::Bandwidth::kMHz5};
+
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.explicit_placement = {0, 0, 1, 1};
+  cfg.rebalance_enabled = true;
+  cfg.rebalance_period = milliseconds(50);
+  cfg.hotspot_utilization = 0.1;
+
+  cluster::ClusterSim sim(node, cfg);
+  const auto result = sim.run();
+  const cluster::ClusterMetrics& m = result.metrics;
+  EXPECT_GT(m.rebalance_moves, 0u);
+  EXPECT_TRUE(m.conserved());
+  // Rebalancing is not failure re-homing: no failovers, no requeues.
+  EXPECT_EQ(m.node_failovers, 0u);
+  EXPECT_EQ(m.rehomed_subframes, 0u);
+}
+
+// Conservation and re-homing hold for every node scheduler kind.
+TEST(ClusterSim, AllSchedulerKindsSurviveAKill) {
+  for (const auto kind :
+       {core::SchedulerKind::kPartitioned, core::SchedulerKind::kGlobal,
+        core::SchedulerKind::kRtOpex}) {
+    core::ExperimentConfig node = small_node_config();
+    node.scheduler = kind;
+    cluster::ClusterConfig cfg = small_cluster_config();
+    cfg.failures = {{2, milliseconds(150)}};
+    cluster::ClusterSim sim(node, cfg);
+    const auto result = sim.run();
+    EXPECT_TRUE(result.metrics.conserved()) << core::to_string(kind);
+    EXPECT_EQ(result.metrics.node_failovers, 1u) << core::to_string(kind);
+    EXPECT_GT(result.metrics.rehomed_subframes, 0u) << core::to_string(kind);
+  }
+}
