@@ -111,14 +111,11 @@ void write_bench_json(const std::string& path, const JsonValue& root) {
 
 void warn_on_trace_drops(const obs::TraceStore& store,
                          const std::string& context) {
-  if (store.total_drops() == 0) return;
+  const std::string what = obs::describe_trace_drops(store);
+  if (what.empty()) return;
   std::fprintf(stderr,
-               "WARNING: %s: trace lost %llu events (%llu ring, %llu "
-               "store) — miss-cause counts may undercount\n",
-               context.c_str(),
-               static_cast<unsigned long long>(store.total_drops()),
-               static_cast<unsigned long long>(store.ring_drops),
-               static_cast<unsigned long long>(store.store_drops));
+               "WARNING: %s: %s — miss-cause counts may undercount\n",
+               context.c_str(), what.c_str());
 }
 
 void print_banner(const std::string& figure, const std::string& description) {

@@ -22,6 +22,11 @@
 //   --analyze            run the deadline-miss postmortem over the trace
 //                        after the run: prints the one-line JSON summary
 //                        and a per-cause breakdown (implies tracing)
+//   --health             live SLO/burn-rate health engine on the ticker
+//                        thread: alerts print after the run, health gauges
+//                        join the --metrics snapshots while it runs. The
+//                        millisecond-cadence detection windows are scaled
+//                        by the stretched subframe period automatically.
 //   --adaptive           online adaptive estimators (per-BS iteration
 //                        predictors + Eq. (1) decode fit) in the slack
 //                        check and migration planning
@@ -42,6 +47,7 @@
 
 #include "obs/analysis/analysis.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/health/health.hpp"
 #include "obs/metrics_registry.hpp"
 #include "runtime/fault_injection.hpp"
 #include "runtime/node_runtime.hpp"
@@ -59,6 +65,7 @@ int main(int argc, char** argv) {
   double period_ms = 25.0;
   double metrics_period_ms = 0.0;
   bool analyze = false;
+  bool health = false;
   std::string trace_path, trace_csv_path, metrics_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "partitioned") == 0) {
@@ -84,6 +91,8 @@ int main(int argc, char** argv) {
       metrics_period_ms = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--analyze") == 0) {
       analyze = true;
+    } else if (std::strcmp(argv[i], "--health") == 0) {
+      health = true;
     } else if (std::strcmp(argv[i], "--adaptive") == 0) {
       cfg.adaptive = true;
     } else if (std::strcmp(argv[i], "--kill-core") == 0 && i + 1 < argc) {
@@ -97,7 +106,8 @@ int main(int argc, char** argv) {
                    "usage: %s [partitioned|global|rtopex]\n"
                    "  [--basestations N] [--subframes N] [--period-ms T]\n"
                    "  [--trace FILE] [--trace-csv FILE] [--metrics FILE]\n"
-                   "  [--metrics-period-ms T] [--analyze] [--adaptive]\n"
+                   "  [--metrics-period-ms T] [--analyze] [--health]\n"
+                   "  [--adaptive]\n"
                    "  [--kill-core N] [--at-ms T] [--fronthaul-loss P]\n",
                    argv[0]);
       return 1;
@@ -124,6 +134,27 @@ int main(int argc, char** argv) {
   }
   cfg.trace.enabled =
       analyze || !trace_path.empty() || !trace_csv_path.empty();
+
+  // The health defaults assume the real 1 ms TTI; this demo stretches the
+  // subframe period for portability, so stretch the detection windows by
+  // the same factor to keep them the same number of subframes wide.
+  if (health) {
+    cfg.health.enabled = true;
+    const double scale = period_ms;  // defaults are per-1ms-subframe
+    auto stretch = [scale](Duration& d) {
+      d = static_cast<Duration>(static_cast<double>(d) * scale);
+    };
+    stretch(cfg.health.eval_period);
+    for (obs::health::BurnRateRule* rule :
+         {&cfg.health.fast_burn, &cfg.health.slow_burn}) {
+      stretch(rule->short_window);
+      stretch(rule->long_window);
+      stretch(rule->clear_hold);
+    }
+    // A demo-sized run offers few subframes per window; don't gate firing
+    // on a fleet-sized sample count.
+    cfg.health.min_window_samples = 4;
+  }
 
   // Periodic Prometheus snapshots from the ticker. A file sink writes the
   // whole exposition to FILE.tmp and renames it over FILE, so a concurrent
@@ -228,6 +259,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.trace.store_drops),
                 trace_path.empty() ? "" : " -> ",
                 trace_path.c_str());
+  }
+  if (health) {
+    const auto& h = report.health.cluster;
+    std::printf("\nhealth: score %.0f | miss rate %.2e | burn %.2f | "
+                "slack p50/p99 %.0f/%.0f us\n",
+                h.health_score, h.miss_rate, h.burn_rate, h.slack_p50_us,
+                h.slack_p99_us);
+    if (report.alerts.empty())
+      std::printf("alert log: empty\n");
+    else
+      for (const obs::health::Alert& a : report.alerts)
+        std::printf("  %s\n", obs::health::describe(a).c_str());
   }
   obs::analysis::AnalysisReport analysis_report;
   if (analyze) {

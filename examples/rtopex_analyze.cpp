@@ -22,7 +22,12 @@
 //                             Eq. (1) model when the trace carries none
 //   --metrics FILE            Prometheus rendering of the analysis
 //                             counters ("-" = stdout)
+//   --strict                  exit non-zero when the trace lost events
+//                             (ring or store drops): a lossy trace means
+//                             the attribution undercounts
 //
+// Traces that lost events always print the per-ring drop breakdown on
+// stderr (the same rendering the bench warning uses).
 // The last stdout line is always the one-line JSON summary, so scripts can
 // `tail -n 1` it.
 #include <cstdio>
@@ -41,6 +46,7 @@ int main(int argc, char** argv) {
   analysis::AnalyzerOptions opts;
   bool trajectories = false;
   bool model_fallback = false;
+  bool strict = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
@@ -59,13 +65,16 @@ int main(int argc, char** argv) {
       model_fallback = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
     } else if (argv[i][0] != '-' && trace_path.empty()) {
       trace_path = argv[i];
     } else {
       std::fprintf(stderr,
                    "usage: %s TRACE.csv [--out DIR] [--budget-us N]\n"
                    "  [--nominal-transport-us N] [--failover-window-ms N]\n"
-                   "  [--trajectories] [--model-fallback] [--metrics FILE]\n",
+                   "  [--trajectories] [--model-fallback] [--metrics FILE]\n"
+                   "  [--strict]\n",
                    argv[0]);
       return 1;
     }
@@ -83,6 +92,10 @@ int main(int argc, char** argv) {
 
   try {
     const obs::TraceStore store = analysis::load_trace_csv(trace_path);
+    const std::string drops = obs::describe_trace_drops(store);
+    if (!drops.empty())
+      std::fprintf(stderr, "%s: %s — attribution may undercount\n",
+                   trace_path.c_str(), drops.c_str());
     const analysis::AnalysisReport report = analysis::analyze(store, opts);
 
     const std::string miss_path = out_dir + "/miss_report.csv";
@@ -91,6 +104,27 @@ int main(int argc, char** argv) {
                  miss_path.c_str(),
                  static_cast<unsigned long long>(report.misses),
                  static_cast<unsigned long long>(report.subframes));
+    for (const analysis::AlertWindow& w : report.alerts) {
+      static const char* const kScopes[] = {"cluster", "node", "bs"};
+      const char* scope = w.scope_kind < 3 ? kScopes[w.scope_kind] : "?";
+      if (w.cleared_at >= 0)
+        std::fprintf(stderr,
+                     "alert: rule %u %s %s %u fired %.3f ms cleared %.3f ms"
+                     " — %llu misses in window, dominant cause %s\n",
+                     w.rule, w.severity >= 2 ? "PAGE" : "warn", scope,
+                     w.scope_id, static_cast<double>(w.fired_at) * 1e-6,
+                     static_cast<double>(w.cleared_at) * 1e-6,
+                     static_cast<unsigned long long>(w.misses_in_window),
+                     analysis::to_string(w.dominant_cause));
+      else
+        std::fprintf(stderr,
+                     "alert: rule %u %s %s %u fired %.3f ms STILL FIRING"
+                     " — %llu misses in window, dominant cause %s\n",
+                     w.rule, w.severity >= 2 ? "PAGE" : "warn", scope,
+                     w.scope_id, static_cast<double>(w.fired_at) * 1e-6,
+                     static_cast<unsigned long long>(w.misses_in_window),
+                     analysis::to_string(w.dominant_cause));
+    }
     if (trajectories) {
       const std::string traj_path = out_dir + "/slack_trajectory.csv";
       analysis::write_slack_trajectory_csv(traj_path, report);
@@ -105,6 +139,10 @@ int main(int argc, char** argv) {
         reg.write(metrics_path);
     }
     std::printf("%s\n", analysis::summary_json(report).c_str());
+    if (strict && store.total_drops() > 0) {
+      std::fprintf(stderr, "%s: --strict: refusing a lossy trace\n", argv[0]);
+      return 2;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
     return 1;

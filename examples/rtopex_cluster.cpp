@@ -25,10 +25,23 @@
 //
 // Observability options:
 //   --trace FILE         write the merged cluster trace as Chrome JSON
+//                        (one Perfetto process per node)
 //   --trace-csv FILE     also dump the raw merged events as CSV
 //   --analyze            run the deadline-miss postmortem over the merged
 //                        trace (per-cause breakdown incl. the cluster
-//                        causes node_failure_rehoming / cluster_shed)
+//                        causes node_failure_rehoming / cluster_shed;
+//                        with --health, also the alert windows)
+//
+// Health options:
+//   --health             run the live SLO/burn-rate health engine over the
+//                        run; prints the per-node health table and the
+//                        alert log
+//   --watch              also print the cluster health timeline (one line
+//                        per sampled evaluation; implies --health)
+//   --prom FILE          write the federated fleet Prometheus snapshot
+//                        ("-" = stdout; implies --health)
+//   --alert-log FILE     write the alert log CSV (implies --health)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +51,7 @@
 #include "cluster/cluster.hpp"
 #include "obs/analysis/analysis.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/health/health.hpp"
 
 int main(int argc, char** argv) {
   using namespace rtopex;
@@ -53,7 +67,9 @@ int main(int argc, char** argv) {
   double detect_ms = 30.0;
   std::vector<unsigned> kill_nodes;
   bool analyze = false;
-  std::string trace_path, trace_csv_path;
+  bool health = false;
+  bool watch = false;
+  std::string trace_path, trace_csv_path, prom_path, alert_log_path;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "partitioned") == 0) {
@@ -99,6 +115,14 @@ int main(int argc, char** argv) {
       trace_csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--analyze") == 0) {
       analyze = true;
+    } else if (std::strcmp(argv[i], "--health") == 0) {
+      health = true;
+    } else if (std::strcmp(argv[i], "--watch") == 0) {
+      watch = true;
+    } else if (std::strcmp(argv[i], "--prom") == 0 && i + 1 < argc) {
+      prom_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--alert-log") == 0 && i + 1 < argc) {
+      alert_log_path = argv[++i];
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
@@ -117,6 +141,9 @@ int main(int argc, char** argv) {
   // Size the per-node bounded stores to the run so the postmortem sees every
   // event (~34 events per subframe on a busy RT-OPEX node; 64 is headroom).
   cfg.trace.max_stored_events = num_bs * subframes * 64;
+  health = health || watch || !prom_path.empty() || !alert_log_path.empty();
+  cfg.health.enabled = health;
+  cfg.health.keep_history = watch;
 
   cluster::ClusterSim sim(node, cfg);
   const cluster::ClusterResult result = sim.run();
@@ -161,7 +188,73 @@ int main(int argc, char** argv) {
   std::printf("  conservation law: %s\n",
               m.conserved() ? "exact" : "VIOLATED");
 
-  if (!trace_path.empty()) obs::write_chrome_trace(trace_path, result.trace);
+  if (health) {
+    std::printf("\nfleet health (slow-burn window at end of run):\n");
+    std::printf("%-8s %6s %10s %12s %12s %7s %s\n", "scope", "util",
+                "miss rate", "slack p50", "slack p99", "score", "alerts");
+    auto health_row = [](const char* name, const obs::health::ScopeHealth& h) {
+      char alerts_col[32] = "-";
+      if (h.active_warn || h.active_page)
+        std::snprintf(alerts_col, sizeof alerts_col, "%uW/%uP", h.active_warn,
+                      h.active_page);
+      std::printf("%-8s %5.0f%% %10.2e %9.0f us %9.0f us %7.0f %s\n", name,
+                  h.utilization * 100.0, h.miss_rate, h.slack_p50_us,
+                  h.slack_p99_us, h.health_score, alerts_col);
+    };
+    health_row("cluster", result.health.cluster);
+    for (const obs::health::ScopeHealth& h : result.health.nodes) {
+      char name[16];
+      std::snprintf(name, sizeof name, "node %u", h.id);
+      health_row(name, h);
+    }
+    if (result.alerts.empty()) {
+      std::printf("alert log: empty (no SLO burn, no anomalies)\n");
+    } else {
+      std::printf("alert log (%zu):\n", result.alerts.size());
+      for (const obs::health::Alert& a : result.alerts)
+        std::printf("  %s\n", obs::health::describe(a).c_str());
+    }
+  }
+
+  if (watch && !result.health_history.empty()) {
+    // Cluster-scope timeline, sampled down to ~40 lines so long runs stay
+    // readable; every evaluated boundary is in result.health_history.
+    const std::size_t step =
+        std::max<std::size_t>(1, result.health_history.size() / 40);
+    std::printf("\ncluster health timeline (every %zu%s eval):\n", step,
+                step == 1 ? "st" : "th");
+    for (std::size_t i = 0; i < result.health_history.size(); i += step) {
+      const obs::health::HealthSnapshot& s = result.health_history[i];
+      const obs::health::ScopeHealth& c = s.cluster;
+      std::printf("  t=%7.1fms score %3.0f burn %5.2f miss %.2e"
+                  " offered %6llu %uW/%uP\n",
+                  to_ms(s.at), c.health_score, c.burn_rate, c.miss_rate,
+                  static_cast<unsigned long long>(c.offered), c.active_warn,
+                  c.active_page);
+    }
+  }
+
+  if (!prom_path.empty()) {
+    obs::MetricsRegistry reg;
+    cluster::fill_federated_registry(result, reg);
+    if (prom_path == "-")
+      std::printf("\n%s", reg.render().c_str());
+    else
+      reg.write(prom_path);
+  }
+  if (!alert_log_path.empty())
+    obs::health::write_alert_log_csv(alert_log_path, result.alerts);
+
+  if (!trace_path.empty()) {
+    // One Perfetto process per node; the cluster control and health tracks
+    // fall into the trailing process named by process_name.
+    obs::ChromeTraceOptions topts;
+    topts.process_name = "cluster control";
+    for (const cluster::ClusterResult::NodeTracks& nt : result.node_tracks)
+      topts.processes.push_back(
+          {"node " + std::to_string(nt.node), nt.first_track, nt.num_tracks});
+    obs::write_chrome_trace(trace_path, result.trace, topts);
+  }
   if (!trace_csv_path.empty())
     obs::write_trace_csv(trace_csv_path, result.trace);
 

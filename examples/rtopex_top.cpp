@@ -1,0 +1,257 @@
+// rtopex_top — live fleet health viewer. Renders a refreshing per-scope
+// health table (utilization, miss rate, burn, slack percentiles, health
+// score, active alerts) from Prometheus text snapshots written by running
+// substrates:
+//
+//   * live_runtime --health --metrics node0.prom   (atomically refreshed
+//     while the runtime runs — point rtopex_top at it from another
+//     terminal for a live view)
+//   * rtopex_cluster --prom fleet.prom             (federated fleet
+//     snapshot; already one row per node)
+//
+//   $ ./rtopex_top FILE... [options]
+//
+//   --once           render one frame and exit (CI / scripting)
+//   --frames N       render N frames then exit (0 = until interrupted)
+//   --interval-ms T  refresh period (default 500)
+//   --plain          never emit ANSI clear/home escapes (plays nicely
+//                    with log capture; --once implies it)
+//
+// The parser reads the exposition format generically (# lines skipped,
+// `name{labels} value` rows), so the table degrades gracefully: sources
+// without rtopex_health_* series render as "no health series (run with
+// --health)". A missing file renders as "waiting for <file>" and keeps
+// refreshing — start rtopex_top before the run if you like.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct Sample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+/// Parses one exposition line ("name{k="v",...} value"); false on comments,
+/// blanks and anything malformed (rtopex_top is a viewer, not a linter).
+bool parse_line(const std::string& line, Sample& out) {
+  std::size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size() || line[i] == '#') return false;
+
+  const std::size_t name_begin = i;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+  if (i == name_begin) return false;
+  out.name = line.substr(name_begin, i - name_begin);
+  out.labels.clear();
+
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      const std::size_t key_begin = i;
+      while (i < line.size() && line[i] != '=') ++i;
+      if (i >= line.size()) return false;
+      const std::string key = line.substr(key_begin, i - key_begin);
+      ++i;  // '='
+      if (i >= line.size() || line[i] != '"') return false;
+      ++i;  // opening quote
+      std::string value;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          ++i;
+          value += line[i] == 'n' ? '\n' : line[i];
+        } else {
+          value += line[i];
+        }
+        ++i;
+      }
+      if (i >= line.size()) return false;
+      ++i;  // closing quote
+      if (i < line.size() && line[i] == ',') ++i;
+      out.labels.emplace(key, value);
+    }
+    if (i >= line.size()) return false;
+    ++i;  // '}'
+  }
+
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size()) return false;
+  char* end = nullptr;
+  out.value = std::strtod(line.c_str() + i, &end);
+  return end != line.c_str() + i;
+}
+
+struct Source {
+  std::string path;
+  bool present = false;
+  std::vector<Sample> samples;
+
+  void reload() {
+    samples.clear();
+    std::ifstream in(path);
+    present = in.good();
+    if (!present) return;
+    std::string line;
+    Sample s;
+    while (std::getline(in, line))
+      if (parse_line(line, s)) samples.push_back(s);
+  }
+
+  /// Value of `name` whose labels include everything in `want`; NaN if the
+  /// series is absent.
+  double find(const std::string& name,
+              const std::map<std::string, std::string>& want) const {
+    for (const Sample& s : samples) {
+      if (s.name != name) continue;
+      bool match = true;
+      for (const auto& [k, v] : want) {
+        const auto it = s.labels.find(k);
+        if (it == s.labels.end() || it->second != v) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return s.value;
+    }
+    return std::nan("");
+  }
+};
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string fmt_or_dash(const char* fmt, double v) {
+  if (v != v) return "-";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  return buf;
+}
+
+void render_row(const Source& src, const std::string& scope_label,
+                const std::map<std::string, std::string>& key) {
+  const double score = src.find("rtopex_health_score", key);
+  if (score != score) return;  // scope absent from this snapshot
+  const double util = src.find("rtopex_health_utilization", key);
+  const double miss = src.find("rtopex_health_miss_rate", key);
+  const double burn = src.find("rtopex_health_burn_rate", key);
+  const double p50 = src.find("rtopex_health_slack_p50_us", key);
+  const double p99 = src.find("rtopex_health_slack_p99_us", key);
+  const double offered = src.find("rtopex_health_window_offered", key);
+  std::printf("%-18s %-10s %6s %10s %6s %10s %10s %8s %6s\n",
+              basename_of(src.path).c_str(), scope_label.c_str(),
+              fmt_or_dash("%.0f%%", util * 100.0).c_str(),
+              fmt_or_dash("%.2e", miss).c_str(),
+              fmt_or_dash("%.2f", burn).c_str(),
+              fmt_or_dash("%.0f us", p50).c_str(),
+              fmt_or_dash("%.0f us", p99).c_str(),
+              fmt_or_dash("%.0f", offered).c_str(),
+              fmt_or_dash("%.0f", score).c_str());
+}
+
+void render_frame(const std::vector<Source>& sources, unsigned frame,
+                  bool plain) {
+  if (!plain) std::printf("\033[H\033[2J");
+  std::printf("rtopex_top — %zu source%s, frame %u\n\n", sources.size(),
+              sources.size() == 1 ? "" : "s", frame);
+  std::printf("%-18s %-10s %6s %10s %6s %10s %10s %8s %6s\n", "source",
+              "scope", "util", "miss rate", "burn", "slack p50", "slack p99",
+              "offered", "score");
+  for (const Source& src : sources) {
+    if (!src.present) {
+      std::printf("%-18s waiting for %s ...\n", basename_of(src.path).c_str(),
+                  src.path.c_str());
+      continue;
+    }
+    bool any = false;
+    for (const Sample& s : src.samples)
+      if (s.name == "rtopex_health_score") any = true;
+    if (!any) {
+      std::printf("%-18s no health series (run with --health)\n",
+                  basename_of(src.path).c_str());
+      continue;
+    }
+    render_row(src, "cluster", {{"scope", "cluster"}});
+    // Node rows in numeric order; probe ids until one is missing (node ids
+    // are dense in every substrate's topology).
+    for (unsigned n = 0; n < 4096; ++n) {
+      const std::map<std::string, std::string> key{
+          {"scope", "node"}, {"node", std::to_string(n)}};
+      const double score = src.find("rtopex_health_score", key);
+      if (score != score) break;
+      render_row(src, "node " + std::to_string(n), key);
+    }
+    const double warn =
+        src.find("rtopex_health_active_alerts", {{"severity", "warn"}});
+    const double page =
+        src.find("rtopex_health_active_alerts", {{"severity", "page"}});
+    if (warn == warn || page == page)
+      std::printf("%-18s active alerts: %.0f warn, %.0f page\n",
+                  basename_of(src.path).c_str(), warn == warn ? warn : 0.0,
+                  page == page ? page : 0.0);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Source> sources;
+  unsigned frames = 0;  // 0 = until interrupted
+  double interval_ms = 500.0;
+  bool plain = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--once") == 0) {
+      frames = 1;
+    } else if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
+      frames = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc) {
+      interval_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--plain") == 0) {
+      plain = true;
+    } else if (argv[i][0] != '-') {
+      sources.push_back({argv[i], false, {}});
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s FILE... [--once] [--frames N]\n"
+                   "  [--interval-ms T] [--plain]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (sources.empty()) {
+    std::fprintf(stderr, "%s: no snapshot files given\n", argv[0]);
+    return 1;
+  }
+  if (frames == 1) plain = true;  // --once is for scripts; keep logs clean
+
+  for (unsigned frame = 1; frames == 0 || frame <= frames; ++frame) {
+    for (Source& src : sources) src.reload();
+    render_frame(sources, frame, plain);
+    if (frames != 0 && frame == frames) break;
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        interval_ms));
+  }
+
+  // --once doubles as a health gate: exit 3 if anything is paging.
+  if (frames == 1)
+    for (const Source& src : sources)
+      if (src.present) {
+        const double page = src.find("rtopex_health_active_alerts",
+                                     {{"severity", "page"}});
+        if (page == page && page > 0.0) return 3;
+      }
+  return 0;
+}

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "obs/health/health.hpp"
 #include "obs/histogram.hpp"
 #include "obs/tracer.hpp"
 
@@ -98,6 +99,11 @@ struct ClusterConfig {
 
   /// Merged cluster trace (per-node core tracks + one cluster track).
   obs::TraceConfig trace;
+
+  /// Live SLO/alerting engine over the merged trace (obs/health). Enabling
+  /// it implies tracing (the monitor consumes trace events); alerts ride a
+  /// dedicated health track after the cluster track.
+  obs::health::HealthConfig health;
 };
 
 /// Per-node outcome: the node's own SchedulerMetrics plus its place in the
@@ -169,11 +175,27 @@ struct ClusterResult {
   /// Initial basestation -> node placement the run used.
   std::vector<unsigned> placement;
   /// Merged trace (empty unless config.trace.enabled): per-node core
-  /// tracks in node order, then one cluster track.
+  /// tracks in node order, then one cluster track (and, with health
+  /// enabled, one health track carrying the kAlert/kAlertClear stream).
   obs::TraceStore trace;
-  unsigned total_tracks = 0;   ///< core tracks + the cluster track.
+  unsigned total_tracks = 0;   ///< core tracks + cluster (+ health) tracks.
   unsigned cluster_track = 0;  ///< track id of the cluster control plane.
+  unsigned health_track = 0;   ///< alert track; == cluster_track when off.
   std::string scheduler_name;
+
+  /// One entry per node that hosted basestations: its worker-track range
+  /// in the merged trace (Perfetto process grouping, health topology).
+  struct NodeTracks {
+    unsigned node = 0;
+    unsigned first_track = 0;
+    unsigned num_tracks = 0;
+  };
+  std::vector<NodeTracks> node_tracks;
+
+  /// Health engine outputs (default-empty unless config.health.enabled).
+  std::vector<obs::health::Alert> alerts;
+  obs::health::HealthSnapshot health;
+  std::vector<obs::health::HealthSnapshot> health_history;
 };
 
 /// Shards `node_config.workload` (the *cluster-wide* workload: its
@@ -216,5 +238,13 @@ std::vector<unsigned> make_placement(
 /// (rtopex_cluster_* series, all labelled scheduler="<name>").
 void fill_registry(const ClusterMetrics& metrics, const std::string& scheduler,
                    obs::MetricsRegistry& registry);
+
+/// One fleet-level Prometheus snapshot instead of M disjoint ones: the
+/// cluster rollup (fill_registry above), every node's full sim series
+/// merged in with a node="N" label, fleet-wide processing/gap histograms
+/// (obs::Histogram::merge across nodes), and — when the run had health
+/// enabled — the rtopex_health_* score/burn/alert series.
+void fill_federated_registry(const ClusterResult& result,
+                             obs::MetricsRegistry& registry);
 
 }  // namespace rtopex::cluster

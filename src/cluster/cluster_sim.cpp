@@ -24,6 +24,7 @@
 #include "obs/analysis/replay.hpp"
 #include "phy/lte_params.hpp"
 #include "sched/failover.hpp"
+#include "sim/metrics.hpp"
 
 namespace rtopex::cluster {
 
@@ -110,6 +111,7 @@ ClusterSim::ClusterSim(const core::ExperimentConfig& node_config,
   }
   if (!(cluster_.load_alpha > 0.0 && cluster_.load_alpha <= 1.0))
     throw std::invalid_argument("ClusterConfig: load alpha outside (0, 1]");
+  if (cluster_.health.enabled) cluster_.health.validate();
 }
 
 ClusterResult ClusterSim::run() {
@@ -120,7 +122,8 @@ ClusterResult ClusterSim::run() {
 ClusterResult ClusterSim::run(std::span<const sim::SubframeWork> work) {
   const unsigned M = cluster_.num_nodes;
   const unsigned cpb = cores_per_bs();
-  const bool tracing = cluster_.trace.enabled;
+  // Health needs the event stream, so enabling it implies tracing.
+  const bool tracing = cluster_.trace.enabled || cluster_.health.enabled;
 
   ClusterResult result;
   result.placement = make_placement(cluster_, num_bs_, work);
@@ -456,9 +459,13 @@ ClusterResult ClusterSim::run(std::span<const sim::SubframeWork> work) {
     }
     track_offset[n] = total_tracks;
     total_tracks += schedulers[n]->num_cores();
+    result.node_tracks.push_back(
+        {n, track_offset[n], schedulers[n]->num_cores()});
   }
   result.cluster_track = total_tracks;
-  result.total_tracks = total_tracks + 1;
+  result.health_track =
+      cluster_.health.enabled ? total_tracks + 1 : total_tracks;
+  result.total_tracks = total_tracks + (cluster_.health.enabled ? 2 : 1);
 
   agg.nodes.reserve(M);
   for (unsigned n = 0; n < M; ++n) {
@@ -575,6 +582,38 @@ ClusterResult ClusterSim::run(std::span<const sim::SubframeWork> work) {
       merged.events.push_back(ev);
     }
     result.trace = std::move(merged);
+
+    // --- Health scan over the merged trace --------------------------------
+    if (cluster_.health.enabled) {
+      obs::health::Topology topo;
+      topo.num_nodes = M;
+      topo.num_basestations = num_bs_;
+      // Utilization denominator is the *provisioned* capacity (residents'
+      // cores); phantom slots for adopted basestations carry busy time but
+      // no capacity, so an overloaded survivor reads util > 1.
+      topo.node_cores.assign(M, 0);
+      for (unsigned n = 0; n < M; ++n)
+        topo.node_cores[n] =
+            static_cast<unsigned>(plans[n].residents.size()) * cpb;
+      topo.track_to_node.assign(result.cluster_track, 0);
+      for (const ClusterResult::NodeTracks& nt : result.node_tracks)
+        for (unsigned t = 0; t < nt.num_tracks; ++t)
+          topo.track_to_node[nt.first_track + t] = nt.node;
+      // Control-track events (failure_lost, shed) attribute via the
+      // *initial* placement: losses in a detection window belong to the
+      // node that died, not to the basestation's eventual new home.
+      topo.bs_to_node = result.placement;
+
+      const std::unique_ptr<obs::health::HealthMonitor> monitor =
+          obs::health::scan_store(result.trace, cluster_.health, topo);
+      for (obs::TraceEvent ev : monitor->alert_events()) {
+        ev.core = result.health_track;
+        result.trace.events.push_back(ev);
+      }
+      result.alerts = monitor->alerts();
+      result.health = monitor->snapshot();
+      result.health_history = monitor->history();
+    }
   }
   return result;
 }
@@ -613,6 +652,39 @@ void fill_registry(const ClusterMetrics& metrics, const std::string& scheduler,
                          "Per-failure recovery time: fail instant until every "
                          "re-homed basestation completed on its new node (ms).",
                          metrics.recovery_ms, {{"scheduler", scheduler}});
+}
+
+void fill_federated_registry(const ClusterResult& result,
+                             obs::MetricsRegistry& registry) {
+  // Cluster control-plane rollup.
+  fill_registry(result.metrics, result.scheduler_name, registry);
+
+  // Fleet-wide latency/gap distributions: every node's histogram merged
+  // into one (identical default layouts, so merge() never throws here).
+  obs::Histogram fleet_processing, fleet_gap;
+  for (const NodeReport& nr : result.metrics.nodes) {
+    fleet_processing.merge(nr.metrics.processing_us_hist);
+    fleet_gap.merge(nr.metrics.gap_us_hist);
+  }
+  registry.add_histogram(
+      "rtopex_fleet_processing_time_us",
+      "Per-subframe processing time across every node (us).", fleet_processing,
+      {{"scheduler", result.scheduler_name}});
+  registry.add_histogram("rtopex_fleet_gap_us",
+                         "Idle-gap durations across every node (us).",
+                         fleet_gap, {{"scheduler", result.scheduler_name}});
+
+  // Health series (only meaningful when the run had health enabled — the
+  // snapshot carries per-node rows then).
+  if (!result.health.nodes.empty())
+    obs::health::fill_registry(result.health, result.alerts, registry);
+
+  // Every node's full sim series, kept distinct by a node="N" label.
+  for (const NodeReport& nr : result.metrics.nodes) {
+    obs::MetricsRegistry node_registry;
+    sim::fill_registry(nr.metrics, nr.scheduler_name, node_registry);
+    registry.merge(node_registry, {{"node", std::to_string(nr.node)}});
+  }
 }
 
 }  // namespace rtopex::cluster

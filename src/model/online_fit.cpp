@@ -129,6 +129,33 @@ Duration DurationEwma::value_or(Duration fallback) const {
   return static_cast<Duration>(std::llround(value_));
 }
 
+void MeanVarEwma::observe(double sample) {
+  if (!std::isfinite(sample)) return;
+  if (samples_ == 0) {
+    mean_ = sample;
+  } else {
+    // Deviation against the *previous* mean keeps the variance estimate
+    // unbiased-ish under level shifts (the shift itself contributes spread).
+    const double dev = sample - mean_;
+    var_ += alpha_ * (dev * dev - var_);
+    mean_ += alpha_ * dev;
+  }
+  ++samples_;
+}
+
+double MeanVarEwma::stddev() const {
+  if (samples_ < 2 || !std::isfinite(var_) || var_ <= 0.0) return 0.0;
+  return std::sqrt(var_);
+}
+
+double MeanVarEwma::zscore(double x) const {
+  if (!warmed_up() || !std::isfinite(x)) return 0.0;
+  const double sigma = stddev();
+  if (sigma <= 0.0) return 0.0;
+  const double z = (x - mean_) / sigma;
+  return std::isfinite(z) ? z : 0.0;
+}
+
 OnlineEstimators::OnlineEstimators(unsigned num_antennas, unsigned num_prb,
                                    unsigned num_basestations,
                                    unsigned max_iterations,

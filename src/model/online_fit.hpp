@@ -144,6 +144,37 @@ class DurationEwma {
   std::size_t samples_ = 0;
 };
 
+/// EWMA tracker of a scalar signal's mean *and* variance, the z-score
+/// backbone of the health-layer anomaly detectors (obs/health): variance is
+/// an EWMA of squared deviations from the running mean, so both moments
+/// forget at the same rate and a level shift shows up as a large |z| until
+/// the tracker re-converges. NaN-proof like DurationEwma: non-finite
+/// samples are ignored, and zscore() returns 0 until the tracker has both
+/// warmed up (>= warmup samples) and observed genuine spread — a constant
+/// signal never divides by a zero sigma.
+class MeanVarEwma {
+ public:
+  explicit MeanVarEwma(double alpha = 0.25, std::size_t warmup = 8)
+      : alpha_(alpha), warmup_(warmup) {}
+
+  void observe(double sample);
+
+  double mean() const { return mean_; }
+  /// sqrt of the deviation EWMA; 0 until two samples landed.
+  double stddev() const;
+  /// (x - mean) / stddev, or 0 while warming up / on degenerate spread.
+  double zscore(double x) const;
+  bool warmed_up() const { return samples_ >= warmup_; }
+  std::size_t samples() const { return samples_; }
+
+ private:
+  double alpha_;
+  std::size_t warmup_;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  std::size_t samples_ = 0;
+};
+
 /// Bundle wired into the schedulers when adaptive estimation is enabled:
 /// the decode-stage Eq. (1) fit, one iteration predictor per basestation,
 /// and the per-subtask duration trackers replacing Algorithm 1's fixed

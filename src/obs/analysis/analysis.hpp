@@ -148,6 +148,26 @@ struct BasestationSlack {
   std::vector<std::pair<std::uint32_t, Duration>> trajectory;
 };
 
+/// One alert interval reconstructed from kAlert / kAlertClear trace events
+/// (emitted by the obs::health monitor), linked to the misses inside its
+/// window. Fields mirror the raw on-trace encoding so the analyzer stays
+/// independent of the health library.
+struct AlertWindow {
+  std::uint32_t rule = 0;        ///< health rule id (kAlert.index).
+  std::uint32_t severity = 0;    ///< 1 = warn, 2 = page (kAlert.a & 0xff).
+  std::uint32_t scope_kind = 0;  ///< 0 = cluster, 1 = node, 2 = basestation
+                                 ///< (kAlert.a >> 8).
+  std::uint32_t scope_id = 0;    ///< node / basestation id (kAlert.bs).
+  TimePoint fired_at = -1;
+  TimePoint cleared_at = -1;     ///< -1: still firing at end of trace.
+  double value = 0.0;            ///< statistic at firing (kAlert.b / 1000).
+  /// Misses whose subframe ended (or, never-executed, was due) inside
+  /// [fired_at - alert_lookback, cleared_at] and match the alert's scope.
+  std::uint64_t misses_in_window = 0;
+  std::array<std::uint64_t, kNumMissCauses> cause_counts{};
+  MissCause dominant_cause = MissCause::kNone;  ///< most-frequent cause.
+};
+
 struct AnalysisReport {
   std::uint64_t subframes = 0;   ///< reconstructed, including lost/late.
   std::uint64_t completed = 0;
@@ -163,6 +183,7 @@ struct AnalysisReport {
   std::vector<SubframeAnalysis> detail;  ///< sorted by (bs, index).
   std::vector<CoreUsage> cores;
   std::vector<BasestationSlack> per_bs;
+  std::vector<AlertWindow> alerts;       ///< in firing order.
   TimePoint horizon_begin = 0;
   TimePoint horizon_end = 0;
   std::uint64_t ring_drops = 0;
@@ -200,6 +221,11 @@ struct AnalyzerOptions {
   const model::TaskCostModel* cost_model = nullptr;
   unsigned fallback_mcs = 27;
   unsigned fallback_iterations = 1;  ///< iteration count for the fallback.
+  /// Misses ending within this span *before* an alert fired still count as
+  /// inside its window: a burn-rate rule looks back over past traffic, so
+  /// the misses that tripped it precede the firing edge. Default matches
+  /// the health engine's slow-burn long window.
+  Duration alert_lookback = milliseconds(120);
 };
 
 /// Reconstructs every subframe from the trace, attributes misses, and

@@ -13,6 +13,8 @@ namespace rtopex::obs::analysis {
 struct Reconstruction {
   std::vector<SubframeAnalysis> subframes;  ///< (bs, index)-ordered.
   std::vector<TimePoint> watchdog_fires;    ///< time-ordered.
+  std::vector<AlertWindow> alerts;          ///< firing order; miss linkage
+                                            ///< still empty (report.cpp).
   std::map<unsigned, CoreUsage> core_usage;
   TimePoint horizon_begin = 0;
   TimePoint horizon_end = 0;

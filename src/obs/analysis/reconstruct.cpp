@@ -15,12 +15,15 @@ namespace {
 
 /// Events that belong to a core or to the run as a whole, never to one
 /// subframe — grouping by (bs, index) must skip them (their bs/index
-/// fields are zero, which is also a valid subframe identity).
+/// fields are zero, which is also a valid subframe identity; on alert
+/// events they are a scope id and a rule id, not a subframe at all).
 bool is_global_kind(EventKind kind) {
   switch (kind) {
     case EventKind::kGapBegin:
     case EventKind::kGapEnd:
     case EventKind::kWatchdogFire:
+    case EventKind::kAlert:
+    case EventKind::kAlertClear:
       return true;
     default:
       return false;
@@ -111,6 +114,29 @@ Reconstruction reconstruct(const TraceStore& store,
         }
         break;
       }
+      case EventKind::kAlert: {
+        AlertWindow w;
+        w.rule = ev.index;
+        w.severity = ev.a & 0xffu;
+        w.scope_kind = ev.a >> 8;
+        w.scope_id = ev.bs;
+        w.fired_at = ev.ts;
+        w.value = static_cast<double>(ev.b) / 1000.0;
+        rec.alerts.push_back(w);
+        break;
+      }
+      case EventKind::kAlertClear:
+        // Close the oldest still-open window for this (rule, scope). The
+        // health engine never overlaps windows per scope, so first-match
+        // is exact; an unmatched clear (trace cut mid-run) is dropped.
+        for (AlertWindow& w : rec.alerts) {
+          if (w.cleared_at < 0 && w.rule == ev.index && w.scope_id == ev.bs &&
+              w.scope_kind == ev.a >> 8) {
+            w.cleared_at = ev.ts;
+            break;
+          }
+        }
+        break;
       default:
         break;
     }

@@ -99,6 +99,33 @@ AnalysisReport analyze(const TraceStore& store,
     report.cores.push_back(cu);
   }
 
+  // Link each alert window to the misses (and losses) inside it, so every
+  // alert names the root causes that tripped it. Node- and cluster-scope
+  // alerts are linked trace-wide: an exported trace carries no track->node
+  // map, so the analyzer cannot tell which basestation ran where.
+  for (AlertWindow& w : rec.alerts) {
+    const TimePoint lo = w.fired_at - options.alert_lookback;
+    const TimePoint hi = w.cleared_at >= 0 ? w.cleared_at : rec.horizon_end;
+    for (const SubframeAnalysis& sf : rec.subframes) {
+      if (!sf.missed && !sf.lost) continue;
+      if (w.scope_kind == 2 && sf.bs != w.scope_id) continue;
+      const TimePoint at =
+          sf.end >= 0 ? sf.end
+                      : (sf.deadline >= 0 ? sf.deadline : sf.radio_time);
+      if (at < lo || at > hi) continue;
+      ++w.misses_in_window;
+      ++w.cause_counts[static_cast<unsigned>(sf.cause)];
+    }
+    // Dominant cause over the real causes (kNone excluded); ties break to
+    // the lowest enum code, so the report is deterministic.
+    unsigned best = 1;
+    for (unsigned c = 2; c < kNumMissCauses; ++c)
+      if (w.cause_counts[c] > w.cause_counts[best]) best = c;
+    if (w.cause_counts[best] > 0)
+      w.dominant_cause = static_cast<MissCause>(best);
+  }
+  report.alerts = std::move(rec.alerts);
+
   report.detail = std::move(rec.subframes);
   return report;
 }
@@ -170,7 +197,12 @@ std::string summary_json(const AnalysisReport& report) {
     append("\"%s\":%" PRIu64, to_string(static_cast<MissCause>(c)),
            report.cause_counts[c]);
   }
-  append("},\"ring_drops\":%" PRIu64 ",\"store_drops\":%" PRIu64 "}",
+  std::uint64_t pages = 0;
+  for (const AlertWindow& w : report.alerts)
+    if (w.severity >= 2) ++pages;
+  append("},\"alerts\":%" PRIu64 ",\"page_alerts\":%" PRIu64,
+         static_cast<std::uint64_t>(report.alerts.size()), pages);
+  append(",\"ring_drops\":%" PRIu64 ",\"store_drops\":%" PRIu64 "}",
          report.ring_drops, report.store_drops);
   return out;
 }
@@ -198,6 +230,15 @@ void fill_registry(const AnalysisReport& report, MetricsRegistry& registry) {
   registry.add_histogram("rtopex_analysis_slack_us",
                          "Positive end-of-path slack per subframe (us).",
                          slack_us);
+  double warn_alerts = 0.0, page_alerts = 0.0;
+  for (const AlertWindow& w : report.alerts)
+    (w.severity >= 2 ? page_alerts : warn_alerts) += 1.0;
+  registry.add_counter("rtopex_analysis_alerts_total",
+                       "Alert windows found in the trace, by severity.",
+                       warn_alerts, {{"severity", "warn"}});
+  registry.add_counter("rtopex_analysis_alerts_total",
+                       "Alert windows found in the trace, by severity.",
+                       page_alerts, {{"severity", "page"}});
   for (const CoreUsage& cu : report.cores) {
     registry.add_gauge("rtopex_analysis_core_utilization",
                        "Fraction of the trace horizon the core was busy "

@@ -9,6 +9,9 @@
 //    (kind = kTraceCsvFooterKind) carrying the event count and the
 //    ring/store drop counters. A v2 file with a missing footer or a
 //    mismatched count is rejected: its tail was cut off.
+//  * v3 — header first column "ts_ns_v3"; between the events and the footer
+//    sit per-track ring-drop rows (kind = kTraceCsvTrackDropsKind, core =
+//    track, a = that ring's drops), restoring ring_drops_per_track on load.
 #include <cmath>
 #include <stdexcept>
 
@@ -40,7 +43,8 @@ TraceStore load_trace_csv(const std::string& path) {
   if (table.header.empty())
     throw std::runtime_error("load_trace_csv: missing header in " + path);
   const std::string& version = table.header.front();
-  const bool v2 = version == "ts_ns_v2";
+  const bool v3 = version == "ts_ns_v3";
+  const bool v2 = v3 || version == "ts_ns_v2";
   if (!v2 && version != "ts_ns")
     throw std::runtime_error("load_trace_csv: unknown trace CSV version \"" +
                              version + "\" in " + path);
@@ -59,6 +63,16 @@ TraceStore load_trace_csv(const std::string& path) {
     store.ring_drops = as_u32(footer[6]);
     store.store_drops = as_u32(footer[7]);
     table.rows.pop_back();
+    // v3: per-track ring-drop rows sit just before the footer.
+    while (v3 && !table.rows.empty() && table.rows.back().size() == 8 &&
+           as_u32(table.rows.back()[2]) == kTraceCsvTrackDropsKind) {
+      const std::vector<double>& row = table.rows.back();
+      const std::uint32_t track = as_u32(row[1]);
+      if (store.ring_drops_per_track.size() <= track)
+        store.ring_drops_per_track.resize(track + 1, 0);
+      store.ring_drops_per_track[track] = as_u32(row[6]);
+      table.rows.pop_back();
+    }
     if (table.rows.size() != expected)
       throw std::runtime_error(
           "load_trace_csv: event count mismatch (footer says " +
@@ -75,7 +89,7 @@ TraceStore load_trace_csv(const std::string& path) {
     ev.ts = as_i64(row[0]);
     ev.core = as_u32(row[1]);
     const std::uint32_t kind = as_u32(row[2]);
-    if (kind > static_cast<std::uint32_t>(EventKind::kRehome))
+    if (kind > static_cast<std::uint32_t>(EventKind::kAlertClear))
       throw std::runtime_error("load_trace_csv: unknown event kind in " +
                                path);
     ev.kind = static_cast<EventKind>(kind);

@@ -32,6 +32,8 @@ const char* to_string(EventKind kind) {
     case EventKind::kJobSpec: return "job_spec";
     case EventKind::kShed: return "shed";
     case EventKind::kRehome: return "rehome";
+    case EventKind::kAlert: return "alert";
+    case EventKind::kAlertClear: return "alert_clear";
   }
   return "unknown";
 }
@@ -72,84 +74,84 @@ std::string flow_id(const TraceEvent& ev, unsigned src, unsigned dst) {
   return buf;
 }
 
-void emit_event_json(std::string& out, const TraceEvent& ev) {
+void emit_event_json(std::string& out, const TraceEvent& ev, unsigned pid) {
   const std::string ts = ts_us(ev.ts);
   const unsigned tid = ev.core;
   switch (ev.kind) {
     case EventKind::kSubframeBegin:
       append(out,
              ",\n{\"name\":\"subframe bs%u\",\"cat\":\"subframe\",\"ph\":\"B\","
-             "\"pid\":0,\"tid\":%u,\"ts\":%s,\"args\":{\"bs\":%u,\"index\":%u}}",
-             ev.bs, tid, ts.c_str(), ev.bs, ev.index);
+             "\"pid\":%u,\"tid\":%u,\"ts\":%s,\"args\":{\"bs\":%u,\"index\":%u}}",
+             ev.bs, pid, tid, ts.c_str(), ev.bs, ev.index);
       break;
     case EventKind::kSubframeEnd:
       append(out,
-             ",\n{\"ph\":\"E\",\"pid\":0,\"tid\":%u,\"ts\":%s,"
+             ",\n{\"ph\":\"E\",\"pid\":%u,\"tid\":%u,\"ts\":%s,"
              "\"args\":{\"missed\":%u}}",
-             tid, ts.c_str(), ev.a);
+             pid, tid, ts.c_str(), ev.a);
       break;
     case EventKind::kStageBegin:
       append(out,
-             ",\n{\"name\":\"%s\",\"cat\":\"stage\",\"ph\":\"B\",\"pid\":0,"
+             ",\n{\"name\":\"%s\",\"cat\":\"stage\",\"ph\":\"B\",\"pid\":%u,"
              "\"tid\":%u,\"ts\":%s,\"args\":{\"bs\":%u,\"index\":%u}}",
-             to_string(ev.stage), tid, ts.c_str(), ev.bs, ev.index);
+             to_string(ev.stage), pid, tid, ts.c_str(), ev.bs, ev.index);
       break;
     case EventKind::kStageEnd:
-      append(out, ",\n{\"ph\":\"E\",\"pid\":0,\"tid\":%u,\"ts\":%s}", tid,
-             ts.c_str());
+      append(out, ",\n{\"ph\":\"E\",\"pid\":%u,\"tid\":%u,\"ts\":%s}", pid,
+             tid, ts.c_str());
       break;
     case EventKind::kOffload: {
       // Instant on the migrator track plus the start half of the flow arrow
       // to the host core (ev.a); ev.b carries the subtask count.
       append(out,
              ",\n{\"name\":\"offload %s\",\"cat\":\"migration\",\"ph\":\"i\","
-             "\"s\":\"t\",\"pid\":0,\"tid\":%u,\"ts\":%s,"
+             "\"s\":\"t\",\"pid\":%u,\"tid\":%u,\"ts\":%s,"
              "\"args\":{\"bs\":%u,\"index\":%u,\"target\":%u,\"count\":%u}}",
-             to_string(ev.stage), tid, ts.c_str(), ev.bs, ev.index, ev.a,
+             to_string(ev.stage), pid, tid, ts.c_str(), ev.bs, ev.index, ev.a,
              ev.b);
       append(out,
              ",\n{\"name\":\"migrate\",\"cat\":\"migration\",\"ph\":\"s\","
-             "\"id\":\"%s\",\"pid\":0,\"tid\":%u,\"ts\":%s}",
-             flow_id(ev, tid, ev.a).c_str(), tid, ts.c_str());
+             "\"id\":\"%s\",\"pid\":%u,\"tid\":%u,\"ts\":%s}",
+             flow_id(ev, tid, ev.a).c_str(), pid, tid, ts.c_str());
       break;
     }
     case EventKind::kHostBegin:
       // ev.a is the source (offloading) core; close the flow arrow here.
       append(out,
              ",\n{\"name\":\"host %s bs%u\",\"cat\":\"migration\","
-             "\"ph\":\"B\",\"pid\":0,\"tid\":%u,\"ts\":%s,"
+             "\"ph\":\"B\",\"pid\":%u,\"tid\":%u,\"ts\":%s,"
              "\"args\":{\"bs\":%u,\"index\":%u,\"src\":%u}}",
-             to_string(ev.stage), ev.bs, tid, ts.c_str(), ev.bs, ev.index,
+             to_string(ev.stage), ev.bs, pid, tid, ts.c_str(), ev.bs, ev.index,
              ev.a);
       append(out,
              ",\n{\"name\":\"migrate\",\"cat\":\"migration\",\"ph\":\"f\","
-             "\"bp\":\"e\",\"id\":\"%s\",\"pid\":0,\"tid\":%u,\"ts\":%s}",
-             flow_id(ev, ev.a, tid).c_str(), tid, ts.c_str());
+             "\"bp\":\"e\",\"id\":\"%s\",\"pid\":%u,\"tid\":%u,\"ts\":%s}",
+             flow_id(ev, ev.a, tid).c_str(), pid, tid, ts.c_str());
       break;
     case EventKind::kHostEnd:
       append(out,
-             ",\n{\"ph\":\"E\",\"pid\":0,\"tid\":%u,\"ts\":%s,"
+             ",\n{\"ph\":\"E\",\"pid\":%u,\"tid\":%u,\"ts\":%s,"
              "\"args\":{\"completed\":%u}}",
-             tid, ts.c_str(), ev.b);
+             pid, tid, ts.c_str(), ev.b);
       break;
     case EventKind::kGapBegin:
       append(out,
-             ",\n{\"name\":\"gap\",\"cat\":\"gap\",\"ph\":\"B\",\"pid\":0,"
+             ",\n{\"name\":\"gap\",\"cat\":\"gap\",\"ph\":\"B\",\"pid\":%u,"
              "\"tid\":%u,\"ts\":%s}",
-             tid, ts.c_str());
+             pid, tid, ts.c_str());
       break;
     case EventKind::kGapEnd:
-      append(out, ",\n{\"ph\":\"E\",\"pid\":0,\"tid\":%u,\"ts\":%s}", tid,
-             ts.c_str());
+      append(out, ",\n{\"ph\":\"E\",\"pid\":%u,\"tid\":%u,\"ts\":%s}", pid,
+             tid, ts.c_str());
       break;
     default:
       // Everything else renders as a thread-scoped instant marker.
       append(out,
              ",\n{\"name\":\"%s\",\"cat\":\"marker\",\"ph\":\"i\","
-             "\"s\":\"t\",\"pid\":0,\"tid\":%u,\"ts\":%s,"
+             "\"s\":\"t\",\"pid\":%u,\"tid\":%u,\"ts\":%s,"
              "\"args\":{\"bs\":%u,\"index\":%u,\"stage\":\"%s\",\"a\":%u,"
              "\"b\":%u}}",
-             to_string(ev.kind), tid, ts.c_str(), ev.bs, ev.index,
+             to_string(ev.kind), pid, tid, ts.c_str(), ev.bs, ev.index,
              to_string(ev.stage), ev.a, ev.b);
       break;
   }
@@ -171,24 +173,59 @@ std::string chrome_trace_json(const TraceStore& store,
   std::set<unsigned> tracks;
   for (const TraceEvent& ev : events) tracks.insert(ev.core);
 
+  // track -> Perfetto process: the claiming group's index, or one synthetic
+  // trailing process (named process_name) for unclaimed tracks.
+  const unsigned other_pid =
+      static_cast<unsigned>(options.processes.size());
+  auto pid_of = [&](unsigned track) {
+    for (std::size_t g = 0; g < options.processes.size(); ++g) {
+      const auto& p = options.processes[g];
+      if (track >= p.first_track && track < p.first_track + p.num_tracks)
+        return static_cast<unsigned>(g);
+    }
+    return other_pid;
+  };
+
   std::string out = "{\"traceEvents\":[";
   append(out,
-         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
          "\"args\":{\"name\":\"%s\"}}",
-         options.process_name.c_str());
-  for (const unsigned t : tracks) {
-    const bool worker = options.num_cores == 0 || t < options.num_cores;
+         other_pid, options.process_name.c_str());
+  for (std::size_t g = 0; g < options.processes.size(); ++g) {
     append(out,
-           ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
-           "\"args\":{\"name\":\"%s %u\"}}",
-           t, worker ? "core" : "ticker", t);
+           ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+           "\"args\":{\"name\":\"%s\"}}",
+           static_cast<unsigned>(g), options.processes[g].name.c_str());
+    append(out,
+           ",\n{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":%u,"
+           "\"args\":{\"sort_index\":%u}}",
+           static_cast<unsigned>(g), static_cast<unsigned>(g));
+  }
+  for (const unsigned t : tracks) {
+    const unsigned pid = pid_of(t);
+    // Grouped tracks are named relative to their process; the flat layout
+    // keeps the core/ticker split on the global track id.
+    std::string name;
+    if (pid < other_pid) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "core %u",
+                    t - options.processes[pid].first_track);
+      name = buf;
+    } else {
+      const bool worker = options.num_cores == 0 || t < options.num_cores;
+      name = (worker ? "core " : "ticker ") + std::to_string(t);
+    }
+    append(out,
+           ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+           "\"args\":{\"name\":\"%s\"}}",
+           pid, t, name.c_str());
     // sort_index keeps tracks in core order top-to-bottom in the UI.
     append(out,
-           ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,"
+           ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":%u,"
            "\"tid\":%u,\"args\":{\"sort_index\":%u}}",
-           t, t);
+           pid, t, t);
   }
-  for (const TraceEvent& ev : events) emit_event_json(out, ev);
+  for (const TraceEvent& ev : events) emit_event_json(out, ev, pid_of(ev.core));
   append(out,
          "],\n\"otherData\":{\"event_count\":%llu,\"ring_drops\":%llu,"
          "\"store_drops\":%llu}}\n",
@@ -212,17 +249,27 @@ void write_chrome_trace(const std::string& path, const TraceStore& store,
 
 void write_trace_csv(const std::string& path, const TraceStore& store) {
   CsvWriter csv(path);
-  // Version-tagged header (v2): the first column name carries the format
+  // Version-tagged header (v3): the first column name carries the format
   // version so the loader can reject files written by a future layout
   // instead of misreading them.
   csv.write_header(
-      {"ts_ns_v2", "core", "kind", "stage", "bs", "index", "a", "b"});
+      {"ts_ns_v3", "core", "kind", "stage", "bs", "index", "a", "b"});
   for (const TraceEvent& ev : store.events)
     csv.write_row({static_cast<double>(ev.ts), static_cast<double>(ev.core),
                    static_cast<double>(static_cast<unsigned>(ev.kind)),
                    static_cast<double>(static_cast<unsigned>(ev.stage)),
                    static_cast<double>(ev.bs), static_cast<double>(ev.index),
                    static_cast<double>(ev.a), static_cast<double>(ev.b)});
+  // Per-track ring-drop rows (kind = 254): one row per track, so the
+  // loaded store keeps the full per-ring loss breakdown. Zeros included —
+  // the row count doubles as the track count.
+  for (std::size_t t = 0; t < store.ring_drops_per_track.size(); ++t)
+    csv.write_row({0.0, static_cast<double>(t),
+                   static_cast<double>(kTraceCsvTrackDropsKind), 0.0, 0.0,
+                   0.0,
+                   static_cast<double>(clamp_payload_ns(static_cast<std::int64_t>(
+                       store.ring_drops_per_track[t]))),
+                   0.0});
   // Footer sentinel (kind = 255, never a real event): carries the event
   // count in the ts column plus the trace-loss counters, so a file whose
   // tail was cut off — even at a clean line boundary — fails loading

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "obs/tracer.hpp"
 
@@ -17,6 +18,20 @@ struct ChromeTraceOptions {
   /// "ticker N" (the runtime's extra non-worker track). 0 names every
   /// track "core N".
   unsigned num_cores = 0;
+
+  /// Optional process grouping for merged multi-node traces: each entry
+  /// becomes one Perfetto process (pid = entry index) owning the
+  /// half-open track range [first_track, first_track + num_tracks), with
+  /// process_name metadata and tracks named "core K" relative to the
+  /// range. Tracks no group claims (the cluster control / health tracks)
+  /// fall into a final process named `process_name`. Empty = the flat
+  /// single-process layout.
+  struct ProcessGroup {
+    std::string name;
+    unsigned first_track = 0;
+    unsigned num_tracks = 0;
+  };
+  std::vector<ProcessGroup> processes;
 };
 
 /// Serializes a drained TraceStore as Chrome trace-event JSON. Events are
@@ -33,13 +48,17 @@ void write_chrome_trace(const std::string& path, const TraceStore& store,
 
 /// Flat numeric CSV (ts_ns, core, kind, stage, bs, index, a, b) — one row
 /// per event, kinds/stages as their enum codes, via common/csv. The header
-/// names the format version in its first column ("ts_ns_v2") and the last
-/// row is a footer sentinel (kind = kTraceCsvFooterKind) carrying the event
-/// count and the ring/store drop counters, so truncated files are
-/// detectable on load.
+/// names the format version in its first column ("ts_ns_v3"). After the
+/// events come optional per-track ring-drop rows (kind =
+/// kTraceCsvTrackDropsKind: core = track, a = that ring's drop count), and
+/// the last row is always a footer sentinel (kind = kTraceCsvFooterKind)
+/// carrying the event count and the total ring/store drop counters, so
+/// truncated files are detectable on load.
 void write_trace_csv(const std::string& path, const TraceStore& store);
 
 /// Kind code reserved for the trace-CSV footer row; never a real event.
 inline constexpr unsigned kTraceCsvFooterKind = 255;
+/// Kind code reserved for v3 per-track ring-drop rows; never a real event.
+inline constexpr unsigned kTraceCsvTrackDropsKind = 254;
 
 }  // namespace rtopex::obs

@@ -1,0 +1,270 @@
+// Live fleet health: rolling-window SLO tracking with SRE-style
+// multi-window burn-rate alerting and online anomaly detection, shared by
+// the virtual-time simulator, the real-thread runtime and the cluster
+// layer. The tracing stack stays the single source of truth: a
+// HealthMonitor *consumes* the same TraceEvents the postmortem engine
+// reads — kArrival/kSubframeEnd for outcomes and slack, kLate/kLost/kShed
+// for the never-executed paths, kGap*/kOffload for behavioural rates — and
+// *produces* kAlert/kAlertClear events back into the trace, so every alert
+// is replayable, mergeable and attributable after the fact.
+//
+// Scope hierarchy. Every outcome is accounted at three scopes at once:
+// its basestation, the node that hosted it (via the track -> node map, or
+// the basestation's home for control-plane events), and the whole cluster.
+// Rules evaluate independently per scope, so a single dead node pages both
+// its own node scope and — when the fleet-wide budget burns fast enough —
+// the cluster scope, while unaffected nodes stay green.
+//
+// Burn-rate semantics (the SRE multi-window rule): with an SLO of
+// `slo_miss_rate`, the burn rate of a window is
+//     burn = (bad / offered) / slo_miss_rate
+// i.e. how many times faster than "exactly at SLO" the error budget is
+// being spent. A rule fires when BOTH its short and long window exceed the
+// threshold (the short window makes alerts fast to clear, the long window
+// suppresses blips), and clears with hysteresis: both windows must stay
+// below clear_fraction x threshold for clear_hold before the alert ends.
+//
+// Determinism: time is whatever the feeding substrate stamps into the
+// events (virtual ns in the sim/cluster, wall ns in the runtime).
+// Evaluation happens on fixed eval_period boundaries, all state is
+// integer-or-IEEE arithmetic in a fixed order, and the monitor never reads
+// a real clock — so same-seed virtual-time runs produce bit-identical
+// kAlert/kAlertClear streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/online_fit.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/tracer.hpp"
+
+namespace rtopex::obs::health {
+
+enum class Severity : std::uint8_t {
+  kWarn = 1,  ///< slow burn / anomaly: look when convenient.
+  kPage = 2,  ///< fast burn: the SLO is burning now.
+};
+
+enum class ScopeKind : std::uint8_t {
+  kCluster = 0,
+  kNode = 1,
+  kBasestation = 2,
+};
+
+/// Alert-rule vocabulary; the rule id rides in TraceEvent::index.
+enum class Rule : std::uint8_t {
+  kFastBurn = 0,         ///< page: short+long window burn over threshold.
+  kSlowBurn = 1,         ///< warn: slower sustained budget burn.
+  kSlackAnomaly = 2,     ///< warn: mean completion slack collapsed (z-score).
+  kGapAnomaly = 3,       ///< warn: idle-gap rate jumped (z-score).
+  kMigrationAnomaly = 4, ///< warn: migration/offload rate jumped (z-score).
+};
+
+inline constexpr unsigned kNumRules = 5;
+
+const char* to_string(Severity severity);
+const char* to_string(ScopeKind kind);
+const char* to_string(Rule rule);
+
+/// One multi-window burn-rate rule. Windows are multiples of the monitor's
+/// eval_period (validated); severities map fast-burn -> page and
+/// slow-burn -> warn in the defaults but are free knobs.
+struct BurnRateRule {
+  Duration short_window = 0;
+  Duration long_window = 0;
+  /// Fire when burn >= threshold in BOTH windows.
+  double threshold = 1.0;
+  /// Clear when burn < clear_fraction * threshold in both windows...
+  double clear_fraction = 0.5;
+  /// ...continuously for this long (hysteresis hold).
+  Duration clear_hold = 0;
+  Severity severity = Severity::kPage;
+};
+
+/// Everything the monitor needs to know about the run. Defaults are tuned
+/// for the millisecond-scale LTE subframe cadence (1 ms TTI): detection in
+/// one-to-few subframe periods, clears within tens of periods. Wall-clock
+/// runtimes with slower simulated periods scale these up via config.
+struct HealthConfig {
+  bool enabled = false;
+
+  /// Deadline-miss SLO target: the tolerated long-run miss fraction.
+  /// "bad" counts misses AND losses (a dead node burns budget immediately).
+  double slo_miss_rate = 0.01;
+
+  /// Rule-evaluation cadence; also the rolling-window bucket width.
+  Duration eval_period = milliseconds(5);
+
+  /// Page: the classic fast-burn pair, scaled to subframe time. 14x burn
+  /// over both windows empties a day-equivalent budget in under two hours.
+  BurnRateRule fast_burn{milliseconds(10), milliseconds(30), 14.0, 0.5,
+                         milliseconds(30), Severity::kPage};
+  /// Warn: slow sustained burn.
+  BurnRateRule slow_burn{milliseconds(30), milliseconds(120), 2.0, 0.5,
+                         milliseconds(60), Severity::kWarn};
+
+  /// A burn rule only *fires* once its long window holds at least this many
+  /// outcomes (clearing is never gated: an empty window reads as burn 0).
+  std::uint64_t min_window_samples = 20;
+
+  /// EWMA/z-score anomaly detectors over per-bucket slack means and
+  /// gap/migration rates.
+  bool anomaly_enabled = true;
+  double anomaly_alpha = 0.25;     ///< EWMA gain of both moments.
+  double z_threshold = 4.0;        ///< |z| that counts as anomalous.
+  unsigned z_consecutive = 3;      ///< anomalous buckets in a row to fire.
+  unsigned z_warmup = 8;           ///< buckets before z-scores are trusted.
+
+  /// Keep a per-eval HealthSnapshot history (rtopex_cluster --watch).
+  bool keep_history = false;
+
+  /// Throws std::invalid_argument on: non-positive eval period or SLO,
+  /// windows that are zero / not multiples of eval_period / short > long,
+  /// thresholds <= 0, clear fractions outside (0, 1], or anomaly knobs
+  /// <= 0 where a positive value is required.
+  void validate() const;
+};
+
+/// Static shape of the run being watched: how tracks and basestations map
+/// onto nodes. Single-node substrates leave the maps empty (everything is
+/// node 0); ClusterSim fills them from its track ranges and placement.
+struct Topology {
+  unsigned num_nodes = 1;
+  unsigned num_basestations = 0;
+  /// Worker cores per node (utilization denominator); empty -> unknown,
+  /// utilization reads 0.
+  std::vector<unsigned> node_cores;
+  /// track -> node; empty means every track is node 0. Tracks at or past
+  /// the end (e.g. the cluster control track) resolve via bs_to_node.
+  std::vector<unsigned> track_to_node;
+  /// basestation -> home node for events on unmapped tracks; empty means
+  /// node 0.
+  std::vector<unsigned> bs_to_node;
+};
+
+/// One fired (and possibly cleared) alert.
+struct Alert {
+  Rule rule = Rule::kFastBurn;
+  Severity severity = Severity::kPage;
+  ScopeKind scope = ScopeKind::kCluster;
+  std::uint32_t scope_id = 0;    ///< node id / basestation id; 0 for cluster.
+  TimePoint fired_at = 0;
+  TimePoint cleared_at = -1;     ///< -1 while active.
+  double value = 0.0;            ///< burn (SLO multiples) or |z| at fire.
+  std::uint64_t window_bad = 0;      ///< long-window outcomes at fire time.
+  std::uint64_t window_offered = 0;
+
+  bool active() const { return cleared_at < 0; }
+  friend bool operator==(const Alert&, const Alert&) = default;
+};
+
+/// Point-in-time health of one scope (a row of the rtopex_top table).
+struct ScopeHealth {
+  ScopeKind kind = ScopeKind::kCluster;
+  std::uint32_t id = 0;
+  std::uint64_t offered = 0;  ///< outcomes in the slow-burn long window.
+  std::uint64_t bad = 0;
+  double miss_rate = 0.0;     ///< bad / offered over that window.
+  double burn_rate = 0.0;     ///< miss_rate / slo.
+  double utilization = 0.0;   ///< busy / (cores x window); nodes only.
+  double slack_p50_us = 0.0;  ///< completion slack percentiles over the
+  double slack_p99_us = 0.0;  ///< window (completed subframes only).
+  unsigned active_warn = 0;
+  unsigned active_page = 0;
+  /// 0..100: 100 x (1 - burn/threshold)+ capped at 70 under an active warn
+  /// and 25 under an active page, so the score degrades before an alert
+  /// fires and an alert always dominates the number.
+  double health_score = 100.0;
+};
+
+struct HealthSnapshot {
+  TimePoint at = 0;
+  ScopeHealth cluster;
+  std::vector<ScopeHealth> nodes;  ///< one row per node, in node order.
+};
+
+/// The engine. Feed it events (any order within a bucket; exactly
+/// time-sorted input makes the output deterministic), advance() it past
+/// evaluation boundaries, then read alerts / snapshots / metrics.
+/// Single-threaded by design: in the runtime it lives entirely on the
+/// ticker thread, in virtual time on the simulation loop.
+class HealthMonitor {
+ public:
+  /// Validates the config (HealthConfig::validate) and the topology
+  /// (throws std::invalid_argument on zero nodes or an out-of-range map).
+  HealthMonitor(const HealthConfig& config, const Topology& topology);
+  ~HealthMonitor();
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Alert events are additionally pushed onto this tracer track (the
+  /// emitting substrate's own collector drains them like any other event).
+  /// Optional: alert_events() always records them regardless.
+  void set_tracer(Tracer* tracer, unsigned track);
+
+  /// Consume one trace event. Events at or past the next eval boundary
+  /// first advance evaluation, so a sorted feed never attributes an
+  /// outcome to an already-evaluated window.
+  void observe(const TraceEvent& ev);
+
+  /// Evaluate every rule at each eval boundary <= now. Idempotent.
+  void advance(TimePoint now);
+
+  /// Final advance past the end of the run: evaluates through `end` plus
+  /// one full long window of empty buckets so quiescent scopes can clear.
+  void finish(TimePoint end);
+
+  /// Every alert fired so far, in fire order (cleared ones keep their slot).
+  const std::vector<Alert>& alerts() const { return alerts_; }
+  unsigned active_alerts(Severity severity) const;
+
+  /// The kAlert/kAlertClear events emitted so far, in emission order.
+  const std::vector<TraceEvent>& alert_events() const { return events_; }
+
+  /// Health table at the last evaluated boundary.
+  HealthSnapshot snapshot() const;
+  /// Per-eval snapshots (empty unless config.keep_history).
+  const std::vector<HealthSnapshot>& history() const { return history_; }
+
+  /// rtopex_health_* series: per-scope score/burn/miss-rate/slack gauges,
+  /// active-alert gauges and fired-alert counters.
+  void fill_registry(MetricsRegistry& registry) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::vector<Alert> alerts_;
+  std::vector<TraceEvent> events_;
+  std::vector<HealthSnapshot> history_;
+};
+
+/// Convenience for trace-fed substrates: stable-sort a drained store by
+/// timestamp, feed it through a fresh monitor, finish at the last event.
+/// Returns the monitor for snapshot/registry access.
+std::unique_ptr<HealthMonitor> scan_store(const TraceStore& store,
+                                          const HealthConfig& config,
+                                          const Topology& topology);
+
+/// The rtopex_health_* series from stored outputs — what
+/// HealthMonitor::fill_registry delegates to. Lets a consumer holding only
+/// a ClusterResult (snapshot + alert log) re-emit the health series into a
+/// federated registry without the live monitor.
+void fill_registry(const HealthSnapshot& snapshot,
+                   const std::vector<Alert>& alerts,
+                   MetricsRegistry& registry);
+
+/// Alert log CSV (rule, severity, scope, scope_id, fired_ns, cleared_ns,
+/// value, window_bad, window_offered), one row per alert. Throws
+/// std::runtime_error on I/O failure.
+void write_alert_log_csv(const std::string& path,
+                         const std::vector<Alert>& alerts);
+
+/// One-line rendering ("PAGE fast_burn node 1 fired=305ms ...") for CLIs.
+std::string describe(const Alert& alert);
+
+}  // namespace rtopex::obs::health

@@ -1,0 +1,712 @@
+#include "obs/health/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rtopex::obs::health {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kWarn: return "warn";
+    case Severity::kPage: return "page";
+  }
+  return "unknown";
+}
+
+const char* to_string(ScopeKind kind) {
+  switch (kind) {
+    case ScopeKind::kCluster: return "cluster";
+    case ScopeKind::kNode: return "node";
+    case ScopeKind::kBasestation: return "bs";
+  }
+  return "unknown";
+}
+
+const char* to_string(Rule rule) {
+  switch (rule) {
+    case Rule::kFastBurn: return "fast_burn";
+    case Rule::kSlowBurn: return "slow_burn";
+    case Rule::kSlackAnomaly: return "slack_anomaly";
+    case Rule::kGapAnomaly: return "gap_anomaly";
+    case Rule::kMigrationAnomaly: return "migration_anomaly";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void validate_rule(const BurnRateRule& rule, Duration eval_period,
+                   const char* name) {
+  const std::string prefix = std::string("HealthConfig: ") + name;
+  if (rule.short_window <= 0 || rule.long_window <= 0)
+    throw std::invalid_argument(prefix + " windows must be > 0");
+  if (rule.short_window % eval_period != 0 ||
+      rule.long_window % eval_period != 0)
+    throw std::invalid_argument(prefix +
+                                " windows must be multiples of eval_period");
+  if (rule.short_window > rule.long_window)
+    throw std::invalid_argument(prefix + " short window exceeds long window");
+  if (rule.threshold <= 0.0)
+    throw std::invalid_argument(prefix + " threshold must be > 0");
+  if (rule.clear_fraction <= 0.0 || rule.clear_fraction > 1.0)
+    throw std::invalid_argument(prefix + " clear_fraction outside (0, 1]");
+  if (rule.clear_hold < 0)
+    throw std::invalid_argument(prefix + " clear_hold must be >= 0");
+}
+
+}  // namespace
+
+void HealthConfig::validate() const {
+  if (eval_period <= 0)
+    throw std::invalid_argument("HealthConfig: eval_period must be > 0");
+  if (slo_miss_rate <= 0.0 || slo_miss_rate > 1.0)
+    throw std::invalid_argument("HealthConfig: slo_miss_rate outside (0, 1]");
+  validate_rule(fast_burn, eval_period, "fast_burn");
+  validate_rule(slow_burn, eval_period, "slow_burn");
+  if (anomaly_enabled) {
+    if (anomaly_alpha <= 0.0 || anomaly_alpha > 1.0)
+      throw std::invalid_argument("HealthConfig: anomaly_alpha outside (0, 1]");
+    if (z_threshold <= 0.0)
+      throw std::invalid_argument("HealthConfig: z_threshold must be > 0");
+    if (z_consecutive == 0)
+      throw std::invalid_argument("HealthConfig: z_consecutive must be > 0");
+  }
+}
+
+namespace {
+
+/// Slack histogram layout: [0.1 us, 100 ms) at 8 buckets/decade — coarse
+/// enough to keep one histogram per rolling bucket per node cheap, fine
+/// enough for p99 at ~33% relative error bounds.
+Histogram make_slack_histogram() { return Histogram(0.1, 1e5, 8); }
+
+struct Bucket {
+  std::int64_t seq = -1;  ///< bucket sequence number; -1 = never written.
+  std::uint64_t offered = 0;
+  std::uint64_t bad = 0;
+  std::uint64_t gaps = 0;
+  std::uint64_t migrations = 0;
+  Duration busy = 0;
+  double slack_sum_us = 0.0;
+  std::uint64_t slack_count = 0;
+  /// Single-bucket placeholder by default; percentile-tracking scopes
+  /// (cluster, nodes) swap in the real layout at construction.
+  Histogram slack{0.1, 1.0, 1};
+
+  void reset(std::int64_t new_seq) {
+    seq = new_seq;
+    offered = bad = gaps = migrations = 0;
+    busy = 0;
+    slack_sum_us = 0.0;
+    slack_count = 0;
+    slack.reset();
+  }
+};
+
+struct RuleState {
+  bool active = false;
+  TimePoint below_since = -1;  ///< burn rules: first boundary below clear.
+  unsigned anomalous_streak = 0;
+  unsigned normal_streak = 0;
+  std::size_t alert_idx = 0;  ///< index into HealthMonitor::alerts_.
+};
+
+struct ScopeState {
+  ScopeKind kind = ScopeKind::kCluster;
+  std::uint32_t id = 0;
+  bool track_percentiles = false;  ///< per-bucket slack histograms kept.
+  std::int64_t newest_seq = -1;
+  std::vector<Bucket> ring;
+  RuleState rules[kNumRules];
+  model::MeanVarEwma slack_z;
+  model::MeanVarEwma gap_z;
+  model::MeanVarEwma migration_z;
+
+  Bucket* bucket_for(std::int64_t seq) {
+    const std::int64_t len = static_cast<std::int64_t>(ring.size());
+    if (seq <= newest_seq - len) return nullptr;  // rotated out already.
+    if (seq > newest_seq) {
+      for (std::int64_t s = std::max(newest_seq + 1, seq - len + 1); s <= seq;
+           ++s)
+        ring[static_cast<std::size_t>(s % len)].reset(s);
+      newest_seq = seq;
+    }
+    Bucket& b = ring[static_cast<std::size_t>(seq % len)];
+    return b.seq == seq ? &b : nullptr;
+  }
+
+  const Bucket* bucket_at(std::int64_t seq) const {
+    if (seq < 0) return nullptr;
+    const Bucket& b = ring[static_cast<std::size_t>(
+        seq % static_cast<std::int64_t>(ring.size()))];
+    return b.seq == seq ? &b : nullptr;
+  }
+};
+
+struct WindowSum {
+  std::uint64_t offered = 0;
+  std::uint64_t bad = 0;
+  Duration busy = 0;
+};
+
+}  // namespace
+
+struct HealthMonitor::Impl {
+  HealthConfig cfg;
+  Topology topo;
+  Duration eval_ns = 0;
+  std::int64_t last_evaluated = -1;  ///< newest fully evaluated bucket seq.
+  Tracer* tracer = nullptr;
+  unsigned tracer_track = 0;
+  std::uint64_t stale_events = 0;  ///< events older than the ring.
+
+  ScopeState cluster;
+  std::vector<ScopeState> nodes;
+  std::vector<ScopeState> basestations;
+
+  /// (bs << 32 | index) -> deadline from kArrival, for completion slack.
+  std::unordered_map<std::uint64_t, TimePoint> deadline;
+  /// Open subframe/host span start per track, for busy-time accounting.
+  std::unordered_map<std::uint32_t, TimePoint> span_open;
+
+  unsigned node_of(const TraceEvent& ev) const {
+    if (ev.core < topo.track_to_node.size()) return topo.track_to_node[ev.core];
+    if (!topo.track_to_node.empty() && ev.bs < topo.bs_to_node.size())
+      return topo.bs_to_node[ev.bs];
+    return 0;
+  }
+
+  std::int64_t seq_of(TimePoint ts) const {
+    return ts <= 0 ? 0 : ts / eval_ns;
+  }
+
+  unsigned window_buckets(Duration window) const {
+    return static_cast<unsigned>(window / eval_ns);
+  }
+
+  WindowSum window_sum(const ScopeState& scope, std::int64_t end_seq,
+                       unsigned nbuckets) const {
+    WindowSum sum;
+    for (std::int64_t s = end_seq - static_cast<std::int64_t>(nbuckets) + 1;
+         s <= end_seq; ++s) {
+      const Bucket* b = scope.bucket_at(s);
+      if (!b) continue;
+      sum.offered += b->offered;
+      sum.bad += b->bad;
+      sum.busy += b->busy;
+    }
+    return sum;
+  }
+
+  double burn(const WindowSum& w) const {
+    if (w.offered == 0) return 0.0;
+    return (static_cast<double>(w.bad) / static_cast<double>(w.offered)) /
+           cfg.slo_miss_rate;
+  }
+};
+
+HealthMonitor::HealthMonitor(const HealthConfig& config,
+                             const Topology& topology)
+    : impl_(std::make_unique<Impl>()) {
+  config.validate();
+  if (topology.num_nodes == 0)
+    throw std::invalid_argument("HealthMonitor: topology has zero nodes");
+  for (const unsigned n : topology.track_to_node)
+    if (n >= topology.num_nodes)
+      throw std::invalid_argument("HealthMonitor: track maps past num_nodes");
+  for (const unsigned n : topology.bs_to_node)
+    if (n >= topology.num_nodes)
+      throw std::invalid_argument(
+          "HealthMonitor: basestation maps past num_nodes");
+
+  Impl& im = *impl_;
+  im.cfg = config;
+  im.topo = topology;
+  im.eval_ns = config.eval_period;
+  const Duration longest =
+      std::max(config.fast_burn.long_window, config.slow_burn.long_window);
+  const std::size_t ring_len = static_cast<std::size_t>(
+      longest / config.eval_period + 2);
+
+  auto init_scope = [&](ScopeState& scope, ScopeKind kind, std::uint32_t id,
+                        bool percentiles) {
+    scope.kind = kind;
+    scope.id = id;
+    scope.track_percentiles = percentiles;
+    scope.ring.assign(ring_len, Bucket{});
+    if (percentiles)
+      for (Bucket& b : scope.ring) b.slack = make_slack_histogram();
+    scope.slack_z = model::MeanVarEwma(config.anomaly_alpha, config.z_warmup);
+    scope.gap_z = model::MeanVarEwma(config.anomaly_alpha, config.z_warmup);
+    scope.migration_z =
+        model::MeanVarEwma(config.anomaly_alpha, config.z_warmup);
+  };
+
+  init_scope(im.cluster, ScopeKind::kCluster, 0, true);
+  im.nodes.resize(topology.num_nodes);
+  for (unsigned n = 0; n < topology.num_nodes; ++n)
+    init_scope(im.nodes[n], ScopeKind::kNode, n, true);
+  im.basestations.resize(topology.num_basestations);
+  for (unsigned b = 0; b < topology.num_basestations; ++b)
+    init_scope(im.basestations[b], ScopeKind::kBasestation, b, false);
+}
+
+HealthMonitor::~HealthMonitor() = default;
+
+void HealthMonitor::set_tracer(Tracer* tracer, unsigned track) {
+  impl_->tracer = tracer;
+  impl_->tracer_track = track;
+}
+
+void HealthMonitor::observe(const TraceEvent& ev) {
+  Impl& im = *impl_;
+  // Evaluate any boundary this event's timestamp has passed first, so a
+  // time-sorted feed never retro-fills an already-evaluated window.
+  advance(ev.ts);
+
+  const auto key = [&] {
+    return (static_cast<std::uint64_t>(ev.bs) << 32) | ev.index;
+  };
+
+  std::uint64_t offered = 0, bad = 0, gaps = 0, migrations = 0;
+  Duration busy = 0;
+  double slack_us = -1.0;
+  bool count_bs = true;
+
+  switch (ev.kind) {
+    case EventKind::kArrival:
+      // Deadline rides in `a` as deadline - arrival; remember it so the
+      // completion event can compute slack without guessing budgets.
+      im.deadline[key()] = ev.ts + static_cast<TimePoint>(ev.a);
+      return;
+    case EventKind::kSubframeBegin:
+      im.span_open[ev.core] = ev.ts;
+      return;
+    case EventKind::kHostBegin:
+      im.span_open[ev.core] = ev.ts;
+      return;
+    case EventKind::kHostEnd: {
+      const auto it = im.span_open.find(ev.core);
+      if (it == im.span_open.end()) return;
+      busy = ev.ts - it->second;
+      im.span_open.erase(it);
+      count_bs = false;  // chunk work accounts to the host node, not the bs.
+      break;
+    }
+    case EventKind::kSubframeEnd: {
+      offered = 1;
+      bad = ev.a != 0 ? 1 : 0;
+      const auto span = im.span_open.find(ev.core);
+      if (span != im.span_open.end()) {
+        busy = ev.ts - span->second;
+        im.span_open.erase(span);
+      }
+      const auto dl = im.deadline.find(key());
+      if (dl != im.deadline.end()) {
+        if (ev.a == 0)
+          slack_us = static_cast<double>(std::max<TimePoint>(
+                         0, dl->second - ev.ts)) /
+                     1000.0;
+        im.deadline.erase(dl);
+      }
+      break;
+    }
+    case EventKind::kLate:
+    case EventKind::kLost:
+    case EventKind::kShed:
+      offered = 1;
+      bad = 1;
+      im.deadline.erase(key());
+      break;
+    case EventKind::kGapEnd:
+      gaps = 1;
+      count_bs = false;
+      break;
+    case EventKind::kOffload:
+      migrations = 1;
+      count_bs = false;
+      break;
+    default:
+      return;  // stage spans, markers, kJobSpec, alerts: not health inputs.
+  }
+
+  const std::int64_t seq = im.seq_of(ev.ts);
+  const unsigned node = im.node_of(ev);
+  auto deposit = [&](ScopeState& scope, bool with_busy) {
+    Bucket* b = scope.bucket_for(seq);
+    if (!b) {
+      ++im.stale_events;
+      return;
+    }
+    b->offered += offered;
+    b->bad += bad;
+    b->gaps += gaps;
+    b->migrations += migrations;
+    if (with_busy) b->busy += busy;
+    if (slack_us >= 0.0) {
+      b->slack_sum_us += slack_us;
+      ++b->slack_count;
+      if (scope.track_percentiles) b->slack.add(slack_us);
+    }
+  };
+
+  deposit(im.cluster, true);
+  if (node < im.nodes.size()) deposit(im.nodes[node], true);
+  if (count_bs && ev.bs < im.basestations.size())
+    deposit(im.basestations[ev.bs], false);
+}
+
+namespace {
+
+/// Packs severity and scope kind into the kAlert `a` payload word.
+std::uint32_t pack_alert_a(Severity severity, ScopeKind scope) {
+  return static_cast<std::uint32_t>(severity) |
+         (static_cast<std::uint32_t>(scope) << 8);
+}
+
+std::uint32_t milli_payload(double value) {
+  return clamp_payload_ns(static_cast<std::int64_t>(value * 1000.0));
+}
+
+}  // namespace
+
+void HealthMonitor::advance(TimePoint now) {
+  Impl& im = *impl_;
+
+  // Evaluate boundary T = (seq + 1) * eval once `now` has reached it: every
+  // event belonging to buckets <= seq must already have been observed on a
+  // sorted feed.
+  while ((im.last_evaluated + 2) * im.eval_ns <= now) {
+    const std::int64_t seq = im.last_evaluated + 1;
+    const TimePoint boundary = (seq + 1) * im.eval_ns;
+
+    auto emit_transition = [&](const ScopeState& scope, Rule rule,
+                               Severity severity, double value, bool fired) {
+      TraceEvent ev;
+      ev.ts = boundary;
+      ev.bs = scope.id;
+      ev.index = static_cast<std::uint32_t>(rule);
+      ev.a = pack_alert_a(severity, scope.kind);
+      ev.b = milli_payload(value);
+      ev.core = im.tracer_track;
+      ev.kind = fired ? EventKind::kAlert : EventKind::kAlertClear;
+      events_.push_back(ev);
+      if (im.tracer) im.tracer->emit(ev);
+    };
+
+    auto eval_burn_rule = [&](ScopeState& scope, Rule rule,
+                              const BurnRateRule& r) {
+      RuleState& st = scope.rules[static_cast<std::size_t>(rule)];
+      const WindowSum short_w =
+          im.window_sum(scope, seq, im.window_buckets(r.short_window));
+      const WindowSum long_w =
+          im.window_sum(scope, seq, im.window_buckets(r.long_window));
+      const double burn_s = im.burn(short_w);
+      const double burn_l = im.burn(long_w);
+      if (!st.active) {
+        if (long_w.offered >= im.cfg.min_window_samples &&
+            burn_s >= r.threshold && burn_l >= r.threshold) {
+          st.active = true;
+          st.below_since = -1;
+          st.alert_idx = alerts_.size();
+          alerts_.push_back({rule, r.severity, scope.kind, scope.id, boundary,
+                             -1, burn_l, long_w.bad, long_w.offered});
+          emit_transition(scope, rule, r.severity, burn_l, true);
+        }
+        return;
+      }
+      const double clear_at = r.clear_fraction * r.threshold;
+      if (burn_s < clear_at && burn_l < clear_at) {
+        if (st.below_since < 0) st.below_since = boundary;
+        if (boundary - st.below_since >= r.clear_hold) {
+          st.active = false;
+          st.below_since = -1;
+          alerts_[st.alert_idx].cleared_at = boundary;
+          emit_transition(scope, rule, r.severity, burn_l, false);
+        }
+      } else {
+        st.below_since = -1;
+      }
+    };
+
+    // One anomaly detector: the rule fires after `z_consecutive` anomalous
+    // buckets in a row and clears after the same count of normal ones.
+    // `sample` < 0 means "no observation this bucket" (skips the EWMA).
+    auto eval_anomaly = [&](ScopeState& scope, Rule rule,
+                            model::MeanVarEwma& ewma, double sample,
+                            bool low_is_bad) {
+      if (!im.cfg.anomaly_enabled) return;
+      RuleState& st = scope.rules[static_cast<std::size_t>(rule)];
+      if (sample < 0.0) return;
+      const double z = ewma.zscore(sample);
+      const bool anomalous =
+          low_is_bad ? z <= -im.cfg.z_threshold : z >= im.cfg.z_threshold;
+      // Anomalous buckets are withheld from the EWMA so a sustained fault
+      // cannot teach the detector that broken is normal before it fires.
+      if (!anomalous) ewma.observe(sample);
+      if (anomalous) {
+        ++st.anomalous_streak;
+        st.normal_streak = 0;
+      } else {
+        st.anomalous_streak = 0;
+        ++st.normal_streak;
+      }
+      if (!st.active && st.anomalous_streak >= im.cfg.z_consecutive) {
+        st.active = true;
+        st.alert_idx = alerts_.size();
+        alerts_.push_back({rule, Severity::kWarn, scope.kind, scope.id,
+                           boundary, -1, std::abs(z), 0, 0});
+        emit_transition(scope, rule, Severity::kWarn, std::abs(z), true);
+      } else if (st.active && st.normal_streak >= im.cfg.z_consecutive) {
+        st.active = false;
+        alerts_[st.alert_idx].cleared_at = boundary;
+        emit_transition(scope, rule, Severity::kWarn, std::abs(z), false);
+      }
+    };
+
+    auto eval_scope = [&](ScopeState& scope) {
+      eval_burn_rule(scope, Rule::kFastBurn, im.cfg.fast_burn);
+      eval_burn_rule(scope, Rule::kSlowBurn, im.cfg.slow_burn);
+      const Bucket* b = scope.bucket_at(seq);
+      const double slack_mean =
+          b && b->slack_count > 0
+              ? b->slack_sum_us / static_cast<double>(b->slack_count)
+              : -1.0;
+      eval_anomaly(scope, Rule::kSlackAnomaly, scope.slack_z, slack_mean,
+                   /*low_is_bad=*/true);
+      if (scope.kind != ScopeKind::kBasestation) {
+        // Gap/migration rates are core phenomena; basestation scope only
+        // watches its own outcomes and slack.
+        eval_anomaly(scope, Rule::kGapAnomaly, scope.gap_z,
+                     b ? static_cast<double>(b->gaps) : 0.0,
+                     /*low_is_bad=*/false);
+        eval_anomaly(scope, Rule::kMigrationAnomaly, scope.migration_z,
+                     b ? static_cast<double>(b->migrations) : 0.0,
+                     /*low_is_bad=*/false);
+      }
+    };
+
+    eval_scope(im.cluster);
+    for (ScopeState& scope : im.nodes) eval_scope(scope);
+    for (ScopeState& scope : im.basestations) eval_scope(scope);
+
+    im.last_evaluated = seq;
+    if (im.cfg.keep_history) history_.push_back(snapshot());
+  }
+}
+
+void HealthMonitor::finish(TimePoint end) {
+  const Impl& im = *impl_;
+  // Enough empty boundaries past the end for every clearable alert to
+  // actually clear: the longest window plus the longest hold, plus the
+  // anomaly streak length, plus one boundary of slack.
+  const Duration drain =
+      std::max(im.cfg.fast_burn.long_window, im.cfg.slow_burn.long_window) +
+      std::max(im.cfg.fast_burn.clear_hold, im.cfg.slow_burn.clear_hold) +
+      static_cast<Duration>(im.cfg.z_consecutive + 2) * im.eval_ns;
+  advance(std::max<TimePoint>(end, 0) + drain);
+}
+
+unsigned HealthMonitor::active_alerts(Severity severity) const {
+  unsigned n = 0;
+  for (const Alert& a : alerts_)
+    if (a.active() && a.severity == severity) ++n;
+  return n;
+}
+
+HealthSnapshot HealthMonitor::snapshot() const {
+  const Impl& im = *impl_;
+  HealthSnapshot snap;
+  snap.at = (im.last_evaluated + 1) * im.eval_ns;
+
+  auto scope_health = [&](const ScopeState& scope, unsigned cores) {
+    ScopeHealth h;
+    h.kind = scope.kind;
+    h.id = scope.id;
+    const unsigned nbuckets =
+        im.window_buckets(im.cfg.slow_burn.long_window);
+    const WindowSum w = im.window_sum(scope, im.last_evaluated, nbuckets);
+    h.offered = w.offered;
+    h.bad = w.bad;
+    h.miss_rate = w.offered == 0 ? 0.0
+                                 : static_cast<double>(w.bad) /
+                                       static_cast<double>(w.offered);
+    h.burn_rate = h.miss_rate / im.cfg.slo_miss_rate;
+    if (cores > 0) {
+      const double capacity = static_cast<double>(cores) *
+                              static_cast<double>(nbuckets) *
+                              static_cast<double>(im.eval_ns);
+      h.utilization =
+          capacity > 0.0 ? static_cast<double>(w.busy) / capacity : 0.0;
+    }
+    if (scope.track_percentiles) {
+      Histogram slack = make_slack_histogram();
+      for (std::int64_t s = im.last_evaluated - nbuckets + 1;
+           s <= im.last_evaluated; ++s) {
+        const Bucket* b = scope.bucket_at(s);
+        if (b && b->slack.count() > 0) slack.merge(b->slack);
+      }
+      if (slack.count() > 0) {
+        h.slack_p50_us = slack.p50();
+        h.slack_p99_us = slack.percentile(0.01);  // worst-1% slack: low tail.
+      }
+    }
+    for (const RuleState& st : scope.rules)
+      if (st.active) {
+        const Alert& a = alerts_[st.alert_idx];
+        if (a.severity == Severity::kPage)
+          ++h.active_page;
+        else
+          ++h.active_warn;
+      }
+    double score =
+        100.0 *
+        std::max(0.0, 1.0 - h.burn_rate / im.cfg.fast_burn.threshold);
+    if (h.active_warn > 0) score = std::min(score, 70.0);
+    if (h.active_page > 0) score = std::min(score, 25.0);
+    h.health_score = score;
+    return h;
+  };
+
+  unsigned total_cores = 0;
+  for (const unsigned c : im.topo.node_cores) total_cores += c;
+  snap.cluster = scope_health(im.cluster, total_cores);
+  snap.nodes.reserve(im.nodes.size());
+  for (std::size_t n = 0; n < im.nodes.size(); ++n)
+    snap.nodes.push_back(scope_health(
+        im.nodes[n],
+        n < im.topo.node_cores.size() ? im.topo.node_cores[n] : 0));
+  return snap;
+}
+
+void HealthMonitor::fill_registry(MetricsRegistry& registry) const {
+  health::fill_registry(snapshot(), alerts_, registry);
+}
+
+void fill_registry(const HealthSnapshot& snap, const std::vector<Alert>& alerts,
+                   MetricsRegistry& registry) {
+  auto scope_labels = [](const ScopeHealth& h) {
+    MetricsRegistry::Labels labels{{"scope", to_string(h.kind)}};
+    if (h.kind != ScopeKind::kCluster)
+      labels.push_back({to_string(h.kind), std::to_string(h.id)});
+    return labels;
+  };
+  auto emit_scope = [&](const ScopeHealth& h) {
+    const MetricsRegistry::Labels labels = scope_labels(h);
+    registry.add_gauge("rtopex_health_score",
+                       "Scope health score, 0 (paging) to 100 (idle-clean).",
+                       h.health_score, labels);
+    registry.add_gauge("rtopex_health_miss_rate",
+                       "Bad-outcome fraction over the slow-burn long window.",
+                       h.miss_rate, labels);
+    registry.add_gauge("rtopex_health_burn_rate",
+                       "Error-budget burn rate in SLO multiples.", h.burn_rate,
+                       labels);
+    registry.add_gauge("rtopex_health_utilization",
+                       "Busy fraction of the scope's cores over the window.",
+                       h.utilization, labels);
+    registry.add_gauge("rtopex_health_slack_p50_us",
+                       "Median completion slack over the window (us).",
+                       h.slack_p50_us, labels);
+    registry.add_gauge(
+        "rtopex_health_slack_p99_us",
+        "Worst-percentile (lowest 1%) completion slack over the window (us).",
+        h.slack_p99_us, labels);
+    registry.add_gauge("rtopex_health_window_offered",
+                       "Outcomes seen in the slow-burn long window.",
+                       static_cast<double>(h.offered), labels);
+  };
+
+  emit_scope(snap.cluster);
+  for (const ScopeHealth& h : snap.nodes) emit_scope(h);
+
+  for (const Severity severity : {Severity::kWarn, Severity::kPage}) {
+    unsigned active = 0;
+    for (const Alert& a : alerts)
+      if (a.active() && a.severity == severity) ++active;
+    registry.add_gauge("rtopex_health_active_alerts",
+                       "Currently active alerts across every scope.",
+                       static_cast<double>(active),
+                       {{"severity", to_string(severity)}});
+  }
+
+  std::uint64_t fired[kNumRules] = {};
+  std::uint64_t cleared[kNumRules] = {};
+  for (const Alert& a : alerts) {
+    ++fired[static_cast<std::size_t>(a.rule)];
+    if (!a.active()) ++cleared[static_cast<std::size_t>(a.rule)];
+  }
+  for (unsigned r = 0; r < kNumRules; ++r) {
+    const MetricsRegistry::Labels labels{
+        {"rule", to_string(static_cast<Rule>(r))}};
+    registry.add_counter("rtopex_health_alerts_fired_total",
+                         "Alerts fired since the run began.",
+                         static_cast<double>(fired[r]), labels);
+    registry.add_counter("rtopex_health_alerts_cleared_total",
+                         "Fired alerts that have since cleared.",
+                         static_cast<double>(cleared[r]), labels);
+  }
+}
+
+std::unique_ptr<HealthMonitor> scan_store(const TraceStore& store,
+                                          const HealthConfig& config,
+                                          const Topology& topology) {
+  auto monitor = std::make_unique<HealthMonitor>(config, topology);
+  std::vector<TraceEvent> events = store.events;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) {
+                     return x.ts < y.ts;
+                   });
+  TimePoint end = 0;
+  for (const TraceEvent& ev : events) {
+    monitor->observe(ev);
+    end = std::max(end, ev.ts);
+  }
+  monitor->finish(end);
+  return monitor;
+}
+
+void write_alert_log_csv(const std::string& path,
+                         const std::vector<Alert>& alerts) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f)
+    throw std::runtime_error("write_alert_log_csv: cannot open " + path);
+  std::fputs(
+      "rule,severity,scope,scope_id,fired_ns,cleared_ns,value,"
+      "window_bad,window_offered\n",
+      f);
+  for (const Alert& a : alerts)
+    std::fprintf(f, "%s,%s,%s,%u,%lld,%lld,%.6g,%llu,%llu\n",
+                 to_string(a.rule), to_string(a.severity), to_string(a.scope),
+                 a.scope_id, static_cast<long long>(a.fired_at),
+                 static_cast<long long>(a.cleared_at), a.value,
+                 static_cast<unsigned long long>(a.window_bad),
+                 static_cast<unsigned long long>(a.window_offered));
+  if (std::fclose(f) != 0)
+    throw std::runtime_error("write_alert_log_csv: short write to " + path);
+}
+
+std::string describe(const Alert& alert) {
+  char buf[192];
+  char scope[48];
+  if (alert.scope == ScopeKind::kCluster)
+    std::snprintf(scope, sizeof(scope), "cluster");
+  else
+    std::snprintf(scope, sizeof(scope), "%s %u", to_string(alert.scope),
+                  alert.scope_id);
+  if (alert.active())
+    std::snprintf(buf, sizeof(buf),
+                  "%s %s @ %s fired=%.1fms value=%.2f (ACTIVE)",
+                  to_string(alert.severity), to_string(alert.rule), scope,
+                  to_ms(alert.fired_at), alert.value);
+  else
+    std::snprintf(buf, sizeof(buf),
+                  "%s %s @ %s fired=%.1fms cleared=%.1fms value=%.2f",
+                  to_string(alert.severity), to_string(alert.rule), scope,
+                  to_ms(alert.fired_at), to_ms(alert.cleared_at), alert.value);
+  return buf;
+}
+
+}  // namespace rtopex::obs::health

@@ -31,6 +31,22 @@ std::string escape_label(const std::string& v) {
   return out;
 }
 
+// HELP text escaping differs from label values: only backslash and newline
+// are escaped (quotes are legal in help text).
+std::string escape_help(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
 std::string render_labels(const MetricsRegistry::Labels& labels,
                           const std::string& extra_key = "",
                           const std::string& extra_value = "") {
@@ -71,42 +87,74 @@ void MetricsRegistry::add_histogram(const std::string& name,
   entries_.push_back({Type::kHistogram, name, help, labels, 0.0, histogram});
 }
 
+void MetricsRegistry::merge(const MetricsRegistry& other,
+                            const Labels& extra_labels) {
+  for (Entry e : other.entries_) {
+    for (const auto& [key, value] : extra_labels) {
+      bool replaced = false;
+      for (auto& [k, v] : e.labels)
+        if (k == key) {
+          v = value;
+          replaced = true;
+          break;
+        }
+      if (!replaced) e.labels.push_back({key, value});
+    }
+    entries_.push_back(std::move(e));
+  }
+}
+
 std::string MetricsRegistry::render() const {
+  // Group samples by metric name (first-appearance order): the text format
+  // requires every line of one metric family to be contiguous.
+  std::vector<std::string> name_order;
+  std::set<std::string> seen;
+  for (const Entry& e : entries_)
+    if (seen.insert(e.name).second) name_order.push_back(e.name);
+
   std::string out;
-  std::set<std::string> header_done;
-  for (const Entry& e : entries_) {
-    if (header_done.insert(e.name).second) {
-      out += "# HELP " + e.name + " " + e.help + "\n";
-      out += "# TYPE " + e.name + " ";
-      out += e.type == Type::kCounter
-                 ? "counter"
-                 : e.type == Type::kGauge ? "gauge" : "histogram";
-      out += "\n";
+  for (const std::string& name : name_order) {
+    bool header_done = false;
+    for (const Entry& e : entries_) {
+      if (e.name != name) continue;
+      if (!header_done) {
+        out += "# HELP " + e.name + " " + escape_help(e.help) + "\n";
+        out += "# TYPE " + e.name + " ";
+        out += e.type == Type::kCounter
+                   ? "counter"
+                   : e.type == Type::kGauge ? "gauge" : "histogram";
+        out += "\n";
+        header_done = true;
+      }
+      render_entry(out, e);
     }
-    if (e.type != Type::kHistogram) {
-      out += e.name + render_labels(e.labels) + " " + format_value(e.value) +
-             "\n";
-      continue;
-    }
-    const Histogram& h = e.histogram;
-    std::uint64_t cum = 0;
-    for (std::size_t i = 0; i < h.bucket_count(); ++i) {
-      // Empty buckets are skipped (log-scale histograms are sparse); the
-      // cumulative +Inf bucket below always carries the full count.
-      if (h.bucket(i) == 0) continue;
-      cum += h.bucket(i);
-      out += e.name + "_bucket" +
-             render_labels(e.labels, "le", format_value(h.bucket_upper(i))) +
-             " " + format_value(static_cast<double>(cum)) + "\n";
-    }
-    out += e.name + "_bucket" + render_labels(e.labels, "le", "+Inf") + " " +
-           format_value(static_cast<double>(h.count())) + "\n";
-    out += e.name + "_sum" + render_labels(e.labels) + " " +
-           format_value(h.sum()) + "\n";
-    out += e.name + "_count" + render_labels(e.labels) + " " +
-           format_value(static_cast<double>(h.count())) + "\n";
   }
   return out;
+}
+
+void MetricsRegistry::render_entry(std::string& out, const Entry& e) {
+  if (e.type != Type::kHistogram) {
+    out += e.name + render_labels(e.labels) + " " + format_value(e.value) +
+           "\n";
+    return;
+  }
+  const Histogram& h = e.histogram;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    // Empty buckets are skipped (log-scale histograms are sparse); the
+    // cumulative +Inf bucket below always carries the full count.
+    if (h.bucket(i) == 0) continue;
+    cum += h.bucket(i);
+    out += e.name + "_bucket" +
+           render_labels(e.labels, "le", format_value(h.bucket_upper(i))) +
+           " " + format_value(static_cast<double>(cum)) + "\n";
+  }
+  out += e.name + "_bucket" + render_labels(e.labels, "le", "+Inf") + " " +
+         format_value(static_cast<double>(h.count())) + "\n";
+  out += e.name + "_sum" + render_labels(e.labels) + " " +
+         format_value(h.sum()) + "\n";
+  out += e.name + "_count" + render_labels(e.labels) + " " +
+         format_value(static_cast<double>(h.count())) + "\n";
 }
 
 void MetricsRegistry::write(const std::string& path) const {

@@ -31,8 +31,16 @@ class MetricsRegistry {
   bool empty() const { return entries_.empty(); }
   void clear() { entries_.clear(); }
 
-  /// Prometheus text exposition format. Entries with the same metric name
-  /// share one # HELP / # TYPE header (the first help string wins).
+  /// Appends every sample from `other`, adding `extra_labels` to each (an
+  /// extra key already present on a sample overrides its value). This is
+  /// the federation primitive: merge per-node registries into one fleet
+  /// snapshot with {node="N"} labels keeping the series distinct.
+  void merge(const MetricsRegistry& other, const Labels& extra_labels = {});
+
+  /// Prometheus text exposition format. Samples sharing a metric name are
+  /// rendered contiguously under one # HELP / # TYPE header (first help
+  /// string and type win), regardless of insertion order — interleaved
+  /// families are invalid expositions.
   std::string render() const;
 
   /// render() to a file (truncates). Throws std::runtime_error on failure.
@@ -48,6 +56,9 @@ class MetricsRegistry {
     double value = 0.0;    ///< counter/gauge only.
     Histogram histogram;   ///< histogram only.
   };
+
+  static void render_entry(std::string& out, const Entry& e);
+
   std::vector<Entry> entries_;
 };
 

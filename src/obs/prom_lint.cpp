@@ -1,0 +1,333 @@
+#include "obs/prom_lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace rtopex::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!head(name[0])) return false;
+  return std::all_of(name.begin() + 1, name.end(), tail);
+}
+
+bool valid_label_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  if (!head(name[0])) return false;
+  return std::all_of(name.begin() + 1, name.end(), [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  });
+}
+
+bool parse_float(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  if (text == "+Inf" || text == "Inf") {
+    *out = 1e308 * 10;
+    return true;
+  }
+  if (text == "-Inf") {
+    *out = -1e308 * 10;
+    return true;
+  }
+  if (text == "NaN") {
+    *out = 0.0;
+    return true;
+  }
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+struct Sample {
+  std::size_t line = 0;
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+};
+
+/// Canonical series key: name plus labels sorted by key.
+std::string series_key(const Sample& s, bool drop_le = false) {
+  std::vector<std::pair<std::string, std::string>> labels = s.labels;
+  if (drop_le)
+    labels.erase(std::remove_if(labels.begin(), labels.end(),
+                                [](const auto& kv) { return kv.first == "le"; }),
+                 labels.end());
+  std::sort(labels.begin(), labels.end());
+  std::string key = s.name;
+  for (const auto& [k, v] : labels) key += "|" + k + "=" + v;
+  return key;
+}
+
+}  // namespace
+
+std::vector<std::string> lint_prometheus_text(const std::string& text) {
+  std::vector<std::string> errors;
+  auto fail = [&](std::size_t line, const std::string& message) {
+    errors.push_back("line " + std::to_string(line) + ": " + message);
+  };
+
+  std::map<std::string, std::string> type_of;   // family -> TYPE value.
+  std::set<std::string> help_seen, type_seen;
+  std::vector<Sample> samples;
+  // Family appearance order for the contiguity check: headers and samples
+  // both extend the current family block.
+  std::vector<std::pair<std::string, std::size_t>> family_sequence;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (line.empty()) {
+      if (eol == std::string::npos) break;
+      continue;
+    }
+
+    if (line[0] == '#') {
+      // "# HELP name text" / "# TYPE name type"; any other comment passes.
+      if (line.rfind("# HELP ", 0) != 0 && line.rfind("# TYPE ", 0) != 0)
+        continue;
+      const bool is_type = line.rfind("# TYPE ", 0) == 0;
+      const std::string rest = line.substr(7);
+      const std::size_t space = rest.find(' ');
+      const std::string name =
+          space == std::string::npos ? rest : rest.substr(0, space);
+      if (!valid_metric_name(name)) {
+        fail(line_no, "invalid metric name in header: \"" + name + "\"");
+        continue;
+      }
+      if (is_type) {
+        const std::string type =
+            space == std::string::npos ? "" : rest.substr(space + 1);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped")
+          fail(line_no, "unknown TYPE \"" + type + "\" for " + name);
+        if (!type_seen.insert(name).second)
+          fail(line_no, "duplicate TYPE for " + name);
+        type_of[name] = type;
+      } else {
+        if (space == std::string::npos || space + 1 >= rest.size())
+          fail(line_no, "HELP without text for " + name);
+        if (!help_seen.insert(name).second)
+          fail(line_no, "duplicate HELP for " + name);
+      }
+      family_sequence.push_back({name, line_no});
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    Sample s;
+    s.line = line_no;
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    s.name = line.substr(0, i);
+    if (!valid_metric_name(s.name)) {
+      fail(line_no, "invalid metric name: \"" + s.name + "\"");
+      continue;
+    }
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      bool closed = false;
+      while (i < line.size() && !closed) {
+        if (line[i] == '}') {
+          closed = true;
+          ++i;
+          break;
+        }
+        std::size_t eq = line.find('=', i);
+        if (eq == std::string::npos) break;
+        const std::string key = line.substr(i, eq - i);
+        if (!valid_label_name(key))
+          fail(line_no, "invalid label name: \"" + key + "\"");
+        i = eq + 1;
+        if (i >= line.size() || line[i] != '"') {
+          fail(line_no, "label value missing opening quote");
+          break;
+        }
+        ++i;
+        std::string value;
+        bool value_closed = false;
+        while (i < line.size()) {
+          const char c = line[i];
+          if (c == '\\') {
+            if (i + 1 >= line.size() ||
+                (line[i + 1] != '\\' && line[i + 1] != '"' &&
+                 line[i + 1] != 'n')) {
+              fail(line_no, "invalid escape in label value of " + key);
+              break;
+            }
+            value.push_back(line[i + 1]);
+            i += 2;
+            continue;
+          }
+          if (c == '"') {
+            value_closed = true;
+            ++i;
+            break;
+          }
+          value.push_back(c);
+          ++i;
+        }
+        if (!value_closed) {
+          fail(line_no, "unterminated label value for " + key);
+          break;
+        }
+        s.labels.push_back({key, value});
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (!closed) {
+        fail(line_no, "unterminated label set");
+        continue;
+      }
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      fail(line_no, "missing value separator");
+      continue;
+    }
+    ++i;
+    const std::size_t value_end = line.find(' ', i);
+    const std::string value_text =
+        line.substr(i, value_end == std::string::npos ? std::string::npos
+                                                      : value_end - i);
+    if (!parse_float(value_text, &s.value)) {
+      fail(line_no, "unparseable sample value: \"" + value_text + "\"");
+      continue;
+    }
+    if (value_end != std::string::npos) {
+      // Optional timestamp: a (signed) integer in milliseconds.
+      const std::string ts = line.substr(value_end + 1);
+      char* end = nullptr;
+      std::strtoll(ts.c_str(), &end, 10);
+      if (ts.empty() || end != ts.c_str() + ts.size())
+        fail(line_no, "trailing garbage after value: \"" + ts + "\"");
+    }
+
+    // Resolve the family: histogram/summary suffixes fold onto the base.
+    std::string family = s.name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string sfx = suffix;
+      if (s.name.size() > sfx.size() &&
+          s.name.compare(s.name.size() - sfx.size(), sfx.size(), sfx) == 0) {
+        const std::string base = s.name.substr(0, s.name.size() - sfx.size());
+        const auto it = type_of.find(base);
+        if (it != type_of.end() &&
+            (it->second == "histogram" || it->second == "summary")) {
+          family = base;
+          break;
+        }
+      }
+    }
+    family_sequence.push_back({family, line_no});
+    samples.push_back(std::move(s));
+  }
+
+  // Family contiguity: every family must form one run.
+  std::set<std::string> closed_families;
+  for (std::size_t k = 0; k < family_sequence.size(); ++k) {
+    const auto& [family, at_line] = family_sequence[k];
+    if (k > 0 && family_sequence[k - 1].first != family) {
+      closed_families.insert(family_sequence[k - 1].first);
+      if (closed_families.count(family))
+        fail(at_line, "metric family " + family +
+                          " is interleaved with another family");
+    }
+  }
+
+  // Duplicate series.
+  std::set<std::string> series;
+  for (const Sample& s : samples)
+    if (!series.insert(series_key(s)).second)
+      fail(s.line, "duplicate series: " + series_key(s));
+
+  // Histogram shape: cumulative buckets, increasing le, +Inf present,
+  // _count consistent with the +Inf bucket.
+  struct HistogramShape {
+    double last_le = 0.0;
+    double last_count = 0.0;
+    bool any = false;
+    bool has_inf = false;
+    double inf_count = 0.0;
+    bool has_sum = false;
+    bool has_count = false;
+    double count_value = 0.0;
+    std::size_t line = 0;
+  };
+  std::map<std::string, HistogramShape> shapes;
+  for (const Sample& s : samples) {
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string sfx = suffix;
+      if (s.name.size() <= sfx.size() ||
+          s.name.compare(s.name.size() - sfx.size(), sfx.size(), sfx) != 0)
+        continue;
+      const std::string base = s.name.substr(0, s.name.size() - sfx.size());
+      const auto it = type_of.find(base);
+      if (it == type_of.end() || it->second != "histogram") continue;
+      Sample keyed = s;
+      keyed.name = base;
+      HistogramShape& shape = shapes[series_key(keyed, /*drop_le=*/true)];
+      shape.line = s.line;
+      if (sfx == "_sum") {
+        shape.has_sum = true;
+      } else if (sfx == "_count") {
+        shape.has_count = true;
+        shape.count_value = s.value;
+      } else {
+        std::string le;
+        for (const auto& [k, v] : s.labels)
+          if (k == "le") le = v;
+        if (le.empty()) {
+          fail(s.line, base + "_bucket without an le label");
+          continue;
+        }
+        double edge = 0.0;
+        if (le == "+Inf") {
+          shape.has_inf = true;
+          shape.inf_count = s.value;
+          edge = 1e308 * 10;
+        } else if (!parse_float(le, &edge)) {
+          fail(s.line, "unparseable le value: \"" + le + "\"");
+          continue;
+        }
+        if (shape.any && edge <= shape.last_le)
+          fail(s.line, base + " bucket edges not increasing");
+        if (shape.any && s.value < shape.last_count)
+          fail(s.line, base + " bucket counts not cumulative");
+        shape.any = true;
+        shape.last_le = edge;
+        shape.last_count = s.value;
+      }
+      break;
+    }
+  }
+  for (const auto& [key, shape] : shapes) {
+    if (!shape.has_inf)
+      fail(shape.line, "histogram " + key + " missing its +Inf bucket");
+    if (!shape.has_sum || !shape.has_count)
+      fail(shape.line, "histogram " + key + " missing _sum or _count");
+    if (shape.has_inf && shape.has_count &&
+        shape.inf_count != shape.count_value)
+      fail(shape.line, "histogram " + key + " _count != +Inf bucket");
+  }
+
+  return errors;
+}
+
+}  // namespace rtopex::obs

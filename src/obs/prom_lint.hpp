@@ -1,0 +1,20 @@
+// Prometheus text-exposition-format linter: a dependency-free validator of
+// the output MetricsRegistry::render() produces (and of any .prom snapshot
+// a run writes), strict enough to catch the classic malformations a real
+// scrape would reject or silently misread — bad metric/label names,
+// unescaped label values, interleaved metric families, duplicate series,
+// non-cumulative or +Inf-less histograms. Used by the format-lint tests
+// and the CI health smoke.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rtopex::obs {
+
+/// Validates a full text exposition. Returns every problem found as a
+/// human-readable "line N: ..." message; an empty vector means the text is
+/// well-formed.
+std::vector<std::string> lint_prometheus_text(const std::string& text);
+
+}  // namespace rtopex::obs

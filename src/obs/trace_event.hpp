@@ -54,6 +54,14 @@ enum class EventKind : std::uint8_t {
                        ///< node other than its basestation's original home
                        ///< (failure re-homing); ts = arrival, a = new node,
                        ///< b = original node.
+  kAlert,              ///< health rule fired (obs/health): ts = evaluation
+                       ///< boundary, index = rule id, bs = scope id,
+                       ///< a = severity | (scope kind << 8), b = the windowed
+                       ///< statistic that tripped the rule x1000 (burn rate
+                       ///< in SLO multiples, or |z| for anomaly rules).
+  kAlertClear,         ///< the same rule/scope dropped back below its clear
+                       ///< threshold for the hold period; payload mirrors
+                       ///< kAlert with b = the statistic at clear time.
 };
 
 // Payload conventions consumed by the postmortem analyzer (obs/analysis):
@@ -66,6 +74,9 @@ enum class EventKind : std::uint8_t {
 //    degraded).
 //  * kSubframeEnd carries `a` = 1 on a deadline miss and `b` = the turbo
 //    iterations actually executed (0 when the decode never ran).
+//  * kAlert / kAlertClear are emitted by the health engine (obs/health), not
+//    the schedulers: the analyzer collects them into per-alert windows and
+//    links each to the miss causes active inside it.
 //  * kJobSpec is not consumed by the analyzer at all: it carries one field
 //    of the offered workload (costs, iteration counts, deadlines) so the
 //    what-if replayer can rebuild the exact per-subframe job the scheduler

@@ -72,4 +72,21 @@ void Tracer::refresh_drops() const {
   store_.ring_drops = total;
 }
 
+std::string describe_trace_drops(const TraceStore& store) {
+  if (store.total_drops() == 0) return "";
+  std::string out = "trace lost " + std::to_string(store.total_drops()) +
+                    " events (" + std::to_string(store.ring_drops) +
+                    " ring, " + std::to_string(store.store_drops) + " store";
+  bool first = true;
+  for (std::size_t t = 0; t < store.ring_drops_per_track.size(); ++t) {
+    if (store.ring_drops_per_track[t] == 0) continue;
+    out += first ? "; ring drops by track: " : ", ";
+    out += std::to_string(t) + "=" +
+           std::to_string(store.ring_drops_per_track[t]);
+    first = false;
+  }
+  out += ")";
+  return out;
+}
+
 }  // namespace rtopex::obs

@@ -36,6 +36,13 @@ struct TraceStore {
   std::uint64_t total_drops() const { return ring_drops + store_drops; }
 };
 
+/// One-line human rendering of a store's event losses, with the per-track
+/// ring breakdown when available — e.g. "trace lost 12 events (10 ring, 2
+/// store; ring drops by track: 3=8, 7=2)". Returns "" when nothing was
+/// lost. The single formatter behind the bench warning and the analyzer's
+/// drop report, so every tool describes loss identically.
+std::string describe_trace_drops(const TraceStore& store);
+
 /// Tracing knobs embedded in substrate configs (RuntimeConfig etc.).
 struct TraceConfig {
   bool enabled = false;

@@ -116,9 +116,16 @@ struct NodeRuntime::Impl {
   std::atomic<std::size_t> recoveries{0};
   std::atomic<std::size_t> flag_timeouts{0};
 
-  /// Null unless config.trace.enabled. One track per worker plus a
-  /// dedicated ticker track; the ticker is the sole collector.
+  /// Null unless config.trace.enabled (or config.health.enabled, which
+  /// needs the event stream). One track per worker plus a dedicated ticker
+  /// track; the ticker is the sole collector.
   std::unique_ptr<obs::Tracer> tracer;
+
+  /// Live health engine (null unless config.health.enabled). Ticker-owned:
+  /// fed from the bounded store after each collect(), advanced on the
+  /// monotonic clock, so it never contends with the workers.
+  std::unique_ptr<obs::health::HealthMonitor> health;
+  std::size_t health_fed = 0;  ///< store events already fed to the monitor.
 
   // ---- resilience state (ticker-thread only unless noted) ---------------
   /// Partition table: slots[bs][residue] -> worker id. Read and written
@@ -158,11 +165,19 @@ struct NodeRuntime::Impl {
     }
     last_heartbeat.assign(worker_count(cfg), 0);
     last_progress.assign(worker_count(cfg), 0);
-    if (cfg.trace.enabled) {
+    if (cfg.trace.enabled || cfg.health.enabled) {
       tracer = std::make_unique<obs::Tracer>(worker_count(cfg) + 1,
                                              cfg.trace.ring_capacity,
                                              cfg.trace.max_stored_events);
       tracer->set_clock([this] { return clock.now(); });
+    }
+    if (cfg.health.enabled) {
+      obs::health::Topology topo;
+      topo.num_nodes = 1;
+      topo.num_basestations = cfg.num_basestations;
+      topo.node_cores = {worker_count(cfg)};
+      health = std::make_unique<obs::health::HealthMonitor>(cfg.health, topo);
+      health->set_tracer(tracer.get(), ticker_track());
     }
     rx = std::make_unique<phy::UplinkRxProcessor>(cfg.phy);
     build_variants();
@@ -918,6 +933,34 @@ struct NodeRuntime::Impl {
     }
   }
 
+  /// Feeds every newly stored event to the health monitor (oldest first)
+  /// and advances evaluation to the present. Store slices arrive per-ring
+  /// and are only loosely time-ordered, so the new slice is sorted before
+  /// feeding; the monitor's two-period evaluation lag absorbs the rest of
+  /// the collection delay. Ticker thread only.
+  void feed_health() {
+    if (!health) return;
+    const std::vector<obs::TraceEvent>& events = tracer->store().events;
+    if (health_fed < events.size()) {
+      std::vector<obs::TraceEvent> slice(
+          events.begin() + static_cast<std::ptrdiff_t>(health_fed),
+          events.end());
+      health_fed = events.size();
+      std::stable_sort(slice.begin(), slice.end(),
+                       [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+                         return a.ts < b.ts;
+                       });
+      for (const obs::TraceEvent& ev : slice) {
+        // Skip our own output, re-surfaced by the next collect().
+        if (ev.kind == obs::EventKind::kAlert ||
+            ev.kind == obs::EventKind::kAlertClear)
+          continue;
+        health->observe(ev);
+      }
+    }
+    health->advance(clock.now());
+  }
+
   /// Mid-run Prometheus snapshot built only from state the ticker may read
   /// without locks: atomics and ticker-owned counters. Per-subframe latency
   /// histograms need the worker-private records and appear only in the
@@ -961,6 +1004,7 @@ struct NodeRuntime::Impl {
                       "Trace events drained into the bounded store.",
                       static_cast<double>(tracer->store().events.size()));
     }
+    if (health) health->fill_registry(reg);
     return reg.render();
   }
 };
@@ -1003,6 +1047,7 @@ NodeRuntime::NodeRuntime(const RuntimeConfig& config) {
         "NodeRuntime: negative completion_flag_timeout");
   // Fronthaul fault params are validated by the model's own constructor
   // (inside Impl); anything invalid throws std::invalid_argument there.
+  if (config.health.enabled) config.health.validate();
   impl_ = std::make_unique<Impl>(config);
 }
 
@@ -1045,6 +1090,7 @@ RuntimeReport NodeRuntime::run() {
     // The ticker is the sole trace collector: drain every worker ring once
     // per tick so rings never fill under normal load.
     if (im.tracer) im.tracer->collect();
+    im.feed_health();
     if (cfg.metrics_period > 0 && cfg.metrics_sink &&
         im.clock.now() - last_metrics >= cfg.metrics_period) {
       last_metrics = im.clock.now();
@@ -1123,6 +1169,7 @@ RuntimeReport NodeRuntime::run() {
   while (!queues_empty()) {
     im.check_watchdog(im.clock.now());
     if (im.tracer) im.tracer->collect();
+    im.feed_health();
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -1168,8 +1215,17 @@ RuntimeReport NodeRuntime::run() {
   report.migrations = im.migrations.load();
   report.recoveries = im.recoveries.load();
   // Workers have joined: one final drain picks up everything they emitted
-  // after the ticker's last pass.
-  if (im.tracer) report.trace = im.tracer->take();
+  // after the ticker's last pass, then the health monitor finishes (its
+  // trailing clear events land in the store through one more collect).
+  if (im.tracer && im.health) {
+    im.tracer->collect();
+    im.feed_health();
+    im.health->finish(im.clock.now());
+    im.tracer->collect();
+    report.alerts = im.health->alerts();
+    report.health = im.health->snapshot();
+  }
+  if (im.tracer && cfg.trace.enabled) report.trace = im.tracer->take();
   return report;
 }
 
@@ -1256,6 +1312,11 @@ void fill_registry(const RuntimeReport& report,
     registry.add_histogram("rtopex_runtime_stage_us",
                            "Per-stage processing time.", stage_us[s],
                            {{"stage", stage_names[s]}});
+
+  // Health series (present only when the run had health enabled — the
+  // snapshot carries its per-node row then).
+  if (!report.health.nodes.empty())
+    obs::health::fill_registry(report.health, report.alerts, registry);
 }
 
 }  // namespace rtopex::runtime

@@ -25,6 +25,7 @@
 #include "common/resilience.hpp"
 #include "common/time_types.hpp"
 #include "model/online_fit.hpp"
+#include "obs/health/health.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/tracer.hpp"
 #include "phy/uplink_rx.hpp"
@@ -117,6 +118,15 @@ struct RuntimeConfig {
   /// full post-run snapshot comes from fill_registry() below either way.
   Duration metrics_period = 0;
   std::function<void(const std::string&)> metrics_sink;
+
+  /// Live SLO/alerting engine (obs/health) fed by the ticker from the same
+  /// event stream the trace records — enabling it implies the internal
+  /// tracer even when `trace.enabled` is false (the report's trace stays
+  /// empty then). Alerts ride the ticker track as kAlert/kAlertClear
+  /// events; live snapshots land in the metrics_sink stream, final state
+  /// in RuntimeReport::alerts / RuntimeReport::health. Wall-clock periods
+  /// slower than the 1 ms default should scale the windows alongside.
+  obs::health::HealthConfig health;
 };
 
 struct StageTiming {
@@ -156,6 +166,9 @@ struct RuntimeReport {
   ResilienceMetrics resilience;
   /// Drained trace events (empty unless RuntimeConfig::trace.enabled).
   obs::TraceStore trace;
+  /// Health engine outputs (empty unless RuntimeConfig::health.enabled).
+  std::vector<obs::health::Alert> alerts;
+  obs::health::HealthSnapshot health;
 };
 
 /// Renders the full post-run report as Prometheus metrics: subframe /

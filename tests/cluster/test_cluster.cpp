@@ -7,6 +7,7 @@
 
 #include "cluster/cluster.hpp"
 #include "obs/analysis/analysis.hpp"
+#include "obs/prom_lint.hpp"
 
 using namespace rtopex;
 namespace analysis = rtopex::obs::analysis;
@@ -321,4 +322,132 @@ TEST(ClusterSim, AllSchedulerKindsSurviveAKill) {
     EXPECT_EQ(result.metrics.node_failovers, 1u) << core::to_string(kind);
     EXPECT_GT(result.metrics.rehomed_subframes, 0u) << core::to_string(kind);
   }
+}
+
+// --- Live health engine over ClusterSim -----------------------------------
+
+namespace {
+
+cluster::ClusterConfig health_cluster_config() {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.health.enabled = true;
+  return cfg;
+}
+
+std::vector<obs::TraceEvent> alert_events_of(const obs::TraceStore& trace) {
+  std::vector<obs::TraceEvent> out;
+  for (const obs::TraceEvent& ev : trace.events)
+    if (ev.kind == obs::EventKind::kAlert ||
+        ev.kind == obs::EventKind::kAlertClear)
+      out.push_back(ev);
+  return out;
+}
+
+}  // namespace
+
+// The headline behaviour: a fail-stopped node raises a page-severity
+// burn-rate alert within one detection window of the kill, the alert is
+// scoped to the dead node, and it clears after re-homing restores service.
+TEST(ClusterHealth, KillPagesWithinDetectionWindowAndClearsAfterRehoming) {
+  const core::ExperimentConfig node = small_node_config();
+  cluster::ClusterConfig cfg = health_cluster_config();
+  cfg.failures = {{1, milliseconds(150)}};
+  cluster::ClusterSim sim(node, cfg);
+  const auto result = sim.run();
+  ASSERT_TRUE(result.metrics.conserved());
+  ASSERT_FALSE(result.alerts.empty());
+
+  const obs::health::Alert* page = nullptr;
+  for (const obs::health::Alert& a : result.alerts)
+    if (a.severity == obs::health::Severity::kPage &&
+        a.scope == obs::health::ScopeKind::kNode && a.scope_id == 1)
+      page = &a;
+  ASSERT_NE(page, nullptr) << "dead node never paged";
+  EXPECT_EQ(page->rule, obs::health::Rule::kFastBurn);
+  // The detection-window losses are stamped at radio time, so the page
+  // lands between the kill and one detection timeout after it.
+  EXPECT_GE(page->fired_at, milliseconds(150));
+  EXPECT_LE(page->fired_at, milliseconds(150) + cfg.detection_timeout);
+  // Re-homing restores service; the hysteresis clear follows.
+  EXPECT_FALSE(page->active());
+  EXPECT_GT(page->cleared_at, page->fired_at);
+
+  // Alerts ride the merged trace on the dedicated health track.
+  EXPECT_EQ(result.health_track, result.cluster_track + 1);
+  const auto events = alert_events_of(result.trace);
+  std::size_t fired = 0;
+  for (const obs::TraceEvent& ev : events) {
+    EXPECT_EQ(ev.core, result.health_track);
+    if (ev.kind == obs::EventKind::kAlert) ++fired;
+  }
+  EXPECT_EQ(fired, result.alerts.size());
+
+  // The postmortem engine reconstructs the same windows from the merged
+  // trace and links the detection-window casualties to the node page.
+  const analysis::AnalysisReport report = analysis::analyze(result.trace, {});
+  EXPECT_EQ(report.alerts.size(), result.alerts.size());
+  bool linked = false;
+  for (const analysis::AlertWindow& w : report.alerts)
+    if (w.scope_kind == 1 && w.scope_id == 1 && w.severity == 2 &&
+        w.misses_in_window > 0)
+      linked = true;
+  EXPECT_TRUE(linked) << "node page window linked no misses";
+}
+
+// Same-seed kill campaigns produce bit-identical alert streams: the whole
+// chain (virtual clocks -> trace merge -> scan -> burn evaluation) is
+// deterministic, so paging decisions are replayable evidence.
+TEST(ClusterHealth, SameSeedAlertStreamsAreBitIdentical) {
+  const core::ExperimentConfig node = small_node_config();
+  cluster::ClusterConfig cfg = health_cluster_config();
+  cfg.failures = {{0, milliseconds(120)}, {2, milliseconds(200)}};
+  cluster::ClusterSim sim_a(node, cfg);
+  cluster::ClusterSim sim_b(node, cfg);
+  const auto a = sim_a.run();
+  const auto b = sim_b.run();
+
+  ASSERT_FALSE(a.alerts.empty());
+  EXPECT_EQ(a.alerts, b.alerts);
+  EXPECT_EQ(alert_events_of(a.trace), alert_events_of(b.trace));
+}
+
+// A clean same-shape run raises nothing: zero alerts, perfect score.
+TEST(ClusterHealth, CleanRunRaisesNoAlerts) {
+  const core::ExperimentConfig node = small_node_config();
+  cluster::ClusterSim sim(node, health_cluster_config());
+  const auto result = sim.run();
+  EXPECT_TRUE(result.metrics.conserved());
+  EXPECT_TRUE(result.alerts.empty()) << obs::health::describe(
+      result.alerts.front());
+  EXPECT_TRUE(alert_events_of(result.trace).empty());
+  EXPECT_EQ(result.health.cluster.health_score, 100.0);
+  ASSERT_EQ(result.health.nodes.size(), 4u);
+  for (const obs::health::ScopeHealth& h : result.health.nodes)
+    EXPECT_EQ(h.health_score, 100.0);
+}
+
+// The federated fleet snapshot: per-node series labelled with node=...,
+// fleet-level merged histograms, health series — and the whole exposition
+// passes the strict format linter.
+TEST(ClusterHealth, FederatedSnapshotLintsClean) {
+  const core::ExperimentConfig node = small_node_config();
+  cluster::ClusterConfig cfg = health_cluster_config();
+  cfg.failures = {{1, milliseconds(150)}};
+  cluster::ClusterSim sim(node, cfg);
+  const auto result = sim.run();
+
+  obs::MetricsRegistry reg;
+  cluster::fill_federated_registry(result, reg);
+  const std::string text = reg.render();
+  EXPECT_NE(text.find("rtopex_fleet_processing_time_us"), std::string::npos);
+  EXPECT_NE(text.find("node=\"1\""), std::string::npos);
+  EXPECT_NE(text.find("rtopex_health_score{scope=\"cluster\"}"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("rtopex_health_alerts_fired_total{rule=\"fast_burn\"}"),
+      std::string::npos);
+  const std::vector<std::string> problems = obs::lint_prometheus_text(text);
+  EXPECT_TRUE(problems.empty())
+      << problems.size() << " lint errors, first: " << problems.front();
 }

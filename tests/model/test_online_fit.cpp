@@ -199,5 +199,76 @@ TEST(OnlineEstimators, EndToEndWarmupAndBounds) {
   EXPECT_LE(est.predict_iterations(0), 3u);  // mean 2 + headroom, capped.
 }
 
+// --- MeanVarEwma: the z-score backbone of the health anomaly detectors ----
+
+TEST(MeanVarEwma, WarmupGatesTheZScore) {
+  MeanVarEwma ewma(/*alpha=*/0.25, /*warmup=*/8);
+  // Even a wild outlier scores 0 until `warmup` samples have landed: the
+  // health layer must not page off a detector that has seen 3 buckets.
+  for (int i = 0; i < 7; ++i) {
+    ewma.observe(i % 2 == 0 ? 90.0 : 110.0);
+    EXPECT_FALSE(ewma.warmed_up());
+    EXPECT_EQ(ewma.zscore(1e6), 0.0) << "sample " << i;
+  }
+  ewma.observe(90.0);
+  EXPECT_TRUE(ewma.warmed_up());
+  EXPECT_EQ(ewma.samples(), 8u);
+  EXPECT_GT(ewma.zscore(1e6), 3.0);
+}
+
+TEST(MeanVarEwma, TracksMeanAndSpreadOfAnOscillatingSignal) {
+  MeanVarEwma ewma;
+  for (int i = 0; i < 200; ++i) ewma.observe(i % 2 == 0 ? 900.0 : 1100.0);
+  EXPECT_NEAR(ewma.mean(), 1000.0, 60.0);
+  // The signal's deviation from its mean is always ~100; the EWMA sigma
+  // settles in that neighbourhood.
+  EXPECT_GT(ewma.stddev(), 50.0);
+  EXPECT_LT(ewma.stddev(), 200.0);
+  // In-band samples are unremarkable, a collapse to ~0 is loudly anomalous.
+  EXPECT_LT(std::abs(ewma.zscore(1000.0)), 1.5);
+  EXPECT_LT(ewma.zscore(10.0), -3.0);
+  EXPECT_GT(ewma.zscore(2000.0), 3.0);
+}
+
+TEST(MeanVarEwma, ConstantSignalNeverDividesByZeroSigma) {
+  MeanVarEwma ewma;
+  for (int i = 0; i < 100; ++i) ewma.observe(42.0);
+  EXPECT_TRUE(ewma.warmed_up());
+  EXPECT_EQ(ewma.mean(), 42.0);
+  EXPECT_EQ(ewma.stddev(), 0.0);
+  // Degenerate spread: zscore stays 0 (finite) rather than +-inf, so a
+  // perfectly steady scope can never trip an anomaly rule.
+  EXPECT_EQ(ewma.zscore(42.0), 0.0);
+  EXPECT_EQ(ewma.zscore(1e9), 0.0);
+}
+
+TEST(MeanVarEwma, IgnoresNonFiniteSamples) {
+  MeanVarEwma ewma;
+  for (int i = 0; i < 20; ++i) ewma.observe(i % 2 == 0 ? 90.0 : 110.0);
+  const double mean = ewma.mean();
+  const double sd = ewma.stddev();
+  const std::size_t n = ewma.samples();
+  ewma.observe(std::numeric_limits<double>::quiet_NaN());
+  ewma.observe(std::numeric_limits<double>::infinity());
+  ewma.observe(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(ewma.mean(), mean);
+  EXPECT_EQ(ewma.stddev(), sd);
+  EXPECT_EQ(ewma.samples(), n);
+  EXPECT_TRUE(std::isfinite(ewma.zscore(150.0)));
+}
+
+TEST(MeanVarEwma, LevelShiftReconverges) {
+  MeanVarEwma ewma(/*alpha=*/0.25);
+  for (int i = 0; i < 100; ++i) ewma.observe(i % 2 == 0 ? 90.0 : 110.0);
+  // Right after a level shift the new plateau is anomalous...
+  EXPECT_GT(ewma.zscore(500.0), 3.0);
+  // ...but if the detector *does* absorb it (the health layer deliberately
+  // withholds anomalous samples; here we feed them), both moments forget
+  // the old regime and the new level becomes the baseline.
+  for (int i = 0; i < 100; ++i) ewma.observe(i % 2 == 0 ? 490.0 : 510.0);
+  EXPECT_NEAR(ewma.mean(), 500.0, 30.0);
+  EXPECT_LT(std::abs(ewma.zscore(500.0)), 1.5);
+}
+
 }  // namespace
 }  // namespace rtopex::model

@@ -526,5 +526,118 @@ TEST(AnalysisRuntime, RuntimeTraceAgreesWithItsOwnCounters) {
   EXPECT_EQ(rep.unknown(), 0u) << analysis::summary_json(rep);
 }
 
+// ---------------------------------------------------------------------------
+// Alert windows: the postmortem side of the health layer. kAlert /
+// kAlertClear events (scope id in bs, rule in index, severity|scope_kind in
+// a, milli-value in b) become AlertWindows with the misses inside each
+// window linked and cause-attributed.
+
+TEST(AnalysisAlerts, WindowsLinkMissesByTimeAndScope) {
+  StreamBuilder sb;
+  // Four late deliveries (cause kFronthaulLate, linkage time = deadline =
+  // ts - over) and one lost subframe (linkage time = radio time).
+  sb.ev(us(100), EventKind::kLate, 0, pay(us(10)), pay(us(900)));
+  sb.ev(us(600), EventKind::kLate, 1, pay(us(10)), pay(us(900)));
+  sb.ev(us(700), EventKind::kLate, 2, pay(us(10)), pay(us(900)), 0,
+        Stage::kNone, /*bs=*/1);
+  sb.ev(us(2500), EventKind::kLate, 3, pay(us(10)), pay(us(900)));
+  sb.ev(us(1500), EventKind::kLost, 4, 0, 0, 0, Stage::kNone, /*bs=*/1);
+
+  // A node-scope page over [1000 us, 2000 us] and a bs-1-scope warn that
+  // never clears. a = severity | (scope_kind << 8); b = value * 1000.
+  sb.ev(us(1000), EventKind::kAlert, /*rule=*/0, 2u | (1u << 8),
+        /*b=*/16300, /*core=*/5, Stage::kNone, /*scope_id=*/0);
+  sb.ev(us(1000), EventKind::kAlert, /*rule=*/1, 1u | (2u << 8),
+        /*b=*/4200, /*core=*/5, Stage::kNone, /*scope_id=*/1);
+  sb.ev(us(2000), EventKind::kAlertClear, /*rule=*/0, 1u << 8, 0,
+        /*core=*/5, Stage::kNone, /*scope_id=*/0);
+
+  analysis::AnalyzerOptions options;
+  options.alert_lookback = us(500);
+  const analysis::AnalysisReport rep = analysis::analyze(sb.store, options);
+
+  // Alert events are global: no phantom subframes keyed on (scope, rule).
+  EXPECT_EQ(rep.subframes, 5u);
+  ASSERT_EQ(rep.alerts.size(), 2u);
+
+  // Node-scope page: window [fired - lookback, cleared] = [500, 2000] us.
+  // Exported traces carry no track->node map, so node windows link
+  // trace-wide: the two in-window lates plus the lost subframe; the lates
+  // at 90 us (before) and 2490 us (after clear) stay out.
+  const analysis::AlertWindow& page = rep.alerts[0];
+  EXPECT_EQ(page.rule, 0u);
+  EXPECT_EQ(page.severity, 2u);
+  EXPECT_EQ(page.scope_kind, 1u);
+  EXPECT_EQ(page.scope_id, 0u);
+  EXPECT_EQ(page.fired_at, us(1000));
+  EXPECT_EQ(page.cleared_at, us(2000));
+  EXPECT_NEAR(page.value, 16.3, 1e-9);
+  EXPECT_EQ(page.misses_in_window, 3u);
+  EXPECT_EQ(page.dominant_cause, MissCause::kFronthaulLate);
+
+  // bs-scope warn: filtered to bs 1, still firing, so the window runs to
+  // the end of the trace — the bs-1 late and the bs-1 loss, nothing else.
+  const analysis::AlertWindow& warn = rep.alerts[1];
+  EXPECT_EQ(warn.severity, 1u);
+  EXPECT_EQ(warn.scope_kind, 2u);
+  EXPECT_EQ(warn.scope_id, 1u);
+  EXPECT_EQ(warn.cleared_at, -1);
+  EXPECT_NEAR(warn.value, 4.2, 1e-9);
+  EXPECT_EQ(warn.misses_in_window, 2u);
+
+  // The rollups surface the stream: summary counts and the snapshot
+  // counters both say two alerts, one of page severity.
+  const std::string json = analysis::summary_json(rep);
+  EXPECT_NE(json.find("\"alerts\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"page_alerts\":1"), std::string::npos) << json;
+}
+
+TEST(AnalysisAlerts, AlertStreamSurvivesTheCsvRoundTrip) {
+  StreamBuilder sb;
+  sb.ev(us(600), EventKind::kLate, 0, pay(us(10)), pay(us(900)));
+  sb.ev(us(1000), EventKind::kAlert, 0, 2u | (1u << 8), 16300, 5);
+  sb.ev(us(2000), EventKind::kAlertClear, 0, 1u << 8, 0, 5);
+  const std::string path = ::testing::TempDir() + "analysis_alerts.csv";
+  obs::write_trace_csv(path, sb.store);
+  const TraceStore loaded = analysis::load_trace_csv(path);
+  std::remove(path.c_str());
+
+  analysis::AnalyzerOptions options;
+  options.alert_lookback = us(500);
+  const analysis::AnalysisReport a = analysis::analyze(sb.store, options);
+  const analysis::AnalysisReport b = analysis::analyze(loaded, options);
+  ASSERT_EQ(b.alerts.size(), 1u);
+  EXPECT_EQ(a.alerts[0].fired_at, b.alerts[0].fired_at);
+  EXPECT_EQ(a.alerts[0].cleared_at, b.alerts[0].cleared_at);
+  EXPECT_EQ(a.alerts[0].misses_in_window, b.alerts[0].misses_in_window);
+  EXPECT_EQ(analysis::summary_json(a), analysis::summary_json(b));
+}
+
+TEST(AnalysisAlerts, CsvV3RestoresThePerTrackDropBreakdown) {
+  const TraceStore store = [] {
+    TraceStore s = combined_stream();
+    s.ring_drops = 5;
+    s.store_drops = 2;
+    s.ring_drops_per_track = {4, 0, 1};
+    return s;
+  }();
+  const std::string path = ::testing::TempDir() + "analysis_v3_drops.csv";
+  obs::write_trace_csv(path, store);
+  const TraceStore loaded = analysis::load_trace_csv(path);
+  std::remove(path.c_str());
+
+  // The kind-254 rows restore the per-ring loss breakdown; the footer
+  // restores the totals; neither leaks into the event stream.
+  EXPECT_EQ(loaded.events.size(), store.events.size());
+  EXPECT_EQ(loaded.ring_drops, 5u);
+  EXPECT_EQ(loaded.store_drops, 2u);
+  ASSERT_EQ(loaded.ring_drops_per_track.size(), 3u);
+  EXPECT_EQ(loaded.ring_drops_per_track, store.ring_drops_per_track);
+  // And the human renderer names the lossy tracks from the breakdown.
+  const std::string warning = obs::describe_trace_drops(loaded);
+  EXPECT_NE(warning.find("0=4"), std::string::npos) << warning;
+  EXPECT_NE(warning.find("2=1"), std::string::npos) << warning;
+}
+
 }  // namespace
 }  // namespace rtopex

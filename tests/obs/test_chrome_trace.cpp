@@ -13,6 +13,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/mini_json.hpp"
@@ -204,17 +205,93 @@ TEST(ChromeTraceTest, CsvDumpHasOneRowPerEventPlusFooter) {
   std::size_t rows = 0;
   std::string last;
   ASSERT_TRUE(std::getline(in, line));  // header
-  EXPECT_EQ(line.rfind("ts_ns_v2", 0), 0u);
+  EXPECT_EQ(line.rfind("ts_ns_v3", 0), 0u);
   while (std::getline(in, line))
     if (!line.empty()) {
       ++rows;
       last = line;
     }
   // One row per event plus the footer sentinel, which carries the event
-  // count in its first (ts) column.
+  // count in its first (ts) column. make_store() has no per-track drop
+  // breakdown, so no kind-254 rows appear.
   EXPECT_EQ(rows, store.events.size() + 1);
   EXPECT_EQ(last.rfind(std::to_string(store.events.size()) + ",", 0), 0u);
   std::remove(path.c_str());
+}
+
+TEST(ChromeTraceTest, CsvV3EmitsPerTrackDropRowsBeforeTheFooter) {
+  const std::string path = ::testing::TempDir() + "/chrome_trace_v3.csv";
+  TraceStore store = make_store();
+  // Drops on tracks 0 and 2; track 1 still gets a (zero) row — the drop
+  // row count doubles as the track count on reload.
+  store.ring_drops_per_track = {3, 0, 2};
+  write_trace_csv(path, store);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  std::vector<std::string> rows;
+  while (std::getline(in, line))
+    if (!line.empty()) rows.push_back(line);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(rows.size(), store.events.size() + 4);
+  // CSV columns: ts,core,kind,stage,bs,index,a,b. The drop rows sit
+  // between the last event and the footer, ordered by track.
+  auto field = [](const std::string& row, int col) {
+    std::size_t begin = 0;
+    for (int c = 0; c < col; ++c) begin = row.find(',', begin) + 1;
+    return row.substr(begin, row.find(',', begin) - begin);
+  };
+  const char* expected_counts[] = {"3", "0", "2"};
+  for (std::size_t t = 0; t < 3; ++t) {
+    const std::string& row = rows[store.events.size() + t];
+    EXPECT_EQ(field(row, 2), std::to_string(kTraceCsvTrackDropsKind));
+    EXPECT_EQ(field(row, 1), std::to_string(t));
+    EXPECT_EQ(field(row, 6), expected_counts[t]);
+  }
+  EXPECT_EQ(field(rows.back(), 2), std::to_string(kTraceCsvFooterKind));
+}
+
+TEST(ChromeTraceTest, ProcessGroupsRenderPerNodeMetadata) {
+  // The merged-cluster layout: node 0 owns tracks 0-1, node 1 owns track
+  // 2, and any unclaimed track falls into a trailing control process.
+  ChromeTraceOptions opts;
+  opts.process_name = "cluster control";
+  opts.processes.push_back({"node 0", 0, 2});
+  opts.processes.push_back({"node 1", 2, 1});
+  const JsonValue root = parse_json(chrome_trace_json(make_store(), opts));
+
+  // Collect process_name / thread_name metadata by (pid, tid).
+  std::map<double, std::string> process_names;
+  std::map<std::pair<double, double>, std::string> thread_names;
+  std::map<std::pair<double, double>, std::size_t> events_per_thread;
+  for (const JsonValue& event : root.at("traceEvents").array()) {
+    if (event.at("ph").str() == "M") {
+      const std::string& name = event.at("name").str();
+      if (name == "process_name")
+        process_names[event.at("pid").number()] =
+            event.at("args").at("name").str();
+      if (name == "thread_name")
+        thread_names[{event.at("pid").number(), event.at("tid").number()}] =
+            event.at("args").at("name").str();
+      continue;
+    }
+    ++events_per_thread[{event.at("pid").number(), event.at("tid").number()}];
+  }
+
+  EXPECT_EQ(process_names[0], "node 0");
+  EXPECT_EQ(process_names[1], "node 1");
+  EXPECT_EQ(process_names[2], "cluster control");
+  // Track names are relative to the owning group's range.
+  EXPECT_EQ((thread_names[{0, 0}]), "core 0");
+  EXPECT_EQ((thread_names[{0, 1}]), "core 1");
+  EXPECT_EQ((thread_names[{1, 2}]), "core 0");
+  // make_store() tracks: 0, 1 -> node 0; 2 -> node 1; no unclaimed events.
+  EXPECT_GT((events_per_thread[{0, 0}]), 0u);
+  EXPECT_GT((events_per_thread[{0, 1}]), 0u);
+  EXPECT_GT((events_per_thread[{1, 2}]), 0u);
+  for (const auto& [key, count] : events_per_thread)
+    EXPECT_LE(key.first, 1.0) << "event escaped its process group";
 }
 
 }  // namespace

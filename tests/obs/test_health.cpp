@@ -1,0 +1,376 @@
+// Live health engine: burn-rate window math against hand-fed outcome
+// streams (fire, hysteresis clear, the min-sample gate), slack-collapse
+// anomaly detection, per-node scope attribution, bit-identical replay of
+// the same feed, the kAlert/kAlertClear event encoding, the Prometheus
+// rendering (lint-clean), and config/topology validation.
+#include "obs/health/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "obs/prom_lint.hpp"
+
+namespace rtopex::obs::health {
+namespace {
+
+TraceEvent make_event(TimePoint ts, EventKind kind, std::uint32_t bs,
+                      std::uint32_t index, std::uint32_t a = 0,
+                      std::uint32_t b = 0, std::uint32_t core = 0) {
+  TraceEvent ev;
+  ev.ts = ts;
+  ev.kind = kind;
+  ev.bs = bs;
+  ev.index = index;
+  ev.a = a;
+  ev.b = b;
+  ev.core = core;
+  return ev;
+}
+
+/// Tight windows so tests stay in the low milliseconds: eval every 1 ms,
+/// fast burn over 2/4 ms at 10x SLO, slow burn over 4/8 ms at 2x.
+HealthConfig tight_config() {
+  HealthConfig cfg;
+  cfg.enabled = true;
+  cfg.slo_miss_rate = 0.01;
+  cfg.eval_period = milliseconds(1);
+  cfg.fast_burn = {milliseconds(2), milliseconds(4), 10.0, 0.5,
+                   milliseconds(2), Severity::kPage};
+  cfg.slow_burn = {milliseconds(4), milliseconds(8), 2.0, 0.5,
+                   milliseconds(4), Severity::kWarn};
+  cfg.min_window_samples = 10;
+  cfg.anomaly_enabled = false;
+  return cfg;
+}
+
+Topology one_bs_topology() {
+  Topology topo;
+  topo.num_basestations = 1;
+  return topo;
+}
+
+/// Feeds one kSubframeEnd per 100 us on bs 0 over [from, to), all bad or
+/// all good — 10 outcomes per 1 ms bucket.
+void feed_outcomes(HealthMonitor& m, TimePoint from, TimePoint to, bool bad) {
+  std::uint32_t index = 0;
+  for (TimePoint ts = from; ts < to; ts += microseconds(100))
+    m.observe(make_event(ts, EventKind::kSubframeEnd, 0, index++,
+                         bad ? 1 : 0));
+}
+
+TEST(HealthMonitor, CleanStreamStaysSilent) {
+  HealthMonitor m(tight_config(), one_bs_topology());
+  feed_outcomes(m, 0, milliseconds(50), /*bad=*/false);
+  m.finish(milliseconds(50));
+  EXPECT_TRUE(m.alerts().empty());
+  EXPECT_TRUE(m.alert_events().empty());
+  EXPECT_EQ(m.snapshot().cluster.health_score, 100.0);
+}
+
+TEST(HealthMonitor, FastBurnPagesAndClearsWithHold) {
+  const HealthConfig cfg = tight_config();
+  HealthMonitor m(cfg, one_bs_topology());
+  feed_outcomes(m, 0, milliseconds(10), /*bad=*/false);
+  feed_outcomes(m, milliseconds(10), milliseconds(20), /*bad=*/true);
+  feed_outcomes(m, milliseconds(20), milliseconds(60), /*bad=*/false);
+  m.finish(milliseconds(60));
+
+  const Alert* page = nullptr;
+  for (const Alert& a : m.alerts())
+    if (a.rule == Rule::kFastBurn && a.scope == ScopeKind::kCluster)
+      page = &a;
+  ASSERT_NE(page, nullptr) << "fast burn never fired at cluster scope";
+  EXPECT_EQ(page->severity, Severity::kPage);
+  // Fires within a few eval periods of the burst, not before it.
+  EXPECT_GT(page->fired_at, milliseconds(10));
+  EXPECT_LE(page->fired_at, milliseconds(16));
+  EXPECT_GE(page->value, cfg.fast_burn.threshold);
+  // Hysteresis: the clear cannot precede the burst end plus the hold.
+  ASSERT_FALSE(page->active());
+  EXPECT_GE(page->cleared_at,
+            milliseconds(20) + cfg.fast_burn.clear_hold);
+
+  // Every scope of this one-bs topology saw the same outcomes, so the burn
+  // rules fire at cluster, node and bs scope alike — and all clear.
+  for (const Alert& a : m.alerts()) {
+    EXPECT_FALSE(a.active()) << describe(a);
+    EXPECT_TRUE(a.rule == Rule::kFastBurn || a.rule == Rule::kSlowBurn);
+  }
+  EXPECT_EQ(m.active_alerts(Severity::kPage), 0u);
+  EXPECT_EQ(m.active_alerts(Severity::kWarn), 0u);
+}
+
+TEST(HealthMonitor, MinWindowSamplesGatesSparseTraffic) {
+  // All-bad traffic, but only one outcome per bucket: the fast-burn long
+  // window holds at most 4 < min_window_samples outcomes, so no page even
+  // at burn 100x. Firing is gated; an empty window must not page either.
+  HealthConfig cfg = tight_config();
+  cfg.slow_burn.long_window = milliseconds(4);  // keep both windows sparse
+  cfg.slow_burn.short_window = milliseconds(4);
+  HealthMonitor m(cfg, one_bs_topology());
+  for (TimePoint ts = 0; ts < milliseconds(30); ts += milliseconds(1))
+    m.observe(make_event(ts, EventKind::kSubframeEnd, 0,
+                         static_cast<std::uint32_t>(ts / milliseconds(1)),
+                         /*a=*/1));
+  m.finish(milliseconds(30));
+  EXPECT_TRUE(m.alerts().empty());
+}
+
+TEST(HealthMonitor, LossesBurnBudgetLikeMisses) {
+  // A dead node produces kLost, never kSubframeEnd — losses must count as
+  // offered+bad or a fail-stop would look like an idle (healthy) window.
+  HealthMonitor m(tight_config(), one_bs_topology());
+  feed_outcomes(m, 0, milliseconds(10), /*bad=*/false);
+  std::uint32_t index = 0;
+  for (TimePoint ts = milliseconds(10); ts < milliseconds(20);
+       ts += microseconds(100))
+    m.observe(make_event(ts, EventKind::kLost, 0, index++));
+  m.finish(milliseconds(20));
+  bool paged = false;
+  for (const Alert& a : m.alerts())
+    if (a.severity == Severity::kPage) paged = true;
+  EXPECT_TRUE(paged);
+}
+
+TEST(HealthMonitor, NodeScopeAttributionIsolatesTheSickNode) {
+  Topology topo;
+  topo.num_nodes = 2;
+  topo.num_basestations = 2;
+  topo.node_cores = {2, 2};
+  topo.track_to_node = {0, 1};
+  topo.bs_to_node = {0, 1};
+  HealthMonitor m(tight_config(), topo);
+  for (TimePoint ts = 0; ts < milliseconds(30); ts += microseconds(100)) {
+    const auto index = static_cast<std::uint32_t>(ts / microseconds(100));
+    m.observe(make_event(ts, EventKind::kSubframeEnd, 0, index, 0, 0,
+                         /*core=*/0));
+    m.observe(make_event(ts, EventKind::kSubframeEnd, 1, index,
+                         ts >= milliseconds(10) ? 1 : 0, 0, /*core=*/1));
+  }
+  m.finish(milliseconds(30));
+
+  bool node1_paged = false;
+  for (const Alert& a : m.alerts()) {
+    if (a.scope == ScopeKind::kNode) {
+      EXPECT_EQ(a.scope_id, 1u) << "healthy node 0 must stay green: "
+                                << describe(a);
+      if (a.severity == Severity::kPage) node1_paged = true;
+    }
+    if (a.scope == ScopeKind::kBasestation) {
+      EXPECT_EQ(a.scope_id, 1u);
+    }
+  }
+  EXPECT_TRUE(node1_paged);
+  const HealthSnapshot snap = m.snapshot();
+  ASSERT_EQ(snap.nodes.size(), 2u);
+  EXPECT_EQ(snap.nodes[0].kind, ScopeKind::kNode);
+}
+
+TEST(HealthMonitor, SlackCollapseFiresAnomalyNotBurn) {
+  HealthConfig cfg = tight_config();
+  cfg.anomaly_enabled = true;
+  cfg.z_threshold = 4.0;
+  cfg.z_consecutive = 2;
+  cfg.z_warmup = 4;
+  // Burn rules out of the picture: nothing here ever misses.
+  cfg.fast_burn.threshold = 1e9;
+  cfg.slow_burn.threshold = 1e9;
+  HealthMonitor m(cfg, one_bs_topology());
+
+  // One completion per bucket; slack oscillates 900/1100 us (so sigma is
+  // genuine), then collapses to 10 us.
+  for (unsigned bucket = 0; bucket < 40; ++bucket) {
+    const TimePoint ts = milliseconds(1) * bucket + microseconds(500);
+    const Duration slack = bucket < 30
+                               ? microseconds(bucket % 2 ? 900 : 1100)
+                               : microseconds(10);
+    m.observe(make_event(ts, EventKind::kArrival, 0, bucket,
+                         static_cast<std::uint32_t>(slack)));
+    m.observe(make_event(ts, EventKind::kSubframeEnd, 0, bucket, 0));
+  }
+  m.finish(milliseconds(40));
+
+  const Alert* anomaly = nullptr;
+  for (const Alert& a : m.alerts())
+    if (a.rule == Rule::kSlackAnomaly && a.scope == ScopeKind::kCluster)
+      anomaly = &a;
+  ASSERT_NE(anomaly, nullptr);
+  EXPECT_EQ(anomaly->severity, Severity::kWarn);
+  EXPECT_GE(anomaly->fired_at, milliseconds(30));
+  EXPECT_GE(anomaly->value, cfg.z_threshold);
+  for (const Alert& a : m.alerts())
+    EXPECT_NE(a.rule, Rule::kFastBurn) << describe(a);
+}
+
+TEST(HealthMonitor, SameFeedIsBitIdentical) {
+  const HealthConfig cfg = tight_config();
+  auto run = [&cfg]() {
+    auto m = std::make_unique<HealthMonitor>(cfg, one_bs_topology());
+    feed_outcomes(*m, 0, milliseconds(10), false);
+    feed_outcomes(*m, milliseconds(10), milliseconds(18), true);
+    feed_outcomes(*m, milliseconds(18), milliseconds(50), false);
+    m->finish(milliseconds(50));
+    return m;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_FALSE(a->alerts().empty());
+  EXPECT_EQ(a->alerts(), b->alerts());
+  ASSERT_EQ(a->alert_events().size(), b->alert_events().size());
+  for (std::size_t i = 0; i < a->alert_events().size(); ++i) {
+    const TraceEvent& x = a->alert_events()[i];
+    const TraceEvent& y = b->alert_events()[i];
+    EXPECT_EQ(x.ts, y.ts);
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.bs, y.bs);
+    EXPECT_EQ(x.index, y.index);
+    EXPECT_EQ(x.a, y.a);
+    EXPECT_EQ(x.b, y.b);
+  }
+}
+
+TEST(HealthMonitor, AlertEventsEncodeTheAlertStream) {
+  HealthMonitor m(tight_config(), one_bs_topology());
+  feed_outcomes(m, 0, milliseconds(10), false);
+  feed_outcomes(m, milliseconds(10), milliseconds(20), true);
+  feed_outcomes(m, milliseconds(20), milliseconds(60), false);
+  m.finish(milliseconds(60));
+
+  std::size_t fired = 0, cleared = 0;
+  for (const TraceEvent& ev : m.alert_events()) {
+    const auto severity = static_cast<Severity>(ev.a & 0xff);
+    const auto kind = static_cast<ScopeKind>(ev.a >> 8);
+    if (ev.kind == EventKind::kAlert) {
+      // Every kAlert matches its Alert record by (rule, scope, fire time).
+      const Alert& a = m.alerts()[fired];
+      EXPECT_EQ(static_cast<Rule>(ev.index), a.rule);
+      EXPECT_EQ(severity, a.severity);
+      EXPECT_EQ(kind, a.scope);
+      EXPECT_EQ(ev.bs, a.scope_id);
+      EXPECT_EQ(ev.ts, a.fired_at);
+      ++fired;
+    } else {
+      ASSERT_EQ(ev.kind, EventKind::kAlertClear);
+      ++cleared;
+    }
+  }
+  EXPECT_EQ(fired, m.alerts().size());
+  EXPECT_EQ(cleared, m.alerts().size());  // everything cleared by finish()
+}
+
+TEST(HealthMonitor, ScanStoreMatchesSortedFeed) {
+  // scan_store sorts internally, so a shuffled (track-interleaved) store
+  // must produce the same alert stream as the chronological feed.
+  const HealthConfig cfg = tight_config();
+  HealthMonitor sorted(cfg, one_bs_topology());
+  TraceStore store;
+  std::uint32_t index = 0;
+  for (TimePoint ts = 0; ts < milliseconds(40); ts += microseconds(100)) {
+    const bool bad = ts >= milliseconds(10) && ts < milliseconds(20);
+    store.events.push_back(
+        make_event(ts, EventKind::kSubframeEnd, 0, index++, bad ? 1 : 0));
+  }
+  for (const TraceEvent& ev : store.events) sorted.observe(ev);
+  sorted.finish(milliseconds(40));
+
+  std::rotate(store.events.begin(), store.events.begin() + 57,
+              store.events.end());
+  const auto scanned = scan_store(store, cfg, one_bs_topology());
+  EXPECT_EQ(scanned->alerts(), sorted.alerts());
+}
+
+TEST(HealthMonitor, RegistryRendersLintClean) {
+  HealthMonitor m(tight_config(), one_bs_topology());
+  feed_outcomes(m, 0, milliseconds(10), false);
+  feed_outcomes(m, milliseconds(10), milliseconds(20), true);
+  m.finish(milliseconds(20));
+  ASSERT_FALSE(m.alerts().empty());
+
+  MetricsRegistry reg;
+  m.fill_registry(reg);
+  const std::string text = reg.render();
+  EXPECT_NE(text.find("rtopex_health_score{scope=\"cluster\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("rtopex_health_alerts_fired_total{rule=\"fast_burn\"}"),
+            std::string::npos);
+  const std::vector<std::string> problems = lint_prometheus_text(text);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(HealthMonitor, AlertLogCsvAndDescribe) {
+  HealthMonitor m(tight_config(), one_bs_topology());
+  feed_outcomes(m, 0, milliseconds(10), false);
+  feed_outcomes(m, milliseconds(10), milliseconds(20), true);
+  feed_outcomes(m, milliseconds(20), milliseconds(60), false);
+  m.finish(milliseconds(60));
+  ASSERT_FALSE(m.alerts().empty());
+
+  const std::string path = ::testing::TempDir() + "/health_alerts.csv";
+  write_alert_log_csv(path, m.alerts());
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("rule,severity,scope"), std::string::npos);
+  EXPECT_NE(ss.str().find("fast_burn,page"), std::string::npos);
+  std::remove(path.c_str());
+
+  const std::string line = describe(m.alerts().front());
+  EXPECT_NE(line.find("fast_burn"), std::string::npos);
+  EXPECT_NE(line.find("fired="), std::string::npos);
+}
+
+TEST(HealthConfigValidation, RejectsBadKnobs) {
+  const Topology topo = one_bs_topology();
+  HealthConfig cfg = tight_config();
+  cfg.eval_period = 0;
+  EXPECT_THROW(HealthMonitor(cfg, topo), std::invalid_argument);
+
+  cfg = tight_config();
+  cfg.slo_miss_rate = 0.0;
+  EXPECT_THROW(HealthMonitor(cfg, topo), std::invalid_argument);
+
+  cfg = tight_config();
+  cfg.fast_burn.short_window = milliseconds(8);  // exceeds its long window
+  EXPECT_THROW(HealthMonitor(cfg, topo), std::invalid_argument);
+
+  cfg = tight_config();
+  cfg.slow_burn.long_window = microseconds(2500);  // not a period multiple
+  EXPECT_THROW(HealthMonitor(cfg, topo), std::invalid_argument);
+
+  cfg = tight_config();
+  cfg.fast_burn.threshold = 0.0;
+  EXPECT_THROW(HealthMonitor(cfg, topo), std::invalid_argument);
+
+  cfg = tight_config();
+  cfg.slow_burn.clear_fraction = 1.5;
+  EXPECT_THROW(HealthMonitor(cfg, topo), std::invalid_argument);
+
+  cfg = tight_config();
+  cfg.anomaly_enabled = true;
+  cfg.z_consecutive = 0;
+  EXPECT_THROW(HealthMonitor(cfg, topo), std::invalid_argument);
+}
+
+TEST(HealthTopologyValidation, RejectsBadMaps) {
+  const HealthConfig cfg = tight_config();
+  Topology topo;
+  topo.num_nodes = 0;
+  EXPECT_THROW(HealthMonitor(cfg, topo), std::invalid_argument);
+
+  topo = one_bs_topology();
+  topo.num_nodes = 2;
+  topo.track_to_node = {0, 5};
+  EXPECT_THROW(HealthMonitor(cfg, topo), std::invalid_argument);
+
+  topo = one_bs_topology();
+  topo.bs_to_node = {3};
+  EXPECT_THROW(HealthMonitor(cfg, topo), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtopex::obs::health

@@ -5,9 +5,12 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "obs/histogram.hpp"
+#include "obs/prom_lint.hpp"
 
 namespace rtopex::obs {
 namespace {
@@ -106,6 +109,151 @@ TEST(MetricsRegistryTest, WriteRoundtripsAndFailsOnBadPath) {
   std::remove(path.c_str());
   EXPECT_THROW(reg.write("/nonexistent-dir-xyz/file.prom"),
                std::runtime_error);
+}
+
+// --- Federation: Histogram::merge + MetricsRegistry::merge ----------------
+
+TEST(HistogramMergeTest, MergePreservesMassAndMoments) {
+  Histogram a, b;
+  for (int i = 1; i <= 100; ++i) a.add(i);
+  for (int i = 101; i <= 200; ++i) b.add(i);
+  const double sum_before = a.sum() + b.sum();
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_DOUBLE_EQ(a.sum(), sum_before);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 200.0);
+  // Merged p50 sits at the seam between the two halves (one bucket slop).
+  EXPECT_NEAR(a.percentile(0.5), 100.0, 15.0);
+  // Merging an empty histogram is a no-op.
+  Histogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 200u);
+}
+
+TEST(HistogramMergeTest, MergeRejectsLayoutMismatch) {
+  Histogram a;                     // default layout
+  Histogram b(1.0, 1e6, 12);      // different edges
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(MetricsRegistryMergeTest, ExtraLabelsAppendAndOverride) {
+  MetricsRegistry node;
+  node.add_counter("rtopex_subframes_total", "Subframes.", 400.0);
+  node.add_gauge("rtopex_util", "Utilization.", 0.5,
+                 {{"node", "stale"}, {"core", "2"}});
+
+  MetricsRegistry fleet;
+  fleet.merge(node, {{"node", "0"}});
+  fleet.merge(node, {{"node", "1"}});
+  const std::string text = fleet.render();
+  // Unlabelled samples gain the node label; pre-existing `node` labels are
+  // overridden (the federator, not the producer, owns topology labels) and
+  // unrelated labels survive.
+  EXPECT_EQ(count_occurrences(
+                text, "rtopex_subframes_total{node=\"0\"} 400"),
+            1u);
+  EXPECT_EQ(count_occurrences(
+                text, "rtopex_subframes_total{node=\"1\"} 400"),
+            1u);
+  EXPECT_EQ(count_occurrences(text, "node=\"stale\""), 0u);
+  EXPECT_EQ(count_occurrences(text, "core=\"2\""), 2u);
+  // Distinct node labels keep the series apart: lints clean.
+  EXPECT_TRUE(lint_prometheus_text(text).empty());
+}
+
+TEST(MetricsRegistryMergeTest, MergedHistogramsLintClean) {
+  Histogram h;
+  for (int i = 1; i <= 50; ++i) h.add(i * 10.0);
+  MetricsRegistry node;
+  node.add_histogram("rtopex_processing_time_us", "Processing time.", h);
+
+  MetricsRegistry fleet;
+  fleet.merge(node, {{"node", "0"}});
+  fleet.merge(node, {{"node", "1"}});
+  const std::string text = fleet.render();
+  // One family header, two labelled bucket families, cumulative and
+  // +Inf-terminated: the linter checks all of it.
+  EXPECT_EQ(count_occurrences(text, "# TYPE rtopex_processing_time_us"), 1u);
+  EXPECT_EQ(count_occurrences(text, "rtopex_processing_time_us_count"), 2u);
+  const std::vector<std::string> problems = lint_prometheus_text(text);
+  EXPECT_TRUE(problems.empty())
+      << problems.size() << " lint errors, first: " << problems.front();
+}
+
+// --- The format linter itself ---------------------------------------------
+
+TEST(PromLintTest, AcceptsACompliantExposition) {
+  const std::string text =
+      "# HELP rtopex_ok A counter.\n"
+      "# TYPE rtopex_ok counter\n"
+      "rtopex_ok{bs=\"0\"} 1\n"
+      "rtopex_ok{bs=\"1\"} 2\n"
+      "# HELP rtopex_h A histogram.\n"
+      "# TYPE rtopex_h histogram\n"
+      "rtopex_h_bucket{le=\"1\"} 3\n"
+      "rtopex_h_bucket{le=\"+Inf\"} 5\n"
+      "rtopex_h_sum 4.2\n"
+      "rtopex_h_count 5\n";
+  EXPECT_TRUE(lint_prometheus_text(text).empty());
+}
+
+TEST(PromLintTest, FlagsFormatViolations) {
+  // Each fixture is one violation; the linter must name the line.
+  const struct {
+    const char* text;
+    const char* needle;
+  } fixtures[] = {
+      {"2bad_name 1\n", "invalid metric name"},
+      {"rtopex_x{9key=\"v\"} 1\n", "invalid label name"},
+      {"rtopex_x{k=\"v} 1\n", "unterminated label value"},
+      {"rtopex_x notanumber\n", "unparseable sample value"},
+      {"rtopex_x 1 not_a_timestamp\n", "trailing garbage"},
+      {"# TYPE rtopex_x sidecar\nrtopex_x 1\n", "unknown TYPE"},
+      {"# TYPE rtopex_x gauge\n# TYPE rtopex_x gauge\nrtopex_x 1\n",
+       "duplicate TYPE"},
+      {"rtopex_a 1\nrtopex_b 2\nrtopex_a 3\n", "interleaved"},
+      {"rtopex_a{k=\"v\"} 1\nrtopex_a{k=\"v\"} 2\n", "duplicate series"},
+      {"# TYPE rtopex_h histogram\n"
+       "rtopex_h_bucket{le=\"1\"} 5\n"
+       "rtopex_h_bucket{le=\"2\"} 3\n"
+       "rtopex_h_bucket{le=\"+Inf\"} 5\n"
+       "rtopex_h_sum 1\nrtopex_h_count 5\n",
+       "not cumulative"},
+      {"# TYPE rtopex_h histogram\n"
+       "rtopex_h_bucket{le=\"1\"} 3\n"
+       "rtopex_h_sum 1\nrtopex_h_count 3\n",
+       "missing its +Inf bucket"},
+      {"# TYPE rtopex_h histogram\n"
+       "rtopex_h_bucket{le=\"+Inf\"} 5\n"
+       "rtopex_h_sum 1\nrtopex_h_count 4\n",
+       "_count != +Inf bucket"},
+  };
+  for (const auto& f : fixtures) {
+    const std::vector<std::string> problems = lint_prometheus_text(f.text);
+    ASSERT_FALSE(problems.empty()) << "accepted: " << f.text;
+    bool found = false;
+    for (const std::string& p : problems)
+      if (p.find(f.needle) != std::string::npos) found = true;
+    EXPECT_TRUE(found) << "for \"" << f.text << "\" expected \"" << f.needle
+                       << "\", got: " << problems.front();
+  }
+}
+
+TEST(PromLintTest, RegistryRenderIsAlwaysCompliant) {
+  // The end-to-end property every snapshot path relies on: whatever a
+  // producer puts into the registry (odd label values included), render()
+  // emits a lint-clean exposition.
+  Histogram h;
+  for (int i = 0; i < 32; ++i) h.add(i * 3.0);
+  MetricsRegistry reg;
+  reg.add_counter("rtopex_events_total", "Events.", 12,
+                  {{"kind", "weird \"quoted\" \\ value\nwith newline"}});
+  reg.add_gauge("rtopex_level", "Level.", -3.5, {{"bs", "7"}});
+  reg.add_histogram("rtopex_lat_us", "Latency.", h, {{"node", "2"}});
+  const std::vector<std::string> problems = lint_prometheus_text(reg.render());
+  EXPECT_TRUE(problems.empty())
+      << problems.size() << " lint errors, first: " << problems.front();
 }
 
 TEST(MetricsRegistryTest, ClearEmptiesRegistry) {
