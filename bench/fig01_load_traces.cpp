@@ -1,23 +1,45 @@
 // Fig. 1 — Variations in cellular load traces: normalized load of two
 // basestations over a 50 ms interval at 1 ms granularity.
+//
+// Key metrics (per-ms loads, mean |delta|) are emitted as BENCH_fig01.json
+// into --out DIR (default: the working directory).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
 #include "trace/load_trace.hpp"
 
 using namespace rtopex;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Figure 1",
                       "per-millisecond load variation of two basestations");
+
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out DIR]\n", argv[0]);
+      return 1;
+    }
+  }
+
   const auto params = trace::metropolitan_preset(2);
   const auto bs1 = trace::generate_load_trace(params[0], 50, 1001);
   const auto bs2 = trace::generate_load_trace(params[1], 50, 1002);
 
+  bench::JsonValue rows = bench::JsonValue::array();
   bench::print_row({"time_ms", "bs1_load", "bs2_load"});
-  for (std::size_t t = 0; t < 50; ++t)
+  for (std::size_t t = 0; t < 50; ++t) {
     bench::print_row({std::to_string(t + 1), bench::fmt(bs1.load(t)),
                       bench::fmt(bs2.load(t))});
+    rows.push(bench::JsonValue::object()
+                  .set("time_ms", static_cast<double>(t + 1))
+                  .set("bs1_load", bs1.load(t))
+                  .set("bs2_load", bs2.load(t)));
+  }
 
   // The paper's qualitative claim: consecutive subframes differ
   // considerably. Report the mean absolute 1 ms load delta.
@@ -28,5 +50,16 @@ int main() {
   }
   std::printf("\nmean |delta load| per 1 ms:  BS1 %.3f   BS2 %.3f\n", d1 / 49,
               d2 / 49);
+
+  bench::JsonValue root = bench::JsonValue::object();
+  root.set("bench", "fig01_load_traces")
+      .set("config", bench::JsonValue::object()
+                         .set("basestations", 2.0)
+                         .set("interval_ms", 50.0))
+      .set("loads", std::move(rows))
+      .set("mean_abs_delta",
+           bench::JsonValue::object().set("bs1", d1 / 49).set("bs2", d2 / 49));
+  bench::write_bench_json(out_dir + "/BENCH_fig01.json", root);
+  std::printf("wrote %s/BENCH_fig01.json\n", out_dir.c_str());
   return 0;
 }

@@ -3,7 +3,12 @@
 //   (b) vs MCS for SNR in {10, 20, 30} dB (measured: L emerges from decode)
 //   (c) vs MCS for N in {1, 2}            (measured)
 //   (d) error distribution                (fit residuals + platform model)
+//
+// Key metrics are emitted as BENCH_fig03.json into --out DIR (default: the
+// working directory).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
@@ -12,8 +17,18 @@
 
 using namespace rtopex;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Figure 3", "processing-time variability");
+
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out DIR]\n", argv[0]);
+      return 1;
+    }
+  }
 
   // One shared measurement sweep feeds (b), (c) and the fit for (a)/(d).
   bench::PhyMeasurementConfig cfg;
@@ -28,13 +43,20 @@ int main() {
 
   std::printf("\n(a) T_rxproc (us) vs MCS for fixed L (N = 2, fitted model)\n");
   bench::print_row({"mcs", "L=1", "L=2", "L=3", "L=4"});
+  bench::JsonValue model_rows = bench::JsonValue::array();
   for (unsigned mcs = 0; mcs <= phy::kMaxMcs; mcs += 3) {
     const double d = phy::subcarrier_load(mcs, 50);
     const unsigned k = phy::modulation_order(mcs);
     std::vector<std::string> row = {std::to_string(mcs)};
-    for (unsigned l = 1; l <= 4; ++l)
-      row.push_back(bench::fmt(to_us(fit.predict(2, k, d, l)), 0));
+    bench::JsonValue jrow =
+        bench::JsonValue::object().set("mcs", static_cast<double>(mcs));
+    for (unsigned l = 1; l <= 4; ++l) {
+      const double us = to_us(fit.predict(2, k, d, l));
+      row.push_back(bench::fmt(us, 0));
+      jrow.set("l" + std::to_string(l) + "_us", us);
+    }
     bench::print_row(row);
+    model_rows.push(std::move(jrow));
   }
 
   // Helper: mean measured time grouped by predicate.
@@ -50,6 +72,7 @@ int main() {
   // Group by low/high load at each SNR is implicit in (a); report per-SNR
   // aggregate over high MCS (>= 21) where iteration effects dominate.
   // The measurement config interleaves SNRs, so re-measure per SNR.
+  bench::JsonValue snr_rows = bench::JsonValue::array();
   for (const double snr : {10.0, 20.0, 30.0}) {
     bench::PhyMeasurementConfig c2;
     c2.mcs_values = {21, 24, 27};
@@ -68,14 +91,25 @@ int main() {
                 bench::fmt(s.mean(), 0).c_str(),
                 bench::fmt(s.max(), 0).c_str(),
                 mean_l / static_cast<double>(d2.size()));
+    snr_rows.push(bench::JsonValue::object()
+                      .set("snr_db", snr)
+                      .set("mean_us", s.mean())
+                      .set("max_us", s.max())
+                      .set("mean_iterations",
+                           mean_l / static_cast<double>(d2.size())));
   }
 
   std::printf("\n(c) measured T_rxproc (us) vs antennas\n");
   bench::print_row({"antennas", "mean_us", "max_us"});
+  bench::JsonValue antenna_rows = bench::JsonValue::array();
   for (const unsigned n : {1u, 2u}) {
     const auto s = mean_time([&](const auto& m) { return m.antennas == n; });
     bench::print_row({std::to_string(n), bench::fmt(s.mean(), 0),
                       bench::fmt(s.max(), 0)});
+    antenna_rows.push(bench::JsonValue::object()
+                          .set("antennas", static_cast<double>(n))
+                          .set("mean_us", s.mean())
+                          .set("max_us", s.max()));
   }
   const auto s1 = mean_time([](const auto& m) { return m.antennas == 1; });
   const auto s2 = mean_time([](const auto& m) { return m.antennas == 2; });
@@ -100,5 +134,28 @@ int main() {
               "   (paper: 99.9%% < 150 us, spikes to ~700 us)\n",
               quantile(jitter, 0.5), quantile(jitter, 0.99),
               quantile(jitter, 0.999), quantile(jitter, 1.0));
+
+  bench::JsonValue root = bench::JsonValue::object();
+  root.set("bench", "fig03_proc_time")
+      .set("config", bench::JsonValue::object()
+                         .set("num_prb", 50.0)
+                         .set("repetitions", 2.0))
+      .set("model_vs_mcs", std::move(model_rows))
+      .set("measured_vs_snr", std::move(snr_rows))
+      .set("measured_vs_antennas", std::move(antenna_rows))
+      .set("residual_abs_us",
+           bench::JsonValue::object()
+               .set("p50", quantile(abs_res, 0.5))
+               .set("p99", quantile(abs_res, 0.99))
+               .set("p999", quantile(abs_res, 0.999))
+               .set("max", quantile(abs_res, 1.0)))
+      .set("platform_jitter_us",
+           bench::JsonValue::object()
+               .set("p50", quantile(jitter, 0.5))
+               .set("p99", quantile(jitter, 0.99))
+               .set("p999", quantile(jitter, 0.999))
+               .set("max", quantile(jitter, 1.0)));
+  bench::write_bench_json(out_dir + "/BENCH_fig03.json", root);
+  std::printf("wrote %s/BENCH_fig03.json\n", out_dir.c_str());
   return 0;
 }

@@ -6,15 +6,30 @@
 // host has a single core, so two-core wall-clock cannot be measured here
 // (see DESIGN.md §2). The per-subtask split itself is exercised for real by
 // tests/phy/test_chain_sweep.cpp and the real-thread runtime.
+//
+// Key metrics are emitted as BENCH_fig04.json into --out DIR (default: the
+// working directory).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
 #include "model/task_cost_model.hpp"
 
 using namespace rtopex;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Figure 4", "task times on 1 vs 2 cores (virtual time)");
+
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out DIR]\n", argv[0]);
+      return 1;
+    }
+  }
 
   const model::TaskCostModel cost(model::paper_gpp_model(), 2, 50);
   const Duration delta = microseconds(20);  // migration/fork overhead
@@ -33,6 +48,7 @@ int main() {
 
   std::printf("\n(b) decode task at MCS 27\n");
   bench::print_row({"L", "1 core", "2 cores", "saving"});
+  bench::JsonValue decode_rows = bench::JsonValue::array();
   for (unsigned l = 1; l <= 4; ++l) {
     const auto cl = cost.costs(27, l, 0);
     const double serial = to_us(cl.decode);
@@ -45,7 +61,25 @@ int main() {
     bench::print_row({std::to_string(l), bench::fmt(serial, 0),
                       bench::fmt(parallel, 0),
                       bench::fmt(serial - parallel, 0)});
+    decode_rows.push(bench::JsonValue::object()
+                         .set("iterations", static_cast<double>(l))
+                         .set("one_core_us", serial)
+                         .set("two_cores_us", parallel)
+                         .set("saving_us", serial - parallel));
   }
   std::printf("paper anchor at its operating point: 980 -> 670 us (~310 us saving)\n");
+
+  bench::JsonValue root = bench::JsonValue::object();
+  root.set("bench", "fig04_parallel_tasks")
+      .set("config", bench::JsonValue::object()
+                         .set("mcs", 27.0)
+                         .set("delta_us", to_us(delta)))
+      .set("fft", bench::JsonValue::object()
+                      .set("one_core_us", fft_1)
+                      .set("two_cores_us", fft_2)
+                      .set("overhead_vs_half_us", fft_2 - fft_1 / 2.0))
+      .set("decode", std::move(decode_rows));
+  bench::write_bench_json(out_dir + "/BENCH_fig04.json", root);
+  std::printf("wrote %s/BENCH_fig04.json\n", out_dir.c_str());
   return 0;
 }

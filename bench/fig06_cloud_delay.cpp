@@ -1,7 +1,12 @@
 // Fig. 6 — Distribution of the one-way cloud network delay for 1 GbE and
 // 10 GbE connections: mean ~0.15 ms with a long tail (~1 in 1e4 packets
 // above 0.25 ms).
+//
+// Key metrics are emitted as BENCH_fig06.json into --out DIR (default: the
+// working directory).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
@@ -10,10 +15,21 @@
 
 using namespace rtopex;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Figure 6", "cloud network one-way delay distribution");
 
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out DIR]\n", argv[0]);
+      return 1;
+    }
+  }
+
   constexpr int kSamples = 2'000'000;
+  bench::JsonValue link_rows = bench::JsonValue::array();
   bench::print_row({"link", "mean_us", "p50", "p99", "p99.99", "max",
                     "P(>250us)"});
   for (const bool ten_gbe : {false, true}) {
@@ -40,7 +56,25 @@ int main() {
                       bench::fmt(cdf.quantile(0.99), 0),
                       bench::fmt(cdf.quantile(0.9999), 0),
                       bench::fmt(s.max(), 0), tail});
+    link_rows.push(bench::JsonValue::object()
+                       .set("link", ten_gbe ? "10GbE" : "1GbE")
+                       .set("mean_us", s.mean())
+                       .set("p50_us", cdf.quantile(0.5))
+                       .set("p99_us", cdf.quantile(0.99))
+                       .set("p9999_us", cdf.quantile(0.9999))
+                       .set("max_us", s.max())
+                       .set("tail_prob_above_250us",
+                            static_cast<double>(above) / kSamples));
   }
   std::printf("\npaper: mean ~150 us; ~1 in 1e4 packets above 250 us on both links\n");
+
+  bench::JsonValue root = bench::JsonValue::object();
+  root.set("bench", "fig06_cloud_delay")
+      .set("config",
+           bench::JsonValue::object().set("samples",
+                                          static_cast<double>(kSamples)))
+      .set("links", std::move(link_rows));
+  bench::write_bench_json(out_dir + "/BENCH_fig06.json", root);
+  std::printf("wrote %s/BENCH_fig06.json\n", out_dir.c_str());
   return 0;
 }

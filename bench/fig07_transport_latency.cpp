@@ -2,7 +2,12 @@
 // 5 MHz and 10 MHz bandwidth (WARP radios on 1 GbE aggregated into the
 // GPP's 10 GbE port). Serialization dominates; at 10 MHz the latency
 // crosses ~0.9 ms near 8 antennas — the paper's supportable maximum.
+//
+// Key metrics are emitted as BENCH_fig07.json into --out DIR (default: the
+// working directory).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
@@ -11,32 +16,60 @@
 
 using namespace rtopex;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Figure 7", "one-way transport latency vs antennas");
+
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out DIR]\n", argv[0]);
+      return 1;
+    }
+  }
 
   const transport::IqTransportModel model;
   Rng rng(1);
+  bench::JsonValue rows = bench::JsonValue::array();
   bench::print_row({"antennas", "5MHz_mean", "5MHz_max", "10MHz_mean",
                     "10MHz_max"});
   for (unsigned n = 1; n <= 16; ++n) {
     std::vector<std::string> row = {std::to_string(n)};
+    bench::JsonValue jrow =
+        bench::JsonValue::object().set("antennas", static_cast<double>(n));
     for (const auto bw : {phy::Bandwidth::kMHz5, phy::Bandwidth::kMHz10}) {
       RunningStats s;
       for (int i = 0; i < 5000; ++i)
         s.add(to_us(model.sample_one_way(bw, n, rng)));
       row.push_back(bench::fmt(s.mean(), 0));
       row.push_back(bench::fmt(s.max(), 0));
+      const std::string key = bw == phy::Bandwidth::kMHz5 ? "mhz5" : "mhz10";
+      jrow.set(key + "_mean_us", s.mean()).set(key + "_max_us", s.max());
     }
     bench::print_row(row);
+    rows.push(std::move(jrow));
   }
 
   // The paper's conclusion from this figure.
+  unsigned supportable = 16;
   for (unsigned n = 1; n <= 16; ++n) {
     if (to_us(model.one_way_nominal(phy::Bandwidth::kMHz10, n)) > 1000.0) {
+      supportable = n - 1;
       std::printf("\nat 10 MHz, latency exceeds 1 ms beyond %u antennas "
                   "(paper: at most 8 antennas supportable)\n", n - 1);
       break;
     }
   }
+
+  bench::JsonValue root = bench::JsonValue::object();
+  root.set("bench", "fig07_transport_latency")
+      .set("config", bench::JsonValue::object()
+                         .set("samples_per_point", 5000.0)
+                         .set("max_antennas", 16.0))
+      .set("latency_vs_antennas", std::move(rows))
+      .set("supportable_antennas_10mhz", static_cast<double>(supportable));
+  bench::write_bench_json(out_dir + "/BENCH_fig07.json", root);
+  std::printf("wrote %s/BENCH_fig07.json\n", out_dir.c_str());
   return 0;
 }

@@ -1,6 +1,11 @@
 // Fig. 14 — Basestation load distribution: CDFs of the normalized load of
 // the four basestations driving the evaluation (distinct operating points).
+//
+// Key metrics are emitted as BENCH_fig14.json into --out DIR (default: the
+// working directory).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
@@ -8,8 +13,18 @@
 
 using namespace rtopex;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Figure 14", "per-basestation load CDFs (4 BSs)");
+
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out DIR]\n", argv[0]);
+      return 1;
+    }
+  }
 
   const auto params = trace::metropolitan_preset(4);
   std::vector<EmpiricalCdf> cdfs;
@@ -18,15 +33,34 @@ int main() {
     cdfs.emplace_back(t.values());
   }
 
+  bench::JsonValue grid = bench::JsonValue::array();
   bench::print_row({"load", "bs1_cdf", "bs2_cdf", "bs3_cdf", "bs4_cdf"});
   for (double load = 0.0; load <= 1.0001; load += 0.1) {
     std::vector<std::string> row = {bench::fmt(load, 1)};
-    for (const auto& cdf : cdfs) row.push_back(bench::fmt(cdf(load)));
+    bench::JsonValue jrow = bench::JsonValue::object().set("load", load);
+    for (std::size_t b = 0; b < cdfs.size(); ++b) {
+      row.push_back(bench::fmt(cdfs[b](load)));
+      jrow.set("bs" + std::to_string(b + 1) + "_cdf", cdfs[b](load));
+    }
     bench::print_row(row);
+    grid.push(std::move(jrow));
   }
   std::printf("\nmedians: %.2f / %.2f / %.2f / %.2f "
               "(distinct per-BS operating points, as in the paper)\n",
               cdfs[0].quantile(0.5), cdfs[1].quantile(0.5),
               cdfs[2].quantile(0.5), cdfs[3].quantile(0.5));
+
+  bench::JsonValue medians = bench::JsonValue::array();
+  for (const auto& cdf : cdfs)
+    medians.push(bench::JsonValue::number(cdf.quantile(0.5)));
+  bench::JsonValue root = bench::JsonValue::object();
+  root.set("bench", "fig14_load_cdf")
+      .set("config", bench::JsonValue::object()
+                         .set("basestations", 4.0)
+                         .set("subframes", 30000.0))
+      .set("cdf_grid", std::move(grid))
+      .set("medians", std::move(medians));
+  bench::write_bench_json(out_dir + "/BENCH_fig14.json", root);
+  std::printf("wrote %s/BENCH_fig14.json\n", out_dir.c_str());
   return 0;
 }

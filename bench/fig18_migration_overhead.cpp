@@ -8,7 +8,12 @@
 //  2. The real-thread runtime's per-stage timings with migration enabled,
 //     local vs migrated (meaningful on multicore hosts; on a single-core
 //     host the hosting thread timeshares, inflating the numbers).
+//
+// Key metrics are emitted as BENCH_fig18.json into --out DIR (default: the
+// working directory).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
@@ -19,8 +24,20 @@
 
 using namespace rtopex;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Figure 18", "local vs migrated task processing time");
+
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out DIR]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  double handoff_mean_us = 0.0, handoff_max_us = 0.0;
 
   // --- 1. handoff-mechanism micro-benchmark ---
   {
@@ -48,6 +65,8 @@ int main() {
     }
     std::printf("\nmailbox + state-table handoff round trip: "
                 "mean %.2f us, max %.1f us\n", s.mean(), s.max());
+    handoff_mean_us = s.mean();
+    handoff_max_us = s.max();
     std::printf("(the paper's ~20 us overhead is dominated by the shared-"
                 "memory state fetch,\n which the virtual-time model charges "
                 "as delta = 20 us per migrated chunk)\n");
@@ -90,5 +109,29 @@ int main() {
   std::printf("(single-core hosts timeshare the hosting thread, so migrated "
               "numbers are only\n meaningful on multicore hardware; paper: "
               "FFT 108 -> 126 us, decode +~20 us)\n");
+
+  const auto stage_row = [](const RunningStats& s) {
+    return bench::JsonValue::object()
+        .set("runs", static_cast<double>(s.count()))
+        .set("mean_us", s.count() > 0 ? s.mean() : 0.0);
+  };
+  bench::JsonValue root = bench::JsonValue::object();
+  root.set("bench", "fig18_migration_overhead")
+      .set("config", bench::JsonValue::object()
+                         .set("basestations", 2.0)
+                         .set("subframes_per_bs", 30.0)
+                         .set("mcs", 27.0))
+      .set("handoff_round_trip",
+           bench::JsonValue::object()
+               .set("mean_us", handoff_mean_us)
+               .set("max_us", handoff_max_us))
+      .set("fft_local", stage_row(fft_local))
+      .set("fft_migrated", stage_row(fft_mig))
+      .set("decode_local", stage_row(dec_local))
+      .set("decode_migrated", stage_row(dec_mig))
+      .set("migrations", static_cast<double>(report.migrations))
+      .set("recoveries", static_cast<double>(report.recoveries));
+  bench::write_bench_json(out_dir + "/BENCH_fig18.json", root);
+  std::printf("wrote %s/BENCH_fig18.json\n", out_dir.c_str());
   return 0;
 }

@@ -10,6 +10,10 @@
 //   --threshold=PCT    fail (exit 1) when any benchmark's cpu time
 //                      regresses more than PCT percent vs the baseline
 //                      (default 25)
+//   --profile=PATH     after the benchmarks, decode a few subframes per
+//                      operating point under obs/profile ProfileSpans and
+//                      write collapsed-stack folded output to PATH (plus
+//                      the per-stage counter table on stdout)
 // CI's perf-smoke job runs this against the committed baseline in
 // bench/baselines/ — see EXPERIMENTS.md "Kernel performance".
 #include <benchmark/benchmark.h>
@@ -21,9 +25,12 @@
 #include <string>
 #include <vector>
 
+#include "bench_gate.hpp"
 #include "bench_util.hpp"
 #include "channel/channel.hpp"
 #include "common/rng.hpp"
+#include "common/thread_utils.hpp"
+#include "obs/profile/profile_report.hpp"
 #include "phy/crc.hpp"
 #include "phy/fft.hpp"
 #include "phy/modulation.hpp"
@@ -261,159 +268,69 @@ void BM_FullUplinkChain(benchmark::State& state) {
 BENCHMARK(BM_FullUplinkChain)->Arg(0)->Arg(13)->Arg(27)
     ->Unit(benchmark::kMillisecond);
 
+/// --profile=PATH: a post-benchmark profiled pass — the warm per-stage
+/// loops the stage benchmarks time, run under ProfileSpans so the folded
+/// collapsed stacks and the per-stage counter table cover the same code.
+void run_profiled_pass(const std::string& folded_path) {
+  namespace profile = rtopex::obs::profile;
+  profile::ProfileConfig pcfg;
+  pcfg.enabled = true;
+  profile::Profiler profiler(1, pcfg);
+  profiler.set_clock(
+      [] { return static_cast<rtopex::TimePoint>(rtopex::monotonic_ns()); });
+  for (const unsigned mcs : {0u, 13u, 27u}) {
+    SubframeFixture f(mcs);
+    auto& ws = UplinkRxProcessor::thread_workspace();
+    for (int rep = 0; rep < 8; ++rep) {
+      profile::ProfileSpan sf_span(&profiler, 0, "subframe");
+      f.rx->begin(f.job, f.antenna_samples, f.mcs, f.subframe_index);
+      {
+        profile::ProfileSpan span(&profiler, 0, "fft", rtopex::obs::Stage::kFft);
+        for (std::size_t s = 0; s < f.rx->fft_subtask_count(); ++s)
+          f.rx->run_fft_subtask(f.job, s, ws);
+      }
+      {
+        profile::ProfileSpan span(&profiler, 0, "demod",
+                                  rtopex::obs::Stage::kDemod);
+        f.rx->demod_prepare(f.job);
+        for (std::size_t s = 0; s < f.rx->demod_subtask_count(); ++s)
+          f.rx->run_demod_subtask(f.job, s);
+      }
+      {
+        profile::ProfileSpan span(&profiler, 0, "decode",
+                                  rtopex::obs::Stage::kDecode);
+        f.rx->decode_prepare(f.job, ws);
+        const std::size_t dec_n = f.rx->decode_subtask_count(f.job);
+        for (std::size_t s = 0; s < dec_n; ++s)
+          f.rx->run_decode_subtask(f.job, s, ws);
+        f.rx->finalize_into(f.job, ws, f.result);
+        span.set_payload(
+            profile::pack_decode_regressors(modulation_order(mcs),
+                                            f.cfg.num_antennas, mcs),
+            profile::pack_decode_load(static_cast<unsigned>(dec_n),
+                                      f.result.iterations));
+      }
+    }
+  }
+  const profile::ProfileStore store = profiler.take();
+  std::printf("\nprofile (%s backend, %zu spans)\n%s",
+              profile::to_string(store.backend), store.samples.size(),
+              profile::render_report(profile::aggregate(store)).c_str());
+  const std::string text = profile::folded(store);
+  std::ofstream out(folded_path);
+  out << text;
+  std::printf("folded stacks -> %s\n", folded_path.c_str());
+}
+
 }  // namespace
 }  // namespace rtopex::phy
 
-namespace {
-
-struct CapturedRun {
-  std::string name;
-  double real_ns = 0.0;
-  double cpu_ns = 0.0;
-};
-
-/// Console reporter that also keeps per-iteration-group results so main()
-/// can emit the BENCH_micro_phy.json artifact and run the baseline gate.
-class CaptureReporter : public benchmark::ConsoleReporter {
- public:
-  void ReportRuns(const std::vector<Run>& runs) override {
-    for (const auto& run : runs) {
-      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
-      const double iters = static_cast<double>(run.iterations);
-      captured.push_back({run.benchmark_name(),
-                          run.real_accumulated_time / iters * 1e9,
-                          run.cpu_accumulated_time / iters * 1e9});
-    }
-    ConsoleReporter::ReportRuns(runs);
-  }
-
-  std::vector<CapturedRun> captured;
-};
-
-/// Minimal extractor for the baseline JSON this binary itself writes
-/// (objects with "name"/"real_ns"/"cpu_ns" fields).
-std::map<std::string, CapturedRun> read_baseline(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open baseline: " + path);
-  std::stringstream buf;
-  buf << in.rdbuf();
-  const std::string text = buf.str();
-  std::map<std::string, CapturedRun> entries;
-  const std::string name_key = "\"name\":\"";
-  const auto number_after = [&](std::size_t from, const std::string& key) {
-    const std::size_t at = text.find(key, from);
-    if (at == std::string::npos) return -1.0;
-    return std::stod(text.substr(at + key.size()));
-  };
-  for (std::size_t pos = text.find(name_key); pos != std::string::npos;
-       pos = text.find(name_key, pos + 1)) {
-    const std::size_t begin = pos + name_key.size();
-    const std::size_t end = text.find('"', begin);
-    if (end == std::string::npos) break;
-    CapturedRun entry;
-    entry.name = text.substr(begin, end - begin);
-    entry.real_ns = number_after(end, "\"real_ns\":");
-    entry.cpu_ns = number_after(end, "\"cpu_ns\":");
-    if (entry.cpu_ns > 0.0) entries[entry.name] = entry;
-  }
-  return entries;
-}
-
-void write_results_json(const std::string& path,
-                        const std::vector<CapturedRun>& runs) {
-  using rtopex::bench::JsonValue;
-  JsonValue root = JsonValue::object();
-  root.set("bench", "micro_phy");
-  JsonValue config = JsonValue::object();
-#ifdef RTOPEX_SIMD
-  config.set("simd", JsonValue::boolean(true));
-#else
-  config.set("simd", JsonValue::boolean(false));
-#endif
-  root.set("config", std::move(config));
-  JsonValue results = JsonValue::array();
-  for (const auto& run : runs) {
-    JsonValue entry = JsonValue::object();
-    entry.set("name", run.name);
-    entry.set("real_ns", run.real_ns);
-    entry.set("cpu_ns", run.cpu_ns);
-    results.push(std::move(entry));
-  }
-  root.set("results", std::move(results));
-  rtopex::bench::write_bench_json(path, root);
-}
-
-/// Returns the number of benchmarks whose cpu time regressed beyond the
-/// threshold. Benchmarks missing from either side are reported, not failed
-/// (the baseline predates newly added benchmarks).
-int gate_against_baseline(const std::vector<CapturedRun>& runs,
-                          const std::map<std::string, CapturedRun>& baseline,
-                          double threshold_pct) {
-  int regressions = 0;
-  std::printf("\nPerf gate (threshold +%.0f%% cpu time vs baseline):\n",
-              threshold_pct);
-  std::printf("%-28s %14s %14s %9s\n", "benchmark", "baseline_ns", "cpu_ns",
-              "ratio");
-  for (const auto& run : runs) {
-    const auto it = baseline.find(run.name);
-    if (it == baseline.end()) {
-      std::printf("%-28s %14s %14.0f %9s\n", run.name.c_str(), "-",
-                  run.cpu_ns, "new");
-      continue;
-    }
-    const double ratio = run.cpu_ns / it->second.cpu_ns;
-    const bool bad = ratio > 1.0 + threshold_pct / 100.0;
-    std::printf("%-28s %14.0f %14.0f %8.2fx%s\n", run.name.c_str(),
-                it->second.cpu_ns, run.cpu_ns, ratio,
-                bad ? "  REGRESSION" : "");
-    if (bad) ++regressions;
-  }
-  return regressions;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  std::string json_path;
-  std::string baseline_path;
-  double threshold_pct = 25.0;
-  std::vector<char*> passthrough{argv[0]};
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--json=", 0) == 0) {
-      json_path = arg.substr(7);
-    } else if (arg.rfind("--baseline=", 0) == 0) {
-      baseline_path = arg.substr(11);
-    } else if (arg.rfind("--threshold=", 0) == 0) {
-      threshold_pct = std::stod(arg.substr(12));
-    } else {
-      passthrough.push_back(argv[i]);
-    }
-  }
-  int pass_argc = static_cast<int>(passthrough.size());
-  benchmark::Initialize(&pass_argc, passthrough.data());
-  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data()))
-    return 1;
-
-  CaptureReporter reporter;
-  benchmark::RunSpecifiedBenchmarks(&reporter);
-  benchmark::Shutdown();
-
-  if (!json_path.empty()) {
-    write_results_json(json_path, reporter.captured);
-    std::printf("wrote %s (%zu benchmarks)\n", json_path.c_str(),
-                reporter.captured.size());
-  }
-  if (!baseline_path.empty()) {
-    const auto baseline = read_baseline(baseline_path);
-    const int regressions =
-        gate_against_baseline(reporter.captured, baseline, threshold_pct);
-    if (regressions > 0) {
-      std::fprintf(stderr, "perf gate: %d regression(s) beyond +%.0f%%\n",
-                   regressions, threshold_pct);
-      return 1;
-    }
-    std::printf("perf gate: ok\n");
-  }
-  return 0;
+  rtopex::bench::GateMainOptions opts;
+  opts.bench_name = "micro_phy";
+  opts.extra_flag = "profile";
+  opts.extra_handler = [](const std::string& path) {
+    rtopex::phy::run_profiled_pass(path);
+  };
+  return rtopex::bench::gate_main(argc, argv, opts);
 }

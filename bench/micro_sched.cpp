@@ -1,7 +1,12 @@
 // Google-benchmark micro-benchmarks of the scheduling layer: planner,
 // simulator policies, and workload generation throughput.
+//
+// Beyond the standard benchmark flags this binary understands
+// --json=PATH / --baseline=PATH / --threshold=PCT (see bench_gate.hpp);
+// CI's "Bench JSON artifacts" step collects the BENCH_micro_sched.json.
 #include <benchmark/benchmark.h>
 
+#include "bench_gate.hpp"
 #include "core/experiment.hpp"
 #include "sched/migration.hpp"
 
@@ -51,4 +56,8 @@ BENCHMARK(BM_SchedulerSimulation)
 }  // namespace
 }  // namespace rtopex
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  rtopex::bench::GateMainOptions opts;
+  opts.bench_name = "micro_sched";
+  return rtopex::bench::gate_main(argc, argv, opts);
+}

@@ -5,15 +5,30 @@
 // and reports the estimates next to the paper's GPP numbers. Absolute
 // magnitudes differ from the paper (different host, no hand-tuned SIMD);
 // the reproduction targets are the model *form* and the fit quality r^2.
+//
+// Key metrics are emitted as BENCH_tab01.json into --out DIR (default: the
+// working directory).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
 #include "common/stats.hpp"
 
 using namespace rtopex;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Table 1", "Eq. (1) fit on this host's PHY chain");
+
+  std::string out_dir = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out DIR]\n", argv[0]);
+      return 1;
+    }
+  }
 
   bench::PhyMeasurementConfig cfg;
   for (unsigned mcs = 0; mcs <= phy::kMaxMcs; mcs += 2)
@@ -49,5 +64,26 @@ int main() {
               "positive per-antenna/order/iteration slopes and the\nfit "
               "quality. The intercept is sensitive to the K<->D collinearity "
               "of the MCS grid.\n");
+
+  const auto model_row = [](const model::TimingModel& m) {
+    return bench::JsonValue::object()
+        .set("w0_us", m.w0_us)
+        .set("w1_us", m.w1_us)
+        .set("w2_us", m.w2_us)
+        .set("w3_us", m.w3_us)
+        .set("r2", m.r_squared);
+  };
+  bench::JsonValue root = bench::JsonValue::object();
+  root.set("bench", "tab01_model_fit")
+      .set("config", bench::JsonValue::object()
+                         .set("measurements", static_cast<double>(data.size()))
+                         .set("repetitions", 3.0))
+      .set("paper_gpp", model_row(paper))
+      .set("this_host", model_row(fit))
+      .set("anchors", bench::JsonValue::object()
+                          .set("per_antenna_us", fit.w1_us)
+                          .set("per_iteration_mcs27_us", fit.w3_us * 3.775));
+  bench::write_bench_json(out_dir + "/BENCH_tab01.json", root);
+  std::printf("wrote %s/BENCH_tab01.json\n", out_dir.c_str());
   return 0;
 }

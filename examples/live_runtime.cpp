@@ -30,6 +30,12 @@
 //   --adaptive           online adaptive estimators (per-BS iteration
 //                        predictors + Eq. (1) decode fit) in the slack
 //                        check and migration planning
+//   --profile PREFIX     continuous profiling of every stage section
+//                        (perf counters when permitted, thread-CPU/rusage
+//                        fallback otherwise): prints the per-stage table,
+//                        writes PREFIX.folded collapsed stacks (flamegraph
+//                        input), and adds per-core counter lanes to
+//                        --trace output
 //
 // Resilience options:
 //   --kill-core N        park worker N mid-run (watchdog fails it over)
@@ -49,6 +55,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/health/health.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/profile/profile_report.hpp"
 #include "runtime/fault_injection.hpp"
 #include "runtime/node_runtime.hpp"
 
@@ -66,7 +73,7 @@ int main(int argc, char** argv) {
   double metrics_period_ms = 0.0;
   bool analyze = false;
   bool health = false;
-  std::string trace_path, trace_csv_path, metrics_path;
+  std::string trace_path, trace_csv_path, metrics_path, profile_prefix;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "partitioned") == 0) {
       cfg.mode = runtime::RuntimeMode::kPartitioned;
@@ -95,6 +102,8 @@ int main(int argc, char** argv) {
       health = true;
     } else if (std::strcmp(argv[i], "--adaptive") == 0) {
       cfg.adaptive = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      profile_prefix = argv[++i];
     } else if (std::strcmp(argv[i], "--kill-core") == 0 && i + 1 < argc) {
       kill_core = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--at-ms") == 0 && i + 1 < argc) {
@@ -107,7 +116,7 @@ int main(int argc, char** argv) {
                    "  [--basestations N] [--subframes N] [--period-ms T]\n"
                    "  [--trace FILE] [--trace-csv FILE] [--metrics FILE]\n"
                    "  [--metrics-period-ms T] [--analyze] [--health]\n"
-                   "  [--adaptive]\n"
+                   "  [--adaptive] [--profile PREFIX]\n"
                    "  [--kill-core N] [--at-ms T] [--fronthaul-loss P]\n",
                    argv[0]);
       return 1;
@@ -134,6 +143,7 @@ int main(int argc, char** argv) {
   }
   cfg.trace.enabled =
       analyze || !trace_path.empty() || !trace_csv_path.empty();
+  cfg.profile.enabled = !profile_prefix.empty();
 
   // The health defaults assume the real 1 ms TTI; this demo stretches the
   // subframe period for portability, so stretch the detection windows by
@@ -251,6 +261,8 @@ int main(int argc, char** argv) {
     opts.num_cores = cfg.mode == runtime::RuntimeMode::kGlobal
                          ? cfg.global_cores
                          : cfg.num_basestations * cfg.cores_per_bs;
+    if (cfg.profile.enabled)
+      opts.counters = obs::profile::counter_tracks(report.profile);
     if (!trace_path.empty()) obs::write_chrome_trace(trace_path, report.trace, opts);
     if (!trace_csv_path.empty()) obs::write_trace_csv(trace_csv_path, report.trace);
     std::printf("trace: %zu events | ring drops %llu | store drops %llu%s%s\n",
@@ -259,6 +271,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.trace.store_drops),
                 trace_path.empty() ? "" : " -> ",
                 trace_path.c_str());
+  }
+  if (cfg.profile.enabled) {
+    const obs::profile::ProfileReport prof =
+        obs::profile::aggregate(report.profile);
+    std::printf("\nprofile (%zu spans)\n%s", report.profile.samples.size(),
+                obs::profile::render_report(prof).c_str());
+    const std::string folded_path = profile_prefix + ".folded";
+    write_atomic(folded_path, obs::profile::folded(report.profile));
+    std::printf("folded stacks -> %s\n", folded_path.c_str());
   }
   if (health) {
     const auto& h = report.health.cluster;

@@ -22,12 +22,14 @@
 // without rtopex_health_* series render as "no health series (run with
 // --health)". A missing file renders as "waiting for <file>" and keeps
 // refreshing — start rtopex_top before the run if you like.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -125,6 +127,51 @@ struct Source {
     }
     return std::nan("");
   }
+
+  /// Quantile (q in [0, 1]) from a native histogram's cumulative
+  /// `name_bucket{le="..."}` series matching `want`, interpolated linearly
+  /// inside the containing bucket; NaN when the histogram is absent or
+  /// empty. Prometheus-style histogram_quantile over the text exposition.
+  double histogram_quantile(const std::string& name,
+                            const std::map<std::string, std::string>& want,
+                            double q) const {
+    std::vector<std::pair<double, double>> buckets;  // (le, cumulative)
+    for (const Sample& s : samples) {
+      if (s.name != name + "_bucket") continue;
+      bool match = true;
+      for (const auto& [k, v] : want) {
+        const auto it = s.labels.find(k);
+        if (it == s.labels.end() || it->second != v) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      const auto le = s.labels.find("le");
+      if (le == s.labels.end()) continue;
+      const double upper = le->second == "+Inf"
+                               ? std::numeric_limits<double>::infinity()
+                               : std::strtod(le->second.c_str(), nullptr);
+      buckets.emplace_back(upper, s.value);
+    }
+    if (buckets.empty()) return std::nan("");
+    std::sort(buckets.begin(), buckets.end());
+    const double total = buckets.back().second;
+    if (total <= 0.0) return std::nan("");
+    const double rank = q * total;
+    double prev_le = 0.0, prev_cum = 0.0;
+    for (const auto& [le, cum] : buckets) {
+      if (cum >= rank) {
+        if (std::isinf(le)) return prev_le;  // rank in the overflow bucket
+        const double in_bucket = cum - prev_cum;
+        if (in_bucket <= 0.0) return le;
+        return prev_le + (le - prev_le) * (rank - prev_cum) / in_bucket;
+      }
+      prev_le = le;
+      prev_cum = cum;
+    }
+    return prev_le;
+  }
 };
 
 std::string basename_of(const std::string& path) {
@@ -146,8 +193,13 @@ void render_row(const Source& src, const std::string& scope_label,
   const double util = src.find("rtopex_health_utilization", key);
   const double miss = src.find("rtopex_health_miss_rate", key);
   const double burn = src.find("rtopex_health_burn_rate", key);
-  const double p50 = src.find("rtopex_health_slack_p50_us", key);
-  const double p99 = src.find("rtopex_health_slack_p99_us", key);
+  // Percentiles from the native slack histogram when exported
+  // (run-cumulative, bucket-resolution); snapshots without it fall back
+  // to the precomputed windowed gauges.
+  double p50 = src.histogram_quantile("rtopex_health_slack_us", key, 0.5);
+  double p99 = src.histogram_quantile("rtopex_health_slack_us", key, 0.01);
+  if (p50 != p50) p50 = src.find("rtopex_health_slack_p50_us", key);
+  if (p99 != p99) p99 = src.find("rtopex_health_slack_p99_us", key);
   const double offered = src.find("rtopex_health_window_offered", key);
   std::printf("%-18s %-10s %6s %10s %6s %10s %10s %8s %6s\n",
               basename_of(src.path).c_str(), scope_label.c_str(),

@@ -43,6 +43,70 @@ TimingModel fit_timing_model(const std::vector<TimingMeasurement>& data) {
   return model;
 }
 
+double CyclesModel::predict_kcycles(unsigned antennas,
+                                    unsigned modulation_order,
+                                    double subcarrier_load,
+                                    double iterations) const {
+  return c0_kc + c1_kc * antennas + c2_kc * modulation_order +
+         c3_kc * subcarrier_load * iterations;
+}
+
+CyclesModel fit_cycles_model(const std::vector<TimingMeasurement>& data) {
+  if (data.size() < 4)
+    throw std::invalid_argument("fit_cycles_model: need >= 4 observations");
+  const auto col = [](const TimingMeasurement& m, int j) {
+    switch (j) {
+      case 0: return static_cast<double>(m.antennas);
+      case 1: return static_cast<double>(m.modulation_order);
+      default: return m.subcarrier_load * m.iterations;
+    }
+  };
+  // A predictor held constant across the sample (one antenna configuration
+  // per process) is collinear with the intercept; keep only the columns
+  // that vary so the normal equations stay non-singular.
+  bool active[3] = {false, false, false};
+  for (int j = 0; j < 3; ++j)
+    for (std::size_t i = 1; i < data.size() && !active[j]; ++i)
+      active[j] = col(data[i], j) != col(data[0], j);
+  std::vector<double> y;
+  y.reserve(data.size());
+  for (const auto& m : data) y.push_back(m.time_us);
+  for (;;) {
+    std::vector<std::vector<double>> rows;
+    rows.reserve(data.size());
+    for (const auto& m : data) {
+      std::vector<double> r{1.0};
+      for (int j = 0; j < 3; ++j)
+        if (active[j]) r.push_back(col(m, j));
+      rows.push_back(std::move(r));
+    }
+    try {
+      const OlsFit fit = ols_fit(rows, y);
+      CyclesModel model;
+      model.c0_kc = fit.coefficients[0];
+      double* coeffs[3] = {&model.c1_kc, &model.c2_kc, &model.c3_kc};
+      std::size_t k = 1;
+      for (int j = 0; j < 3; ++j)
+        *coeffs[j] = active[j] ? fit.coefficients[k++] : 0.0;
+      model.r_squared = fit.r_squared;
+      return model;
+    } catch (const std::runtime_error&) {
+      // Varying columns can still be mutually collinear (single-iteration
+      // runs where the per-MCS modulation order tracks the code-block
+      // count exactly). Shed the least load-bearing predictor — mod order
+      // first, then antennas, keeping D*L, Eq. (1)'s dominant term — and
+      // refit; rethrow once nothing is left to drop.
+      if (active[1]) {
+        active[1] = false;
+      } else if (active[0]) {
+        active[0] = false;
+      } else {
+        throw;
+      }
+    }
+  }
+}
+
 std::vector<double> model_residuals(const TimingModel& model,
                                     const std::vector<TimingMeasurement>& data) {
   std::vector<double> res;

@@ -54,4 +54,29 @@ TimingModel fit_timing_model(const std::vector<TimingMeasurement>& data);
 std::vector<double> model_residuals(const TimingModel& model,
                                     const std::vector<TimingMeasurement>& data);
 
+/// Eq. (1) in the cycles domain: the same regressors (N, K, D*L) with the
+/// response in kilocycles instead of microseconds, fitted from the
+/// profiler's hardware-counter spans (obs/profile). A separate struct —
+/// not TimingModel with re-purposed fields — so the two domains cannot be
+/// confused; c3 directly reads as kilocycles per (code block x iteration).
+struct CyclesModel {
+  double c0_kc = 0.0;  ///< constant overhead (kilocycles).
+  double c1_kc = 0.0;  ///< per antenna.
+  double c2_kc = 0.0;  ///< per modulation-order unit.
+  double c3_kc = 0.0;  ///< per (subcarrier-load unit x iteration).
+  double r_squared = 0.0;
+
+  double predict_kcycles(unsigned antennas, unsigned modulation_order,
+                         double subcarrier_load, double iterations) const;
+};
+
+/// OLS over Eq. (1)'s regressors with `time_us` carrying kilocycles.
+/// Needs >= 4 observations, but unlike fit_timing_model it tolerates
+/// predictors held constant across the sample (an in-process profile runs
+/// one antenna configuration): a constant column is collinear with the
+/// intercept, so it is dropped from the regression — absorbed by c0 — and
+/// its coefficient reported as 0. Throws only when every predictor is
+/// constant (nothing to regress on).
+CyclesModel fit_cycles_model(const std::vector<TimingMeasurement>& data);
+
 }  // namespace rtopex::model

@@ -225,6 +225,21 @@ std::string chrome_trace_json(const TraceStore& store,
            "\"tid\":%u,\"args\":{\"sort_index\":%u}}",
            pid, t, t);
   }
+  // Counter tracks: one "C"-phase lane per entry, attached to the trailing
+  // process so they render below the span tracks. Points are re-sorted by
+  // timestamp — Perfetto requires monotone counter samples per lane.
+  for (const auto& track : options.counters) {
+    auto points = track.points;
+    std::stable_sort(points.begin(), points.end(),
+                     [](const auto& x, const auto& y) {
+                       return x.first < y.first;
+                     });
+    for (const auto& [ts, value] : points)
+      append(out,
+             ",\n{\"name\":\"%s\",\"cat\":\"counter\",\"ph\":\"C\","
+             "\"pid\":%u,\"ts\":%s,\"args\":{\"value\":%.6g}}",
+             track.name.c_str(), other_pid, ts_us(ts).c_str(), value);
+  }
   for (const TraceEvent& ev : events) emit_event_json(out, ev, pid_of(ev.core));
   append(out,
          "],\n\"otherData\":{\"event_count\":%llu,\"ring_drops\":%llu,"

@@ -32,6 +32,16 @@ struct ChromeTraceOptions {
     unsigned num_tracks = 0;
   };
   std::vector<ProcessGroup> processes;
+
+  /// Perfetto counter tracks ("C"-phase events): each entry renders as one
+  /// named counter lane with a value sample per point. The profiler's
+  /// counter_tracks() builds per-core IPC / cache-miss lanes from its span
+  /// stream; any other producer can add lanes the same way.
+  struct CounterTrack {
+    std::string name;
+    std::vector<std::pair<TimePoint, double>> points;  ///< (ts_ns, value).
+  };
+  std::vector<CounterTrack> counters;
 };
 
 /// Serializes a drained TraceStore as Chrome trace-event JSON. Events are

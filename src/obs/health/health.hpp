@@ -173,6 +173,13 @@ struct ScopeHealth {
   double utilization = 0.0;   ///< busy / (cores x window); nodes only.
   double slack_p50_us = 0.0;  ///< completion slack percentiles over the
   double slack_p99_us = 0.0;  ///< window (completed subframes only).
+  /// Run-cumulative slack distribution (completed subframes only; empty
+  /// unless the scope tracks percentiles). Exported as the native
+  /// Prometheus histogram rtopex_health_slack_us — cumulative so the
+  /// bucket counters stay monotone as Prometheus expects — from which
+  /// consumers (rtopex_top) derive percentiles without trusting the
+  /// windowed gauges above.
+  Histogram slack{0.1, 1.0, 1};
   unsigned active_warn = 0;
   unsigned active_page = 0;
   /// 0..100: 100 x (1 - burn/threshold)+ capped at 70 under an active warn

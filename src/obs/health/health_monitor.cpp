@@ -123,6 +123,10 @@ struct ScopeState {
   model::MeanVarEwma slack_z;
   model::MeanVarEwma gap_z;
   model::MeanVarEwma migration_z;
+  /// Run-cumulative slack distribution (percentile-tracking scopes only):
+  /// never reset, so the Prometheus export keeps the conventional
+  /// monotone-bucket histogram semantics and survives quiescent windows.
+  Histogram slack_total{0.1, 1.0, 1};
 
   Bucket* bucket_for(std::int64_t seq) {
     const std::int64_t len = static_cast<std::int64_t>(ring.size());
@@ -236,8 +240,10 @@ HealthMonitor::HealthMonitor(const HealthConfig& config,
     scope.id = id;
     scope.track_percentiles = percentiles;
     scope.ring.assign(ring_len, Bucket{});
-    if (percentiles)
+    if (percentiles) {
       for (Bucket& b : scope.ring) b.slack = make_slack_histogram();
+      scope.slack_total = make_slack_histogram();
+    }
     scope.slack_z = model::MeanVarEwma(config.anomaly_alpha, config.z_warmup);
     scope.gap_z = model::MeanVarEwma(config.anomaly_alpha, config.z_warmup);
     scope.migration_z =
@@ -348,7 +354,10 @@ void HealthMonitor::observe(const TraceEvent& ev) {
     if (slack_us >= 0.0) {
       b->slack_sum_us += slack_us;
       ++b->slack_count;
-      if (scope.track_percentiles) b->slack.add(slack_us);
+      if (scope.track_percentiles) {
+        b->slack.add(slack_us);
+        scope.slack_total.add(slack_us);
+      }
     }
   };
 
@@ -552,6 +561,7 @@ HealthSnapshot HealthMonitor::snapshot() const {
         h.slack_p50_us = slack.p50();
         h.slack_p99_us = slack.percentile(0.01);  // worst-1% slack: low tail.
       }
+      if (scope.slack_total.count() > 0) h.slack = scope.slack_total;
     }
     for (const RuleState& st : scope.rules)
       if (st.active) {
@@ -614,6 +624,11 @@ void fill_registry(const HealthSnapshot& snap, const std::vector<Alert>& alerts,
         "rtopex_health_slack_p99_us",
         "Worst-percentile (lowest 1%) completion slack over the window (us).",
         h.slack_p99_us, labels);
+    if (h.slack.count() > 0)
+      registry.add_histogram(
+          "rtopex_health_slack_us",
+          "Completion slack distribution since the run began (us).", h.slack,
+          labels);
     registry.add_gauge("rtopex_health_window_offered",
                        "Outcomes seen in the slow-burn long window.",
                        static_cast<double>(h.offered), labels);

@@ -1,0 +1,231 @@
+#include "obs/profile/profile_report.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rtopex::obs::profile {
+
+namespace {
+
+std::string path_of(const ProfileSample& s) {
+  std::string path;
+  for (std::uint8_t d = 0; d < s.depth && d < kMaxSpanDepth; ++d) {
+    if (!s.frames[d]) continue;
+    if (!path.empty()) path += ';';
+    path += s.frames[d];
+  }
+  if (path.empty()) path = "unknown";
+  return path;
+}
+
+void append(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+}  // namespace
+
+std::uint64_t span_cost(const ProfileSample& sample, Backend backend) {
+  if (backend == Backend::kPerf || sample.delta.cycles > 0)
+    return sample.delta.cycles;
+  return sample.delta.cpu_time_ns;
+}
+
+ProfileReport aggregate(const ProfileStore& store) {
+  ProfileReport report;
+  report.backend = store.backend;
+  report.drops = store.drops;
+  std::vector<model::TimingMeasurement> fit_rows;
+  for (const ProfileSample& s : store.samples) {
+    report.by_path[path_of(s)].add(s);
+    report.total.add(s);
+    if (s.stage != Stage::kNone) {
+      report.by_stage_core[{s.stage, s.core}].add(s);
+      report.by_stage_bs[{s.stage, s.bs}].add(s);
+    }
+    if (s.stage == Stage::kDecode && s.a != 0 && s.b != 0) {
+      model::TimingMeasurement m;
+      m.modulation_order = s.a & 0xffu;
+      m.antennas = (s.a >> 8) & 0xffu;
+      m.subcarrier_load = static_cast<double>(s.b & 0xffffu);  // code blocks
+      m.iterations = static_cast<double>((s.b >> 16) & 0xffffu);
+      // Response in kilocycles; under the software fallback thread-CPU
+      // microseconds stand in (1 kilo-ns = 1 us), keeping the fit defined.
+      m.time_us = s.delta.cycles > 0
+                      ? static_cast<double>(s.delta.cycles) / 1e3
+                      : static_cast<double>(s.delta.cpu_time_ns) / 1e3;
+      if (m.time_us > 0.0) fit_rows.push_back(m);
+    }
+  }
+  report.cycles_fit_observations = fit_rows.size();
+  if (fit_rows.size() >= 4) {
+    try {
+      report.cycles_fit = model::fit_cycles_model(fit_rows);
+      report.cycles_fit_ok = true;
+    } catch (const std::exception&) {
+      report.cycles_fit_ok = false;  // degenerate variation (single MCS run)
+    }
+  }
+  return report;
+}
+
+void fill_registry(const ProfileReport& report, MetricsRegistry& registry) {
+  registry.add_gauge("rtopex_profile_backend",
+                     "Profiling backend in use (1 = this backend).", 1.0,
+                     {{"backend", to_string(report.backend)}});
+  registry.add_counter("rtopex_profile_spans_total",
+                       "Closed profile spans recorded.",
+                       static_cast<double>(report.total.spans));
+  registry.add_counter("rtopex_profile_drops_total",
+                       "Profile spans dropped (slab full or depth overflow).",
+                       static_cast<double>(report.drops));
+  const char* stage_names[kNumStages] = {"none", "fft", "demod", "decode"};
+  for (const auto& [key, agg] : report.by_stage_core) {
+    const MetricsRegistry::Labels labels = {
+        {"stage", stage_names[static_cast<unsigned>(key.first)]},
+        {"core", std::to_string(key.second)}};
+    registry.add_counter("rtopex_profile_stage_spans_total",
+                         "Spans per stage and core.",
+                         static_cast<double>(agg.spans), labels);
+    registry.add_counter("rtopex_profile_cycles_total",
+                         "CPU cycles per stage and core (perf backend).",
+                         static_cast<double>(agg.total.cycles), labels);
+    registry.add_counter("rtopex_profile_instructions_total",
+                         "Instructions retired per stage and core.",
+                         static_cast<double>(agg.total.instructions), labels);
+    registry.add_counter("rtopex_profile_llc_misses_total",
+                         "Last-level cache misses per stage and core.",
+                         static_cast<double>(agg.total.llc_misses), labels);
+    registry.add_counter("rtopex_profile_branch_misses_total",
+                         "Branch mispredictions per stage and core.",
+                         static_cast<double>(agg.total.branch_misses), labels);
+    registry.add_counter("rtopex_profile_cpu_ns_total",
+                         "Thread CPU time per stage and core (ns).",
+                         static_cast<double>(agg.total.cpu_time_ns), labels);
+    registry.add_counter("rtopex_profile_minor_faults_total",
+                         "Minor page faults per stage and core.",
+                         static_cast<double>(agg.total.minor_faults), labels);
+    registry.add_counter("rtopex_profile_major_faults_total",
+                         "Major page faults per stage and core.",
+                         static_cast<double>(agg.total.major_faults), labels);
+    registry.add_gauge("rtopex_profile_ipc",
+                       "Instructions per cycle per stage and core.",
+                       agg.ipc(), labels);
+    registry.add_gauge("rtopex_profile_llc_miss_per_kinstr",
+                       "LLC misses per kilo-instruction per stage and core.",
+                       agg.llc_miss_per_kinstr(), labels);
+  }
+  if (report.cycles_fit_ok) {
+    const model::CyclesModel& fit = report.cycles_fit;
+    auto coeff = [&](const char* name, double v) {
+      registry.add_gauge("rtopex_profile_cycles_fit_kc",
+                         "Cycles-domain Eq. (1) coefficient (kilocycles).",
+                         v, {{"coefficient", name}});
+    };
+    coeff("w0", fit.c0_kc);
+    coeff("w1_antenna", fit.c1_kc);
+    coeff("w2_mod_order", fit.c2_kc);
+    coeff("w3_block_iter", fit.c3_kc);
+    registry.add_gauge("rtopex_profile_cycles_fit_r_squared",
+                       "Cycles-domain Eq. (1) fit quality.", fit.r_squared);
+  }
+}
+
+std::string folded(const ProfileStore& store) {
+  std::map<std::string, std::uint64_t> inclusive;
+  for (const ProfileSample& s : store.samples)
+    inclusive[path_of(s)] += span_cost(s, store.backend);
+  // Flamegraph tools sum a frame's descendants back onto it, so each line
+  // must carry *self* cost: subtract every path's inclusive total from its
+  // parent (counters are per-thread cumulative, so a parent span's delta
+  // contains its children's).
+  std::map<std::string, std::uint64_t> self = inclusive;
+  for (const auto& [path, count] : inclusive) {
+    const std::size_t cut = path.rfind(';');
+    if (cut == std::string::npos) continue;
+    const auto parent = self.find(path.substr(0, cut));
+    if (parent != self.end())
+      parent->second -= std::min(parent->second, count);
+  }
+  std::string out;
+  for (const auto& [path, count] : self) {
+    if (count == 0) continue;
+    out += path;
+    append(out, " %llu\n", static_cast<unsigned long long>(count));
+  }
+  return out;
+}
+
+std::vector<ChromeTraceOptions::CounterTrack> counter_tracks(
+    const ProfileStore& store) {
+  // track id -> lane, built per core in sorted order for determinism.
+  std::map<std::uint32_t, ChromeTraceOptions::CounterTrack> ipc, llc, share;
+  for (const ProfileSample& s : store.samples) {
+    if (s.stage == Stage::kNone) continue;
+    if (s.delta.cycles > 0) {
+      ipc[s.core].points.emplace_back(
+          s.ts_end, static_cast<double>(s.delta.instructions) /
+                        static_cast<double>(s.delta.cycles));
+      if (s.delta.instructions > 0)
+        llc[s.core].points.emplace_back(
+            s.ts_end, 1e3 * static_cast<double>(s.delta.llc_misses) /
+                          static_cast<double>(s.delta.instructions));
+    } else if (s.ts_end > s.ts_begin) {
+      share[s.core].points.emplace_back(
+          s.ts_end, static_cast<double>(s.delta.cpu_time_ns) /
+                        static_cast<double>(s.ts_end - s.ts_begin));
+    }
+  }
+  std::vector<ChromeTraceOptions::CounterTrack> out;
+  auto flush = [&out](std::map<std::uint32_t,
+                               ChromeTraceOptions::CounterTrack>& lanes,
+                      const char* what) {
+    for (auto& [core, lane] : lanes) {
+      lane.name = "core " + std::to_string(core) + " " + what;
+      out.push_back(std::move(lane));
+    }
+  };
+  flush(ipc, "IPC");
+  flush(llc, "LLC miss/kinstr");
+  flush(share, "cpu share");
+  return out;
+}
+
+std::string render_report(const ProfileReport& report) {
+  std::string out;
+  append(out, "backend: %s | spans: %llu | drops: %llu\n",
+         to_string(report.backend),
+         static_cast<unsigned long long>(report.total.spans),
+         static_cast<unsigned long long>(report.drops));
+  append(out, "%-10s %-5s %10s %14s %14s %6s %10s %12s\n", "stage", "core",
+         "spans", "cycles", "instructions", "ipc", "llc/kinst", "cpu_ms");
+  const char* stage_names[kNumStages] = {"none", "fft", "demod", "decode"};
+  for (const auto& [key, agg] : report.by_stage_core)
+    append(out, "%-10s %-5u %10llu %14llu %14llu %6.2f %10.2f %12.3f\n",
+           stage_names[static_cast<unsigned>(key.first)], key.second,
+           static_cast<unsigned long long>(agg.spans),
+           static_cast<unsigned long long>(agg.total.cycles),
+           static_cast<unsigned long long>(agg.total.instructions), agg.ipc(),
+           agg.llc_miss_per_kinstr(),
+           static_cast<double>(agg.total.cpu_time_ns) / 1e6);
+  if (report.cycles_fit_ok) {
+    const model::CyclesModel& f = report.cycles_fit;
+    append(out,
+           "cycles fit (Eq. 1, kilocycles): w0=%.1f w1=%.1f w2=%.1f "
+           "w3=%.1f r2=%.3f over %zu decode spans\n",
+           f.c0_kc, f.c1_kc, f.c2_kc, f.c3_kc, f.r_squared,
+           report.cycles_fit_observations);
+  } else {
+    append(out, "cycles fit: unavailable (%zu usable decode spans)\n",
+           report.cycles_fit_observations);
+  }
+  return out;
+}
+
+}  // namespace rtopex::obs::profile

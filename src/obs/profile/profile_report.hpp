@@ -1,0 +1,109 @@
+// Deterministic aggregation of a drained ProfileStore plus its three
+// exports: Prometheus rtopex_profile_* series, Perfetto counter tracks for
+// the Chrome trace exporter, and collapsed-stack folded output consumable
+// by standard flamegraph tooling (flamegraph.pl / inferno / speedscope).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/timing_model.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/profile/profile.hpp"
+
+namespace rtopex::obs::profile {
+
+/// Counter totals over a group of spans, with the derived rates the
+/// Prometheus export and the report table read off.
+struct Aggregate {
+  std::uint64_t spans = 0;
+  std::uint64_t wall_ns = 0;
+  Counters total;
+
+  /// Instructions per cycle; 0 when cycles were not counted (software
+  /// backend).
+  double ipc() const {
+    return total.cycles > 0 ? static_cast<double>(total.instructions) /
+                                  static_cast<double>(total.cycles)
+                            : 0.0;
+  }
+  /// LLC misses per kilo-instruction.
+  double llc_miss_per_kinstr() const {
+    return total.instructions > 0
+               ? 1e3 * static_cast<double>(total.llc_misses) /
+                     static_cast<double>(total.instructions)
+               : 0.0;
+  }
+  double cycles_per_span() const {
+    return spans > 0
+               ? static_cast<double>(total.cycles) / static_cast<double>(spans)
+               : 0.0;
+  }
+  void add(const ProfileSample& s) {
+    ++spans;
+    wall_ns += s.ts_end >= s.ts_begin
+                   ? static_cast<std::uint64_t>(s.ts_end - s.ts_begin)
+                   : 0;
+    total += s.delta;
+  }
+};
+
+/// Per-stage/per-BS/per-core profile model. Maps are ordered, so iteration
+/// (and everything rendered from it) is deterministic for a given store.
+struct ProfileReport {
+  Backend backend = Backend::kSoftware;
+  std::uint64_t drops = 0;
+
+  /// Leaf-frame path ("subframe;decode") -> totals. The folded export is a
+  /// direct rendering of this map with the cost column appended.
+  std::map<std::string, Aggregate> by_path;
+  /// (stage, core) and (stage, bs) cuts over stage-tagged spans.
+  std::map<std::pair<Stage, std::uint32_t>, Aggregate> by_stage_core;
+  std::map<std::pair<Stage, std::uint32_t>, Aggregate> by_stage_bs;
+  /// Whole-store totals.
+  Aggregate total;
+
+  /// Cycles-domain Eq. (1) fit over decode spans that carried packed
+  /// regressors (pack_decode_regressors / pack_decode_load). Under the
+  /// software backend the response falls back to thread-CPU kilo-ns, so
+  /// the fit stays defined (and still orders the predictors correctly)
+  /// without hardware counters.
+  model::CyclesModel cycles_fit;
+  bool cycles_fit_ok = false;
+  std::size_t cycles_fit_observations = 0;
+};
+
+ProfileReport aggregate(const ProfileStore& store);
+
+/// The span cost a single number must summarize: cycles under the perf
+/// backend, thread-CPU nanoseconds under the software fallback (the folded
+/// output's count column and the counter-track fallback both use it).
+std::uint64_t span_cost(const ProfileSample& sample, Backend backend);
+
+/// Prometheus export: rtopex_profile_* counters/gauges per (stage, core)
+/// plus the backend marker and the cycles-fit coefficients.
+void fill_registry(const ProfileReport& report, MetricsRegistry& registry);
+
+/// Collapsed-stack folded output: one "frame;frame;... count" line per
+/// distinct span path, count = summed *self* span_cost (each path's
+/// inclusive total minus its children's, since flamegraph tooling adds
+/// descendants back on). Zero-self paths are omitted; lines are sorted by
+/// path, so equal stores render byte-identically.
+std::string folded(const ProfileStore& store);
+
+/// Per-core Perfetto counter lanes for the Chrome trace exporter: under
+/// the perf backend an IPC lane and an LLC-misses-per-kinstr lane per
+/// core; under the software fallback a thread-CPU-share lane (cpu time /
+/// wall time per span). One point per closed stage-tagged span, at its end
+/// timestamp.
+std::vector<ChromeTraceOptions::CounterTrack> counter_tracks(
+    const ProfileStore& store);
+
+/// Human-readable per-stage table plus the cycles fit — the rtopex_profile
+/// CLI's stdout body (kept here so tests can golden it).
+std::string render_report(const ProfileReport& report);
+
+}  // namespace rtopex::obs::profile

@@ -13,6 +13,8 @@
 #include "model/task_cost_model.hpp"
 #include "obs/analysis/replay.hpp"  // kJobSpec field vocabulary (header-only)
 #include "obs/histogram.hpp"
+#include "obs/profile/profile.hpp"
+#include "obs/profile/profile_report.hpp"
 #include "obs/tracer.hpp"
 #include "phy/uplink_tx.hpp"
 #include "runtime/clock.hpp"
@@ -121,6 +123,12 @@ struct NodeRuntime::Impl {
   /// track; the ticker is the sole collector.
   std::unique_ptr<obs::Tracer> tracer;
 
+  /// Null unless config.profile.enabled. One track per worker plus the
+  /// ticker track (unused today, reserved so track ids line up with the
+  /// tracer's); same SPSC ownership contract — begin/end only from the
+  /// owning thread, take() once the workers have joined.
+  std::unique_ptr<obs::profile::Profiler> profiler;
+
   /// Live health engine (null unless config.health.enabled). Ticker-owned:
   /// fed from the bounded store after each collect(), advanced on the
   /// monotonic clock, so it never contends with the workers.
@@ -171,6 +179,11 @@ struct NodeRuntime::Impl {
                                              cfg.trace.max_stored_events);
       tracer->set_clock([this] { return clock.now(); });
     }
+    if (cfg.profile.enabled) {
+      profiler = std::make_unique<obs::profile::Profiler>(
+          worker_count(cfg) + 1, cfg.profile);
+      profiler->set_clock([this] { return clock.now(); });
+    }
     if (cfg.health.enabled) {
       obs::health::Topology topo;
       topo.num_nodes = 1;
@@ -184,6 +197,7 @@ struct NodeRuntime::Impl {
   }
 
   obs::Tracer* trc() { return tracer.get(); }
+  obs::profile::Profiler* prof() { return profiler.get(); }
   /// The ticker's dedicated trace track (the one past the worker tracks).
   std::uint32_t ticker_track() const {
     return static_cast<std::uint32_t>(workers.size());
@@ -493,6 +507,11 @@ struct NodeRuntime::Impl {
     RTOPEX_TRACE_EVENT(trc(), .ts = rec.start, .bs = j.bs, .index = j.index,
                        .core = self_id,
                        .kind = obs::EventKind::kSubframeBegin);
+    obs::profile::Profiler* const pr = prof();
+    obs::profile::Profiler::SpanToken sf_span;
+    if (pr)
+      sf_span = pr->begin(self_id, "subframe", obs::Stage::kNone, j.bs,
+                          j.index);
 
     const std::size_t fft_n = rx->fft_subtask_count();
     const std::size_t dec_n_est = phy::num_code_blocks(
@@ -514,6 +533,7 @@ struct NodeRuntime::Impl {
                          .index = j.index, .a = 1, .core = self_id,
                          .kind = obs::EventKind::kSubframeEnd);
       emit_job_spec(self_id, j, j.variant->mcs, rec, fft_n, dec_n_est);
+      if (pr) pr->end(self_id, sf_span);
       return rec;
     }
 
@@ -577,6 +597,7 @@ struct NodeRuntime::Impl {
                              .index = j.index, .a = 1, .core = self_id,
                              .kind = obs::EventKind::kSubframeEnd);
           emit_job_spec(self_id, j, j.variant->mcs, rec, fft_n, dec_n_est);
+          if (pr) pr->end(self_id, sf_span);
           return rec;
         }
       }
@@ -591,12 +612,16 @@ struct NodeRuntime::Impl {
                            fft_sub_est * static_cast<Duration>(fft_n)),
                        .core = self_id, .kind = obs::EventKind::kStageBegin,
                        .stage = obs::Stage::kFft);
+    obs::profile::Profiler::SpanToken fft_span;
+    if (pr)
+      fft_span = pr->begin(self_id, "fft", obs::Stage::kFft, j.bs, j.index);
     if (migrate) {
       run_stage_migrating(self_id, job, j, fft_n, fft_sub_est,
                           /*is_fft=*/true, rec.timing);
     } else {
       for (std::size_t i = 0; i < fft_n; ++i) rx->run_fft_subtask(job, i);
     }
+    if (pr) pr->end(self_id, fft_span, static_cast<std::uint32_t>(fft_n), 0);
     TimePoint t1 = clock.now();
     rec.timing.fft = t1 - t0;
     RTOPEX_TRACE_EVENT(trc(), .ts = t1, .bs = j.bs, .index = j.index,
@@ -606,9 +631,14 @@ struct NodeRuntime::Impl {
                     rec.timing.fft / static_cast<Duration>(fft_n));
 
     // --- Demod ---
+    obs::profile::Profiler::SpanToken demod_span;
+    if (pr)
+      demod_span =
+          pr->begin(self_id, "demod", obs::Stage::kDemod, j.bs, j.index);
     rx->demod_prepare(job);
     for (std::size_t i = 0; i < rx->demod_subtask_count(); ++i)
       rx->run_demod_subtask(job, i);
+    if (pr) pr->end(self_id, demod_span);
     TimePoint t2 = clock.now();
     rec.timing.demod = t2 - t1;
     RTOPEX_TRACE_EVENT(trc(), .ts = t1, .bs = j.bs, .index = j.index,
@@ -621,6 +651,10 @@ struct NodeRuntime::Impl {
     update_estimate(demod_est_ns, rec.timing.demod);
 
     // --- Decode ---
+    obs::profile::Profiler::SpanToken dec_span;
+    if (pr)
+      dec_span =
+          pr->begin(self_id, "decode", obs::Stage::kDecode, j.bs, j.index);
     rx->decode_prepare(job);
     const std::size_t dec_n = rx->decode_subtask_count(job);
     // Estimate the admission logic would have used: the EWMA per-subtask
@@ -657,6 +691,13 @@ struct NodeRuntime::Impl {
     }
     rx->finalize_into(job, phy::UplinkRxProcessor::thread_workspace(),
                       rx_result);
+    if (pr)
+      pr->end(self_id, dec_span,
+              obs::profile::pack_decode_regressors(
+                  phy::modulation_order(j.variant->mcs),
+                  config.phy.num_antennas, j.variant->mcs),
+              obs::profile::pack_decode_load(static_cast<unsigned>(dec_n),
+                                             rx_result.iterations));
     TimePoint t3 = clock.now();
     rec.timing.decode = t3 - t2;
     RTOPEX_TRACE_EVENT(trc(), .ts = t3, .bs = j.bs, .index = j.index,
@@ -686,6 +727,7 @@ struct NodeRuntime::Impl {
                        .b = rec.iterations, .core = self_id,
                        .kind = obs::EventKind::kSubframeEnd);
     emit_job_spec(self_id, j, j.variant->mcs, rec, fft_n, dec_n);
+    if (pr) pr->end(self_id, sf_span);
     return rec;
   }
 
@@ -793,6 +835,14 @@ struct NodeRuntime::Impl {
                          .a = chunk.src_core, .core = id,
                          .kind = obs::EventKind::kHostBegin,
                          .stage = chunk.stage);
+        obs::profile::Profiler* const pr = prof();
+        obs::profile::Profiler::SpanToken host_span, host_stage_span;
+        if (pr) {
+          host_span = pr->begin(id, "host", obs::Stage::kNone, chunk.bs,
+                                chunk.index);
+          host_stage_span = pr->begin(id, obs::to_string(chunk.stage),
+                                      chunk.stage, chunk.bs, chunk.index);
+        }
         std::uint32_t served = 0;
         for (;;) {
           // Preemption and kill checks between subtasks — a killed host
@@ -815,6 +865,12 @@ struct NodeRuntime::Impl {
           chunk.completed->fetch_add(1, std::memory_order_acq_rel);
           self.heartbeat.fetch_add(1, std::memory_order_relaxed);
           ++served;
+        }
+        if (pr) {
+          // No payload on the stage child: a/b on decode-stage spans are
+          // reserved for the packed Eq. (1) regressors the fit consumes.
+          pr->end(id, host_stage_span);
+          pr->end(id, host_span, chunk.src_core, served);
         }
         RTOPEX_TRACE_NOW(trc(), .bs = chunk.bs, .index = chunk.index,
                          .a = chunk.src_core, .b = served, .core = id,
@@ -1226,6 +1282,7 @@ RuntimeReport NodeRuntime::run() {
     report.health = im.health->snapshot();
   }
   if (im.tracer && cfg.trace.enabled) report.trace = im.tracer->take();
+  if (im.profiler) report.profile = im.profiler->take();
   return report;
 }
 
@@ -1317,6 +1374,11 @@ void fill_registry(const RuntimeReport& report,
   // snapshot carries its per-node row then).
   if (!report.health.nodes.empty())
     obs::health::fill_registry(report.health, report.alerts, registry);
+
+  // Profile series (present only when the run had profiling enabled).
+  if (!report.profile.samples.empty() || report.profile.drops > 0)
+    obs::profile::fill_registry(obs::profile::aggregate(report.profile),
+                                registry);
 }
 
 }  // namespace rtopex::runtime

@@ -27,6 +27,7 @@
 #include "model/online_fit.hpp"
 #include "obs/health/health.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/profile/profile.hpp"
 #include "obs/tracer.hpp"
 #include "phy/uplink_rx.hpp"
 #include "transport/transport.hpp"
@@ -127,6 +128,15 @@ struct RuntimeConfig {
   /// in RuntimeReport::alerts / RuntimeReport::health. Wall-clock periods
   /// slower than the 1 ms default should scale the windows alongside.
   obs::health::HealthConfig health;
+
+  /// Continuous profiling (obs/profile). When enabled, every stage section
+  /// a worker executes — the fft/demod/decode legs of process_job and the
+  /// hosted migration chunks — runs inside a ProfileSpan carrying hardware
+  /// counter deltas (perf_event_open when permitted, the portable
+  /// thread-CPU/rusage fallback otherwise). Each worker owns one track
+  /// (SPSC, same contract as the tracer); the drained samples are returned
+  /// in RuntimeReport::profile after the workers have joined.
+  obs::profile::ProfileConfig profile;
 };
 
 struct StageTiming {
@@ -169,6 +179,8 @@ struct RuntimeReport {
   /// Health engine outputs (empty unless RuntimeConfig::health.enabled).
   std::vector<obs::health::Alert> alerts;
   obs::health::HealthSnapshot health;
+  /// Drained profile samples (empty unless RuntimeConfig::profile.enabled).
+  obs::profile::ProfileStore profile;
 };
 
 /// Renders the full post-run report as Prometheus metrics: subframe /

@@ -302,6 +302,58 @@ TEST(HealthMonitor, RegistryRendersLintClean) {
   EXPECT_TRUE(problems.empty()) << problems.front();
 }
 
+TEST(HealthMonitor, SlackHistogramExportMatchesGauges) {
+  // Arrivals carry deadline - arrival in `a`; completing on time with a
+  // spread of budgets fills the slack histograms. The native
+  // rtopex_health_slack_us export is run-cumulative (monotone bucket
+  // counters, Prometheus histogram semantics) so it survives quiescent end
+  // windows; with a stationary feed its percentiles agree with the windowed
+  // p50/p99 gauges to within one bucket width, letting rtopex_top derive
+  // percentiles from the buckets alone.
+  HealthMonitor m(tight_config(), one_bs_topology());
+  std::uint32_t index = 0;
+  for (TimePoint ts = 0; ts < milliseconds(20); ts += microseconds(100)) {
+    const auto budget =
+        static_cast<std::uint32_t>(microseconds(100 + 100 * (index % 10)));
+    m.observe(make_event(ts, EventKind::kArrival, 0, index, budget));
+    m.observe(make_event(ts, EventKind::kSubframeEnd, 0, index, /*a=*/0));
+    ++index;
+  }
+  m.advance(milliseconds(20));
+
+  const ScopeHealth& cluster = m.snapshot().cluster;
+  // Cumulative: every completed subframe of the run, not just the window.
+  EXPECT_EQ(cluster.slack.count(), 200u);
+  // Stationary feed: cumulative and windowed distributions have the same
+  // shape, so the percentiles agree to bucket resolution (~33%).
+  EXPECT_NEAR(cluster.slack.p50(), cluster.slack_p50_us,
+              0.35 * cluster.slack_p50_us);
+  EXPECT_NEAR(cluster.slack.percentile(0.01), cluster.slack_p99_us,
+              0.35 * cluster.slack_p99_us);
+  // Slacks span 100..1000 us.
+  EXPECT_GT(cluster.slack_p50_us, 100.0);
+  EXPECT_LT(cluster.slack_p50_us, 1000.0);
+
+  MetricsRegistry reg;
+  m.fill_registry(reg);
+  const std::string text = reg.render();
+  EXPECT_NE(text.find("rtopex_health_slack_us_bucket{scope=\"cluster\","),
+            std::string::npos);
+  EXPECT_NE(text.find("rtopex_health_slack_us_count{scope=\"cluster\"} 200"),
+            std::string::npos);
+  const std::vector<std::string> problems = lint_prometheus_text(text);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+
+  // The export survives a quiescent tail: after finish() the windowed
+  // gauges go idle but the cumulative histogram still carries the run.
+  m.finish(milliseconds(20));
+  MetricsRegistry reg2;
+  m.fill_registry(reg2);
+  EXPECT_NE(reg2.render().find(
+                "rtopex_health_slack_us_count{scope=\"cluster\"} 200"),
+            std::string::npos);
+}
+
 TEST(HealthMonitor, AlertLogCsvAndDescribe) {
   HealthMonitor m(tight_config(), one_bs_topology());
   feed_outcomes(m, 0, milliseconds(10), false);

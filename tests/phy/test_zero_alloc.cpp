@@ -13,6 +13,7 @@
 #include <new>
 
 #include "common/rng.hpp"
+#include "obs/profile/profile.hpp"
 #include "phy/turbo.hpp"
 #include "phy/uplink_rx.hpp"
 #include "phy/uplink_tx.hpp"
@@ -185,6 +186,44 @@ TEST(ZeroAllocTest, ThreadWorkspaceOverloadsAreAllocationFreeWhenWarm) {
   EXPECT_EQ(allocs, 0u);
   EXPECT_TRUE(result.crc_ok);
   EXPECT_EQ(result.payload, sf.payload);
+}
+
+// The profiling layer rides on the same hot path, so its steady state must
+// be allocation-free too: the sample slab is preallocated at construction
+// and begin/end/ProfileSpan only write into it. Both real backends are
+// held to the guarantee (software always; perf wherever the host allows
+// it, via kAuto).
+TEST(ZeroAllocTest, ProfileSpanSteadyStateIsAllocationFree) {
+  namespace prof = rtopex::obs::profile;
+  for (const auto backend :
+       {prof::Backend::kSoftware, prof::Backend::kAuto}) {
+    prof::ProfileConfig cfg;
+    cfg.enabled = true;
+    cfg.backend = backend;
+    prof::Profiler profiler(1, cfg);
+
+    // Warm-up: the perf backend opens its per-thread counter group on the
+    // owner's first begin().
+    {
+      prof::ProfileSpan warm(&profiler, 0, "warm", rtopex::obs::Stage::kFft);
+    }
+
+    const std::size_t allocs = count_allocations([&] {
+      for (int rep = 0; rep < 64; ++rep) {
+        prof::ProfileSpan outer(&profiler, 0, "subframe");
+        prof::ProfileSpan inner(&profiler, 0, "decode",
+                                rtopex::obs::Stage::kDecode, 0,
+                                static_cast<std::uint32_t>(rep));
+        inner.set_payload(prof::pack_decode_regressors(6, 2, 27),
+                          prof::pack_decode_load(12, 1));
+      }
+    });
+    EXPECT_EQ(allocs, 0u) << "backend " << prof::to_string(backend);
+
+    const prof::ProfileStore store = profiler.take();
+    EXPECT_EQ(store.samples.size(), 2u * 64u + 1u);
+    EXPECT_EQ(store.drops, 0u);
+  }
 }
 
 }  // namespace
