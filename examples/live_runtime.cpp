@@ -37,6 +37,21 @@
 //                        input), and adds per-core counter lanes to
 //                        --trace output
 //
+// Throughput options (partitioned/global modes):
+//   --batch N            drain up to N queued subframes per worker pass and
+//                        fuse their decode stages into one SoA batch
+//                        (default 1 = off; max 16)
+//   --pin LIST           pin worker i to the i-th CPU of LIST (kernel
+//                        cpulist syntax, e.g. "0-3" or "0,2,4,6"); must
+//                        list at least one CPU per worker
+//   --ticker-core N      pin the transport ticker to CPU N
+//   --numa               pre-warm one decode workspace per worker on the
+//                        worker's NUMA node before the schedule starts
+//   --no-deadlines       disable slack-check dropping: decode every
+//                        delivered subframe even when its deadline is
+//                        hopeless (throughput benchmarking — aggregate
+//                        rate matters, per-subframe latency does not)
+//
 // Resilience options:
 //   --kill-core N        park worker N mid-run (watchdog fails it over)
 //   --at-ms T            kill at T ms into the run (default: half the run)
@@ -56,6 +71,7 @@
 #include "obs/health/health.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/profile/profile_report.hpp"
+#include "runtime/affinity.hpp"
 #include "runtime/fault_injection.hpp"
 #include "runtime/node_runtime.hpp"
 
@@ -73,6 +89,10 @@ int main(int argc, char** argv) {
   double metrics_period_ms = 0.0;
   bool analyze = false;
   bool health = false;
+  int batch = 1;
+  int ticker_core = -1;
+  bool numa = false;
+  std::string pin_list;
   std::string trace_path, trace_csv_path, metrics_path, profile_prefix;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "partitioned") == 0) {
@@ -104,6 +124,16 @@ int main(int argc, char** argv) {
       cfg.adaptive = true;
     } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
       profile_prefix = argv[++i];
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--pin") == 0 && i + 1 < argc) {
+      pin_list = argv[++i];
+    } else if (std::strcmp(argv[i], "--ticker-core") == 0 && i + 1 < argc) {
+      ticker_core = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--numa") == 0) {
+      numa = true;
+    } else if (std::strcmp(argv[i], "--no-deadlines") == 0) {
+      cfg.enforce_deadlines = false;
     } else if (std::strcmp(argv[i], "--kill-core") == 0 && i + 1 < argc) {
       kill_core = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--at-ms") == 0 && i + 1 < argc) {
@@ -117,6 +147,8 @@ int main(int argc, char** argv) {
                    "  [--trace FILE] [--trace-csv FILE] [--metrics FILE]\n"
                    "  [--metrics-period-ms T] [--analyze] [--health]\n"
                    "  [--adaptive] [--profile PREFIX]\n"
+                   "  [--batch N] [--pin LIST] [--ticker-core N] [--numa]\n"
+                   "  [--no-deadlines]\n"
                    "  [--kill-core N] [--at-ms T] [--fronthaul-loss P]\n",
                    argv[0]);
       return 1;
@@ -126,10 +158,36 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "invalid sizing options\n");
     return 1;
   }
+  if (batch < 1 || batch > 16) {
+    std::fprintf(stderr, "--batch must be in [1, 16]\n");
+    return 1;
+  }
+  if (batch > 1 && cfg.mode == runtime::RuntimeMode::kRtOpex) {
+    std::fprintf(stderr,
+                 "--batch requires partitioned or global mode (RT-OPEX "
+                 "migrates decode per-subtask)\n");
+    return 1;
+  }
 
   cfg.num_basestations = basestations;
   cfg.cores_per_bs = 2;
   cfg.global_cores = 2 * basestations;
+  const unsigned workers = cfg.mode == runtime::RuntimeMode::kGlobal
+                               ? cfg.global_cores
+                               : basestations * cfg.cores_per_bs;
+  cfg.throughput.batch = static_cast<unsigned>(batch);
+  cfg.throughput.numa_pools = numa;
+  cfg.throughput.ticker_core = ticker_core;
+  if (!pin_list.empty()) {
+    cfg.throughput.worker_cores = runtime::parse_cpulist(pin_list);
+    if (cfg.throughput.worker_cores.size() < workers) {
+      std::fprintf(stderr,
+                   "--pin lists %zu CPUs but this run needs %u workers\n",
+                   cfg.throughput.worker_cores.size(), workers);
+      return 1;
+    }
+    cfg.throughput.pin_workers = true;
+  }
   cfg.subframes_per_bs = subframes;
   cfg.subframe_period = microseconds(static_cast<long>(period_ms * 1000.0));
   cfg.deadline_budget = 2 * cfg.subframe_period;
@@ -220,6 +278,13 @@ int main(int argc, char** argv) {
                                     : "rt-opex";
   std::printf("mode: %s | %u basestations x %zu subframes | period %.3g ms\n",
               mode_name, basestations, subframes, period_ms);
+  if (batch > 1 || !pin_list.empty() || numa || ticker_core >= 0) {
+    const std::string pinned =
+        pin_list.empty() ? std::string() : " | pinned " + pin_list;
+    std::printf("throughput: batch %d%s%s%s\n", batch, pinned.c_str(),
+                ticker_core >= 0 ? " | dedicated ticker core" : "",
+                numa ? " | numa pools" : "");
+  }
   if (kill_core >= 0)
     std::printf("killing worker %d at ~%.0f ms (watchdog enabled)\n",
                 kill_core, kill_at_ms);
@@ -249,6 +314,16 @@ int main(int argc, char** argv) {
               report.records.size() - report.crc_failures -
                   res.lost_subframes - res.late_arrivals - report.dropped,
               report.records.size(), report.migrations, report.recoveries);
+  // Conservation: every offered subframe must come back as exactly one
+  // record (decoded, dropped, late or lost) — batching and repartitioning
+  // may reorder work but never create or leak subframes.
+  const std::size_t expected =
+      static_cast<std::size_t>(basestations) * subframes;
+  const bool conserved = report.records.size() == expected;
+  std::printf("conservation: %zu/%zu records (%s) | batch-decoded "
+              "subframes: %zu\n",
+              report.records.size(), expected, conserved ? "ok" : "BROKEN",
+              report.batched_subframes);
   if (kill_core >= 0 || loss_prob > 0.0)
     std::printf("resilience: failovers %zu | repartitions %zu | requeued %zu "
                 "| lost %zu | late %zu | degraded %zu\n",
@@ -317,5 +392,5 @@ int main(int argc, char** argv) {
     else
       write_atomic(metrics_path, reg.render());
   }
-  return report.crc_failures == 0 ? 0 : 2;
+  return report.crc_failures == 0 && conserved ? 0 : 2;
 }

@@ -4,6 +4,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#if defined(RTOPEX_SIMD) && defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(RTOPEX_SIMD) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
 namespace rtopex::phy {
 namespace {
 
@@ -182,6 +188,153 @@ void demap_axes(std::span<const Complex> symbols,
   }
 }
 
+#if defined(RTOPEX_SIMD) && defined(__AVX2__)
+
+// Vertically vectorized axis demap: 8 symbols per pass, one vector lane per
+// symbol. Every lane evaluates exactly the scalar kernel's expressions —
+// same subtract/multiply/min schedule, same reduction order over levels —
+// so the produced LLRs are bit-identical to demap_axes (vminps/vmaxps and
+// scalar std::min/std::max agree on every non-NaN input, and the distances
+// are always finite and non-negative). Only whole 8-symbol blocks come
+// through here; the caller runs the scalar kernel over the ragged tail.
+template <unsigned BITS>
+void demap_axes_simd(const Complex* symbols, const float* noise_var,
+                     const AxisTable& t, float* out, std::size_t blocks) {
+  constexpr unsigned kLevels = 1u << BITS;
+  constexpr unsigned kOrder = 2 * BITS;
+  const __m256 vhuge = _mm256_set1_ps(1e30f);
+  const __m256 vone = _mm256_set1_ps(1.0f);
+  const __m256 vfloor = _mm256_set1_ps(1e-9f);
+  // Reorders the two shuffle_ps half-products back to symbol order.
+  const __m256i vperm = _mm256_setr_epi32(0, 1, 4, 5, 2, 3, 6, 7);
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    const float* in = reinterpret_cast<const float*>(symbols + blk * 8);
+    // Deinterleave re/im: [r0 i0 .. r3 i3 | r4 i4 .. r7 i7] -> yi, yq.
+    const __m256 v0 = _mm256_loadu_ps(in);
+    const __m256 v1 = _mm256_loadu_ps(in + 8);
+    const __m256 re_t = _mm256_shuffle_ps(v0, v1, 0x88);
+    const __m256 im_t = _mm256_shuffle_ps(v0, v1, 0xDD);
+    const __m256 yi = _mm256_permutevar8x32_ps(re_t, vperm);
+    const __m256 yq = _mm256_permutevar8x32_ps(im_t, vperm);
+    const __m256 nv = _mm256_loadu_ps(noise_var + blk * 8);
+    const __m256 inv_var = _mm256_div_ps(vone, _mm256_max_ps(nv, vfloor));
+
+    __m256 best_i[kOrder], best_q[kOrder];
+    for (unsigned j = 0; j < kOrder; ++j) best_i[j] = best_q[j] = vhuge;
+    for (unsigned lvl = 0; lvl < kLevels; ++lvl) {
+      const __m256 amp = _mm256_set1_ps(t.amplitude[lvl]);
+      const __m256 di = _mm256_sub_ps(yi, amp);
+      const __m256 dq = _mm256_sub_ps(yq, amp);
+      const __m256 dist_i = _mm256_mul_ps(di, di);
+      const __m256 dist_q = _mm256_mul_ps(dq, dq);
+      for (unsigned b = 0; b < BITS; ++b) {
+        const unsigned value = (lvl >> (BITS - 1 - b)) & 1;
+        best_i[b * 2 + value] = _mm256_min_ps(best_i[b * 2 + value], dist_i);
+        best_q[b * 2 + value] = _mm256_min_ps(best_q[b * 2 + value], dist_q);
+      }
+    }
+    // llr rows (one vector = one bit position across the 8 symbols), then a
+    // small register-blocked transpose out to the symbol-major LLR layout.
+    alignas(32) float row_i[BITS][8];
+    alignas(32) float row_q[BITS][8];
+    for (unsigned b = 0; b < BITS; ++b) {
+      _mm256_store_ps(row_i[b],
+                      _mm256_mul_ps(_mm256_sub_ps(best_i[b * 2 + 1],
+                                                  best_i[b * 2 + 0]),
+                                    inv_var));
+      _mm256_store_ps(row_q[b],
+                      _mm256_mul_ps(_mm256_sub_ps(best_q[b * 2 + 1],
+                                                  best_q[b * 2 + 0]),
+                                    inv_var));
+    }
+    float* o = out + blk * 8 * kOrder;
+    for (unsigned s = 0; s < 8; ++s)
+      for (unsigned b = 0; b < BITS; ++b) {
+        o[s * kOrder + 2 * b + 0] = row_i[b][s];
+        o[s * kOrder + 2 * b + 1] = row_q[b][s];
+      }
+  }
+}
+
+constexpr std::size_t kDemapBlock = 8;
+
+#elif defined(RTOPEX_SIMD) && defined(__ARM_NEON)
+
+// NEON analogue: 4 symbols per pass (vld2q deinterleaves re/im directly).
+// Same expression schedule as the scalar kernel, hence bit-identical.
+template <unsigned BITS>
+void demap_axes_simd(const Complex* symbols, const float* noise_var,
+                     const AxisTable& t, float* out, std::size_t blocks) {
+  constexpr unsigned kLevels = 1u << BITS;
+  constexpr unsigned kOrder = 2 * BITS;
+  const float32x4_t vhuge = vdupq_n_f32(1e30f);
+  const float32x4_t vfloor = vdupq_n_f32(1e-9f);
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    const float* in = reinterpret_cast<const float*>(symbols + blk * 4);
+    const float32x4x2_t iq = vld2q_f32(in);
+    const float32x4_t yi = iq.val[0];
+    const float32x4_t yq = iq.val[1];
+    const float32x4_t nv = vld1q_f32(noise_var + blk * 4);
+    const float32x4_t inv_var =
+        vdivq_f32(vdupq_n_f32(1.0f), vmaxq_f32(nv, vfloor));
+
+    float32x4_t best_i[kOrder], best_q[kOrder];
+    for (unsigned j = 0; j < kOrder; ++j) best_i[j] = best_q[j] = vhuge;
+    for (unsigned lvl = 0; lvl < kLevels; ++lvl) {
+      const float32x4_t amp = vdupq_n_f32(t.amplitude[lvl]);
+      const float32x4_t di = vsubq_f32(yi, amp);
+      const float32x4_t dq = vsubq_f32(yq, amp);
+      const float32x4_t dist_i = vmulq_f32(di, di);
+      const float32x4_t dist_q = vmulq_f32(dq, dq);
+      for (unsigned b = 0; b < BITS; ++b) {
+        const unsigned value = (lvl >> (BITS - 1 - b)) & 1;
+        best_i[b * 2 + value] = vminq_f32(best_i[b * 2 + value], dist_i);
+        best_q[b * 2 + value] = vminq_f32(best_q[b * 2 + value], dist_q);
+      }
+    }
+    alignas(16) float row_i[BITS][4];
+    alignas(16) float row_q[BITS][4];
+    for (unsigned b = 0; b < BITS; ++b) {
+      vst1q_f32(row_i[b], vmulq_f32(vsubq_f32(best_i[b * 2 + 1],
+                                              best_i[b * 2 + 0]),
+                                    inv_var));
+      vst1q_f32(row_q[b], vmulq_f32(vsubq_f32(best_q[b * 2 + 1],
+                                              best_q[b * 2 + 0]),
+                                    inv_var));
+    }
+    float* o = out + blk * 4 * kOrder;
+    for (unsigned s = 0; s < 4; ++s)
+      for (unsigned b = 0; b < BITS; ++b) {
+        o[s * kOrder + 2 * b + 0] = row_i[b][s];
+        o[s * kOrder + 2 * b + 1] = row_q[b][s];
+      }
+  }
+}
+
+constexpr std::size_t kDemapBlock = 4;
+
+#endif
+
+template <unsigned BITS>
+void demap_dispatch(std::span<const Complex> symbols,
+                    std::span<const float> noise_var, const AxisTable& t,
+                    float* out) {
+#ifdef RTOPEX_SIMD
+#if defined(__AVX2__) || defined(__ARM_NEON)
+  const std::size_t blocks = symbols.size() / kDemapBlock;
+  if (blocks > 0)
+    demap_axes_simd<BITS>(symbols.data(), noise_var.data(), t, out, blocks);
+  const std::size_t done = blocks * kDemapBlock;
+  if (done < symbols.size()) {
+    demap_axes<BITS>(symbols.subspan(done), noise_var.subspan(done), t,
+                     out + done * 2 * BITS);
+  }
+  return;
+#endif
+#endif
+  demap_axes<BITS>(symbols, noise_var, t, out);
+}
+
 }  // namespace
 
 void demodulate_into(std::span<const Complex> symbols,
@@ -193,9 +346,9 @@ void demodulate_into(std::span<const Complex> symbols,
     throw std::invalid_argument("demodulate_into: bad output size");
   const AxisTable& t = axis_table(order);
   switch (order) {
-    case 2: demap_axes<1>(symbols, noise_var, t, out.data()); break;
-    case 4: demap_axes<2>(symbols, noise_var, t, out.data()); break;
-    default: demap_axes<3>(symbols, noise_var, t, out.data()); break;
+    case 2: demap_dispatch<1>(symbols, noise_var, t, out.data()); break;
+    case 4: demap_dispatch<2>(symbols, noise_var, t, out.data()); break;
+    default: demap_dispatch<3>(symbols, noise_var, t, out.data()); break;
   }
 }
 

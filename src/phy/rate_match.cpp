@@ -56,6 +56,18 @@ RateMatcher::RateMatcher(std::size_t block_size) {
           cb_map_[i] % static_cast<std::int32_t>(kd_));
     }
   }
+
+  // Dummy-compressed copy of the walk order plus the prefix counts that
+  // translate a buffer start position into a compressed one.
+  nd_prefix_.resize(cb_map_.size() + 1);
+  nd_prefix_[0] = 0;
+  for (std::size_t i = 0; i < cb_map_.size(); ++i) {
+    nd_prefix_[i + 1] = nd_prefix_[i] + (cb_map_[i] >= 0 ? 1u : 0u);
+    if (cb_map_[i] >= 0) {
+      cbc_stream_.push_back(cb_stream_[i]);
+      cbc_off_.push_back(cb_off_[i]);
+    }
+  }
 }
 
 std::size_t RateMatcher::start_index(unsigned rv) const {
@@ -113,18 +125,17 @@ void RateMatcher::dematch_into(std::span<const float> llrs,
     parity1[i] = 0.0f;
     parity2[i] = 0.0f;
   }
-  // Dummy positions (stream 3) accumulate into a scratch slot so the loop
-  // body stays branch-free except for the consume decision.
-  float dummy = 0.0f;
-  float* streams[4] = {systematic.data(), parity1.data(), parity2.data(),
-                       &dummy};
-  const std::size_t n = cb_off_.size();
-  std::size_t pos = start_index(redundancy_version);
-  std::size_t consumed = 0;
-  while (consumed < llrs.size()) {
-    const std::uint8_t stream = cb_stream_[pos];
-    if (stream != 3) streams[stream][cb_off_[pos]] += llrs[consumed++];
-    pos = pos + 1 == n ? 0 : pos + 1;
+  // Walk the dummy-compressed order: one scatter-accumulate per received
+  // LLR, no consume branch. The cyclic order matches the uncompressed walk
+  // position for position, so soft-combining order (and thus the float
+  // result) is unchanged.
+  float* streams[3] = {systematic.data(), parity1.data(), parity2.data()};
+  const std::size_t m = cbc_off_.size();
+  std::size_t pos = nd_prefix_[start_index(redundancy_version)];
+  if (pos == m) pos = 0;  // start landed past the last non-dummy
+  for (std::size_t i = 0; i < llrs.size(); ++i) {
+    streams[cbc_stream_[pos]][cbc_off_[pos]] += llrs[i];
+    pos = pos + 1 == m ? 0 : pos + 1;
   }
 }
 

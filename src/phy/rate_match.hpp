@@ -63,6 +63,13 @@ class RateMatcher {
   /// or 3 for a dummy) and within-stream offset per buffer position.
   std::vector<std::uint8_t> cb_stream_;
   std::vector<std::uint32_t> cb_off_;
+  /// Dummy-compressed walk order: the non-dummy positions in cyclic order,
+  /// so the dematch hot loop runs exactly `e` iterations with no consume
+  /// branch. `nd_prefix_[p]` counts non-dummies before buffer position `p`,
+  /// mapping a redundancy-version start index into the compressed tables.
+  std::vector<std::uint8_t> cbc_stream_;
+  std::vector<std::uint32_t> cbc_off_;
+  std::vector<std::uint32_t> nd_prefix_;
 };
 
 }  // namespace rtopex::phy

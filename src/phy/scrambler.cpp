@@ -58,15 +58,40 @@ void descramble_llrs(std::span<float> llrs, std::uint32_t c_init) {
 
 void descramble_llrs_cached(std::span<float> llrs, std::uint32_t c_init,
                             DecodeWorkspace& ws) {
-  if (!ws.scramble_valid || ws.scramble_c_init != c_init ||
-      ws.scramble_len < llrs.size()) {
-    generate_sequence(c_init, llrs.size(), ws.scramble_seq, ws.scramble_x1,
-                      ws.scramble_x2);
-    ws.scramble_c_init = c_init;
-    ws.scramble_len = llrs.size();
-    ws.scramble_valid = true;
+  // Bounded LRU over c_init. A hit needs a valid entry whose cached prefix
+  // covers the request (Gold sequences are prefix-stable, so a longer
+  // cached sequence serves shorter requests). A miss regenerates into the
+  // least-recently-used slot, reusing its grow-only buffer — total retained
+  // memory stays capped at kEntries * max requested length no matter how
+  // many distinct c_init values a long multi-BS run touches.
+  ScrambleCache& cache = ws.scramble;
+  ScrambleCache::Entry* hit = nullptr;
+  ScrambleCache::Entry* same_key = nullptr;
+  ScrambleCache::Entry* lru = &cache.entries[0];
+  for (ScrambleCache::Entry& e : cache.entries) {
+    if (e.valid && e.c_init == c_init) {
+      if (e.len >= llrs.size()) {
+        hit = &e;
+        break;
+      }
+      same_key = &e;  // regenerate in place rather than duplicating the key
+    }
+    if (!e.valid) {
+      lru = &e;
+    } else if (lru->valid && e.stamp < lru->stamp) {
+      lru = &e;
+    }
   }
-  const std::uint8_t* c = ws.scramble_seq.data();
+  if (!hit) {
+    ScrambleCache::Entry* victim = same_key ? same_key : lru;
+    generate_sequence(c_init, llrs.size(), victim->seq, cache.x1, cache.x2);
+    victim->c_init = c_init;
+    victim->len = llrs.size();
+    victim->valid = true;
+    hit = victim;
+  }
+  hit->stamp = ++cache.clock;
+  const std::uint8_t* c = hit->seq.data();
   for (std::size_t i = 0; i < llrs.size(); ++i)
     if (c[i]) llrs[i] = -llrs[i];
 }

@@ -28,10 +28,12 @@ void scramble_bits(std::span<std::uint8_t> bits, std::uint32_t c_init);
 /// the soft path: a scrambled 1 inverts the bit, hence the LLR).
 void descramble_llrs(std::span<float> llrs, std::uint32_t c_init);
 
-/// Allocation-free descramble: the sequence (and its generator scratch)
-/// lives in the workspace, keyed by c_init. A steady-state worker
-/// descrambles the same basestation's identity every subframe, so after the
-/// first call this is a pure sign-flip pass. Gold sequences are
+/// Allocation-free descramble through the workspace's bounded LRU sequence
+/// cache (ScrambleCache). A basestation cycles through at most 10 c_init
+/// values, so a steady-state worker's whole rotation stays resident and
+/// every call is a pure sign-flip pass; workers batching many basestations
+/// evict least-recently-used entries instead of growing, keeping retained
+/// memory capped at ScrambleCache::kEntries sequences. Gold sequences are
 /// prefix-stable — c(n) depends only on n — so a cached longer sequence
 /// serves shorter requests.
 void descramble_llrs_cached(std::span<float> llrs, std::uint32_t c_init,

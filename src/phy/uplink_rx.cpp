@@ -10,6 +10,12 @@
 #include "phy/rate_match.hpp"
 #include "phy/scrambler.hpp"
 
+#if defined(RTOPEX_SIMD) && defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(RTOPEX_SIMD) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
 namespace rtopex::phy {
 namespace {
 
@@ -21,6 +27,109 @@ std::array<unsigned, 12> data_symbol_indices() {
     if (s != kDmrsSymbol0 && s != kDmrsSymbol1) idx[j++] = s;
   return idx;
 }
+
+#if defined(RTOPEX_SIMD) && defined(__AVX2__)
+
+/// MRC + equalization for 8 subcarriers per pass. Lane arithmetic mirrors
+/// the scalar loop expression-for-expression (mul/add plus one IEEE divide
+/// per output, no FMA), so the vector path is bit-identical to the scalar
+/// tail — the same contract the demapper and turbo SIMD paths honor.
+/// Returns the number of subcarriers handled; the caller finishes the tail.
+std::size_t mrc_equalize_simd(const std::vector<IqVector>& channel_est,
+                              const std::vector<IqVector>& grid,
+                              unsigned symbol, unsigned n, float noise_var,
+                              std::size_t nsc, Complex* eq_out,
+                              float* noise_out) {
+  const std::size_t blocks = nsc / 8;
+  const __m256i vperm = _mm256_setr_epi32(0, 1, 4, 5, 2, 3, 6, 7);
+  const __m256 vfloor = _mm256_set1_ps(1e-12f);
+  const __m256 vnoise = _mm256_set1_ps(noise_var);
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    __m256 num_re = _mm256_setzero_ps();
+    __m256 num_im = _mm256_setzero_ps();
+    __m256 denom = _mm256_setzero_ps();
+    for (unsigned a = 0; a < n; ++a) {
+      const float* hp =
+          reinterpret_cast<const float*>(channel_est[a].data()) + blk * 16;
+      const float* yp = reinterpret_cast<const float*>(
+                            grid[a * kSymbolsPerSubframe + symbol].data()) +
+                        blk * 16;
+      const __m256 h0 = _mm256_loadu_ps(hp);
+      const __m256 h1 = _mm256_loadu_ps(hp + 8);
+      const __m256 g0 = _mm256_loadu_ps(yp);
+      const __m256 g1 = _mm256_loadu_ps(yp + 8);
+      const __m256 hr =
+          _mm256_permutevar8x32_ps(_mm256_shuffle_ps(h0, h1, 0x88), vperm);
+      const __m256 hi =
+          _mm256_permutevar8x32_ps(_mm256_shuffle_ps(h0, h1, 0xDD), vperm);
+      const __m256 yr =
+          _mm256_permutevar8x32_ps(_mm256_shuffle_ps(g0, g1, 0x88), vperm);
+      const __m256 yi =
+          _mm256_permutevar8x32_ps(_mm256_shuffle_ps(g0, g1, 0xDD), vperm);
+      num_re = _mm256_add_ps(
+          num_re,
+          _mm256_add_ps(_mm256_mul_ps(hr, yr), _mm256_mul_ps(hi, yi)));
+      num_im = _mm256_add_ps(
+          num_im,
+          _mm256_sub_ps(_mm256_mul_ps(hr, yi), _mm256_mul_ps(hi, yr)));
+      denom = _mm256_add_ps(
+          denom, _mm256_add_ps(_mm256_mul_ps(hr, hr), _mm256_mul_ps(hi, hi)));
+    }
+    denom = _mm256_max_ps(denom, vfloor);
+    const __m256 eq_re = _mm256_div_ps(num_re, denom);
+    const __m256 eq_im = _mm256_div_ps(num_im, denom);
+    const __m256 ilo = _mm256_unpacklo_ps(eq_re, eq_im);
+    const __m256 ihi = _mm256_unpackhi_ps(eq_re, eq_im);
+    float* ep = reinterpret_cast<float*>(eq_out) + blk * 16;
+    _mm256_storeu_ps(ep, _mm256_permute2f128_ps(ilo, ihi, 0x20));
+    _mm256_storeu_ps(ep + 8, _mm256_permute2f128_ps(ilo, ihi, 0x31));
+    _mm256_storeu_ps(noise_out + blk * 8, _mm256_div_ps(vnoise, denom));
+  }
+  return blocks * 8;
+}
+
+#elif defined(RTOPEX_SIMD) && defined(__ARM_NEON)
+
+/// NEON analogue: 4 subcarriers per pass (vld2q/vst2q do the re/im
+/// (de)interleave directly). Same expression schedule, hence bit-identical.
+std::size_t mrc_equalize_simd(const std::vector<IqVector>& channel_est,
+                              const std::vector<IqVector>& grid,
+                              unsigned symbol, unsigned n, float noise_var,
+                              std::size_t nsc, Complex* eq_out,
+                              float* noise_out) {
+  const std::size_t blocks = nsc / 4;
+  const float32x4_t vfloor = vdupq_n_f32(1e-12f);
+  const float32x4_t vnoise = vdupq_n_f32(noise_var);
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    float32x4_t num_re = vdupq_n_f32(0.0f);
+    float32x4_t num_im = vdupq_n_f32(0.0f);
+    float32x4_t denom = vdupq_n_f32(0.0f);
+    for (unsigned a = 0; a < n; ++a) {
+      const float* hp =
+          reinterpret_cast<const float*>(channel_est[a].data()) + blk * 8;
+      const float* yp = reinterpret_cast<const float*>(
+                            grid[a * kSymbolsPerSubframe + symbol].data()) +
+                        blk * 8;
+      const float32x4x2_t h = vld2q_f32(hp);
+      const float32x4x2_t y = vld2q_f32(yp);
+      num_re = vaddq_f32(num_re, vaddq_f32(vmulq_f32(h.val[0], y.val[0]),
+                                           vmulq_f32(h.val[1], y.val[1])));
+      num_im = vaddq_f32(num_im, vsubq_f32(vmulq_f32(h.val[0], y.val[1]),
+                                           vmulq_f32(h.val[1], y.val[0])));
+      denom = vaddq_f32(denom, vaddq_f32(vmulq_f32(h.val[0], h.val[0]),
+                                         vmulq_f32(h.val[1], h.val[1])));
+    }
+    denom = vmaxq_f32(denom, vfloor);
+    float32x4x2_t eq;
+    eq.val[0] = vdivq_f32(num_re, denom);
+    eq.val[1] = vdivq_f32(num_im, denom);
+    vst2q_f32(reinterpret_cast<float*>(eq_out) + blk * 8, eq);
+    vst1q_f32(noise_out + blk * 4, vdivq_f32(vnoise, denom));
+  }
+  return blocks * 4;
+}
+
+#endif
 
 }  // namespace
 
@@ -199,7 +308,13 @@ void UplinkRxProcessor::run_demod_subtask(Job& job, std::size_t index) const {
   // MRC across antennas per subcarrier. Explicit float math: conj(h) * y
   // through std::complex would emit a __mulsc3 library call per RE.
   const std::size_t out_base = index * nsc;
-  for (unsigned k = 0; k < nsc; ++k) {
+  unsigned k_first = 0;
+#if defined(RTOPEX_SIMD) && (defined(__AVX2__) || defined(__ARM_NEON))
+  k_first = static_cast<unsigned>(mrc_equalize_simd(
+      job.channel_est, job.grid, symbol, n, job.noise_var, nsc,
+      job.equalized.data() + out_base, job.post_eq_noise.data() + out_base));
+#endif
+  for (unsigned k = k_first; k < nsc; ++k) {
     float num_re = 0.0f;
     float num_im = 0.0f;
     float denom = 0.0f;
@@ -230,8 +345,9 @@ void UplinkRxProcessor::decode_prepare(Job& job) const {
 
 void UplinkRxProcessor::decode_prepare(Job& job, DecodeWorkspace& ws) const {
   // c_init cycles through at most 10 values per basestation (subframe mod
-  // 10); on a miss the sequence regenerates into grow-only workspace
-  // buffers, so either way this allocates nothing in steady state.
+  // 10), so a steady-state worker's whole rotation stays resident in the
+  // workspace's bounded LRU cache; misses regenerate into a recycled
+  // entry's grow-only buffer. Either way nothing allocates in steady state.
   descramble_llrs_cached(job.llrs,
                          scrambling_init(config_.rnti, job.subframe_index,
                                          config_.cell_id),
@@ -284,6 +400,121 @@ void UplinkRxProcessor::run_decode_subtask(Job& job, std::size_t index,
   out.iterations = ws.iterations;
   out.crc_ok = ws.early_terminated ||
                crc_check(std::span<const std::uint8_t>(ws.bits.data(), k));
+}
+
+void UplinkRxProcessor::run_decode_batch(Job& job, DecodeWorkspace& ws) const {
+  Job* jobs[1] = {&job};
+  run_decode_batch(std::span<Job* const>(jobs, 1), ws);
+}
+
+void UplinkRxProcessor::run_decode_batch(std::span<Job* const> jobs,
+                                         DecodeWorkspace& ws) const {
+  constexpr std::size_t kMaxJobs = 16;
+  constexpr std::size_t kL = kTurboBatchLanes;
+  if (jobs.empty() || jobs.size() > kMaxJobs)
+    throw std::invalid_argument("run_decode_batch: 1..16 jobs required");
+
+  // Distinct (block size, iteration cap) keys in first-appearance order.
+  // Lanes of one batch must share the decoder (same K / interleaver) and
+  // the degraded-mode cap, so blocks are grouped under these keys; jobs at
+  // different MCS with equal K batch together (their codecs are shared).
+  struct GroupKey {
+    std::size_t block_size;
+    unsigned cap;
+  };
+  std::array<GroupKey, kMaxJobs> keys;
+  std::size_t num_keys = 0;
+  for (const Job* job : jobs) {
+    const GroupKey key{impl_->per_mcs[job->mcs].layout.block_size,
+                       job->iteration_cap};
+    bool found = false;
+    for (std::size_t i = 0; i < num_keys; ++i)
+      found = found || (keys[i].block_size == key.block_size &&
+                        keys[i].cap == key.cap);
+    if (!found) keys[num_keys++] = key;
+  }
+
+  for (std::size_t ki = 0; ki < num_keys; ++ki) {
+    const GroupKey key = keys[ki];
+    const std::size_t k = key.block_size;
+    const std::size_t kd = k + 4;
+
+    // Gather this key's (job, block) pairs; grow-only workspace scratch.
+    ws.bat_group.clear();
+    const TurboDecoder* decoder = nullptr;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const Job& job = *jobs[j];
+      const McsContext& ctx = impl_->per_mcs[job.mcs];
+      if (ctx.layout.block_size != k || job.iteration_cap != key.cap)
+        continue;
+      decoder = ctx.decoder.get();
+      for (std::size_t blk = 0; blk < ctx.layout.e_bits.size(); ++blk)
+        ws.bat_group.push_back(
+            static_cast<std::uint32_t>((j << 16) | blk));
+    }
+
+    for (std::size_t g0 = 0; g0 < ws.bat_group.size(); g0 += kL) {
+      const std::size_t lanes_n = std::min(kL, ws.bat_group.size() - g0);
+      // The SoA sweep costs a full 8-lane pass regardless of fill (ragged
+      // lanes are padded), roughly four scalar blocks' worth. Mostly-empty
+      // residual groups are cheaper through the scalar decoder, which is
+      // bit-identical (the batch differential tests assert exactly that),
+      // so this is a pure cost decision.
+      if (lanes_n <= kL / 2 - 1) {
+        for (std::size_t b = 0; b < lanes_n; ++b) {
+          const std::uint32_t pair = ws.bat_group[g0 + b];
+          run_decode_subtask(*jobs[pair >> 16], pair & 0xFFFF, ws);
+        }
+        continue;
+      }
+      grow_buffer(ws.bat_in, kL * 3 * kd);
+      std::array<TurboBatchLane, kL> lanes{};
+      // Per-lane CRC identity: one pointer capture keeps the std::function
+      // within libstdc++'s small-object buffer — no heap allocation.
+      struct LaneCrc {
+        bool segmented;
+        std::size_t filler;
+      };
+      std::array<LaneCrc, kL> lane_crc{};
+      for (std::size_t b = 0; b < lanes_n; ++b) {
+        const std::uint32_t pair = ws.bat_group[g0 + b];
+        const Job& job = *jobs[pair >> 16];
+        const std::size_t blk = pair & 0xFFFF;
+        const McsContext& ctx = impl_->per_mcs[job.mcs];
+        float* base = ws.bat_in.data() + b * 3 * kd;
+        const std::span<float> sys(base, kd);
+        const std::span<float> par1(base + kd, kd);
+        const std::span<float> par2(base + 2 * kd, kd);
+        const std::span<const float> cb_llrs(
+            job.llrs.data() + ctx.e_offsets[blk], ctx.layout.e_bits[blk]);
+        ctx.matcher->dematch_into(cb_llrs, 0, sys, par1, par2);
+        lanes[b] = {sys, par1, par2};
+        lane_crc[b] = {ctx.layout.e_bits.size() > 1, ctx.layout.filler_bits};
+      }
+      const LaneCrc* lc = lane_crc.data();
+      const std::function<bool(std::size_t, std::span<const std::uint8_t>)>
+          crc_check = [lc](std::size_t lane,
+                           std::span<const std::uint8_t> bits) {
+            if (lc[lane].segmented) return check_crc24(bits, CrcKind::kB);
+            return check_crc24(bits.subspan(lc[lane].filler), CrcKind::kA);
+          };
+      decoder->decode_batch_into(
+          std::span<const TurboBatchLane>(lanes.data(), lanes_n), ws,
+          crc_check, key.cap);
+      for (std::size_t b = 0; b < lanes_n; ++b) {
+        const std::uint32_t pair = ws.bat_group[g0 + b];
+        Job& job = *jobs[pair >> 16];
+        const std::size_t blk = pair & 0xFFFF;
+        const std::uint8_t* bits = ws.bat_bits.data() + b * k;
+        auto& out = job.cb_results[blk];
+        out.bits.assign(bits, bits + k);
+        out.iterations = ws.bat_iterations[b];
+        out.crc_ok =
+            ws.bat_early_terminated[b] ||
+            crc_check(b, std::span<const std::uint8_t>(bits, k));
+      }
+    }
+  }
 }
 
 UplinkRxResult UplinkRxProcessor::finalize(Job& job) const {

@@ -15,6 +15,7 @@
 // workers and migrated-chunk hosts reuse across subframes.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -27,6 +28,39 @@ template <typename T>
 inline void grow_buffer(std::vector<T>& v, std::size_t n) {
   if (v.size() < n) v.resize(n);
 }
+
+/// Bounded LRU cache of Gold scrambling sequences, keyed by c_init. One
+/// basestation cycles through at most 10 c_init values (subframe mod 10),
+/// so kEntries covers a worker's own basestation entirely and leaves room
+/// for batched neighbours; a worker serving many basestations evicts in LRU
+/// order instead of growing. Each entry's buffer is grow-only but capped by
+/// the longest sequence ever requested, so total retained memory is bounded
+/// by kEntries * max_length regardless of how many distinct c_init values a
+/// long cluster run touches (asserted by the kernel regression tests).
+struct ScrambleCache {
+  static constexpr std::size_t kEntries = 16;
+
+  struct Entry {
+    std::uint32_t c_init = 0;
+    std::size_t len = 0;     ///< valid prefix of seq for c_init.
+    std::uint64_t stamp = 0; ///< LRU clock value of the last hit.
+    bool valid = false;
+    std::vector<std::uint8_t> seq;  ///< grow-only sequence storage.
+  };
+
+  std::array<Entry, kEntries> entries;
+  std::uint64_t clock = 0;
+  /// Generator shift-register scratch, shared across entries (grow-only).
+  std::vector<std::uint8_t> x1, x2;
+
+  /// Total sequence bytes retained — the quantity the bounded-memory
+  /// regression test asserts on.
+  std::size_t retained_bytes() const {
+    std::size_t total = 0;
+    for (const Entry& e : entries) total += e.seq.capacity();
+    return total;
+  }
+};
 
 struct DecodeWorkspace {
   // --- FFT: structure-of-arrays transform scratch (FftPlan::size floats).
@@ -50,17 +84,30 @@ struct DecodeWorkspace {
   unsigned iterations = 0;          ///< of the last decode_into call.
   bool early_terminated = false;    ///< of the last decode_into call.
 
-  // --- Descrambler: cached sequence plus generator scratch. The cache key
-  // is (c_init, length); a steady-state worker decodes the same
-  // basestation's scrambling identity every subframe and pays generation
-  // once.
-  std::vector<std::uint8_t> scramble_seq;
-  std::vector<std::uint8_t> scramble_x1, scramble_x2;
-  std::uint32_t scramble_c_init = 0;
-  /// Entries of scramble_seq valid for scramble_c_init (the buffer itself
-  /// is grow-only and may be longer than the last generation).
-  std::size_t scramble_len = 0;
-  bool scramble_valid = false;
+  // --- Batched SoA turbo decoder scratch (decode_batch_into). All float
+  // buffers hold lane-major rows of kTurboBatchLanes: element [i*8 + b] is
+  // trellis position i of lane (code block) b. Sizes below are per lane.
+  std::vector<float> bat_in;        ///< dematcher output, lane-contiguous
+                                    ///< (3 streams of K+4 per lane).
+  std::vector<float> bat_sysc;      ///< channel systematic rows (K).
+  std::vector<float> bat_sys1, bat_par1;  ///< SISO 1 input rows (K+3).
+  std::vector<float> bat_sys2, bat_par2;  ///< SISO 2 input rows (K+3).
+  std::vector<float> bat_ext1, bat_ext2;  ///< extrinsic rows (K).
+  std::vector<float> bat_app;       ///< SISO a-posteriori rows (K).
+  std::vector<float> bat_gamma;     ///< branch-metric rows (4*(K+3)).
+  std::vector<float> bat_alpha;     ///< forward-metric rows (8*(K+4)).
+  std::vector<std::uint8_t> bat_bits;  ///< lane-contiguous decisions (K per
+                                       ///< lane, lane b at [b*K, (b+1)*K)).
+  std::array<unsigned, 8> bat_iterations{};      ///< per-lane iterations.
+  std::array<bool, 8> bat_early_terminated{};    ///< per-lane CRC pass.
+  /// Cross-subframe batching scratch: (job, block) pairs grouped by K.
+  std::vector<std::uint32_t> bat_group;
+
+  // --- Descrambler: bounded LRU sequence cache. A steady-state worker
+  // cycles through its basestation's (at most 10) c_init values and pays
+  // generation once per value; eviction keeps memory bounded on workers
+  // that serve many basestations.
+  ScrambleCache scramble;
 
   // --- Finalize: reassembled transport block (payload + CRC24A bits).
   std::vector<std::uint8_t> tb_with_crc;

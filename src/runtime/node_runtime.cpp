@@ -1,9 +1,11 @@
 #include "runtime/node_runtime.hpp"
 
 #include <algorithm>
+#include <array>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <span>
 #include <stdexcept>
 #include <thread>
 
@@ -17,10 +19,12 @@
 #include "obs/profile/profile_report.hpp"
 #include "obs/tracer.hpp"
 #include "phy/uplink_tx.hpp"
+#include "runtime/affinity.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/cpu_state_table.hpp"
 #include "runtime/fault_injection.hpp"
 #include "runtime/mailbox.hpp"
+#include "runtime/workspace_pool.hpp"
 #include "sched/migration.hpp"
 
 namespace rtopex::runtime {
@@ -77,6 +81,12 @@ struct NodeRuntime::Impl {
   std::unique_ptr<phy::UplinkRxProcessor> rx;
   std::vector<std::vector<RxVariant>> variants;  // [bs][distinct mcs]
   std::atomic<bool> running{true};
+  /// Workers that have finished per-thread setup (job buffers, workspace).
+  /// The ticker holds the schedule epoch until every worker has checked in:
+  /// batch mode allocates `batch` job buffers per worker, easily >10 ms of
+  /// page faults, which would otherwise be charged to the first subframes'
+  /// deadlines.
+  std::atomic<unsigned> workers_ready{0};
 
   // Shared queue for global mode.
   std::mutex global_mu;
@@ -150,6 +160,27 @@ struct NodeRuntime::Impl {
   std::size_t res_requeued = 0;
   /// Records for subframes that never reached the node (ticker-owned).
   std::vector<SubframeRecord> lost_records;
+
+  // ---- throughput mode --------------------------------------------------
+  /// Hard cap on ThroughputConfig::batch — the cross-subframe decode
+  /// groups at most this many subframes per call.
+  static constexpr std::size_t kMaxBatch = 16;
+  /// Per-worker pre-warmed decode workspaces (null unless
+  /// config.throughput.numa_pools; built by the NodeRuntime constructor so
+  /// run() timing covers schedule execution only).
+  std::unique_ptr<WorkspacePool> pool;
+  NumaTopology numa_topo;
+  /// Subframes decoded inside a cross-subframe batch of >= 2.
+  std::atomic<std::size_t> batched_subframes{0};
+
+  bool should_pin() const {
+    return config.pin_threads || config.throughput.pin_workers;
+  }
+  unsigned worker_pin_core(unsigned id) const {
+    const std::vector<unsigned>& cores = config.throughput.worker_cores;
+    if (!cores.empty()) return cores[id % cores.size()];
+    return id % hardware_core_count();
+  }
 
   explicit Impl(const RuntimeConfig& cfg)
       : config(cfg),
@@ -238,6 +269,31 @@ struct NodeRuntime::Impl {
     for (const auto& v : variants[bs])
       if (v.mcs == mcs) return v;
     throw std::logic_error("no RX variant for this MCS");
+  }
+
+  /// Grows a pool workspace to its working size before the schedule
+  /// starts: one full dummy decode of the highest-MCS variant through the
+  /// explicit-workspace overloads, including the SoA batch-decode buffers.
+  /// Runs on the pool's node-pinned warmer threads, so first touch places
+  /// the pages on the worker's NUMA node. (Per-c_init scramble sequences
+  /// for basestations other than 0 still generate lazily on their first
+  /// subframe — a few hundred bytes each, bounded by the LRU cache.)
+  void prewarm_workspace(phy::DecodeWorkspace& ws) {
+    phy::UplinkRxJob job = rx->make_job();
+    phy::UplinkRxResult result;
+    const RxVariant* worst = nullptr;
+    for (const auto& v : variants[0])
+      if (!worst || v.mcs > worst->mcs) worst = &v;
+    rx->begin(job, worst->antenna_samples, worst->mcs,
+              worst->tx_subframe_index);
+    for (std::size_t i = 0; i < rx->fft_subtask_count(); ++i)
+      rx->run_fft_subtask(job, i, ws);
+    rx->demod_prepare(job);
+    for (std::size_t i = 0; i < rx->demod_subtask_count(); ++i)
+      rx->run_demod_subtask(job, i);
+    rx->decode_prepare(job, ws);
+    rx->run_decode_batch(job, ws);
+    rx->finalize_into(job, ws, result);
   }
 
   unsigned partitioned_worker(unsigned bs, std::uint32_t index) const {
@@ -478,6 +534,20 @@ struct NodeRuntime::Impl {
                        .kind = obs::EventKind::kRecovery, .stage = stage);
   }
 
+  /// Carry-over between the pre-decode and post-decode halves of one
+  /// subframe, split so throughput mode can fuse the decode stage of
+  /// several drained subframes into one cross-subframe SoA batch between
+  /// the halves.
+  struct JobProgress {
+    SubframeRecord rec;
+    obs::profile::Profiler::SpanToken sf_span;
+    obs::profile::Profiler::SpanToken dec_span;
+    std::size_t fft_n = 0;
+    std::size_t dec_n = 0;
+    Duration dec_sub_est = 0;
+    TimePoint t2 = 0;  ///< decode-stage start (right after demod).
+  };
+
   // `job` and `rx_result` are the calling worker's reusable buffers; all
   // kernel scratch lives in per-thread phy::DecodeWorkspace instances (the
   // stage methods route through UplinkRxProcessor::thread_workspace()), so
@@ -486,7 +556,97 @@ struct NodeRuntime::Impl {
   SubframeRecord process_job(unsigned self_id, phy::UplinkRxJob& job,
                              phy::UplinkRxResult& rx_result, const Job& j,
                              bool migrate) {
-    SubframeRecord rec;
+    return process_job_single(self_id, job, rx_result, j, migrate,
+                              phy::UplinkRxProcessor::thread_workspace());
+  }
+
+  /// One subframe end to end through an explicit workspace (the worker's
+  /// pool workspace in throughput mode, its thread-local one otherwise).
+  SubframeRecord process_job_single(unsigned self_id, phy::UplinkRxJob& job,
+                                    phy::UplinkRxResult& rx_result,
+                                    const Job& j, bool migrate,
+                                    phy::DecodeWorkspace& ws) {
+    JobProgress p;
+    if (!process_job_front(self_id, job, j, migrate, ws, p)) return p.rec;
+    if (migrate && p.dec_n > 1) {
+      run_stage_migrating(self_id, job, j, p.dec_n, p.dec_sub_est,
+                          /*is_fft=*/false, p.rec.timing);
+    } else if (config.throughput.batch > 1) {
+      // Throughput mode, shallow queue: every code block through the SoA
+      // decoder in one pass (bit-identical to the per-subtask loop — the
+      // kernel differential tests assert it).
+      rx->run_decode_batch(job, ws);
+    } else {
+      // Default latency-oriented runtime: per-block subtasks, the
+      // granularity the slack estimates, profiler spans and migration
+      // machinery are built around.
+      const std::size_t dec_n = rx->decode_subtask_count(job);
+      for (std::size_t s = 0; s < dec_n; ++s)
+        rx->run_decode_subtask(job, s, ws);
+    }
+    return process_job_back(self_id, job, rx_result, j, ws, p,
+                            /*decode_attr=*/-1);
+  }
+
+  /// Throughput mode: `drained.size()` subframes as one worker pass — each
+  /// runs FFT/demod in arrival order, then every admitted subframe's code
+  /// blocks decode in a single cross-subframe SoA batch, so blocks from
+  /// different basestations fill out lanes one subframe would leave empty.
+  /// The fused decode window is attributed to the records proportionally
+  /// to code-block count; finalize runs per subframe after the batch, so
+  /// each record's completion time is honest.
+  void process_job_batch(unsigned self_id,
+                         std::span<phy::UplinkRxJob> job_bufs,
+                         phy::UplinkRxResult& rx_result,
+                         std::span<const Job> drained,
+                         phy::DecodeWorkspace& ws,
+                         std::vector<SubframeRecord>& out) {
+    std::array<JobProgress, kMaxBatch> prog;
+    std::array<phy::UplinkRxJob*, kMaxBatch> ready{};
+    std::array<std::size_t, kMaxBatch> ready_idx{};
+    std::size_t n_ready = 0;
+    std::size_t total_blocks = 0;
+    for (std::size_t i = 0; i < drained.size(); ++i) {
+      if (process_job_front(self_id, job_bufs[i], drained[i],
+                            /*migrate=*/false, ws, prog[i])) {
+        ready[n_ready] = &job_bufs[i];
+        ready_idx[n_ready] = i;
+        ++n_ready;
+        total_blocks += prog[i].dec_n;
+      } else {
+        out.push_back(prog[i].rec);  // late or dropped: already complete
+      }
+    }
+    if (n_ready == 0) return;
+    const TimePoint b0 = clock.now();
+    rx->run_decode_batch(
+        std::span<phy::UplinkRxJob* const>(ready.data(), n_ready), ws);
+    const Duration window = clock.now() - b0;
+    if (n_ready > 1)
+      batched_subframes.fetch_add(n_ready, std::memory_order_relaxed);
+    for (std::size_t k = 0; k < n_ready; ++k) {
+      JobProgress& p = prog[ready_idx[k]];
+      const Duration attr =
+          total_blocks > 0
+              ? window * static_cast<Duration>(p.dec_n) /
+                    static_cast<Duration>(total_blocks)
+              : window;
+      out.push_back(process_job_back(self_id, *ready[k], rx_result,
+                                     drained[ready_idx[k]], ws, p, attr));
+    }
+  }
+
+  /// Pre-decode half: arrival wait, classification, slack check, FFT and
+  /// demod stages, decode_prepare and the decode StageBegin trace. Returns
+  /// true when the subframe reached the decode stage; false when it
+  /// finished early (late arrival or slack drop) — p.rec is complete then.
+  /// Non-migrating stages run out of `ws`.
+  bool process_job_front(unsigned self_id, phy::UplinkRxJob& job, const Job& j,
+                         bool migrate, phy::DecodeWorkspace& ws,
+                         JobProgress& p) {
+    p = JobProgress{};
+    SubframeRecord& rec = p.rec;
+    obs::profile::Profiler::SpanToken& sf_span = p.sf_span;
     rec.bs = j.bs;
     rec.index = j.index;
     rec.mcs = j.variant->mcs;
@@ -508,12 +668,12 @@ struct NodeRuntime::Impl {
                        .core = self_id,
                        .kind = obs::EventKind::kSubframeBegin);
     obs::profile::Profiler* const pr = prof();
-    obs::profile::Profiler::SpanToken sf_span;
     if (pr)
       sf_span = pr->begin(self_id, "subframe", obs::Stage::kNone, j.bs,
                           j.index);
 
     const std::size_t fft_n = rx->fft_subtask_count();
+    p.fft_n = fft_n;
     const std::size_t dec_n_est = phy::num_code_blocks(
         j.variant->mcs, config.phy.num_prb());
 
@@ -534,7 +694,7 @@ struct NodeRuntime::Impl {
                          .kind = obs::EventKind::kSubframeEnd);
       emit_job_spec(self_id, j, j.variant->mcs, rec, fft_n, dec_n_est);
       if (pr) pr->end(self_id, sf_span);
-      return rec;
+      return false;
     }
 
     rx->begin(job, j.variant->antenna_samples, j.variant->mcs,
@@ -598,7 +758,7 @@ struct NodeRuntime::Impl {
                              .kind = obs::EventKind::kSubframeEnd);
           emit_job_spec(self_id, j, j.variant->mcs, rec, fft_n, dec_n_est);
           if (pr) pr->end(self_id, sf_span);
-          return rec;
+          return false;
         }
       }
     }
@@ -619,7 +779,7 @@ struct NodeRuntime::Impl {
       run_stage_migrating(self_id, job, j, fft_n, fft_sub_est,
                           /*is_fft=*/true, rec.timing);
     } else {
-      for (std::size_t i = 0; i < fft_n; ++i) rx->run_fft_subtask(job, i);
+      for (std::size_t i = 0; i < fft_n; ++i) rx->run_fft_subtask(job, i, ws);
     }
     if (pr) pr->end(self_id, fft_span, static_cast<std::uint32_t>(fft_n), 0);
     TimePoint t1 = clock.now();
@@ -650,13 +810,13 @@ struct NodeRuntime::Impl {
                        .stage = obs::Stage::kDemod);
     update_estimate(demod_est_ns, rec.timing.demod);
 
-    // --- Decode ---
-    obs::profile::Profiler::SpanToken dec_span;
+    // --- Decode prelude (the stage itself runs in the caller) ---
     if (pr)
-      dec_span =
+      p.dec_span =
           pr->begin(self_id, "decode", obs::Stage::kDecode, j.bs, j.index);
-    rx->decode_prepare(job);
+    rx->decode_prepare(job, ws);
     const std::size_t dec_n = rx->decode_subtask_count(job);
+    p.dec_n = dec_n;
     // Estimate the admission logic would have used: the EWMA per-subtask
     // decode time tracks full-quality (Lm) decodes, scaled to the cap when
     // the subframe was admitted degraded. With adaptive estimation on, the
@@ -683,23 +843,34 @@ struct NodeRuntime::Impl {
                      .b = assumed_iters,
                      .core = self_id, .kind = obs::EventKind::kStageBegin,
                      .stage = obs::Stage::kDecode);
-    if (migrate && dec_n > 1) {
-      run_stage_migrating(self_id, job, j, dec_n, dec_sub_est,
-                          /*is_fft=*/false, rec.timing);
-    } else {
-      for (std::size_t i = 0; i < dec_n; ++i) rx->run_decode_subtask(job, i);
-    }
-    rx->finalize_into(job, phy::UplinkRxProcessor::thread_workspace(),
-                      rx_result);
+    p.dec_sub_est = dec_sub_est;
+    p.t2 = t2;
+    return true;
+  }
+
+  /// Post-decode half: finalize, decode timing, estimate updates, closing
+  /// traces. `decode_attr` < 0 measures the stage as (now - p.t2), exactly
+  /// the original single-subframe timing; >= 0 substitutes the caller's
+  /// attribution (throughput mode: this subframe's share of the fused
+  /// batch decode window — its own decode_prepare and finalize tails stay
+  /// outside the attributed figure).
+  SubframeRecord process_job_back(unsigned self_id, phy::UplinkRxJob& job,
+                                  phy::UplinkRxResult& rx_result,
+                                  const Job& j, phy::DecodeWorkspace& ws,
+                                  JobProgress& p, Duration decode_attr) {
+    SubframeRecord& rec = p.rec;
+    obs::profile::Profiler* const pr = prof();
+    const std::size_t dec_n = p.dec_n;
+    rx->finalize_into(job, ws, rx_result);
     if (pr)
-      pr->end(self_id, dec_span,
+      pr->end(self_id, p.dec_span,
               obs::profile::pack_decode_regressors(
                   phy::modulation_order(j.variant->mcs),
                   config.phy.num_antennas, j.variant->mcs),
               obs::profile::pack_decode_load(static_cast<unsigned>(dec_n),
                                              rx_result.iterations));
     TimePoint t3 = clock.now();
-    rec.timing.decode = t3 - t2;
+    rec.timing.decode = decode_attr >= 0 ? decode_attr : t3 - p.t2;
     RTOPEX_TRACE_EVENT(trc(), .ts = t3, .bs = j.bs, .index = j.index,
                        .core = self_id, .kind = obs::EventKind::kStageEnd,
                        .stage = obs::Stage::kDecode);
@@ -717,7 +888,7 @@ struct NodeRuntime::Impl {
     if (adaptive && job.iteration_cap == 0) {
       std::lock_guard lock(adaptive->mu);
       adaptive->est.observe_fft(rec.timing.fft /
-                                static_cast<Duration>(fft_n));
+                                static_cast<Duration>(p.fft_n));
       adaptive->est.observe_decode(
           j.bs, j.variant->mcs, rec.iterations, rec.timing.decode,
           rec.timing.decode / static_cast<Duration>(dec_n));
@@ -726,8 +897,8 @@ struct NodeRuntime::Impl {
                        .index = j.index, .a = rec.deadline_missed ? 1u : 0u,
                        .b = rec.iterations, .core = self_id,
                        .kind = obs::EventKind::kSubframeEnd);
-    emit_job_spec(self_id, j, j.variant->mcs, rec, fft_n, dec_n);
-    if (pr) pr->end(self_id, sf_span);
+    emit_job_spec(self_id, j, j.variant->mcs, rec, p.fft_n, dec_n);
+    if (pr) pr->end(self_id, p.sf_span);
     return rec;
   }
 
@@ -748,21 +919,36 @@ struct NodeRuntime::Impl {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 
-  // Worker body for partitioned/global modes: block on the queue.
+  // Worker body for partitioned/global modes: block on the queue. With
+  // throughput batching on, drain up to `batch` already-queued jobs per
+  // pass and fuse their decode stages into one cross-subframe SoA batch.
+  // Draining is opportunistic — it never waits for the queue to fill — so
+  // an underloaded node degenerates to batch-of-1 and pays no added
+  // latency.
   void blocking_worker(unsigned id) {
-    if (config.pin_threads) pin_current_thread(id % hardware_core_count());
+    if (should_pin()) pin_current_thread(worker_pin_core(id));
     if (config.try_fifo_priority) set_current_thread_fifo(50);
     set_current_thread_name("rtopex-w" + std::to_string(id));
     const bool global = config.mode == RuntimeMode::kGlobal;
+    const std::size_t batch = std::min<std::size_t>(
+        std::max(1u, config.throughput.batch), kMaxBatch);
     WorkerState& self = *workers[id];
-    phy::UplinkRxJob job = rx->make_job();
+    std::vector<phy::UplinkRxJob> job_bufs;
+    job_bufs.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b) job_bufs.push_back(rx->make_job());
     phy::UplinkRxResult rx_result;
+    phy::DecodeWorkspace& ws =
+        pool ? pool->workspace(id)
+             : phy::UplinkRxProcessor::thread_workspace();
+    std::vector<Job> drained;
+    drained.reserve(batch);
+    workers_ready.fetch_add(1, std::memory_order_release);
     auto& mu = global ? global_mu : self.mu;
     auto& cv = global ? global_cv : self.cv;
     auto& queue = global ? global_queue : self.queue;
     for (;;) {
       if (should_die(id)) return park(id);
-      Job j;
+      drained.clear();
       {
         std::unique_lock lock(mu);
         // Wake at least once per watchdog period so the kill switch is
@@ -775,24 +961,40 @@ struct NodeRuntime::Impl {
           if (!running.load()) return;
           continue;
         }
-        j = queue.front();
-        queue.pop_front();
+        while (!queue.empty() && drained.size() < batch) {
+          // Fuse only subframes whose IQ data has already arrived: the
+          // ticker enqueues ahead of the modeled arrival, and batching a
+          // future delivery would make this pass sleep on it mid-batch
+          // while peers sit idle. The first job is taken unconditionally
+          // (the batch-of-1 path waits on it exactly like the default).
+          if (!drained.empty() && queue.front().arrival > clock.now()) break;
+          drained.push_back(queue.front());
+          queue.pop_front();
+        }
       }
-      self.heartbeat.fetch_add(1, std::memory_order_relaxed);
-      self.records.push_back(
-          process_job(id, job, rx_result, j, /*migrate=*/false));
-      if (!global) self.pending.fetch_sub(1, std::memory_order_acq_rel);
+      self.heartbeat.fetch_add(drained.size(), std::memory_order_relaxed);
+      if (drained.size() == 1) {
+        self.records.push_back(process_job_single(
+            id, job_bufs[0], rx_result, drained[0], /*migrate=*/false, ws));
+      } else {
+        process_job_batch(id, job_bufs, rx_result, drained, ws,
+                          self.records);
+      }
+      if (!global)
+        self.pending.fetch_sub(static_cast<int>(drained.size()),
+                               std::memory_order_acq_rel);
     }
   }
 
   // Worker body for RT-OPEX: poll own queue and the migration mailbox.
   void rtopex_worker(unsigned id) {
-    if (config.pin_threads) pin_current_thread(id % hardware_core_count());
+    if (should_pin()) pin_current_thread(worker_pin_core(id));
     if (config.try_fifo_priority) set_current_thread_fifo(50);
     set_current_thread_name("rtopex-w" + std::to_string(id));
     WorkerState& self = *workers[id];
     phy::UplinkRxJob job = rx->make_job();
     phy::UplinkRxResult rx_result;
+    workers_ready.fetch_add(1, std::memory_order_release);
     for (;;) {
       if (should_die(id)) return park(id);
       self.heartbeat.fetch_add(1, std::memory_order_relaxed);
@@ -1035,6 +1237,9 @@ struct NodeRuntime::Impl {
     reg.add_counter("rtopex_runtime_flag_timeouts_total",
                     "Completion-flag waits that expired.",
                     static_cast<double>(flag_timeouts.load()));
+    reg.add_counter("rtopex_runtime_batched_subframes_total",
+                    "Subframes decoded in a cross-subframe batch.",
+                    static_cast<double>(batched_subframes.load()));
     reg.add_counter("rtopex_runtime_failovers_total",
                     "Workers declared dead by the watchdog.",
                     static_cast<double>(res_failovers));
@@ -1101,10 +1306,43 @@ NodeRuntime::NodeRuntime(const RuntimeConfig& config) {
   if (res.completion_flag_timeout < 0)
     throw std::invalid_argument(
         "NodeRuntime: negative completion_flag_timeout");
+  const ThroughputConfig& tp = config.throughput;
+  if (tp.batch == 0)
+    throw std::invalid_argument("NodeRuntime: throughput.batch must be >= 1");
+  if (tp.batch > 16)
+    throw std::invalid_argument(
+        "NodeRuntime: throughput.batch exceeds the cross-subframe decode "
+        "limit (16)");
+  if (tp.batch > 1 && config.mode == RuntimeMode::kRtOpex)
+    throw std::invalid_argument(
+        "NodeRuntime: batching requires partitioned or global mode "
+        "(RT-OPEX migrates decode per-subtask)");
+  // An explicit pin set must cover every worker — a short list would
+  // silently double up workers on shared cores, which defeats isolation.
+  if (!tp.worker_cores.empty() &&
+      tp.worker_cores.size() < Impl::worker_count(config))
+    throw std::invalid_argument(
+        "NodeRuntime: worker_cores must list at least one core per worker");
   // Fronthaul fault params are validated by the model's own constructor
   // (inside Impl); anything invalid throws std::invalid_argument there.
   if (config.health.enabled) config.health.validate();
   impl_ = std::make_unique<Impl>(config);
+  // Throughput-mode pool setup happens here, at construction: the pre-warm
+  // (a full dummy decode per worker workspace, from a node-pinned helper
+  // thread) is expensive, and callers timing run() should see schedule
+  // execution only, not setup.
+  if (config.throughput.numa_pools) {
+    Impl& im = *impl_;
+    const unsigned n_workers = Impl::worker_count(config);
+    im.numa_topo = detect_numa_topology();
+    std::vector<unsigned> worker_cpus;
+    if (im.should_pin())
+      for (unsigned i = 0; i < n_workers; ++i)
+        worker_cpus.push_back(im.worker_pin_core(i));
+    im.pool = std::make_unique<WorkspacePool>(
+        im.numa_topo, worker_cpus, n_workers,
+        [&im](phy::DecodeWorkspace& ws) { im.prewarm_workspace(ws); });
+  }
 }
 
 NodeRuntime::~NodeRuntime() = default;
@@ -1113,13 +1351,13 @@ RuntimeReport NodeRuntime::run() {
   Impl& im = *impl_;
   const RuntimeConfig& cfg = im.config;
 
-  // Start the schedule now, not at construction: variant pre-generation in
-  // the Impl constructor can take long enough (notably under sanitizers)
-  // to push the first subframes past their deadlines otherwise.
-  im.clock.reset();
+  const unsigned n_workers = Impl::worker_count(cfg);
+  // Dedicated ticker core (FlexRAN-style timing isolation): the calling
+  // thread is the ticker, so pin it here. Best effort, like all affinity.
+  if (cfg.throughput.ticker_core >= 0)
+    pin_current_thread(static_cast<unsigned>(cfg.throughput.ticker_core));
 
   std::vector<std::thread> threads;
-  const unsigned n_workers = Impl::worker_count(cfg);
   threads.reserve(n_workers);
   for (unsigned i = 0; i < n_workers; ++i) {
     if (cfg.mode == RuntimeMode::kRtOpex)
@@ -1127,6 +1365,16 @@ RuntimeReport NodeRuntime::run() {
     else
       threads.emplace_back([&im, i] { im.blocking_worker(i); });
   }
+
+  // Start the schedule only once every worker has finished its per-thread
+  // setup (and not at construction: variant pre-generation in the Impl
+  // constructor can take long enough, notably under sanitizers, to push the
+  // first subframes past their deadlines). Batch mode allocates `batch` job
+  // buffers per worker — >10 ms of page faults on some hosts — and the
+  // first subframes should not pay for that either.
+  while (im.workers_ready.load(std::memory_order_acquire) < n_workers)
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  im.clock.reset();
 
   // Transport ticker: one tick per subframe period, all basestations.
   // The fronthaul fault stream is independent of the payload RNG so that
@@ -1270,6 +1518,7 @@ RuntimeReport NodeRuntime::run() {
   res.flag_timeouts = im.flag_timeouts.load();
   report.migrations = im.migrations.load();
   report.recoveries = im.recoveries.load();
+  report.batched_subframes = im.batched_subframes.load();
   // Workers have joined: one final drain picks up everything they emitted
   // after the ticker's last pass, then the health monitor finishes (its
   // trailing clear events land in the store through one more collect).
@@ -1318,6 +1567,9 @@ void fill_registry(const RuntimeReport& report,
   registry.add_counter("rtopex_runtime_recoveries_total",
                        "Migrated subtasks re-executed locally.",
                        static_cast<double>(report.recoveries));
+  registry.add_counter("rtopex_runtime_batched_subframes_total",
+                       "Subframes decoded in a cross-subframe batch.",
+                       static_cast<double>(report.batched_subframes));
   const ResilienceMetrics& res = report.resilience;
   registry.add_counter("rtopex_runtime_failovers_total",
                        "Workers declared dead by the watchdog.",

@@ -62,6 +62,41 @@ struct ResilienceConfig {
   transport::FronthaulFaultParams fronthaul_faults;
 };
 
+/// Throughput-mode knobs (FlexRAN-style batched operation). Defaults keep
+/// the original latency-oriented behaviour bit-for-bit.
+///
+/// Batching applies to the blocking runtimes (partitioned/global): a worker
+/// opportunistically drains up to `batch` already-queued subframes per
+/// pass, runs each through FFT/demod, then decodes all their code blocks in
+/// one cross-subframe SoA batch (UplinkRxProcessor::run_decode_batch) so
+/// blocks from different basestations fill out SIMD lanes a single
+/// subframe would leave empty. Draining never waits for more jobs, so an
+/// underloaded node degenerates to batch-of-1 and adds no latency. RT-OPEX
+/// mode rejects batch > 1: its migration protocol claims decode subtasks
+/// per-block across cores, which is exactly the granularity batching fuses
+/// away.
+struct ThroughputConfig {
+  /// Max subframes decoded per worker pass (1 = off; capped at 16 by the
+  /// cross-subframe batch decoder).
+  unsigned batch = 1;
+  /// Pin workers to explicit cores (FlexRAN-style core isolation) even when
+  /// `pin_threads` is off. Best effort, like all affinity here.
+  bool pin_workers = false;
+  /// Dedicated ticker core: the thread calling run() pins itself here
+  /// before starting the schedule (-1 = leave it unpinned).
+  int ticker_core = -1;
+  /// Explicit worker pin set: worker i runs on worker_cores[i]. Empty
+  /// falls back to the legacy id-modulo-cores placement. When non-empty it
+  /// must list at least one core per worker (validated).
+  std::vector<unsigned> worker_cores;
+  /// Pre-warm one DecodeWorkspace per worker from a thread pinned to the
+  /// worker's NUMA node (first-touch locality) before the schedule starts;
+  /// workers then decode out of their pool workspace instead of growing
+  /// the thread-local one mid-run. Single-node hosts still get the
+  /// pre-warm, just without a locality distinction.
+  bool numa_pools = false;
+};
+
 /// Validated by the NodeRuntime constructor: at least one basestation,
 /// subframe and worker core; a non-empty `mcs_cycle` of valid MCS indices;
 /// positive period and budget; and `rtt_half` in [0, deadline_budget) —
@@ -106,6 +141,8 @@ struct RuntimeConfig {
   std::uint64_t seed = 1;
 
   ResilienceConfig resilience;
+
+  ThroughputConfig throughput;
 
   /// Tracing. When enabled, each worker thread emits TraceEvents onto its
   /// own SPSC track; the transport ticker owns a dedicated extra track
@@ -173,6 +210,9 @@ struct RuntimeReport {
   std::size_t crc_failures = 0;  ///< decode failures among processed subframes.
   std::size_t migrations = 0;  ///< migrated subtasks (fft + decode).
   std::size_t recoveries = 0;
+  /// Subframes whose decode ran inside a cross-subframe batch of >= 2
+  /// (throughput mode only; zero whenever ThroughputConfig::batch <= 1).
+  std::size_t batched_subframes = 0;
   ResilienceMetrics resilience;
   /// Drained trace events (empty unless RuntimeConfig::trace.enabled).
   obs::TraceStore trace;

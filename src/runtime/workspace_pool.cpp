@@ -1,0 +1,45 @@
+#include "runtime/workspace_pool.hpp"
+
+#include <thread>
+
+#include "common/thread_utils.hpp"
+
+namespace rtopex::runtime {
+
+WorkspacePool::WorkspacePool(
+    const NumaTopology& topo, std::span<const unsigned> worker_cpus,
+    std::size_t num_workers,
+    const std::function<void(phy::DecodeWorkspace&)>& prewarm) {
+  per_worker_.reserve(num_workers);
+  node_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    per_worker_.push_back(std::make_unique<phy::DecodeWorkspace>());
+    const unsigned cpu =
+        worker_cpus.empty()
+            ? 0u
+            : worker_cpus[i % worker_cpus.size()];
+    node_.push_back(worker_cpus.empty() ? 0u : numa_node_of(topo, cpu));
+  }
+  if (!prewarm) return;
+
+  // One warming thread per node that owns workspaces: pin it to the node's
+  // first CPU so first-touch lands the pages locally, then grow every
+  // workspace of that node. A denied pin just warms from wherever the
+  // thread happens to run — correct, merely not node-local.
+  std::vector<std::thread> warmers;
+  for (std::size_t n = 0; n < topo.num_nodes(); ++n) {
+    bool owns = false;
+    for (std::size_t i = 0; i < node_.size(); ++i)
+      if (node_[i] == n) owns = true;
+    if (!owns) continue;
+    warmers.emplace_back([this, &topo, &prewarm, n] {
+      if (!topo.node_cpus[n].empty())
+        pin_current_thread(topo.node_cpus[n].front());
+      for (std::size_t i = 0; i < node_.size(); ++i)
+        if (node_[i] == n) prewarm(*per_worker_[i]);
+    });
+  }
+  for (std::thread& t : warmers) t.join();
+}
+
+}  // namespace rtopex::runtime

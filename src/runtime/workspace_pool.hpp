@@ -1,0 +1,52 @@
+// Per-NUMA-node DecodeWorkspace pool for throughput mode.
+//
+// A DecodeWorkspace grows lazily on first use, so whichever thread first
+// touches its buffers determines which NUMA node backs the pages
+// (first-touch policy). The default per-thread workspaces are therefore
+// already node-local once a worker is pinned — but only after the first
+// subframe has paid the growth allocations inside the real-time path. The
+// pool moves that cost to setup: it constructs one workspace per worker and
+// pre-warms each from a helper thread pinned to the worker's NUMA node, so
+// workers start with fully grown, node-local scratch and the steady state
+// allocates nothing.
+//
+// On single-node hosts (or when pinning is denied) the pool degrades to a
+// plain pre-warmed per-worker workspace set — still useful, just without
+// the locality guarantee.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "phy/workspace.hpp"
+#include "runtime/affinity.hpp"
+
+namespace rtopex::runtime {
+
+class WorkspacePool {
+ public:
+  /// Builds `num_workers` workspaces. `worker_cpus[i]` is the CPU worker i
+  /// will run pinned to, used only to group workspaces by NUMA node; an
+  /// empty span assigns every workspace to node 0. `prewarm` runs once per
+  /// workspace, from a thread pinned (best-effort) to the workspace's node
+  /// — typically a full dummy-subframe decode that grows every buffer to
+  /// its worst-case size.
+  WorkspacePool(const NumaTopology& topo,
+                std::span<const unsigned> worker_cpus,
+                std::size_t num_workers,
+                const std::function<void(phy::DecodeWorkspace&)>& prewarm);
+
+  phy::DecodeWorkspace& workspace(std::size_t worker_id) {
+    return *per_worker_[worker_id];
+  }
+  unsigned node_of(std::size_t worker_id) const { return node_[worker_id]; }
+  std::size_t size() const { return per_worker_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<phy::DecodeWorkspace>> per_worker_;
+  std::vector<unsigned> node_;
+};
+
+}  // namespace rtopex::runtime

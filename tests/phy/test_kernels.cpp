@@ -264,6 +264,105 @@ TEST(TurboKernelDifferentialTest, FreeRunningAndCappedMatchReference) {
   }
 }
 
+// --- Batched SoA turbo decoder ---------------------------------------------
+
+/// Per-lane reference decode + comparison harness: decodes `lanes_n`
+/// distinct codewords scalar (decode_reference), then batched, and demands
+/// exact agreement on bits, iteration counts and early-termination flags.
+void check_batch_against_scalar(std::size_t k, std::size_t lanes_n,
+                                unsigned lm, unsigned cap, bool with_crc,
+                                std::uint64_t seed_base,
+                                std::span<const double> snrs,
+                                DecodeWorkspace& ws) {
+  const QppInterleaver qpp(k);
+  const TurboEncoder enc(qpp);
+  const TurboDecoder dec(qpp, lm);
+  const auto crc = [](std::span<const std::uint8_t> b) {
+    return check_crc24(b, CrcKind::kB);
+  };
+
+  std::vector<LlrVector> sys(lanes_n), p1(lanes_n), p2(lanes_n);
+  std::vector<TurboDecodeResult> ref(lanes_n);
+  std::vector<TurboBatchLane> lanes(lanes_n);
+  for (std::size_t b = 0; b < lanes_n; ++b) {
+    Rng rng(seed_base + b);
+    BitVector payload = random_bits(k - 24, seed_base * 31 + b);
+    attach_crc24(payload, CrcKind::kB);
+    const auto cw = enc.encode(payload);
+    const double snr = snrs[b % snrs.size()];
+    sys[b] = noisy_llrs(cw.systematic, snr, rng);
+    p1[b] = noisy_llrs(cw.parity1, snr, rng);
+    p2[b] = noisy_llrs(cw.parity2, snr, rng);
+    ref[b] = dec.decode_reference(
+        sys[b], p1[b], p2[b],
+        with_crc ? std::function<bool(std::span<const std::uint8_t>)>(crc)
+                 : std::function<bool(std::span<const std::uint8_t>)>{},
+        cap);
+    lanes[b] = {sys[b], p1[b], p2[b]};
+  }
+
+  dec.decode_batch_into(
+      lanes, ws,
+      with_crc ? std::function<bool(std::size_t,
+                                    std::span<const std::uint8_t>)>(
+                     [&](std::size_t, std::span<const std::uint8_t> bits) {
+                       return check_crc24(bits, CrcKind::kB);
+                     })
+               : std::function<bool(std::size_t,
+                                    std::span<const std::uint8_t>)>{},
+      cap);
+
+  for (std::size_t b = 0; b < lanes_n; ++b) {
+    ASSERT_GE(ws.bat_bits.size(), (b + 1) * k);
+    EXPECT_TRUE(std::equal(ref[b].bits.begin(), ref[b].bits.end(),
+                           ws.bat_bits.begin() +
+                               static_cast<std::ptrdiff_t>(b * k)))
+        << "K=" << k << " lanes=" << lanes_n << " lane=" << b;
+    EXPECT_EQ(ws.bat_iterations[b], ref[b].iterations)
+        << "K=" << k << " lanes=" << lanes_n << " lane=" << b;
+    EXPECT_EQ(ws.bat_early_terminated[b], ref[b].early_terminated)
+        << "K=" << k << " lanes=" << lanes_n << " lane=" << b;
+  }
+}
+
+// Every batch width 1..kTurboBatchLanes (ragged tails included) with mixed
+// per-lane noise — some lanes early-terminate on the first iteration while
+// undecodable neighbours run to Lm — must reproduce the scalar reference
+// lane for lane. The workspace is shared across widths (wide before
+// narrow) to prove stale grow-only rows never leak between batches.
+TEST(TurboBatchDifferentialTest, AllBatchWidthsMatchScalarExactly) {
+  const double snrs[] = {6.0, -1.0, 2.0, -4.0, 8.0, 0.0, -2.5, 4.0};
+  DecodeWorkspace ws;
+  for (std::size_t lanes_n = kTurboBatchLanes; lanes_n >= 1; --lanes_n)
+    check_batch_against_scalar(1024, lanes_n, /*lm=*/6, /*cap=*/0,
+                               /*with_crc=*/true, 900 + 17 * lanes_n, snrs,
+                               ws);
+}
+
+// Block sizes spanning the MCS classes (tiny blocks to the 6144 maximum),
+// free-running and iteration-capped (degraded mode), full batches.
+TEST(TurboBatchDifferentialTest, BlockSizesAndCapsMatchScalarExactly) {
+  const double snrs[] = {4.0, -2.0, 1.0, -5.0, 7.0, 0.5, -1.5, 3.0};
+  DecodeWorkspace ws;
+  for (const std::size_t k : {40u, 104u, 512u, 2048u, 6144u}) {
+    check_batch_against_scalar(k, kTurboBatchLanes, /*lm=*/4, /*cap=*/0,
+                               /*with_crc=*/false, 1200 + k, snrs, ws);
+    check_batch_against_scalar(k, kTurboBatchLanes, /*lm=*/4, /*cap=*/2,
+                               /*with_crc=*/false, 1300 + k, snrs, ws);
+  }
+}
+
+// CRC-gated batches at every block size: per-lane early termination must
+// freeze exactly the lanes whose scalar counterparts terminate, at the
+// same iteration, while the rest keep refining.
+TEST(TurboBatchDifferentialTest, CrcGatedBlockSizesMatchScalarExactly) {
+  const double snrs[] = {8.0, -4.0, 6.0, -1.0, 4.0, 2.0, 0.0, -2.5};
+  DecodeWorkspace ws;
+  for (const std::size_t k : {104u, 512u, 6144u})
+    check_batch_against_scalar(k, kTurboBatchLanes, /*lm=*/6, /*cap=*/0,
+                               /*with_crc=*/true, 1400 + k, snrs, ws);
+}
+
 // --- Demapper --------------------------------------------------------------
 
 TEST(DemodKernelDifferentialTest, UnrolledMatchesReferenceExactly) {
@@ -286,6 +385,34 @@ TEST(DemodKernelDifferentialTest, UnrolledMatchesReferenceExactly) {
     LlrVector into(n * order);
     demodulate_into(symbols, noise, order, into);
     EXPECT_EQ(into, ref) << "order " << order;
+  }
+}
+
+// The vectorized demapper processes a fixed block of symbols per pass and
+// hands the ragged tail to the scalar kernel; every (order, length) pair
+// must match the axis-decomposed reference bit for bit. Lengths cover all
+// tail residues of both the AVX2 (8-symbol) and NEON (4-symbol) blocks,
+// plus the pure-tail lengths below one block.
+TEST(DemodKernelDifferentialTest, SimdBlocksAndRaggedTailsMatchReference) {
+  const std::size_t lengths[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 15, 16, 17,
+                                 31, 32, 33, 100, 601};
+  for (const unsigned order : {2u, 4u, 6u}) {
+    for (const std::size_t n : lengths) {
+      const IqVector symbols = random_iq(n, 4300 + 100 * order + n);
+      Rng rng(4400 + n);
+      std::vector<float> noise(n);
+      for (auto& v : noise)
+        v = static_cast<float>(std::abs(rng.normal(0.05, 0.02)));
+      if (n > 2) noise[2] = 0.0f;  // clamp path inside a SIMD block.
+
+      const LlrVector ref = demodulate_reference(symbols, noise, order);
+      LlrVector into(n * order);
+      demodulate_into(symbols, noise, order, into);
+      ASSERT_EQ(into.size(), ref.size());
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_EQ(into[i], ref[i])
+            << "order " << order << " n " << n << " llr " << i;
+    }
   }
 }
 
@@ -338,6 +465,44 @@ TEST(ScramblerKernelDifferentialTest, CachedMatchesUncachedAcrossKeyChanges) {
     EXPECT_EQ(llrs, expected) << "c_init=" << step.c_init
                               << " len=" << step.len;
   }
+}
+
+// Bounded-memory regression: hammer the cache with far more distinct
+// c_init values than it has slots. Retained bytes must stay capped at
+// kEntries sequences of the longest requested length — the pre-LRU
+// grow-only map would retain one sequence per distinct key and fail this.
+TEST(ScramblerKernelDifferentialTest, CacheMemoryStaysBoundedUnderManyKeys) {
+  DecodeWorkspace ws;
+  const std::size_t len = 256;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    const std::uint32_t c_init = scrambling_init(
+        static_cast<std::uint16_t>(i & 0xffff), i % 10,
+        static_cast<std::uint16_t>(i / 10));
+    Rng rng(7000 + i);
+    LlrVector llrs(len);
+    for (auto& v : llrs) v = static_cast<float>(rng.normal());
+    LlrVector expected = llrs;
+    descramble_llrs(expected, c_init);
+    descramble_llrs_cached(llrs, c_init, ws);
+    ASSERT_EQ(llrs, expected) << "c_init=" << c_init;
+  }
+  EXPECT_LE(ws.scramble.retained_bytes(),
+            ScrambleCache::kEntries * 2 * len);
+
+  // A worker's steady state — one basestation's 10-value rotation — stays
+  // fully resident: after one warm lap, every further lap hits (clock
+  // advances exactly once per call, never regenerates).
+  std::array<std::uint32_t, 10> rotation;
+  for (std::uint32_t s = 0; s < 10; ++s)
+    rotation[s] = scrambling_init(0x003D, s, 7);
+  LlrVector llrs(len, 1.0f);
+  for (const std::uint32_t c : rotation)
+    descramble_llrs_cached(llrs, c, ws);  // warm lap
+  const std::size_t retained = ws.scramble.retained_bytes();
+  for (unsigned lap = 0; lap < 3; ++lap)
+    for (const std::uint32_t c : rotation)
+      descramble_llrs_cached(llrs, c, ws);
+  EXPECT_EQ(ws.scramble.retained_bytes(), retained);
 }
 
 // --- OFDM ------------------------------------------------------------------

@@ -8,15 +8,20 @@
 // gtest's own bookkeeping never pollutes the count.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
+#include <mutex>
 #include <new>
+#include <thread>
 
 #include "common/rng.hpp"
 #include "obs/profile/profile.hpp"
 #include "phy/turbo.hpp"
 #include "phy/uplink_rx.hpp"
 #include "phy/uplink_tx.hpp"
+#include "runtime/workspace_pool.hpp"
 
 namespace {
 
@@ -186,6 +191,137 @@ TEST(ZeroAllocTest, ThreadWorkspaceOverloadsAreAllocationFreeWhenWarm) {
   EXPECT_EQ(allocs, 0u);
   EXPECT_TRUE(result.crc_ok);
   EXPECT_EQ(result.payload, sf.payload);
+}
+
+// The throughput-mode batched path as a batched NodeRuntime worker drives
+// it: two persistent workers, each draining two subframes per pass (begin /
+// FFT / demod / decode_prepare per job, then one cross-subframe
+// run_decode_batch over both jobs) out of a pre-warmed WorkspacePool
+// workspace. Thread spawning, pool construction/pre-warm and the first
+// (growth) lap are setup; every later pass must leave the heap untouched on
+// both threads — the counting operator new is global, so worker-thread
+// allocations count too.
+TEST(ZeroAllocTest, BatchedDecodeAcrossWorkersIsAllocationFreeWhenWarm) {
+  namespace rt = rtopex::runtime;
+  UplinkConfig cfg;
+  cfg.num_antennas = 2;
+  const unsigned mcs = 27;
+  const UplinkTransmitter tx(cfg);
+  const UplinkRxProcessor rx(cfg);
+
+  // Four noiseless subframes at distinct subframe indices; worker w owns
+  // subframes {2w, 2w+1}.
+  constexpr std::size_t kWorkers = 2;
+  constexpr std::size_t kPerWorker = 2;
+  std::vector<TxSubframe> sent;
+  std::vector<std::vector<IqVector>> antenna_sets;
+  for (std::uint32_t i = 0; i < kWorkers * kPerWorker; ++i) {
+    sent.push_back(tx.transmit(mcs, i + 1, 500 + i));
+    antenna_sets.push_back(
+        std::vector<IqVector>(cfg.num_antennas, sent.back().samples));
+  }
+
+  // Pool pre-warm (setup): a full dummy-subframe decode grows the
+  // single-subframe buffers; the first worker lap below grows the
+  // cross-subframe batch scratch to its two-job size.
+  const rt::NumaTopology topo = rt::detect_numa_topology();
+  const auto prewarm = [&](DecodeWorkspace& ws) {
+    auto job = rx.make_job();
+    UplinkRxResult r;
+    rx.begin(job, antenna_sets[0], mcs, 1);
+    for (std::size_t s = 0; s < rx.fft_subtask_count(); ++s)
+      rx.run_fft_subtask(job, s, ws);
+    rx.demod_prepare(job);
+    for (std::size_t s = 0; s < rx.demod_subtask_count(); ++s)
+      rx.run_demod_subtask(job, s);
+    rx.decode_prepare(job, ws);
+    rx.run_decode_batch(job, ws);
+    rx.finalize_into(job, ws, r);
+  };
+  rt::WorkspacePool pool(topo, {}, kWorkers, prewarm);
+
+  // Per-worker jobs/results built before the threads spawn (setup).
+  std::vector<std::vector<UplinkRxJob>> jobs(kWorkers);
+  std::vector<std::vector<UplinkRxResult>> results(kWorkers);
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    for (std::size_t j = 0; j < kPerWorker; ++j) jobs[w].push_back(rx.make_job());
+    results[w].resize(kPerWorker);
+  }
+  std::atomic<unsigned> crc_failures{0};
+
+  const auto run_pass = [&](std::size_t w) {
+    DecodeWorkspace& ws = pool.workspace(w);
+    std::array<UplinkRxJob*, kPerWorker> batch{};
+    for (std::size_t j = 0; j < kPerWorker; ++j) {
+      UplinkRxJob& job = jobs[w][j];
+      const std::size_t i = w * kPerWorker + j;
+      rx.begin(job, antenna_sets[i], mcs,
+               static_cast<std::uint32_t>(i + 1));
+      for (std::size_t s = 0; s < rx.fft_subtask_count(); ++s)
+        rx.run_fft_subtask(job, s, ws);
+      rx.demod_prepare(job);
+      for (std::size_t s = 0; s < rx.demod_subtask_count(); ++s)
+        rx.run_demod_subtask(job, s);
+      rx.decode_prepare(job, ws);
+      batch[j] = &job;
+    }
+    rx.run_decode_batch(std::span<UplinkRxJob* const>(batch), ws);
+    for (std::size_t j = 0; j < kPerWorker; ++j) {
+      rx.finalize_into(*batch[j], ws, results[w][j]);
+      if (!results[w][j].crc_ok)
+        crc_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  // Persistent workers driven by a generation gate (spawning a std::thread
+  // allocates, so both outlive the counted region).
+  std::mutex m;
+  std::condition_variable cv;
+  int pass = 0, done = 0;
+  bool quit = false;
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      int seen = 0;
+      for (;;) {
+        std::unique_lock<std::mutex> lk(m);
+        cv.wait(lk, [&] { return quit || pass != seen; });
+        if (quit) return;
+        seen = pass;
+        lk.unlock();
+        run_pass(w);
+        lk.lock();
+        ++done;
+        cv.notify_all();
+      }
+    });
+  }
+  const auto run_all = [&] {
+    std::unique_lock<std::mutex> lk(m);
+    done = 0;
+    ++pass;
+    cv.notify_all();
+    cv.wait(lk, [&] { return done == static_cast<int>(kWorkers); });
+  };
+
+  run_all();  // warm lap: batch scratch reaches its two-job high-water mark.
+  ASSERT_EQ(crc_failures.load(), 0u) << "noiseless warm-up lap failed CRC";
+
+  const std::size_t allocs = count_allocations([&] {
+    for (int rep = 0; rep < 3; ++rep) run_all();
+  });
+  {
+    std::lock_guard<std::mutex> lk(m);
+    quit = true;
+    cv.notify_all();
+  }
+  for (auto& t : workers) t.join();
+
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(crc_failures.load(), 0u);
+  for (std::size_t w = 0; w < kWorkers; ++w)
+    for (std::size_t j = 0; j < kPerWorker; ++j)
+      EXPECT_EQ(results[w][j].payload, sent[w * kPerWorker + j].payload);
 }
 
 // The profiling layer rides on the same hot path, so its steady state must

@@ -109,6 +109,69 @@ TEST(NodeRuntimeTest, EnforcementOffOnlyRecordsMisses) {
   EXPECT_EQ(report.crc_failures, 0u);  // everything still decodes
 }
 
+TEST(NodeRuntimeTest, ThroughputBatchedDecodesEverything) {
+  // Saturating arrival (period far below this host's decode time) with
+  // enforcement off: jobs queue up, so batched workers drain several per
+  // pass and fuse their code blocks into cross-subframe SoA batches. The
+  // conservation/CRC contract must hold exactly as in latency mode.
+  for (const auto mode : {RuntimeMode::kGlobal, RuntimeMode::kPartitioned}) {
+    auto cfg = small_config(mode);
+    cfg.subframe_period = microseconds(200);
+    cfg.deadline_budget = milliseconds(2);
+    cfg.rtt_half = microseconds(50);
+    cfg.enforce_deadlines = false;
+    cfg.subframes_per_bs = 6;
+    cfg.throughput.batch = 8;
+    cfg.throughput.numa_pools = true;
+    NodeRuntime runtime(cfg);
+    const auto report = runtime.run();
+    check_complete(report, cfg);
+    // Every record that claims batching is accounted; with arrivals this
+    // far ahead of service, at least some passes must have fused >= 2
+    // subframes (the queues are necessarily non-empty after the first
+    // decode completes).
+    EXPECT_GT(report.batched_subframes, 0u)
+        << "mode " << static_cast<int>(mode);
+    EXPECT_LE(report.batched_subframes, report.records.size());
+  }
+}
+
+TEST(NodeRuntimeTest, ThroughputBatchOfOneMatchesDefaultContract) {
+  // batch=1 (the default) plus pools/pinning knobs must behave exactly like
+  // the plain runtime: everything decodes, nothing reports as batched.
+  auto cfg = small_config(RuntimeMode::kGlobal);
+  cfg.throughput.batch = 1;
+  cfg.throughput.numa_pools = true;
+  cfg.throughput.pin_workers = true;  // best-effort; may silently no-op
+  NodeRuntime runtime(cfg);
+  const auto report = runtime.run();
+  check_complete(report, cfg);
+  EXPECT_EQ(report.batched_subframes, 0u);
+}
+
+TEST(NodeRuntimeTest, RejectsBadThroughputConfig) {
+  // batch = 0 would make workers drain nothing and spin forever.
+  auto cfg = small_config(RuntimeMode::kGlobal);
+  cfg.throughput.batch = 0;
+  EXPECT_THROW(NodeRuntime{cfg}, std::invalid_argument);
+  // Above the cross-subframe decoder's hard cap.
+  cfg = small_config(RuntimeMode::kGlobal);
+  cfg.throughput.batch = 17;
+  EXPECT_THROW(NodeRuntime{cfg}, std::invalid_argument);
+  // RT-OPEX migrates decode per-subtask — the granularity batching fuses
+  // away — so batching is rejected there rather than silently ignored.
+  cfg = small_config(RuntimeMode::kRtOpex);
+  cfg.throughput.batch = 2;
+  EXPECT_THROW(NodeRuntime{cfg}, std::invalid_argument);
+  cfg = small_config(RuntimeMode::kRtOpex);
+  cfg.throughput.batch = 1;  // explicit batch-of-1 stays allowed
+  EXPECT_NO_THROW(NodeRuntime{cfg});
+  // An explicit pin set must cover every worker.
+  cfg = small_config(RuntimeMode::kGlobal);  // global_cores = 4
+  cfg.throughput.worker_cores = {0, 1};
+  EXPECT_THROW(NodeRuntime{cfg}, std::invalid_argument);
+}
+
 TEST(NodeRuntimeTest, RejectsEmptyConfig) {
   RuntimeConfig cfg = small_config(RuntimeMode::kPartitioned);
   cfg.mcs_cycle.clear();

@@ -1,10 +1,14 @@
 // Unit tests of the real-thread runtime's building blocks: the migration
-// mailbox protocol, the packed CPU-state table, and the global clock.
+// mailbox protocol, the packed CPU-state table, the global clock, and the
+// throughput-mode affinity helpers (cpulist parsing, NUMA discovery).
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <thread>
+#include <vector>
 
+#include "common/thread_utils.hpp"
+#include "runtime/affinity.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/cpu_state_table.hpp"
 #include "runtime/mailbox.hpp"
@@ -115,6 +119,40 @@ TEST(CpuStateTableTest, MicrosecondQuantization) {
   EXPECT_EQ(table.get(0).horizon, microseconds(1500));
   table.set(0, CoreActivity::kIdle, -5);  // negative clamps to 0
   EXPECT_EQ(table.get(0).horizon, 0);
+}
+
+TEST(AffinityTest, ParsesCpulistRangesAndSingles) {
+  EXPECT_EQ(parse_cpulist("0-3,8,10-11"),
+            (std::vector<unsigned>{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(parse_cpulist("5"), (std::vector<unsigned>{5}));
+  EXPECT_EQ(parse_cpulist(" 2 , 0-1 \n"), (std::vector<unsigned>{0, 1, 2}));
+  EXPECT_EQ(parse_cpulist("1,1-2,2"), (std::vector<unsigned>{1, 2}));  // dedup
+  EXPECT_TRUE(parse_cpulist("").empty());
+  EXPECT_TRUE(parse_cpulist("   \n").empty());
+}
+
+TEST(AffinityTest, SkipsMalformedCpulistFragments) {
+  // Advisory parse: bad fragments drop out instead of throwing, the valid
+  // remainder survives.
+  EXPECT_EQ(parse_cpulist("x,3,4-y"), (std::vector<unsigned>{3}));
+  EXPECT_EQ(parse_cpulist("5-3,7"), (std::vector<unsigned>{7}));  // inverted
+  EXPECT_EQ(parse_cpulist("0-999999999,2"), (std::vector<unsigned>{2}));
+  EXPECT_TRUE(parse_cpulist("-,--,-1").empty());
+}
+
+TEST(AffinityTest, TopologyCoversEveryCoreAndMapsBack) {
+  const NumaTopology topo = detect_numa_topology();
+  ASSERT_GE(topo.num_nodes(), 1u);
+  std::size_t covered = 0;
+  for (std::size_t n = 0; n < topo.num_nodes(); ++n) {
+    EXPECT_FALSE(topo.node_cpus[n].empty()) << "CPU-less node " << n;
+    covered += topo.node_cpus[n].size();
+    for (const unsigned cpu : topo.node_cpus[n])
+      EXPECT_EQ(numa_node_of(topo, cpu), n);
+  }
+  EXPECT_GE(covered, hardware_core_count());
+  // CPUs in no node (offline / out of range) map to node 0.
+  EXPECT_EQ(numa_node_of(topo, 1u << 20), 0u);
 }
 
 TEST(GlobalClockTest, MonotoneAndSpinAccurate) {
